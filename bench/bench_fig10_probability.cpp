@@ -1,0 +1,91 @@
+// Figure 10: AT and per-iteration delay in the probability-based
+// straggler scenario: every iteration each worker independently becomes
+// a straggler with probability p (VGG19: d = 6s, GoogLeNet: d = 3s).
+//
+// Paper reference (VGG19): Fela improves AT by 19.58%~33.91% vs DP,
+// 2.70x~4.25x vs MP, 27.13%~80.29% vs HP; PID reduced 23.23%~51.36%
+// vs DP and 6.97%~65.12% vs HP.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "model/zoo.h"
+
+int main() {
+  using namespace fela;
+  bench::PrintHeader("Figure 10: Probability-Based Straggler Scenario");
+
+  struct ModelCase {
+    model::Model model;
+    double batch;
+    double delay;
+    const char* label;
+  };
+  const ModelCase cases[] = {
+      {model::zoo::Vgg19(), 512, 6.0, "VGG19"},
+      {model::zoo::GoogLeNet(), 2048, 3.0, "GoogLeNet"},
+  };
+  const std::vector<double> probabilities = {0.1, 0.2, 0.3, 0.4, 0.5};
+  const uint64_t kSeed = 20200420;  // ICDE 2020 :-)
+
+  for (const auto& mc : cases) {
+    std::vector<runtime::ComparisonRow> at_rows;
+    std::vector<runtime::ComparisonRow> pid_rows;
+    for (double p : probabilities) {
+      const double d = mc.delay;
+      auto stragglers = [p, d, kSeed](int) -> std::unique_ptr<sim::StragglerSchedule> {
+        return std::make_unique<sim::ProbabilityStragglers>(p, d, kSeed);
+      };
+      runtime::ExperimentSpec spec;
+      spec.total_batch = mc.batch;
+      spec.iterations = bench::kIterations;
+      const auto cfg = suite::TunedFelaConfig(
+          mc.model, mc.batch, 8, 5, sim::Calibration::Default(), stragglers);
+
+      auto pid_of = [&](const runtime::EngineFactory& f) {
+        return runtime::RunPidExperiment(spec, f, stragglers);
+      };
+      const auto dp = pid_of(suite::DpFactory(mc.model));
+      const auto mp = pid_of(suite::MpFactory(mc.model));
+      const auto hp = pid_of(suite::HpFactory(mc.model));
+      const auto fela = pid_of(suite::FelaFactory(mc.model, cfg));
+      at_rows.push_back(runtime::ComparisonRow{
+          p,
+          {dp.with_stragglers.average_throughput,
+           mp.with_stragglers.average_throughput,
+           hp.with_stragglers.average_throughput,
+           fela.with_stragglers.average_throughput}});
+      pid_rows.push_back(runtime::ComparisonRow{
+          p,
+          {dp.per_iteration_delay, mp.per_iteration_delay,
+           hp.per_iteration_delay, fela.per_iteration_delay}});
+    }
+
+    std::printf("\n%s (total batch %g, d = %gs):\n", mc.label, mc.batch,
+                mc.delay);
+    std::cout << runtime::RenderComparisonTable(
+        "average throughput (samples/s) vs straggler probability p", "p",
+        suite::EngineNames(), at_rows, suite::kFelaColumn);
+    bench::PrintGainSummary(mc.label, at_rows);
+
+    common::TablePrinter pid_table({"p", "DP PID", "MP PID", "HP PID",
+                                    "Fela PID", "Fela vs DP", "Fela vs HP"});
+    for (const auto& row : pid_rows) {
+      pid_table.AddRow(
+          {common::TablePrinter::Num(row.x, 1),
+           common::TablePrinter::Num(row.values[0], 2),
+           common::TablePrinter::Num(row.values[1], 2),
+           common::TablePrinter::Num(row.values[2], 2),
+           common::TablePrinter::Num(row.values[3], 2),
+           common::TablePrinter::Percent(1 - row.values[3] / row.values[0]),
+           common::TablePrinter::Percent(1 - row.values[3] / row.values[2])});
+    }
+    std::printf("\nper-iteration delay (Eq. 4, seconds):\n");
+    pid_table.Print(std::cout);
+  }
+  std::printf(
+      "\npaper (VGG19): Fela PID 23.23%%~51.36%% below DP, 6.97%%~65.12%% "
+      "below HP.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 1: training throughput vs batch size for three layer shapes on
+// one simulated K40c — the flexible-parallelism motivation experiment.
+//
+//   (a) CONV (64,64,224,224)  — saturates around batch 16
+//   (b) CONV (512,512,14,14)  — saturates around batch 64
+//   (c) FC (4096,4096)        — saturates around batch 2048
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "model/cost_model.h"
+
+int main() {
+  using namespace fela;
+  bench::PrintHeader(
+      "Figure 1: Training throughput with different batch sizes");
+
+  const model::LayerCostModel cost(sim::Calibration::Default(),
+                                   &model::ProfileRepository::Default());
+  struct Panel {
+    const char* label;
+    model::Layer layer;
+    double max_batch;
+  };
+  const Panel panels[] = {
+      {"(a) CONV layer (64,64,224,224)",
+       model::Layer::Conv("conv", 64, 64, 224, 224), 256},
+      {"(b) CONV layer (512,512,14,14)",
+       model::Layer::Conv("conv", 512, 512, 14, 14), 512},
+      {"(c) FC layer (4096,4096)", model::Layer::Fc("fc", 4096, 4096), 4096},
+  };
+
+  for (const Panel& p : panels) {
+    std::printf("\n%s\n", p.label);
+    common::TablePrinter table({"batch", "throughput (samples/s)",
+                                "of peak"});
+    const auto sweep = cost.SweepThroughput(p.layer, p.max_batch);
+    double peak = 0.0;
+    for (const auto& pt : sweep) peak = std::max(peak, pt.samples_per_sec);
+    for (const auto& pt : sweep) {
+      table.AddRow({common::TablePrinter::Num(pt.batch, 0),
+                    common::TablePrinter::Num(pt.samples_per_sec, 1),
+                    common::TablePrinter::Percent(pt.samples_per_sec / peak)});
+    }
+    table.Print(std::cout);
+    std::printf("measured threshold batch (95%% of peak): %.0f\n",
+                cost.MeasureThresholdBatch(p.layer, p.max_batch));
+  }
+  std::printf(
+      "\nPaper reference: thresholds 16 / 64 / 2048 for panels a/b/c.\n");
+  return 0;
+}

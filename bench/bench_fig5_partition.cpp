@@ -1,0 +1,55 @@
+// Figure 5: threshold batch sizes of the VGG19 layers and the resulting
+// bin partition (§IV-A). Also prints the GoogLeNet partition.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "model/partition.h"
+#include "model/zoo.h"
+
+namespace {
+
+void PrintPartition(const fela::model::Model& m) {
+  using namespace fela;
+  const auto& repo = model::ProfileRepository::Default();
+  const model::BinPartitioner partitioner(16.0);
+
+  std::printf("\n%s layer thresholds (bin size 16):\n", m.name().c_str());
+  common::TablePrinter table(
+      {"layer", "kind", "shape", "threshold batch", "bin"});
+  for (int i = 0; i < m.layer_count(); ++i) {
+    const model::Layer& l = m.layer(i);
+    const double thr = repo.ThresholdFor(l);
+    table.AddRow({common::StrFormat("L%d (%s)", i + 1, l.name.c_str()),
+                  model::LayerKindName(l.kind), l.ShapeKey(),
+                  common::TablePrinter::Num(thr, 0),
+                  common::StrFormat("[%d, %d)", partitioner.BinOf(thr) * 16,
+                                    (partitioner.BinOf(thr) + 1) * 16)});
+  }
+  table.Print(std::cout);
+
+  const auto sub = partitioner.Partition(m, repo);
+  std::printf("bin partition -> %zu sub-models:\n", sub.size());
+  for (const auto& sm : sub) {
+    std::printf("  %s\n", sm.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace fela;
+  bench::PrintHeader(
+      "Figure 5: Threshold Batch Sizes of Different Layers in VGG19");
+  PrintPartition(model::zoo::Vgg19());
+  std::printf(
+      "\nPaper reference: VGG19 partitions into L1-8 (CONV), L9-16 "
+      "(CONV), L17-19 (FC).\n");
+  PrintPartition(model::zoo::GoogLeNet());
+  std::printf(
+      "\nPaper reference: GoogLeNet partitions into L1-4, L5-9, L10-12 "
+      "(CONV+FC).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 6: the two-phase runtime configuration tuning (§IV-B).
+//   (a) normalized per-iteration time for the 13 cases at each total
+//       batch size (training VGG19);
+//   (b) best-vs-worst performance gaps for Phase 1, Phase 2, overall.
+//
+// Paper reference: Phase 1 saves 8.51%~51.69%, Phase 2 5.31%~41.25%,
+// overall 8.51%~66.78%; at batch 64 the winner is Case 2 = {1,1,4} with
+// subset 1; at batch 1024 it is Case 9 = {1,8,8} with subset 8.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "model/zoo.h"
+
+int main() {
+  using namespace fela;
+  bench::PrintHeader("Figure 6: Configuration tuning (VGG19, 13 cases)");
+
+  const model::Model m = model::zoo::Vgg19();
+  std::vector<core::TuningReport> reports;
+  for (double batch : bench::Vgg19Batches()) {
+    reports.push_back(suite::TuneFela(m, batch, 8, /*warmup_iterations=*/5));
+  }
+
+  // Panel (a): normalized per-iteration times, one column per batch.
+  std::printf("\n(a) Performance tuning with different configuration cases\n");
+  std::printf("    (per-iteration time, min-max normalized per column)\n");
+  std::vector<std::string> headers = {"case", "config"};
+  for (double b : bench::Vgg19Batches()) {
+    headers.push_back(common::StrFormat("batch %g", b));
+  }
+  common::TablePrinter table(headers);
+  std::vector<std::vector<double>> norm;
+  for (const auto& r : reports) norm.push_back(r.NormalizedSeconds());
+  for (size_t c = 0; c < 13; ++c) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(c));
+    row.push_back(reports[0].cases[c].config.ToString());
+    for (size_t b = 0; b < reports.size(); ++b) {
+      std::string cell = common::TablePrinter::Num(norm[b][c], 3);
+      if (static_cast<int>(c) == reports[b].best_case_index) cell += " *";
+      row.push_back(std::move(cell));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf("(* = the batch's winning case; configs show Phase-1 weights;"
+              " cases 10-12 re-use the Phase-1 winner's weights)\n");
+
+  // Panel (b): best-worst gaps.
+  std::printf("\n(b) Best-worst performance gaps\n");
+  common::TablePrinter gaps(
+      {"batch", "phase 1 gap", "phase 2 gap", "overall gap", "winner"});
+  double lo1 = 1, hi1 = 0, lo2 = 1, hi2 = 0, loo = 1, hio = 0;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    gaps.AddRow({common::TablePrinter::Num(bench::Vgg19Batches()[i], 0),
+                 common::TablePrinter::Percent(r.phase1_gap),
+                 common::TablePrinter::Percent(r.phase2_gap),
+                 common::TablePrinter::Percent(r.overall_gap),
+                 common::StrFormat("Case %d: %s", r.best_case_index,
+                                   r.best_config.ToString().c_str())});
+    lo1 = std::min(lo1, r.phase1_gap);
+    hi1 = std::max(hi1, r.phase1_gap);
+    lo2 = std::min(lo2, r.phase2_gap);
+    hi2 = std::max(hi2, r.phase2_gap);
+    loo = std::min(loo, r.overall_gap);
+    hio = std::max(hio, r.overall_gap);
+  }
+  gaps.Print(std::cout);
+
+  std::printf("\nmeasured: phase1 %.2f%%~%.2f%%, phase2 %.2f%%~%.2f%%, "
+              "overall %.2f%%~%.2f%%\n",
+              lo1 * 100, hi1 * 100, lo2 * 100, hi2 * 100, loo * 100,
+              hio * 100);
+  std::printf("paper:    phase1 8.51%%~51.69%%, phase2 5.31%%~41.25%%, "
+              "overall 8.51%%~66.78%%\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 8: average-throughput comparison in the non-straggler scenario
+// (Fela vs DP / MP / HP, VGG19 and GoogLeNet, 100 iterations each).
+//
+// Paper reference:
+//   VGG19:     Fela vs DP 9.98%~3.23x, vs MP 5.18x~8.12x, vs HP 15.77%~49.65%
+//   GoogLeNet: Fela vs DP 13.25%~2.15x, vs MP 3.63x~12.22x, vs HP 19.01%~1.85x
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "model/zoo.h"
+
+int main() {
+  using namespace fela;
+  bench::PrintHeader("Figure 8: AT Comparison in Non-Straggler Scenario");
+
+  struct ModelCase {
+    model::Model model;
+    std::vector<double> batches;
+    const char* panel;
+  };
+  const ModelCase cases[] = {
+      {model::zoo::Vgg19(), bench::Vgg19Batches(), "(a) VGG19"},
+      {model::zoo::GoogLeNet(), bench::GoogLeNetBatches(), "(b) GoogLeNet"},
+  };
+
+  for (const auto& mc : cases) {
+    std::vector<runtime::ComparisonRow> rows;
+    for (double batch : mc.batches) {
+      runtime::ExperimentSpec spec;
+      spec.total_batch = batch;
+      spec.iterations = bench::kIterations;
+      const auto cfg = suite::TunedFelaConfig(mc.model, batch, 8);
+      const auto r = suite::CompareAll(mc.model, spec,
+                                       runtime::NoStragglerFactory(), cfg);
+      rows.push_back(runtime::ComparisonRow{batch, r.Throughputs()});
+    }
+    std::printf("\n%s\n", mc.panel);
+    std::cout << runtime::RenderComparisonTable(
+        "average throughput (samples/s) vs total batch size", "batch",
+        suite::EngineNames(), rows, suite::kFelaColumn);
+    bench::PrintGainSummary(mc.model.name(), rows);
+  }
+  std::printf(
+      "\npaper: VGG19 Fela vs DP 9.98%%~3.23x, MP 5.18x~8.12x, HP "
+      "15.77%%~49.65%%\n"
+      "       GoogLeNet Fela vs DP 13.25%%~2.15x, MP 3.63x~12.22x, HP "
+      "19.01%%~1.85x\n");
+  return 0;
+}

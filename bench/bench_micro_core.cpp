@@ -1,0 +1,111 @@
+// Microbenchmarks of the scheduling-path data structures (google-benchmark):
+// event queue churn, token-bucket selection under ADS, locality scoring,
+// and a full simulated Fela iteration. These bound the *scheduling*
+// overhead Fela adds per token — the paper argues it is negligible next
+// to training compute.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fela_engine.h"
+#include "core/token_bucket.h"
+#include "model/zoo.h"
+#include "runtime/cluster.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace fela;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.Push(static_cast<double>((i * 2654435761u) % 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = n;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.Schedule(1e-6, tick);
+    };
+    sim.Schedule(0.0, tick);
+    sim.Run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorEventChain)->Arg(1000)->Arg(100000);
+
+void BM_TokenBucketAdsTake(benchmark::State& state) {
+  const int tokens = static_cast<int>(state.range(0));
+  core::InfoMapping info;
+  for (int i = 0; i < tokens; ++i) {
+    info.RecordCompleted(i, i % 8);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::TokenBucket bucket;
+    for (int i = 0; i < tokens; ++i) {
+      core::Token t;
+      t.id = tokens + i;
+      t.level = 1;
+      t.batch = 32;
+      t.deps = {{i, 16.0}, {(i + 1) % tokens, 16.0}};
+      bucket.Add(std::move(t));
+    }
+    state.ResumeTiming();
+    while (!bucket.empty()) {
+      benchmark::DoNotOptimize(bucket.Take(3, info, {1}, true));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+}
+BENCHMARK(BM_TokenBucketAdsTake)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_LocalityScore(benchmark::State& state) {
+  core::InfoMapping info;
+  for (int i = 0; i < 64; ++i) info.RecordCompleted(i, i % 8);
+  std::vector<core::TokenDep> deps;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    deps.push_back({i, 16.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(info.LocalityScore(3, deps));
+  }
+}
+BENCHMARK(BM_LocalityScore)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_FelaFullIteration(benchmark::State& state) {
+  const double batch = static_cast<double>(state.range(0));
+  const model::Model m = model::zoo::Vgg19();
+  for (auto _ : state) {
+    runtime::Cluster cluster(8, sim::Calibration::Default(), nullptr);
+    core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+    cfg.weights = {1, 2, 4};
+    core::FelaEngine engine(&cluster, m, cfg, batch);
+    benchmark::DoNotOptimize(engine.Run(1).total_time);
+  }
+}
+BENCHMARK(BM_FelaFullIteration)->Arg(128)->Arg(1024);
+
+void BM_BinPartition(benchmark::State& state) {
+  const model::Model m = model::zoo::Vgg19();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::BinPartitioner().Partition(
+        m, model::ProfileRepository::Default()));
+  }
+}
+BENCHMARK(BM_BinPartition);
+
+}  // namespace
+
+BENCHMARK_MAIN();

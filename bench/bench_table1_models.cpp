@@ -1,0 +1,29 @@
+// Table I: "Growing Neural Network Layer Numbers" — the model-zoo survey
+// of published layer counts, regenerated from our model definitions.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "model/zoo.h"
+
+int main() {
+  using namespace fela;
+  bench::PrintHeader("Table I: Growing Neural Network Layer Numbers");
+
+  common::TablePrinter table(
+      {"Model", "Year", "Layer Number", "built layers", "params (M)",
+       "fwd GFLOP/sample"});
+  for (const model::Model& m : model::zoo::TableOneModels()) {
+    table.AddRow({m.name(), std::to_string(m.year()),
+                  std::to_string(m.published_layer_count()),
+                  std::to_string(m.WeightedLayerCount()),
+                  common::TablePrinter::Num(m.TotalParams() / 1e6, 1),
+                  common::TablePrinter::Num(m.TotalFlopsPerSample() / 1e9, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\n('built layers' counts the weighted layers of our constructed\n"
+      "model; GoogLeNet trains as 12 coarse units, see DESIGN.md.)\n");
+  return 0;
+}

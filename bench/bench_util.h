@@ -1,0 +1,49 @@
+#ifndef FELA_BENCH_BENCH_UTIL_H_
+#define FELA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "runtime/report.h"
+#include "suite/suite.h"
+
+namespace fela::bench {
+
+/// Iterations per measured configuration. The paper trains every
+/// configuration for 100 iterations (Eq. 3).
+inline constexpr int kIterations = 100;
+
+/// The paper's batch sweeps. VGG19 follows Fig. 6's 64..1024; GoogLeNet
+/// uses a larger range (its 32x32 inputs train far more samples/s).
+inline const std::vector<double>& Vgg19Batches() {
+  static const std::vector<double> kBatches = {64, 128, 256, 512, 1024};
+  return kBatches;
+}
+inline const std::vector<double>& GoogLeNetBatches() {
+  static const std::vector<double> kBatches = {128, 256, 512, 1024, 2048};
+  return kBatches;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints the paper-style "outperforms X by a%~b" summary line.
+inline void PrintGainSummary(const std::string& model,
+                             const std::vector<runtime::ComparisonRow>& rows) {
+  for (size_t other = 0; other + 1 < suite::EngineNames().size(); ++other) {
+    const auto [lo, hi] = runtime::GainRange(rows, suite::kFelaColumn, other);
+    std::printf("  %s: Fela outperforms %s by %s ~ %s\n", model.c_str(),
+                suite::EngineNames()[other].c_str(),
+                runtime::FormatGain(lo).c_str(),
+                runtime::FormatGain(hi).c_str());
+  }
+}
+
+}  // namespace fela::bench
+
+#endif  // FELA_BENCH_BENCH_UTIL_H_

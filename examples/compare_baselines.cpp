@@ -1,0 +1,56 @@
+// Four-way engine comparison across the batch sweep for both paper
+// benchmarks — a compact version of the Fig. 8 harness for playing with
+// calibration knobs.
+//
+//   ./build/examples/compare_baselines            # default calibration
+//   ./build/examples/compare_baselines 40         # 40 Gbps network
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "model/zoo.h"
+#include "runtime/report.h"
+#include "suite/suite.h"
+
+int main(int argc, char** argv) {
+  using namespace fela;
+
+  sim::Calibration cal = sim::Calibration::Default();
+  if (argc > 1) {
+    const double gbps = std::atof(argv[1]);
+    if (gbps > 0) {
+      cal.nic_bandwidth_bytes_per_sec = common::GbpsToBytesPerSec(gbps);
+      std::printf("using %g Gbps links\n", gbps);
+    }
+  }
+
+  struct Case {
+    model::Model model;
+    std::vector<double> batches;
+  };
+  const Case cases[] = {
+      {model::zoo::Vgg19(), {64, 128, 256, 512, 1024}},
+      {model::zoo::GoogLeNet(), {128, 256, 512, 1024, 2048}},
+  };
+
+  for (const Case& c : cases) {
+    std::vector<runtime::ComparisonRow> rows;
+    for (double batch : c.batches) {
+      runtime::ExperimentSpec spec;
+      spec.total_batch = batch;
+      spec.iterations = 30;
+      spec.calibration = cal;
+      const auto cfg = suite::TunedFelaConfig(c.model, batch, 8, 5, cal);
+      const auto r = suite::CompareAll(c.model, spec,
+                                       runtime::NoStragglerFactory(), cfg);
+      rows.push_back(runtime::ComparisonRow{batch, r.Throughputs()});
+    }
+    std::cout << "\n"
+              << runtime::RenderComparisonTable(
+                     c.model.name() + ": average throughput (samples/s)",
+                     "batch", suite::EngineNames(), rows, suite::kFelaColumn);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Using Fela on a model that is NOT in the zoo: define the layers,
+// profile their threshold batch sizes with the simulated sweep (or let
+// the heuristic fill them in), bin-partition, tune, and train.
+//
+//   ./build/examples/custom_model_tuning
+
+#include <cstdio>
+
+#include "core/fela_engine.h"
+#include "model/cost_model.h"
+#include "model/partition.h"
+#include "model/zoo.h"
+#include "runtime/experiment.h"
+#include "suite/suite.h"
+
+int main() {
+  using namespace fela;
+
+  // A custom 10-layer CNN ("AlexNet-and-a-half"). No thresholds given:
+  // the ProfileRepository resolves them via profiling + heuristics.
+  std::vector<model::Layer> layers;
+  layers.push_back(model::Layer::Conv("conv1", 3, 96, 112, 112, 7));
+  layers.push_back(model::Layer::Conv("conv2", 96, 192, 56, 56));
+  layers.push_back(model::Layer::Conv("conv3", 192, 256, 28, 28));
+  layers.push_back(model::Layer::Conv("conv4", 256, 384, 28, 28));
+  layers.push_back(model::Layer::Conv("conv5", 384, 384, 14, 14));
+  layers.push_back(model::Layer::Conv("conv6", 384, 384, 14, 14));
+  layers.push_back(model::Layer::Conv("conv7", 384, 256, 14, 14));
+  layers.push_back(model::Layer::Fc("fc1", 256 * 7 * 7, 4096));
+  layers.push_back(model::Layer::Fc("fc2", 4096, 4096));
+  layers.push_back(model::Layer::Fc("fc3", 4096, 1000));
+  model::Model custom("CustomNet", std::move(layers));
+  custom.set_input_elems_per_sample(3.0 * 224 * 224);
+
+  // Step 1: offline profiling — measure each layer's threshold batch via
+  // the Fig. 1 sweep and store it in a repository (§IV-A: "once and for
+  // all").
+  model::ProfileRepository repo;
+  {
+    const model::LayerCostModel probe(sim::Calibration::Default(), &repo);
+    for (const model::Layer& l : custom.layers()) {
+      repo.Register(l.ShapeKey(), probe.MeasureThresholdBatch(l, 4096));
+    }
+  }
+  std::printf("%s\n", custom.Describe().c_str());
+  std::printf("profiled thresholds:\n");
+  for (const model::Layer& l : custom.layers()) {
+    std::printf("  %-10s %-26s -> %.0f\n", l.name.c_str(),
+                l.ShapeKey().c_str(), repo.ThresholdFor(l));
+  }
+
+  // Step 2: offline bin partition.
+  const auto sub_models = model::BinPartitioner().Partition(custom, repo);
+  std::printf("\nbin partition (%zu sub-models):\n", sub_models.size());
+  for (const auto& sm : sub_models) std::printf("  %s\n", sm.ToString().c_str());
+
+  // Step 3: runtime two-phase tuning, then training. (The suite helper
+  // re-partitions internally with the default repository, so we pass an
+  // explicit partition + evaluator here.)
+  const double batch = 256;
+  const int workers = 8;
+  const auto evaluator =
+      core::MakeSimulatedEvaluator(custom, sub_models, batch, workers);
+  const core::TuningReport tuning = core::TuneConfiguration(
+      static_cast<int>(sub_models.size()), workers, evaluator);
+  std::printf("\n%s\n", tuning.ToString().c_str());
+
+  runtime::Cluster cluster(workers, sim::Calibration::Default(), nullptr);
+  core::FelaEngine engine(&cluster, custom, sub_models, tuning.best_config,
+                          batch);
+  const auto stats = engine.Run(50);
+  std::printf("trained 50 iterations: %.1f samples/s, %.3f s/iter, "
+              "%.2f GB network/iter\n",
+              stats.AverageThroughput(batch), stats.MeanIterationSeconds(),
+              stats.total_data_bytes / 50 / 1e9);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: train VGG19 on the simulated 8-node cluster with Fela and
+// the three baselines the paper compares against, and print the Eq. 3
+// average-throughput comparison for one operating point.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "model/zoo.h"
+#include "runtime/report.h"
+#include "suite/suite.h"
+
+int main() {
+  using namespace fela;
+
+  const model::Model vgg19 = model::zoo::Vgg19();
+  std::printf("Model: %s (%d layers, %.1fM params, %.2f GFLOP/sample)\n\n",
+              vgg19.name().c_str(), vgg19.layer_count(),
+              vgg19.TotalParams() / 1e6, vgg19.TotalFlopsPerSample() / 1e9);
+
+  runtime::ExperimentSpec spec;
+  spec.total_batch = 256;
+  spec.iterations = 20;
+  spec.num_workers = 8;
+
+  // Fela first tunes itself (the paper's 13-case warm-up, §IV-B)...
+  std::printf("Tuning Fela (two-phase configuration search)...\n");
+  const core::TuningReport tuning =
+      suite::TuneFela(vgg19, spec.total_batch, spec.num_workers);
+  std::printf("%s\n", tuning.ToString().c_str());
+
+  // ...then all four engines run the same workload.
+  const suite::FourWayResult results = suite::CompareAll(
+      vgg19, spec, runtime::NoStragglerFactory(), tuning.best_config);
+
+  common::TablePrinter table(
+      {"engine", "avg throughput (samples/s)", "s/iter", "GPU util",
+       "net GB/iter"});
+  for (const runtime::ExperimentResult* r :
+       {&results.dp, &results.mp, &results.hp, &results.fela}) {
+    table.AddRow({r->engine_name,
+                  common::TablePrinter::Num(r->average_throughput, 1),
+                  common::TablePrinter::Num(r->stats.MeanIterationSeconds(), 3),
+                  common::TablePrinter::Percent(r->gpu_utilization),
+                  common::TablePrinter::Num(
+                      r->stats.total_data_bytes / 1e9 /
+                          static_cast<double>(spec.iterations),
+                      2)});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nFela vs DP: %s, vs MP: %s, vs HP: %s\n",
+              runtime::FormatGain(results.fela.average_throughput /
+                                  results.dp.average_throughput)
+                  .c_str(),
+              runtime::FormatGain(results.fela.average_throughput /
+                                  results.mp.average_throughput)
+                  .c_str(),
+              runtime::FormatGain(results.fela.average_throughput /
+                                  results.hp.average_throughput)
+                  .c_str());
+  return 0;
+}

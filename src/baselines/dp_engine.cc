@@ -1,0 +1,91 @@
+#include "baselines/dp_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/collectives.h"
+
+namespace fela::baselines {
+
+DpEngine::DpEngine(runtime::Cluster* cluster, const model::Model& model,
+                   double total_batch)
+    : cluster_(cluster),
+      model_(model),
+      cost_(cluster->calibration(), &model::ProfileRepository::Default()),
+      memory_(cluster->calibration()),
+      total_batch_(total_batch) {
+  FELA_CHECK_GT(total_batch, 0.0);
+  const int n = cluster_->num_workers();
+  per_worker_batch_ = total_batch / static_cast<double>(n);
+  const int max_fit = memory_.MaxBatchForModel(model_);
+  FELA_CHECK_GT(max_fit, 0) << "model does not fit on the device at batch 1";
+  if (per_worker_batch_ <= static_cast<double>(max_fit)) {
+    micro_batch_ = per_worker_batch_;
+    micro_steps_ = 1;
+  } else {
+    micro_steps_ = static_cast<int>(
+        std::ceil(per_worker_batch_ / static_cast<double>(max_fit)));
+    micro_batch_ = per_worker_batch_ / static_cast<double>(micro_steps_);
+  }
+  param_bytes_ =
+      model_.TotalParams() * cluster_->calibration().bytes_per_scalar;
+}
+
+void DpEngine::StartIteration(int iteration) {
+  current_iteration_ = iteration;
+  iteration_start_ = cluster_->simulator().now();
+  workers_pending_ = cluster_->num_workers();
+  // One full training pass per micro-step; micro-steps run back-to-back
+  // on the device (gradient accumulation).
+  const double micro_seconds = cost_.RangeSeconds(
+      model_, 0, model_.layer_count() - 1, micro_batch_);
+  const double compute_seconds =
+      micro_seconds * static_cast<double>(micro_steps_);
+  for (int w = 0; w < cluster_->num_workers(); ++w) {
+    sim::GpuDevice& gpu = cluster_->gpu(w);
+    const double delay = cluster_->stragglers().DelayFor(iteration, w);
+    if (delay > 0.0) {
+      gpu.BlockUntil(cluster_->simulator().now() + delay);
+    }
+    const double slowdown = cluster_->stragglers().SlowdownFor(iteration, w);
+    gpu.Enqueue(compute_seconds * slowdown, [this] { OnWorkerComputeDone(); });
+  }
+}
+
+void DpEngine::OnWorkerComputeDone() {
+  if (--workers_pending_ > 0) return;
+  // BSP barrier reached; synchronize all parameters.
+  std::vector<sim::NodeId> all;
+  for (int i = 0; i < cluster_->num_workers(); ++i) all.push_back(i);
+  sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
+                     std::move(all), param_bytes_,
+                     [this] { OnAllReduceDone(); });
+}
+
+void DpEngine::OnAllReduceDone() {
+  stats_.iterations.push_back(runtime::IterationStats{
+      iteration_start_, cluster_->simulator().now()});
+  if (current_iteration_ + 1 < target_iterations_) {
+    StartIteration(current_iteration_ + 1);
+  } else {
+    run_complete_ = true;
+  }
+}
+
+runtime::RunStats DpEngine::Run(int iterations) {
+  FELA_CHECK_GT(iterations, 0);
+  FELA_CHECK(stats_.iterations.empty());
+  target_iterations_ = iterations;
+  cluster_->fabric().ResetStats();
+  StartIteration(0);
+  cluster_->simulator().Run();
+  FELA_CHECK(run_complete_);
+  stats_.total_time = cluster_->simulator().now();
+  stats_.total_data_bytes = cluster_->fabric().total_data_bytes();
+  stats_.total_gpu_busy = cluster_->TotalGpuBusy();
+  stats_.control_messages = cluster_->fabric().control_message_count();
+  return stats_;
+}
+
+}  // namespace fela::baselines

@@ -1,0 +1,60 @@
+#ifndef FELA_BASELINES_DP_ENGINE_H_
+#define FELA_BASELINES_DP_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "model/cost_model.h"
+#include "model/memory_model.h"
+#include "model/model.h"
+#include "runtime/cluster.h"
+#include "runtime/engine.h"
+
+namespace fela::baselines {
+
+/// The data-parallel (DP) baseline: every worker holds a full model
+/// replica and trains total_batch / N samples per iteration under BSP,
+/// synchronizing all parameters with a ring all-reduce (the Gloo pattern
+/// of the paper's prototype). When the per-worker batch exceeds device
+/// memory, the worker falls back to gradient accumulation over the
+/// largest micro-batch that fits (DESIGN.md §1 item 3).
+class DpEngine : public runtime::Engine {
+ public:
+  DpEngine(runtime::Cluster* cluster, const model::Model& model,
+           double total_batch);
+
+  std::string name() const override { return "DP"; }
+  runtime::RunStats Run(int iterations) override;
+
+  /// Per-worker batch after the even split.
+  double per_worker_batch() const { return per_worker_batch_; }
+  /// Micro-batch actually executed (== per-worker batch when it fits).
+  double micro_batch() const { return micro_batch_; }
+  int micro_steps() const { return micro_steps_; }
+
+ private:
+  void StartIteration(int iteration);
+  void OnWorkerComputeDone();
+  void OnAllReduceDone();
+
+  runtime::Cluster* cluster_;
+  model::Model model_;
+  model::LayerCostModel cost_;
+  model::MemoryModel memory_;
+  double total_batch_;
+  double per_worker_batch_;
+  double micro_batch_;
+  int micro_steps_;
+  double param_bytes_;
+
+  int target_iterations_ = 0;
+  int current_iteration_ = 0;
+  sim::SimTime iteration_start_ = 0.0;
+  int workers_pending_ = 0;
+  bool run_complete_ = false;
+  runtime::RunStats stats_;
+};
+
+}  // namespace fela::baselines
+
+#endif  // FELA_BASELINES_DP_ENGINE_H_

@@ -1,0 +1,135 @@
+#include "baselines/mp_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fela::baselines {
+
+namespace {
+/// Share of a full training pass spent in the forward direction (the
+/// cost model charges fwd + bwd = 3x forward FLOPs).
+constexpr double kForwardShare = 1.0 / 3.0;
+}  // namespace
+
+MpEngine::MpEngine(runtime::Cluster* cluster, const model::Model& model,
+                   double total_batch, double micro_batch)
+    : cluster_(cluster),
+      model_(model),
+      cost_(cluster->calibration(), &model::ProfileRepository::Default()),
+      total_batch_(total_batch),
+      micro_batch_(micro_batch) {
+  FELA_CHECK_GT(total_batch, 0.0);
+  FELA_CHECK_GT(micro_batch, 0.0);
+  num_micros_ = std::max(
+      1, static_cast<int>(std::ceil(total_batch / micro_batch)));
+  const int stages =
+      std::min(cluster->num_workers(), model_.layer_count());
+  stages_ = model::EqualLayerCountPartition(model_, stages);
+}
+
+double MpEngine::MicroBatchOf(int micro) const {
+  // Last micro-batch absorbs the remainder.
+  if (micro + 1 < num_micros_) return micro_batch_;
+  return total_batch_ - micro_batch_ * static_cast<double>(num_micros_ - 1);
+}
+
+double MpEngine::BoundaryBytes(int stage, int micro) const {
+  const int first_layer = stages_[static_cast<size_t>(stage)].first;
+  return model_.BoundaryActivationElems(first_layer) * MicroBatchOf(micro) *
+         cluster_->calibration().bytes_per_scalar;
+}
+
+void MpEngine::StartIteration(int iteration) {
+  current_iteration_ = iteration;
+  iteration_start_ = cluster_->simulator().now();
+  backwards_pending_ = num_micros_;
+  tail_forwards_done_ = 0;
+  for (int s = 0; s < num_stages(); ++s) {
+    const double delay = cluster_->stragglers().DelayFor(iteration, s);
+    if (delay > 0.0) {
+      cluster_->gpu(s).BlockUntil(cluster_->simulator().now() + delay);
+    }
+  }
+  // Stage 0 ingests every micro-batch back-to-back (samples are local).
+  for (int k = 0; k < num_micros_; ++k) EnqueueForward(0, k);
+}
+
+void MpEngine::EnqueueForward(int stage, int micro) {
+  const auto [lo, hi] = stages_[static_cast<size_t>(stage)];
+  const double seconds =
+      cost_.RangeSeconds(model_, lo, hi, MicroBatchOf(micro)) * kForwardShare *
+      cluster_->stragglers().SlowdownFor(current_iteration_, stage);
+  cluster_->gpu(stage).Enqueue(
+      seconds, [this, stage, micro] { OnForwardDone(stage, micro); });
+}
+
+void MpEngine::OnForwardDone(int stage, int micro) {
+  if (stage + 1 < num_stages()) {
+    // Ship boundary activations to the next stage; its forward can only
+    // start once they arrive.
+    cluster_->fabric().Transfer(
+        stage, stage + 1, BoundaryBytes(stage + 1, micro),
+        [this, stage, micro] { EnqueueForward(stage + 1, micro); });
+  } else {
+    // GPipe-style BSP schedule: the backward phase only starts after the
+    // tail stage has seen every micro-batch's forward; backwards then
+    // drain in reverse order. This is the fill+drain bubble the paper
+    // blames for MP's bad work conservation.
+    ++tail_forwards_done_;
+    if (tail_forwards_done_ == num_micros_) {
+      for (int k = num_micros_ - 1; k >= 0; --k) EnqueueBackward(stage, k);
+    }
+  }
+}
+
+void MpEngine::EnqueueBackward(int stage, int micro) {
+  const auto [lo, hi] = stages_[static_cast<size_t>(stage)];
+  const double seconds =
+      cost_.RangeSeconds(model_, lo, hi, MicroBatchOf(micro)) *
+      (1.0 - kForwardShare) *
+      cluster_->stragglers().SlowdownFor(current_iteration_, stage);
+  cluster_->gpu(stage).Enqueue(
+      seconds, [this, stage, micro] { OnBackwardDone(stage, micro); });
+}
+
+void MpEngine::OnBackwardDone(int stage, int micro) {
+  if (stage > 0) {
+    // Gradients w.r.t. the boundary activations flow upstream (same
+    // size as the activations themselves).
+    cluster_->fabric().Transfer(
+        stage, stage - 1, BoundaryBytes(stage, micro),
+        [this, stage, micro] { EnqueueBackward(stage - 1, micro); });
+  } else {
+    if (--backwards_pending_ == 0) FinishIteration();
+  }
+}
+
+void MpEngine::FinishIteration() {
+  // Every stage owns its parameters exclusively: no synchronization.
+  stats_.iterations.push_back(runtime::IterationStats{
+      iteration_start_, cluster_->simulator().now()});
+  if (current_iteration_ + 1 < target_iterations_) {
+    StartIteration(current_iteration_ + 1);
+  } else {
+    run_complete_ = true;
+  }
+}
+
+runtime::RunStats MpEngine::Run(int iterations) {
+  FELA_CHECK_GT(iterations, 0);
+  FELA_CHECK(stats_.iterations.empty());
+  target_iterations_ = iterations;
+  cluster_->fabric().ResetStats();
+  StartIteration(0);
+  cluster_->simulator().Run();
+  FELA_CHECK(run_complete_);
+  stats_.total_time = cluster_->simulator().now();
+  stats_.total_data_bytes = cluster_->fabric().total_data_bytes();
+  stats_.total_gpu_busy = cluster_->TotalGpuBusy();
+  stats_.control_messages = cluster_->fabric().control_message_count();
+  return stats_;
+}
+
+}  // namespace fela::baselines

@@ -1,0 +1,67 @@
+#ifndef FELA_BASELINES_MP_ENGINE_H_
+#define FELA_BASELINES_MP_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/model.h"
+#include "model/partition.h"
+#include "runtime/cluster.h"
+#include "runtime/engine.h"
+
+namespace fela::baselines {
+
+/// The model-parallel (MP) baseline, after PipeDream/GPipe under BSP
+/// (§V-A): the model is split into N FLOP-balanced stages, one per
+/// worker; each iteration streams the batch through the pipeline in
+/// small fixed micro-batches. Forward activations and backward gradients
+/// cross stage boundaries as real transfers; the pipeline fill/drain
+/// bubble and the under-saturated micro-batch are exactly the two
+/// weaknesses the paper attributes to MP.
+class MpEngine : public runtime::Engine {
+ public:
+  /// `micro_batch` is the fixed micro-batch size; the paper's MP
+  /// baseline keeps it small to amortize the bubble (default 4).
+  MpEngine(runtime::Cluster* cluster, const model::Model& model,
+           double total_batch, double micro_batch = 4.0);
+
+  std::string name() const override { return "MP"; }
+  runtime::RunStats Run(int iterations) override;
+
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  int num_micro_batches() const { return num_micros_; }
+  const std::vector<std::pair<int, int>>& stages() const { return stages_; }
+
+ private:
+  void StartIteration(int iteration);
+  void EnqueueForward(int stage, int micro);
+  void OnForwardDone(int stage, int micro);
+  void EnqueueBackward(int stage, int micro);
+  void OnBackwardDone(int stage, int micro);
+  void FinishIteration();
+
+  /// Boundary activation bytes for one micro-batch entering `stage`.
+  double BoundaryBytes(int stage, int micro) const;
+  double MicroBatchOf(int micro) const;
+
+  runtime::Cluster* cluster_;
+  model::Model model_;
+  model::LayerCostModel cost_;
+  double total_batch_;
+  double micro_batch_;
+  int num_micros_;
+  std::vector<std::pair<int, int>> stages_;  // inclusive layer ranges
+
+  int target_iterations_ = 0;
+  int current_iteration_ = 0;
+  sim::SimTime iteration_start_ = 0.0;
+  int backwards_pending_ = 0;
+  int tail_forwards_done_ = 0;
+  bool run_complete_ = false;
+  runtime::RunStats stats_;
+};
+
+}  // namespace fela::baselines
+
+#endif  // FELA_BASELINES_MP_ENGINE_H_

@@ -1,0 +1,31 @@
+#include "common/csv.h"
+
+namespace fela::common {
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << Escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace fela::common

@@ -1,0 +1,30 @@
+#ifndef FELA_COMMON_CSV_H_
+#define FELA_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fela::common {
+
+/// Minimal CSV emitter (RFC-4180 quoting) so benchmark harnesses can dump
+/// machine-readable series next to the human-readable tables.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Quotes a cell if it contains a comma, quote, or newline.
+  static std::string Escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace fela::common
+
+#endif  // FELA_COMMON_CSV_H_

@@ -1,0 +1,84 @@
+#ifndef FELA_COMMON_LOGGING_H_
+#define FELA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fela::common {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Tests raise this to keep output quiet.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns the streamed chain into void inside the ternary; & binds looser
+/// than << so the whole chain is evaluated first (the glog idiom).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace fela::common
+
+#define FELA_LOG(level)                                                    \
+  (::fela::common::LogLevel::k##level < ::fela::common::MinLogLevel())     \
+      ? (void)0                                                            \
+      : ::fela::common::internal_logging::Voidify() &                      \
+            ::fela::common::internal_logging::LogMessage(                  \
+                ::fela::common::LogLevel::k##level, __FILE__, __LINE__)    \
+                .stream()
+
+/// CHECK-style invariant assertion: always on, aborts with a message.
+#define FELA_CHECK(cond)                                                    \
+  (cond) ? (void)0                                                          \
+         : ::fela::common::internal_logging::Voidify() &                    \
+               ::fela::common::internal_logging::LogMessage(                \
+                   ::fela::common::LogLevel::kFatal, __FILE__, __LINE__)    \
+                   .stream()                                                \
+                   << "Check failed: " #cond " "
+
+#define FELA_CHECK_OK(expr)                                              \
+  do {                                                                   \
+    const auto& fela_check_status_ = (expr);                             \
+    FELA_CHECK(fela_check_status_.ok()) << fela_check_status_.ToString(); \
+  } while (false)
+
+#define FELA_CHECK_EQ(a, b) FELA_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FELA_CHECK_NE(a, b) FELA_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FELA_CHECK_LT(a, b) FELA_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FELA_CHECK_LE(a, b) FELA_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FELA_CHECK_GT(a, b) FELA_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FELA_CHECK_GE(a, b) FELA_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // FELA_COMMON_LOGGING_H_

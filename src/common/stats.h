@@ -1,0 +1,91 @@
+#ifndef FELA_COMMON_STATS_H_
+#define FELA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fela::common {
+
+/// Streaming summary statistics over doubles (Welford's algorithm for
+/// numerically stable mean/variance). Used for per-iteration timings.
+class SummaryStats {
+ public:
+  SummaryStats() = default;
+
+  void Add(double x);
+  void Merge(const SummaryStats& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const;
+  double max() const;
+  /// Population variance / stddev (0 when count < 2).
+  double variance() const;
+  double stddev() const;
+
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains all samples; supports exact percentiles. Fine for the sample
+/// counts in this project (hundreds of iterations).
+class Samples {
+ public:
+  void Add(double x) { values_.push_back(x); }
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Exact percentile with linear interpolation, q in [0, 100].
+  double Percentile(double q) const;
+  double Median() const { return Percentile(50.0); }
+  const std::vector<double>& values() const { return values_; }
+  void Clear() { values_.clear(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples land
+/// in the clamped edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t bucket_count() const { return counts_.size(); }
+  size_t BucketOf(double x) const;
+  size_t count(size_t bucket) const { return counts_[bucket]; }
+  size_t total() const { return total_; }
+  double bucket_lo(size_t bucket) const;
+  double bucket_hi(size_t bucket) const;
+  /// ASCII rendering, one line per non-empty bucket.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+/// Normalizes values to [0, 1] by (x - min) / (max - min), the scheme used
+/// for the paper's Figure 6(a). Returns all zeros when max == min.
+std::vector<double> NormalizeToUnit(const std::vector<double>& values);
+
+}  // namespace fela::common
+
+#endif  // FELA_COMMON_STATS_H_

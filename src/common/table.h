@@ -1,0 +1,44 @@
+#ifndef FELA_COMMON_TABLE_H_
+#define FELA_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fela::common {
+
+/// Renders aligned ASCII tables for the benchmark harnesses, e.g.
+///
+///   batch | DP      | MP     | HP      | Fela    | Fela/DP
+///   ------+---------+--------+---------+---------+--------
+///   64    | 123.4   | 22.1   | 141.0   | 160.9   | 1.30x
+///
+/// Cells are strings; numeric helpers format with fixed precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header underline and column separators.
+  std::string ToString() const;
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+  /// Formats a ratio as "1.85x".
+  static std::string Ratio(double v, int precision = 2);
+  /// Formats a fraction as a percentage, "41.25%".
+  static std::string Percent(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fela::common
+
+#endif  // FELA_COMMON_TABLE_H_

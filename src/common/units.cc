@@ -1,0 +1,20 @@
+#include "common/units.h"
+
+#include "common/string_util.h"
+
+namespace fela::common {
+
+std::string FormatBytes(double bytes) {
+  if (bytes >= kGiB) return StrFormat("%.2f GiB", bytes / kGiB);
+  if (bytes >= kMiB) return StrFormat("%.2f MiB", bytes / kMiB);
+  if (bytes >= kKiB) return StrFormat("%.2f KiB", bytes / kKiB);
+  return StrFormat("%.0f B", bytes);
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds >= 1.0) return StrFormat("%.3f s", seconds);
+  if (seconds >= 1e-3) return StrFormat("%.3f ms", seconds * 1e3);
+  return StrFormat("%.3f us", seconds * 1e6);
+}
+
+}  // namespace fela::common

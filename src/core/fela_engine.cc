@@ -1,0 +1,165 @@
+#include "core/fela_engine.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "sim/collectives.h"
+
+namespace fela::core {
+
+FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
+                       const FelaConfig& config, double total_batch)
+    : FelaEngine(cluster, model,
+                 model::BinPartitioner().Partition(
+                     model, model::ProfileRepository::Default()),
+                 config, total_batch) {}
+
+FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
+                       std::vector<model::SubModel> sub_models,
+                       const FelaConfig& config, double total_batch)
+    : cluster_(cluster),
+      model_(model),
+      sub_models_(std::move(sub_models)),
+      config_(config),
+      cost_(cluster->calibration(), &model::ProfileRepository::Default()),
+      plan_(BuildPlan(model_, sub_models_, config_, total_batch,
+                      cluster->num_workers(),
+                      cluster->calibration().bytes_per_scalar)) {
+  TokenServer::Callbacks ts_cbs;
+  ts_cbs.deliver_grant = [this](sim::NodeId w, const Grant& g) {
+    DeliverGrant(w, g);
+  };
+  ts_cbs.on_level_complete = [this](int level) { OnLevelComplete(level); };
+  ts_cbs.on_all_levels_complete = [this] { OnAllLevelsComplete(); };
+  ts_ = std::make_unique<TokenServer>(&cluster_->simulator(),
+                                      &cluster_->calibration(), &plan_,
+                                      &config_, std::move(ts_cbs));
+
+  FelaWorker::Callbacks w_cbs;
+  w_cbs.send_request = [this](sim::NodeId w) {
+    cluster_->fabric().SendControl(w, kTsNode,
+                                   [this, w] { ts_->HandleRequest(w); });
+  };
+  w_cbs.send_report = [this](sim::NodeId w, const Token& token) {
+    cluster_->fabric().SendControl(
+        w, kTsNode, [this, w, token] { ts_->HandleReport(w, token); });
+  };
+  for (int i = 0; i < cluster_->num_workers(); ++i) {
+    workers_.push_back(std::make_unique<FelaWorker>(
+        i, &cluster_->simulator(), &cluster_->fabric(), &cluster_->gpu(i),
+        &model_, &sub_models_, &cost_, &cluster_->trace(), w_cbs));
+  }
+}
+
+void FelaEngine::DeliverGrant(sim::NodeId worker, const Grant& grant) {
+  // Notify the holders of the granted token's dependencies so they are
+  // prepared for the incoming fetches (§III-A); fire-and-forget controls.
+  for (const auto& [holder, bytes] : grant.remote_fetches) {
+    (void)bytes;
+    cluster_->fabric().SendControl(kTsNode, holder, [] {});
+  }
+  // The grant response itself, delayed by any lock/conflict penalty the
+  // distributor charged.
+  cluster_->simulator().Schedule(grant.extra_delay, [this, worker, grant] {
+    cluster_->fabric().SendControl(kTsNode, worker, [this, worker, grant] {
+      workers_[static_cast<size_t>(worker)]->OnGrant(grant);
+    });
+  });
+}
+
+void FelaEngine::StartIteration(int iteration) {
+  current_iteration_ = iteration;
+  iteration_start_ = cluster_->simulator().now();
+  syncs_done_ = 0;
+  tokens_done_ = false;
+  cluster_->trace().Record(iteration_start_, kTsNode,
+                           sim::TraceKind::kIterationStart,
+                           common::StrFormat("it=%d", iteration));
+  ts_->BeginIteration(iteration);
+  for (int w = 0; w < cluster_->num_workers(); ++w) {
+    const double delay = cluster_->stragglers().DelayFor(iteration, w);
+    const double slowdown = cluster_->stragglers().SlowdownFor(iteration, w);
+    workers_[static_cast<size_t>(w)]->BeginIteration(iteration, delay,
+                                                     slowdown);
+  }
+}
+
+void FelaEngine::OnLevelComplete(int level) {
+  const LevelPlan& lp = plan_.level(level);
+  std::vector<sim::NodeId> participants;
+  const bool ctd_scoped = lp.communication_intensive &&
+                          config_.ctd_subset_size < plan_.num_workers;
+  const int count =
+      ctd_scoped ? config_.ctd_subset_size : cluster_->num_workers();
+  participants.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) participants.push_back(i);
+
+  if (cluster_->trace().enabled()) {
+    cluster_->trace().Record(
+        cluster_->simulator().now(), kTsNode, sim::TraceKind::kSyncStart,
+        common::StrFormat("SM-%d %.1fMB among %d", level + 1,
+                          lp.sync_bytes / 1e6, count));
+  }
+  sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
+                     std::move(participants), lp.sync_bytes,
+                     [this, level] { OnSyncDone(level); });
+}
+
+void FelaEngine::OnSyncDone(int level) {
+  ++syncs_done_;
+  if (cluster_->trace().enabled()) {
+    cluster_->trace().Record(cluster_->simulator().now(), kTsNode,
+                             sim::TraceKind::kSyncEnd,
+                             common::StrFormat("SM-%d", level + 1));
+  }
+  MaybeFinishIteration();
+}
+
+void FelaEngine::OnAllLevelsComplete() {
+  tokens_done_ = true;
+  MaybeFinishIteration();
+}
+
+void FelaEngine::MaybeFinishIteration() {
+  if (!tokens_done_ || syncs_done_ != plan_.num_levels()) return;
+  const sim::SimTime now = cluster_->simulator().now();
+  stats_.iterations.push_back(runtime::IterationStats{iteration_start_, now});
+  cluster_->trace().Record(now, kTsNode, sim::TraceKind::kIterationEnd,
+                           common::StrFormat("it=%d", current_iteration_));
+  if (current_iteration_ + 1 < target_iterations_) {
+    StartIteration(current_iteration_ + 1);
+  } else {
+    run_complete_ = true;
+  }
+}
+
+runtime::RunStats FelaEngine::Run(int iterations) {
+  FELA_CHECK_GT(iterations, 0);
+  FELA_CHECK(stats_.iterations.empty()) << "Run() may be called once";
+  target_iterations_ = iterations;
+  cluster_->fabric().ResetStats();
+
+  StartIteration(0);
+  cluster_->simulator().Run();
+  FELA_CHECK(run_complete_) << "simulation drained before finishing";
+
+  // Cross-check token conservation: every worker-trained sample count
+  // sums to total_batch per level per iteration.
+  double samples = 0.0;
+  for (const auto& w : workers_) samples += w->samples_trained();
+  const double expected = plan_.total_batch *
+                          static_cast<double>(plan_.num_levels()) *
+                          static_cast<double>(iterations);
+  FELA_CHECK(std::abs(samples - expected) < 1e-6 * expected)
+      << samples << " vs " << expected;
+
+  stats_.total_time = cluster_->simulator().now();
+  stats_.total_data_bytes = cluster_->fabric().total_data_bytes();
+  stats_.total_gpu_busy = cluster_->TotalGpuBusy();
+  stats_.control_messages = cluster_->fabric().control_message_count();
+  return stats_;
+}
+
+}  // namespace fela::core

@@ -1,0 +1,81 @@
+#ifndef FELA_CORE_FELA_ENGINE_H_
+#define FELA_CORE_FELA_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fela_config.h"
+#include "core/token_server.h"
+#include "core/worker.h"
+#include "model/cost_model.h"
+#include "model/model.h"
+#include "model/partition.h"
+#include "runtime/cluster.h"
+#include "runtime/engine.h"
+
+namespace fela::core {
+
+/// The Fela engine (§III): a Token Server co-located with node 0 plus one
+/// FelaWorker per node, running BSP iterations of token-scheduled hybrid-
+/// parallel training. Per-sub-model parameter synchronization (ring
+/// all-reduce; subset-limited for CTD levels) overlaps with the remaining
+/// training of the iteration; the iteration ends when every token is
+/// trained and every sub-model synchronized.
+class FelaEngine : public runtime::Engine {
+ public:
+  /// Partitions the model with the paper's bin partitioner (§IV-A).
+  FelaEngine(runtime::Cluster* cluster, const model::Model& model,
+             const FelaConfig& config, double total_batch);
+
+  /// Uses an explicit, user-defined partition (§III-B).
+  FelaEngine(runtime::Cluster* cluster, const model::Model& model,
+             std::vector<model::SubModel> sub_models, const FelaConfig& config,
+             double total_batch);
+
+  std::string name() const override { return "Fela"; }
+  runtime::RunStats Run(int iterations) override;
+
+  const FelaPlan& plan() const { return plan_; }
+  const FelaConfig& config() const { return config_; }
+  const std::vector<model::SubModel>& sub_models() const {
+    return sub_models_;
+  }
+  const TokenServer::Stats& ts_stats() const { return ts_->stats(); }
+  const FelaWorker& worker(int i) const {
+    return *workers_[static_cast<size_t>(i)];
+  }
+
+ private:
+  void StartIteration(int iteration);
+  void DeliverGrant(sim::NodeId worker, const Grant& grant);
+  void OnLevelComplete(int level);
+  void OnSyncDone(int level);
+  void OnAllLevelsComplete();
+  void MaybeFinishIteration();
+
+  runtime::Cluster* cluster_;
+  model::Model model_;
+  std::vector<model::SubModel> sub_models_;
+  FelaConfig config_;
+  model::LayerCostModel cost_;
+  FelaPlan plan_;
+
+  std::unique_ptr<TokenServer> ts_;
+  std::vector<std::unique_ptr<FelaWorker>> workers_;
+
+  // TS placement: co-located with worker 0 (§III-A).
+  static constexpr sim::NodeId kTsNode = 0;
+
+  int target_iterations_ = 0;
+  int current_iteration_ = 0;
+  sim::SimTime iteration_start_ = 0.0;
+  int syncs_done_ = 0;
+  bool tokens_done_ = false;
+  bool run_complete_ = false;
+  runtime::RunStats stats_;
+};
+
+}  // namespace fela::core
+
+#endif  // FELA_CORE_FELA_ENGINE_H_

@@ -1,0 +1,3 @@
+#include "core/ssp_extension.h"
+
+// Header-only logic; this translation unit anchors the target.

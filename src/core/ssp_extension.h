@@ -1,0 +1,53 @@
+#ifndef FELA_CORE_SSP_EXTENSION_H_
+#define FELA_CORE_SSP_EXTENSION_H_
+
+#include "core/token.h"
+
+namespace fela::core {
+
+/// The §VI extension: "Fela can be easily extended to SSP by adding the
+/// age attribute to each token. By considering the age of token, Fela can
+/// distribute the tokens according to the predefined staleness bound."
+///
+/// This gate encapsulates that admission rule. A token of iteration k has
+/// age (current_training_iteration - k); under a staleness bound s the
+/// distributor may hand out tokens of iteration k while iteration k - s'
+/// (s' <= s) is still synchronizing, i.e. iteration k may start as long
+/// as the oldest incomplete iteration is at most s behind. Bound 0
+/// degenerates to BSP (the engine's default); an unbounded gate is ASP.
+class SspTokenGate {
+ public:
+  /// `staleness_bound` < 0 means unbounded (ASP).
+  explicit SspTokenGate(int staleness_bound)
+      : staleness_bound_(staleness_bound) {}
+
+  int staleness_bound() const { return staleness_bound_; }
+  bool IsBsp() const { return staleness_bound_ == 0; }
+  bool IsAsp() const { return staleness_bound_ < 0; }
+
+  /// Age of a token while the engine trains `current_iteration`.
+  static int AgeOf(const Token& token, int current_iteration) {
+    return current_iteration - token.iteration;
+  }
+
+  /// May iteration `iteration` distribute tokens while the oldest
+  /// not-yet-synchronized iteration is `oldest_incomplete`?
+  bool CanDistribute(int iteration, int oldest_incomplete) const {
+    if (IsAsp()) return true;
+    return iteration - oldest_incomplete <= staleness_bound_;
+  }
+
+  /// Is this token still admissible (not too stale) for a worker that has
+  /// advanced to `current_iteration`?
+  bool Admissible(const Token& token, int current_iteration) const {
+    if (IsAsp()) return true;
+    return AgeOf(token, current_iteration) <= staleness_bound_;
+  }
+
+ private:
+  int staleness_bound_;
+};
+
+}  // namespace fela::core
+
+#endif  // FELA_CORE_SSP_EXTENSION_H_

@@ -1,0 +1,21 @@
+#include "core/token.h"
+
+#include "common/string_util.h"
+
+namespace fela::core {
+
+std::vector<TokenId> Token::DepIds() const {
+  std::vector<TokenId> ids;
+  ids.reserve(deps.size());
+  for (const auto& d : deps) ids.push_back(d.id);
+  return ids;
+}
+
+std::string Token::ToString() const {
+  std::string deps_str = common::Join(DepIds(), ",");
+  return common::StrFormat("T-%d Token_%lld(it=%d, b=%g, deps=[%s])",
+                           level + 1, static_cast<long long>(id), iteration,
+                           batch, deps_str.c_str());
+}
+
+}  // namespace fela::core

@@ -1,0 +1,45 @@
+#ifndef FELA_CORE_TOKEN_H_
+#define FELA_CORE_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace fela::core {
+
+using TokenId = int64_t;
+
+inline constexpr TokenId kInvalidTokenId = -1;
+
+/// Reference to a completed lower-level token whose output parameters a
+/// generated token consumes.
+struct TokenDep {
+  TokenId id = kInvalidTokenId;
+  double batch = 0.0;  // samples covered by the dependency's output
+};
+
+/// A unit of schedulable work: "one token represents training one
+/// sub-model with a certain batch size" (§III-A). Level i tokens train
+/// sub-model i; tokens above level 0 are generated from completed tokens
+/// of the level below and carry those as dependencies.
+struct Token {
+  TokenId id = kInvalidTokenId;
+  int level = 0;       // sub-model index (paper's "T-(level+1) Token")
+  int iteration = 0;
+  double batch = 0.0;  // samples represented by this token
+  /// Completed lower-level tokens whose output parameters this token's
+  /// training consumes (empty for level 0).
+  std::vector<TokenDep> deps;
+  /// For level-0 tokens: the worker whose local storage holds this
+  /// token's training samples (its original STB owner). -1 otherwise.
+  sim::NodeId sample_home = -1;
+
+  std::vector<TokenId> DepIds() const;
+  std::string ToString() const;
+};
+
+}  // namespace fela::core
+
+#endif  // FELA_CORE_TOKEN_H_

@@ -1,0 +1,356 @@
+#include "core/token_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fela::core {
+
+TokenServer::TokenServer(sim::Simulator* sim, const sim::Calibration* cal,
+                         const FelaPlan* plan, const FelaConfig* config,
+                         Callbacks cbs)
+    : sim_(sim), cal_(cal), plan_(plan), config_(config), cbs_(std::move(cbs)) {
+  FELA_CHECK(sim != nullptr && cal != nullptr && plan != nullptr &&
+             config != nullptr);
+  FELA_CHECK_GT(plan_->num_levels(), 0);
+  stbs_.resize(hf() ? static_cast<size_t>(num_workers()) : 1);
+  waiting_.assign(static_cast<size_t>(num_workers()), false);
+  helping_.assign(static_cast<size_t>(num_workers()), -1);
+  helper_count_.assign(static_cast<size_t>(num_workers()), 0);
+}
+
+void TokenServer::BeginIteration(int iteration) {
+  iteration_ = iteration;
+  info_.Reset();
+  for (auto& b : stbs_) b.Clear();
+  pending_.assign(static_cast<size_t>(plan_->num_levels()),
+                  std::vector<std::deque<TokenDep>>(
+                      hf() ? static_cast<size_t>(num_workers()) : 1));
+  completed_count_.assign(static_cast<size_t>(plan_->num_levels()), 0);
+  generated_count_.assign(static_cast<size_t>(plan_->num_levels()), 0);
+  std::fill(helping_.begin(), helping_.end(), -1);
+  std::fill(helper_count_.begin(), helper_count_.end(), 0);
+  lock_free_at_ = 0.0;
+  all_done_announced_ = false;
+
+  // The iteration's T-1 tokens, sharded round-robin: token i's training
+  // samples live on worker (i mod N), and with HF that worker's STB owns
+  // the token.
+  const LevelPlan& l0 = plan_->level(0);
+  generated_count_[0] = l0.token_count;
+  for (int i = 0; i < l0.token_count; ++i) {
+    Token t;
+    t.id = next_token_id_++;
+    t.level = 0;
+    t.iteration = iteration;
+    t.batch = l0.token_batch;
+    t.sample_home = i % num_workers();
+    const size_t bucket = hf() ? static_cast<size_t>(t.sample_home) : 0;
+    stbs_[bucket].Add(std::move(t));
+  }
+  // Requests that were still in flight (or queued) when the previous
+  // iteration turned over are valid for this one.
+  ServeWaiters();
+}
+
+bool TokenServer::AllLevelsComplete() const {
+  for (int l = 0; l < plan_->num_levels(); ++l) {
+    if (completed_count_[static_cast<size_t>(l)] <
+        plan_->level(l).token_count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t TokenServer::PendingTokenCount() const {
+  size_t n = 0;
+  for (const auto& b : stbs_) n += b.size();
+  return n;
+}
+
+double TokenServer::AcquireLock() {
+  const sim::SimTime now = sim_->now();
+  const sim::SimTime serve = std::max(now, lock_free_at_);
+  double delay = serve - now;
+  const bool conflicted = lock_free_at_ > now;
+  lock_free_at_ = serve + cal_->ts_service_time_sec;
+  if (conflicted) {
+    // Fetching failure: the token this worker raced for went to another
+    // worker; the distributor rolls back and re-distributes (§III-E).
+    delay += cal_->fetch_conflict_penalty_sec;
+    ++stats_.conflicts;
+    stats_.conflict_delay_total += delay;
+  }
+  return delay;
+}
+
+sim::NodeId TokenServer::ChooseVictim(sim::NodeId thief,
+                                      const std::vector<int>& order) const {
+  // "New helpers will be prioritized to assist the straggler with the
+  // least helpers and the slowest progress" — progress proxied by tokens
+  // remaining in the victim's STB (more remaining = slower).
+  sim::NodeId best = -1;
+  int best_helpers = 0;
+  size_t best_remaining = 0;
+  for (sim::NodeId v = 0; v < num_workers(); ++v) {
+    if (v == thief) continue;
+    const TokenBucket& b = stbs_[static_cast<size_t>(v)];
+    if (!b.HasTokenForOrder(order)) continue;
+    const int helpers = helper_count_[static_cast<size_t>(v)];
+    const size_t remaining = b.size();
+    if (best < 0 || helpers < best_helpers ||
+        (helpers == best_helpers && remaining > best_remaining)) {
+      best = v;
+      best_helpers = helpers;
+      best_remaining = remaining;
+    }
+  }
+  return best;
+}
+
+std::optional<Token> TokenServer::TakeFor(sim::NodeId worker, bool* stolen,
+                                          double* extra_delay) {
+  *stolen = false;
+  *extra_delay = 0.0;
+  const std::vector<int> order = LevelPriorityFor(worker, *config_, *plan_);
+  if (order.empty()) return std::nullopt;
+  const bool use_locality = config_->ads_enabled;
+
+  if (!hf()) {
+    // Single Token Bucket: every distribution serializes on the lock.
+    if (!stbs_[0].HasTokenForOrder(order)) return std::nullopt;
+    *extra_delay = AcquireLock();
+    return stbs_[0].Take(worker, info_, order, use_locality);
+  }
+
+  TokenBucket& own = stbs_[static_cast<size_t>(worker)];
+
+  // CTD: subset workers hunt communication-intensive tokens cluster-wide
+  // before anything else (their priority is T-comm > rest, §III-F).
+  if (CtdActive() && worker < config_->ctd_subset_size) {
+    std::vector<int> comm_order;
+    for (int l : order) {
+      if (plan_->level(l).communication_intensive) comm_order.push_back(l);
+    }
+    if (!comm_order.empty()) {
+      if (own.HasTokenForOrder(comm_order)) {
+        return own.Take(worker, info_, comm_order, use_locality);
+      }
+      const sim::NodeId victim = ChooseVictim(worker, comm_order);
+      if (victim >= 0) {
+        *stolen = true;
+        *extra_delay = AcquireLock();
+        return stbs_[static_cast<size_t>(victim)].Take(worker, info_,
+                                                       comm_order,
+                                                       use_locality);
+      }
+    }
+  }
+
+  // Own STB first: conflict-free, no locking (§III-E target 1).
+  if (own.HasTokenForOrder(order)) {
+    return own.Take(worker, info_, order, use_locality);
+  }
+
+  // Helper mode: steal from the neediest straggler, under the lock.
+  const sim::NodeId victim = ChooseVictim(worker, order);
+  if (victim < 0) return std::nullopt;
+  *stolen = true;
+  *extra_delay = AcquireLock();
+  std::optional<Token> token =
+      stbs_[static_cast<size_t>(victim)].Take(worker, info_, order,
+                                              use_locality);
+  if (token.has_value()) {
+    // Re-point this helper at its new victim.
+    const sim::NodeId prev = helping_[static_cast<size_t>(worker)];
+    if (prev >= 0) --helper_count_[static_cast<size_t>(prev)];
+    helping_[static_cast<size_t>(worker)] = victim;
+    ++helper_count_[static_cast<size_t>(victim)];
+  }
+  return token;
+}
+
+Grant TokenServer::MakeGrant(Token token, sim::NodeId worker, bool stolen,
+                             double delay) {
+  Grant grant;
+  grant.stolen = stolen;
+  grant.extra_delay = delay;
+  if (token.level == 0) {
+    if (token.sample_home >= 0 && token.sample_home != worker) {
+      grant.remote_fetches.emplace_back(
+          token.sample_home,
+          plan_->level(0).sample_bytes_per_sample * token.batch);
+      ++stats_.remote_dep_fetches;
+    } else {
+      ++stats_.local_dep_hits;
+    }
+  } else {
+    const double per_sample = plan_->level(token.level).dep_bytes_per_sample;
+    for (const TokenDep& dep : token.deps) {
+      const sim::NodeId holder = info_.HolderOf(dep.id);
+      FELA_CHECK_GE(holder, 0) << "dependency " << dep.id << " not completed";
+      if (holder == worker) {
+        ++stats_.local_dep_hits;
+        continue;
+      }
+      grant.remote_fetches.emplace_back(holder, per_sample * dep.batch);
+      ++stats_.remote_dep_fetches;
+    }
+  }
+  info_.RecordAssigned(token.id, worker);
+  grant.token = std::move(token);
+  return grant;
+}
+
+bool TokenServer::TryGrant(sim::NodeId worker) {
+  bool stolen = false;
+  double delay = 0.0;
+  std::optional<Token> token = TakeFor(worker, &stolen, &delay);
+  if (!token.has_value()) return false;
+  ++stats_.grants;
+  if (stolen) ++stats_.steals;
+  Grant grant = MakeGrant(std::move(*token), worker, stolen, delay);
+  cbs_.deliver_grant(worker, grant);
+  return true;
+}
+
+void TokenServer::HandleRequest(sim::NodeId worker) {
+  if (TryGrant(worker)) return;
+  if (!waiting_[static_cast<size_t>(worker)]) {
+    waiting_[static_cast<size_t>(worker)] = true;
+    waiters_.push_back(worker);
+    ++stats_.enqueued_waits;
+  }
+}
+
+void TokenServer::ServeWaiters() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+      if (TryGrant(*it)) {
+        waiting_[static_cast<size_t>(*it)] = false;
+        it = waiters_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+Token TokenServer::MakeGeneratedToken(int level, std::vector<TokenDep> deps) {
+  Token t;
+  t.id = next_token_id_++;
+  t.level = level;
+  t.iteration = iteration_;
+  double batch = 0.0;
+  for (const auto& d : deps) batch += d.batch;
+  t.batch = batch;
+  t.deps = std::move(deps);
+  ++generated_count_[static_cast<size_t>(level)];
+  return t;
+}
+
+void TokenServer::AddFreshToken(Token token, sim::NodeId source) {
+  const size_t bucket = hf() ? static_cast<size_t>(source) : 0;
+  stbs_[bucket].Add(std::move(token));
+}
+
+void TokenServer::GenerateAfterCompletion(const Token& completed,
+                                          sim::NodeId reporter) {
+  const int level = completed.level;
+  const int next = level + 1;
+  if (next >= plan_->num_levels()) return;
+  const size_t pool = hf() ? static_cast<size_t>(reporter) : 0;
+  auto& pending = pending_[static_cast<size_t>(level)][pool];
+  pending.push_back(TokenDep{completed.id, completed.batch});
+
+  const int ratio = plan_->level(next).generation_ratio;
+  FELA_CHECK_GT(ratio, 0);
+  while (static_cast<int>(pending.size()) >= ratio) {
+    std::vector<TokenDep> deps;
+    deps.reserve(static_cast<size_t>(ratio));
+    for (int k = 0; k < ratio; ++k) {
+      deps.push_back(pending.front());
+      pending.pop_front();
+    }
+    AddFreshToken(MakeGeneratedToken(next, std::move(deps)), reporter);
+  }
+}
+
+void TokenServer::FlushResidualPools(int level) {
+  // The level is fully completed; any residual completions (pools that
+  // never reached the generation ratio) are merged — cross-worker deps
+  // are unavoidable for this remainder — and emitted as final tokens.
+  const int next = level + 1;
+  if (next >= plan_->num_levels()) return;
+  std::deque<TokenDep> merged;
+  for (auto& pool : pending_[static_cast<size_t>(level)]) {
+    while (!pool.empty()) {
+      merged.push_back(pool.front());
+      pool.pop_front();
+    }
+  }
+  const int ratio = plan_->level(next).generation_ratio;
+  while (!merged.empty()) {
+    std::vector<TokenDep> deps;
+    while (!merged.empty() && static_cast<int>(deps.size()) < ratio) {
+      deps.push_back(merged.front());
+      merged.pop_front();
+    }
+    // Route the remainder token to the holder of its first dependency —
+    // the best locality available for a cross-worker remainder.
+    const sim::NodeId source = info_.HolderOf(deps.front().id);
+    AddFreshToken(MakeGeneratedToken(next, std::move(deps)),
+                  source >= 0 ? source : 0);
+  }
+  FELA_CHECK_EQ(generated_count_[static_cast<size_t>(next)],
+                plan_->level(next).token_count)
+      << "level " << next << " token count mismatch";
+}
+
+void TokenServer::HandleReport(sim::NodeId worker, const Token& token) {
+  FELA_CHECK_EQ(token.iteration, iteration_);
+  info_.RecordCompleted(token.id, worker);
+  const size_t level = static_cast<size_t>(token.level);
+  ++completed_count_[level];
+  FELA_CHECK_LE(completed_count_[level], plan_->level(token.level).token_count);
+
+  GenerateAfterCompletion(token, worker);
+  const bool level_done =
+      completed_count_[level] == plan_->level(token.level).token_count;
+  if (level_done) {
+    FlushResidualPools(token.level);
+  }
+
+  // Combined report + request (§III-D). Under ADS Principle 1 the
+  // reporter's implicit request is served first — it holds the freshest
+  // dependencies, so granting it the just-generated token avoids the
+  // remote fetches another worker would pay. Without ADS the distributor
+  // is a plain FIFO: queued waiters go first.
+  auto enqueue_reporter = [&] {
+    if (!waiting_[static_cast<size_t>(worker)]) {
+      waiting_[static_cast<size_t>(worker)] = true;
+      waiters_.push_back(worker);
+    }
+  };
+  if (config_->ads_enabled) {
+    if (!TryGrant(worker)) enqueue_reporter();
+    ServeWaiters();
+  } else {
+    enqueue_reporter();
+    ServeWaiters();
+  }
+
+  if (level_done) {
+    cbs_.on_level_complete(token.level);
+    if (!all_done_announced_ && AllLevelsComplete()) {
+      all_done_announced_ = true;
+      cbs_.on_all_levels_complete();
+    }
+  }
+}
+
+}  // namespace fela::core

@@ -1,0 +1,157 @@
+#ifndef FELA_CORE_TOKEN_SERVER_H_
+#define FELA_CORE_TOKEN_SERVER_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/fela_config.h"
+#include "core/info_mapping.h"
+#include "core/token.h"
+#include "core/token_bucket.h"
+#include "sim/calibration.h"
+#include "sim/simulator.h"
+
+namespace fela::core {
+
+/// What the Token Distributor hands a worker: the token plus the remote
+/// dependency fetches the worker's Coordinator must perform before its
+/// Trainer can start, and any scheduling penalty (lock wait / fetching
+/// conflict) incurred before the grant could be issued.
+struct Grant {
+  Token token;
+  /// (holder node, bytes) pairs for dependencies not in the worker's
+  /// local Parameter Chunks (or remote training-sample reads for T-1).
+  std::vector<std::pair<sim::NodeId, double>> remote_fetches;
+  double extra_delay = 0.0;
+  bool stolen = false;  // taken from another worker's STB (helper mode)
+};
+
+/// The Token Server (§III-A): Token Generator + Token Distributor + Token
+/// Bucket(s) + Info Mapping. Runs at node 0 (co-located with worker 0;
+/// the paper notes TS is not compute-intensive). The engine delivers
+/// worker control messages to HandleRequest/HandleReport after simulating
+/// network latency, and routes the callbacks back out.
+///
+/// Policies implemented here:
+///  * Reactive scheduling (§III-C): TS never pushes work; workers pull.
+///  * ADS (§III-D): level priority + Eq. 1 locality (via TokenBucket),
+///    and combined report+request — the reporter's implicit request is
+///    served before queued waiters, which is what keeps freshly generated
+///    tokens on the worker already holding their dependencies.
+///  * HF (§III-E): the bucket is partitioned into per-worker STBs; own
+///    STB first, lock-free; helpers steal from the straggler with the
+///    fewest helpers and the slowest progress, serializing on a lock;
+///    simultaneous contention costs a fetching-conflict penalty. With HF
+///    disabled every grant serializes on the lock and fresh tokens are
+///    generated from a global (cross-worker interleaved) completion pool,
+///    destroying dependency locality under contention.
+///  * CTD (§III-F): communication-intensive levels are only distributed
+///    inside the subset S = {0..subset-1}, and prioritized there.
+class TokenServer {
+ public:
+  struct Callbacks {
+    /// Deliver a grant to a worker (engine adds control latency and the
+    /// grant's extra_delay, and sends the §III-A "notify" messages to
+    /// dependency holders).
+    std::function<void(sim::NodeId, const Grant&)> deliver_grant;
+    /// All tokens of a level completed: parameter synchronization for
+    /// that sub-model can start.
+    std::function<void(int level)> on_level_complete;
+    /// Every level of the iteration completed.
+    std::function<void()> on_all_levels_complete;
+  };
+
+  struct Stats {
+    uint64_t grants = 0;
+    uint64_t steals = 0;
+    uint64_t conflicts = 0;
+    uint64_t enqueued_waits = 0;
+    double conflict_delay_total = 0.0;
+    uint64_t remote_dep_fetches = 0;
+    uint64_t local_dep_hits = 0;
+  };
+
+  TokenServer(sim::Simulator* sim, const sim::Calibration* cal,
+              const FelaPlan* plan, const FelaConfig* config, Callbacks cbs);
+
+  TokenServer(const TokenServer&) = delete;
+  TokenServer& operator=(const TokenServer&) = delete;
+
+  /// Resets per-iteration state, creates the iteration's T-1 tokens
+  /// (round-robin across STBs / sample shards), and serves any waiters
+  /// whose requests arrived before the iteration turned over.
+  void BeginIteration(int iteration);
+
+  /// A token request from `worker` has arrived at the TS.
+  void HandleRequest(sim::NodeId worker);
+
+  /// A completion report (with the §III-D combined implicit request).
+  void HandleReport(sim::NodeId worker, const Token& token);
+
+  bool AllLevelsComplete() const;
+  const InfoMapping& info() const { return info_; }
+  const Stats& stats() const { return stats_; }
+  size_t waiter_count() const { return waiters_.size(); }
+  size_t PendingTokenCount() const;
+  int tokens_completed(int level) const {
+    return completed_count_[static_cast<size_t>(level)];
+  }
+
+ private:
+  bool hf() const { return config_->hf_enabled; }
+  bool CtdActive() const {
+    return config_->ctd_subset_size < plan_->num_workers;
+  }
+  int num_workers() const { return plan_->num_workers; }
+
+  /// Tries to grant a token to `worker`; delivers via callback on
+  /// success.
+  bool TryGrant(sim::NodeId worker);
+  /// Selection across buckets per HF/CTD; fills steal/conflict info.
+  std::optional<Token> TakeFor(sim::NodeId worker, bool* stolen,
+                               double* extra_delay);
+  /// Victim for a helper steal restricted to `order` levels, or -1.
+  sim::NodeId ChooseVictim(sim::NodeId thief,
+                           const std::vector<int>& order) const;
+  /// Accounts one pass through the distributor lock; returns the delay
+  /// (wait + conflict penalty) the request suffers.
+  double AcquireLock();
+
+  void AddFreshToken(Token token, sim::NodeId source);
+  void GenerateAfterCompletion(const Token& completed, sim::NodeId reporter);
+  void FlushResidualPools(int level);
+  Token MakeGeneratedToken(int level, std::vector<TokenDep> deps);
+  Grant MakeGrant(Token token, sim::NodeId worker, bool stolen, double delay);
+  void ServeWaiters();
+
+  sim::Simulator* sim_;
+  const sim::Calibration* cal_;
+  const FelaPlan* plan_;
+  const FelaConfig* config_;
+  Callbacks cbs_;
+
+  InfoMapping info_;
+  std::vector<TokenBucket> stbs_;  // size N when HF; size 1 otherwise
+  // Per-level completion pools feeding token generation. With HF each
+  // worker has its own pool (index = reporter), keeping generated deps
+  // single-sourced; without HF a single pool interleaves all workers.
+  std::vector<std::vector<std::deque<TokenDep>>> pending_;
+  std::vector<int> completed_count_;
+  std::vector<int> generated_count_;
+  std::deque<sim::NodeId> waiters_;
+  std::vector<bool> waiting_;
+  std::vector<sim::NodeId> helping_;     // helping_[w] = victim or -1
+  std::vector<int> helper_count_;        // helpers currently aiding worker v
+  sim::SimTime lock_free_at_ = 0.0;
+  TokenId next_token_id_ = 0;
+  int iteration_ = -1;
+  bool all_done_announced_ = false;
+  Stats stats_;
+};
+
+}  // namespace fela::core
+
+#endif  // FELA_CORE_TOKEN_SERVER_H_

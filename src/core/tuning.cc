@@ -1,0 +1,166 @@
+#include "core/tuning.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "core/fela_engine.h"
+#include "runtime/cluster.h"
+
+namespace fela::core {
+
+std::vector<double> TuningReport::NormalizedSeconds() const {
+  std::vector<double> values;
+  values.reserve(cases.size());
+  for (const auto& c : cases) values.push_back(c.per_iteration_seconds);
+  return common::NormalizeToUnit(values);
+}
+
+std::string TuningReport::ToString() const {
+  std::string out;
+  for (const auto& c : cases) {
+    out += common::StrFormat("Case %2d [%s]: %s -> %.4fs/iter%s\n",
+                             c.case_index, c.phase2 ? "P2" : "P1",
+                             c.config.ToString().c_str(),
+                             c.per_iteration_seconds,
+                             c.case_index == best_case_index ? "  <= best" : "");
+  }
+  out += common::StrFormat(
+      "best=Case %d (%.4fs); gaps: phase1=%.2f%% phase2=%.2f%% overall=%.2f%%\n",
+      best_case_index, best_seconds, phase1_gap * 100.0, phase2_gap * 100.0,
+      overall_gap * 100.0);
+  return out;
+}
+
+std::vector<std::vector<int>> EnumerateWeightCandidates(int num_sub_models,
+                                                        int num_workers) {
+  FELA_CHECK_GT(num_sub_models, 0);
+  FELA_CHECK_GT(num_workers, 0);
+  std::vector<int> values;
+  for (int v = 1; v <= num_workers; v *= 2) values.push_back(v);
+
+  std::vector<std::vector<int>> out;
+  std::vector<int> current(static_cast<size_t>(num_sub_models), 1);
+  // Depth-first enumeration of non-decreasing tails after w[0] = 1,
+  // emitting in lexicographic order (the paper's case numbering).
+  std::function<void(int, int)> rec = [&](int pos, int min_value) {
+    if (pos == num_sub_models) {
+      out.push_back(current);
+      return;
+    }
+    for (int v : values) {
+      if (v < min_value) continue;
+      current[static_cast<size_t>(pos)] = v;
+      rec(pos + 1, v);
+    }
+  };
+  if (num_sub_models == 1) {
+    out.push_back(current);
+  } else {
+    rec(1, 1);
+  }
+  return out;
+}
+
+std::vector<int> EnumerateSubsetSizes(int num_workers) {
+  std::vector<int> out;
+  for (int s = num_workers; s >= 1; s /= 2) out.push_back(s);
+  return out;
+}
+
+TuningReport TuneConfiguration(int num_sub_models, int num_workers,
+                               const ConfigEvaluator& evaluator) {
+  TuningReport report;
+  int case_index = 0;
+
+  // Phase 1: parallelism-degree tuning (subset = N, i.e. no CTD).
+  double phase1_best = 0.0;
+  double phase1_worst = 0.0;
+  FelaConfig phase1_best_config;
+  int phase1_best_case = 0;
+  for (const auto& weights : EnumerateWeightCandidates(num_sub_models,
+                                                       num_workers)) {
+    FelaConfig cfg = FelaConfig::Defaults(num_sub_models, num_workers);
+    cfg.weights = weights;
+    const double t = evaluator(cfg);
+    report.cases.push_back(TuningCase{case_index, cfg, t, false});
+    if (case_index == 0 || t < phase1_best) {
+      phase1_best = t;
+      phase1_best_config = cfg;
+      phase1_best_case = case_index;
+    }
+    phase1_worst = std::max(phase1_worst, t);
+    ++case_index;
+  }
+
+  // Phase 2: conditional subset tuning on top of the Phase-1 winner. The
+  // subset = N case is the Phase-1 winner itself (10 + 4 - 1 cases).
+  double phase2_best = phase1_best;
+  double phase2_worst = phase1_best;
+  FelaConfig best_config = phase1_best_config;
+  int best_case = phase1_best_case;
+  for (int subset : EnumerateSubsetSizes(num_workers)) {
+    if (subset == num_workers) continue;  // already measured in Phase 1
+    FelaConfig cfg = phase1_best_config;
+    cfg.ctd_subset_size = subset;
+    const double t = evaluator(cfg);
+    report.cases.push_back(TuningCase{case_index, cfg, t, true});
+    if (t < phase2_best) {
+      phase2_best = t;
+      best_config = cfg;
+      best_case = case_index;
+    }
+    phase2_worst = std::max(phase2_worst, t);
+    ++case_index;
+  }
+
+  report.best_config = best_config;
+  report.best_case_index = best_case;
+  report.best_seconds = phase2_best;
+  report.phase1_gap =
+      phase1_worst > 0.0 ? (phase1_worst - phase1_best) / phase1_worst : 0.0;
+  report.phase2_gap =
+      phase2_worst > 0.0 ? (phase2_worst - phase2_best) / phase2_worst : 0.0;
+  double overall_worst = 0.0;
+  for (const auto& c : report.cases) {
+    overall_worst = std::max(overall_worst, c.per_iteration_seconds);
+  }
+  report.overall_gap = overall_worst > 0.0
+                           ? (overall_worst - phase2_best) / overall_worst
+                           : 0.0;
+  return report;
+}
+
+ConfigEvaluator MakeSimulatedEvaluator(const model::Model& model,
+                                       double total_batch, int num_workers,
+                                       int iterations,
+                                       const sim::Calibration& cal,
+                                       WarmupStragglerFactory stragglers) {
+  return MakeSimulatedEvaluator(
+      model,
+      model::BinPartitioner().Partition(model,
+                                        model::ProfileRepository::Default()),
+      total_batch, num_workers, iterations, cal, std::move(stragglers));
+}
+
+ConfigEvaluator MakeSimulatedEvaluator(const model::Model& model,
+                                       std::vector<model::SubModel> sub_models,
+                                       double total_batch, int num_workers,
+                                       int iterations,
+                                       const sim::Calibration& cal,
+                                       WarmupStragglerFactory stragglers) {
+  // Copy the model and partition; the evaluator outlives the caller.
+  return [model, sub_models = std::move(sub_models), total_batch, num_workers,
+          iterations, cal, stragglers](const FelaConfig& cfg) {
+    std::unique_ptr<sim::StragglerSchedule> schedule =
+        stragglers ? stragglers(num_workers)
+                   : std::make_unique<sim::NoStragglers>();
+    runtime::Cluster cluster(num_workers, cal, std::move(schedule));
+    FelaEngine engine(&cluster, model, sub_models, cfg, total_batch);
+    const runtime::RunStats stats = engine.Run(iterations);
+    return stats.MeanIterationSeconds();
+  };
+}
+
+}  // namespace fela::core

@@ -1,0 +1,88 @@
+#ifndef FELA_CORE_TUNING_H_
+#define FELA_CORE_TUNING_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fela_config.h"
+#include "model/model.h"
+#include "sim/calibration.h"
+#include "sim/straggler.h"
+
+namespace fela::core {
+
+/// One evaluated configuration case of the §IV-B warm-up search.
+struct TuningCase {
+  int case_index = 0;
+  FelaConfig config;
+  double per_iteration_seconds = 0.0;
+  bool phase2 = false;
+};
+
+/// Outcome of the two-phase runtime configuration tuning.
+struct TuningReport {
+  std::vector<TuningCase> cases;
+  FelaConfig best_config;
+  int best_case_index = 0;
+  double best_seconds = 0.0;
+  /// Best-vs-worst savings fractions, (worst - best) / worst — the
+  /// quantities behind Fig. 6(b).
+  double phase1_gap = 0.0;
+  double phase2_gap = 0.0;
+  double overall_gap = 0.0;
+
+  /// Per-case values min-max normalized to [0,1] (Fig. 6(a)'s scheme).
+  std::vector<double> NormalizedSeconds() const;
+  std::string ToString() const;
+};
+
+/// Phase 1 candidates: weight sequences {1, w_2, ..., w_M}, non-decreasing,
+/// values from {1, 2, 4, ..., 2^floor(log2 N)} (§IV-B). For M=3, N=8 this
+/// is the paper's 10 cases, in the paper's Case-0..Case-9 order.
+std::vector<std::vector<int>> EnumerateWeightCandidates(int num_sub_models,
+                                                        int num_workers);
+
+/// Phase 2 candidates: subset sizes N, N/2, ..., 1 (§IV-B footnote 15:
+/// non-divisor sizes are skipped for load balance).
+std::vector<int> EnumerateSubsetSizes(int num_workers);
+
+/// Measures the mean per-iteration seconds of a configuration.
+using ConfigEvaluator = std::function<double(const FelaConfig&)>;
+
+/// Runs the two-phase search: Phase 1 fixes the parallelism degrees, then
+/// Phase 2 (reusing the Phase-1 winner for subset = N) searches the
+/// conditional subset size. For M=3, N=8: 10 + 4 - 1 = 13 cases.
+TuningReport TuneConfiguration(int num_sub_models, int num_workers,
+                               const ConfigEvaluator& evaluator);
+
+/// Creates the (possibly straggler-injecting) schedule for a warm-up
+/// cluster; nullptr-returning factories mean "no stragglers".
+using WarmupStragglerFactory =
+    std::function<std::unique_ptr<sim::StragglerSchedule>(int num_workers)>;
+
+/// The standard evaluator: builds a fresh default cluster, runs a Fela
+/// engine for `iterations` warm-up iterations (the paper uses 5), and
+/// returns the mean per-iteration time. The warm-up happens in the same
+/// environment the training will run in — pass the experiment's
+/// straggler factory so the tuner sees the stragglers it must live with
+/// (the paper's tuning is in-situ, §IV-B).
+ConfigEvaluator MakeSimulatedEvaluator(
+    const model::Model& model, double total_batch, int num_workers,
+    int iterations = 5,
+    const sim::Calibration& cal = sim::Calibration::Default(),
+    WarmupStragglerFactory stragglers = nullptr);
+
+/// Variant with an explicit (user-defined or custom-profiled) partition;
+/// required whenever the model's sub-models do not come from the default
+/// ProfileRepository bin partition.
+ConfigEvaluator MakeSimulatedEvaluator(
+    const model::Model& model, std::vector<model::SubModel> sub_models,
+    double total_batch, int num_workers, int iterations = 5,
+    const sim::Calibration& cal = sim::Calibration::Default(),
+    WarmupStragglerFactory stragglers = nullptr);
+
+}  // namespace fela::core
+
+#endif  // FELA_CORE_TUNING_H_

@@ -1,0 +1,106 @@
+#include "core/worker.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fela::core {
+
+FelaWorker::FelaWorker(sim::NodeId id, sim::Simulator* sim,
+                       sim::Fabric* fabric, sim::GpuDevice* gpu,
+                       const model::Model* model,
+                       const std::vector<model::SubModel>* sub_models,
+                       const model::LayerCostModel* cost,
+                       sim::TraceRecorder* trace, Callbacks cbs)
+    : id_(id),
+      sim_(sim),
+      fabric_(fabric),
+      gpu_(gpu),
+      model_(model),
+      sub_models_(sub_models),
+      cost_(cost),
+      trace_(trace),
+      cbs_(std::move(cbs)) {}
+
+void FelaWorker::Trace(sim::TraceKind kind, std::string detail) {
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Record(sim_->now(), id_, kind, std::move(detail));
+  }
+}
+
+void FelaWorker::BeginIteration(int iteration, double straggler_delay,
+                                double slowdown) {
+  chunks_.Clear();  // token outputs are iteration-scoped
+  slowdown_ = slowdown;
+  if (straggler_delay > 0.0) {
+    gpu_->BlockUntil(sim_->now() + straggler_delay);
+    Trace(sim::TraceKind::kStragglerSleep,
+          common::StrFormat("it=%d d=%.2fs", iteration, straggler_delay));
+  }
+  if (!request_outstanding_ && !busy_) {
+    request_outstanding_ = true;
+    Trace(sim::TraceKind::kTokenRequest, common::StrFormat("it=%d", iteration));
+    cbs_.send_request(id_);
+  }
+}
+
+void FelaWorker::OnGrant(const Grant& grant) {
+  request_outstanding_ = false;
+  FELA_CHECK(!busy_) << "worker " << id_ << " granted while busy";
+  busy_ = true;
+  Trace(sim::TraceKind::kTokenGrant,
+        grant.token.ToString() +
+            (grant.stolen ? " (stolen)" : "") +
+            common::StrFormat(" remote_fetches=%zu",
+                              grant.remote_fetches.size()));
+
+  if (grant.remote_fetches.empty()) {
+    StartCompute(grant.token);
+    return;
+  }
+
+  // Coordinator: gather missing dependencies from their holders, then
+  // hand the token to the Trainer.
+  Trace(sim::TraceKind::kFetchStart,
+        common::StrFormat("%zu transfers", grant.remote_fetches.size()));
+  auto remaining = std::make_shared<int>(
+      static_cast<int>(grant.remote_fetches.size()));
+  Token token = grant.token;
+  for (const auto& [holder, bytes] : grant.remote_fetches) {
+    bytes_fetched_ += bytes;
+    fabric_->Transfer(holder, id_, bytes, [this, remaining, token]() mutable {
+      if (--*remaining == 0) {
+        Trace(sim::TraceKind::kFetchEnd, "");
+        StartCompute(std::move(token));
+      }
+    });
+  }
+}
+
+void FelaWorker::StartCompute(Token token) {
+  const model::SubModel& sm =
+      (*sub_models_)[static_cast<size_t>(token.level)];
+  const double duration =
+      cost_->RangeSeconds(*model_, sm.first_layer, sm.last_layer, token.batch) *
+      slowdown_;
+  Trace(sim::TraceKind::kComputeStart,
+        common::StrFormat("%s dur=%.4fs", token.ToString().c_str(), duration));
+  gpu_->Enqueue(duration, [this, token = std::move(token)]() mutable {
+    OnComputeDone(std::move(token));
+  });
+}
+
+void FelaWorker::OnComputeDone(Token token) {
+  chunks_.Store(token.id);
+  ++tokens_trained_;
+  samples_trained_ += token.batch;
+  busy_ = false;
+  Trace(sim::TraceKind::kComputeEnd, token.ToString());
+  // Combined report + request: the TS serves our implicit request.
+  request_outstanding_ = true;
+  cbs_.send_report(id_, token);
+}
+
+}  // namespace fela::core

@@ -1,0 +1,99 @@
+#ifndef FELA_CORE_WORKER_H_
+#define FELA_CORE_WORKER_H_
+
+#include <functional>
+#include <unordered_set>
+
+#include "core/token.h"
+#include "core/token_server.h"
+#include "model/cost_model.h"
+#include "model/partition.h"
+#include "sim/fabric.h"
+#include "sim/gpu.h"
+#include "sim/trace.h"
+
+namespace fela::core {
+
+/// The worker's Parameter Chunks (§III-A): which token outputs are
+/// resident in local storage. The token server's Info Mapping mirrors
+/// this; the worker-side copy is the ground truth the tests cross-check.
+class ParameterChunks {
+ public:
+  void Store(TokenId token) { held_.insert(token); }
+  bool Has(TokenId token) const { return held_.count(token) > 0; }
+  size_t size() const { return held_.size(); }
+  void Clear() { held_.clear(); }
+
+ private:
+  std::unordered_set<TokenId> held_;
+};
+
+/// A Fela worker: Trainer (GPU compute), Coordinator (dependency
+/// fetches), and Parameter Chunks. Event-driven; one token in flight at
+/// a time (the §III-D combined report+request cycle).
+class FelaWorker {
+ public:
+  struct Callbacks {
+    /// Send a token request control message to the TS.
+    std::function<void(sim::NodeId)> send_request;
+    /// Send a completion report (with implicit request) to the TS.
+    std::function<void(sim::NodeId, const Token&)> send_report;
+  };
+
+  FelaWorker(sim::NodeId id, sim::Simulator* sim, sim::Fabric* fabric,
+             sim::GpuDevice* gpu, const model::Model* model,
+             const std::vector<model::SubModel>* sub_models,
+             const model::LayerCostModel* cost, sim::TraceRecorder* trace,
+             Callbacks cbs);
+
+  FelaWorker(const FelaWorker&) = delete;
+  FelaWorker& operator=(const FelaWorker&) = delete;
+
+  /// Starts the iteration: applies the injected straggler sleep (the
+  /// GPU is blocked for `straggler_delay` seconds, §V-C) and the
+  /// iteration's compute slowdown factor, then requests a token unless a
+  /// request from the previous iteration is still unanswered.
+  void BeginIteration(int iteration, double straggler_delay,
+                      double slowdown = 1.0);
+
+  /// A grant arrived from the TS (engine already applied latency and the
+  /// grant's extra_delay). Fetches remote dependencies, then trains.
+  void OnGrant(const Grant& grant);
+
+  sim::NodeId id() const { return id_; }
+  ParameterChunks& chunks() { return chunks_; }
+  const ParameterChunks& chunks() const { return chunks_; }
+
+  // -- Statistics ---------------------------------------------------------
+  int tokens_trained() const { return tokens_trained_; }
+  double samples_trained() const { return samples_trained_; }
+  double bytes_fetched() const { return bytes_fetched_; }
+  bool busy() const { return busy_; }
+
+ private:
+  void StartCompute(Token token);
+  void OnComputeDone(Token token);
+  void Trace(sim::TraceKind kind, std::string detail);
+
+  sim::NodeId id_;
+  sim::Simulator* sim_;
+  sim::Fabric* fabric_;
+  sim::GpuDevice* gpu_;
+  const model::Model* model_;
+  const std::vector<model::SubModel>* sub_models_;
+  const model::LayerCostModel* cost_;
+  sim::TraceRecorder* trace_;
+  Callbacks cbs_;
+
+  ParameterChunks chunks_;
+  double slowdown_ = 1.0;
+  bool request_outstanding_ = false;
+  bool busy_ = false;
+  int tokens_trained_ = 0;
+  double samples_trained_ = 0.0;
+  double bytes_fetched_ = 0.0;
+};
+
+}  // namespace fela::core
+
+#endif  // FELA_CORE_WORKER_H_

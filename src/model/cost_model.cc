@@ -1,0 +1,70 @@
+#include "model/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fela::model {
+
+LayerCostModel::LayerCostModel(const sim::Calibration& cal,
+                               const ProfileRepository* repo)
+    : cal_(cal), repo_(repo) {
+  FELA_CHECK(repo != nullptr);
+}
+
+double LayerCostModel::PerSampleSeconds(const Layer& layer) const {
+  return layer.FlopsPerSample() * kTrainingFlopsMultiplier /
+         cal_.gpu_effective_flops;
+}
+
+double LayerCostModel::UnderutilizationSeconds(const Layer& layer,
+                                               double batch) const {
+  const double threshold = repo_->ThresholdFor(layer);
+  if (batch >= threshold) return 0.0;
+  const double g = cal_.latency_region_exponent;
+  const double occupancy_bound_time =
+      PerSampleSeconds(layer) * std::pow(batch, g) * std::pow(threshold, 1.0 - g);
+  return occupancy_bound_time - PerSampleSeconds(layer) * batch;
+}
+
+double LayerCostModel::PassSeconds(const Layer& layer, double batch) const {
+  FELA_CHECK_GT(batch, 0.0);
+  return batch * PerSampleSeconds(layer) +
+         UnderutilizationSeconds(layer, batch);
+}
+
+double LayerCostModel::RangeSeconds(const Model& model, int lo, int hi,
+                                    double batch) const {
+  double s = 0.0;
+  for (int i = lo; i <= hi; ++i) s += PassSeconds(model.layer(i), batch);
+  return s;
+}
+
+double LayerCostModel::Throughput(const Layer& layer, double batch) const {
+  return batch / PassSeconds(layer, batch);
+}
+
+std::vector<ThroughputPoint> LayerCostModel::SweepThroughput(
+    const Layer& layer, double max_batch) const {
+  std::vector<ThroughputPoint> points;
+  for (double b = 1.0; b <= max_batch; b *= 2.0) {
+    points.push_back(ThroughputPoint{b, Throughput(layer, b)});
+  }
+  return points;
+}
+
+double LayerCostModel::MeasureThresholdBatch(const Layer& layer,
+                                             double max_batch,
+                                             double fraction) const {
+  const auto points = SweepThroughput(layer, max_batch);
+  FELA_CHECK(!points.empty());
+  double peak = 0.0;
+  for (const auto& p : points) peak = std::max(peak, p.samples_per_sec);
+  for (const auto& p : points) {
+    if (p.samples_per_sec >= fraction * peak) return p.batch;
+  }
+  return points.back().batch;
+}
+
+}  // namespace fela::model

@@ -1,0 +1,126 @@
+#include "model/layer.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fela::model {
+
+const char* LayerKindName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv:
+      return "CONV";
+    case LayerKind::kFc:
+      return "FC";
+    case LayerKind::kPool:
+      return "POOL";
+    case LayerKind::kInception:
+      return "INCEPTION";
+  }
+  return "?";
+}
+
+double Layer::Params() const {
+  if (params_override > 0.0) return params_override;
+  switch (kind) {
+    case LayerKind::kConv:
+      return static_cast<double>(kernel) * kernel * c_in * c_out + c_out;
+    case LayerKind::kFc:
+      return static_cast<double>(c_in) * c_out + c_out;
+    case LayerKind::kPool:
+      return 0.0;
+    case LayerKind::kInception:
+      // Aggregates must provide an override.
+      FELA_CHECK_GT(params_override, 0.0) << name;
+      return params_override;
+  }
+  return 0.0;
+}
+
+double Layer::FlopsPerSample() const {
+  if (flops_override > 0.0) return flops_override;
+  switch (kind) {
+    case LayerKind::kConv:
+      return 2.0 * kernel * kernel * c_in * c_out * static_cast<double>(h) * w;
+    case LayerKind::kFc:
+      return 2.0 * static_cast<double>(c_in) * c_out;
+    case LayerKind::kPool:
+      return static_cast<double>(c_in) * h * w;
+    case LayerKind::kInception:
+      FELA_CHECK_GT(flops_override, 0.0) << name;
+      return flops_override;
+  }
+  return 0.0;
+}
+
+double Layer::OutputActivationElems() const {
+  if (activation_override > 0.0) return activation_override;
+  return static_cast<double>(c_out) * h * w;
+}
+
+std::string Layer::ShapeKey() const {
+  switch (kind) {
+    case LayerKind::kConv:
+      return common::StrFormat("conv(%d,%d,%d,%d,k%d)", c_in, c_out, h, w,
+                               kernel);
+    case LayerKind::kFc:
+      return common::StrFormat("fc(%d,%d)", c_in, c_out);
+    case LayerKind::kPool:
+      return common::StrFormat("pool(%d,%d,%d)", c_in, h, w);
+    case LayerKind::kInception:
+      return common::StrFormat("inception(%d,%d,%d,%d)", c_in, c_out, h, w);
+  }
+  return "?";
+}
+
+Layer Layer::Conv(std::string name, int c_in, int c_out, int h, int w,
+                  int kernel) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv;
+  l.c_in = c_in;
+  l.c_out = c_out;
+  l.h = h;
+  l.w = w;
+  l.kernel = kernel;
+  return l;
+}
+
+Layer Layer::Fc(std::string name, int c_in, int c_out) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kFc;
+  l.c_in = c_in;
+  l.c_out = c_out;
+  l.h = 1;
+  l.w = 1;
+  l.kernel = 1;
+  return l;
+}
+
+Layer Layer::Pool(std::string name, int c_in, int h, int w) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kPool;
+  l.c_in = c_in;
+  l.c_out = c_in;
+  l.h = h;
+  l.w = w;
+  l.kernel = 2;
+  return l;
+}
+
+Layer Layer::Inception(std::string name, int c_in, int c_out, int h, int w,
+                       double flops, double params) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kInception;
+  l.c_in = c_in;
+  l.c_out = c_out;
+  l.h = h;
+  l.w = w;
+  l.flops_override = flops;
+  l.params_override = params;
+  return l;
+}
+
+}  // namespace fela::model

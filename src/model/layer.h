@@ -1,0 +1,70 @@
+#ifndef FELA_MODEL_LAYER_H_
+#define FELA_MODEL_LAYER_H_
+
+#include <string>
+
+namespace fela::model {
+
+/// Kinds of network layers the cost model distinguishes. Inception units
+/// are kept as single aggregate layers (the paper partitions GoogLeNet at
+/// module granularity).
+enum class LayerKind { kConv, kFc, kPool, kInception };
+
+const char* LayerKindName(LayerKind kind);
+
+/// One weighted (or pooling) layer of a sequential model. Dimensions use
+/// the paper's (C_in, C_out, H, W) convention where H and W describe the
+/// *output* feature map. FC layers use H = W = 1.
+///
+/// FLOPs / parameter counts are derived from the shape; `flops_override`
+/// and `params_override` (when > 0) replace the derivation for aggregate
+/// layers such as inception modules.
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  int c_in = 0;
+  int c_out = 0;
+  int h = 1;
+  int w = 1;
+  int kernel = 3;
+
+  /// Profiled threshold batch size: the smallest batch that saturates the
+  /// GPU for this layer (Fig. 1 / Fig. 5). Zero means "unprofiled"; the
+  /// ProfileRepository / heuristic then supplies a value.
+  double threshold_batch = 0.0;
+
+  double flops_override = 0.0;
+  double params_override = 0.0;
+  double activation_override = 0.0;
+
+  /// Trainable parameter count (weights + biases).
+  double Params() const;
+
+  /// Forward-pass FLOPs for a single sample (multiply-add counted as 2).
+  double FlopsPerSample() const;
+
+  /// Output activation element count per sample (c_out * h * w).
+  double OutputActivationElems() const;
+
+  /// True for layers whose synchronization dominates their compute
+  /// (FC layers; §III-F: ">90% of sync cost, <10% of compute").
+  bool IsCommunicationIntensive() const { return kind == LayerKind::kFc; }
+
+  /// Shape signature used as the ProfileRepository key, e.g.
+  /// "conv(64,64,224,224,k3)" or "fc(4096,4096)". Layers with identical
+  /// signatures share one profiled threshold (§IV-A: layers come in a
+  /// limited number of shapes).
+  std::string ShapeKey() const;
+
+  /// Convenience factories.
+  static Layer Conv(std::string name, int c_in, int c_out, int h, int w,
+                    int kernel = 3);
+  static Layer Fc(std::string name, int c_in, int c_out);
+  static Layer Pool(std::string name, int c_in, int h, int w);
+  static Layer Inception(std::string name, int c_in, int c_out, int h, int w,
+                         double flops, double params);
+};
+
+}  // namespace fela::model
+
+#endif  // FELA_MODEL_LAYER_H_

@@ -1,0 +1,76 @@
+#include "model/model.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fela::model {
+
+Model::Model(std::string name, std::vector<Layer> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  FELA_CHECK(!layers_.empty());
+  // Default input size: infer from the first layer.
+  const Layer& first = layers_.front();
+  input_elems_ = static_cast<double>(first.c_in) * first.h * first.w;
+}
+
+int Model::WeightedLayerCount() const {
+  int n = 0;
+  for (const Layer& l : layers_) {
+    if (l.kind != LayerKind::kPool) ++n;
+  }
+  return n;
+}
+
+void Model::CheckRange(int lo, int hi) const {
+  FELA_CHECK_GE(lo, 0);
+  FELA_CHECK_LE(lo, hi);
+  FELA_CHECK_LT(hi, layer_count());
+}
+
+double Model::ParamsInRange(int lo, int hi) const {
+  CheckRange(lo, hi);
+  double s = 0.0;
+  for (int i = lo; i <= hi; ++i) s += layers_[static_cast<size_t>(i)].Params();
+  return s;
+}
+
+double Model::FlopsPerSampleInRange(int lo, int hi) const {
+  CheckRange(lo, hi);
+  double s = 0.0;
+  for (int i = lo; i <= hi; ++i)
+    s += layers_[static_cast<size_t>(i)].FlopsPerSample();
+  return s;
+}
+
+double Model::ActivationElemsInRange(int lo, int hi) const {
+  CheckRange(lo, hi);
+  double s = 0.0;
+  for (int i = lo; i <= hi; ++i)
+    s += layers_[static_cast<size_t>(i)].OutputActivationElems();
+  return s;
+}
+
+double Model::BoundaryActivationElems(int layer_index) const {
+  CheckRange(layer_index, layer_index);
+  if (layer_index == 0) return input_elems_;
+  return layers_[static_cast<size_t>(layer_index - 1)].OutputActivationElems();
+}
+
+std::string Model::Describe() const {
+  std::string out = common::StrFormat(
+      "%s: %d layers (%d weighted), %.1fM params, %.2f GFLOP/sample\n",
+      name_.c_str(), layer_count(), WeightedLayerCount(), TotalParams() / 1e6,
+      TotalFlopsPerSample() / 1e9);
+  for (int i = 0; i < layer_count(); ++i) {
+    const Layer& l = layers_[static_cast<size_t>(i)];
+    out += common::StrFormat(
+        "  [%2d] %-10s %-12s %-28s params=%10.0f flops=%12.0f thr=%g\n", i,
+        LayerKindName(l.kind), l.name.c_str(), l.ShapeKey().c_str(),
+        l.Params(), l.FlopsPerSample(), l.threshold_batch);
+  }
+  return out;
+}
+
+}  // namespace fela::model

@@ -1,0 +1,257 @@
+#include "model/zoo.h"
+
+#include "common/string_util.h"
+
+namespace fela::model::zoo {
+
+namespace {
+
+Layer ConvT(std::string name, int c_in, int c_out, int h, int w,
+            double threshold, int kernel = 3) {
+  Layer l = Layer::Conv(std::move(name), c_in, c_out, h, w, kernel);
+  l.threshold_batch = threshold;
+  return l;
+}
+
+Layer FcT(std::string name, int c_in, int c_out, double threshold) {
+  Layer l = Layer::Fc(std::move(name), c_in, c_out);
+  l.threshold_batch = threshold;
+  return l;
+}
+
+/// Inception module as one aggregate layer. FLOPs follow the
+/// convolutional identity flops = 2 * params_conv * H * W.
+Layer InceptionT(std::string name, int c_in, int c_out, int h, int w,
+                 double params, double threshold) {
+  Layer l = Layer::Inception(std::move(name), c_in, c_out, h, w,
+                             /*flops=*/2.0 * params * h * w,
+                             /*params=*/params);
+  l.threshold_batch = threshold;
+  return l;
+}
+
+}  // namespace
+
+Model Vgg19() {
+  // Threshold batch sizes are the calibrated continuous profile values
+  // (DESIGN.md §1 item 2): blocks 1-3 fall in bin [16,32), blocks 4-5 in
+  // [32,48), FC at 2048 — reproducing the paper's Fig. 5 partition. A
+  // power-of-two profiling sweep over these values "measures" saturation
+  // at 16 for conv1_1 and 64 for conv5_x, matching Fig. 1.
+  std::vector<Layer> layers;
+  layers.push_back(ConvT("conv1_1", 3, 64, 224, 224, 16.0));
+  layers.push_back(ConvT("conv1_2", 64, 64, 224, 224, 16.0));
+  layers.push_back(ConvT("conv2_1", 64, 128, 112, 112, 16.0));
+  layers.push_back(ConvT("conv2_2", 128, 128, 112, 112, 16.0));
+  layers.push_back(ConvT("conv3_1", 128, 256, 56, 56, 16.0));
+  layers.push_back(ConvT("conv3_2", 256, 256, 56, 56, 16.0));
+  layers.push_back(ConvT("conv3_3", 256, 256, 56, 56, 16.0));
+  layers.push_back(ConvT("conv3_4", 256, 256, 56, 56, 16.0));
+  layers.push_back(ConvT("conv4_1", 256, 512, 28, 28, 32.0));
+  layers.push_back(ConvT("conv4_2", 512, 512, 28, 28, 32.0));
+  layers.push_back(ConvT("conv4_3", 512, 512, 28, 28, 32.0));
+  layers.push_back(ConvT("conv4_4", 512, 512, 28, 28, 32.0));
+  layers.push_back(ConvT("conv5_1", 512, 512, 14, 14, 36.0));
+  layers.push_back(ConvT("conv5_2", 512, 512, 14, 14, 36.0));
+  layers.push_back(ConvT("conv5_3", 512, 512, 14, 14, 38.0));
+  layers.push_back(ConvT("conv5_4", 512, 512, 14, 14, 38.0));
+  layers.push_back(FcT("fc6", 512 * 7 * 7, 4096, 2048.0));
+  layers.push_back(FcT("fc7", 4096, 4096, 2048.0));
+  layers.push_back(FcT("fc8", 4096, 1000, 2048.0));
+  Model m("VGG19", std::move(layers));
+  m.set_year(2014);
+  m.set_published_layer_count(19);
+  m.set_input_elems_per_sample(3.0 * 224 * 224);
+  return m;
+}
+
+Model GoogLeNet() {
+  // 12 training units on (3, 32, 32) input. Per-module parameter counts
+  // follow the published GoogLeNet modules; thresholds are calibrated so
+  // the bin partition gives the paper's {L1-4, L5-9, L10-12}. The FC
+  // threshold (56) is a calibration choice forced by that partition.
+  std::vector<Layer> layers;
+  layers.push_back(ConvT("conv1", 3, 64, 32, 32, 16.0));
+  layers.push_back(ConvT("conv2", 64, 192, 16, 16, 16.0));
+  layers.push_back(InceptionT("inc3a", 192, 256, 16, 16, 163696, 16.0));
+  layers.push_back(InceptionT("inc3b", 256, 480, 16, 16, 388736, 16.0));
+  layers.push_back(InceptionT("inc4a", 480, 512, 8, 8, 376176, 32.0));
+  layers.push_back(InceptionT("inc4b", 512, 512, 8, 8, 449160, 32.0));
+  layers.push_back(InceptionT("inc4c", 512, 512, 8, 8, 510104, 32.0));
+  layers.push_back(InceptionT("inc4d", 512, 528, 8, 8, 605376, 34.0));
+  layers.push_back(InceptionT("inc4e", 528, 832, 8, 8, 868352, 34.0));
+  layers.push_back(InceptionT("inc5a", 832, 832, 4, 4, 1043888, 48.0));
+  layers.push_back(InceptionT("inc5b", 832, 1024, 4, 4, 1444080, 48.0));
+  layers.push_back(FcT("fc", 1024, 1000, 48.0));
+  Model m("GoogLeNet", std::move(layers));
+  m.set_year(2014);
+  m.set_published_layer_count(22);
+  m.set_input_elems_per_sample(3.0 * 32 * 32);
+  return m;
+}
+
+Model LeNet5() {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Conv("conv1", 1, 6, 28, 28, 5));
+  layers.push_back(Layer::Conv("conv2", 6, 16, 10, 10, 5));
+  layers.push_back(Layer::Fc("fc1", 400, 120));
+  layers.push_back(Layer::Fc("fc2", 120, 84));
+  layers.push_back(Layer::Fc("fc3", 84, 10));
+  Model m("LeNet-5", std::move(layers));
+  m.set_year(1998);
+  m.set_published_layer_count(5);
+  m.set_input_elems_per_sample(1.0 * 32 * 32);
+  return m;
+}
+
+Model AlexNet() {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Conv("conv1", 3, 96, 55, 55, 11));
+  layers.push_back(Layer::Conv("conv2", 96, 256, 27, 27, 5));
+  layers.push_back(Layer::Conv("conv3", 256, 384, 13, 13, 3));
+  layers.push_back(Layer::Conv("conv4", 384, 384, 13, 13, 3));
+  layers.push_back(Layer::Conv("conv5", 384, 256, 13, 13, 3));
+  layers.push_back(Layer::Fc("fc6", 256 * 6 * 6, 4096));
+  layers.push_back(Layer::Fc("fc7", 4096, 4096));
+  layers.push_back(Layer::Fc("fc8", 4096, 1000));
+  Model m("AlexNet", std::move(layers));
+  m.set_year(2012);
+  m.set_published_layer_count(8);
+  m.set_input_elems_per_sample(3.0 * 227 * 227);
+  return m;
+}
+
+Model ZfNet() {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Conv("conv1", 3, 96, 110, 110, 7));
+  layers.push_back(Layer::Conv("conv2", 96, 256, 26, 26, 5));
+  layers.push_back(Layer::Conv("conv3", 256, 384, 13, 13, 3));
+  layers.push_back(Layer::Conv("conv4", 384, 384, 13, 13, 3));
+  layers.push_back(Layer::Conv("conv5", 384, 256, 13, 13, 3));
+  layers.push_back(Layer::Fc("fc6", 256 * 6 * 6, 4096));
+  layers.push_back(Layer::Fc("fc7", 4096, 4096));
+  layers.push_back(Layer::Fc("fc8", 4096, 1000));
+  Model m("ZF Net", std::move(layers));
+  m.set_year(2013);
+  m.set_published_layer_count(8);
+  m.set_input_elems_per_sample(3.0 * 224 * 224);
+  return m;
+}
+
+Model Vgg16() {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Conv("conv1_1", 3, 64, 224, 224));
+  layers.push_back(Layer::Conv("conv1_2", 64, 64, 224, 224));
+  layers.push_back(Layer::Conv("conv2_1", 64, 128, 112, 112));
+  layers.push_back(Layer::Conv("conv2_2", 128, 128, 112, 112));
+  layers.push_back(Layer::Conv("conv3_1", 128, 256, 56, 56));
+  layers.push_back(Layer::Conv("conv3_2", 256, 256, 56, 56));
+  layers.push_back(Layer::Conv("conv3_3", 256, 256, 56, 56));
+  layers.push_back(Layer::Conv("conv4_1", 256, 512, 28, 28));
+  layers.push_back(Layer::Conv("conv4_2", 512, 512, 28, 28));
+  layers.push_back(Layer::Conv("conv4_3", 512, 512, 28, 28));
+  layers.push_back(Layer::Conv("conv5_1", 512, 512, 14, 14));
+  layers.push_back(Layer::Conv("conv5_2", 512, 512, 14, 14));
+  layers.push_back(Layer::Conv("conv5_3", 512, 512, 14, 14));
+  layers.push_back(Layer::Fc("fc6", 512 * 7 * 7, 4096));
+  layers.push_back(Layer::Fc("fc7", 4096, 4096));
+  layers.push_back(Layer::Fc("fc8", 4096, 1000));
+  Model m("VGG16", std::move(layers));
+  m.set_year(2014);
+  m.set_published_layer_count(16);
+  m.set_input_elems_per_sample(3.0 * 224 * 224);
+  return m;
+}
+
+Model GoogLeNet22() { return GoogLeNet(); }
+
+namespace {
+
+/// Appends `blocks` bottleneck blocks (1x1 reduce, 3x3, 1x1 expand).
+void AppendBottleneckStage(std::vector<Layer>& layers, const char* stage,
+                           int blocks, int c_in, int width, int h, int w) {
+  int in = c_in;
+  const int out = width * 4;
+  for (int b = 0; b < blocks; ++b) {
+    layers.push_back(Layer::Conv(
+        common::StrFormat("%s_b%d_1x1a", stage, b), in, width, h, w, 1));
+    layers.push_back(Layer::Conv(
+        common::StrFormat("%s_b%d_3x3", stage, b), width, width, h, w, 3));
+    layers.push_back(Layer::Conv(
+        common::StrFormat("%s_b%d_1x1b", stage, b), width, out, h, w, 1));
+    in = out;
+  }
+}
+
+}  // namespace
+
+Model ResNet152() {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Conv("conv1", 3, 64, 112, 112, 7));
+  AppendBottleneckStage(layers, "conv2", 3, 64, 64, 56, 56);
+  AppendBottleneckStage(layers, "conv3", 8, 256, 128, 28, 28);
+  AppendBottleneckStage(layers, "conv4", 36, 512, 256, 14, 14);
+  AppendBottleneckStage(layers, "conv5", 3, 1024, 512, 7, 7);
+  layers.push_back(Layer::Fc("fc", 2048, 1000));
+  Model m("ResNet-152", std::move(layers));
+  m.set_year(2015);
+  m.set_published_layer_count(152);
+  m.set_input_elems_per_sample(3.0 * 224 * 224);
+  return m;
+}
+
+Model SeNet154() {
+  // SENet-154 is a ResNeXt-style trunk plus squeeze-excitation blocks;
+  // we approximate it with a slightly deeper bottleneck trunk so the
+  // weighted layer count matches the published 154.
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Conv("conv1a", 3, 64, 112, 112, 3));
+  layers.push_back(Layer::Conv("conv1b", 64, 64, 112, 112, 3));
+  layers.push_back(Layer::Conv("conv1c", 64, 128, 112, 112, 3));
+  AppendBottleneckStage(layers, "stage2", 3, 128, 64, 56, 56);
+  AppendBottleneckStage(layers, "stage3", 8, 256, 128, 28, 28);
+  AppendBottleneckStage(layers, "stage4", 36, 512, 256, 14, 14);
+  AppendBottleneckStage(layers, "stage5", 3, 1024, 512, 7, 7);
+  layers.push_back(Layer::Fc("fc", 2048, 1000));
+  Model m("SENet", std::move(layers));
+  m.set_year(2017);
+  m.set_published_layer_count(154);
+  m.set_input_elems_per_sample(3.0 * 224 * 224);
+  return m;
+}
+
+Model CuImage() {
+  // CUImage (1207 layers) was never released; this synthetic stand-in has
+  // the published depth with plausible shapes (see DESIGN.md: proprietary
+  // comparator -> synthetic equivalent).
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Conv("stem1", 3, 32, 112, 112, 3));
+  layers.push_back(Layer::Conv("stem2", 32, 64, 112, 112, 3));
+  AppendBottleneckStage(layers, "s1", 40, 64, 64, 56, 56);     // 120 layers
+  AppendBottleneckStage(layers, "s2", 100, 256, 128, 28, 28);  // 300 layers
+  AppendBottleneckStage(layers, "s3", 220, 512, 256, 14, 14);  // 660 layers
+  AppendBottleneckStage(layers, "s4", 41, 1024, 512, 7, 7);    // 123 layers
+  layers.push_back(Layer::Fc("fc1", 2048, 4096));
+  layers.push_back(Layer::Fc("fc2", 4096, 1000));
+  Model m("CUImage", std::move(layers));
+  m.set_year(2016);
+  m.set_published_layer_count(1207);
+  m.set_input_elems_per_sample(3.0 * 224 * 224);
+  return m;
+}
+
+std::vector<Model> TableOneModels() {
+  std::vector<Model> models;
+  models.push_back(LeNet5());
+  models.push_back(AlexNet());
+  models.push_back(ZfNet());
+  models.push_back(Vgg16());
+  models.push_back(Vgg19());
+  models.push_back(GoogLeNet22());
+  models.push_back(ResNet152());
+  models.push_back(CuImage());
+  models.push_back(SeNet154());
+  return models;
+}
+
+}  // namespace fela::model::zoo

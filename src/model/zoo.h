@@ -1,0 +1,40 @@
+#ifndef FELA_MODEL_ZOO_H_
+#define FELA_MODEL_ZOO_H_
+
+#include <vector>
+
+#include "model/model.h"
+
+namespace fela::model::zoo {
+
+/// The two evaluation benchmarks of the paper. Layer lists contain only
+/// weighted layers (pooling folded into spatial dimensions) so that layer
+/// numbering matches the paper's L1..L19 / L1..L12.
+///
+/// VGG19 with (3, 224, 224) input: 16 CONV + 3 FC layers, with calibrated
+/// threshold batch sizes that bin-partition (bin = 16) into the paper's
+/// {L1-8, L9-16, L17-19}.
+Model Vgg19();
+
+/// GoogLeNet with (3, 32, 32) input (the paper's GoogLeNet input shape),
+/// coarsened to 12 training units: 2 stem CONVs, 9 inception modules, and
+/// the classifier FC — bin-partitioning into the paper's
+/// {L1-4, L5-9, L10-12}.
+Model GoogLeNet();
+
+// -- Table I models (layer-count survey) -----------------------------------
+Model LeNet5();     // 1998, 5 layers
+Model AlexNet();    // 2012, 8 layers
+Model ZfNet();      // 2013, 8 layers
+Model Vgg16();      // 2014, 16 layers
+Model GoogLeNet22();// 2014, 22 published layers (training model above)
+Model ResNet152();  // 2015, 152 layers (built block-by-block)
+Model CuImage();    // 2016, 1207 layers (synthetic stand-in; see DESIGN.md)
+Model SeNet154();   // 2017, 154 layers
+
+/// All Table I models in the paper's row order.
+std::vector<Model> TableOneModels();
+
+}  // namespace fela::model::zoo
+
+#endif  // FELA_MODEL_ZOO_H_

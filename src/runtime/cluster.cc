@@ -1,0 +1,32 @@
+#include "runtime/cluster.h"
+
+#include "common/logging.h"
+
+namespace fela::runtime {
+
+Cluster::Cluster(int num_workers, const sim::Calibration& cal,
+                 std::unique_ptr<sim::StragglerSchedule> stragglers)
+    : num_workers_(num_workers),
+      cal_(cal),
+      fabric_(&sim_, num_workers, cal),
+      stragglers_(std::move(stragglers)) {
+  FELA_CHECK_GT(num_workers, 0);
+  if (!stragglers_) stragglers_ = std::make_unique<sim::NoStragglers>();
+  gpus_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    gpus_.push_back(std::make_unique<sim::GpuDevice>(&sim_, i));
+  }
+}
+
+std::unique_ptr<Cluster> Cluster::MakeDefault(int num_workers) {
+  return std::make_unique<Cluster>(num_workers, sim::Calibration::Default(),
+                                   std::make_unique<sim::NoStragglers>());
+}
+
+double Cluster::TotalGpuBusy() const {
+  double s = 0.0;
+  for (const auto& g : gpus_) s += g->busy_time();
+  return s;
+}
+
+}  // namespace fela::runtime

@@ -1,0 +1,54 @@
+#ifndef FELA_RUNTIME_CLUSTER_H_
+#define FELA_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/calibration.h"
+#include "sim/fabric.h"
+#include "sim/gpu.h"
+#include "sim/simulator.h"
+#include "sim/straggler.h"
+#include "sim/trace.h"
+
+namespace fela::runtime {
+
+/// The simulated testbed an engine runs on: N nodes, one GPU and one NIC
+/// each, a shared switch fabric, and a straggler schedule. Owns the
+/// simulator; engines borrow pointers.
+class Cluster {
+ public:
+  Cluster(int num_workers, const sim::Calibration& cal,
+          std::unique_ptr<sim::StragglerSchedule> stragglers);
+
+  /// Convenience: the paper's 8-node testbed with default calibration and
+  /// no stragglers.
+  static std::unique_ptr<Cluster> MakeDefault(int num_workers = 8);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_workers() const { return num_workers_; }
+  sim::Simulator& simulator() { return sim_; }
+  sim::Fabric& fabric() { return fabric_; }
+  sim::GpuDevice& gpu(int worker) { return *gpus_[static_cast<size_t>(worker)]; }
+  const sim::Calibration& calibration() const { return cal_; }
+  const sim::StragglerSchedule& stragglers() const { return *stragglers_; }
+  sim::TraceRecorder& trace() { return trace_; }
+
+  /// Total GPU busy seconds across workers (utilization numerator).
+  double TotalGpuBusy() const;
+
+ private:
+  int num_workers_;
+  sim::Calibration cal_;
+  sim::Simulator sim_;
+  sim::Fabric fabric_;
+  std::vector<std::unique_ptr<sim::GpuDevice>> gpus_;
+  std::unique_ptr<sim::StragglerSchedule> stragglers_;
+  sim::TraceRecorder trace_;
+};
+
+}  // namespace fela::runtime
+
+#endif  // FELA_RUNTIME_CLUSTER_H_

@@ -1,0 +1,27 @@
+#include "runtime/engine.h"
+
+#include "common/logging.h"
+
+namespace fela::runtime {
+
+double RunStats::MeanIterationSeconds() const {
+  if (iterations.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& it : iterations) s += it.duration();
+  return s / static_cast<double>(iterations.size());
+}
+
+double RunStats::AverageThroughput(double total_batch) const {
+  FELA_CHECK_GT(total_time, 0.0);
+  return total_batch * static_cast<double>(iterations.size()) / total_time;
+}
+
+double PerIterationDelay(const RunStats& with_stragglers,
+                         const RunStats& baseline) {
+  FELA_CHECK_EQ(with_stragglers.iterations.size(), baseline.iterations.size());
+  FELA_CHECK(!baseline.iterations.empty());
+  return (with_stragglers.total_time - baseline.total_time) /
+         static_cast<double>(baseline.iterations.size());
+}
+
+}  // namespace fela::runtime

@@ -1,0 +1,55 @@
+#ifndef FELA_RUNTIME_ENGINE_H_
+#define FELA_RUNTIME_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.h"
+#include "sim/types.h"
+
+namespace fela::runtime {
+
+/// Timing record of one BSP iteration.
+struct IterationStats {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  double duration() const { return end - start; }
+};
+
+/// Aggregate outcome of a training run.
+struct RunStats {
+  std::vector<IterationStats> iterations;
+  double total_time = 0.0;        // seconds to finish all iterations
+  double total_data_bytes = 0.0;  // bulk bytes moved on the fabric
+  double total_gpu_busy = 0.0;    // sum of per-GPU busy seconds
+  uint64_t control_messages = 0;  // token-protocol messages
+
+  int iteration_count() const { return static_cast<int>(iterations.size()); }
+  /// Average per-iteration seconds.
+  double MeanIterationSeconds() const;
+  /// Average throughput per the paper's Eq. 3 (samples/second).
+  double AverageThroughput(double total_batch) const;
+};
+
+/// A distributed-training engine (Fela or one of the baselines) executing
+/// on a Cluster. Engines schedule their whole protocol onto the cluster's
+/// simulator; Run() drives it to completion and reports statistics.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs `iterations` BSP iterations and returns timing statistics.
+  /// May be called once per engine instance.
+  virtual RunStats Run(int iterations) = 0;
+};
+
+/// Per-iteration delay (PID) per the paper's Eq. 4: the extra seconds per
+/// iteration a straggler scenario costs relative to the clean run.
+double PerIterationDelay(const RunStats& with_stragglers,
+                         const RunStats& baseline);
+
+}  // namespace fela::runtime
+
+#endif  // FELA_RUNTIME_ENGINE_H_

@@ -1,0 +1,65 @@
+#ifndef FELA_RUNTIME_EXPERIMENT_H_
+#define FELA_RUNTIME_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "model/model.h"
+#include "runtime/cluster.h"
+#include "runtime/engine.h"
+#include "sim/calibration.h"
+#include "sim/straggler.h"
+
+namespace fela::runtime {
+
+/// Everything that defines one training run (the paper trains each
+/// configuration for 100 iterations and reports Eq. 3 / Eq. 4 metrics).
+struct ExperimentSpec {
+  double total_batch = 128.0;
+  int iterations = 100;
+  int num_workers = 8;
+  sim::Calibration calibration = sim::Calibration::Default();
+};
+
+/// Creates an engine wired to the given cluster for the given workload.
+/// Factories capture the model and any engine-specific configuration.
+using EngineFactory = std::function<std::unique_ptr<Engine>(
+    Cluster& cluster, double total_batch)>;
+
+/// Creates a straggler schedule for a cluster of the given size; called
+/// once per run so each run gets a fresh (but identical) schedule.
+using StragglerFactory =
+    std::function<std::unique_ptr<sim::StragglerSchedule>(int num_workers)>;
+
+/// Returns a factory producing NoStragglers.
+StragglerFactory NoStragglerFactory();
+
+/// Outcome of one run, with the paper's derived metrics.
+struct ExperimentResult {
+  std::string engine_name;
+  RunStats stats;
+  double average_throughput = 0.0;  // Eq. 3, samples/sec
+  double gpu_utilization = 0.0;     // busy / (N * total_time)
+};
+
+/// Builds the cluster, constructs the engine, runs it, and derives the
+/// metrics.
+ExperimentResult RunExperiment(const ExperimentSpec& spec,
+                               const EngineFactory& engine_factory,
+                               const StragglerFactory& straggler_factory);
+
+/// Convenience for PID studies: runs the same engine with and without
+/// stragglers and returns (straggler result, clean result, PID seconds).
+struct PidResult {
+  ExperimentResult with_stragglers;
+  ExperimentResult clean;
+  double per_iteration_delay = 0.0;  // Eq. 4
+};
+PidResult RunPidExperiment(const ExperimentSpec& spec,
+                           const EngineFactory& engine_factory,
+                           const StragglerFactory& straggler_factory);
+
+}  // namespace fela::runtime
+
+#endif  // FELA_RUNTIME_EXPERIMENT_H_

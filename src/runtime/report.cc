@@ -1,0 +1,60 @@
+#include "runtime/report.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace fela::runtime {
+
+std::string RenderComparisonTable(const std::string& title,
+                                  const std::string& x_label,
+                                  const std::vector<std::string>& engine_names,
+                                  const std::vector<ComparisonRow>& rows,
+                                  size_t fela_column, int precision) {
+  FELA_CHECK_LT(fela_column, engine_names.size());
+  std::vector<std::string> headers;
+  headers.push_back(x_label);
+  for (const auto& name : engine_names) headers.push_back(name);
+  for (size_t c = 0; c < engine_names.size(); ++c) {
+    if (c == fela_column) continue;
+    headers.push_back(engine_names[fela_column] + "/" + engine_names[c]);
+  }
+
+  common::TablePrinter table(headers);
+  for (const auto& row : rows) {
+    FELA_CHECK_EQ(row.values.size(), engine_names.size());
+    std::vector<std::string> cells;
+    cells.push_back(common::StrFormat("%g", row.x));
+    for (double v : row.values)
+      cells.push_back(common::TablePrinter::Num(v, precision));
+    for (size_t c = 0; c < row.values.size(); ++c) {
+      if (c == fela_column) continue;
+      cells.push_back(
+          common::TablePrinter::Ratio(row.values[fela_column] / row.values[c]));
+    }
+    table.AddRow(std::move(cells));
+  }
+  return title + "\n" + table.ToString();
+}
+
+std::pair<double, double> GainRange(const std::vector<ComparisonRow>& rows,
+                                    size_t fela_column, size_t other_column) {
+  FELA_CHECK(!rows.empty());
+  double lo = rows[0].values[fela_column] / rows[0].values[other_column];
+  double hi = lo;
+  for (const auto& row : rows) {
+    const double g = row.values[fela_column] / row.values[other_column];
+    lo = std::min(lo, g);
+    hi = std::max(hi, g);
+  }
+  return {lo, hi};
+}
+
+std::string FormatGain(double gain) {
+  if (gain >= 2.0) return common::StrFormat("%.2fx", gain);
+  return common::StrFormat("%.2f%%", (gain - 1.0) * 100.0);
+}
+
+}  // namespace fela::runtime

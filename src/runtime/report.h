@@ -1,0 +1,39 @@
+#ifndef FELA_RUNTIME_REPORT_H_
+#define FELA_RUNTIME_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.h"
+
+namespace fela::runtime {
+
+/// One line of an engine-comparison series (a point of a paper figure).
+struct ComparisonRow {
+  double x = 0.0;           // sweep variable (batch size, d, p, ...)
+  std::vector<double> values;  // one value per engine, in column order
+};
+
+/// Renders a figure panel as an aligned table: column 0 is the sweep
+/// variable, one column per engine, plus "Fela/<engine>" ratio columns
+/// (the speedups the paper quotes). `fela_column` indexes into
+/// `engine_names`.
+std::string RenderComparisonTable(const std::string& title,
+                                  const std::string& x_label,
+                                  const std::vector<std::string>& engine_names,
+                                  const std::vector<ComparisonRow>& rows,
+                                  size_t fela_column, int precision = 1);
+
+/// Min/max of (fela/other - 1) across rows, as the paper's
+/// "outperforms X by a%~b%" summaries. Returns {min_gain, max_gain}
+/// where gain = fela_value / other_value.
+std::pair<double, double> GainRange(const std::vector<ComparisonRow>& rows,
+                                    size_t fela_column, size_t other_column);
+
+/// Formats a gain factor the way the paper does: "35.5%" below 2x,
+/// "3.23x" at or above 2x (the paper switches notation around there).
+std::string FormatGain(double gain);
+
+}  // namespace fela::runtime
+
+#endif  // FELA_RUNTIME_REPORT_H_

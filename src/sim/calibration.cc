@@ -1,0 +1,10 @@
+#include "sim/calibration.h"
+
+namespace fela::sim {
+
+const Calibration& Calibration::Default() {
+  static const Calibration kDefault;
+  return kDefault;
+}
+
+}  // namespace fela::sim

@@ -1,0 +1,132 @@
+#include "sim/collectives.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fela::sim {
+
+namespace {
+
+/// Shared countdown that fires a callback when it reaches zero.
+class Barrier {
+ public:
+  Barrier(int count, std::function<void()> done)
+      : remaining_(count), done_(std::move(done)) {
+    FELA_CHECK_GT(count, 0);
+  }
+
+  void Arrive() {
+    FELA_CHECK_GT(remaining_, 0);
+    if (--remaining_ == 0) done_();
+  }
+
+ private:
+  int remaining_;
+  std::function<void()> done_;
+};
+
+/// Drives one ring all-reduce: 2*(P-1) synchronous rounds; in each round
+/// every node sends a bytes/P chunk to its ring successor. Rounds are
+/// barrier-separated, matching a BSP collective where every step waits
+/// for the slowest link.
+class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
+ public:
+  RingAllReduceOp(Simulator* sim, Fabric* fabric,
+                  std::vector<NodeId> participants, double bytes_per_node,
+                  std::function<void()> done)
+      : sim_(sim),
+        fabric_(fabric),
+        participants_(std::move(participants)),
+        done_(std::move(done)) {
+    const int p = static_cast<int>(participants_.size());
+    chunk_bytes_ = bytes_per_node / static_cast<double>(p);
+    total_rounds_ = 2 * (p - 1);
+  }
+
+  void Start() {
+    if (participants_.size() <= 1 || total_rounds_ == 0) {
+      sim_->Schedule(0.0, done_);
+      return;
+    }
+    RunRound(0);
+  }
+
+ private:
+  void RunRound(int round) {
+    if (round == total_rounds_) {
+      done_();
+      return;
+    }
+    auto self = shared_from_this();
+    auto barrier = std::make_shared<Barrier>(
+        static_cast<int>(participants_.size()),
+        [self, round] { self->RunRound(round + 1); });
+    const size_t p = participants_.size();
+    for (size_t i = 0; i < p; ++i) {
+      const NodeId src = participants_[i];
+      const NodeId dst = participants_[(i + 1) % p];
+      fabric_->Transfer(src, dst, chunk_bytes_,
+                        [barrier] { barrier->Arrive(); });
+    }
+  }
+
+  Simulator* sim_;
+  Fabric* fabric_;
+  std::vector<NodeId> participants_;
+  std::function<void()> done_;
+  double chunk_bytes_ = 0.0;
+  int total_rounds_ = 0;
+};
+
+}  // namespace
+
+void RingAllReduce(Simulator* sim, Fabric* fabric,
+                   std::vector<NodeId> participants, double bytes_per_node,
+                   std::function<void()> done) {
+  FELA_CHECK(!participants.empty());
+  auto op = std::make_shared<RingAllReduceOp>(
+      sim, fabric, std::move(participants), bytes_per_node, std::move(done));
+  op->Start();
+}
+
+double RingAllReduceIdealSeconds(int participants, double bytes_per_node,
+                                 const Calibration& cal) {
+  if (participants <= 1) return 0.0;
+  const double p = static_cast<double>(participants);
+  const double chunk = bytes_per_node / p;
+  const double per_round =
+      cal.message_latency_sec + chunk / cal.nic_bandwidth_bytes_per_sec;
+  return 2.0 * (p - 1.0) * per_round;
+}
+
+void GatherTo(Simulator* sim, Fabric* fabric, NodeId root,
+              std::vector<NodeId> senders, double bytes_each,
+              std::function<void()> done) {
+  if (senders.empty()) {
+    sim->Schedule(0.0, std::move(done));
+    return;
+  }
+  auto barrier = std::make_shared<Barrier>(static_cast<int>(senders.size()),
+                                           std::move(done));
+  for (NodeId src : senders) {
+    fabric->Transfer(src, root, bytes_each, [barrier] { barrier->Arrive(); });
+  }
+}
+
+void ScatterFrom(Simulator* sim, Fabric* fabric, NodeId root,
+                 std::vector<NodeId> receivers, double bytes_each,
+                 std::function<void()> done) {
+  if (receivers.empty()) {
+    sim->Schedule(0.0, std::move(done));
+    return;
+  }
+  auto barrier = std::make_shared<Barrier>(static_cast<int>(receivers.size()),
+                                           std::move(done));
+  for (NodeId dst : receivers) {
+    fabric->Transfer(root, dst, bytes_each, [barrier] { barrier->Arrive(); });
+  }
+}
+
+}  // namespace fela::sim

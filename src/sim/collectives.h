@@ -1,0 +1,43 @@
+#ifndef FELA_SIM_COLLECTIVES_H_
+#define FELA_SIM_COLLECTIVES_H_
+
+#include <functional>
+#include <vector>
+
+#include "sim/fabric.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace fela::sim {
+
+/// Ring all-reduce of `bytes_per_node` across `participants`, executed as
+/// real transfers on the fabric (2*(P-1) rounds of bytes/P chunks), the
+/// synchronization pattern Gloo uses for the paper's BSP baselines.
+/// `done` fires once, when the slowest participant completes. With a
+/// single participant it completes immediately. The ring order follows
+/// the participant vector.
+void RingAllReduce(Simulator* sim, Fabric* fabric,
+                   std::vector<NodeId> participants, double bytes_per_node,
+                   std::function<void()> done);
+
+/// Analytic cost of the above on an uncontended fabric; used by tests and
+/// by quick capacity estimates. Returns seconds.
+double RingAllReduceIdealSeconds(int participants, double bytes_per_node,
+                                 const Calibration& cal);
+
+/// All participants send `bytes_each` to `root` (in-cast); `done` fires
+/// when the last byte lands. Used by the Stanza-style HP baseline, where
+/// the FC worker is the in-cast root.
+void GatherTo(Simulator* sim, Fabric* fabric, NodeId root,
+              std::vector<NodeId> senders, double bytes_each,
+              std::function<void()> done);
+
+/// `root` sends `bytes_each` to every receiver; `done` fires when the
+/// last transfer completes.
+void ScatterFrom(Simulator* sim, Fabric* fabric, NodeId root,
+                 std::vector<NodeId> receivers, double bytes_each,
+                 std::function<void()> done);
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_COLLECTIVES_H_

@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fela::sim {
+
+EventId EventQueue::Push(SimTime when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Event{when, id, std::move(fn)});
+  ++size_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) return false;
+  // We cannot search the heap; mark and lazily drop. If the id already
+  // fired, the mark is harmless garbage we bound by erasing on pop.
+  auto [it, inserted] = cancelled_.insert(id);
+  (void)it;
+  if (!inserted) return false;
+  if (size_ > 0) --size_;
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto found = cancelled_.find(heap_.top().id);
+    if (found == cancelled_.end()) return;
+    cancelled_.erase(found);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::PeekTime() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->SkipCancelled();
+  FELA_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+std::pair<SimTime, std::function<void()>> EventQueue::Pop() {
+  SkipCancelled();
+  FELA_CHECK(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast, then pop.
+  Event& top = const_cast<Event&>(heap_.top());
+  std::pair<SimTime, std::function<void()>> out{top.when, std::move(top.fn)};
+  heap_.pop();
+  --size_;
+  return out;
+}
+
+}  // namespace fela::sim

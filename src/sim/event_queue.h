@@ -1,0 +1,62 @@
+#ifndef FELA_SIM_EVENT_QUEUE_H_
+#define FELA_SIM_EVENT_QUEUE_H_
+
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace fela::sim {
+
+/// Time-ordered queue of callbacks. Ties are broken by insertion sequence
+/// number so simulation runs are fully deterministic.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueues `fn` to fire at absolute time `when`. Returns a handle.
+  EventId Push(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already fired or the
+  /// handle is unknown.
+  bool Cancel(EventId id);
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// Time of the earliest pending event. Requires !empty().
+  SimTime PeekTime() const;
+
+  /// Pops and returns the earliest event's (time, fn). Requires !empty().
+  std::pair<SimTime, std::function<void()>> Pop();
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  /// Drops cancelled events from the head of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  size_t size_ = 0;  // live (non-cancelled) events
+};
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_EVENT_QUEUE_H_

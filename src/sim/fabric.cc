@@ -1,0 +1,81 @@
+#include "sim/fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fela::sim {
+
+Fabric::Fabric(Simulator* sim, int num_nodes, const Calibration& cal)
+    : sim_(sim),
+      num_nodes_(num_nodes),
+      cal_(cal),
+      out_free_(num_nodes, 0.0),
+      in_free_(num_nodes, 0.0),
+      bytes_sent_(num_nodes, 0.0),
+      bytes_received_(num_nodes, 0.0),
+      out_busy_(num_nodes, 0.0),
+      in_busy_(num_nodes, 0.0) {
+  FELA_CHECK_GT(num_nodes, 0);
+}
+
+void Fabric::CheckNode(NodeId node) const {
+  FELA_CHECK(node >= 0 && node < num_nodes_) << "node " << node;
+}
+
+SimTime Fabric::NextFreeTime(NodeId src, NodeId dst) const {
+  CheckNode(src);
+  CheckNode(dst);
+  return std::max({sim_->now(), out_free_[src], in_free_[dst]});
+}
+
+void Fabric::Transfer(NodeId src, NodeId dst, double bytes,
+                      std::function<void()> done) {
+  CheckNode(src);
+  CheckNode(dst);
+  FELA_CHECK_GE(bytes, 0.0);
+  if (src == dst || bytes == 0.0) {
+    // Device-local data; no network involvement.
+    sim_->Schedule(0.0, std::move(done));
+    return;
+  }
+  const SimTime start = NextFreeTime(src, dst);
+  const double wire = bytes / cal_.nic_bandwidth_bytes_per_sec;
+  const SimTime finish = start + cal_.message_latency_sec + wire;
+  out_free_[src] = finish;
+  in_free_[dst] = finish;
+  out_busy_[src] += finish - start;
+  in_busy_[dst] += finish - start;
+  bytes_sent_[src] += bytes;
+  bytes_received_[dst] += bytes;
+  total_data_bytes_ += bytes;
+  ++data_transfer_count_;
+  sim_->ScheduleAt(finish, std::move(done));
+}
+
+void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
+  CheckNode(src);
+  CheckNode(dst);
+  ++control_message_count_;
+  if (src == dst) {
+    // Co-located roles (e.g. TS on node 0 talking to worker 0): loopback.
+    sim_->Schedule(0.0, std::move(done));
+    return;
+  }
+  const double wire =
+      cal_.control_message_bytes / cal_.nic_bandwidth_bytes_per_sec;
+  sim_->Schedule(cal_.message_latency_sec + wire, std::move(done));
+}
+
+void Fabric::ResetStats() {
+  std::fill(bytes_sent_.begin(), bytes_sent_.end(), 0.0);
+  std::fill(bytes_received_.begin(), bytes_received_.end(), 0.0);
+  std::fill(out_busy_.begin(), out_busy_.end(), 0.0);
+  std::fill(in_busy_.begin(), in_busy_.end(), 0.0);
+  total_data_bytes_ = 0.0;
+  data_transfer_count_ = 0;
+  control_message_count_ = 0;
+}
+
+}  // namespace fela::sim

@@ -1,0 +1,71 @@
+#ifndef FELA_SIM_FABRIC_H_
+#define FELA_SIM_FABRIC_H_
+
+#include <functional>
+#include <vector>
+
+#include "sim/calibration.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace fela::sim {
+
+/// The cluster network: a non-blocking switch (the paper's 40GE switch is
+/// never the bottleneck) with one full-duplex NIC per node. Bulk data
+/// transfers serialize FIFO on the sender's outbound link and the
+/// receiver's inbound link; small token-protocol control messages are
+/// multiplexed ahead of bulk data (modelled as latency + wire time only).
+class Fabric {
+ public:
+  Fabric(Simulator* sim, int num_nodes, const Calibration& cal);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Schedules a bulk transfer of `bytes` from src to dst; `done` fires at
+  /// completion time. A local (src == dst) transfer completes immediately
+  /// (next event cycle) and moves no network bytes.
+  void Transfer(NodeId src, NodeId dst, double bytes,
+                std::function<void()> done);
+
+  /// Sends a control message (token request/report/notify). Not subject
+  /// to FIFO queueing behind bulk data.
+  void SendControl(NodeId src, NodeId dst, std::function<void()> done);
+
+  /// Earliest time a new transfer from src to dst could start.
+  SimTime NextFreeTime(NodeId src, NodeId dst) const;
+
+  // -- Statistics ---------------------------------------------------------
+  double total_data_bytes() const { return total_data_bytes_; }
+  double bytes_sent(NodeId node) const { return bytes_sent_[node]; }
+  double bytes_received(NodeId node) const { return bytes_received_[node]; }
+  uint64_t data_transfer_count() const { return data_transfer_count_; }
+  uint64_t control_message_count() const { return control_message_count_; }
+  /// Total time the node's outbound link spent busy with bulk data.
+  double out_link_busy(NodeId node) const { return out_busy_[node]; }
+  double in_link_busy(NodeId node) const { return in_busy_[node]; }
+
+  void ResetStats();
+
+ private:
+  void CheckNode(NodeId node) const;
+
+  Simulator* sim_;
+  int num_nodes_;
+  Calibration cal_;
+  std::vector<SimTime> out_free_;
+  std::vector<SimTime> in_free_;
+  std::vector<double> bytes_sent_;
+  std::vector<double> bytes_received_;
+  std::vector<double> out_busy_;
+  std::vector<double> in_busy_;
+  double total_data_bytes_ = 0.0;
+  uint64_t data_transfer_count_ = 0;
+  uint64_t control_message_count_ = 0;
+};
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_FABRIC_H_

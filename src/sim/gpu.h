@@ -1,0 +1,52 @@
+#ifndef FELA_SIM_GPU_H_
+#define FELA_SIM_GPU_H_
+
+#include <functional>
+
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace fela::sim {
+
+/// One accelerator device. Kernels (already costed in seconds by the
+/// model-layer cost model) execute FIFO; the device tracks cumulative
+/// busy time so experiments can report GPU utilization.
+class GpuDevice {
+ public:
+  GpuDevice(Simulator* sim, NodeId node);
+
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+
+  NodeId node() const { return node_; }
+
+  /// Enqueues a compute task lasting `duration` seconds; `done` fires
+  /// when it finishes. Tasks run back-to-back in submission order.
+  void Enqueue(double duration, std::function<void()> done);
+
+  /// Blocks the device until at least `until` (used for straggler
+  /// injection: the paper injects sleep before computation).
+  void BlockUntil(SimTime until);
+
+  /// Time at which the device next becomes free.
+  SimTime free_at() const { return free_at_; }
+
+  /// Total seconds of real compute executed (excludes injected sleeps).
+  double busy_time() const { return busy_time_; }
+
+  /// Total seconds of injected straggler sleep.
+  double injected_sleep() const { return injected_sleep_; }
+
+  void ResetStats();
+
+ private:
+  Simulator* sim_;
+  NodeId node_;
+  SimTime free_at_ = 0.0;
+  double busy_time_ = 0.0;
+  double injected_sleep_ = 0.0;
+};
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_GPU_H_

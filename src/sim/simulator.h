@@ -1,0 +1,56 @@
+#ifndef FELA_SIM_SIMULATOR_H_
+#define FELA_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace fela::sim {
+
+/// The discrete-event simulation driver. Engines schedule callbacks;
+/// Run() advances virtual time until no work remains. Single-threaded
+/// and deterministic.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `when` (>= now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  /// Executes the earliest pending event; returns false if none remain.
+  bool Step();
+
+  /// Runs until the queue is empty.
+  void Run();
+
+  /// Runs until the queue is empty or virtual time would exceed
+  /// `deadline`; events after the deadline stay queued.
+  void RunUntil(SimTime deadline);
+
+  /// Number of events executed so far.
+  uint64_t events_processed() const { return events_processed_; }
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_SIMULATOR_H_

@@ -1,0 +1,122 @@
+#ifndef FELA_SIM_STRAGGLER_H_
+#define FELA_SIM_STRAGGLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace fela::sim {
+
+/// Straggler injection schedule: how much extra sleep (seconds) a worker
+/// suffers in a given iteration, following the paper's §V-C methodology
+/// (sleep delays prolonging computation, per [10], [11]). Implementations
+/// are pure functions of (iteration, worker) so every engine observes the
+/// identical schedule for a fair comparison.
+class StragglerSchedule {
+ public:
+  virtual ~StragglerSchedule() = default;
+
+  /// Extra delay imposed on `worker` during `iteration`, in seconds.
+  virtual double DelayFor(int iteration, int worker) const = 0;
+
+  /// Multiplicative compute slowdown for `worker` during `iteration`
+  /// (1.0 = nominal speed). Models heterogeneous / degraded devices, the
+  /// second straggler cause the paper names ("heterogeneity of
+  /// computation performance", §II-C). Engines scale kernel durations by
+  /// this factor.
+  virtual double SlowdownFor(int iteration, int worker) const {
+    (void)iteration;
+    (void)worker;
+    return 1.0;
+  }
+
+  /// Human-readable description for reports.
+  virtual std::string ToString() const = 0;
+};
+
+/// Heterogeneous cluster: worker `victim` computes `slowdown`x slower in
+/// every iteration (a thermally-throttled or older device). Unlike sleep
+/// injection, the extra time scales with the work assigned — the scenario
+/// where proactive re-partitioning (ElasticPipe) genuinely pays off.
+class HeterogeneousWorker final : public StragglerSchedule {
+ public:
+  HeterogeneousWorker(int victim, double slowdown);
+  double DelayFor(int, int) const override { return 0.0; }
+  double SlowdownFor(int iteration, int worker) const override;
+  std::string ToString() const override;
+
+ private:
+  int victim_;
+  double slowdown_;
+};
+
+/// Baseline: no stragglers.
+class NoStragglers final : public StragglerSchedule {
+ public:
+  double DelayFor(int, int) const override { return 0.0; }
+  std::string ToString() const override { return "none"; }
+};
+
+/// Round-robin scenario ([10]): worker (iteration mod N) is slowed by d
+/// seconds in that iteration.
+class RoundRobinStragglers final : public StragglerSchedule {
+ public:
+  RoundRobinStragglers(int num_workers, double delay_sec);
+  double DelayFor(int iteration, int worker) const override;
+  std::string ToString() const override;
+
+ private:
+  int num_workers_;
+  double delay_sec_;
+};
+
+/// Probability-based scenario: in every iteration each worker becomes a
+/// straggler (slowed by d seconds) independently with probability p.
+/// Deterministic in (seed, iteration, worker).
+class ProbabilityStragglers final : public StragglerSchedule {
+ public:
+  ProbabilityStragglers(double probability, double delay_sec, uint64_t seed);
+  double DelayFor(int iteration, int worker) const override;
+  std::string ToString() const override;
+
+ private:
+  double probability_;
+  double delay_sec_;
+  uint64_t seed_;
+};
+
+/// A persistent straggler: one fixed worker is slowed by d seconds in
+/// every iteration (e.g. a failing NIC or a co-scheduled tenant). The
+/// scenario where *proactive* re-balancing (ElasticPipe/FlexRR style)
+/// actually works — the foil for the transient scenario below.
+class PersistentStraggler final : public StragglerSchedule {
+ public:
+  PersistentStraggler(int victim, double delay_sec);
+  double DelayFor(int iteration, int worker) const override;
+  std::string ToString() const override;
+
+ private:
+  int victim_;
+  double delay_sec_;
+};
+
+/// Transient stragglers (§III-C discussion): bursts lasting
+/// `burst_iterations` hitting a rotating worker; stresses reactive vs
+/// periodic re-balancing. Extension beyond the paper's two scenarios.
+class TransientStragglers final : public StragglerSchedule {
+ public:
+  TransientStragglers(int num_workers, double delay_sec, int burst_iterations,
+                      uint64_t seed);
+  double DelayFor(int iteration, int worker) const override;
+  std::string ToString() const override;
+
+ private:
+  int num_workers_;
+  double delay_sec_;
+  int burst_iterations_;
+  uint64_t seed_;
+};
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_STRAGGLER_H_

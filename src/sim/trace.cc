@@ -1,0 +1,70 @@
+#include "sim/trace.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fela::sim {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kIterationStart:
+      return "IterationStart";
+    case TraceKind::kIterationEnd:
+      return "IterationEnd";
+    case TraceKind::kTokenRequest:
+      return "TokenRequest";
+    case TraceKind::kTokenGrant:
+      return "TokenGrant";
+    case TraceKind::kTokenComplete:
+      return "TokenComplete";
+    case TraceKind::kFetchStart:
+      return "FetchStart";
+    case TraceKind::kFetchEnd:
+      return "FetchEnd";
+    case TraceKind::kComputeStart:
+      return "ComputeStart";
+    case TraceKind::kComputeEnd:
+      return "ComputeEnd";
+    case TraceKind::kSyncStart:
+      return "SyncStart";
+    case TraceKind::kSyncEnd:
+      return "SyncEnd";
+    case TraceKind::kStragglerSleep:
+      return "StragglerSleep";
+    case TraceKind::kHelperSteal:
+      return "HelperSteal";
+    case TraceKind::kConflict:
+      return "Conflict";
+  }
+  return "Unknown";
+}
+
+void TraceRecorder::Record(SimTime time, NodeId node, TraceKind kind,
+                           std::string detail) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{time, node, kind, std::move(detail)});
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::ToString() const {
+  std::string out;
+  for (const auto& e : events_) {
+    out += common::StrFormat("[%10.6fs] w%-2d %-15s %s\n", e.time, e.node,
+                             TraceKindName(e.kind), e.detail.c_str());
+  }
+  if (dropped_ > 0) {
+    out += common::StrFormat("... %zu events dropped (capacity)\n", dropped_);
+  }
+  return out;
+}
+
+}  // namespace fela::sim

@@ -1,0 +1,66 @@
+#ifndef FELA_SIM_TRACE_H_
+#define FELA_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace fela::sim {
+
+/// Event categories recorded by engines when tracing is enabled.
+enum class TraceKind {
+  kIterationStart,
+  kIterationEnd,
+  kTokenRequest,
+  kTokenGrant,
+  kTokenComplete,
+  kFetchStart,
+  kFetchEnd,
+  kComputeStart,
+  kComputeEnd,
+  kSyncStart,
+  kSyncEnd,
+  kStragglerSleep,
+  kHelperSteal,
+  kConflict,
+};
+
+const char* TraceKindName(TraceKind kind);
+
+struct TraceEvent {
+  SimTime time;
+  NodeId node;
+  TraceKind kind;
+  std::string detail;
+};
+
+/// Bounded in-memory recorder for scheduling timelines. Disabled by
+/// default (engines skip recording when !enabled()) so the hot path
+/// stays allocation-free during large sweeps.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 100000) : capacity_(capacity) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Record(SimTime time, NodeId node, TraceKind kind, std::string detail);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t dropped() const { return dropped_; }
+  void Clear();
+
+  /// Pretty timeline, one event per line: "[  1.2345s] w3 ComputeStart ...".
+  std::string ToString() const;
+
+ private:
+  size_t capacity_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_TRACE_H_

@@ -1,0 +1,22 @@
+#ifndef FELA_SIM_TYPES_H_
+#define FELA_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace fela::sim {
+
+/// Simulated time in seconds since experiment start.
+using SimTime = double;
+
+/// Cluster node index, 0-based. Workers are nodes; the token server is
+/// co-located with node 0 (the paper notes TS is not compute-intensive).
+using NodeId = int;
+
+/// Handle returned by Simulator::Schedule (usable for cancellation).
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_TYPES_H_

@@ -1,0 +1,95 @@
+#include "suite/suite.h"
+
+#include <memory>
+
+#include "baselines/dp_engine.h"
+#include "baselines/elastic_mp_engine.h"
+#include "baselines/hp_engine.h"
+#include "baselines/mp_engine.h"
+#include "baselines/ps_engine.h"
+#include "core/fela_engine.h"
+
+namespace fela::suite {
+
+runtime::EngineFactory DpFactory(const model::Model& model) {
+  return [model](runtime::Cluster& cluster, double total_batch) {
+    return std::make_unique<baselines::DpEngine>(&cluster, model, total_batch);
+  };
+}
+
+runtime::EngineFactory MpFactory(const model::Model& model,
+                                 double micro_batch) {
+  return [model, micro_batch](runtime::Cluster& cluster, double total_batch) {
+    return std::make_unique<baselines::MpEngine>(&cluster, model, total_batch,
+                                                 micro_batch);
+  };
+}
+
+runtime::EngineFactory HpFactory(const model::Model& model) {
+  return [model](runtime::Cluster& cluster, double total_batch) {
+    return std::make_unique<baselines::HpEngine>(&cluster, model, total_batch);
+  };
+}
+
+runtime::EngineFactory FelaFactory(const model::Model& model,
+                                   const core::FelaConfig& config) {
+  return [model, config](runtime::Cluster& cluster, double total_batch) {
+    return std::make_unique<core::FelaEngine>(&cluster, model, config,
+                                              total_batch);
+  };
+}
+
+runtime::EngineFactory PsDpFactory(const model::Model& model,
+                                   int num_servers) {
+  return [model, num_servers](runtime::Cluster& cluster, double total_batch) {
+    return std::make_unique<baselines::PsDpEngine>(&cluster, model,
+                                                   total_batch, num_servers);
+  };
+}
+
+runtime::EngineFactory ElasticMpFactory(const model::Model& model,
+                                        double micro_batch,
+                                        int profile_period) {
+  return [model, micro_batch, profile_period](runtime::Cluster& cluster,
+                                              double total_batch) {
+    return std::make_unique<baselines::ElasticMpEngine>(
+        &cluster, model, total_batch, micro_batch, profile_period);
+  };
+}
+
+core::TuningReport TuneFela(const model::Model& model, double total_batch,
+                            int num_workers, int warmup_iterations,
+                            const sim::Calibration& cal,
+                            runtime::StragglerFactory stragglers) {
+  const auto sub_models = model::BinPartitioner().Partition(
+      model, model::ProfileRepository::Default());
+  const auto evaluator =
+      core::MakeSimulatedEvaluator(model, total_batch, num_workers,
+                                   warmup_iterations, cal, stragglers);
+  return core::TuneConfiguration(static_cast<int>(sub_models.size()),
+                                 num_workers, evaluator);
+}
+
+core::FelaConfig TunedFelaConfig(const model::Model& model, double total_batch,
+                                 int num_workers, int warmup_iterations,
+                                 const sim::Calibration& cal,
+                                 runtime::StragglerFactory stragglers) {
+  return TuneFela(model, total_batch, num_workers, warmup_iterations, cal,
+                  std::move(stragglers))
+      .best_config;
+}
+
+FourWayResult CompareAll(const model::Model& model,
+                         const runtime::ExperimentSpec& spec,
+                         const runtime::StragglerFactory& stragglers,
+                         const core::FelaConfig& fela_config) {
+  FourWayResult out;
+  out.dp = runtime::RunExperiment(spec, DpFactory(model), stragglers);
+  out.mp = runtime::RunExperiment(spec, MpFactory(model), stragglers);
+  out.hp = runtime::RunExperiment(spec, HpFactory(model), stragglers);
+  out.fela =
+      runtime::RunExperiment(spec, FelaFactory(model, fela_config), stragglers);
+  return out;
+}
+
+}  // namespace fela::suite

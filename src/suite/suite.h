@@ -1,0 +1,80 @@
+#ifndef FELA_SUITE_SUITE_H_
+#define FELA_SUITE_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/fela_config.h"
+#include "core/tuning.h"
+#include "model/model.h"
+#include "runtime/experiment.h"
+
+namespace fela::suite {
+
+/// Engine factories for the four solutions the paper compares. Each
+/// factory captures the model by value so it can outlive the caller.
+runtime::EngineFactory DpFactory(const model::Model& model);
+runtime::EngineFactory MpFactory(const model::Model& model,
+                                 double micro_batch = 4.0);
+runtime::EngineFactory HpFactory(const model::Model& model);
+runtime::EngineFactory FelaFactory(const model::Model& model,
+                                   const core::FelaConfig& config);
+
+/// Extra baselines beyond the paper's three: PS-architecture data
+/// parallelism (the Table II "centralized PS bottleneck") and
+/// ElasticPipe-style model parallelism with periodic proactive
+/// re-partitioning (§III-C's foil to reactive token scheduling).
+runtime::EngineFactory PsDpFactory(const model::Model& model,
+                                   int num_servers = 1);
+runtime::EngineFactory ElasticMpFactory(const model::Model& model,
+                                        double micro_batch = 4.0,
+                                        int profile_period = 5);
+
+/// Runs the §IV-B two-phase warm-up tuning for (model, batch) and
+/// returns the winning configuration (the paper fixes it after 65
+/// warm-up iterations).
+core::FelaConfig TunedFelaConfig(
+    const model::Model& model, double total_batch, int num_workers,
+    int warmup_iterations = 5,
+    const sim::Calibration& cal = sim::Calibration::Default(),
+    runtime::StragglerFactory stragglers = nullptr);
+
+/// Full tuning report (for the Fig. 6 bench). The warm-up runs in the
+/// experiment's environment: pass the straggler factory used by the
+/// actual runs so the elastic tuner adapts to it (in-situ, §IV-B).
+core::TuningReport TuneFela(
+    const model::Model& model, double total_batch, int num_workers,
+    int warmup_iterations = 5,
+    const sim::Calibration& cal = sim::Calibration::Default(),
+    runtime::StragglerFactory stragglers = nullptr);
+
+/// The four engines evaluated at one operating point.
+struct FourWayResult {
+  runtime::ExperimentResult dp;
+  runtime::ExperimentResult mp;
+  runtime::ExperimentResult hp;
+  runtime::ExperimentResult fela;
+
+  std::vector<double> Throughputs() const {
+    return {dp.average_throughput, mp.average_throughput,
+            hp.average_throughput, fela.average_throughput};
+  }
+};
+
+/// Canonical engine column order used by the benches.
+inline const std::vector<std::string>& EngineNames() {
+  static const std::vector<std::string> kNames = {"DP", "MP", "HP", "Fela"};
+  return kNames;
+}
+inline constexpr size_t kFelaColumn = 3;
+
+/// Runs DP, MP, HP, and (tuned-config) Fela under the same spec and
+/// straggler schedule.
+FourWayResult CompareAll(const model::Model& model,
+                         const runtime::ExperimentSpec& spec,
+                         const runtime::StragglerFactory& stragglers,
+                         const core::FelaConfig& fela_config);
+
+}  // namespace fela::suite
+
+#endif  // FELA_SUITE_SUITE_H_

@@ -1,0 +1,40 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fela::common {
+namespace {
+
+TEST(CsvTest, WritesSimpleRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvTest, EscapesCommasAndQuotes) {
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+}
+
+TEST(CsvTest, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.WriteRow({"h1", "h2"});
+  w.WriteRow({"1", "2"});
+  EXPECT_EQ(os.str(), "h1,h2\n1,2\n");
+}
+
+TEST(CsvTest, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.WriteRow({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace fela::common

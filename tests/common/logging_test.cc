@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::common {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  const LogLevel old = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(old);
+}
+
+TEST(LoggingTest, BelowThresholdDoesNotEvaluateExpensively) {
+  const LogLevel old = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return "x";
+  };
+  FELA_LOG(Debug) << expensive();
+  EXPECT_EQ(calls, 0);
+  SetMinLogLevel(old);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  FELA_CHECK(1 + 1 == 2) << "should not fire";
+  FELA_CHECK_EQ(4, 4);
+  FELA_CHECK_NE(4, 5);
+  FELA_CHECK_LT(1, 2);
+  FELA_CHECK_LE(2, 2);
+  FELA_CHECK_GT(3, 2);
+  FELA_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ FELA_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckEqAbortsWithValues) {
+  EXPECT_DEATH({ FELA_CHECK_EQ(1, 2); }, "1 vs 2");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ FELA_LOG(Fatal) << "fatal path"; }, "fatal path");
+}
+
+}  // namespace
+}  // namespace fela::common

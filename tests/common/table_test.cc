@@ -1,0 +1,42 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::common {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "bbbb"});
+  t.AddRow({"1234", "x"});
+  const std::string out = t.ToString();
+  // Header row, separator, one data row.
+  EXPECT_NE(out.find("a    | bbbb"), std::string::npos);
+  EXPECT_NE(out.find("-----+-----"), std::string::npos);
+  EXPECT_NE(out.find("1234 | x"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterDeathTest, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.0, 0), "3");
+}
+
+TEST(TablePrinterTest, RatioAndPercent) {
+  EXPECT_EQ(TablePrinter::Ratio(1.8532), "1.85x");
+  EXPECT_EQ(TablePrinter::Percent(0.4125), "41.25%");
+}
+
+}  // namespace
+}  // namespace fela::common

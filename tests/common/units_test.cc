@@ -1,0 +1,34 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::common {
+namespace {
+
+TEST(UnitsTest, GbpsConversion) {
+  // 10 Gbps = 1.25 GB/s.
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerSec(10.0), 1.25e9);
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerSec(40.0), 5e9);
+}
+
+TEST(UnitsTest, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3.5 * kMiB), "3.50 MiB");
+  EXPECT_EQ(FormatBytes(1.25 * kGiB), "1.25 GiB");
+}
+
+TEST(UnitsTest, FormatSecondsPicksUnit) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.500 s");
+  EXPECT_EQ(FormatSeconds(0.012), "12.000 ms");
+  EXPECT_EQ(FormatSeconds(25e-6), "25.000 us");
+}
+
+TEST(UnitsTest, ScaleConstants) {
+  EXPECT_DOUBLE_EQ(kKiB * kKiB, kMiB);
+  EXPECT_DOUBLE_EQ(kMiB * kKiB, kGiB);
+  EXPECT_DOUBLE_EQ(kGiga * kKilo, kTera);
+}
+
+}  // namespace
+}  // namespace fela::common

@@ -1,0 +1,57 @@
+#include "core/ssp_extension.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::core {
+namespace {
+
+Token TokenAtIteration(int it) {
+  Token t;
+  t.id = 1;
+  t.iteration = it;
+  return t;
+}
+
+TEST(SspGateTest, BoundZeroIsBsp) {
+  SspTokenGate gate(0);
+  EXPECT_TRUE(gate.IsBsp());
+  EXPECT_FALSE(gate.IsAsp());
+  // Under BSP an iteration may only run while it is itself the oldest
+  // incomplete one.
+  EXPECT_TRUE(gate.CanDistribute(3, 3));
+  EXPECT_FALSE(gate.CanDistribute(4, 3));
+}
+
+TEST(SspGateTest, NegativeBoundIsAsp) {
+  SspTokenGate gate(-1);
+  EXPECT_TRUE(gate.IsAsp());
+  EXPECT_TRUE(gate.CanDistribute(100, 0));
+  EXPECT_TRUE(gate.Admissible(TokenAtIteration(0), 100));
+}
+
+TEST(SspGateTest, BoundedStalenessWindow) {
+  SspTokenGate gate(2);
+  EXPECT_TRUE(gate.CanDistribute(5, 3));   // 2 behind: ok
+  EXPECT_FALSE(gate.CanDistribute(6, 3));  // 3 behind: blocked
+  EXPECT_TRUE(gate.CanDistribute(3, 3));
+}
+
+TEST(SspGateTest, TokenAge) {
+  EXPECT_EQ(SspTokenGate::AgeOf(TokenAtIteration(4), 7), 3);
+  EXPECT_EQ(SspTokenGate::AgeOf(TokenAtIteration(7), 7), 0);
+}
+
+TEST(SspGateTest, AdmissibilityUsesAge) {
+  SspTokenGate gate(1);
+  EXPECT_TRUE(gate.Admissible(TokenAtIteration(6), 7));
+  EXPECT_FALSE(gate.Admissible(TokenAtIteration(5), 7));
+}
+
+TEST(SspGateTest, BspGateAdmitsOnlyCurrentIteration) {
+  SspTokenGate gate(0);
+  EXPECT_TRUE(gate.Admissible(TokenAtIteration(7), 7));
+  EXPECT_FALSE(gate.Admissible(TokenAtIteration(6), 7));
+}
+
+}  // namespace
+}  // namespace fela::core

@@ -1,0 +1,198 @@
+#include "core/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+
+namespace fela::core {
+namespace {
+
+Token MakeToken(TokenId id, int level, std::vector<TokenDep> deps = {},
+                sim::NodeId home = -1) {
+  Token t;
+  t.id = id;
+  t.level = level;
+  t.batch = 16;
+  t.deps = std::move(deps);
+  t.sample_home = home;
+  return t;
+}
+
+FelaPlan ThreeLevelPlan(bool level1_comm = false) {
+  // Hand-built plan: 3 levels, level 1 optionally comm-intensive (the
+  // paper's SM-2-is-FC example in §III-F).
+  FelaPlan plan;
+  plan.total_batch = 128;
+  plan.num_workers = 8;
+  for (int l = 0; l < 3; ++l) {
+    LevelPlan lp;
+    lp.level = l;
+    lp.token_batch = 16 << l;
+    lp.token_count = 8 >> l;
+    lp.generation_ratio = l == 0 ? 0 : 2;
+    lp.communication_intensive = (l == 1) && level1_comm;
+    plan.levels.push_back(lp);
+  }
+  return plan;
+}
+
+TEST(LevelPriorityTest, AdsScansHighestLevelFirst) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  const auto order = LevelPriorityFor(0, cfg, ThreeLevelPlan());
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(LevelPriorityTest, NoAdsScansLowestLevelFirst) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  cfg.ads_enabled = false;
+  const auto order = LevelPriorityFor(0, cfg, ThreeLevelPlan());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(LevelPriorityTest, CtdSubsetWorkerPutsCommFirst) {
+  // §III-F (1): for i in S the priority becomes T-2 > T-3 > T-1.
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  cfg.ctd_subset_size = 2;
+  const auto order = LevelPriorityFor(0, cfg, ThreeLevelPlan(true));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(LevelPriorityTest, CtdOutsiderNeverSeesCommLevels) {
+  // §III-F (2): for j not in S, T-2 tokens are never distributed.
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  cfg.ctd_subset_size = 2;
+  const auto order = LevelPriorityFor(5, cfg, ThreeLevelPlan(true));
+  EXPECT_EQ(order, (std::vector<int>{2, 0}));
+}
+
+TEST(LevelPriorityTest, CtdInactiveWhenSubsetIsWholeCluster) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  cfg.ctd_subset_size = 8;
+  const auto order = LevelPriorityFor(5, cfg, ThreeLevelPlan(true));
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(TokenBucketTest, AddAndCount) {
+  TokenBucket b;
+  EXPECT_TRUE(b.empty());
+  b.Add(MakeToken(0, 0));
+  b.Add(MakeToken(1, 0));
+  b.Add(MakeToken(8, 1));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.CountAtLevel(0), 2u);
+  EXPECT_EQ(b.CountAtLevel(1), 1u);
+  EXPECT_EQ(b.CountAtLevel(2), 0u);
+}
+
+TEST(TokenBucketTest, TakeFollowsLevelOrder) {
+  // ADS Principle 1: T-2 tokens preferred over T-1 when both exist.
+  TokenBucket b;
+  InfoMapping info;
+  b.Add(MakeToken(6, 0));
+  b.Add(MakeToken(9, 1));
+  auto t = b.Take(0, info, {2, 1, 0}, true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->id, 9);
+  EXPECT_EQ(t->level, 1);
+}
+
+TEST(TokenBucketTest, TakeWithoutAdsIsFifoLowestLevel) {
+  TokenBucket b;
+  InfoMapping info;
+  b.Add(MakeToken(9, 1));
+  b.Add(MakeToken(6, 0));
+  b.Add(MakeToken(7, 0));
+  auto t = b.Take(0, info, {0, 1, 2}, false);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->id, 6);
+}
+
+TEST(TokenBucketTest, LocalityPicksPaperExample) {
+  // §III-D Principle 2 worked example: Worker_0 holds Token_2, Token_3;
+  // Token_9 (deps {2,3}) beats Token_10 (deps {4,5}).
+  TokenBucket b;
+  InfoMapping info;
+  info.RecordCompleted(2, 0);
+  info.RecordCompleted(3, 0);
+  info.RecordCompleted(4, 1);
+  info.RecordCompleted(5, 1);
+  b.Add(MakeToken(9, 1, {{2, 16}, {3, 16}}));
+  b.Add(MakeToken(10, 1, {{4, 16}, {5, 16}}));
+  auto t = b.Take(0, info, {1}, true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->id, 9);
+  // Worker 1 now gets Token_10 (its own deps).
+  auto t2 = b.Take(1, info, {1}, true);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(t2->id, 10);
+}
+
+TEST(TokenBucketTest, LocalityTieBreaksOnSmallestId) {
+  // §III-D: equal scores -> smallest token id ("we choose the one with
+  // the smallest token ID, i.e. Token_9").
+  TokenBucket b;
+  InfoMapping info;
+  info.RecordCompleted(3, 0);
+  info.RecordCompleted(4, 0);
+  b.Add(MakeToken(9, 1, {{2, 16}, {3, 16}}));
+  b.Add(MakeToken(10, 1, {{4, 16}, {5, 16}}));
+  auto t = b.Take(0, info, {1}, true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->id, 9);
+}
+
+TEST(TokenBucketTest, SampleHomeActsAsLevelZeroLocality) {
+  TokenBucket b;
+  InfoMapping info;
+  b.Add(MakeToken(0, 0, {}, /*home=*/3));
+  b.Add(MakeToken(1, 0, {}, /*home=*/5));
+  auto t = b.Take(5, info, {0}, true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->id, 1);  // worker 5's own samples preferred
+}
+
+TEST(TokenBucketTest, ScoreForLevelZero) {
+  InfoMapping info;
+  EXPECT_DOUBLE_EQ(TokenBucket::ScoreFor(3, info, MakeToken(0, 0, {}, 3)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(TokenBucket::ScoreFor(4, info, MakeToken(0, 0, {}, 3)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(TokenBucket::ScoreFor(4, info, MakeToken(0, 0, {}, -1)),
+                   1.0);
+}
+
+TEST(TokenBucketTest, TakeReturnsNulloptWhenNoMatchingLevel) {
+  TokenBucket b;
+  InfoMapping info;
+  b.Add(MakeToken(9, 1));
+  EXPECT_FALSE(b.Take(0, info, {0, 2}, true).has_value());
+  EXPECT_EQ(b.size(), 1u);  // untouched
+}
+
+TEST(TokenBucketTest, HasTokenForOrder) {
+  TokenBucket b;
+  b.Add(MakeToken(9, 1));
+  EXPECT_TRUE(b.HasTokenForOrder({2, 1, 0}));
+  EXPECT_TRUE(b.HasTokenForOrder({1}));
+  EXPECT_FALSE(b.HasTokenForOrder({0, 2}));
+  EXPECT_FALSE(b.HasTokenForOrder({}));
+}
+
+TEST(TokenBucketTest, ClearEmpties) {
+  TokenBucket b;
+  b.Add(MakeToken(1, 0));
+  b.Clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.CountAtLevel(0), 0u);
+}
+
+TEST(TokenBucketTest, TakeRemovesExactlyOne) {
+  TokenBucket b;
+  InfoMapping info;
+  for (int i = 0; i < 5; ++i) b.Add(MakeToken(i, 0));
+  (void)b.Take(0, info, {0}, true);
+  EXPECT_EQ(b.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fela::core

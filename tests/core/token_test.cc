@@ -1,0 +1,46 @@
+#include "core/token.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::core {
+namespace {
+
+TEST(TokenTest, DefaultsAreInvalid) {
+  Token t;
+  EXPECT_EQ(t.id, kInvalidTokenId);
+  EXPECT_EQ(t.level, 0);
+  EXPECT_TRUE(t.deps.empty());
+  EXPECT_EQ(t.sample_home, -1);
+}
+
+TEST(TokenTest, DepIdsExtractsIds) {
+  Token t;
+  t.deps = {{3, 16.0}, {7, 16.0}};
+  EXPECT_EQ(t.DepIds(), (std::vector<TokenId>{3, 7}));
+}
+
+TEST(TokenTest, ToStringUsesPaperNotation) {
+  Token t;
+  t.id = 8;
+  t.level = 1;  // T-2 in paper notation
+  t.iteration = 0;
+  t.batch = 32;
+  t.deps = {{0, 16.0}, {1, 16.0}};
+  const std::string s = t.ToString();
+  // The paper's Fig. 3 example: Token_8 is a T-2 token generated from
+  // Token_0 and Token_1.
+  EXPECT_NE(s.find("T-2"), std::string::npos);
+  EXPECT_NE(s.find("Token_8"), std::string::npos);
+  EXPECT_NE(s.find("deps=[0,1]"), std::string::npos);
+  EXPECT_NE(s.find("b=32"), std::string::npos);
+}
+
+TEST(TokenTest, LevelZeroHasNoDeps) {
+  Token t;
+  t.id = 0;
+  t.level = 0;
+  EXPECT_EQ(t.ToString().find("deps=[]") != std::string::npos, true);
+}
+
+}  // namespace
+}  // namespace fela::core

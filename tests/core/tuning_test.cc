@@ -1,0 +1,165 @@
+#include "core/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "model/zoo.h"
+
+namespace fela::core {
+namespace {
+
+TEST(EnumerateWeightsTest, PaperTenCasesForM3N8) {
+  // §IV-B: M=3, N=8 gives 4+3+2+1 = 10 candidate sequences.
+  const auto cands = EnumerateWeightCandidates(3, 8);
+  EXPECT_EQ(cands.size(), 10u);
+  for (const auto& w : cands) {
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0], 1);
+    EXPECT_LE(w[1], w[2]);
+  }
+}
+
+TEST(EnumerateWeightsTest, PaperCaseNumbering) {
+  // Fig. 6 discussion: Case 2 is {1,1,4}, Case 9 is {1,8,8}.
+  const auto cands = EnumerateWeightCandidates(3, 8);
+  EXPECT_EQ(cands[2], (std::vector<int>{1, 1, 4}));
+  EXPECT_EQ(cands[9], (std::vector<int>{1, 8, 8}));
+  EXPECT_EQ(cands[0], (std::vector<int>{1, 1, 1}));
+}
+
+TEST(EnumerateWeightsTest, AllUnique) {
+  const auto cands = EnumerateWeightCandidates(3, 8);
+  std::set<std::vector<int>> unique(cands.begin(), cands.end());
+  EXPECT_EQ(unique.size(), cands.size());
+}
+
+TEST(EnumerateWeightsTest, SingleSubModel) {
+  const auto cands = EnumerateWeightCandidates(1, 8);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0], (std::vector<int>{1}));
+}
+
+TEST(EnumerateWeightsTest, TwoSubModelsFourWorkers) {
+  // Candidates {1,2,4}: sequences {1,1},{1,2},{1,4} = 3.
+  const auto cands = EnumerateWeightCandidates(2, 4);
+  EXPECT_EQ(cands.size(), 3u);
+}
+
+TEST(EnumerateSubsetsTest, HalvingFromN) {
+  // §IV-B Phase 2: 8, 4, 2, 1.
+  EXPECT_EQ(EnumerateSubsetSizes(8), (std::vector<int>{8, 4, 2, 1}));
+  EXPECT_EQ(EnumerateSubsetSizes(4), (std::vector<int>{4, 2, 1}));
+  EXPECT_EQ(EnumerateSubsetSizes(1), (std::vector<int>{1}));
+}
+
+TEST(TuneConfigurationTest, ThirteenCasesTotal) {
+  // 10 + 4 - 1 = 13 cases (§IV-B).
+  int calls = 0;
+  auto eval = [&calls](const FelaConfig&) {
+    ++calls;
+    return 1.0;
+  };
+  const TuningReport report = TuneConfiguration(3, 8, eval);
+  EXPECT_EQ(calls, 13);
+  EXPECT_EQ(report.cases.size(), 13u);
+  int phase2 = 0;
+  for (const auto& c : report.cases) {
+    if (c.phase2) ++phase2;
+  }
+  EXPECT_EQ(phase2, 3);
+}
+
+TEST(TuneConfigurationTest, PicksGlobalBestOfGreedySearch) {
+  // Synthetic landscape: weights {1,1,4} best in phase 1; subset 1 best
+  // in phase 2 (the paper's batch-64 outcome: Case 2 then Case 12).
+  auto eval = [](const FelaConfig& cfg) {
+    double t = 10.0;
+    if (cfg.weights == std::vector<int>{1, 1, 4}) t = 5.0;
+    if (cfg.ctd_subset_size == 1) t -= 1.0;
+    return t;
+  };
+  const TuningReport report = TuneConfiguration(3, 8, eval);
+  EXPECT_EQ(report.best_config.weights, (std::vector<int>{1, 1, 4}));
+  EXPECT_EQ(report.best_config.ctd_subset_size, 1);
+  EXPECT_DOUBLE_EQ(report.best_seconds, 4.0);
+  EXPECT_EQ(report.best_case_index, 12);
+}
+
+TEST(TuneConfigurationTest, GapsComputed) {
+  auto eval = [](const FelaConfig& cfg) {
+    // Phase 1 spread 4..13; phase 2 improves on the winner.
+    double t = 4.0 + cfg.weights[1] + cfg.weights[2] / 2.0;
+    if (cfg.ctd_subset_size < 8) t -= 0.5;
+    return t;
+  };
+  const TuningReport report = TuneConfiguration(3, 8, eval);
+  EXPECT_GT(report.phase1_gap, 0.0);
+  EXPECT_GT(report.phase2_gap, 0.0);
+  EXPECT_GE(report.overall_gap, report.phase1_gap);
+  EXPECT_LE(report.overall_gap, 1.0);
+}
+
+TEST(TuneConfigurationTest, BestIsMinimumOfAllCases) {
+  auto eval = [](const FelaConfig& cfg) {
+    return 1.0 + 0.1 * cfg.weights[2] + 0.01 * cfg.ctd_subset_size;
+  };
+  const TuningReport report = TuneConfiguration(3, 8, eval);
+  for (const auto& c : report.cases) {
+    EXPECT_GE(c.per_iteration_seconds, report.best_seconds - 1e-12);
+  }
+}
+
+TEST(TuneConfigurationTest, NormalizedSeriesInUnitInterval) {
+  auto eval = [](const FelaConfig& cfg) {
+    return 1.0 + cfg.weights[1] + cfg.ctd_subset_size * 0.1;
+  };
+  const TuningReport report = TuneConfiguration(3, 8, eval);
+  const auto norm = report.NormalizedSeconds();
+  ASSERT_EQ(norm.size(), 13u);
+  double mn = 1e9, mx = -1e9;
+  for (double v : norm) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_DOUBLE_EQ(mn, 0.0);
+  EXPECT_DOUBLE_EQ(mx, 1.0);
+}
+
+TEST(TuneConfigurationTest, ReportToStringMarksBest) {
+  auto eval = [](const FelaConfig&) { return 2.0; };
+  const TuningReport report = TuneConfiguration(3, 8, eval);
+  EXPECT_NE(report.ToString().find("<= best"), std::string::npos);
+}
+
+TEST(SimulatedEvaluatorTest, ReturnsPositiveIterationTime) {
+  const auto eval =
+      MakeSimulatedEvaluator(model::zoo::Vgg19(), 128, 8, /*iterations=*/2);
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  const double t = eval(cfg);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 100.0);
+}
+
+TEST(SimulatedEvaluatorTest, DeterministicAcrossCalls) {
+  const auto eval =
+      MakeSimulatedEvaluator(model::zoo::Vgg19(), 128, 8, 2);
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  EXPECT_DOUBLE_EQ(eval(cfg), eval(cfg));
+}
+
+TEST(SimulatedEvaluatorTest, StragglersRaiseIterationTime) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  const auto clean =
+      MakeSimulatedEvaluator(model::zoo::Vgg19(), 128, 8, 3);
+  const auto slow = MakeSimulatedEvaluator(
+      model::zoo::Vgg19(), 128, 8, 3, sim::Calibration::Default(),
+      [](int n) { return std::make_unique<sim::RoundRobinStragglers>(n, 2.0); });
+  EXPECT_GT(slow(cfg), clean(cfg));
+}
+
+}  // namespace
+}  // namespace fela::core

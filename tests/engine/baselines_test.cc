@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dp_engine.h"
+#include "baselines/hp_engine.h"
+#include "baselines/mp_engine.h"
+#include "model/zoo.h"
+#include "runtime/cluster.h"
+#include "sim/collectives.h"
+
+namespace fela::baselines {
+namespace {
+
+std::unique_ptr<runtime::Cluster> CleanCluster(int n = 8) {
+  return runtime::Cluster::MakeDefault(n);
+}
+
+// ---------------------------------------------------------------- DP --
+
+TEST(DpEngineTest, SplitsBatchEvenly) {
+  auto cluster = CleanCluster();
+  DpEngine dp(cluster.get(), model::zoo::Vgg19(), 256);
+  EXPECT_DOUBLE_EQ(dp.per_worker_batch(), 32.0);
+  EXPECT_EQ(dp.micro_steps(), 1);
+}
+
+TEST(DpEngineTest, GradientAccumulationWhenMemoryBound) {
+  // VGG19 tops out below batch 64 on the 12 GB device; per-worker 128
+  // must split into micro-steps.
+  auto cluster = CleanCluster();
+  DpEngine dp(cluster.get(), model::zoo::Vgg19(), 1024);
+  EXPECT_DOUBLE_EQ(dp.per_worker_batch(), 128.0);
+  EXPECT_GT(dp.micro_steps(), 1);
+  EXPECT_LE(dp.micro_batch(), 64.0);
+  EXPECT_NEAR(dp.micro_batch() * dp.micro_steps(), 128.0, 1e-9);
+}
+
+TEST(DpEngineTest, MovesFullModelRingAllReduceBytes) {
+  auto cluster = CleanCluster();
+  const model::Model m = model::zoo::Vgg19();
+  DpEngine dp(cluster.get(), m, 256);
+  const auto stats = dp.Run(2);
+  // Ring all-reduce link bytes per iteration: 2*(P-1)*param_bytes.
+  const double expected_per_iter = 2.0 * 7 * m.TotalParams() * 4.0;
+  EXPECT_NEAR(stats.total_data_bytes, 2 * expected_per_iter,
+              expected_per_iter * 0.01);
+}
+
+TEST(DpEngineTest, NetworkBytesIndependentOfBatch) {
+  // §V-C1: "the amount of network transfer in DP does not change as the
+  // batch size grows".
+  auto c1 = CleanCluster();
+  DpEngine small(c1.get(), model::zoo::Vgg19(), 64);
+  auto c2 = CleanCluster();
+  DpEngine large(c2.get(), model::zoo::Vgg19(), 1024);
+  EXPECT_NEAR(small.Run(1).total_data_bytes, large.Run(1).total_data_bytes,
+              1.0);
+}
+
+TEST(DpEngineTest, StragglerAddsFullDelayUnderBsp) {
+  auto clean = CleanCluster();
+  DpEngine e1(clean.get(), model::zoo::Vgg19(), 256);
+  const double t_clean = e1.Run(4).total_time;
+  runtime::Cluster slow(8, sim::Calibration::Default(),
+                        std::make_unique<sim::RoundRobinStragglers>(8, 3.0));
+  DpEngine e2(&slow, model::zoo::Vgg19(), 256);
+  const double t_slow = e2.Run(4).total_time;
+  // BSP waits for the straggler: every iteration pays the full d.
+  EXPECT_NEAR(t_slow - t_clean, 4 * 3.0, 0.01);
+}
+
+TEST(DpEngineTest, IterationsUniformWithoutStragglers) {
+  auto cluster = CleanCluster();
+  DpEngine dp(cluster.get(), model::zoo::Vgg19(), 256);
+  const auto stats = dp.Run(5);
+  const double first = stats.iterations[0].duration();
+  for (const auto& it : stats.iterations) {
+    EXPECT_NEAR(it.duration(), first, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- MP --
+
+TEST(MpEngineTest, StagesCoverModel) {
+  auto cluster = CleanCluster();
+  MpEngine mp(cluster.get(), model::zoo::Vgg19(), 128);
+  EXPECT_EQ(mp.num_stages(), 8);
+  EXPECT_EQ(mp.stages().front().first, 0);
+  EXPECT_EQ(mp.stages().back().second, 18);
+}
+
+TEST(MpEngineTest, MicroBatchCount) {
+  auto cluster = CleanCluster();
+  MpEngine mp(cluster.get(), model::zoo::Vgg19(), 128, 4.0);
+  EXPECT_EQ(mp.num_micro_batches(), 32);
+}
+
+TEST(MpEngineTest, RaggedLastMicroBatchHandled) {
+  auto cluster = CleanCluster();
+  MpEngine mp(cluster.get(), model::zoo::Vgg19(), 130, 4.0);
+  EXPECT_EQ(mp.num_micro_batches(), 33);
+  const auto stats = mp.Run(1);
+  EXPECT_EQ(stats.iteration_count(), 1);
+}
+
+TEST(MpEngineTest, NoParameterSynchronizationTraffic) {
+  // Each stage owns its parameters; only boundary activations move —
+  // far less than DP's ring all-reduce of the full model.
+  auto cluster = CleanCluster();
+  const model::Model m = model::zoo::Vgg19();
+  MpEngine mp(cluster.get(), m, 64, 8.0);
+  const auto stats = mp.Run(1);
+  const double dp_ring_bytes = 2.0 * 7 * m.TotalParams() * 4.0;
+  EXPECT_LT(stats.total_data_bytes, dp_ring_bytes * 0.5);
+  EXPECT_GT(stats.total_data_bytes, 0.0);
+  // Exact expectation: fwd + bwd boundary bytes for every stage cut.
+  double expected = 0.0;
+  for (size_t s = 1; s < mp.stages().size(); ++s) {
+    expected += 2.0 * m.BoundaryActivationElems(mp.stages()[s].first) * 64 * 4;
+  }
+  EXPECT_NEAR(stats.total_data_bytes, expected, expected * 1e-9);
+}
+
+TEST(MpEngineTest, PipelineSlowerThanPerfectScaling) {
+  // The fill/drain bubble + micro-batch underutilization must make MP
+  // clearly worse than work/8.
+  auto cluster = CleanCluster();
+  const model::Model m = model::zoo::Vgg19();
+  MpEngine mp(cluster.get(), m, 256, 4.0);
+  const auto stats = mp.Run(1);
+  model::LayerCostModel cost(sim::Calibration::Default(),
+                             &model::ProfileRepository::Default());
+  const double ideal = cost.RangeSeconds(m, 0, 18, 256) / 8.0;
+  EXPECT_GT(stats.MeanIterationSeconds(), 1.5 * ideal);
+}
+
+TEST(MpEngineTest, SmallerMicroBatchesAreSlower) {
+  // The underutilization the paper blames on "small and fixed
+  // micro-batches".
+  auto c1 = CleanCluster();
+  MpEngine fine(c1.get(), model::zoo::Vgg19(), 256, 2.0);
+  auto c2 = CleanCluster();
+  MpEngine coarse(c2.get(), model::zoo::Vgg19(), 256, 16.0);
+  EXPECT_GT(fine.Run(1).total_time, coarse.Run(1).total_time);
+}
+
+TEST(MpEngineTest, FewerStagesThanWorkersForTinyModels) {
+  auto cluster = CleanCluster(8);
+  std::vector<model::Layer> layers;
+  layers.push_back(model::Layer::Conv("c1", 3, 8, 8, 8));
+  layers.push_back(model::Layer::Fc("f1", 512, 10));
+  model::Model tiny("tiny", std::move(layers));
+  MpEngine mp(cluster.get(), tiny, 32, 4.0);
+  EXPECT_EQ(mp.num_stages(), 2);
+  EXPECT_EQ(mp.Run(1).iteration_count(), 1);
+}
+
+// ---------------------------------------------------------------- HP --
+
+TEST(HpEngineTest, ConfigurationMatchesStanza) {
+  // §V-C1: "7 CONV workers and 1 FC worker".
+  auto cluster = CleanCluster();
+  HpEngine hp(cluster.get(), model::zoo::Vgg19(), 256);
+  EXPECT_EQ(hp.conv_worker_count(), 7);
+  EXPECT_EQ(hp.fc_worker(), 7);
+  EXPECT_EQ(hp.fc_first_layer(), 16);
+}
+
+TEST(HpEngineTest, SyncsOnlyConvParameters) {
+  auto cluster = CleanCluster();
+  const model::Model m = model::zoo::Vgg19();
+  HpEngine hp(cluster.get(), m, 64);
+  const auto stats = hp.Run(1);
+  const double conv_params_bytes = m.ParamsInRange(0, 15) * 4.0;
+  const double ring_bytes = 2.0 * 6 * conv_params_bytes;  // 7-node ring
+  // Conv all-reduce plus the boundary in-cast, but nowhere near a full
+  // model sync.
+  EXPECT_GT(stats.total_data_bytes, ring_bytes);
+  EXPECT_LT(stats.total_data_bytes, m.TotalParams() * 4.0 * 2 * 7);
+}
+
+TEST(HpEngineTest, InCastGrowsWithBatch) {
+  // §V-C1: "the network transfer amount of HP is proportional to the
+  // batch size" (the FC worker in-cast).
+  auto c1 = CleanCluster();
+  HpEngine small(c1.get(), model::zoo::Vgg19(), 64);
+  auto c2 = CleanCluster();
+  HpEngine large(c2.get(), model::zoo::Vgg19(), 1024);
+  EXPECT_GT(large.Run(1).total_data_bytes, small.Run(1).total_data_bytes);
+}
+
+TEST(HpEngineTest, FcWorkerIdlesDuringConvPhases) {
+  // "Bad work conservation": the FC worker's GPU utilization is well
+  // below the conv workers'.
+  auto cluster = CleanCluster();
+  HpEngine hp(cluster.get(), model::zoo::Vgg19(), 256);
+  hp.Run(2);
+  const double conv_busy = cluster->gpu(0).busy_time();
+  const double fc_busy = cluster->gpu(7).busy_time();
+  EXPECT_LT(fc_busy, conv_busy * 0.8);
+}
+
+TEST(HpEngineDeathTest, PureConvModelRejected) {
+  auto cluster = CleanCluster();
+  std::vector<model::Layer> layers;
+  layers.push_back(model::Layer::Conv("c1", 3, 8, 8, 8));
+  model::Model conv_only("conv", std::move(layers));
+  EXPECT_DEATH(HpEngine(cluster.get(), conv_only, 64), "CONV \\+ FC");
+}
+
+// -------------------------------------------------- cross-engine ------
+
+TEST(BaselineCrossTest, AllEnginesDeterministic) {
+  for (int variant = 0; variant < 2; ++variant) {
+    auto c1 = CleanCluster();
+    auto c2 = CleanCluster();
+    DpEngine d1(c1.get(), model::zoo::GoogLeNet(), 512);
+    DpEngine d2(c2.get(), model::zoo::GoogLeNet(), 512);
+    EXPECT_DOUBLE_EQ(d1.Run(3).total_time, d2.Run(3).total_time);
+  }
+}
+
+TEST(BaselineCrossTest, HpBeatsDpAtSmallBatchLosesAtLarge) {
+  // The crossover the paper explains in §V-C1.
+  const model::Model m = model::zoo::Vgg19();
+  auto at = [&](double batch, bool hp) {
+    auto cluster = CleanCluster();
+    std::unique_ptr<runtime::Engine> e;
+    if (hp) {
+      e = std::make_unique<HpEngine>(cluster.get(), m, batch);
+    } else {
+      e = std::make_unique<DpEngine>(cluster.get(), m, batch);
+    }
+    return e->Run(3).AverageThroughput(batch);
+  };
+  EXPECT_GT(at(64, true), at(64, false));     // HP wins small
+  EXPECT_LT(at(1024, true), at(1024, false)); // DP wins large
+}
+
+TEST(BaselineCrossTest, MpIsTheSlowestEngine) {
+  const model::Model m = model::zoo::Vgg19();
+  const double batch = 256;
+  auto c1 = CleanCluster();
+  auto c2 = CleanCluster();
+  auto c3 = CleanCluster();
+  DpEngine dp(c1.get(), m, batch);
+  MpEngine mp(c2.get(), m, batch);
+  HpEngine hp(c3.get(), m, batch);
+  const double at_dp = dp.Run(2).AverageThroughput(batch);
+  const double at_mp = mp.Run(2).AverageThroughput(batch);
+  const double at_hp = hp.Run(2).AverageThroughput(batch);
+  EXPECT_LT(at_mp, at_dp);
+  EXPECT_LT(at_mp, at_hp);
+}
+
+}  // namespace
+}  // namespace fela::baselines

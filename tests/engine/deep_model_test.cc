@@ -1,0 +1,88 @@
+// Fela on models beyond the paper's two benchmarks: the deep zoo models
+// exercise the heuristic profiler, multi-bin partitions, and larger
+// tuning search spaces.
+
+#include <gtest/gtest.h>
+
+#include "core/fela_engine.h"
+#include "core/tuning.h"
+#include "model/zoo.h"
+#include "runtime/cluster.h"
+
+namespace fela {
+namespace {
+
+TEST(DeepModelTest, ResNet152BinSizeControlsGranularity) {
+  // Interleaved 1x1/3x3 bottleneck convs have oscillating heuristic
+  // thresholds: the default bin (16) yields a very fine partition, and
+  // the paper's bin-size knob ("different bin sizes are achievable based
+  // on the desired partition granularity", §III-B) coarsens it.
+  const model::Model m = model::zoo::ResNet152();
+  const auto fine = model::BinPartitioner(16.0).Partition(
+      m, model::ProfileRepository::Default());
+  const auto coarse = model::BinPartitioner(64.0).Partition(
+      m, model::ProfileRepository::Default());
+  EXPECT_GE(fine.size(), 2u);
+  EXPECT_LT(coarse.size(), fine.size());
+  EXPECT_LE(coarse.size(), 16u);
+  EXPECT_EQ(coarse.front().first_layer, 0);
+  EXPECT_EQ(coarse.back().last_layer, m.layer_count() - 1);
+  double params = 0.0;
+  for (const auto& sm : coarse) params += sm.params;
+  EXPECT_NEAR(params, m.TotalParams(), 1.0);
+}
+
+TEST(DeepModelTest, FelaTrainsResNet152EndToEnd) {
+  const model::Model m = model::zoo::ResNet152();
+  const auto sub = model::BinPartitioner(64.0).Partition(
+      m, model::ProfileRepository::Default());
+  runtime::Cluster cluster(8, sim::Calibration::Default(), nullptr);
+  core::FelaConfig cfg =
+      core::FelaConfig::Defaults(static_cast<int>(sub.size()), 8);
+  core::FelaEngine engine(&cluster, m, sub, cfg, 256);
+  const auto stats = engine.Run(2);
+  EXPECT_EQ(stats.iteration_count(), 2);
+  double samples = 0.0;
+  for (int w = 0; w < 8; ++w) samples += engine.worker(w).samples_trained();
+  EXPECT_NEAR(samples, 256.0 * static_cast<double>(sub.size()) * 2, 1e-6);
+}
+
+TEST(DeepModelTest, WeightEnumerationScalesWithSubModels) {
+  // Non-decreasing sequences over {1,2,4,8} with w0 = 1: the search
+  // space must grow combinatorially but stay enumerable.
+  const auto m4 = core::EnumerateWeightCandidates(4, 8);
+  const auto m6 = core::EnumerateWeightCandidates(6, 8);
+  EXPECT_EQ(m4.size(), 20u);  // C(3+3,3)
+  EXPECT_EQ(m6.size(), 56u);  // C(5+3,3)
+  for (const auto& w : m6) {
+    for (size_t i = 1; i < w.size(); ++i) EXPECT_GE(w[i], w[i - 1]);
+  }
+}
+
+TEST(DeepModelTest, Vgg16WorksWithHeuristicThresholds) {
+  // VGG16 ships without explicit thresholds: the heuristic must yield a
+  // usable partition and a runnable engine.
+  const model::Model m = model::zoo::Vgg16();
+  const auto sub = model::BinPartitioner().Partition(
+      m, model::ProfileRepository::Default());
+  ASSERT_GE(sub.size(), 2u);
+  runtime::Cluster cluster(8, sim::Calibration::Default(), nullptr);
+  core::FelaConfig cfg =
+      core::FelaConfig::Defaults(static_cast<int>(sub.size()), 8);
+  core::FelaEngine engine(&cluster, m, sub, cfg, 128);
+  EXPECT_EQ(engine.Run(2).iteration_count(), 2);
+}
+
+TEST(DeepModelTest, AlexNetSmallModelStillSchedules) {
+  const model::Model m = model::zoo::AlexNet();
+  const auto sub = model::BinPartitioner().Partition(
+      m, model::ProfileRepository::Default());
+  runtime::Cluster cluster(4, sim::Calibration::Default(), nullptr);
+  core::FelaConfig cfg =
+      core::FelaConfig::Defaults(static_cast<int>(sub.size()), 4);
+  core::FelaEngine engine(&cluster, m, sub, cfg, 64);
+  EXPECT_EQ(engine.Run(2).iteration_count(), 2);
+}
+
+}  // namespace
+}  // namespace fela

@@ -1,0 +1,125 @@
+#include "runtime/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+#include "runtime/report.h"
+#include "suite/suite.h"
+
+namespace fela::runtime {
+namespace {
+
+ExperimentSpec SmallSpec(double batch = 128) {
+  ExperimentSpec spec;
+  spec.total_batch = batch;
+  spec.iterations = 4;
+  return spec;
+}
+
+TEST(RunStatsTest, AverageThroughputIsEqThree) {
+  RunStats stats;
+  stats.iterations.resize(100);
+  stats.total_time = 50.0;
+  // AT = total_batch * iter_n / total_time.
+  EXPECT_DOUBLE_EQ(stats.AverageThroughput(256), 256.0 * 100 / 50.0);
+}
+
+TEST(RunStatsTest, MeanIterationSeconds) {
+  RunStats stats;
+  stats.iterations.push_back({0.0, 2.0});
+  stats.iterations.push_back({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.MeanIterationSeconds(), 1.5);
+}
+
+TEST(PerIterationDelayTest, IsEqFour) {
+  RunStats clean;
+  clean.iterations.resize(100);
+  clean.total_time = 100.0;
+  RunStats slow = clean;
+  slow.total_time = 250.0;
+  // PID = (total_time_s - total_time_0) / iter_n.
+  EXPECT_DOUBLE_EQ(PerIterationDelay(slow, clean), 1.5);
+}
+
+TEST(ExperimentTest, RunsEngineAndDerivesMetrics) {
+  const auto result =
+      RunExperiment(SmallSpec(), suite::DpFactory(model::zoo::Vgg19()),
+                    NoStragglerFactory());
+  EXPECT_EQ(result.engine_name, "DP");
+  EXPECT_EQ(result.stats.iteration_count(), 4);
+  EXPECT_GT(result.average_throughput, 0.0);
+  EXPECT_GT(result.gpu_utilization, 0.0);
+  EXPECT_LE(result.gpu_utilization, 1.0);
+}
+
+TEST(ExperimentTest, PidExperimentComputesDelay) {
+  auto stragglers = [](int n) {
+    return std::make_unique<sim::RoundRobinStragglers>(n, 2.0);
+  };
+  const auto pid = RunPidExperiment(
+      SmallSpec(), suite::DpFactory(model::zoo::Vgg19()), stragglers);
+  EXPECT_NEAR(pid.per_iteration_delay, 2.0, 0.01);  // BSP pays full d
+  EXPECT_LT(pid.with_stragglers.average_throughput,
+            pid.clean.average_throughput);
+}
+
+TEST(ExperimentTest, FourEngineFactoriesWork) {
+  const model::Model m = model::zoo::GoogLeNet();
+  core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+  const auto results = suite::CompareAll(m, SmallSpec(512),
+                                         NoStragglerFactory(), cfg);
+  EXPECT_EQ(results.dp.engine_name, "DP");
+  EXPECT_EQ(results.mp.engine_name, "MP");
+  EXPECT_EQ(results.hp.engine_name, "HP");
+  EXPECT_EQ(results.fela.engine_name, "Fela");
+  for (double at : results.Throughputs()) EXPECT_GT(at, 0.0);
+}
+
+TEST(ReportTest, ComparisonTableHasRatioColumns) {
+  std::vector<ComparisonRow> rows = {{64, {10, 5, 20, 40}},
+                                     {128, {20, 10, 30, 60}}};
+  const std::string table = RenderComparisonTable(
+      "Fig X", "batch", suite::EngineNames(), rows, suite::kFelaColumn);
+  EXPECT_NE(table.find("Fela/DP"), std::string::npos);
+  EXPECT_NE(table.find("Fela/MP"), std::string::npos);
+  EXPECT_NE(table.find("4.00x"), std::string::npos);  // 40/10
+  EXPECT_NE(table.find("Fig X"), std::string::npos);
+}
+
+TEST(ReportTest, GainRangeFindsMinMax) {
+  std::vector<ComparisonRow> rows = {{1, {10, 0, 0, 20}},
+                                     {2, {10, 0, 0, 15}},
+                                     {3, {10, 0, 0, 32}}};
+  const auto [lo, hi] = GainRange(rows, 3, 0);
+  EXPECT_DOUBLE_EQ(lo, 1.5);
+  EXPECT_DOUBLE_EQ(hi, 3.2);
+}
+
+TEST(ReportTest, FormatGainMatchesPaperStyle) {
+  // The paper writes small gains as percentages and large ones as "Nx".
+  EXPECT_EQ(FormatGain(1.0998), "9.98%");
+  EXPECT_EQ(FormatGain(3.23), "3.23x");
+  EXPECT_EQ(FormatGain(1.85), "85.00%");
+  EXPECT_EQ(FormatGain(2.0), "2.00x");
+}
+
+TEST(ExperimentTest, SpecIterationsHonored) {
+  ExperimentSpec spec = SmallSpec();
+  spec.iterations = 7;
+  const auto result = RunExperiment(
+      spec, suite::MpFactory(model::zoo::GoogLeNet()), NoStragglerFactory());
+  EXPECT_EQ(result.stats.iteration_count(), 7);
+}
+
+TEST(ExperimentTest, CalibrationIsConfigurable) {
+  ExperimentSpec fast = SmallSpec();
+  fast.calibration.gpu_effective_flops *= 4.0;  // a 4x faster GPU
+  const auto slow_result = RunExperiment(
+      SmallSpec(), suite::DpFactory(model::zoo::Vgg19()), NoStragglerFactory());
+  const auto fast_result = RunExperiment(
+      fast, suite::DpFactory(model::zoo::Vgg19()), NoStragglerFactory());
+  EXPECT_GT(fast_result.average_throughput, slow_result.average_throughput);
+}
+
+}  // namespace
+}  // namespace fela::runtime

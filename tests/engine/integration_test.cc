@@ -1,0 +1,173 @@
+// End-to-end integration checks across engines, models, and scenarios.
+
+#include <gtest/gtest.h>
+
+#include "core/fela_engine.h"
+#include "model/zoo.h"
+#include "runtime/experiment.h"
+#include "suite/suite.h"
+
+namespace fela {
+namespace {
+
+using runtime::ExperimentSpec;
+using runtime::NoStragglerFactory;
+using runtime::RunExperiment;
+
+TEST(IntegrationTest, QuickstartFlow) {
+  // The README quickstart: partition, tune, compare.
+  const model::Model m = model::zoo::Vgg19();
+  const auto tuned = suite::TuneFela(m, 128, 8, /*warmup_iterations=*/2);
+  EXPECT_EQ(tuned.cases.size(), 13u);
+  ExperimentSpec spec;
+  spec.total_batch = 128;
+  spec.iterations = 3;
+  const auto results =
+      suite::CompareAll(m, spec, NoStragglerFactory(), tuned.best_config);
+  EXPECT_GT(results.fela.average_throughput, results.mp.average_throughput);
+}
+
+TEST(IntegrationTest, FelaBeatsAllBaselinesAtPaperOperatingPoints) {
+  // Fig. 8 headline: Fela wins on both benchmarks at small batch.
+  struct Point {
+    const model::Model model;
+    double batch;
+  };
+  const Point points[] = {{model::zoo::Vgg19(), 128.0},
+                          {model::zoo::GoogLeNet(), 512.0}};
+  for (const auto& p : points) {
+    ExperimentSpec spec;
+    spec.total_batch = p.batch;
+    spec.iterations = 4;
+    const auto cfg = suite::TunedFelaConfig(p.model, p.batch, 8, 2);
+    const auto r = suite::CompareAll(p.model, spec, NoStragglerFactory(), cfg);
+    EXPECT_GT(r.fela.average_throughput, r.dp.average_throughput)
+        << p.model.name();
+    EXPECT_GT(r.fela.average_throughput, r.mp.average_throughput)
+        << p.model.name();
+    EXPECT_GT(r.fela.average_throughput, r.hp.average_throughput)
+        << p.model.name();
+  }
+}
+
+TEST(IntegrationTest, FelaPidBelowDpPidUnderRoundRobin) {
+  // Fig. 9: reactive mitigation beats the BSP barrier.
+  const model::Model m = model::zoo::Vgg19();
+  auto stragglers = [](int n) {
+    return std::make_unique<sim::RoundRobinStragglers>(n, 4.0);
+  };
+  ExperimentSpec spec;
+  spec.total_batch = 512;
+  spec.iterations = 8;
+  const auto cfg =
+      suite::TunedFelaConfig(m, spec.total_batch, 8, 2,
+                             sim::Calibration::Default(), stragglers);
+  const auto dp =
+      runtime::RunPidExperiment(spec, suite::DpFactory(m), stragglers);
+  const auto fela = runtime::RunPidExperiment(
+      spec, suite::FelaFactory(m, cfg), stragglers);
+  EXPECT_LT(fela.per_iteration_delay, dp.per_iteration_delay);
+  EXPECT_GT(fela.per_iteration_delay, 0.0);
+}
+
+TEST(IntegrationTest, FelaPidBelowDpPidUnderProbabilityStragglers) {
+  // Fig. 10 direction.
+  const model::Model m = model::zoo::GoogLeNet();
+  auto stragglers = [](int n) {
+    (void)n;
+    return std::make_unique<sim::ProbabilityStragglers>(0.3, 3.0, 77);
+  };
+  ExperimentSpec spec;
+  spec.total_batch = 1024;
+  spec.iterations = 8;
+  const auto cfg =
+      suite::TunedFelaConfig(m, spec.total_batch, 8, 2,
+                             sim::Calibration::Default(), stragglers);
+  const auto dp =
+      runtime::RunPidExperiment(spec, suite::DpFactory(m), stragglers);
+  const auto fela = runtime::RunPidExperiment(
+      spec, suite::FelaFactory(m, cfg), stragglers);
+  EXPECT_LT(fela.per_iteration_delay, dp.per_iteration_delay);
+}
+
+TEST(IntegrationTest, TuningPrefersSmallSubsetAtSmallBatchLargeAtLarge) {
+  // The Fig. 6 narrative: CTD pays at small batches (the paper's batch
+  // 64 tunes to subset 1; batch 1024 tunes to subset 8).
+  const model::Model m = model::zoo::Vgg19();
+  const auto small = suite::TunedFelaConfig(m, 64, 8, 3);
+  const auto large = suite::TunedFelaConfig(m, 1024, 8, 3);
+  EXPECT_LT(small.ctd_subset_size, 8);
+  EXPECT_GT(large.ctd_subset_size, small.ctd_subset_size);
+}
+
+TEST(IntegrationTest, AblationLossesMatchFigSevenDirection) {
+  // Removing either policy from the tuned configuration hurts.
+  const model::Model m = model::zoo::Vgg19();
+  const double batch = 256;
+  core::FelaConfig tuned = suite::TunedFelaConfig(m, batch, 8, 2);
+  ExperimentSpec spec;
+  spec.total_batch = batch;
+  spec.iterations = 4;
+  const auto base = RunExperiment(spec, suite::FelaFactory(m, tuned),
+                                  NoStragglerFactory());
+  core::FelaConfig no_hf = tuned;
+  no_hf.hf_enabled = false;
+  const auto without_hf = RunExperiment(spec, suite::FelaFactory(m, no_hf),
+                                        NoStragglerFactory());
+  EXPECT_GT(base.average_throughput, without_hf.average_throughput);
+  core::FelaConfig no_ads = tuned;
+  no_ads.ads_enabled = false;
+  const auto without_ads = RunExperiment(spec, suite::FelaFactory(m, no_ads),
+                                         NoStragglerFactory());
+  EXPECT_GE(base.average_throughput, without_ads.average_throughput * 0.999);
+}
+
+TEST(IntegrationTest, ByteConservationSendersEqualReceivers) {
+  runtime::Cluster cluster(8, sim::Calibration::Default(), nullptr);
+  core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+  cfg.weights = {1, 2, 4};
+  core::FelaEngine engine(&cluster, model::zoo::Vgg19(), cfg, 256);
+  engine.Run(3);
+  double sent = 0.0, received = 0.0;
+  for (int n = 0; n < 8; ++n) {
+    sent += cluster.fabric().bytes_sent(n);
+    received += cluster.fabric().bytes_received(n);
+  }
+  EXPECT_NEAR(sent, received, 1.0);
+  EXPECT_NEAR(sent, cluster.fabric().total_data_bytes(), 1.0);
+}
+
+TEST(IntegrationTest, GpuUtilizationOrderingMatchesPaper) {
+  // Fela utilizes the cluster best; MP worst (the work-conservation
+  // argument of Table II).
+  const model::Model m = model::zoo::Vgg19();
+  ExperimentSpec spec;
+  spec.total_batch = 256;
+  spec.iterations = 3;
+  const auto cfg = suite::TunedFelaConfig(m, spec.total_batch, 8, 2);
+  const auto r = suite::CompareAll(m, spec, NoStragglerFactory(), cfg);
+  EXPECT_GT(r.fela.gpu_utilization, r.mp.gpu_utilization);
+  EXPECT_GT(r.fela.gpu_utilization, r.hp.gpu_utilization);
+}
+
+TEST(IntegrationTest, TransientStragglersHandled) {
+  // The §III-C transient-straggler stress (extension scenario).
+  const model::Model m = model::zoo::GoogLeNet();
+  auto stragglers = [](int n) {
+    return std::make_unique<sim::TransientStragglers>(n, 2.0, 3, 11);
+  };
+  ExperimentSpec spec;
+  spec.total_batch = 512;
+  spec.iterations = 9;
+  const auto cfg = suite::TunedFelaConfig(m, spec.total_batch, 8, 2,
+                                          sim::Calibration::Default(),
+                                          stragglers);
+  const auto dp = runtime::RunPidExperiment(spec, suite::DpFactory(m),
+                                            stragglers);
+  const auto fela = runtime::RunPidExperiment(
+      spec, suite::FelaFactory(m, cfg), stragglers);
+  EXPECT_LE(fela.per_iteration_delay, dp.per_iteration_delay + 1e-9);
+}
+
+}  // namespace
+}  // namespace fela

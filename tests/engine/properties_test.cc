@@ -1,0 +1,196 @@
+// Parameterized property sweeps: invariants that must hold across the
+// whole operating envelope (batch sizes, policies, straggler patterns).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/fela_engine.h"
+#include "model/zoo.h"
+#include "runtime/cluster.h"
+#include "suite/suite.h"
+
+namespace fela {
+namespace {
+
+// -------------------------------------------------------------------
+// Property 1: token/sample conservation for every (batch, weights,
+// policy) combination.
+// -------------------------------------------------------------------
+
+using PolicyParam = std::tuple<double /*batch*/, int /*w2*/, int /*w3*/,
+                               int /*subset*/, bool /*ads*/, bool /*hf*/>;
+
+class FelaPolicySweep : public ::testing::TestWithParam<PolicyParam> {};
+
+TEST_P(FelaPolicySweep, SamplesConservedAndIterationsComplete) {
+  const auto [batch, w2, w3, subset, ads, hf] = GetParam();
+  runtime::Cluster cluster(8, sim::Calibration::Default(), nullptr);
+  core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+  cfg.weights = {1, w2, w3};
+  cfg.ctd_subset_size = subset;
+  cfg.ads_enabled = ads;
+  cfg.hf_enabled = hf;
+  core::FelaEngine engine(&cluster, model::zoo::Vgg19(), cfg, batch);
+  const auto stats = engine.Run(2);
+  ASSERT_EQ(stats.iteration_count(), 2);
+  double samples = 0.0;
+  for (int w = 0; w < 8; ++w) samples += engine.worker(w).samples_trained();
+  EXPECT_NEAR(samples, batch * 3 * 2, batch * 1e-9);
+  // Iteration times strictly positive and finite.
+  for (const auto& it : stats.iterations) {
+    EXPECT_GT(it.duration(), 0.0);
+    EXPECT_LT(it.duration(), 1000.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyGrid, FelaPolicySweep,
+    ::testing::Combine(::testing::Values(64.0, 160.0, 256.0, 1024.0),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(2, 8),
+                       ::testing::Values(1, 8),
+                       ::testing::Bool(),
+                       ::testing::Bool()));
+
+// -------------------------------------------------------------------
+// Property 2: determinism — identical inputs give identical outcomes.
+// -------------------------------------------------------------------
+
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<int /*engine*/, double>> {};
+
+TEST_P(DeterminismSweep, TwoRunsIdentical) {
+  const auto [engine_idx, batch] = GetParam();
+  const model::Model m = model::zoo::GoogLeNet();
+  core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+  auto factory = [&]() -> runtime::EngineFactory {
+    switch (engine_idx) {
+      case 0:
+        return suite::DpFactory(m);
+      case 1:
+        return suite::MpFactory(m);
+      case 2:
+        return suite::HpFactory(m);
+      default:
+        return suite::FelaFactory(m, cfg);
+    }
+  }();
+  runtime::ExperimentSpec spec;
+  spec.total_batch = batch;
+  spec.iterations = 3;
+  const auto a = RunExperiment(spec, factory, runtime::NoStragglerFactory());
+  const auto b = RunExperiment(spec, factory, runtime::NoStragglerFactory());
+  EXPECT_DOUBLE_EQ(a.stats.total_time, b.stats.total_time);
+  EXPECT_DOUBLE_EQ(a.stats.total_data_bytes, b.stats.total_data_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DeterminismSweep,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(256.0, 1024.0)));
+
+// -------------------------------------------------------------------
+// Property 3: throughput responds sanely to the sweep variables.
+// -------------------------------------------------------------------
+
+class StragglerDelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StragglerDelaySweep, ThroughputNonIncreasingInDelay) {
+  const double d = GetParam();
+  const model::Model m = model::zoo::GoogLeNet();
+  runtime::ExperimentSpec spec;
+  spec.total_batch = 512;
+  spec.iterations = 6;
+  auto make = [&](double delay) {
+    auto stragglers = [delay](int n) -> std::unique_ptr<sim::StragglerSchedule> {
+      if (delay == 0.0) return std::make_unique<sim::NoStragglers>();
+      return std::make_unique<sim::RoundRobinStragglers>(n, delay);
+    };
+    return RunExperiment(spec, suite::DpFactory(m), stragglers)
+        .average_throughput;
+  };
+  EXPECT_LE(make(d), make(0.0) + 1e-9);
+  EXPECT_LE(make(2 * d), make(d) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, StragglerDelaySweep,
+                         ::testing::Values(1.0, 2.0, 4.0));
+
+class BatchMonotonicitySweep
+    : public ::testing::TestWithParam<int /*engine*/> {};
+
+TEST_P(BatchMonotonicitySweep, ThroughputGrowsWithBatchUntilSaturation) {
+  // All engines amortize fixed costs: AT at batch 512 must beat AT at 64.
+  const int engine_idx = GetParam();
+  const model::Model m = model::zoo::Vgg19();
+  core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+  auto factory = [&]() -> runtime::EngineFactory {
+    switch (engine_idx) {
+      case 0:
+        return suite::DpFactory(m);
+      case 1:
+        return suite::HpFactory(m);
+      default:
+        return suite::FelaFactory(m, cfg);
+    }
+  }();
+  auto at = [&](double batch) {
+    runtime::ExperimentSpec spec;
+    spec.total_batch = batch;
+    spec.iterations = 3;
+    return RunExperiment(spec, factory, runtime::NoStragglerFactory())
+        .average_throughput;
+  };
+  EXPECT_GT(at(512), at(64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, BatchMonotonicitySweep,
+                         ::testing::Range(0, 3));
+
+// -------------------------------------------------------------------
+// Property 4: the worker-count axis.
+// -------------------------------------------------------------------
+
+class WorkerCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkerCountSweep, FelaCompletesOnAnyClusterSize) {
+  const int n = GetParam();
+  runtime::Cluster cluster(n, sim::Calibration::Default(), nullptr);
+  core::FelaConfig cfg = core::FelaConfig::Defaults(3, n);
+  core::FelaEngine engine(&cluster, model::zoo::Vgg19(), cfg, 256);
+  const auto stats = engine.Run(2);
+  EXPECT_EQ(stats.iteration_count(), 2);
+  double samples = 0.0;
+  for (int w = 0; w < n; ++w) samples += engine.worker(w).samples_trained();
+  EXPECT_NEAR(samples, 256.0 * 3 * 2, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, WorkerCountSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+// -------------------------------------------------------------------
+// Property 5: straggler schedules are fair across engines (identical
+// injected delay totals).
+// -------------------------------------------------------------------
+
+class ScheduleFairnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleFairnessSweep, SameScheduleSameTotalInjectedDelay) {
+  const int seed = GetParam();
+  sim::ProbabilityStragglers s(0.3, 2.0, static_cast<uint64_t>(seed));
+  double total1 = 0.0, total2 = 0.0;
+  for (int it = 0; it < 20; ++it) {
+    for (int w = 0; w < 8; ++w) {
+      total1 += s.DelayFor(it, w);
+      total2 += s.DelayFor(it, w);  // re-query: must be pure
+    }
+  }
+  EXPECT_DOUBLE_EQ(total1, total2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFairnessSweep,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+}  // namespace
+}  // namespace fela

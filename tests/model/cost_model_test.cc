@@ -1,0 +1,134 @@
+#include "model/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+
+namespace fela::model {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : cost_(sim::Calibration::Default(), &ProfileRepository::Default()) {}
+  LayerCostModel cost_;
+};
+
+TEST_F(CostModelTest, PerSampleSecondsFromFlops) {
+  Layer l = Layer::Conv("x", 64, 64, 224, 224);
+  const double expected = l.FlopsPerSample() *
+                          LayerCostModel::kTrainingFlopsMultiplier /
+                          sim::Calibration::Default().gpu_effective_flops;
+  EXPECT_DOUBLE_EQ(cost_.PerSampleSeconds(l), expected);
+}
+
+TEST_F(CostModelTest, SaturatedRegionIsLinear) {
+  Layer l = Layer::Conv("x", 64, 64, 224, 224);  // threshold 16
+  const double t32 = cost_.PassSeconds(l, 32);
+  const double t64 = cost_.PassSeconds(l, 64);
+  EXPECT_NEAR(t64 / t32, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cost_.UnderutilizationSeconds(l, 32), 0.0);
+}
+
+TEST_F(CostModelTest, SubThresholdPaysUnderutilization) {
+  Layer l = Layer::Fc("x", 4096, 4096);  // threshold 2048
+  EXPECT_GT(cost_.UnderutilizationSeconds(l, 32), 0.0);
+  // Throughput below threshold is strictly worse than at threshold.
+  EXPECT_LT(cost_.Throughput(l, 32), cost_.Throughput(l, 2048));
+}
+
+TEST_F(CostModelTest, ThroughputRisesThenPlateaus) {
+  // The Fig. 1 shape: throughput monotone non-decreasing in batch, flat
+  // above the threshold.
+  Layer l = Layer::Conv("x", 512, 512, 14, 14);
+  double prev = 0.0;
+  for (double b = 1; b <= 512; b *= 2) {
+    const double t = cost_.Throughput(l, b);
+    EXPECT_GE(t, prev * 0.999) << "batch " << b;
+    prev = t;
+  }
+  EXPECT_NEAR(cost_.Throughput(l, 256), cost_.Throughput(l, 512), 1e-6);
+}
+
+TEST_F(CostModelTest, MeasuredThresholdsMatchFigureOne) {
+  // The power-of-two profiling sweep must "measure" the Fig. 1
+  // saturation points: 16, 64 and 2048 for the three shapes.
+  EXPECT_DOUBLE_EQ(
+      cost_.MeasureThresholdBatch(Layer::Conv("a", 64, 64, 224, 224), 4096),
+      16.0);
+  EXPECT_DOUBLE_EQ(
+      cost_.MeasureThresholdBatch(Layer::Conv("b", 512, 512, 14, 14), 4096),
+      64.0);
+  EXPECT_DOUBLE_EQ(
+      cost_.MeasureThresholdBatch(Layer::Fc("c", 4096, 4096), 4096), 2048.0);
+}
+
+TEST_F(CostModelTest, SweepCoversPowersOfTwo) {
+  const auto points =
+      cost_.SweepThroughput(Layer::Conv("a", 64, 64, 224, 224), 64);
+  ASSERT_EQ(points.size(), 7u);  // 1..64
+  EXPECT_DOUBLE_EQ(points.front().batch, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().batch, 64.0);
+}
+
+TEST_F(CostModelTest, RangeSecondsSumsLayers) {
+  Model m = zoo::Vgg19();
+  const double whole = cost_.RangeSeconds(m, 0, 18, 32);
+  const double split =
+      cost_.RangeSeconds(m, 0, 7, 32) + cost_.RangeSeconds(m, 8, 18, 32);
+  EXPECT_NEAR(whole, split, 1e-12);
+}
+
+TEST_F(CostModelTest, Vgg19SaturatedPassIsPlausible) {
+  // ~39.3 GFLOPs fwd * 3 / 2 TFLOP/s ~ 59 ms/sample at saturation.
+  Model m = zoo::Vgg19();
+  const double t = cost_.RangeSeconds(m, 0, 18, 2048) / 2048;
+  EXPECT_NEAR(t, 0.059, 0.005);
+}
+
+TEST_F(CostModelTest, LatencyRegionExponentControlsPenalty) {
+  sim::Calibration harsh = sim::Calibration::Default();
+  harsh.latency_region_exponent = 0.0;  // fully latency-bound
+  sim::Calibration mild = sim::Calibration::Default();
+  mild.latency_region_exponent = 1.0;  // no penalty
+  LayerCostModel harsh_cost(harsh, &ProfileRepository::Default());
+  LayerCostModel mild_cost(mild, &ProfileRepository::Default());
+  Layer l = Layer::Fc("x", 4096, 4096);
+  EXPECT_GT(harsh_cost.PassSeconds(l, 8), mild_cost.PassSeconds(l, 8));
+  EXPECT_DOUBLE_EQ(mild_cost.UnderutilizationSeconds(l, 8), 0.0);
+  // With gamma = 0, a sub-threshold pass costs the full threshold pass.
+  EXPECT_NEAR(harsh_cost.PassSeconds(l, 8), harsh_cost.PassSeconds(l, 2048),
+              1e-9);
+}
+
+class LayerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerSweep, PassTimeMonotoneInBatch) {
+  Model m = zoo::Vgg19();
+  const Layer& l = m.layer(GetParam());
+  LayerCostModel cost(sim::Calibration::Default(),
+                      &ProfileRepository::Default());
+  double prev = 0.0;
+  for (double b = 1; b <= 4096; b *= 2) {
+    const double t = cost.PassSeconds(l, b);
+    EXPECT_GT(t, prev) << l.name << " batch " << b;
+    prev = t;
+  }
+}
+
+TEST_P(LayerSweep, MeasuredThresholdNearProfiled) {
+  Model m = zoo::Vgg19();
+  const Layer& l = m.layer(GetParam());
+  LayerCostModel cost(sim::Calibration::Default(),
+                      &ProfileRepository::Default());
+  const double measured = cost.MeasureThresholdBatch(l, 4096);
+  // Power-of-two rounding of the continuous threshold: within [t/2, 2t].
+  EXPECT_GE(measured, l.threshold_batch / 2);
+  EXPECT_LE(measured, l.threshold_batch * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Vgg19Layers, LayerSweep,
+                         ::testing::Range(0, 19));
+
+}  // namespace
+}  // namespace fela::model

@@ -1,0 +1,85 @@
+#include "model/layer.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::model {
+namespace {
+
+TEST(LayerTest, ConvParamsAndFlops) {
+  // conv1_1 of VGG19: 3x3 kernel, 3->64 channels, 224x224 output.
+  Layer l = Layer::Conv("conv1_1", 3, 64, 224, 224);
+  EXPECT_DOUBLE_EQ(l.Params(), 9.0 * 3 * 64 + 64);  // 1792
+  EXPECT_DOUBLE_EQ(l.FlopsPerSample(), 2.0 * 9 * 3 * 64 * 224 * 224);
+  EXPECT_DOUBLE_EQ(l.OutputActivationElems(), 64.0 * 224 * 224);
+}
+
+TEST(LayerTest, FcParamsAndFlops) {
+  // fc6 of VGG19: 25088 -> 4096.
+  Layer l = Layer::Fc("fc6", 25088, 4096);
+  EXPECT_DOUBLE_EQ(l.Params(), 25088.0 * 4096 + 4096);  // ~102.8M
+  EXPECT_DOUBLE_EQ(l.FlopsPerSample(), 2.0 * 25088 * 4096);
+  EXPECT_DOUBLE_EQ(l.OutputActivationElems(), 4096.0);
+}
+
+TEST(LayerTest, PoolHasNoParams) {
+  Layer l = Layer::Pool("pool1", 64, 112, 112);
+  EXPECT_DOUBLE_EQ(l.Params(), 0.0);
+  EXPECT_GT(l.FlopsPerSample(), 0.0);  // negligible but nonzero
+  EXPECT_DOUBLE_EQ(l.OutputActivationElems(), 64.0 * 112 * 112);
+}
+
+TEST(LayerTest, InceptionUsesOverrides) {
+  Layer l = Layer::Inception("inc3a", 192, 256, 16, 16, /*flops=*/8e7,
+                             /*params=*/163696);
+  EXPECT_DOUBLE_EQ(l.Params(), 163696.0);
+  EXPECT_DOUBLE_EQ(l.FlopsPerSample(), 8e7);
+  EXPECT_DOUBLE_EQ(l.OutputActivationElems(), 256.0 * 16 * 16);
+}
+
+TEST(LayerTest, OverridesBeatDerivation) {
+  Layer l = Layer::Conv("c", 64, 64, 10, 10);
+  l.flops_override = 123.0;
+  l.params_override = 456.0;
+  l.activation_override = 789.0;
+  EXPECT_DOUBLE_EQ(l.FlopsPerSample(), 123.0);
+  EXPECT_DOUBLE_EQ(l.Params(), 456.0);
+  EXPECT_DOUBLE_EQ(l.OutputActivationElems(), 789.0);
+}
+
+TEST(LayerTest, ShapeKeysMatchPaperNotation) {
+  EXPECT_EQ(Layer::Conv("x", 64, 64, 224, 224).ShapeKey(),
+            "conv(64,64,224,224,k3)");
+  EXPECT_EQ(Layer::Conv("x", 512, 512, 14, 14).ShapeKey(),
+            "conv(512,512,14,14,k3)");
+  EXPECT_EQ(Layer::Fc("x", 4096, 4096).ShapeKey(), "fc(4096,4096)");
+}
+
+TEST(LayerTest, SameShapeSameKey) {
+  // §IV-A: layers come in a limited number of shapes; keys collapse them.
+  Layer a = Layer::Conv("conv5_1", 512, 512, 14, 14);
+  Layer b = Layer::Conv("conv5_4", 512, 512, 14, 14);
+  EXPECT_EQ(a.ShapeKey(), b.ShapeKey());
+}
+
+TEST(LayerTest, CommunicationIntensiveOnlyFc) {
+  EXPECT_TRUE(Layer::Fc("f", 10, 10).IsCommunicationIntensive());
+  EXPECT_FALSE(Layer::Conv("c", 3, 8, 4, 4).IsCommunicationIntensive());
+  EXPECT_FALSE(Layer::Pool("p", 8, 2, 2).IsCommunicationIntensive());
+}
+
+TEST(LayerTest, KindNames) {
+  EXPECT_STREQ(LayerKindName(LayerKind::kConv), "CONV");
+  EXPECT_STREQ(LayerKindName(LayerKind::kFc), "FC");
+  EXPECT_STREQ(LayerKindName(LayerKind::kPool), "POOL");
+  EXPECT_STREQ(LayerKindName(LayerKind::kInception), "INCEPTION");
+}
+
+TEST(LayerDeathTest, InceptionWithoutOverridesAborts) {
+  Layer l;
+  l.kind = LayerKind::kInception;
+  l.name = "bad";
+  EXPECT_DEATH(l.Params(), "bad");
+}
+
+}  // namespace
+}  // namespace fela::model

@@ -1,0 +1,96 @@
+#include "model/model.h"
+
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+
+namespace fela::model {
+namespace {
+
+Model TinyModel() {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Conv("c1", 3, 8, 16, 16));
+  layers.push_back(Layer::Pool("p1", 8, 8, 8));
+  layers.push_back(Layer::Fc("f1", 512, 10));
+  return Model("tiny", std::move(layers));
+}
+
+TEST(ModelTest, LayerAccessors) {
+  Model m = TinyModel();
+  EXPECT_EQ(m.layer_count(), 3);
+  EXPECT_EQ(m.layer(0).name, "c1");
+  EXPECT_EQ(m.name(), "tiny");
+}
+
+TEST(ModelTest, WeightedLayerCountExcludesPooling) {
+  EXPECT_EQ(TinyModel().WeightedLayerCount(), 2);
+}
+
+TEST(ModelTest, RangeAggregatesSum) {
+  Model m = TinyModel();
+  EXPECT_DOUBLE_EQ(m.TotalParams(),
+                   m.ParamsInRange(0, 0) + m.ParamsInRange(1, 2));
+  EXPECT_DOUBLE_EQ(
+      m.TotalFlopsPerSample(),
+      m.FlopsPerSampleInRange(0, 1) + m.FlopsPerSampleInRange(2, 2));
+}
+
+TEST(ModelTest, InputElemsInferredFromFirstLayer) {
+  Model m = TinyModel();
+  EXPECT_DOUBLE_EQ(m.input_elems_per_sample(), 3.0 * 16 * 16);
+}
+
+TEST(ModelTest, BoundaryActivations) {
+  Model m = TinyModel();
+  // Into layer 0: the raw input.
+  EXPECT_DOUBLE_EQ(m.BoundaryActivationElems(0), 3.0 * 16 * 16);
+  // Into layer 1: output of c1.
+  EXPECT_DOUBLE_EQ(m.BoundaryActivationElems(1), 8.0 * 16 * 16);
+  // Into layer 2: output of the pool.
+  EXPECT_DOUBLE_EQ(m.BoundaryActivationElems(2), 8.0 * 8 * 8);
+}
+
+TEST(ModelTest, DescribeMentionsEveryLayer) {
+  Model m = TinyModel();
+  const std::string d = m.Describe();
+  EXPECT_NE(d.find("c1"), std::string::npos);
+  EXPECT_NE(d.find("tiny"), std::string::npos);
+  EXPECT_NE(d.find("FC"), std::string::npos);
+}
+
+TEST(ModelDeathTest, BadRangeAborts) {
+  Model m = TinyModel();
+  EXPECT_DEATH(m.ParamsInRange(2, 1), "Check failed");
+  EXPECT_DEATH(m.ParamsInRange(0, 3), "Check failed");
+  EXPECT_DEATH(m.ParamsInRange(-1, 1), "Check failed");
+}
+
+TEST(ModelTest, Vgg19TotalParamsMatchPublished) {
+  // Published VGG19: 143.67M parameters.
+  Model m = zoo::Vgg19();
+  EXPECT_NEAR(m.TotalParams() / 1e6, 143.67, 0.2);
+}
+
+TEST(ModelTest, Vgg19FlopsMatchPublished) {
+  // Published VGG19: ~19.6 GMACs forward = ~39.3 GFLOPs.
+  Model m = zoo::Vgg19();
+  EXPECT_NEAR(m.TotalFlopsPerSample() / 1e9, 39.3, 1.0);
+}
+
+TEST(ModelTest, Vgg19FcDominatesParams) {
+  // The FC layers hold ~86% of VGG19's parameters — the reason its
+  // synchronization is communication-bound (§III-F).
+  Model m = zoo::Vgg19();
+  const double fc_params = m.ParamsInRange(16, 18);
+  EXPECT_GT(fc_params / m.TotalParams(), 0.8);
+}
+
+TEST(ModelTest, Vgg19ConvDominatesCompute) {
+  // ...while the CONV layers hold >90% of the compute (§III-F).
+  Model m = zoo::Vgg19();
+  const double conv_flops = m.FlopsPerSampleInRange(0, 15);
+  EXPECT_GT(conv_flops / m.TotalFlopsPerSample(), 0.9);
+}
+
+}  // namespace
+}  // namespace fela::model

@@ -1,0 +1,116 @@
+#include "model/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+
+namespace fela::model::zoo {
+namespace {
+
+TEST(ZooTest, TableOneLayerCounts) {
+  // Table I of the paper: published layer numbers.
+  struct Row {
+    const char* name;
+    int year;
+    int layers;
+  };
+  const Row expected[] = {
+      {"LeNet-5", 1998, 5},   {"AlexNet", 2012, 8},
+      {"ZF Net", 2013, 8},    {"VGG16", 2014, 16},
+      {"VGG19", 2014, 19},    {"GoogLeNet", 2014, 22},
+      {"ResNet-152", 2015, 152}, {"CUImage", 2016, 1207},
+      {"SENet", 2017, 154},
+  };
+  const auto models = TableOneModels();
+  ASSERT_EQ(models.size(), std::size(expected));
+  for (size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ(models[i].name(), expected[i].name);
+    EXPECT_EQ(models[i].year(), expected[i].year);
+    EXPECT_EQ(models[i].published_layer_count(), expected[i].layers);
+  }
+}
+
+TEST(ZooTest, WeightedCountsMatchPublishedWhereExact) {
+  // For the models we build at full granularity, the weighted layer
+  // count equals the published number.
+  EXPECT_EQ(LeNet5().WeightedLayerCount(), 5);
+  EXPECT_EQ(AlexNet().WeightedLayerCount(), 8);
+  EXPECT_EQ(ZfNet().WeightedLayerCount(), 8);
+  EXPECT_EQ(Vgg16().WeightedLayerCount(), 16);
+  EXPECT_EQ(Vgg19().WeightedLayerCount(), 19);
+  EXPECT_EQ(ResNet152().WeightedLayerCount(), 152);
+  EXPECT_EQ(SeNet154().WeightedLayerCount(), 154);
+  EXPECT_EQ(CuImage().WeightedLayerCount(), 1207);
+}
+
+TEST(ZooTest, GoogLeNetIsCoarsenedTo12TrainingUnits) {
+  Model g = GoogLeNet();
+  EXPECT_EQ(g.layer_count(), 12);
+  EXPECT_EQ(g.published_layer_count(), 22);
+}
+
+TEST(ZooTest, Vgg19LayerStructure) {
+  Model m = Vgg19();
+  ASSERT_EQ(m.layer_count(), 19);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(m.layer(i).kind, LayerKind::kConv) << i;
+  }
+  for (int i = 16; i < 19; ++i) {
+    EXPECT_EQ(m.layer(i).kind, LayerKind::kFc) << i;
+  }
+  EXPECT_EQ(m.layer(0).c_in, 3);
+  EXPECT_EQ(m.layer(18).c_out, 1000);
+}
+
+TEST(ZooTest, Vgg19InputShapeIsPaper224) {
+  // §V-A: input (batch, 3, 224, 224) for VGG19.
+  EXPECT_DOUBLE_EQ(Vgg19().input_elems_per_sample(), 3.0 * 224 * 224);
+}
+
+TEST(ZooTest, GoogLeNetInputShapeIsPaper32) {
+  // §V-A: input (batch, 3, 32, 32) for GoogLeNet.
+  EXPECT_DOUBLE_EQ(GoogLeNet().input_elems_per_sample(), 3.0 * 32 * 32);
+}
+
+TEST(ZooTest, AllZooLayersHaveThresholdsForBenchmarks) {
+  for (const Model* m : {new Model(Vgg19()), new Model(GoogLeNet())}) {
+    for (const Layer& l : m->layers()) {
+      EXPECT_GT(l.threshold_batch, 0.0) << m->name() << " " << l.name;
+    }
+    delete m;
+  }
+}
+
+TEST(ZooTest, Vgg19ThresholdsNonDecreasingWithDepth) {
+  // Deeper layers need larger batches to saturate (§II-B premise).
+  Model m = Vgg19();
+  for (int i = 1; i < m.layer_count(); ++i) {
+    EXPECT_GE(m.layer(i).threshold_batch, m.layer(i - 1).threshold_batch)
+        << "layer " << i;
+  }
+}
+
+TEST(ZooTest, GoogLeNetParamsPlausible) {
+  // Published GoogLeNet: ~6.6M parameters (ours adds the CIFAR-style
+  // stem; accept 5-9M).
+  const double p = GoogLeNet().TotalParams() / 1e6;
+  EXPECT_GT(p, 5.0);
+  EXPECT_LT(p, 9.0);
+}
+
+TEST(ZooTest, ResNet152ParamsPlausible) {
+  // Published ResNet-152: ~60M parameters.
+  const double p = ResNet152().TotalParams() / 1e6;
+  EXPECT_GT(p, 40.0);
+  EXPECT_LT(p, 80.0);
+}
+
+TEST(ZooTest, ModelsAreIndependentCopies) {
+  Model a = Vgg19();
+  Model b = Vgg19();
+  EXPECT_EQ(a.layer_count(), b.layer_count());
+  EXPECT_DOUBLE_EQ(a.TotalParams(), b.TotalParams());
+}
+
+}  // namespace
+}  // namespace fela::model::zoo

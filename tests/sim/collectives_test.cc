@@ -1,0 +1,97 @@
+#include "sim/collectives.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::sim {
+namespace {
+
+Calibration TestCal() {
+  Calibration cal;
+  cal.nic_bandwidth_bytes_per_sec = 1e9;
+  cal.message_latency_sec = 1e-3;
+  return cal;
+}
+
+class CollectivesTest : public ::testing::Test {
+ protected:
+  CollectivesTest() : fabric_(&sim_, 8, TestCal()) {}
+  Simulator sim_;
+  Fabric fabric_;
+};
+
+TEST_F(CollectivesTest, SingleParticipantCompletesImmediately) {
+  SimTime done = -1.0;
+  RingAllReduce(&sim_, &fabric_, {3}, 1e9, [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+  EXPECT_DOUBLE_EQ(fabric_.total_data_bytes(), 0.0);
+}
+
+TEST_F(CollectivesTest, RingMatchesIdealOnCleanFabric) {
+  const double bytes = 4e8;
+  SimTime done = 0.0;
+  RingAllReduce(&sim_, &fabric_, {0, 1, 2, 3}, bytes,
+                [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_NEAR(done, RingAllReduceIdealSeconds(4, bytes, TestCal()), 1e-9);
+}
+
+TEST_F(CollectivesTest, IdealSecondsFormula) {
+  // 2*(P-1) rounds of (bytes/P)/bw + latency.
+  const double t = RingAllReduceIdealSeconds(8, 8e8, TestCal());
+  EXPECT_NEAR(t, 2 * 7 * (1e8 / 1e9 + 1e-3), 1e-12);
+  EXPECT_DOUBLE_EQ(RingAllReduceIdealSeconds(1, 8e8, TestCal()), 0.0);
+}
+
+TEST_F(CollectivesTest, RingMovesExpectedBytes) {
+  const double bytes = 4e8;
+  RingAllReduce(&sim_, &fabric_, {0, 1, 2, 3}, bytes, [] {});
+  sim_.Run();
+  // Each of 4 nodes sends a chunk (bytes/4) in each of 2*(4-1) rounds.
+  EXPECT_NEAR(fabric_.total_data_bytes(), 2 * 3 * 4 * (bytes / 4), 1.0);
+}
+
+TEST_F(CollectivesTest, LargerRingsTakeLonger) {
+  const double b = 1e8;
+  EXPECT_LT(RingAllReduceIdealSeconds(2, b, TestCal()),
+            RingAllReduceIdealSeconds(4, b, TestCal()));
+  EXPECT_LT(RingAllReduceIdealSeconds(4, b, TestCal()),
+            RingAllReduceIdealSeconds(8, b, TestCal()));
+}
+
+TEST_F(CollectivesTest, GatherToRootSerializesOnRootInLink) {
+  SimTime done = 0.0;
+  GatherTo(&sim_, &fabric_, /*root=*/0, {1, 2, 3}, 1e9,
+           [&] { done = sim_.now(); });
+  sim_.Run();
+  // Three 1s transfers serialize on node 0's inbound link.
+  EXPECT_NEAR(done, 3 * (1.0 + 1e-3), 1e-9);
+}
+
+TEST_F(CollectivesTest, ScatterFromRootSerializesOnRootOutLink) {
+  SimTime done = 0.0;
+  ScatterFrom(&sim_, &fabric_, /*root=*/5, {1, 2, 3, 4}, 5e8,
+              [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_NEAR(done, 4 * (0.5 + 1e-3), 1e-9);
+}
+
+TEST_F(CollectivesTest, GatherWithNoSendersCompletes) {
+  SimTime done = -1.0;
+  GatherTo(&sim_, &fabric_, 0, {}, 1e6, [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+TEST_F(CollectivesTest, ConcurrentRingsContendOnSharedLinks) {
+  SimTime a = 0.0, b = 0.0;
+  RingAllReduce(&sim_, &fabric_, {0, 1}, 1e9, [&] { a = sim_.now(); });
+  RingAllReduce(&sim_, &fabric_, {0, 1}, 1e9, [&] { b = sim_.now(); });
+  sim_.Run();
+  const double one_alone = RingAllReduceIdealSeconds(2, 1e9, TestCal());
+  EXPECT_GT(b, one_alone * 1.5);  // the second ring queued behind the first
+  EXPECT_GT(a, one_alone - 1e-9);
+}
+
+}  // namespace
+}  // namespace fela::sim

@@ -1,0 +1,88 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fela::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(3.0, [&] { order.push_back(3); });
+  q.Push(1.0, [&] { order.push_back(1); });
+  q.Push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, PeekTimeReportsEarliest) {
+  EventQueue q;
+  q.Push(7.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelledEventSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(1.0, [&] { order.push_back(1); });
+  EventId id = q.Push(2.0, [&] { order.push_back(2); });
+  q.Push(3.0, [&] { order.push_back(3); });
+  q.Cancel(id);
+  while (!q.empty()) q.Pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(9999));
+}
+
+TEST(EventQueueTest, DoubleCancelFails) {
+  EventQueue q;
+  EventId id = q.Push(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.Pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fela::sim

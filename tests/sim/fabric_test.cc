@@ -1,0 +1,134 @@
+#include "sim/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::sim {
+namespace {
+
+Calibration TestCal() {
+  Calibration cal;
+  cal.nic_bandwidth_bytes_per_sec = 1e9;  // 1 GB/s for round numbers
+  cal.message_latency_sec = 1e-3;
+  cal.control_message_bytes = 1000;
+  return cal;
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : fabric_(&sim_, 4, TestCal()) {}
+  Simulator sim_;
+  Fabric fabric_;
+};
+
+TEST_F(FabricTest, TransferTimeIsLatencyPlusWire) {
+  SimTime done = 0.0;
+  fabric_.Transfer(0, 1, 1e9, [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_NEAR(done, 1.0 + 1e-3, 1e-12);
+}
+
+TEST_F(FabricTest, LocalTransferIsFreeAndInstant) {
+  SimTime done = -1.0;
+  fabric_.Transfer(2, 2, 1e9, [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+  EXPECT_DOUBLE_EQ(fabric_.total_data_bytes(), 0.0);
+}
+
+TEST_F(FabricTest, ZeroByteTransferCompletesImmediately) {
+  SimTime done = -1.0;
+  fabric_.Transfer(0, 1, 0.0, [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+TEST_F(FabricTest, SameSourceSerializesOnOutboundLink) {
+  SimTime first = 0.0, second = 0.0;
+  fabric_.Transfer(0, 1, 1e9, [&] { first = sim_.now(); });
+  fabric_.Transfer(0, 2, 1e9, [&] { second = sim_.now(); });
+  sim_.Run();
+  EXPECT_NEAR(first, 1.001, 1e-9);
+  EXPECT_NEAR(second, 2.002, 1e-9);  // queued behind the first
+}
+
+TEST_F(FabricTest, SameDestinationSerializesOnInboundLink) {
+  SimTime first = 0.0, second = 0.0;
+  fabric_.Transfer(0, 3, 1e9, [&] { first = sim_.now(); });
+  fabric_.Transfer(1, 3, 1e9, [&] { second = sim_.now(); });
+  sim_.Run();
+  EXPECT_NEAR(first, 1.001, 1e-9);
+  EXPECT_NEAR(second, 2.002, 1e-9);
+}
+
+TEST_F(FabricTest, DisjointPairsRunInParallel) {
+  SimTime a = 0.0, b = 0.0;
+  fabric_.Transfer(0, 1, 1e9, [&] { a = sim_.now(); });
+  fabric_.Transfer(2, 3, 1e9, [&] { b = sim_.now(); });
+  sim_.Run();
+  EXPECT_NEAR(a, 1.001, 1e-9);
+  EXPECT_NEAR(b, 1.001, 1e-9);  // not queued; different links
+}
+
+TEST_F(FabricTest, ControlMessagesBypassDataQueue) {
+  // Saturate the 0->1 path with bulk data, then send a control message;
+  // it must not wait for the bulk transfer.
+  fabric_.Transfer(0, 1, 10e9, [] {});
+  SimTime ctrl = 0.0;
+  fabric_.SendControl(0, 1, [&] { ctrl = sim_.now(); });
+  sim_.Run();
+  EXPECT_LT(ctrl, 0.01);
+}
+
+TEST_F(FabricTest, ControlLoopbackIsImmediate) {
+  SimTime t = -1.0;
+  fabric_.SendControl(1, 1, [&] { t = sim_.now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_EQ(fabric_.control_message_count(), 1u);
+}
+
+TEST_F(FabricTest, StatisticsTrackBytesAndCounts) {
+  fabric_.Transfer(0, 1, 5e8, [] {});
+  fabric_.Transfer(1, 0, 25e7, [] {});
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(fabric_.total_data_bytes(), 7.5e8);
+  EXPECT_DOUBLE_EQ(fabric_.bytes_sent(0), 5e8);
+  EXPECT_DOUBLE_EQ(fabric_.bytes_received(0), 25e7);
+  EXPECT_DOUBLE_EQ(fabric_.bytes_sent(1), 25e7);
+  EXPECT_DOUBLE_EQ(fabric_.bytes_received(1), 5e8);
+  EXPECT_EQ(fabric_.data_transfer_count(), 2u);
+}
+
+TEST_F(FabricTest, LinkBusyAccounting) {
+  fabric_.Transfer(0, 1, 1e9, [] {});
+  sim_.Run();
+  EXPECT_NEAR(fabric_.out_link_busy(0), 1.001, 1e-9);
+  EXPECT_NEAR(fabric_.in_link_busy(1), 1.001, 1e-9);
+  EXPECT_DOUBLE_EQ(fabric_.out_link_busy(1), 0.0);
+}
+
+TEST_F(FabricTest, ResetStatsClearsCounters) {
+  fabric_.Transfer(0, 1, 1e9, [] {});
+  sim_.Run();
+  fabric_.ResetStats();
+  EXPECT_DOUBLE_EQ(fabric_.total_data_bytes(), 0.0);
+  EXPECT_EQ(fabric_.data_transfer_count(), 0u);
+  EXPECT_DOUBLE_EQ(fabric_.out_link_busy(0), 0.0);
+}
+
+TEST_F(FabricTest, NextFreeTimeReflectsQueue) {
+  EXPECT_DOUBLE_EQ(fabric_.NextFreeTime(0, 1), 0.0);
+  fabric_.Transfer(0, 1, 1e9, [] {});
+  EXPECT_NEAR(fabric_.NextFreeTime(0, 1), 1.001, 1e-9);
+  EXPECT_NEAR(fabric_.NextFreeTime(0, 2), 1.001, 1e-9);  // src busy
+  EXPECT_NEAR(fabric_.NextFreeTime(2, 1), 1.001, 1e-9);  // dst busy
+  EXPECT_DOUBLE_EQ(fabric_.NextFreeTime(2, 3), 0.0);
+}
+
+TEST_F(FabricTest, InvalidNodeAborts) {
+  EXPECT_DEATH(fabric_.Transfer(0, 7, 1.0, [] {}), "node");
+  EXPECT_DEATH(fabric_.Transfer(-1, 0, 1.0, [] {}), "node");
+}
+
+}  // namespace
+}  // namespace fela::sim

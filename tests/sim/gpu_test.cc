@@ -1,0 +1,100 @@
+#include "sim/gpu.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::sim {
+namespace {
+
+TEST(GpuTest, TasksRunFifo) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  SimTime a = 0.0, b = 0.0;
+  gpu.Enqueue(1.0, [&] { a = sim.now(); });
+  gpu.Enqueue(2.0, [&] { b = sim.now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(a, 1.0);
+  EXPECT_DOUBLE_EQ(b, 3.0);
+}
+
+TEST(GpuTest, BusyTimeAccumulates) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  gpu.Enqueue(1.5, [] {});
+  gpu.Enqueue(0.5, [] {});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(gpu.busy_time(), 2.0);
+}
+
+TEST(GpuTest, LateSubmissionStartsAtNow) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  SimTime done = 0.0;
+  sim.Schedule(5.0, [&] {
+    gpu.Enqueue(1.0, [&] { done = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done, 6.0);
+  EXPECT_DOUBLE_EQ(gpu.busy_time(), 1.0);  // idle gap not counted
+}
+
+TEST(GpuTest, BlockUntilDelaysSubsequentWork) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  gpu.BlockUntil(2.0);
+  SimTime done = 0.0;
+  gpu.Enqueue(1.0, [&] { done = sim.now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done, 3.0);
+  EXPECT_DOUBLE_EQ(gpu.injected_sleep(), 2.0);
+  EXPECT_DOUBLE_EQ(gpu.busy_time(), 1.0);
+}
+
+TEST(GpuTest, BlockUntilPastTimeIsNoOp) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  gpu.Enqueue(5.0, [] {});
+  gpu.BlockUntil(1.0);  // device already busy past 1.0
+  EXPECT_DOUBLE_EQ(gpu.injected_sleep(), 0.0);
+  EXPECT_DOUBLE_EQ(gpu.free_at(), 5.0);
+}
+
+TEST(GpuTest, BlockExtendsBusyDevice) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  gpu.Enqueue(1.0, [] {});
+  gpu.BlockUntil(4.0);
+  SimTime done = 0.0;
+  gpu.Enqueue(1.0, [&] { done = sim.now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done, 5.0);
+  EXPECT_DOUBLE_EQ(gpu.injected_sleep(), 3.0);
+}
+
+TEST(GpuTest, ZeroDurationTaskAllowed) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  bool fired = false;
+  gpu.Enqueue(0.0, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(GpuTest, ResetStatsClears) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  gpu.BlockUntil(1.0);
+  gpu.Enqueue(1.0, [] {});
+  sim.Run();
+  gpu.ResetStats();
+  EXPECT_DOUBLE_EQ(gpu.busy_time(), 0.0);
+  EXPECT_DOUBLE_EQ(gpu.injected_sleep(), 0.0);
+}
+
+TEST(GpuDeathTest, NegativeDurationAborts) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  EXPECT_DEATH(gpu.Enqueue(-1.0, [] {}), "Check failed");
+}
+
+}  // namespace
+}  // namespace fela::sim

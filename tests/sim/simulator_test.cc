@@ -1,0 +1,99 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fela::sim {
+namespace {
+
+TEST(SimulatorTest, TimeStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, ScheduleAdvancesClock) {
+  Simulator sim;
+  SimTime observed = -1.0;
+  sim.Schedule(1.5, [&] { observed = sim.now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(observed, 1.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(SimulatorTest, NestedSchedulingAccumulates) {
+  Simulator sim;
+  SimTime finish = 0.0;
+  sim.Schedule(1.0, [&] {
+    sim.Schedule(2.0, [&] { finish = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(finish, 3.0);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime t = 0.0;
+  sim.ScheduleAt(4.25, [&] { t = sim.now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(t, 4.25);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1.0, [&] { ++count; });
+  sim.Schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(5.0, [&] { ++fired; });
+  sim.RunUntil(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(SimulatorDeathTest, NegativeDelayAborts) {
+  Simulator sim;
+  EXPECT_DEATH(sim.Schedule(-1.0, [] {}), "Check failed");
+}
+
+TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace fela::sim

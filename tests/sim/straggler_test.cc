@@ -1,0 +1,129 @@
+#include "sim/straggler.h"
+
+#include <gtest/gtest.h>
+
+namespace fela::sim {
+namespace {
+
+TEST(NoStragglersTest, AlwaysZero) {
+  NoStragglers s;
+  for (int it = 0; it < 10; ++it) {
+    for (int w = 0; w < 8; ++w) EXPECT_DOUBLE_EQ(s.DelayFor(it, w), 0.0);
+  }
+  EXPECT_EQ(s.ToString(), "none");
+}
+
+TEST(RoundRobinTest, ExactlyOneVictimPerIteration) {
+  RoundRobinStragglers s(8, 6.0);
+  for (int it = 0; it < 24; ++it) {
+    int victims = 0;
+    for (int w = 0; w < 8; ++w) {
+      const double d = s.DelayFor(it, w);
+      if (d > 0) {
+        ++victims;
+        EXPECT_DOUBLE_EQ(d, 6.0);
+        EXPECT_EQ(w, it % 8);
+      }
+    }
+    EXPECT_EQ(victims, 1);
+  }
+}
+
+TEST(RoundRobinTest, RotatesThroughAllWorkers) {
+  RoundRobinStragglers s(4, 1.0);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_GT(s.DelayFor(w, w), 0.0);
+    EXPECT_GT(s.DelayFor(w + 4, w), 0.0);
+  }
+}
+
+TEST(RoundRobinTest, ToStringMentionsDelay) {
+  EXPECT_EQ(RoundRobinStragglers(8, 2.0).ToString(), "round-robin(d=2.0s)");
+}
+
+TEST(ProbabilityTest, DeterministicPerSeed) {
+  ProbabilityStragglers a(0.3, 6.0, 42);
+  ProbabilityStragglers b(0.3, 6.0, 42);
+  for (int it = 0; it < 50; ++it) {
+    for (int w = 0; w < 8; ++w) {
+      EXPECT_DOUBLE_EQ(a.DelayFor(it, w), b.DelayFor(it, w));
+    }
+  }
+}
+
+TEST(ProbabilityTest, DifferentSeedsDiffer) {
+  ProbabilityStragglers a(0.5, 1.0, 1);
+  ProbabilityStragglers b(0.5, 1.0, 2);
+  int diff = 0;
+  for (int it = 0; it < 100; ++it) {
+    for (int w = 0; w < 8; ++w) {
+      if (a.DelayFor(it, w) != b.DelayFor(it, w)) ++diff;
+    }
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(ProbabilityTest, ZeroAndOneProbabilities) {
+  ProbabilityStragglers never(0.0, 6.0, 7);
+  ProbabilityStragglers always(1.0, 6.0, 7);
+  for (int it = 0; it < 10; ++it) {
+    for (int w = 0; w < 8; ++w) {
+      EXPECT_DOUBLE_EQ(never.DelayFor(it, w), 0.0);
+      EXPECT_DOUBLE_EQ(always.DelayFor(it, w), 6.0);
+    }
+  }
+}
+
+class ProbabilityRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProbabilityRateSweep, EmpiricalRateMatchesP) {
+  const double p = GetParam();
+  ProbabilityStragglers s(p, 3.0, 1234);
+  int hits = 0;
+  const int n_iters = 4000;
+  for (int it = 0; it < n_iters; ++it) {
+    for (int w = 0; w < 8; ++w) {
+      if (s.DelayFor(it, w) > 0) ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / (n_iters * 8), p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, ProbabilityRateSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5));
+
+TEST(TransientTest, OneVictimPerBurstWindow) {
+  TransientStragglers s(8, 4.0, 5, 99);
+  for (int window = 0; window < 10; ++window) {
+    int victim = -1;
+    for (int it = window * 5; it < (window + 1) * 5; ++it) {
+      int count = 0;
+      for (int w = 0; w < 8; ++w) {
+        if (s.DelayFor(it, w) > 0) {
+          ++count;
+          if (victim < 0) victim = w;
+          EXPECT_EQ(w, victim) << "victim stable within window";
+        }
+      }
+      EXPECT_EQ(count, 1);
+    }
+  }
+}
+
+TEST(TransientTest, VictimChangesAcrossWindows) {
+  TransientStragglers s(8, 4.0, 3, 5);
+  int distinct = 0;
+  int prev = -1;
+  for (int window = 0; window < 20; ++window) {
+    for (int w = 0; w < 8; ++w) {
+      if (s.DelayFor(window * 3, w) > 0) {
+        if (w != prev) ++distinct;
+        prev = w;
+      }
+    }
+  }
+  EXPECT_GT(distinct, 5);
+}
+
+}  // namespace
+}  // namespace fela::sim

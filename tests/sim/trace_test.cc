@@ -1,0 +1,74 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+
+namespace fela::sim {
+namespace {
+
+TEST(TraceTest, DisabledByDefault) {
+  TraceRecorder t;
+  EXPECT_FALSE(t.enabled());
+  t.Record(1.0, 0, TraceKind::kComputeStart, "x");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(TraceTest, RecordsWhenEnabled) {
+  TraceRecorder t;
+  t.set_enabled(true);
+  t.Record(1.5, 3, TraceKind::kTokenGrant, "Token_7");
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.events()[0].time, 1.5);
+  EXPECT_EQ(t.events()[0].node, 3);
+  EXPECT_EQ(t.events()[0].kind, TraceKind::kTokenGrant);
+  EXPECT_EQ(t.events()[0].detail, "Token_7");
+}
+
+TEST(TraceTest, CapacityBoundsDrops) {
+  TraceRecorder t(2);
+  t.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    t.Record(i, 0, TraceKind::kComputeEnd, "");
+  }
+  EXPECT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.dropped(), 3u);
+}
+
+TEST(TraceTest, ClearResets) {
+  TraceRecorder t(1);
+  t.set_enabled(true);
+  t.Record(0, 0, TraceKind::kSyncStart, "");
+  t.Record(0, 0, TraceKind::kSyncEnd, "");
+  t.Clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TraceTest, ToStringContainsKindNames) {
+  TraceRecorder t;
+  t.set_enabled(true);
+  t.Record(0.25, 2, TraceKind::kHelperSteal, "from w5");
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("HelperSteal"), std::string::npos);
+  EXPECT_NE(s.find("from w5"), std::string::npos);
+  EXPECT_NE(s.find("w2"), std::string::npos);
+}
+
+TEST(TraceTest, AllKindNamesDistinct) {
+  const TraceKind kinds[] = {
+      TraceKind::kIterationStart, TraceKind::kIterationEnd,
+      TraceKind::kTokenRequest,   TraceKind::kTokenGrant,
+      TraceKind::kTokenComplete,  TraceKind::kFetchStart,
+      TraceKind::kFetchEnd,       TraceKind::kComputeStart,
+      TraceKind::kComputeEnd,     TraceKind::kSyncStart,
+      TraceKind::kSyncEnd,        TraceKind::kStragglerSleep,
+      TraceKind::kHelperSteal,    TraceKind::kConflict};
+  std::set<std::string> names;
+  for (TraceKind k : kinds) names.insert(TraceKindName(k));
+  EXPECT_EQ(names.size(), std::size(kinds));
+}
+
+}  // namespace
+}  // namespace fela::sim
