@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_probability.cpp" "bench/CMakeFiles/bench_fig10_probability.dir/bench_fig10_probability.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_probability.dir/bench_fig10_probability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/fela_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fela_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fela_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fela_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fela_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fela_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fela_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_probability.dir/bench_fig10_probability.cpp.o"
+  "CMakeFiles/bench_fig10_probability.dir/bench_fig10_probability.cpp.o.d"
+  "bench_fig10_probability"
+  "bench_fig10_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

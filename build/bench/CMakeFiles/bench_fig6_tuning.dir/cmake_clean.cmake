@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tuning.dir/bench_fig6_tuning.cpp.o"
+  "CMakeFiles/bench_fig6_tuning.dir/bench_fig6_tuning.cpp.o.d"
+  "bench_fig6_tuning"
+  "bench_fig6_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_nonstraggler.dir/bench_fig8_nonstraggler.cpp.o"
+  "CMakeFiles/bench_fig8_nonstraggler.dir/bench_fig8_nonstraggler.cpp.o.d"
+  "bench_fig8_nonstraggler"
+  "bench_fig8_nonstraggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nonstraggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_roundrobin.dir/bench_fig9_roundrobin.cpp.o"
+  "CMakeFiles/bench_fig9_roundrobin.dir/bench_fig9_roundrobin.cpp.o.d"
+  "bench_fig9_roundrobin"
+  "bench_fig9_roundrobin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_roundrobin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

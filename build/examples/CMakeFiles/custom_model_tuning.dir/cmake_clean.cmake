@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_model_tuning.dir/custom_model_tuning.cpp.o"
+  "CMakeFiles/custom_model_tuning.dir/custom_model_tuning.cpp.o.d"
+  "custom_model_tuning"
+  "custom_model_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_model_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

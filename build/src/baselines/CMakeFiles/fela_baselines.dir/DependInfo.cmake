@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dp_engine.cc" "src/baselines/CMakeFiles/fela_baselines.dir/dp_engine.cc.o" "gcc" "src/baselines/CMakeFiles/fela_baselines.dir/dp_engine.cc.o.d"
+  "/root/repo/src/baselines/elastic_mp_engine.cc" "src/baselines/CMakeFiles/fela_baselines.dir/elastic_mp_engine.cc.o" "gcc" "src/baselines/CMakeFiles/fela_baselines.dir/elastic_mp_engine.cc.o.d"
+  "/root/repo/src/baselines/hp_engine.cc" "src/baselines/CMakeFiles/fela_baselines.dir/hp_engine.cc.o" "gcc" "src/baselines/CMakeFiles/fela_baselines.dir/hp_engine.cc.o.d"
+  "/root/repo/src/baselines/mp_engine.cc" "src/baselines/CMakeFiles/fela_baselines.dir/mp_engine.cc.o" "gcc" "src/baselines/CMakeFiles/fela_baselines.dir/mp_engine.cc.o.d"
+  "/root/repo/src/baselines/ps_engine.cc" "src/baselines/CMakeFiles/fela_baselines.dir/ps_engine.cc.o" "gcc" "src/baselines/CMakeFiles/fela_baselines.dir/ps_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fela_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fela_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fela_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fela_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

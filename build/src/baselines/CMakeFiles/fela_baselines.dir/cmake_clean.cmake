@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_baselines.dir/dp_engine.cc.o"
+  "CMakeFiles/fela_baselines.dir/dp_engine.cc.o.d"
+  "CMakeFiles/fela_baselines.dir/elastic_mp_engine.cc.o"
+  "CMakeFiles/fela_baselines.dir/elastic_mp_engine.cc.o.d"
+  "CMakeFiles/fela_baselines.dir/hp_engine.cc.o"
+  "CMakeFiles/fela_baselines.dir/hp_engine.cc.o.d"
+  "CMakeFiles/fela_baselines.dir/mp_engine.cc.o"
+  "CMakeFiles/fela_baselines.dir/mp_engine.cc.o.d"
+  "CMakeFiles/fela_baselines.dir/ps_engine.cc.o"
+  "CMakeFiles/fela_baselines.dir/ps_engine.cc.o.d"
+  "libfela_baselines.a"
+  "libfela_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

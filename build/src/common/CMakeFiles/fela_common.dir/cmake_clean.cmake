@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_common.dir/csv.cc.o"
+  "CMakeFiles/fela_common.dir/csv.cc.o.d"
+  "CMakeFiles/fela_common.dir/logging.cc.o"
+  "CMakeFiles/fela_common.dir/logging.cc.o.d"
+  "CMakeFiles/fela_common.dir/rng.cc.o"
+  "CMakeFiles/fela_common.dir/rng.cc.o.d"
+  "CMakeFiles/fela_common.dir/stats.cc.o"
+  "CMakeFiles/fela_common.dir/stats.cc.o.d"
+  "CMakeFiles/fela_common.dir/status.cc.o"
+  "CMakeFiles/fela_common.dir/status.cc.o.d"
+  "CMakeFiles/fela_common.dir/string_util.cc.o"
+  "CMakeFiles/fela_common.dir/string_util.cc.o.d"
+  "CMakeFiles/fela_common.dir/table.cc.o"
+  "CMakeFiles/fela_common.dir/table.cc.o.d"
+  "CMakeFiles/fela_common.dir/units.cc.o"
+  "CMakeFiles/fela_common.dir/units.cc.o.d"
+  "libfela_common.a"
+  "libfela_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fela_config.cc" "src/core/CMakeFiles/fela_core.dir/fela_config.cc.o" "gcc" "src/core/CMakeFiles/fela_core.dir/fela_config.cc.o.d"
+  "/root/repo/src/core/fela_engine.cc" "src/core/CMakeFiles/fela_core.dir/fela_engine.cc.o" "gcc" "src/core/CMakeFiles/fela_core.dir/fela_engine.cc.o.d"
+  "/root/repo/src/core/info_mapping.cc" "src/core/CMakeFiles/fela_core.dir/info_mapping.cc.o" "gcc" "src/core/CMakeFiles/fela_core.dir/info_mapping.cc.o.d"
+  "/root/repo/src/core/ssp_extension.cc" "src/core/CMakeFiles/fela_core.dir/ssp_extension.cc.o" "gcc" "src/core/CMakeFiles/fela_core.dir/ssp_extension.cc.o.d"
+  "/root/repo/src/core/token.cc" "src/core/CMakeFiles/fela_core.dir/token.cc.o" "gcc" "src/core/CMakeFiles/fela_core.dir/token.cc.o.d"
+  "/root/repo/src/core/token_bucket.cc" "src/core/CMakeFiles/fela_core.dir/token_bucket.cc.o" "gcc" "src/core/CMakeFiles/fela_core.dir/token_bucket.cc.o.d"
+  "/root/repo/src/core/token_server.cc" "src/core/CMakeFiles/fela_core.dir/token_server.cc.o" "gcc" "src/core/CMakeFiles/fela_core.dir/token_server.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/core/CMakeFiles/fela_core.dir/tuning.cc.o" "gcc" "src/core/CMakeFiles/fela_core.dir/tuning.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/core/CMakeFiles/fela_core.dir/worker.cc.o" "gcc" "src/core/CMakeFiles/fela_core.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fela_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fela_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fela_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fela_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_core.dir/fela_config.cc.o"
+  "CMakeFiles/fela_core.dir/fela_config.cc.o.d"
+  "CMakeFiles/fela_core.dir/fela_engine.cc.o"
+  "CMakeFiles/fela_core.dir/fela_engine.cc.o.d"
+  "CMakeFiles/fela_core.dir/info_mapping.cc.o"
+  "CMakeFiles/fela_core.dir/info_mapping.cc.o.d"
+  "CMakeFiles/fela_core.dir/ssp_extension.cc.o"
+  "CMakeFiles/fela_core.dir/ssp_extension.cc.o.d"
+  "CMakeFiles/fela_core.dir/token.cc.o"
+  "CMakeFiles/fela_core.dir/token.cc.o.d"
+  "CMakeFiles/fela_core.dir/token_bucket.cc.o"
+  "CMakeFiles/fela_core.dir/token_bucket.cc.o.d"
+  "CMakeFiles/fela_core.dir/token_server.cc.o"
+  "CMakeFiles/fela_core.dir/token_server.cc.o.d"
+  "CMakeFiles/fela_core.dir/tuning.cc.o"
+  "CMakeFiles/fela_core.dir/tuning.cc.o.d"
+  "CMakeFiles/fela_core.dir/worker.cc.o"
+  "CMakeFiles/fela_core.dir/worker.cc.o.d"
+  "libfela_core.a"
+  "libfela_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfela_core.a"
+)

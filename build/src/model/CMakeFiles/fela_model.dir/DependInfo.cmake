@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cost_model.cc" "src/model/CMakeFiles/fela_model.dir/cost_model.cc.o" "gcc" "src/model/CMakeFiles/fela_model.dir/cost_model.cc.o.d"
+  "/root/repo/src/model/layer.cc" "src/model/CMakeFiles/fela_model.dir/layer.cc.o" "gcc" "src/model/CMakeFiles/fela_model.dir/layer.cc.o.d"
+  "/root/repo/src/model/memory_model.cc" "src/model/CMakeFiles/fela_model.dir/memory_model.cc.o" "gcc" "src/model/CMakeFiles/fela_model.dir/memory_model.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/model/CMakeFiles/fela_model.dir/model.cc.o" "gcc" "src/model/CMakeFiles/fela_model.dir/model.cc.o.d"
+  "/root/repo/src/model/partition.cc" "src/model/CMakeFiles/fela_model.dir/partition.cc.o" "gcc" "src/model/CMakeFiles/fela_model.dir/partition.cc.o.d"
+  "/root/repo/src/model/profile.cc" "src/model/CMakeFiles/fela_model.dir/profile.cc.o" "gcc" "src/model/CMakeFiles/fela_model.dir/profile.cc.o.d"
+  "/root/repo/src/model/zoo.cc" "src/model/CMakeFiles/fela_model.dir/zoo.cc.o" "gcc" "src/model/CMakeFiles/fela_model.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fela_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fela_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

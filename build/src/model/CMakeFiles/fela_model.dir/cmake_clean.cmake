@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_model.dir/cost_model.cc.o"
+  "CMakeFiles/fela_model.dir/cost_model.cc.o.d"
+  "CMakeFiles/fela_model.dir/layer.cc.o"
+  "CMakeFiles/fela_model.dir/layer.cc.o.d"
+  "CMakeFiles/fela_model.dir/memory_model.cc.o"
+  "CMakeFiles/fela_model.dir/memory_model.cc.o.d"
+  "CMakeFiles/fela_model.dir/model.cc.o"
+  "CMakeFiles/fela_model.dir/model.cc.o.d"
+  "CMakeFiles/fela_model.dir/partition.cc.o"
+  "CMakeFiles/fela_model.dir/partition.cc.o.d"
+  "CMakeFiles/fela_model.dir/profile.cc.o"
+  "CMakeFiles/fela_model.dir/profile.cc.o.d"
+  "CMakeFiles/fela_model.dir/zoo.cc.o"
+  "CMakeFiles/fela_model.dir/zoo.cc.o.d"
+  "libfela_model.a"
+  "libfela_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cluster.cc" "src/runtime/CMakeFiles/fela_runtime.dir/cluster.cc.o" "gcc" "src/runtime/CMakeFiles/fela_runtime.dir/cluster.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/runtime/CMakeFiles/fela_runtime.dir/engine.cc.o" "gcc" "src/runtime/CMakeFiles/fela_runtime.dir/engine.cc.o.d"
+  "/root/repo/src/runtime/experiment.cc" "src/runtime/CMakeFiles/fela_runtime.dir/experiment.cc.o" "gcc" "src/runtime/CMakeFiles/fela_runtime.dir/experiment.cc.o.d"
+  "/root/repo/src/runtime/report.cc" "src/runtime/CMakeFiles/fela_runtime.dir/report.cc.o" "gcc" "src/runtime/CMakeFiles/fela_runtime.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fela_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fela_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fela_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

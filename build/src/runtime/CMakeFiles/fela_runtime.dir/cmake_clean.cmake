@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_runtime.dir/cluster.cc.o"
+  "CMakeFiles/fela_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/fela_runtime.dir/engine.cc.o"
+  "CMakeFiles/fela_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/fela_runtime.dir/experiment.cc.o"
+  "CMakeFiles/fela_runtime.dir/experiment.cc.o.d"
+  "CMakeFiles/fela_runtime.dir/report.cc.o"
+  "CMakeFiles/fela_runtime.dir/report.cc.o.d"
+  "libfela_runtime.a"
+  "libfela_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_sim.dir/calibration.cc.o"
+  "CMakeFiles/fela_sim.dir/calibration.cc.o.d"
+  "CMakeFiles/fela_sim.dir/collectives.cc.o"
+  "CMakeFiles/fela_sim.dir/collectives.cc.o.d"
+  "CMakeFiles/fela_sim.dir/event_queue.cc.o"
+  "CMakeFiles/fela_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/fela_sim.dir/fabric.cc.o"
+  "CMakeFiles/fela_sim.dir/fabric.cc.o.d"
+  "CMakeFiles/fela_sim.dir/gpu.cc.o"
+  "CMakeFiles/fela_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/fela_sim.dir/simulator.cc.o"
+  "CMakeFiles/fela_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/fela_sim.dir/straggler.cc.o"
+  "CMakeFiles/fela_sim.dir/straggler.cc.o.d"
+  "CMakeFiles/fela_sim.dir/trace.cc.o"
+  "CMakeFiles/fela_sim.dir/trace.cc.o.d"
+  "libfela_sim.a"
+  "libfela_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_suite.dir/suite.cc.o"
+  "CMakeFiles/fela_suite.dir/suite.cc.o.d"
+  "libfela_suite.a"
+  "libfela_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/fela_common_tests.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/fela_common_tests.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/fela_common_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/fela_common_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/fela_common_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/fela_common_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/fela_common_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/fela_common_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/fela_common_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/fela_common_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/fela_common_tests.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/fela_common_tests.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/fela_common_tests.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/fela_common_tests.dir/common/table_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/CMakeFiles/fela_common_tests.dir/common/units_test.cc.o" "gcc" "tests/CMakeFiles/fela_common_tests.dir/common/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/fela_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fela_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fela_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fela_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fela_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fela_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fela_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

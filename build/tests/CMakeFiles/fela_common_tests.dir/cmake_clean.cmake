@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_common_tests.dir/common/csv_test.cc.o"
+  "CMakeFiles/fela_common_tests.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/fela_common_tests.dir/common/logging_test.cc.o"
+  "CMakeFiles/fela_common_tests.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/fela_common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/fela_common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/fela_common_tests.dir/common/stats_test.cc.o"
+  "CMakeFiles/fela_common_tests.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/fela_common_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/fela_common_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/fela_common_tests.dir/common/string_util_test.cc.o"
+  "CMakeFiles/fela_common_tests.dir/common/string_util_test.cc.o.d"
+  "CMakeFiles/fela_common_tests.dir/common/table_test.cc.o"
+  "CMakeFiles/fela_common_tests.dir/common/table_test.cc.o.d"
+  "CMakeFiles/fela_common_tests.dir/common/units_test.cc.o"
+  "CMakeFiles/fela_common_tests.dir/common/units_test.cc.o.d"
+  "fela_common_tests"
+  "fela_common_tests.pdb"
+  "fela_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_core_tests.dir/core/fela_config_test.cc.o"
+  "CMakeFiles/fela_core_tests.dir/core/fela_config_test.cc.o.d"
+  "CMakeFiles/fela_core_tests.dir/core/info_mapping_test.cc.o"
+  "CMakeFiles/fela_core_tests.dir/core/info_mapping_test.cc.o.d"
+  "CMakeFiles/fela_core_tests.dir/core/ssp_extension_test.cc.o"
+  "CMakeFiles/fela_core_tests.dir/core/ssp_extension_test.cc.o.d"
+  "CMakeFiles/fela_core_tests.dir/core/token_bucket_test.cc.o"
+  "CMakeFiles/fela_core_tests.dir/core/token_bucket_test.cc.o.d"
+  "CMakeFiles/fela_core_tests.dir/core/token_server_test.cc.o"
+  "CMakeFiles/fela_core_tests.dir/core/token_server_test.cc.o.d"
+  "CMakeFiles/fela_core_tests.dir/core/token_test.cc.o"
+  "CMakeFiles/fela_core_tests.dir/core/token_test.cc.o.d"
+  "CMakeFiles/fela_core_tests.dir/core/tuning_test.cc.o"
+  "CMakeFiles/fela_core_tests.dir/core/tuning_test.cc.o.d"
+  "fela_core_tests"
+  "fela_core_tests.pdb"
+  "fela_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

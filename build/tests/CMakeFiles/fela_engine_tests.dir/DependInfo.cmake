@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/baselines_test.cc" "tests/CMakeFiles/fela_engine_tests.dir/engine/baselines_test.cc.o" "gcc" "tests/CMakeFiles/fela_engine_tests.dir/engine/baselines_test.cc.o.d"
+  "/root/repo/tests/engine/deep_model_test.cc" "tests/CMakeFiles/fela_engine_tests.dir/engine/deep_model_test.cc.o" "gcc" "tests/CMakeFiles/fela_engine_tests.dir/engine/deep_model_test.cc.o.d"
+  "/root/repo/tests/engine/experiment_test.cc" "tests/CMakeFiles/fela_engine_tests.dir/engine/experiment_test.cc.o" "gcc" "tests/CMakeFiles/fela_engine_tests.dir/engine/experiment_test.cc.o.d"
+  "/root/repo/tests/engine/extra_baselines_test.cc" "tests/CMakeFiles/fela_engine_tests.dir/engine/extra_baselines_test.cc.o" "gcc" "tests/CMakeFiles/fela_engine_tests.dir/engine/extra_baselines_test.cc.o.d"
+  "/root/repo/tests/engine/fela_engine_test.cc" "tests/CMakeFiles/fela_engine_tests.dir/engine/fela_engine_test.cc.o" "gcc" "tests/CMakeFiles/fela_engine_tests.dir/engine/fela_engine_test.cc.o.d"
+  "/root/repo/tests/engine/integration_test.cc" "tests/CMakeFiles/fela_engine_tests.dir/engine/integration_test.cc.o" "gcc" "tests/CMakeFiles/fela_engine_tests.dir/engine/integration_test.cc.o.d"
+  "/root/repo/tests/engine/properties_test.cc" "tests/CMakeFiles/fela_engine_tests.dir/engine/properties_test.cc.o" "gcc" "tests/CMakeFiles/fela_engine_tests.dir/engine/properties_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/fela_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fela_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fela_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fela_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fela_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fela_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fela_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_engine_tests.dir/engine/baselines_test.cc.o"
+  "CMakeFiles/fela_engine_tests.dir/engine/baselines_test.cc.o.d"
+  "CMakeFiles/fela_engine_tests.dir/engine/deep_model_test.cc.o"
+  "CMakeFiles/fela_engine_tests.dir/engine/deep_model_test.cc.o.d"
+  "CMakeFiles/fela_engine_tests.dir/engine/experiment_test.cc.o"
+  "CMakeFiles/fela_engine_tests.dir/engine/experiment_test.cc.o.d"
+  "CMakeFiles/fela_engine_tests.dir/engine/extra_baselines_test.cc.o"
+  "CMakeFiles/fela_engine_tests.dir/engine/extra_baselines_test.cc.o.d"
+  "CMakeFiles/fela_engine_tests.dir/engine/fela_engine_test.cc.o"
+  "CMakeFiles/fela_engine_tests.dir/engine/fela_engine_test.cc.o.d"
+  "CMakeFiles/fela_engine_tests.dir/engine/integration_test.cc.o"
+  "CMakeFiles/fela_engine_tests.dir/engine/integration_test.cc.o.d"
+  "CMakeFiles/fela_engine_tests.dir/engine/properties_test.cc.o"
+  "CMakeFiles/fela_engine_tests.dir/engine/properties_test.cc.o.d"
+  "fela_engine_tests"
+  "fela_engine_tests.pdb"
+  "fela_engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

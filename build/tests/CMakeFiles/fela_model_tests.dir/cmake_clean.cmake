@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_model_tests.dir/model/cost_model_test.cc.o"
+  "CMakeFiles/fela_model_tests.dir/model/cost_model_test.cc.o.d"
+  "CMakeFiles/fela_model_tests.dir/model/layer_test.cc.o"
+  "CMakeFiles/fela_model_tests.dir/model/layer_test.cc.o.d"
+  "CMakeFiles/fela_model_tests.dir/model/memory_model_test.cc.o"
+  "CMakeFiles/fela_model_tests.dir/model/memory_model_test.cc.o.d"
+  "CMakeFiles/fela_model_tests.dir/model/model_test.cc.o"
+  "CMakeFiles/fela_model_tests.dir/model/model_test.cc.o.d"
+  "CMakeFiles/fela_model_tests.dir/model/partition_test.cc.o"
+  "CMakeFiles/fela_model_tests.dir/model/partition_test.cc.o.d"
+  "CMakeFiles/fela_model_tests.dir/model/profile_test.cc.o"
+  "CMakeFiles/fela_model_tests.dir/model/profile_test.cc.o.d"
+  "CMakeFiles/fela_model_tests.dir/model/zoo_test.cc.o"
+  "CMakeFiles/fela_model_tests.dir/model/zoo_test.cc.o.d"
+  "fela_model_tests"
+  "fela_model_tests.pdb"
+  "fela_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

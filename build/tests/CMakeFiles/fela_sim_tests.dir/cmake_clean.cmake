@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fela_sim_tests.dir/sim/collectives_test.cc.o"
+  "CMakeFiles/fela_sim_tests.dir/sim/collectives_test.cc.o.d"
+  "CMakeFiles/fela_sim_tests.dir/sim/event_queue_test.cc.o"
+  "CMakeFiles/fela_sim_tests.dir/sim/event_queue_test.cc.o.d"
+  "CMakeFiles/fela_sim_tests.dir/sim/fabric_test.cc.o"
+  "CMakeFiles/fela_sim_tests.dir/sim/fabric_test.cc.o.d"
+  "CMakeFiles/fela_sim_tests.dir/sim/gpu_test.cc.o"
+  "CMakeFiles/fela_sim_tests.dir/sim/gpu_test.cc.o.d"
+  "CMakeFiles/fela_sim_tests.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/fela_sim_tests.dir/sim/simulator_test.cc.o.d"
+  "CMakeFiles/fela_sim_tests.dir/sim/straggler_test.cc.o"
+  "CMakeFiles/fela_sim_tests.dir/sim/straggler_test.cc.o.d"
+  "CMakeFiles/fela_sim_tests.dir/sim/trace_test.cc.o"
+  "CMakeFiles/fela_sim_tests.dir/sim/trace_test.cc.o.d"
+  "fela_sim_tests"
+  "fela_sim_tests.pdb"
+  "fela_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fela_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
