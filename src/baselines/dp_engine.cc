@@ -30,6 +30,7 @@ DpEngine::DpEngine(runtime::Cluster* cluster, const model::Model& model,
   }
   param_bytes_ =
       model_.TotalParams() * cluster_->calibration().bytes_per_scalar;
+  attempt_start_.assign(static_cast<size_t>(n), 0.0);
 }
 
 void DpEngine::StartIteration(int iteration) {
@@ -49,11 +50,43 @@ void DpEngine::StartIteration(int iteration) {
       gpu.BlockUntil(cluster_->simulator().now() + delay);
     }
     const double slowdown = cluster_->stragglers().SlowdownFor(iteration, w);
-    gpu.Enqueue(compute_seconds * slowdown, [this] { OnWorkerComputeDone(); });
+    EnqueueCompute(w, compute_seconds * slowdown);
   }
 }
 
-void DpEngine::OnWorkerComputeDone() {
+void DpEngine::EnqueueCompute(int worker, double seconds) {
+  sim::GpuDevice& gpu = cluster_->gpu(worker);
+  // The attempt starts when the device actually picks it up, not at
+  // enqueue time — redo attempts queue behind the recovery block.
+  attempt_start_[static_cast<size_t>(worker)] =
+      std::max(cluster_->simulator().now(), gpu.free_at());
+  gpu.Enqueue(seconds, [this, worker, seconds] {
+    OnWorkerComputeDone(worker, seconds);
+  });
+}
+
+void DpEngine::OnWorkerComputeDone(int worker, double seconds) {
+  const sim::FaultSchedule& faults = cluster_->faults();
+  if (faults.Active() &&
+      faults.AnyDownDuring(attempt_start_[static_cast<size_t>(worker)],
+                           cluster_->simulator().now(), worker)) {
+    // The replica died mid-batch: its gradient is gone. No membership
+    // change is possible under DP, so the whole attempt is redone once
+    // the node is back — or never, stalling the barrier.
+    ++stats_.faults.crashes;
+    const sim::SimTime up =
+        faults.NextUpAfter(cluster_->simulator().now(), worker);
+    if (up == sim::kNeverTime) {
+      stats_.stalled = true;
+      return;  // peers wait at the barrier forever
+    }
+    ++stats_.faults.recoveries;
+    if (up > cluster_->simulator().now()) {
+      cluster_->gpu(worker).BlockUntil(up);
+    }
+    EnqueueCompute(worker, seconds);
+    return;
+  }
   if (--workers_pending_ > 0) return;
   // BSP barrier reached; synchronize all parameters.
   std::vector<sim::NodeId> all;
@@ -80,7 +113,8 @@ runtime::RunStats DpEngine::Run(int iterations) {
   cluster_->fabric().ResetStats();
   StartIteration(0);
   cluster_->simulator().Run();
-  FELA_CHECK(run_complete_);
+  FELA_CHECK(run_complete_ || stats_.stalled)
+      << "simulation drained before finishing";
   stats_.total_time = cluster_->simulator().now();
   stats_.total_data_bytes = cluster_->fabric().total_data_bytes();
   stats_.total_gpu_busy = cluster_->TotalGpuBusy();

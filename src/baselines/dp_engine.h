@@ -18,6 +18,12 @@ namespace fela::baselines {
 /// of the paper's prototype). When the per-worker batch exceeds device
 /// memory, the worker falls back to gradient accumulation over the
 /// largest micro-batch that fits (DESIGN.md §1 item 3).
+///
+/// Fault behavior (the honest contrast to Fela's elasticity): DP has a
+/// fixed membership, so a crash-affected worker must redo its whole
+/// per-worker batch once it is back up — every peer waits at the barrier
+/// meanwhile — and a worker that never recovers stalls the job forever
+/// (RunStats::stalled).
 class DpEngine : public runtime::Engine {
  public:
   DpEngine(runtime::Cluster* cluster, const model::Model& model,
@@ -34,7 +40,8 @@ class DpEngine : public runtime::Engine {
 
  private:
   void StartIteration(int iteration);
-  void OnWorkerComputeDone();
+  void EnqueueCompute(int worker, double seconds);
+  void OnWorkerComputeDone(int worker, double seconds);
   void OnAllReduceDone();
 
   runtime::Cluster* cluster_;
@@ -52,6 +59,9 @@ class DpEngine : public runtime::Engine {
   sim::SimTime iteration_start_ = 0.0;
   int workers_pending_ = 0;
   bool run_complete_ = false;
+  /// When each worker's current compute attempt started (crash overlap
+  /// with [start, finish] invalidates the attempt).
+  std::vector<sim::SimTime> attempt_start_;
   runtime::RunStats stats_;
 };
 

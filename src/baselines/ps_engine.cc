@@ -47,7 +47,17 @@ void PsDpEngine::StartIteration(int iteration) {
   }
 }
 
-void PsDpEngine::OnWorkerComputeDone(int) {
+void PsDpEngine::OnWorkerComputeDone(int worker) {
+  // Honest fault contrast: this PS prototype checkpoints nothing and has
+  // no elasticity — a worker crash during the iteration aborts the job.
+  const sim::FaultSchedule& faults = cluster_->faults();
+  if (faults.Active() &&
+      faults.AnyDownDuring(iteration_start_, cluster_->simulator().now(),
+                           worker)) {
+    ++stats_.faults.crashes;
+    stats_.stalled = true;
+    return;
+  }
   if (--compute_pending_ > 0) return;
   // BSP: everyone pushes gradient shards to the servers.
   transfers_pending_ = cluster_->num_workers() * num_servers_;
@@ -89,7 +99,8 @@ runtime::RunStats PsDpEngine::Run(int iterations) {
   cluster_->fabric().ResetStats();
   StartIteration(0);
   cluster_->simulator().Run();
-  FELA_CHECK(run_complete_);
+  FELA_CHECK(run_complete_ || stats_.stalled)
+      << "simulation drained before finishing";
   stats_.total_time = cluster_->simulator().now();
   stats_.total_data_bytes = cluster_->fabric().total_data_bytes();
   stats_.total_gpu_busy = cluster_->TotalGpuBusy();

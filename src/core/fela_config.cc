@@ -56,6 +56,50 @@ common::Status ValidateConfig(const FelaConfig& config, int num_sub_models,
   return common::Status::Ok();
 }
 
+common::Status ValidatePlanInputs(
+    const model::Model& model, const std::vector<model::SubModel>& sub_models,
+    const FelaConfig& config, double total_batch, int num_workers) {
+  if (num_workers <= 0) {
+    return common::Status::InvalidArgument(
+        common::StrFormat("num_workers must be positive, got %d", num_workers));
+  }
+  if (!(total_batch > 0.0)) {  // also rejects NaN
+    return common::Status::InvalidArgument(
+        common::StrFormat("total_batch must be positive, got %g", total_batch));
+  }
+  if (sub_models.empty()) {
+    return common::Status::InvalidArgument("partition has no sub-models");
+  }
+  for (size_t i = 0; i < sub_models.size(); ++i) {
+    const model::SubModel& sm = sub_models[i];
+    if (sm.first_layer < 0 || sm.last_layer < sm.first_layer ||
+        sm.last_layer >= model.layer_count()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "sub-model %zu covers layers [%d, %d] outside model range [0, %d]",
+          i, sm.first_layer, sm.last_layer, model.layer_count() - 1));
+    }
+    if (!(sm.threshold_batch > 0.0)) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "sub-model %zu threshold_batch must be positive, got %g", i,
+          sm.threshold_batch));
+    }
+  }
+  common::Status cfg = ValidateConfig(
+      config, static_cast<int>(sub_models.size()), num_workers);
+  if (!cfg.ok()) return cfg;
+  if (!(config.lease_timeout_sec > 0.0)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "lease_timeout_sec must be positive, got %g",
+        config.lease_timeout_sec));
+  }
+  if (!(config.retry_timeout_sec > 0.0)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "retry_timeout_sec must be positive, got %g",
+        config.retry_timeout_sec));
+  }
+  return common::Status::Ok();
+}
+
 int FelaPlan::TotalTokens() const {
   int n = 0;
   for (const auto& l : levels) n += l.token_count;
@@ -78,9 +122,8 @@ FelaPlan BuildPlan(const model::Model& model,
                    const std::vector<model::SubModel>& sub_models,
                    const FelaConfig& config, double total_batch,
                    int num_workers, double bytes_per_scalar) {
-  FELA_CHECK_OK(ValidateConfig(config, static_cast<int>(sub_models.size()),
-                               num_workers));
-  FELA_CHECK_GT(total_batch, 0.0);
+  FELA_CHECK_OK(ValidatePlanInputs(model, sub_models, config, total_batch,
+                                   num_workers));
 
   FelaPlan plan;
   plan.total_batch = total_batch;

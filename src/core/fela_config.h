@@ -26,6 +26,14 @@ struct FelaConfig {
   bool ads_enabled = true;  // Aggressive Depth-First Scheduling (§III-D)
   bool hf_enabled = true;   // Hierarchical Fetching / STBs (§III-E)
 
+  /// Fault-tolerance knobs. Every grant carries a lease: if the worker
+  /// has not reported completion within `lease_timeout_sec` the token
+  /// server reclaims the token and re-grants it elsewhere. Workers resend
+  /// an unanswered token request after `retry_timeout_sec` (covers grants
+  /// or requests lost on a lossy control plane).
+  double lease_timeout_sec = 15.0;
+  double retry_timeout_sec = 5.0;
+
   std::string ToString() const;
 
   /// Uniform weights {1,1,...}; the untuned default.
@@ -71,6 +79,16 @@ struct FelaPlan {
 /// [1, num_workers]).
 common::Status ValidateConfig(const FelaConfig& config, int num_sub_models,
                               int num_workers);
+
+/// Validates everything BuildPlan consumes: worker count and total batch
+/// positive, a non-empty partition whose sub-models cover sane layer
+/// ranges of `model` with positive threshold batches, and (via
+/// ValidateConfig) a config consistent with that partition. Returns the
+/// first problem found; BuildPlan CHECK-fails on a non-OK status.
+common::Status ValidatePlanInputs(const model::Model& model,
+                                  const std::vector<model::SubModel>& sub_models,
+                                  const FelaConfig& config, double total_batch,
+                                  int num_workers);
 
 /// Builds the plan per §III-B / §IV-B:
 ///   n_0   = max(ceil(total_batch / threshold_0), N)

@@ -33,6 +33,14 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
   };
   ts_cbs.on_level_complete = [this](int level) { OnLevelComplete(level); };
   ts_cbs.on_all_levels_complete = [this] { OnAllLevelsComplete(); };
+  ts_cbs.on_reclaim = [this](const Token& token, sim::NodeId from) {
+    if (cluster_->trace().enabled()) {
+      cluster_->trace().Record(
+          cluster_->simulator().now(), kTsNode, sim::TraceKind::kTokenReclaim,
+          common::StrFormat("%s from=%d attempt=%d",
+                            token.ToString().c_str(), from, token.attempt));
+    }
+  };
   ts_ = std::make_unique<TokenServer>(&cluster_->simulator(),
                                       &cluster_->calibration(), &plan_,
                                       &config_, std::move(ts_cbs));
@@ -51,6 +59,65 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
         i, &cluster_->simulator(), &cluster_->fabric(), &cluster_->gpu(i),
         &model_, &sub_models_, &cost_, &cluster_->trace(), w_cbs));
   }
+  admitted_.assign(static_cast<size_t>(cluster_->num_workers()), true);
+  recover_pending_.assign(static_cast<size_t>(cluster_->num_workers()), -1.0);
+
+  if (faults_active()) {
+    ts_->set_leases_enabled(true);
+    for (auto& w : workers_) w->set_retry_timeout(config_.retry_timeout_sec);
+    sim::FaultMonitor::Callbacks m_cbs;
+    m_cbs.on_crash = [this](int w) { OnWorkerCrash(w); };
+    m_cbs.on_recover = [this](int w) { OnWorkerRecover(w); };
+    monitor_ = std::make_unique<sim::FaultMonitor>(
+        &cluster_->simulator(), &cluster_->faults(), cluster_->num_workers(),
+        std::move(m_cbs));
+  }
+}
+
+void FelaEngine::OnWorkerCrash(int worker) {
+  if (run_complete_) return;
+  ++stats_.faults.crashes;
+  cluster_->trace().Record(cluster_->simulator().now(), worker,
+                           sim::TraceKind::kWorkerCrash,
+                           common::StrFormat("it=%d", current_iteration_));
+  admitted_[static_cast<size_t>(worker)] = false;
+  recover_pending_[static_cast<size_t>(worker)] = -1.0;
+  // Kill the worker process first (voids its in-flight work), then let
+  // the TS reclaim its lease and re-route the token elsewhere.
+  workers_[static_cast<size_t>(worker)]->OnCrash();
+  ts_->SetWorkerDown(worker, true);
+}
+
+void FelaEngine::OnWorkerRecover(int worker) {
+  if (run_complete_) return;
+  ++stats_.faults.recoveries;
+  const sim::SimTime now = cluster_->simulator().now();
+  cluster_->trace().Record(now, worker, sim::TraceKind::kWorkerRecover,
+                           common::StrFormat("it=%d", current_iteration_));
+  ts_->SetWorkerDown(worker, false);
+  recover_pending_[static_cast<size_t>(worker)] = now;
+  // Elastic scale-out normally waits for the iteration boundary, but if
+  // every worker is excluded the iteration can never finish — re-admit
+  // the survivor immediately to restore liveness.
+  bool any_admitted = false;
+  for (int w = 0; w < cluster_->num_workers(); ++w) {
+    if (admitted_[static_cast<size_t>(w)]) any_admitted = true;
+  }
+  if (!any_admitted) {
+    ReAdmit(worker);
+    workers_[static_cast<size_t>(worker)]->RequestWork(current_iteration_);
+  }
+}
+
+void FelaEngine::ReAdmit(int worker) {
+  const size_t w = static_cast<size_t>(worker);
+  admitted_[w] = true;
+  ++stats_.faults.readmissions;
+  if (recover_pending_[w] >= 0.0) {
+    stats_.faults.recovery_latency_total +=
+        cluster_->simulator().now() - recover_pending_[w];
+    recover_pending_[w] = -1.0;
+  }
 }
 
 void FelaEngine::DeliverGrant(sim::NodeId worker, const Grant& grant) {
@@ -61,9 +128,12 @@ void FelaEngine::DeliverGrant(sim::NodeId worker, const Grant& grant) {
     cluster_->fabric().SendControl(kTsNode, holder, [] {});
   }
   // The grant response itself, delayed by any lock/conflict penalty the
-  // distributor charged.
+  // distributor charged. The fabric drops it if an endpoint is down at
+  // send time; the delivery-side check covers a crash while in flight
+  // (the TS lease reclaims the token either way).
   cluster_->simulator().Schedule(grant.extra_delay, [this, worker, grant] {
     cluster_->fabric().SendControl(kTsNode, worker, [this, worker, grant] {
+      if (monitor_ && monitor_->IsDown(worker)) return;
       workers_[static_cast<size_t>(worker)]->OnGrant(grant);
     });
   });
@@ -77,8 +147,16 @@ void FelaEngine::StartIteration(int iteration) {
   cluster_->trace().Record(iteration_start_, kTsNode,
                            sim::TraceKind::kIterationStart,
                            common::StrFormat("it=%d", iteration));
+  // Elastic scale-out: workers that recovered during the previous
+  // iteration rejoin at this boundary.
+  for (int w = 0; w < cluster_->num_workers(); ++w) {
+    if (!admitted_[static_cast<size_t>(w)] && monitor_ && !monitor_->IsDown(w)) {
+      ReAdmit(w);
+    }
+  }
   ts_->BeginIteration(iteration);
   for (int w = 0; w < cluster_->num_workers(); ++w) {
+    if (!admitted_[static_cast<size_t>(w)]) continue;  // still crashed
     const double delay = cluster_->stragglers().DelayFor(iteration, w);
     const double slowdown = cluster_->stragglers().SlowdownFor(iteration, w);
     workers_[static_cast<size_t>(w)]->BeginIteration(iteration, delay,
@@ -94,13 +172,17 @@ void FelaEngine::OnLevelComplete(int level) {
   const int count =
       ctd_scoped ? config_.ctd_subset_size : cluster_->num_workers();
   participants.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) participants.push_back(i);
+  // Crashed workers drop out of the ring; they re-pull parameters when
+  // re-admitted (elastic scale-in).
+  for (int i = 0; i < count; ++i) {
+    if (admitted_[static_cast<size_t>(i)]) participants.push_back(i);
+  }
 
   if (cluster_->trace().enabled()) {
     cluster_->trace().Record(
         cluster_->simulator().now(), kTsNode, sim::TraceKind::kSyncStart,
-        common::StrFormat("SM-%d %.1fMB among %d", level + 1,
-                          lp.sync_bytes / 1e6, count));
+        common::StrFormat("SM-%d %.1fMB among %zu", level + 1,
+                          lp.sync_bytes / 1e6, participants.size()));
   }
   sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
                      std::move(participants), lp.sync_bytes,
@@ -132,6 +214,11 @@ void FelaEngine::MaybeFinishIteration() {
     StartIteration(current_iteration_ + 1);
   } else {
     run_complete_ = true;
+    // Teardown: cancel every fault-tolerance timer so no dangling event
+    // keeps the queue alive or inflates total_time.
+    if (monitor_) monitor_->Stop();
+    ts_->CancelAllLeases();
+    for (auto& w : workers_) w->Quiesce();
   }
 }
 
@@ -141,24 +228,47 @@ runtime::RunStats FelaEngine::Run(int iterations) {
   target_iterations_ = iterations;
   cluster_->fabric().ResetStats();
 
+  if (monitor_) monitor_->Start();
   StartIteration(0);
   cluster_->simulator().Run();
-  FELA_CHECK(run_complete_) << "simulation drained before finishing";
+  if (!run_complete_) {
+    // Only a fault scenario may leave work undone (e.g. every worker
+    // fail-stopped and none came back); a fault-free drain is a bug.
+    FELA_CHECK(faults_active()) << "simulation drained before finishing";
+    stats_.stalled = true;
+  }
 
   // Cross-check token conservation: every worker-trained sample count
-  // sums to total_batch per level per iteration.
-  double samples = 0.0;
-  for (const auto& w : workers_) samples += w->samples_trained();
-  const double expected = plan_.total_batch *
-                          static_cast<double>(plan_.num_levels()) *
-                          static_cast<double>(iterations);
-  FELA_CHECK(std::abs(samples - expected) < 1e-6 * expected)
-      << samples << " vs " << expected;
+  // sums to total_batch per level per iteration. Under faults, reports
+  // lost in flight cause retraining, so workers may train *more* than
+  // the plan — never less.
+  if (!stats_.stalled) {
+    double samples = 0.0;
+    for (const auto& w : workers_) samples += w->samples_trained();
+    const double expected = plan_.total_batch *
+                            static_cast<double>(plan_.num_levels()) *
+                            static_cast<double>(iterations);
+    if (faults_active()) {
+      FELA_CHECK_GE(samples, expected - 1e-6 * expected)
+          << samples << " vs " << expected;
+    } else {
+      FELA_CHECK(std::abs(samples - expected) < 1e-6 * expected)
+          << samples << " vs " << expected;
+    }
+  }
 
   stats_.total_time = cluster_->simulator().now();
   stats_.total_data_bytes = cluster_->fabric().total_data_bytes();
   stats_.total_gpu_busy = cluster_->TotalGpuBusy();
   stats_.control_messages = cluster_->fabric().control_message_count();
+  stats_.faults.control_dropped = cluster_->fabric().control_dropped_count();
+  stats_.faults.control_duplicated =
+      cluster_->fabric().control_duplicated_count();
+  const TokenServer::Stats& ts = ts_->stats();
+  stats_.faults.tokens_reclaimed = ts.tokens_reclaimed;
+  stats_.faults.regrants = ts.regrants;
+  stats_.faults.duplicate_reports = ts.duplicate_reports + ts.stale_reports;
+  for (const auto& w : workers_) stats_.faults.request_retries += w->retries();
   return stats_;
 }
 

@@ -22,6 +22,13 @@ namespace fela::core {
 /// all-reduce; subset-limited for CTD levels) overlaps with the remaining
 /// training of the iteration; the iteration ends when every token is
 /// trained and every sub-model synchronized.
+///
+/// Under an active FaultSchedule the engine degrades gracefully (elastic
+/// scale-in/out): a crashed worker is excluded, its in-flight token is
+/// reclaimed by the TS lease path and re-granted (helpers steal the rest
+/// of its STB), parameter syncs shrink to the admitted workers, and a
+/// recovered worker is re-admitted at the next iteration boundary — or
+/// immediately if it is the only survivor.
 class FelaEngine : public runtime::Engine {
  public:
   /// Partitions the model with the paper's bin partitioner (§IV-A).
@@ -45,6 +52,7 @@ class FelaEngine : public runtime::Engine {
   const FelaWorker& worker(int i) const {
     return *workers_[static_cast<size_t>(i)];
   }
+  bool admitted(int i) const { return admitted_[static_cast<size_t>(i)]; }
 
  private:
   void StartIteration(int iteration);
@@ -53,6 +61,10 @@ class FelaEngine : public runtime::Engine {
   void OnSyncDone(int level);
   void OnAllLevelsComplete();
   void MaybeFinishIteration();
+  void OnWorkerCrash(int worker);
+  void OnWorkerRecover(int worker);
+  void ReAdmit(int worker);
+  bool faults_active() const { return cluster_->faults().Active(); }
 
   runtime::Cluster* cluster_;
   model::Model model_;
@@ -63,6 +75,12 @@ class FelaEngine : public runtime::Engine {
 
   std::unique_ptr<TokenServer> ts_;
   std::vector<std::unique_ptr<FelaWorker>> workers_;
+  std::unique_ptr<sim::FaultMonitor> monitor_;  // only under active faults
+  /// admitted_[w]: w participates in scheduling and syncs. Cleared on
+  /// crash; set again when a recovered worker is re-admitted.
+  std::vector<bool> admitted_;
+  /// Recovery time of workers waiting for re-admission, or -1.
+  std::vector<sim::SimTime> recover_pending_;
 
   // TS placement: co-located with worker 0 (§III-A).
   static constexpr sim::NodeId kTsNode = 0;

@@ -35,6 +35,9 @@ struct Token {
   /// For level-0 tokens: the worker whose local storage holds this
   /// token's training samples (its original STB owner). -1 otherwise.
   sim::NodeId sample_home = -1;
+  /// Grant attempt count: 0 for a first grant, incremented each time the
+  /// token is reclaimed from a crashed/silent worker and re-granted.
+  int attempt = 0;
 
   std::vector<TokenId> DepIds() const;
   std::string ToString() const;

@@ -17,6 +17,8 @@ TokenServer::TokenServer(sim::Simulator* sim, const sim::Calibration* cal,
   waiting_.assign(static_cast<size_t>(num_workers()), false);
   helping_.assign(static_cast<size_t>(num_workers()), -1);
   helper_count_.assign(static_cast<size_t>(num_workers()), 0);
+  outstanding_.assign(static_cast<size_t>(num_workers()), kInvalidTokenId);
+  down_.assign(static_cast<size_t>(num_workers()), false);
 }
 
 void TokenServer::BeginIteration(int iteration) {
@@ -35,7 +37,16 @@ void TokenServer::BeginIteration(int iteration) {
 
   // The iteration's T-1 tokens, sharded round-robin: token i's training
   // samples live on worker (i mod N), and with HF that worker's STB owns
-  // the token.
+  // the token. Crashed workers are skipped — their sample shards are
+  // re-read from the surviving replicas — unless the whole cluster is
+  // down, in which case the clean layout is kept for whoever recovers.
+  std::vector<sim::NodeId> homes;
+  for (sim::NodeId w = 0; w < num_workers(); ++w) {
+    if (!down_[static_cast<size_t>(w)]) homes.push_back(w);
+  }
+  if (homes.empty()) {
+    for (sim::NodeId w = 0; w < num_workers(); ++w) homes.push_back(w);
+  }
   const LevelPlan& l0 = plan_->level(0);
   generated_count_[0] = l0.token_count;
   for (int i = 0; i < l0.token_count; ++i) {
@@ -44,7 +55,7 @@ void TokenServer::BeginIteration(int iteration) {
     t.level = 0;
     t.iteration = iteration;
     t.batch = l0.token_batch;
-    t.sample_home = i % num_workers();
+    t.sample_home = homes[static_cast<size_t>(i) % homes.size()];
     const size_t bucket = hf() ? static_cast<size_t>(t.sample_home) : 0;
     stbs_[bucket].Add(std::move(t));
   }
@@ -204,18 +215,52 @@ Grant TokenServer::MakeGrant(Token token, sim::NodeId worker, bool stolen,
 }
 
 bool TokenServer::TryGrant(sim::NodeId worker) {
+  // No grants to crashed workers, and at most one live grant per worker
+  // — a second grant while one is outstanding could only mean the first
+  // was lost, which the lease expiry path recovers.
+  if (down_[static_cast<size_t>(worker)] ||
+      outstanding_[static_cast<size_t>(worker)] != kInvalidTokenId) {
+    return false;
+  }
   bool stolen = false;
   double delay = 0.0;
   std::optional<Token> token = TakeFor(worker, &stolen, &delay);
   if (!token.has_value()) return false;
   ++stats_.grants;
   if (stolen) ++stats_.steals;
+  if (token->attempt > 0) ++stats_.regrants;
   Grant grant = MakeGrant(std::move(*token), worker, stolen, delay);
+  const TokenId id = grant.token.id;
+  outstanding_[static_cast<size_t>(worker)] = id;
+  // The lease record always exists (SetWorkerDown reclaims through it);
+  // the expiry timer is only armed when leasing is on, so fault-free
+  // runs schedule no extra events and replay bit-identically.
+  Lease lease;
+  lease.token = grant.token;
+  lease.worker = worker;
+  if (leases_enabled_) {
+    grant.lease_deadline = sim_->now() + config_->lease_timeout_sec;
+    lease.timer = sim_->ScheduleAt(grant.lease_deadline,
+                                   [this, id] { OnLeaseExpired(id); });
+  }
+  leases_[id] = std::move(lease);
   cbs_.deliver_grant(worker, grant);
   return true;
 }
 
 void TokenServer::HandleRequest(sim::NodeId worker) {
+  if (down_[static_cast<size_t>(worker)]) return;
+  if (outstanding_[static_cast<size_t>(worker)] != kInvalidTokenId) {
+    // A retransmitted request racing a grant already in flight (or whose
+    // grant was lost). Park the worker; it is served as soon as its
+    // lease resolves — granting a second token now would double-book it.
+    ++stats_.redundant_requests;
+    if (!waiting_[static_cast<size_t>(worker)]) {
+      waiting_[static_cast<size_t>(worker)] = true;
+      waiters_.push_back(worker);
+    }
+    return;
+  }
   if (TryGrant(worker)) return;
   if (!waiting_[static_cast<size_t>(worker)]) {
     waiting_[static_cast<size_t>(worker)] = true;
@@ -311,8 +356,100 @@ void TokenServer::FlushResidualPools(int level) {
       << "level " << next << " token count mismatch";
 }
 
+void TokenServer::SetWorkerDown(sim::NodeId worker, bool down) {
+  const size_t w = static_cast<size_t>(worker);
+  if (down_[w] == down) return;
+  down_[w] = down;
+  if (!down) return;  // recovered workers re-enter by requesting work
+  // Drop the crashed worker from the wait queue.
+  if (waiting_[w]) {
+    waiting_[w] = false;
+    waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), worker),
+                   waiters_.end());
+  }
+  // Its helper assignment is void.
+  const sim::NodeId victim = helping_[w];
+  if (victim >= 0) {
+    --helper_count_[static_cast<size_t>(victim)];
+    helping_[w] = -1;
+  }
+  // Whatever it was training is lost; pull the token back now rather
+  // than waiting out the lease.
+  if (outstanding_[w] != kInvalidTokenId) ReclaimLease(outstanding_[w], false);
+}
+
+sim::NodeId TokenServer::ReclaimDestination(const Token& token) const {
+  auto up = [&](sim::NodeId w) {
+    return w >= 0 && w < num_workers() && !down_[static_cast<size_t>(w)];
+  };
+  if (token.level == 0 && up(token.sample_home)) return token.sample_home;
+  for (const TokenDep& dep : token.deps) {
+    const sim::NodeId holder = info_.HolderOf(dep.id);
+    if (up(holder)) return holder;
+  }
+  for (sim::NodeId w = 0; w < num_workers(); ++w) {
+    if (!down_[static_cast<size_t>(w)]) return w;
+  }
+  return 0;
+}
+
+void TokenServer::ReclaimLease(TokenId id, bool expired) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return;
+  Lease lease = std::move(it->second);
+  leases_.erase(it);
+  if (!expired && lease.timer != sim::kInvalidEventId) {
+    sim_->Cancel(lease.timer);
+  }
+  FELA_CHECK_EQ(outstanding_[static_cast<size_t>(lease.worker)], id);
+  outstanding_[static_cast<size_t>(lease.worker)] = kInvalidTokenId;
+  ++stats_.tokens_reclaimed;
+  if (expired) ++stats_.lease_expirations;
+  Token token = std::move(lease.token);
+  ++token.attempt;
+  if (cbs_.on_reclaim) cbs_.on_reclaim(token, lease.worker);
+  const sim::NodeId home = ReclaimDestination(token);
+  const size_t bucket = hf() ? static_cast<size_t>(home) : 0;
+  stbs_[bucket].Add(std::move(token));
+  ServeWaiters();
+}
+
+void TokenServer::OnLeaseExpired(TokenId id) { ReclaimLease(id, true); }
+
+void TokenServer::CancelAllLeases() {
+  for (auto& [id, lease] : leases_) {
+    if (lease.timer != sim::kInvalidEventId) sim_->Cancel(lease.timer);
+    outstanding_[static_cast<size_t>(lease.worker)] = kInvalidTokenId;
+  }
+  leases_.clear();
+}
+
 void TokenServer::HandleReport(sim::NodeId worker, const Token& token) {
-  FELA_CHECK_EQ(token.iteration, iteration_);
+  const size_t w = static_cast<size_t>(worker);
+  if (token.iteration != iteration_) {
+    // A delayed/duplicated report straddled an iteration turnover.
+    ++stats_.stale_reports;
+    return;
+  }
+  // Accept a completion only from the worker we believe holds the token:
+  // anything else is a duplicated report, or a report for a grant that
+  // was already reclaimed (the work will be redone elsewhere).
+  if (outstanding_[w] != token.id) {
+    ++stats_.duplicate_reports;
+    // The combined message still carries an implicit request: honor it
+    // if the worker is idle from our point of view.
+    if (!down_[w] && outstanding_[w] == kInvalidTokenId) HandleRequest(worker);
+    return;
+  }
+  outstanding_[w] = kInvalidTokenId;
+  auto lease = leases_.find(token.id);
+  if (lease != leases_.end()) {
+    if (lease->second.timer != sim::kInvalidEventId) {
+      sim_->Cancel(lease->second.timer);
+    }
+    leases_.erase(lease);
+  }
+  ++stats_.completions;
   info_.RecordCompleted(token.id, worker);
   const size_t level = static_cast<size_t>(token.level);
   ++completed_count_[level];

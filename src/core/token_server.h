@@ -3,6 +3,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -27,6 +28,9 @@ struct Grant {
   std::vector<std::pair<sim::NodeId, double>> remote_fetches;
   double extra_delay = 0.0;
   bool stolen = false;  // taken from another worker's STB (helper mode)
+  /// Absolute sim time by which the worker must report completion before
+  /// the TS reclaims the token (0 when leasing is disabled).
+  sim::SimTime lease_deadline = 0.0;
 };
 
 /// The Token Server (§III-A): Token Generator + Token Distributor + Token
@@ -62,6 +66,9 @@ class TokenServer {
     std::function<void(int level)> on_level_complete;
     /// Every level of the iteration completed.
     std::function<void()> on_all_levels_complete;
+    /// Optional: a lease was reclaimed (crash or timeout) — the token is
+    /// back in a bucket and `from` no longer owns it. For tracing.
+    std::function<void(const Token&, sim::NodeId from)> on_reclaim;
   };
 
   struct Stats {
@@ -72,6 +79,16 @@ class TokenServer {
     double conflict_delay_total = 0.0;
     uint64_t remote_dep_fetches = 0;
     uint64_t local_dep_hits = 0;
+    // Fault-tolerance accounting. Every grant terminates in exactly one
+    // of {accepted completion, reclaim}, so at run end
+    //   grants == completions + tokens_reclaimed.
+    uint64_t completions = 0;        // reports accepted
+    uint64_t tokens_reclaimed = 0;   // leases reclaimed (crash + expiry)
+    uint64_t lease_expirations = 0;  // reclaims caused by a silent worker
+    uint64_t regrants = 0;           // grants of a previously reclaimed token
+    uint64_t duplicate_reports = 0;  // reports not matching the live grant
+    uint64_t stale_reports = 0;      // reports from a finished iteration
+    uint64_t redundant_requests = 0; // requests while a grant is live
   };
 
   TokenServer(sim::Simulator* sim, const sim::Calibration* cal,
@@ -91,10 +108,30 @@ class TokenServer {
   /// A completion report (with the §III-D combined implicit request).
   void HandleReport(sim::NodeId worker, const Token& token);
 
+  /// Arms grant leases: each grant gets a deadline
+  /// (now + config.lease_timeout_sec) and an expiry timer that reclaims
+  /// the token from a silent worker. Off by default so fault-free runs
+  /// schedule no extra events and stay bit-identical to older traces.
+  void set_leases_enabled(bool enabled) { leases_enabled_ = enabled; }
+
+  /// Marks a worker crashed (down=true) or recovered (down=false). A
+  /// crashed worker is dropped from the wait queue, its live lease (if
+  /// any) is reclaimed immediately, and it receives no grants until it
+  /// recovers. Its STB stays schedulable — helpers steal from it.
+  void SetWorkerDown(sim::NodeId worker, bool down);
+
+  /// Cancels any armed lease timers without reclaiming (run teardown —
+  /// leaves no dangling events in the simulator queue).
+  void CancelAllLeases();
+
   bool AllLevelsComplete() const;
   const InfoMapping& info() const { return info_; }
   const Stats& stats() const { return stats_; }
   size_t waiter_count() const { return waiters_.size(); }
+  size_t outstanding_lease_count() const { return leases_.size(); }
+  bool IsWorkerDown(sim::NodeId worker) const {
+    return down_[static_cast<size_t>(worker)];
+  }
   size_t PendingTokenCount() const;
   int tokens_completed(int level) const {
     return completed_count_[static_cast<size_t>(level)];
@@ -127,6 +164,15 @@ class TokenServer {
   Grant MakeGrant(Token token, sim::NodeId worker, bool stolen, double delay);
   void ServeWaiters();
 
+  /// Pulls a live lease back: cancels its timer (unless it just fired),
+  /// bumps the token's attempt count, returns it to the most local up
+  /// worker's bucket, and serves waiters with the freed token.
+  void ReclaimLease(TokenId id, bool expired);
+  void OnLeaseExpired(TokenId id);
+  /// Best STB for a reclaimed token: its sample home / a dependency
+  /// holder when that worker is up, else the first up worker.
+  sim::NodeId ReclaimDestination(const Token& token) const;
+
   sim::Simulator* sim_;
   const sim::Calibration* cal_;
   const FelaPlan* plan_;
@@ -143,6 +189,16 @@ class TokenServer {
   std::vector<int> generated_count_;
   std::deque<sim::NodeId> waiters_;
   std::vector<bool> waiting_;
+  /// A granted-but-unreported token and its expiry timer.
+  struct Lease {
+    Token token;
+    sim::NodeId worker = -1;
+    sim::EventId timer = sim::kInvalidEventId;
+  };
+  std::map<TokenId, Lease> leases_;
+  std::vector<TokenId> outstanding_;  // live grant per worker, or invalid
+  std::vector<bool> down_;
+  bool leases_enabled_ = false;
   std::vector<sim::NodeId> helping_;     // helping_[w] = victim or -1
   std::vector<int> helper_count_;        // helpers currently aiding worker v
   sim::SimTime lock_free_at_ = 0.0;

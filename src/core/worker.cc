@@ -34,6 +34,7 @@ void FelaWorker::BeginIteration(int iteration, double straggler_delay,
                                 double slowdown) {
   chunks_.Clear();  // token outputs are iteration-scoped
   slowdown_ = slowdown;
+  iteration_ = iteration;
   if (straggler_delay > 0.0) {
     gpu_->BlockUntil(sim_->now() + straggler_delay);
     Trace(sim::TraceKind::kStragglerSleep,
@@ -43,12 +44,66 @@ void FelaWorker::BeginIteration(int iteration, double straggler_delay,
     request_outstanding_ = true;
     Trace(sim::TraceKind::kTokenRequest, common::StrFormat("it=%d", iteration));
     cbs_.send_request(id_);
+    ArmRetryTimer();
   }
 }
 
-void FelaWorker::OnGrant(const Grant& grant) {
+void FelaWorker::RequestWork(int iteration) {
+  iteration_ = iteration;
+  if (request_outstanding_ || busy_) return;
+  request_outstanding_ = true;
+  Trace(sim::TraceKind::kTokenRequest,
+        common::StrFormat("it=%d (rejoin)", iteration));
+  cbs_.send_request(id_);
+  ArmRetryTimer();
+}
+
+void FelaWorker::OnCrash() {
+  ++incarnation_;
+  busy_ = false;
   request_outstanding_ = false;
-  FELA_CHECK(!busy_) << "worker " << id_ << " granted while busy";
+  CancelRetryTimer();
+}
+
+void FelaWorker::Quiesce() { CancelRetryTimer(); }
+
+void FelaWorker::ArmRetryTimer() {
+  if (retry_timeout_sec_ <= 0.0) return;
+  CancelRetryTimer();
+  const int inc = incarnation_;
+  retry_timer_ = sim_->Schedule(retry_timeout_sec_, [this, inc] {
+    retry_timer_ = sim::kInvalidEventId;
+    if (inc != incarnation_) return;
+    OnRetryFire();
+  });
+}
+
+void FelaWorker::CancelRetryTimer() {
+  if (retry_timer_ != sim::kInvalidEventId) {
+    sim_->Cancel(retry_timer_);
+    retry_timer_ = sim::kInvalidEventId;
+  }
+}
+
+void FelaWorker::OnRetryFire() {
+  if (!request_outstanding_ || busy_) return;
+  ++retries_;
+  Trace(sim::TraceKind::kRequestRetry,
+        common::StrFormat("it=%d n=%llu", iteration_,
+                          static_cast<unsigned long long>(retries_)));
+  cbs_.send_request(id_);
+  ArmRetryTimer();
+}
+
+void FelaWorker::OnGrant(const Grant& grant) {
+  if (busy_) {
+    // A duplicate grant, or one that raced a retransmitted request. The
+    // TS lease will reclaim the token; just drop it.
+    ++ignored_grants_;
+    return;
+  }
+  request_outstanding_ = false;
+  CancelRetryTimer();
   busy_ = true;
   Trace(sim::TraceKind::kTokenGrant,
         grant.token.ToString() +
@@ -68,10 +123,13 @@ void FelaWorker::OnGrant(const Grant& grant) {
   auto remaining = std::make_shared<int>(
       static_cast<int>(grant.remote_fetches.size()));
   Token token = grant.token;
+  const int inc = incarnation_;
   for (const auto& [holder, bytes] : grant.remote_fetches) {
     bytes_fetched_ += bytes;
-    fabric_->Transfer(holder, id_, bytes, [this, remaining, token]() mutable {
+    fabric_->Transfer(holder, id_, bytes,
+                      [this, remaining, token, inc]() mutable {
       if (--*remaining == 0) {
+        if (inc != incarnation_) return;  // fetched for a dead process
         Trace(sim::TraceKind::kFetchEnd, "");
         StartCompute(std::move(token));
       }
@@ -87,7 +145,9 @@ void FelaWorker::StartCompute(Token token) {
       slowdown_;
   Trace(sim::TraceKind::kComputeStart,
         common::StrFormat("%s dur=%.4fs", token.ToString().c_str(), duration));
-  gpu_->Enqueue(duration, [this, token = std::move(token)]() mutable {
+  const int inc = incarnation_;
+  gpu_->Enqueue(duration, [this, token = std::move(token), inc]() mutable {
+    if (inc != incarnation_) return;  // computed by a dead process
     OnComputeDone(std::move(token));
   });
 }
@@ -101,6 +161,7 @@ void FelaWorker::OnComputeDone(Token token) {
   // Combined report + request: the TS serves our implicit request.
   request_outstanding_ = true;
   cbs_.send_report(id_, token);
+  ArmRetryTimer();
 }
 
 }  // namespace fela::core

@@ -57,8 +57,30 @@ class FelaWorker {
                       double slowdown = 1.0);
 
   /// A grant arrived from the TS (engine already applied latency and the
-  /// grant's extra_delay). Fetches remote dependencies, then trains.
+  /// grant's extra_delay). Fetches remote dependencies, then trains. A
+  /// grant that arrives while the trainer is busy (a duplicate, or one
+  /// that raced a retry) is dropped — the TS lease reclaims it.
   void OnGrant(const Grant& grant);
+
+  /// Enables request retransmission: while a request is unanswered, a
+  /// fresh request goes out every `sec` seconds (covers requests or
+  /// grants lost on a lossy control plane). <= 0 disables (default), so
+  /// fault-free runs schedule no timer events.
+  void set_retry_timeout(double sec) { retry_timeout_sec_ = sec; }
+
+  /// The worker process died: whatever was fetching/computing is
+  /// discarded (the incarnation guard voids in-flight callbacks) and all
+  /// timers stop. Parameter Chunks survive — the fault model keeps bulk
+  /// data recoverable from persistent storage (DESIGN.md §Fault model).
+  void OnCrash();
+
+  /// Asks the TS for work if idle with no unanswered request (used when
+  /// a recovered worker is re-admitted mid-iteration).
+  void RequestWork(int iteration);
+
+  /// Cancels any pending retry timer (run teardown — leaves no dangling
+  /// events in the simulator queue).
+  void Quiesce();
 
   sim::NodeId id() const { return id_; }
   ParameterChunks& chunks() { return chunks_; }
@@ -69,11 +91,17 @@ class FelaWorker {
   double samples_trained() const { return samples_trained_; }
   double bytes_fetched() const { return bytes_fetched_; }
   bool busy() const { return busy_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t ignored_grants() const { return ignored_grants_; }
+  int incarnation() const { return incarnation_; }
 
  private:
   void StartCompute(Token token);
   void OnComputeDone(Token token);
   void Trace(sim::TraceKind kind, std::string detail);
+  void ArmRetryTimer();
+  void CancelRetryTimer();
+  void OnRetryFire();
 
   sim::NodeId id_;
   sim::Simulator* sim_;
@@ -92,6 +120,14 @@ class FelaWorker {
   int tokens_trained_ = 0;
   double samples_trained_ = 0.0;
   double bytes_fetched_ = 0.0;
+  /// Bumped on every crash; fetch/compute completions captured under an
+  /// older incarnation are discarded (the work died with the process).
+  int incarnation_ = 0;
+  int iteration_ = -1;
+  double retry_timeout_sec_ = 0.0;
+  sim::EventId retry_timer_ = sim::kInvalidEventId;
+  uint64_t retries_ = 0;
+  uint64_t ignored_grants_ = 0;
 };
 
 }  // namespace fela::core

@@ -5,13 +5,17 @@
 namespace fela::runtime {
 
 Cluster::Cluster(int num_workers, const sim::Calibration& cal,
-                 std::unique_ptr<sim::StragglerSchedule> stragglers)
+                 std::unique_ptr<sim::StragglerSchedule> stragglers,
+                 std::unique_ptr<sim::FaultSchedule> faults)
     : num_workers_(num_workers),
       cal_(cal),
       fabric_(&sim_, num_workers, cal),
-      stragglers_(std::move(stragglers)) {
+      stragglers_(std::move(stragglers)),
+      faults_(std::move(faults)) {
   FELA_CHECK_GT(num_workers, 0);
   if (!stragglers_) stragglers_ = std::make_unique<sim::NoStragglers>();
+  if (!faults_) faults_ = std::make_unique<sim::NoFaults>();
+  fabric_.SetFaults(faults_.get(), &trace_);
   gpus_.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     gpus_.push_back(std::make_unique<sim::GpuDevice>(&sim_, i));

@@ -6,6 +6,7 @@
 
 #include "sim/calibration.h"
 #include "sim/fabric.h"
+#include "sim/faults.h"
 #include "sim/gpu.h"
 #include "sim/simulator.h"
 #include "sim/straggler.h"
@@ -14,12 +15,14 @@
 namespace fela::runtime {
 
 /// The simulated testbed an engine runs on: N nodes, one GPU and one NIC
-/// each, a shared switch fabric, and a straggler schedule. Owns the
-/// simulator; engines borrow pointers.
+/// each, a shared switch fabric, a straggler schedule, and a fault
+/// schedule (crashes + lossy control plane; defaults to NoFaults). Owns
+/// the simulator; engines borrow pointers.
 class Cluster {
  public:
   Cluster(int num_workers, const sim::Calibration& cal,
-          std::unique_ptr<sim::StragglerSchedule> stragglers);
+          std::unique_ptr<sim::StragglerSchedule> stragglers,
+          std::unique_ptr<sim::FaultSchedule> faults = nullptr);
 
   /// Convenience: the paper's 8-node testbed with default calibration and
   /// no stragglers.
@@ -34,6 +37,7 @@ class Cluster {
   sim::GpuDevice& gpu(int worker) { return *gpus_[static_cast<size_t>(worker)]; }
   const sim::Calibration& calibration() const { return cal_; }
   const sim::StragglerSchedule& stragglers() const { return *stragglers_; }
+  const sim::FaultSchedule& faults() const { return *faults_; }
   sim::TraceRecorder& trace() { return trace_; }
 
   /// Total GPU busy seconds across workers (utilization numerator).
@@ -46,6 +50,7 @@ class Cluster {
   sim::Fabric fabric_;
   std::vector<std::unique_ptr<sim::GpuDevice>> gpus_;
   std::unique_ptr<sim::StragglerSchedule> stragglers_;
+  std::unique_ptr<sim::FaultSchedule> faults_;
   sim::TraceRecorder trace_;
 };
 

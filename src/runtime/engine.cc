@@ -16,6 +16,11 @@ double RunStats::AverageThroughput(double total_batch) const {
   return total_batch * static_cast<double>(iterations.size()) / total_time;
 }
 
+double RunStats::EffectiveThroughput(double total_batch) const {
+  if (stalled) return 0.0;
+  return AverageThroughput(total_batch);
+}
+
 double PerIterationDelay(const RunStats& with_stragglers,
                          const RunStats& baseline) {
   FELA_CHECK_EQ(with_stragglers.iterations.size(), baseline.iterations.size());

@@ -16,6 +16,33 @@ struct IterationStats {
   double duration() const { return end - start; }
 };
 
+/// Fault-injection accounting for one run: what failed, what the engine
+/// did about it, and what it cost (the robustness-side companions of the
+/// paper's Eq. 3/Eq. 4 metrics).
+struct FaultStats {
+  uint64_t crashes = 0;              // worker crash events observed
+  uint64_t recoveries = 0;           // worker recover events observed
+  uint64_t control_dropped = 0;      // control messages lost in flight
+  uint64_t control_duplicated = 0;   // control messages delivered twice
+  uint64_t tokens_reclaimed = 0;     // in-flight grants pulled back
+  uint64_t regrants = 0;             // grants of previously reclaimed tokens
+  uint64_t request_retries = 0;      // worker-side request retransmissions
+  uint64_t duplicate_reports = 0;    // reports ignored as duplicate/stale
+  uint64_t readmissions = 0;         // recovered workers re-admitted
+  double recovery_latency_total = 0.0;  // recover event -> re-admission secs
+
+  bool any() const {
+    return crashes + control_dropped + control_duplicated + tokens_reclaimed +
+               request_retries + duplicate_reports >
+           0;
+  }
+  double MeanRecoveryLatency() const {
+    return readmissions == 0
+               ? 0.0
+               : recovery_latency_total / static_cast<double>(readmissions);
+  }
+};
+
 /// Aggregate outcome of a training run.
 struct RunStats {
   std::vector<IterationStats> iterations;
@@ -23,12 +50,20 @@ struct RunStats {
   double total_data_bytes = 0.0;  // bulk bytes moved on the fabric
   double total_gpu_busy = 0.0;    // sum of per-GPU busy seconds
   uint64_t control_messages = 0;  // token-protocol messages
+  FaultStats faults;              // fault events and recovery work
+  /// True when the engine could not survive a fault and gave up (BSP
+  /// baselines stall at the barrier / abort): `iterations` then holds
+  /// only the iterations completed before the failure.
+  bool stalled = false;
 
   int iteration_count() const { return static_cast<int>(iterations.size()); }
   /// Average per-iteration seconds.
   double MeanIterationSeconds() const;
   /// Average throughput per the paper's Eq. 3 (samples/second).
   double AverageThroughput(double total_batch) const;
+  /// Throughput a scheduler-facing client observes: 0 for a stalled run
+  /// (the job never finishes without intervention), Eq. 3 otherwise.
+  double EffectiveThroughput(double total_batch) const;
 };
 
 /// A distributed-training engine (Fela or one of the baselines) executing

@@ -10,18 +10,25 @@ StragglerFactory NoStragglerFactory() {
   return [](int) { return std::make_unique<sim::NoStragglers>(); };
 }
 
+FaultFactory NoFaultFactory() {
+  return [](int) { return std::make_unique<sim::NoFaults>(); };
+}
+
 ExperimentResult RunExperiment(const ExperimentSpec& spec,
                                const EngineFactory& engine_factory,
-                               const StragglerFactory& straggler_factory) {
+                               const StragglerFactory& straggler_factory,
+                               const FaultFactory& fault_factory) {
   FELA_CHECK_GT(spec.iterations, 0);
   FELA_CHECK_GT(spec.total_batch, 0.0);
   Cluster cluster(spec.num_workers, spec.calibration,
-                  straggler_factory(spec.num_workers));
+                  straggler_factory(spec.num_workers),
+                  fault_factory ? fault_factory(spec.num_workers) : nullptr);
   std::unique_ptr<Engine> engine = engine_factory(cluster, spec.total_batch);
   ExperimentResult result;
   result.engine_name = engine->name();
   result.stats = engine->Run(spec.iterations);
-  result.average_throughput = result.stats.AverageThroughput(spec.total_batch);
+  result.average_throughput =
+      result.stats.EffectiveThroughput(spec.total_batch);
   result.gpu_utilization =
       result.stats.total_gpu_busy /
       (static_cast<double>(spec.num_workers) * result.stats.total_time);

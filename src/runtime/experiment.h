@@ -32,22 +32,33 @@ using EngineFactory = std::function<std::unique_ptr<Engine>(
 using StragglerFactory =
     std::function<std::unique_ptr<sim::StragglerSchedule>(int num_workers)>;
 
+/// Creates a fault schedule for a cluster of the given size (the
+/// fault-injection analogue of StragglerFactory). A null factory (or one
+/// returning null) means NoFaults.
+using FaultFactory =
+    std::function<std::unique_ptr<sim::FaultSchedule>(int num_workers)>;
+
 /// Returns a factory producing NoStragglers.
 StragglerFactory NoStragglerFactory();
+
+/// Returns a factory producing NoFaults.
+FaultFactory NoFaultFactory();
 
 /// Outcome of one run, with the paper's derived metrics.
 struct ExperimentResult {
   std::string engine_name;
   RunStats stats;
-  double average_throughput = 0.0;  // Eq. 3, samples/sec
+  /// Eq. 3 samples/sec — 0 when the run stalled (the job never ends).
+  double average_throughput = 0.0;
   double gpu_utilization = 0.0;     // busy / (N * total_time)
 };
 
 /// Builds the cluster, constructs the engine, runs it, and derives the
-/// metrics.
+/// metrics. `fault_factory` may be omitted (or empty) for fault-free runs.
 ExperimentResult RunExperiment(const ExperimentSpec& spec,
                                const EngineFactory& engine_factory,
-                               const StragglerFactory& straggler_factory);
+                               const StragglerFactory& straggler_factory,
+                               const FaultFactory& fault_factory = nullptr);
 
 /// Convenience for PID studies: runs the same engine with and without
 /// stragglers and returns (straggler result, clean result, PID seconds).

@@ -57,4 +57,32 @@ std::string FormatGain(double gain) {
   return common::StrFormat("%.2f%%", (gain - 1.0) * 100.0);
 }
 
+std::string RenderFaultSummary(const std::string& engine_name,
+                               const RunStats& stats) {
+  const FaultStats& f = stats.faults;
+  if (!f.any() && !stats.stalled) return "";
+  std::string out = common::StrFormat(
+      "%s faults: %llu crashes, %llu recoveries (%llu re-admitted, mean "
+      "recovery latency %.2fs)",
+      engine_name.c_str(), static_cast<unsigned long long>(f.crashes),
+      static_cast<unsigned long long>(f.recoveries),
+      static_cast<unsigned long long>(f.readmissions),
+      f.MeanRecoveryLatency());
+  out += common::StrFormat(
+      "; tokens: %llu reclaimed, %llu regranted"
+      "; control plane: %llu dropped, %llu duplicated, %llu retries, "
+      "%llu duplicate reports",
+      static_cast<unsigned long long>(f.tokens_reclaimed),
+      static_cast<unsigned long long>(f.regrants),
+      static_cast<unsigned long long>(f.control_dropped),
+      static_cast<unsigned long long>(f.control_duplicated),
+      static_cast<unsigned long long>(f.request_retries),
+      static_cast<unsigned long long>(f.duplicate_reports));
+  if (stats.stalled) {
+    out += common::StrFormat("; STALLED after %d iterations",
+                             stats.iteration_count());
+  }
+  return out;
+}
+
 }  // namespace fela::runtime

@@ -34,6 +34,12 @@ std::pair<double, double> GainRange(const std::vector<ComparisonRow>& rows,
 /// "3.23x" at or above 2x (the paper switches notation around there).
 std::string FormatGain(double gain);
 
+/// One-paragraph fault accounting for a run: crashes/recoveries, token
+/// reclaims and regrants, control-plane losses, retries, and the mean
+/// recovery latency. Returns "" when the run saw no fault activity.
+std::string RenderFaultSummary(const std::string& engine_name,
+                               const RunStats& stats);
+
 }  // namespace fela::runtime
 
 #endif  // FELA_RUNTIME_REPORT_H_

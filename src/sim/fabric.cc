@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace fela::sim {
 
@@ -54,17 +55,56 @@ void Fabric::Transfer(NodeId src, NodeId dst, double bytes,
   sim_->ScheduleAt(finish, std::move(done));
 }
 
+void Fabric::SetFaults(const FaultSchedule* faults, TraceRecorder* trace) {
+  faults_ = faults;
+  fault_trace_ = trace;
+}
+
 void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
   CheckNode(src);
   CheckNode(dst);
   ++control_message_count_;
+  bool duplicated = false;
+  if (faults_ != nullptr && faults_->Active()) {
+    const uint64_t seq = control_seq_++;
+    const SimTime now = sim_->now();
+    // A dead endpoint neither emits nor absorbs control traffic; live
+    // messages may additionally be eaten or duplicated by the lossy
+    // control plane.
+    if (faults_->IsDownAt(now, src) || faults_->IsDownAt(now, dst) ||
+        faults_->DropControl(seq)) {
+      ++control_dropped_count_;
+      if (fault_trace_ != nullptr && fault_trace_->enabled()) {
+        fault_trace_->Record(
+            now, dst, TraceKind::kControlDrop,
+            common::StrFormat("src=%d seq=%llu", src,
+                              static_cast<unsigned long long>(seq)));
+      }
+      return;
+    }
+    if (faults_->DuplicateControl(seq)) {
+      duplicated = true;
+      ++control_duplicated_count_;
+      if (fault_trace_ != nullptr && fault_trace_->enabled()) {
+        fault_trace_->Record(
+            now, dst, TraceKind::kControlDup,
+            common::StrFormat("src=%d seq=%llu", src,
+                              static_cast<unsigned long long>(seq)));
+      }
+    }
+  }
   if (src == dst) {
     // Co-located roles (e.g. TS on node 0 talking to worker 0): loopback.
+    if (duplicated) sim_->Schedule(0.0, done);
     sim_->Schedule(0.0, std::move(done));
     return;
   }
   const double wire =
       cal_.control_message_bytes / cal_.nic_bandwidth_bytes_per_sec;
+  if (duplicated) {
+    // The retransmitted copy arrives one extra latency later.
+    sim_->Schedule(2.0 * cal_.message_latency_sec + wire, done);
+  }
   sim_->Schedule(cal_.message_latency_sec + wire, std::move(done));
 }
 
@@ -76,6 +116,9 @@ void Fabric::ResetStats() {
   total_data_bytes_ = 0.0;
   data_transfer_count_ = 0;
   control_message_count_ = 0;
+  control_dropped_count_ = 0;
+  control_duplicated_count_ = 0;
+  control_seq_ = 0;
 }
 
 }  // namespace fela::sim

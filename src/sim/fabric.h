@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "sim/calibration.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
+#include "sim/trace.h"
 #include "sim/types.h"
 
 namespace fela::sim {
@@ -31,8 +33,17 @@ class Fabric {
                 std::function<void()> done);
 
   /// Sends a control message (token request/report/notify). Not subject
-  /// to FIFO queueing behind bulk data.
+  /// to FIFO queueing behind bulk data. Under an active fault schedule
+  /// the message is dropped when either endpoint is down or the lossy
+  /// control plane eats it (observable in the trace as ControlDrop), and
+  /// may be delivered twice (ControlDup).
   void SendControl(NodeId src, NodeId dst, std::function<void()> done);
+
+  /// Installs a fault schedule consulted on every control send, plus an
+  /// optional trace recorder making dropped/duplicated RPCs observable.
+  /// Pass nullptr to detach. Bulk Transfer() is deliberately unaffected
+  /// (see FaultSchedule's model notes).
+  void SetFaults(const FaultSchedule* faults, TraceRecorder* trace);
 
   /// Earliest time a new transfer from src to dst could start.
   SimTime NextFreeTime(NodeId src, NodeId dst) const;
@@ -43,6 +54,10 @@ class Fabric {
   double bytes_received(NodeId node) const { return bytes_received_[node]; }
   uint64_t data_transfer_count() const { return data_transfer_count_; }
   uint64_t control_message_count() const { return control_message_count_; }
+  uint64_t control_dropped_count() const { return control_dropped_count_; }
+  uint64_t control_duplicated_count() const {
+    return control_duplicated_count_;
+  }
   /// Total time the node's outbound link spent busy with bulk data.
   double out_link_busy(NodeId node) const { return out_busy_[node]; }
   double in_link_busy(NodeId node) const { return in_busy_[node]; }
@@ -55,6 +70,9 @@ class Fabric {
   Simulator* sim_;
   int num_nodes_;
   Calibration cal_;
+  const FaultSchedule* faults_ = nullptr;
+  TraceRecorder* fault_trace_ = nullptr;
+  uint64_t control_seq_ = 0;
   std::vector<SimTime> out_free_;
   std::vector<SimTime> in_free_;
   std::vector<double> bytes_sent_;
@@ -64,6 +82,8 @@ class Fabric {
   double total_data_bytes_ = 0.0;
   uint64_t data_transfer_count_ = 0;
   uint64_t control_message_count_ = 0;
+  uint64_t control_dropped_count_ = 0;
+  uint64_t control_duplicated_count_ = 0;
 };
 
 }  // namespace fela::sim

@@ -1,0 +1,302 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace fela::sim {
+
+namespace {
+
+/// Stateless SplitMix64-style mix (same family as straggler.cc) feeding a
+/// seeded fela Rng, so each (seed, index, salt) decision is an
+/// independent, platform-stable draw.
+uint64_t Mix(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b * 0xbf58476d1ce4e5b9ULL +
+               c * 0x94d049bb133111ebULL + 0x2545f4914f6cdd1dULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool SeededBernoulli(uint64_t seed, uint64_t index, uint64_t salt, double p) {
+  if (p <= 0.0) return false;
+  common::Rng rng(Mix(seed, index, salt));
+  return rng.Bernoulli(p);
+}
+
+/// Windows to scan past the query point before concluding "no more
+/// transitions". With any realistic crash probability the first hit is
+/// found within a handful of windows; the cap only guards degenerate
+/// configurations from spinning forever.
+constexpr int64_t kMaxWindowScan = 1 << 20;
+
+}  // namespace
+
+bool FaultSchedule::AnyDownDuring(SimTime t0, SimTime t1, int worker) const {
+  if (!Active()) return false;
+  if (IsDownAt(t0, worker) || IsDownAt(t1, worker)) return true;
+  SimTime t = NextTransitionAfter(t0);
+  while (t <= t1) {
+    if (IsDownAt(t, worker)) return true;
+    const SimTime next = NextTransitionAfter(t);
+    if (next <= t) break;  // defensive: schedules must make progress
+    t = next;
+  }
+  return false;
+}
+
+SimTime FaultSchedule::NextUpAfter(SimTime t, int worker) const {
+  if (!IsDownAt(t, worker)) return t;
+  SimTime cur = t;
+  while (true) {
+    const SimTime next = NextTransitionAfter(cur);
+    if (next == kNeverTime || next <= cur) return kNeverTime;
+    if (!IsDownAt(next, worker)) return next;
+    cur = next;
+  }
+}
+
+// -- ScriptedCrashes --------------------------------------------------------
+
+ScriptedCrashes::ScriptedCrashes(std::vector<CrashEvent> events)
+    : events_(std::move(events)) {
+  for (const CrashEvent& e : events_) {
+    FELA_CHECK_GE(e.worker, 0);
+    FELA_CHECK_GE(e.crash_time, 0.0);
+    FELA_CHECK_GT(e.recover_time, e.crash_time);
+  }
+}
+
+bool ScriptedCrashes::IsDownAt(SimTime time, int worker) const {
+  for (const CrashEvent& e : events_) {
+    if (e.worker == worker && time >= e.crash_time && time < e.recover_time) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime ScriptedCrashes::NextTransitionAfter(SimTime t) const {
+  SimTime best = kNeverTime;
+  for (const CrashEvent& e : events_) {
+    if (e.crash_time > t) best = std::min(best, e.crash_time);
+    if (e.recover_time > t && e.recover_time != kNeverTime) {
+      best = std::min(best, e.recover_time);
+    }
+  }
+  return best;
+}
+
+std::string ScriptedCrashes::ToString() const {
+  std::string out = "scripted(";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const CrashEvent& e = events_[i];
+    if (i > 0) out += ", ";
+    if (e.recover_time == kNeverTime) {
+      out += common::StrFormat("w%d@%.2fs", e.worker, e.crash_time);
+    } else {
+      out += common::StrFormat("w%d@[%.2fs,%.2fs)", e.worker, e.crash_time,
+                               e.recover_time);
+    }
+  }
+  return out + ")";
+}
+
+// -- RandomCrashes ----------------------------------------------------------
+
+RandomCrashes::RandomCrashes(int num_workers, double crash_prob,
+                             SimTime window_sec, SimTime down_sec,
+                             uint64_t seed, int first_worker)
+    : num_workers_(num_workers),
+      crash_prob_(crash_prob),
+      window_sec_(window_sec),
+      down_sec_(down_sec),
+      seed_(seed),
+      first_worker_(first_worker) {
+  FELA_CHECK_GT(num_workers, 0);
+  FELA_CHECK(crash_prob >= 0.0 && crash_prob <= 1.0) << crash_prob;
+  FELA_CHECK_GT(window_sec, 0.0);
+  FELA_CHECK_GT(down_sec, 0.0);
+  FELA_CHECK(first_worker >= 0 && first_worker < num_workers) << first_worker;
+}
+
+bool RandomCrashes::CrashesInWindow(int64_t window, int worker) const {
+  if (window < 0 || worker < first_worker_) return false;
+  return SeededBernoulli(seed_, static_cast<uint64_t>(window) * 131071ULL +
+                                    static_cast<uint64_t>(worker),
+                         0xc2a50001ULL, crash_prob_);
+}
+
+bool RandomCrashes::IsDownAt(SimTime time, int worker) const {
+  if (crash_prob_ <= 0.0 || time < 0.0) return false;
+  // A crash in window k downs the worker over [k*W, k*W + down_sec).
+  const int64_t last = static_cast<int64_t>(std::floor(time / window_sec_));
+  const int64_t from =
+      down_sec_ == kNeverTime
+          ? 0
+          : std::max<int64_t>(
+                0, last - static_cast<int64_t>(
+                              std::ceil(down_sec_ / window_sec_)));
+  for (int64_t k = from; k <= last; ++k) {
+    if (!CrashesInWindow(k, worker)) continue;
+    const SimTime crash = static_cast<SimTime>(k) * window_sec_;
+    if (time >= crash && (down_sec_ == kNeverTime || time < crash + down_sec_)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime RandomCrashes::NextTransitionAfter(SimTime t) const {
+  if (crash_prob_ <= 0.0) return kNeverTime;
+  const int64_t span =
+      down_sec_ == kNeverTime
+          ? 0
+          : static_cast<int64_t>(std::ceil(down_sec_ / window_sec_));
+  const int64_t from = std::max<int64_t>(
+      0, static_cast<int64_t>(std::floor(t / window_sec_)) - span);
+  SimTime best = kNeverTime;
+  for (int64_t k = from; k < from + kMaxWindowScan; ++k) {
+    const SimTime crash = static_cast<SimTime>(k) * window_sec_;
+    if (crash > t && crash >= best) break;  // later windows only get later
+    for (int w = first_worker_; w < num_workers_; ++w) {
+      if (!CrashesInWindow(k, w)) continue;
+      if (crash > t) best = std::min(best, crash);
+      if (down_sec_ != kNeverTime && crash + down_sec_ > t) {
+        best = std::min(best, crash + down_sec_);
+      }
+    }
+  }
+  return best;
+}
+
+std::string RandomCrashes::ToString() const {
+  return common::StrFormat("random-crashes(p=%.3f/%.1fs, down=%s)",
+                           crash_prob_, window_sec_,
+                           down_sec_ == kNeverTime
+                               ? "forever"
+                               : common::StrFormat("%.1fs", down_sec_).c_str());
+}
+
+// -- LossyControlPlane ------------------------------------------------------
+
+LossyControlPlane::LossyControlPlane(double drop_prob, double dup_prob,
+                                     uint64_t seed)
+    : drop_prob_(drop_prob), dup_prob_(dup_prob), seed_(seed) {
+  FELA_CHECK(drop_prob >= 0.0 && drop_prob < 1.0) << drop_prob;
+  FELA_CHECK(dup_prob >= 0.0 && dup_prob <= 1.0) << dup_prob;
+}
+
+bool LossyControlPlane::DropControl(uint64_t seq) const {
+  return SeededBernoulli(seed_, seq, 0xd20b0001ULL, drop_prob_);
+}
+
+bool LossyControlPlane::DuplicateControl(uint64_t seq) const {
+  return SeededBernoulli(seed_, seq, 0xd0b1e002ULL, dup_prob_);
+}
+
+std::string LossyControlPlane::ToString() const {
+  return common::StrFormat("lossy-control(drop=%.3f, dup=%.3f)", drop_prob_,
+                           dup_prob_);
+}
+
+// -- CompositeFaults --------------------------------------------------------
+
+CompositeFaults::CompositeFaults(
+    std::vector<std::unique_ptr<FaultSchedule>> parts)
+    : parts_(std::move(parts)) {
+  for (const auto& p : parts_) FELA_CHECK(p != nullptr);
+}
+
+bool CompositeFaults::IsDownAt(SimTime time, int worker) const {
+  for (const auto& p : parts_) {
+    if (p->IsDownAt(time, worker)) return true;
+  }
+  return false;
+}
+
+SimTime CompositeFaults::NextTransitionAfter(SimTime t) const {
+  SimTime best = kNeverTime;
+  for (const auto& p : parts_) best = std::min(best, p->NextTransitionAfter(t));
+  return best;
+}
+
+bool CompositeFaults::DropControl(uint64_t seq) const {
+  for (const auto& p : parts_) {
+    if (p->DropControl(seq)) return true;
+  }
+  return false;
+}
+
+bool CompositeFaults::DuplicateControl(uint64_t seq) const {
+  for (const auto& p : parts_) {
+    if (p->DuplicateControl(seq)) return true;
+  }
+  return false;
+}
+
+std::string CompositeFaults::ToString() const {
+  std::string out = "composite(";
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += parts_[i]->ToString();
+  }
+  return out + ")";
+}
+
+// -- FaultMonitor -----------------------------------------------------------
+
+FaultMonitor::FaultMonitor(Simulator* sim, const FaultSchedule* faults,
+                           int num_workers, Callbacks cbs)
+    : sim_(sim), faults_(faults), cbs_(std::move(cbs)) {
+  FELA_CHECK(sim != nullptr && faults != nullptr);
+  FELA_CHECK_GT(num_workers, 0);
+  down_.assign(static_cast<size_t>(num_workers), false);
+}
+
+void FaultMonitor::Start() {
+  if (!faults_->Active()) return;
+  const SimTime now = sim_->now();
+  for (size_t w = 0; w < down_.size(); ++w) {
+    down_[w] = faults_->IsDownAt(now, static_cast<int>(w));
+    if (down_[w] && cbs_.on_crash) cbs_.on_crash(static_cast<int>(w));
+  }
+  ScheduleNext(now);
+}
+
+void FaultMonitor::Stop() {
+  if (pending_ != kInvalidEventId) {
+    sim_->Cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+}
+
+void FaultMonitor::ScheduleNext(SimTime after) {
+  const SimTime next = faults_->NextTransitionAfter(after);
+  if (next == kNeverTime) return;
+  pending_ = sim_->ScheduleAt(next, [this] {
+    pending_ = kInvalidEventId;
+    OnWakeup();
+  });
+}
+
+void FaultMonitor::OnWakeup() {
+  const SimTime now = sim_->now();
+  for (size_t w = 0; w < down_.size(); ++w) {
+    const bool d = faults_->IsDownAt(now, static_cast<int>(w));
+    if (d == down_[w]) continue;
+    down_[w] = d;
+    if (d) {
+      if (cbs_.on_crash) cbs_.on_crash(static_cast<int>(w));
+    } else {
+      if (cbs_.on_recover) cbs_.on_recover(static_cast<int>(w));
+    }
+  }
+  ScheduleNext(now);
+}
+
+}  // namespace fela::sim

@@ -1,0 +1,209 @@
+#ifndef FELA_SIM_FAULTS_H_
+#define FELA_SIM_FAULTS_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace fela::sim {
+
+inline constexpr SimTime kNeverTime = std::numeric_limits<SimTime>::infinity();
+
+/// Fault injection schedule, the failure-side sibling of
+/// StragglerSchedule: *worker crash / recover* events at simulated times
+/// and *control-message drop / duplicate* events on the token protocol's
+/// control plane. Every decision is a pure function of (time, worker) or
+/// of a message sequence number plus a seed, so two runs with the same
+/// schedule replay bit-identically (the property the determinism
+/// regression tests pin down).
+///
+/// Model boundaries (see DESIGN.md "Fault model & recovery"):
+///  * A down worker neither computes usefully nor exchanges control
+///    messages; work in flight on it at crash time is lost.
+///  * Bulk data transfers still complete even when an endpoint is down
+///    (parameter chunks / sample shards are assumed recoverable from
+///    node-local persistent storage, as with a replicated PS).
+///  * Node 0 hosts the Token Server; schedules that crash worker 0 take
+///    the control plane down with it (TS high availability is out of
+///    scope), so experiments normally spare worker 0.
+class FaultSchedule {
+ public:
+  virtual ~FaultSchedule() = default;
+
+  /// False only for the no-op schedule; engines use this to keep the
+  /// clean path entirely free of fault bookkeeping.
+  virtual bool Active() const { return true; }
+
+  /// True if `worker` is crashed (down) at simulated time `time`.
+  /// Down intervals are half-open: [crash_time, recover_time).
+  virtual bool IsDownAt(SimTime time, int worker) const = 0;
+
+  /// Earliest candidate time strictly after `t` at which some worker's
+  /// up/down state may change, or kNeverTime. Spurious candidates (times
+  /// where nothing actually changes) are allowed; missed real transitions
+  /// are not.
+  virtual SimTime NextTransitionAfter(SimTime t) const = 0;
+
+  /// True if the control message with fabric sequence number `seq`
+  /// vanishes in flight.
+  virtual bool DropControl(uint64_t seq) const {
+    (void)seq;
+    return false;
+  }
+
+  /// True if the control message with sequence number `seq` is delivered
+  /// twice (a retransmitted duplicate).
+  virtual bool DuplicateControl(uint64_t seq) const {
+    (void)seq;
+    return false;
+  }
+
+  /// Human-readable description for reports.
+  virtual std::string ToString() const = 0;
+
+  // -- Derived helpers (implemented with the virtuals) --------------------
+
+  /// True if `worker` is down at any point in [t0, t1].
+  bool AnyDownDuring(SimTime t0, SimTime t1, int worker) const;
+
+  /// Earliest time >= t at which `worker` is up, or kNeverTime.
+  SimTime NextUpAfter(SimTime t, int worker) const;
+};
+
+/// Baseline: nothing ever fails.
+class NoFaults final : public FaultSchedule {
+ public:
+  bool Active() const override { return false; }
+  bool IsDownAt(SimTime, int) const override { return false; }
+  SimTime NextTransitionAfter(SimTime) const override { return kNeverTime; }
+  std::string ToString() const override { return "none"; }
+};
+
+/// One scripted crash: `worker` dies at `crash_time` and comes back at
+/// `recover_time` (kNeverTime = never recovers).
+struct CrashEvent {
+  int worker = 0;
+  SimTime crash_time = 0.0;
+  SimTime recover_time = kNeverTime;
+};
+
+/// Deterministic scripted crash/recover windows (the unit-test workhorse
+/// and the "crash worker w at iteration k" building block).
+class ScriptedCrashes final : public FaultSchedule {
+ public:
+  explicit ScriptedCrashes(std::vector<CrashEvent> events);
+  bool IsDownAt(SimTime time, int worker) const override;
+  SimTime NextTransitionAfter(SimTime t) const override;
+  std::string ToString() const override;
+
+  const std::vector<CrashEvent>& events() const { return events_; }
+
+ private:
+  std::vector<CrashEvent> events_;
+};
+
+/// Probabilistic crashes: simulated time is divided into fixed windows of
+/// `window_sec`; at the start of each window every worker in
+/// [first_worker, num_workers) independently crashes with probability
+/// `crash_prob`, staying down for `down_sec` (kNeverTime = fail-stop).
+/// Deterministic in (seed, window, worker). `first_worker` defaults to 1
+/// so the Token Server host (node 0) survives; pass 0 to allow it.
+class RandomCrashes final : public FaultSchedule {
+ public:
+  RandomCrashes(int num_workers, double crash_prob, SimTime window_sec,
+                SimTime down_sec, uint64_t seed, int first_worker = 1);
+  bool IsDownAt(SimTime time, int worker) const override;
+  SimTime NextTransitionAfter(SimTime t) const override;
+  std::string ToString() const override;
+
+ private:
+  bool CrashesInWindow(int64_t window, int worker) const;
+
+  int num_workers_;
+  double crash_prob_;
+  SimTime window_sec_;
+  SimTime down_sec_;
+  uint64_t seed_;
+  int first_worker_;
+};
+
+/// Lossy control plane: each control message is dropped with probability
+/// `drop_prob` and duplicated with probability `dup_prob`, independently,
+/// keyed on the fabric's message sequence number. No crashes.
+class LossyControlPlane final : public FaultSchedule {
+ public:
+  LossyControlPlane(double drop_prob, double dup_prob, uint64_t seed);
+  bool IsDownAt(SimTime, int) const override { return false; }
+  SimTime NextTransitionAfter(SimTime) const override { return kNeverTime; }
+  bool DropControl(uint64_t seq) const override;
+  bool DuplicateControl(uint64_t seq) const override;
+  std::string ToString() const override;
+
+ private:
+  double drop_prob_;
+  double dup_prob_;
+  uint64_t seed_;
+};
+
+/// OR-composition of several schedules (e.g. scripted crashes plus a
+/// lossy control plane).
+class CompositeFaults final : public FaultSchedule {
+ public:
+  explicit CompositeFaults(std::vector<std::unique_ptr<FaultSchedule>> parts);
+  bool IsDownAt(SimTime time, int worker) const override;
+  SimTime NextTransitionAfter(SimTime t) const override;
+  bool DropControl(uint64_t seq) const override;
+  bool DuplicateControl(uint64_t seq) const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<std::unique_ptr<FaultSchedule>> parts_;
+};
+
+/// Replays a FaultSchedule onto a running simulation: walks the
+/// schedule's transition times and invokes on_crash / on_recover exactly
+/// when a worker's state flips. Engines that react to crashes (Fela's
+/// elastic scale-in/out) drive their handlers from this. Stop() must be
+/// called when the run completes so pending wake-ups do not keep the
+/// event queue alive.
+class FaultMonitor {
+ public:
+  struct Callbacks {
+    std::function<void(int worker)> on_crash;
+    std::function<void(int worker)> on_recover;
+  };
+
+  FaultMonitor(Simulator* sim, const FaultSchedule* faults, int num_workers,
+               Callbacks cbs);
+
+  FaultMonitor(const FaultMonitor&) = delete;
+  FaultMonitor& operator=(const FaultMonitor&) = delete;
+
+  /// Captures the current up/down state and schedules the first wake-up.
+  /// Workers already down at start are reported via on_crash immediately.
+  void Start();
+  void Stop();
+
+  bool IsDown(int worker) const {
+    return down_[static_cast<size_t>(worker)];
+  }
+
+ private:
+  void OnWakeup();
+  void ScheduleNext(SimTime after);
+
+  Simulator* sim_;
+  const FaultSchedule* faults_;
+  Callbacks cbs_;
+  std::vector<bool> down_;
+  EventId pending_ = kInvalidEventId;
+};
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_FAULTS_H_

@@ -36,6 +36,18 @@ const char* TraceKindName(TraceKind kind) {
       return "HelperSteal";
     case TraceKind::kConflict:
       return "Conflict";
+    case TraceKind::kWorkerCrash:
+      return "WorkerCrash";
+    case TraceKind::kWorkerRecover:
+      return "WorkerRecover";
+    case TraceKind::kControlDrop:
+      return "ControlDrop";
+    case TraceKind::kControlDup:
+      return "ControlDup";
+    case TraceKind::kTokenReclaim:
+      return "TokenReclaim";
+    case TraceKind::kRequestRetry:
+      return "RequestRetry";
   }
   return "Unknown";
 }

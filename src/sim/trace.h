@@ -24,6 +24,12 @@ enum class TraceKind {
   kStragglerSleep,
   kHelperSteal,
   kConflict,
+  kWorkerCrash,
+  kWorkerRecover,
+  kControlDrop,
+  kControlDup,
+  kTokenReclaim,
+  kRequestRetry,
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "model/zoo.h"
 
 namespace fela::core {
@@ -145,6 +147,80 @@ TEST(BuildPlanTest, ToStringListsLevels) {
   const std::string s = plan.ToString();
   EXPECT_NE(s.find("T-1"), std::string::npos);
   EXPECT_NE(s.find("T-3"), std::string::npos);
+}
+
+TEST(ValidatePlanInputsTest, AcceptsPaperInputs) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  cfg.weights = {1, 2, 4};
+  EXPECT_TRUE(ValidatePlanInputs(model::zoo::Vgg19(), Vgg19SubModels(), cfg,
+                                 128, 8)
+                  .ok());
+}
+
+TEST(ValidatePlanInputsTest, RejectsBadWorkerCount) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  const auto sub = Vgg19SubModels();
+  EXPECT_FALSE(
+      ValidatePlanInputs(model::zoo::Vgg19(), sub, cfg, 128, 0).ok());
+  EXPECT_FALSE(
+      ValidatePlanInputs(model::zoo::Vgg19(), sub, cfg, 128, -4).ok());
+}
+
+TEST(ValidatePlanInputsTest, RejectsBadTotalBatch) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  const auto sub = Vgg19SubModels();
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), sub, cfg, 0.0, 8).ok());
+  EXPECT_FALSE(
+      ValidatePlanInputs(model::zoo::Vgg19(), sub, cfg, -128.0, 8).ok());
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), sub, cfg,
+                                  std::numeric_limits<double>::quiet_NaN(), 8)
+                   .ok());
+}
+
+TEST(ValidatePlanInputsTest, RejectsEmptyPartition) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), {}, cfg, 128, 8).ok());
+}
+
+TEST(ValidatePlanInputsTest, RejectsLayerRangeOutsideModel) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  auto sub = Vgg19SubModels();
+  sub.back().last_layer = model::zoo::Vgg19().layer_count();  // one past end
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), sub, cfg, 128, 8).ok());
+  sub = Vgg19SubModels();
+  sub.front().first_layer = -1;
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), sub, cfg, 128, 8).ok());
+  sub = Vgg19SubModels();
+  sub.front().last_layer = sub.front().first_layer - 1;  // inverted range
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), sub, cfg, 128, 8).ok());
+}
+
+TEST(ValidatePlanInputsTest, RejectsNonPositiveThreshold) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  auto sub = Vgg19SubModels();
+  sub[1].threshold_batch = 0.0;
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), sub, cfg, 128, 8).ok());
+}
+
+TEST(ValidatePlanInputsTest, RejectsConfigPartitionMismatch) {
+  // Delegates to ValidateConfig: 2-level config against a 3-way partition.
+  FelaConfig cfg = FelaConfig::Defaults(2, 8);
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), Vgg19SubModels(), cfg,
+                                  128, 8)
+                   .ok());
+}
+
+TEST(ValidatePlanInputsTest, RejectsBadFaultToleranceTimeouts) {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  cfg.lease_timeout_sec = 0.0;
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), Vgg19SubModels(), cfg,
+                                  128, 8)
+                   .ok());
+  cfg = FelaConfig::Defaults(3, 8);
+  cfg.retry_timeout_sec = -1.0;
+  EXPECT_FALSE(ValidatePlanInputs(model::zoo::Vgg19(), Vgg19SubModels(), cfg,
+                                  128, 8)
+                   .ok());
 }
 
 TEST(FelaConfigTest, ToStringShowsKnobs) {
