@@ -19,8 +19,9 @@
 #include "model/zoo.h"
 #include "sim/faults.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader("Fault Recovery: Throughput vs Crash Probability");
 
   const model::Model model = model::zoo::Vgg19();
@@ -29,15 +30,18 @@ int main() {
   const double kWindowSec = 30.0;
   const double kDownSec = 45.0;
   const uint64_t kSeed = 20200420;
-  const std::vector<double> probabilities = {0.0, 0.02, 0.05, 0.1, 0.2};
+  const std::vector<double> probabilities =
+      opts.smoke ? std::vector<double>{0.0, 0.1}
+                 : std::vector<double>{0.0, 0.02, 0.05, 0.1, 0.2};
 
   runtime::ExperimentSpec spec;
   spec.total_batch = kBatch;
-  spec.iterations = bench::kIterations;
+  spec.iterations = opts.iterations();
   spec.num_workers = kWorkers;
+  spec.observe = opts.json;
 
   const core::FelaConfig cfg =
-      suite::TunedFelaConfig(model, kBatch, kWorkers, 5);
+      suite::TunedFelaConfig(model, kBatch, kWorkers, opts.smoke ? 1 : 5);
 
   std::ofstream csv_file("fault_recovery.csv");
   common::CsvWriter csv(csv_file);
@@ -45,6 +49,7 @@ int main() {
                 "crashes", "tokens_reclaimed", "regrants",
                 "mean_recovery_latency_sec", "stalled"});
 
+  obs::BenchReport report("fault_recovery");
   std::vector<runtime::ComparisonRow> rows;
   std::vector<std::string> fault_lines;
   for (double p : probabilities) {
@@ -63,6 +68,12 @@ int main() {
                                runtime::NoStragglerFactory(), faults);
     rows.push_back(runtime::ComparisonRow{
         p, {dp.average_throughput, fela.average_throughput}});
+    report.Add(dp, p);
+    report.Add(fela, p);
+    if (fela.observed) {
+      std::printf("\n[p=%g]\n", p);
+      std::cout << runtime::RenderAttributionTable(fela.attribution);
+    }
     for (const auto& r : {dp, fela}) {
       const runtime::FaultStats& f = r.stats.faults;
       csv.WriteRow({common::StrFormat("%g", p), r.engine_name,
@@ -95,5 +106,5 @@ int main() {
   std::printf("\nper-run fault accounting:\n");
   for (const auto& line : fault_lines) std::printf("  %s\n", line.c_str());
   std::printf("\nwrote fault_recovery.csv\n");
-  return 0;
+  return bench::FinishBench(opts, report);
 }

@@ -12,8 +12,9 @@
 #include "bench_util.h"
 #include "model/zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader("Figure 10: Probability-Based Straggler Scenario");
 
   struct ModelCase {
@@ -22,13 +23,16 @@ int main() {
     double delay;
     const char* label;
   };
-  const ModelCase cases[] = {
+  std::vector<ModelCase> cases = {
       {model::zoo::Vgg19(), 512, 6.0, "VGG19"},
       {model::zoo::GoogLeNet(), 2048, 3.0, "GoogLeNet"},
   };
-  const std::vector<double> probabilities = {0.1, 0.2, 0.3, 0.4, 0.5};
+  if (opts.smoke) cases.erase(cases.begin() + 1, cases.end());
+  const std::vector<double> probabilities =
+      opts.Sweep<double>({0.1, 0.2, 0.3, 0.4, 0.5});
   const uint64_t kSeed = 20200420;  // ICDE 2020 :-)
 
+  obs::BenchReport report("fig10_probability");
   for (const auto& mc : cases) {
     std::vector<runtime::ComparisonRow> at_rows;
     std::vector<runtime::ComparisonRow> pid_rows;
@@ -39,9 +43,11 @@ int main() {
       };
       runtime::ExperimentSpec spec;
       spec.total_batch = mc.batch;
-      spec.iterations = bench::kIterations;
+      spec.iterations = opts.iterations();
+      spec.observe = opts.json;
       const auto cfg = suite::TunedFelaConfig(
-          mc.model, mc.batch, 8, 5, sim::Calibration::Default(), stragglers);
+          mc.model, mc.batch, 8, opts.smoke ? 1 : 5,
+          sim::Calibration::Default(), stragglers);
 
       auto pid_of = [&](const runtime::EngineFactory& f) {
         return runtime::RunPidExperiment(spec, f, stragglers);
@@ -50,6 +56,14 @@ int main() {
       const auto mp = pid_of(suite::MpFactory(mc.model));
       const auto hp = pid_of(suite::HpFactory(mc.model));
       const auto fela = pid_of(suite::FelaFactory(mc.model, cfg));
+      for (const auto* pr : {&dp, &mp, &hp, &fela}) {
+        report.Add(pr->with_stragglers, p);
+      }
+      if (fela.with_stragglers.observed) {
+        std::printf("\n[%s p=%g]\n", mc.label, p);
+        std::cout << runtime::RenderAttributionTable(
+            fela.with_stragglers.attribution);
+      }
       at_rows.push_back(runtime::ComparisonRow{
           p,
           {dp.with_stragglers.average_throughput,
@@ -87,5 +101,5 @@ int main() {
   std::printf(
       "\npaper (VGG19): Fela PID 23.23%%~51.36%% below DP, 6.97%%~65.12%% "
       "below HP.\n");
-  return 0;
+  return bench::FinishBench(opts, report);
 }

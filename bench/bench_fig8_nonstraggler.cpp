@@ -11,8 +11,9 @@
 #include "bench_util.h"
 #include "model/zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader("Figure 8: AT Comparison in Non-Straggler Scenario");
 
   struct ModelCase {
@@ -20,21 +21,32 @@ int main() {
     std::vector<double> batches;
     const char* panel;
   };
-  const ModelCase cases[] = {
+  std::vector<ModelCase> cases = {
       {model::zoo::Vgg19(), bench::Vgg19Batches(), "(a) VGG19"},
       {model::zoo::GoogLeNet(), bench::GoogLeNetBatches(), "(b) GoogLeNet"},
   };
+  if (opts.smoke) cases.erase(cases.begin() + 1, cases.end());
 
+  obs::BenchReport report("fig8_nonstraggler");
   for (const auto& mc : cases) {
     std::vector<runtime::ComparisonRow> rows;
-    for (double batch : mc.batches) {
+    for (double batch : opts.Sweep(mc.batches)) {
       runtime::ExperimentSpec spec;
       spec.total_batch = batch;
-      spec.iterations = bench::kIterations;
-      const auto cfg = suite::TunedFelaConfig(mc.model, batch, 8);
+      spec.iterations = opts.iterations();
+      spec.observe = opts.json;
+      const auto cfg = suite::TunedFelaConfig(mc.model, batch, 8,
+                                              opts.smoke ? 1 : 5);
       const auto r = suite::CompareAll(mc.model, spec,
                                        runtime::NoStragglerFactory(), cfg);
       rows.push_back(runtime::ComparisonRow{batch, r.Throughputs()});
+      for (const auto* er : {&r.dp, &r.mp, &r.hp, &r.fela}) {
+        report.Add(*er, batch);
+      }
+      if (r.fela.observed) {
+        std::printf("\n[batch %g]\n", batch);
+        std::cout << runtime::RenderAttributionTable(r.fela.attribution);
+      }
     }
     std::printf("\n%s\n", mc.panel);
     std::cout << runtime::RenderComparisonTable(
@@ -47,5 +59,5 @@ int main() {
       "15.77%%~49.65%%\n"
       "       GoogLeNet Fela vs DP 13.25%%~2.15x, MP 3.63x~12.22x, HP "
       "19.01%%~1.85x\n");
-  return 0;
+  return bench::FinishBench(opts, report);
 }

@@ -12,8 +12,9 @@
 #include "bench_util.h"
 #include "model/zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader("Figure 9: Round-Robin Straggler Scenario");
 
   struct ModelCase {
@@ -24,24 +25,28 @@ int main() {
   };
   // The paper fixes a training batch and sweeps d (VGG19: 2..10s,
   // GoogLeNet: 1..5s). We use the mid-sweep batch for each benchmark.
-  const ModelCase cases[] = {
+  std::vector<ModelCase> cases = {
       {model::zoo::Vgg19(), 512, {2, 4, 6, 8, 10}, "VGG19"},
       {model::zoo::GoogLeNet(), 2048, {1, 2, 3, 4, 5}, "GoogLeNet"},
   };
+  if (opts.smoke) cases.erase(cases.begin() + 1, cases.end());
 
+  obs::BenchReport report("fig9_roundrobin");
   for (const auto& mc : cases) {
     std::vector<runtime::ComparisonRow> at_rows;
     std::vector<runtime::ComparisonRow> pid_rows;
-    for (double d : mc.delays) {
+    for (double d : opts.Sweep(mc.delays)) {
       auto stragglers = [d](int n) {
         return std::make_unique<sim::RoundRobinStragglers>(n, d);
       };
       runtime::ExperimentSpec spec;
       spec.total_batch = mc.batch;
-      spec.iterations = bench::kIterations;
+      spec.iterations = opts.iterations();
+      spec.observe = opts.json;
       // Elastic tuning happens in-situ: the warm-up sees the stragglers.
       const auto cfg = suite::TunedFelaConfig(
-          mc.model, mc.batch, 8, 5, sim::Calibration::Default(), stragglers);
+          mc.model, mc.batch, 8, opts.smoke ? 1 : 5,
+          sim::Calibration::Default(), stragglers);
 
       auto pid_of = [&](const runtime::EngineFactory& f) {
         return runtime::RunPidExperiment(spec, f, stragglers);
@@ -50,6 +55,14 @@ int main() {
       const auto mp = pid_of(suite::MpFactory(mc.model));
       const auto hp = pid_of(suite::HpFactory(mc.model));
       const auto fela = pid_of(suite::FelaFactory(mc.model, cfg));
+      for (const auto* pr : {&dp, &mp, &hp, &fela}) {
+        report.Add(pr->with_stragglers, d);
+      }
+      if (fela.with_stragglers.observed) {
+        std::printf("\n[%s d=%g]\n", mc.label, d);
+        std::cout << runtime::RenderAttributionTable(
+            fela.with_stragglers.attribution);
+      }
       at_rows.push_back(runtime::ComparisonRow{
           d,
           {dp.with_stragglers.average_throughput,
@@ -86,5 +99,5 @@ int main() {
   std::printf(
       "\npaper (VGG19): Fela PID 30.35%%~68.19%% below DP, "
       "26.00%%~64.86%% below HP.\n");
-  return 0;
+  return bench::FinishBench(opts, report);
 }

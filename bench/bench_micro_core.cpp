@@ -97,6 +97,39 @@ void BM_FelaFullIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_FelaFullIteration)->Arg(128)->Arg(1024);
 
+// Same iteration with the observability layer armed: spans + trace
+// recorded end-to-end. Compare against BM_FelaFullIteration to see the
+// cost of observation; the disabled path must stay within noise of the
+// pre-observability engine (a null-sink check per hook, no allocation).
+void BM_FelaFullIterationObserved(benchmark::State& state) {
+  const double batch = static_cast<double>(state.range(0));
+  const model::Model m = model::zoo::Vgg19();
+  for (auto _ : state) {
+    runtime::Cluster cluster(8, sim::Calibration::Default(), nullptr);
+    cluster.SetObservability(true);
+    core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+    cfg.weights = {1, 2, 4};
+    core::FelaEngine engine(&cluster, m, cfg, batch);
+    benchmark::DoNotOptimize(engine.Run(1).total_time);
+    benchmark::DoNotOptimize(cluster.spans().size());
+  }
+}
+BENCHMARK(BM_FelaFullIterationObserved)->Arg(128)->Arg(1024);
+
+// The span sink's hot path in isolation: ring-buffer emit, including
+// wrap-around eviction once the sink is full.
+void BM_SpanSinkEmit(benchmark::State& state) {
+  obs::SpanSink sink(/*capacity=*/4096);
+  sink.set_enabled(true);
+  double t = 0.0;
+  for (auto _ : state) {
+    sink.Emit(obs::Span{0, obs::Phase::kCompute, t, t + 1.0, 0, {}});
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanSinkEmit);
+
 void BM_BinPartition(benchmark::State& state) {
   const model::Model m = model::zoo::Vgg19();
   for (auto _ : state) {

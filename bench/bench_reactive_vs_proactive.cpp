@@ -16,8 +16,9 @@
 #include "model/zoo.h"
 #include "runtime/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader(
       "Ablation: reactive token scheduling vs proactive alternatives");
 
@@ -25,7 +26,8 @@ int main() {
   const double batch = 512;
   runtime::ExperimentSpec spec;
   spec.total_batch = batch;
-  spec.iterations = 60;
+  spec.iterations = opts.smoke ? 3 : 60;
+  spec.observe = opts.json;
 
   // ---- 1. straggler response: persistent vs transient ----------------
   struct Scenario {
@@ -57,25 +59,33 @@ int main() {
   };
 
   std::printf("\nVGG19 @ batch %g, average throughput (samples/s):\n", batch);
+  obs::BenchReport report("reactive_vs_proactive");
   common::TablePrinter table(
       {"scenario", "MP (static)", "ElasticMP (proactive)", "Fela (reactive)",
        "ElasticMP/MP", "Fela/ElasticMP"});
+  double scenario_x = 0.0;
   for (const auto& sc : scenarios) {
     const auto cfg = suite::TunedFelaConfig(
-        m, batch, 8, 5, sim::Calibration::Default(), sc.factory);
-    const double mp =
-        RunExperiment(spec, suite::MpFactory(m), sc.factory).average_throughput;
-    const double emp = RunExperiment(spec, suite::ElasticMpFactory(m),
-                                     sc.factory)
-                           .average_throughput;
-    const double fela = RunExperiment(spec, suite::FelaFactory(m, cfg),
-                                      sc.factory)
-                            .average_throughput;
+        m, batch, 8, opts.smoke ? 1 : 5, sim::Calibration::Default(),
+        sc.factory);
+    const auto mp_r = RunExperiment(spec, suite::MpFactory(m), sc.factory);
+    const auto emp_r =
+        RunExperiment(spec, suite::ElasticMpFactory(m), sc.factory);
+    const auto fela_r =
+        RunExperiment(spec, suite::FelaFactory(m, cfg), sc.factory);
+    for (const auto* r : {&mp_r, &emp_r, &fela_r}) {
+      report.Add(*r, scenario_x);
+    }
+    scenario_x += 1.0;
+    const double mp = mp_r.average_throughput;
+    const double emp = emp_r.average_throughput;
+    const double fela = fela_r.average_throughput;
     table.AddRow({sc.name, common::TablePrinter::Num(mp, 1),
                   common::TablePrinter::Num(emp, 1),
                   common::TablePrinter::Num(fela, 1),
                   common::TablePrinter::Ratio(emp / mp),
                   common::TablePrinter::Ratio(fela / emp)});
+    if (opts.smoke) break;  // one scenario is enough for the smoke run
   }
   table.Print(std::cout);
   std::printf(
@@ -88,10 +98,10 @@ int main() {
   common::TablePrinter ps_table({"batch", "PS-DP (1 server)",
                                  "PS-DP (4 servers)", "DP (ring)",
                                  "ring/PS1"});
-  for (double b : {128.0, 256.0, 512.0}) {
+  for (double b : opts.Sweep<double>({128.0, 256.0, 512.0})) {
     runtime::ExperimentSpec s2;
     s2.total_batch = b;
-    s2.iterations = 30;
+    s2.iterations = opts.smoke ? 3 : 30;
     const double ps1 =
         RunExperiment(s2, suite::PsDpFactory(m, 1),
                       runtime::NoStragglerFactory())
@@ -113,5 +123,5 @@ int main() {
   std::printf(
       "(the single-server PS funnels 2 * N * 575 MB through one NIC per\n"
       " iteration — Table II's centralized bottleneck.)\n");
-  return 0;
+  return bench::FinishBench(opts, report);
 }

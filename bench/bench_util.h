@@ -2,10 +2,14 @@
 #define FELA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "runtime/bench_json.h"
 #include "runtime/report.h"
 #include "suite/suite.h"
 
@@ -14,6 +18,64 @@ namespace fela::bench {
 /// Iterations per measured configuration. The paper trains every
 /// configuration for 100 iterations (Eq. 3).
 inline constexpr int kIterations = 100;
+
+/// Common command-line switches shared by the quantitative benches:
+///   --json   write BENCH_<name>.json (per-engine iteration times plus,
+///            for observed runs, the attribution report) and turn
+///            observability on for the measured runs;
+///   --smoke  shrink the sweep to one tiny point with a few iterations
+///            (CI-sized; used by the tier-1 smoke test).
+struct BenchOptions {
+  bool json = false;
+  bool smoke = false;
+
+  /// Sweep iterations honoring --smoke.
+  int iterations() const { return smoke ? 3 : kIterations; }
+  /// First sweep point only under --smoke.
+  template <typename T>
+  std::vector<T> Sweep(const std::vector<T>& full) const {
+    if (!smoke || full.empty()) return full;
+    return {full.front()};
+  }
+};
+
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) opts.json = true;
+    else if (std::strcmp(argv[i], "--smoke") == 0) opts.smoke = true;
+    else std::fprintf(stderr, "ignoring unknown flag %s\n", argv[i]);
+  }
+  return opts;
+}
+
+/// Writes the report when --json was passed, then re-parses the written
+/// file and validates it against the bench schema, so a bench run under
+/// --json fails loudly (non-zero exit) if the artifact ever drifts.
+/// Returns the bench's exit code.
+inline int FinishBench(const BenchOptions& opts,
+                       const obs::BenchReport& report) {
+  if (!opts.json) return 0;
+  const std::string path = report.WriteFile();
+  if (path.empty()) {
+    std::fprintf(stderr, "failed to write %s\n",
+                 obs::BenchJsonPath(report.name()).c_str());
+    return 1;
+  }
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  common::Json doc;
+  std::string error;
+  if (!common::Json::Parse(text.str(), &doc, &error) ||
+      !obs::ValidateBenchReportJson(doc, &error)) {
+    std::fprintf(stderr, "%s failed validation: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu result rows)\n", path.c_str(), report.size());
+  return 0;
+}
 
 /// The paper's batch sweeps. VGG19 follows Fig. 6's 64..1024; GoogLeNet
 /// uses a larger range (its 32x32 inputs train far more samples/s).

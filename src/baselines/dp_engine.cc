@@ -37,6 +37,10 @@ void DpEngine::StartIteration(int iteration) {
   current_iteration_ = iteration;
   iteration_start_ = cluster_->simulator().now();
   workers_pending_ = cluster_->num_workers();
+  if (cluster_->spans().enabled()) {
+    iter_span_.emplace(&cluster_->spans(), cluster_->num_workers(),
+                       obs::Phase::kIteration, iteration);
+  }
   // One full training pass per micro-step; micro-steps run back-to-back
   // on the device (gradient accumulation).
   const double micro_seconds = cost_.RangeSeconds(
@@ -82,7 +86,7 @@ void DpEngine::OnWorkerComputeDone(int worker, double seconds) {
     }
     ++stats_.faults.recoveries;
     if (up > cluster_->simulator().now()) {
-      cluster_->gpu(worker).BlockUntil(up);
+      cluster_->gpu(worker).BlockUntil(up, obs::Phase::kCrashed);
     }
     EnqueueCompute(worker, seconds);
     return;
@@ -93,12 +97,13 @@ void DpEngine::OnWorkerComputeDone(int worker, double seconds) {
   for (int i = 0; i < cluster_->num_workers(); ++i) all.push_back(i);
   sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
                      std::move(all), param_bytes_,
-                     [this] { OnAllReduceDone(); });
+                     [this] { OnAllReduceDone(); }, &cluster_->spans());
 }
 
 void DpEngine::OnAllReduceDone() {
   stats_.iterations.push_back(runtime::IterationStats{
       iteration_start_, cluster_->simulator().now()});
+  iter_span_.reset();  // emits the iteration framing span
   if (current_iteration_ + 1 < target_iterations_) {
     StartIteration(current_iteration_ + 1);
   } else {
@@ -115,6 +120,12 @@ runtime::RunStats DpEngine::Run(int iterations) {
   cluster_->simulator().Run();
   FELA_CHECK(run_complete_ || stats_.stalled)
       << "simulation drained before finishing";
+  if (iter_span_) {
+    // A stalled barrier never ends the iteration; drop the framing span
+    // instead of charging the stall window to it.
+    iter_span_->Cancel();
+    iter_span_.reset();
+  }
   stats_.total_time = cluster_->simulator().now();
   stats_.total_data_bytes = cluster_->fabric().total_data_bytes();
   stats_.total_gpu_busy = cluster_->TotalGpuBusy();

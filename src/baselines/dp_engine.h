@@ -2,6 +2,7 @@
 #define FELA_BASELINES_DP_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "model/cost_model.h"
@@ -9,6 +10,7 @@
 #include "model/model.h"
 #include "runtime/cluster.h"
 #include "runtime/engine.h"
+#include "sim/span.h"
 
 namespace fela::baselines {
 
@@ -63,6 +65,8 @@ class DpEngine : public runtime::Engine {
   /// with [start, finish] invalidates the attempt).
   std::vector<sim::SimTime> attempt_start_;
   runtime::RunStats stats_;
+  /// Iteration framing span on the driver track (= num_workers).
+  std::optional<obs::ScopedSpan> iter_span_;
 };
 
 }  // namespace fela::baselines

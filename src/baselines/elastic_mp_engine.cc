@@ -103,6 +103,10 @@ void ElasticMpEngine::StartIteration(int iteration) {
   iteration_start_ = cluster_->simulator().now();
   backwards_pending_ = num_micros_;
   tail_forwards_done_ = 0;
+  if (cluster_->spans().enabled()) {
+    iter_span_.emplace(&cluster_->spans(), cluster_->num_workers(),
+                       obs::Phase::kIteration, iteration);
+  }
 
   if (iteration > 0 && iteration % profile_period_ == 0) {
     Repartition();
@@ -171,6 +175,7 @@ void ElasticMpEngine::FinishIteration() {
   // off the critical path in ElasticPipe; we charge only the pipeline.
   stats_.iterations.push_back(runtime::IterationStats{
       iteration_start_, cluster_->simulator().now()});
+  iter_span_.reset();  // emits the iteration framing span
   if (current_iteration_ + 1 < target_iterations_) {
     StartIteration(current_iteration_ + 1);
   } else {

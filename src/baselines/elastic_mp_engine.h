@@ -1,6 +1,7 @@
 #ifndef FELA_BASELINES_ELASTIC_MP_ENGINE_H_
 #define FELA_BASELINES_ELASTIC_MP_ENGINE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "model/partition.h"
 #include "runtime/cluster.h"
 #include "runtime/engine.h"
+#include "sim/span.h"
 
 namespace fela::baselines {
 
@@ -70,6 +72,8 @@ class ElasticMpEngine : public runtime::Engine {
   int tail_forwards_done_ = 0;
   bool run_complete_ = false;
   runtime::RunStats stats_;
+  /// Iteration framing span on the driver track (= num_workers).
+  std::optional<obs::ScopedSpan> iter_span_;
 };
 
 }  // namespace fela::baselines

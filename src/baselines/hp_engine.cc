@@ -39,6 +39,10 @@ void HpEngine::StartIteration(int iteration) {
   current_iteration_ = iteration;
   iteration_start_ = cluster_->simulator().now();
   conv_pending_ = conv_worker_count();
+  if (cluster_->spans().enabled()) {
+    iter_span_.emplace(&cluster_->spans(), cluster_->num_workers(),
+                       obs::Phase::kIteration, iteration);
+  }
   for (int w = 0; w < cluster_->num_workers(); ++w) {
     const double delay = cluster_->stragglers().DelayFor(iteration, w);
     if (delay > 0.0) {
@@ -110,12 +114,13 @@ void HpEngine::OnConvBackwardDone(int) {
   for (int i = 0; i < conv_worker_count(); ++i) conv_workers.push_back(i);
   sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
                      std::move(conv_workers), conv_param_bytes_,
-                     [this] { OnConvAllReduceDone(); });
+                     [this] { OnConvAllReduceDone(); }, &cluster_->spans());
 }
 
 void HpEngine::OnConvAllReduceDone() {
   stats_.iterations.push_back(runtime::IterationStats{
       iteration_start_, cluster_->simulator().now()});
+  iter_span_.reset();  // emits the iteration framing span
   if (current_iteration_ + 1 < target_iterations_) {
     StartIteration(current_iteration_ + 1);
   } else {

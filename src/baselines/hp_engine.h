@@ -1,6 +1,7 @@
 #ifndef FELA_BASELINES_HP_ENGINE_H_
 #define FELA_BASELINES_HP_ENGINE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "model/model.h"
 #include "runtime/cluster.h"
 #include "runtime/engine.h"
+#include "sim/span.h"
 
 namespace fela::baselines {
 
@@ -68,6 +70,8 @@ class HpEngine : public runtime::Engine {
   bool fc_busy_ = false;
   bool run_complete_ = false;
   runtime::RunStats stats_;
+  /// Iteration framing span on the driver track (= num_workers).
+  std::optional<obs::ScopedSpan> iter_span_;
 };
 
 }  // namespace fela::baselines

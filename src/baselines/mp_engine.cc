@@ -46,6 +46,10 @@ void MpEngine::StartIteration(int iteration) {
   iteration_start_ = cluster_->simulator().now();
   backwards_pending_ = num_micros_;
   tail_forwards_done_ = 0;
+  if (cluster_->spans().enabled()) {
+    iter_span_.emplace(&cluster_->spans(), cluster_->num_workers(),
+                       obs::Phase::kIteration, iteration);
+  }
   for (int s = 0; s < num_stages(); ++s) {
     const double delay = cluster_->stragglers().DelayFor(iteration, s);
     if (delay > 0.0) {
@@ -110,6 +114,7 @@ void MpEngine::FinishIteration() {
   // Every stage owns its parameters exclusively: no synchronization.
   stats_.iterations.push_back(runtime::IterationStats{
       iteration_start_, cluster_->simulator().now()});
+  iter_span_.reset();  // emits the iteration framing span
   if (current_iteration_ + 1 < target_iterations_) {
     StartIteration(current_iteration_ + 1);
   } else {

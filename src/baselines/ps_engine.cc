@@ -34,6 +34,10 @@ void PsDpEngine::StartIteration(int iteration) {
   current_iteration_ = iteration;
   iteration_start_ = cluster_->simulator().now();
   compute_pending_ = cluster_->num_workers();
+  if (cluster_->spans().enabled()) {
+    iter_span_.emplace(&cluster_->spans(), cluster_->num_workers(),
+                       obs::Phase::kIteration, iteration);
+  }
   const double compute_seconds =
       cost_.RangeSeconds(model_, 0, model_.layer_count() - 1, micro_batch_) *
       static_cast<double>(micro_steps_);
@@ -60,6 +64,7 @@ void PsDpEngine::OnWorkerComputeDone(int worker) {
   }
   if (--compute_pending_ > 0) return;
   // BSP: everyone pushes gradient shards to the servers.
+  sync_begin_ = cluster_->simulator().now();
   transfers_pending_ = cluster_->num_workers() * num_servers_;
   for (int w = 0; w < cluster_->num_workers(); ++w) {
     for (int s = 0; s < num_servers_; ++s) {
@@ -83,8 +88,19 @@ void PsDpEngine::OnPushDone() {
 
 void PsDpEngine::OnPullDone() {
   if (--transfers_pending_ > 0) return;
-  stats_.iterations.push_back(runtime::IterationStats{
-      iteration_start_, cluster_->simulator().now()});
+  const sim::SimTime now = cluster_->simulator().now();
+  // The whole push/update/pull window is BSP synchronization from every
+  // worker's perspective (it outranks the per-shard transfer spans the
+  // fabric records, so attribution charges it to sync_wait).
+  obs::SpanSink& spans = cluster_->spans();
+  if (spans.enabled() && now > sync_begin_) {
+    for (int w = 0; w < cluster_->num_workers(); ++w) {
+      spans.Emit(obs::Span{w, obs::Phase::kSyncWait, sync_begin_, now,
+                           current_iteration_, {}});
+    }
+  }
+  stats_.iterations.push_back(runtime::IterationStats{iteration_start_, now});
+  iter_span_.reset();  // emits the iteration framing span
   if (current_iteration_ + 1 < target_iterations_) {
     StartIteration(current_iteration_ + 1);
   } else {
@@ -101,6 +117,10 @@ runtime::RunStats PsDpEngine::Run(int iterations) {
   cluster_->simulator().Run();
   FELA_CHECK(run_complete_ || stats_.stalled)
       << "simulation drained before finishing";
+  if (iter_span_) {
+    iter_span_->Cancel();  // aborted iteration: no framing span
+    iter_span_.reset();
+  }
   stats_.total_time = cluster_->simulator().now();
   stats_.total_data_bytes = cluster_->fabric().total_data_bytes();
   stats_.total_gpu_busy = cluster_->TotalGpuBusy();

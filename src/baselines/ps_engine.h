@@ -1,6 +1,7 @@
 #ifndef FELA_BASELINES_PS_ENGINE_H_
 #define FELA_BASELINES_PS_ENGINE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "model/model.h"
 #include "runtime/cluster.h"
 #include "runtime/engine.h"
+#include "sim/span.h"
 
 namespace fela::baselines {
 
@@ -53,7 +55,11 @@ class PsDpEngine : public runtime::Engine {
   int compute_pending_ = 0;
   int transfers_pending_ = 0;
   bool run_complete_ = false;
+  /// When the BSP barrier was reached (push phase start) this iteration.
+  sim::SimTime sync_begin_ = 0.0;
   runtime::RunStats stats_;
+  /// Iteration framing span on the driver track (= num_workers).
+  std::optional<obs::ScopedSpan> iter_span_;
 };
 
 }  // namespace fela::baselines

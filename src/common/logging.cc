@@ -1,12 +1,21 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace fela::common {
 
 namespace {
-std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("FELA_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr) ParseLogLevel(env, &level);
+  return level;
+}
+
+std::atomic<LogLevel> g_min_level{LevelFromEnv()};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -35,6 +44,28 @@ const char* Basename(const char* path) {
 
 void SetMinLogLevel(LogLevel level) { g_min_level.store(level); }
 LogLevel MinLogLevel() { return g_min_level.load(); }
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else if (lower == "fatal" || lower == "4") {
+    *out = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal_logging {
 

@@ -4,15 +4,23 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace fela::common {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
 
 /// Process-wide minimum level; messages below it are dropped.
-/// Tests raise this to keep output quiet.
+/// Tests raise this to keep output quiet. The initial value honors the
+/// FELA_LOG_LEVEL environment variable (debug|info|warning|error|fatal,
+/// case-insensitive, or a numeric level) so sweeps can silence INFO
+/// without code changes; it defaults to kInfo when unset or unparsable.
 void SetMinLogLevel(LogLevel level);
 LogLevel MinLogLevel();
+
+/// Parses a level name ("debug", "INFO", ...) or digit ("0".."4") into
+/// `out`. Returns false (leaving `out` untouched) on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
 
 namespace internal_logging {
 

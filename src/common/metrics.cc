@@ -1,0 +1,215 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fela::obs {
+
+FixedHistogram::FixedHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  FELA_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  FELA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  counts_.assign(bounds_.size() + 1, 0);  // +1: overflow bucket
+}
+
+size_t FixedHistogram::BucketOf(double x) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+void FixedHistogram::Observe(double x) {
+  FELA_CHECK(!counts_.empty()) << "observing a default-constructed histogram";
+  ++counts_[BucketOf(x)];
+  ++total_count_;
+  sum_ += x;
+}
+
+void FixedHistogram::Merge(const FixedHistogram& other) {
+  if (other.counts_.empty()) return;
+  if (counts_.empty()) {
+    *this = other;
+    return;
+  }
+  FELA_CHECK(bounds_ == other.bounds_)
+      << "merging histograms with different bucket bounds";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+}
+
+double FixedHistogram::upper_bound(size_t bucket) const {
+  if (bucket >= bounds_.size()) return std::numeric_limits<double>::infinity();
+  return bounds_[bucket];
+}
+
+namespace {
+std::string KeyOf(const std::string& name, const std::string& labels) {
+  return name + "{" + labels + "}";
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    case 2: return "histogram";
+  }
+  return "?";
+}
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(
+    Kind kind, const std::string& name, const std::string& labels) {
+  const std::string key = KeyOf(name, labels);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.name = name;
+    it->second.labels = labels;
+  } else {
+    FELA_CHECK(it->second.kind == kind)
+        << key << " already registered with a different metric kind";
+  }
+  return it->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::FindEntry(
+    Kind kind, const std::string& name, const std::string& labels) const {
+  const auto it = entries_.find(KeyOf(name, labels));
+  if (it == entries_.end() || it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels) {
+  return GetOrCreate(Kind::kCounter, name, labels).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels) {
+  return GetOrCreate(Kind::kGauge, name, labels).gauge;
+}
+
+FixedHistogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                              const std::string& labels,
+                                              std::vector<double> bounds) {
+  Entry& e = GetOrCreate(Kind::kHistogram, name, labels);
+  if (e.histogram.bucket_count() == 0) {
+    e.histogram = FixedHistogram(std::move(bounds));
+  }
+  return e.histogram;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const std::string& labels) const {
+  const Entry* e = FindEntry(Kind::kCounter, name, labels);
+  return e == nullptr ? nullptr : &e->counter;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const std::string& labels) const {
+  const Entry* e = FindEntry(Kind::kGauge, name, labels);
+  return e == nullptr ? nullptr : &e->gauge;
+}
+
+const FixedHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name, const std::string& labels) const {
+  const Entry* e = FindEntry(Kind::kHistogram, name, labels);
+  return e == nullptr ? nullptr : &e->histogram;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [key, e] : other.entries_) {
+    Entry& mine = GetOrCreate(e.kind, e.name, e.labels);
+    switch (e.kind) {
+      case Kind::kCounter:
+        mine.counter.Increment(e.counter.value());
+        break;
+      case Kind::kGauge:
+        mine.gauge.Set(e.gauge.value());
+        break;
+      case Kind::kHistogram:
+        mine.histogram.Merge(e.histogram);
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::Clear() { entries_.clear(); }
+
+std::string MetricsRegistry::ToCsv() const {
+  std::string out = "kind,name,labels,field,value\n";
+  for (const auto& [key, e] : entries_) {
+    const std::string prefix = common::StrFormat(
+        "%s,%s,\"%s\",", KindName(static_cast<int>(e.kind)), e.name.c_str(),
+        e.labels.c_str());
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += prefix + common::StrFormat("value,%llu\n",
+            static_cast<unsigned long long>(e.counter.value()));
+        break;
+      case Kind::kGauge:
+        out += prefix + common::StrFormat("value,%.9g\n", e.gauge.value());
+        break;
+      case Kind::kHistogram: {
+        const FixedHistogram& h = e.histogram;
+        for (size_t b = 0; b < h.bucket_count(); ++b) {
+          const std::string le =
+              b + 1 == h.bucket_count()
+                  ? std::string("+inf")
+                  : common::StrFormat("%.9g", h.upper_bound(b));
+          out += prefix + common::StrFormat(
+              "le=%s,%llu\n", le.c_str(),
+              static_cast<unsigned long long>(h.count(b)));
+        }
+        out += prefix + common::StrFormat("sum,%.9g\n", h.sum());
+        out += prefix + common::StrFormat("count,%llu\n",
+            static_cast<unsigned long long>(h.total_count()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+common::Json MetricsRegistry::ToJson() const {
+  common::Json arr = common::Json::Array();
+  for (const auto& [key, e] : entries_) {
+    common::Json m = common::Json::Object();
+    m.Set("kind", KindName(static_cast<int>(e.kind)));
+    m.Set("name", e.name);
+    m.Set("labels", e.labels);
+    switch (e.kind) {
+      case Kind::kCounter:
+        m.Set("value", static_cast<double>(e.counter.value()));
+        break;
+      case Kind::kGauge:
+        m.Set("value", e.gauge.value());
+        break;
+      case Kind::kHistogram: {
+        const FixedHistogram& h = e.histogram;
+        // `bounds` holds only the finite upper bounds; `counts` has one
+        // extra trailing entry, the overflow bucket (JSON has no +inf).
+        common::Json bounds = common::Json::Array();
+        common::Json counts = common::Json::Array();
+        for (const double b : h.bounds()) bounds.Append(b);
+        for (size_t b = 0; b < h.bucket_count(); ++b) {
+          counts.Append(static_cast<double>(h.count(b)));
+        }
+        m.Set("bounds", std::move(bounds));
+        m.Set("counts", std::move(counts));
+        m.Set("sum", h.sum());
+        m.Set("count", static_cast<double>(h.total_count()));
+        break;
+      }
+    }
+    arr.Append(std::move(m));
+  }
+  return arr;
+}
+
+}  // namespace fela::obs

@@ -1,0 +1,128 @@
+#ifndef FELA_COMMON_METRICS_H_
+#define FELA_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+/// fela::obs — the observability layer. It spans several libraries:
+///   * common/metrics.h   — MetricsRegistry (this file)
+///   * sim/span.h         — Phase / SpanSink / ScopedSpan
+///   * sim/chrome_trace.h — Chrome trace-event ("Perfetto") export
+///   * runtime/attribution.h — per-worker time attribution + critical path
+namespace fela::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// finite buckets; one implicit overflow bucket catches everything above
+/// the last bound (the Prometheus convention, so exported data can be
+/// re-aggregated by standard tooling).
+class FixedHistogram {
+ public:
+  FixedHistogram() = default;
+  explicit FixedHistogram(std::vector<double> bounds);
+
+  void Observe(double x);
+  /// Adds another histogram's observations; bucket bounds must match.
+  void Merge(const FixedHistogram& other);
+
+  /// Finite buckets + 1 overflow bucket.
+  size_t bucket_count() const { return counts_.size(); }
+  /// Index of the bucket `x` lands in (smallest i with x <= bounds[i]).
+  size_t BucketOf(double x) const;
+  uint64_t count(size_t bucket) const { return counts_[bucket]; }
+  double upper_bound(size_t bucket) const;  // +inf for the overflow bucket
+  uint64_t total_count() const { return total_count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Named, labeled metrics for one run or one process: engines register
+/// counters/gauges/histograms keyed by (name, labels) where labels is a
+/// comma-separated "k=v" list, e.g. ("tokens_trained", "engine=Fela,worker=3").
+/// Handles returned by the getters stay valid for the registry's lifetime
+/// (storage is node-based). Copyable, so a run's metrics can be returned
+/// in an ExperimentResult after the cluster is gone.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge& GetGauge(const std::string& name, const std::string& labels = "");
+  /// First call fixes the bucket bounds; later calls with the same
+  /// (name, labels) return the same histogram (bounds argument ignored).
+  FixedHistogram& GetHistogram(const std::string& name,
+                               const std::string& labels,
+                               std::vector<double> bounds);
+
+  /// Lookup without creation; nullptr when absent.
+  const Counter* FindCounter(const std::string& name,
+                             const std::string& labels = "") const;
+  const Gauge* FindGauge(const std::string& name,
+                         const std::string& labels = "") const;
+  const FixedHistogram* FindHistogram(const std::string& name,
+                                      const std::string& labels = "") const;
+
+  /// Folds another registry in: counters add, gauges last-write-win,
+  /// histograms merge (same-bounds required).
+  void Merge(const MetricsRegistry& other);
+
+  size_t size() const { return entries_.size(); }
+  void Clear();
+
+  /// CSV rows: kind,name,labels,field,value — histograms expand to one
+  /// row per bucket plus sum/count.
+  std::string ToCsv() const;
+  /// JSON array of {kind, name, labels, ...} objects.
+  common::Json ToJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string labels;
+    Counter counter;
+    Gauge gauge;
+    FixedHistogram histogram;
+  };
+
+  Entry& GetOrCreate(Kind kind, const std::string& name,
+                     const std::string& labels);
+  const Entry* FindEntry(Kind kind, const std::string& name,
+                         const std::string& labels) const;
+
+  /// Keyed by "name{labels}"; std::map keeps export order stable and
+  /// node-based storage keeps handed-out references valid.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace fela::obs
+
+#endif  // FELA_COMMON_METRICS_H_

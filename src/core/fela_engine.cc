@@ -34,16 +34,16 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
   ts_cbs.on_level_complete = [this](int level) { OnLevelComplete(level); };
   ts_cbs.on_all_levels_complete = [this] { OnAllLevelsComplete(); };
   ts_cbs.on_reclaim = [this](const Token& token, sim::NodeId from) {
-    if (cluster_->trace().enabled()) {
-      cluster_->trace().Record(
-          cluster_->simulator().now(), kTsNode, sim::TraceKind::kTokenReclaim,
-          common::StrFormat("%s from=%d attempt=%d",
-                            token.ToString().c_str(), from, token.attempt));
-    }
+    FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), kTsNode,
+               sim::TraceKind::kTokenReclaim,
+               common::StrFormat("%s from=%d attempt=%d",
+                                 token.ToString().c_str(), from,
+                                 token.attempt));
   };
   ts_ = std::make_unique<TokenServer>(&cluster_->simulator(),
                                       &cluster_->calibration(), &plan_,
                                       &config_, std::move(ts_cbs));
+  ts_->set_span_sink(&cluster_->spans());
 
   FelaWorker::Callbacks w_cbs;
   w_cbs.send_request = [this](sim::NodeId w) {
@@ -58,9 +58,11 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
     workers_.push_back(std::make_unique<FelaWorker>(
         i, &cluster_->simulator(), &cluster_->fabric(), &cluster_->gpu(i),
         &model_, &sub_models_, &cost_, &cluster_->trace(), w_cbs));
+    workers_.back()->set_span_sink(&cluster_->spans());
   }
   admitted_.assign(static_cast<size_t>(cluster_->num_workers()), true);
   recover_pending_.assign(static_cast<size_t>(cluster_->num_workers()), -1.0);
+  crash_spans_.resize(static_cast<size_t>(cluster_->num_workers()));
 
   if (faults_active()) {
     ts_->set_leases_enabled(true);
@@ -77,9 +79,11 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
 void FelaEngine::OnWorkerCrash(int worker) {
   if (run_complete_) return;
   ++stats_.faults.crashes;
-  cluster_->trace().Record(cluster_->simulator().now(), worker,
-                           sim::TraceKind::kWorkerCrash,
-                           common::StrFormat("it=%d", current_iteration_));
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), worker,
+             sim::TraceKind::kWorkerCrash,
+             common::StrFormat("it=%d", current_iteration_));
+  crash_spans_[static_cast<size_t>(worker)].emplace(
+      &cluster_->spans(), worker, obs::Phase::kCrashed, current_iteration_);
   admitted_[static_cast<size_t>(worker)] = false;
   recover_pending_[static_cast<size_t>(worker)] = -1.0;
   // Kill the worker process first (voids its in-flight work), then let
@@ -92,8 +96,8 @@ void FelaEngine::OnWorkerRecover(int worker) {
   if (run_complete_) return;
   ++stats_.faults.recoveries;
   const sim::SimTime now = cluster_->simulator().now();
-  cluster_->trace().Record(now, worker, sim::TraceKind::kWorkerRecover,
-                           common::StrFormat("it=%d", current_iteration_));
+  FELA_TRACE(&cluster_->trace(), now, worker, sim::TraceKind::kWorkerRecover,
+             common::StrFormat("it=%d", current_iteration_));
   ts_->SetWorkerDown(worker, false);
   recover_pending_[static_cast<size_t>(worker)] = now;
   // Elastic scale-out normally waits for the iteration boundary, but if
@@ -112,6 +116,7 @@ void FelaEngine::OnWorkerRecover(int worker) {
 void FelaEngine::ReAdmit(int worker) {
   const size_t w = static_cast<size_t>(worker);
   admitted_[w] = true;
+  crash_spans_[w].reset();  // emits the crash -> re-admission interval
   ++stats_.faults.readmissions;
   if (recover_pending_[w] >= 0.0) {
     stats_.faults.recovery_latency_total +=
@@ -144,9 +149,14 @@ void FelaEngine::StartIteration(int iteration) {
   iteration_start_ = cluster_->simulator().now();
   syncs_done_ = 0;
   tokens_done_ = false;
-  cluster_->trace().Record(iteration_start_, kTsNode,
-                           sim::TraceKind::kIterationStart,
-                           common::StrFormat("it=%d", iteration));
+  FELA_TRACE(&cluster_->trace(), iteration_start_, kTsNode,
+             sim::TraceKind::kIterationStart,
+             common::StrFormat("it=%d", iteration));
+  if (cluster_->spans().enabled()) {
+    iter_span_.emplace(&cluster_->spans(), cluster_->num_workers(),
+                       obs::Phase::kIteration, iteration,
+                       common::StrFormat("it=%d", iteration));
+  }
   // Elastic scale-out: workers that recovered during the previous
   // iteration rejoin at this boundary.
   for (int w = 0; w < cluster_->num_workers(); ++w) {
@@ -178,24 +188,21 @@ void FelaEngine::OnLevelComplete(int level) {
     if (admitted_[static_cast<size_t>(i)]) participants.push_back(i);
   }
 
-  if (cluster_->trace().enabled()) {
-    cluster_->trace().Record(
-        cluster_->simulator().now(), kTsNode, sim::TraceKind::kSyncStart,
-        common::StrFormat("SM-%d %.1fMB among %zu", level + 1,
-                          lp.sync_bytes / 1e6, participants.size()));
-  }
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), kTsNode,
+             sim::TraceKind::kSyncStart,
+             common::StrFormat("SM-%d %.1fMB among %zu", level + 1,
+                               lp.sync_bytes / 1e6, participants.size()));
   sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
                      std::move(participants), lp.sync_bytes,
-                     [this, level] { OnSyncDone(level); });
+                     [this, level] { OnSyncDone(level); },
+                     &cluster_->spans());
 }
 
 void FelaEngine::OnSyncDone(int level) {
   ++syncs_done_;
-  if (cluster_->trace().enabled()) {
-    cluster_->trace().Record(cluster_->simulator().now(), kTsNode,
-                             sim::TraceKind::kSyncEnd,
-                             common::StrFormat("SM-%d", level + 1));
-  }
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), kTsNode,
+             sim::TraceKind::kSyncEnd,
+             common::StrFormat("SM-%d", level + 1));
   MaybeFinishIteration();
 }
 
@@ -208,8 +215,9 @@ void FelaEngine::MaybeFinishIteration() {
   if (!tokens_done_ || syncs_done_ != plan_.num_levels()) return;
   const sim::SimTime now = cluster_->simulator().now();
   stats_.iterations.push_back(runtime::IterationStats{iteration_start_, now});
-  cluster_->trace().Record(now, kTsNode, sim::TraceKind::kIterationEnd,
-                           common::StrFormat("it=%d", current_iteration_));
+  FELA_TRACE(&cluster_->trace(), now, kTsNode, sim::TraceKind::kIterationEnd,
+             common::StrFormat("it=%d", current_iteration_));
+  iter_span_.reset();  // emits the iteration framing span
   if (current_iteration_ + 1 < target_iterations_) {
     StartIteration(current_iteration_ + 1);
   } else {
@@ -236,7 +244,15 @@ runtime::RunStats FelaEngine::Run(int iterations) {
     // fail-stopped and none came back); a fault-free drain is a bug.
     FELA_CHECK(faults_active()) << "simulation drained before finishing";
     stats_.stalled = true;
+    if (iter_span_) {
+      // The iteration never finished; an open-ended framing span would
+      // claim the stall window as productive time.
+      iter_span_->Cancel();
+      iter_span_.reset();
+    }
   }
+  // Workers still excluded at run end stay "crashed" to the final clock.
+  for (auto& cs : crash_spans_) cs.reset();
 
   // Cross-check token conservation: every worker-trained sample count
   // sums to total_batch per level per iteration. Under faults, reports
@@ -269,6 +285,27 @@ runtime::RunStats FelaEngine::Run(int iterations) {
   stats_.faults.regrants = ts.regrants;
   stats_.faults.duplicate_reports = ts.duplicate_reports + ts.stale_reports;
   for (const auto& w : workers_) stats_.faults.request_retries += w->retries();
+
+  if (cluster_->observability()) {
+    obs::MetricsRegistry& m = cluster_->metrics();
+    const std::string labels = "engine=Fela";
+    m.GetCounter("ts_grants", labels).Increment(ts.grants);
+    m.GetCounter("ts_steals", labels).Increment(ts.steals);
+    m.GetCounter("ts_conflicts", labels).Increment(ts.conflicts);
+    m.GetCounter("ts_completions", labels).Increment(ts.completions);
+    m.GetCounter("ts_lease_expirations", labels)
+        .Increment(ts.lease_expirations);
+    m.GetCounter("ts_remote_dep_fetches", labels)
+        .Increment(ts.remote_dep_fetches);
+    m.GetCounter("ts_local_dep_hits", labels).Increment(ts.local_dep_hits);
+    m.GetGauge("ts_conflict_delay_seconds", labels)
+        .Set(ts.conflict_delay_total);
+    for (const auto& w : workers_) {
+      m.GetGauge("worker_tokens_trained",
+                 common::StrFormat("engine=Fela,worker=%d", w->id()))
+          .Set(static_cast<double>(w->tokens_trained()));
+    }
+  }
   return stats_;
 }
 

@@ -2,6 +2,7 @@
 #define FELA_CORE_FELA_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,12 @@ class FelaEngine : public runtime::Engine {
   bool tokens_done_ = false;
   bool run_complete_ = false;
   runtime::RunStats stats_;
+
+  /// Framing span for the running iteration on the token-server track.
+  std::optional<obs::ScopedSpan> iter_span_;
+  /// Open kCrashed span per worker while it is excluded (crash -> the
+  /// re-admission boundary, or run end if it never comes back).
+  std::vector<std::optional<obs::ScopedSpan>> crash_spans_;
 };
 
 }  // namespace fela::core

@@ -93,6 +93,13 @@ double TokenServer::AcquireLock() {
     ++stats_.conflicts;
     stats_.conflict_delay_total += delay;
   }
+  if (spans_ != nullptr && spans_->enabled() && delay > 0.0) {
+    // The wait + conflict penalty shows on the token-server track; the
+    // requester's own track sees it inside its token-wait span.
+    spans_->Emit(obs::Span{num_workers(), obs::Phase::kTokenWait, now,
+                           now + delay, iteration_,
+                           conflicted ? "lock conflict" : "lock wait"});
+  }
   return delay;
 }
 

@@ -14,6 +14,7 @@
 #include "core/token_bucket.h"
 #include "sim/calibration.h"
 #include "sim/simulator.h"
+#include "sim/span.h"
 
 namespace fela::core {
 
@@ -124,6 +125,12 @@ class TokenServer {
   /// leaves no dangling events in the simulator queue).
   void CancelAllLeases();
 
+  /// Enables distributor-lock observability: every serialized pass
+  /// through the lock (including its fetching-conflict penalty) becomes
+  /// a span on the token-server track (= num_workers, past the last
+  /// worker's).
+  void set_span_sink(obs::SpanSink* spans) { spans_ = spans; }
+
   bool AllLevelsComplete() const;
   const InfoMapping& info() const { return info_; }
   const Stats& stats() const { return stats_; }
@@ -177,6 +184,7 @@ class TokenServer {
   const sim::Calibration* cal_;
   const FelaPlan* plan_;
   const FelaConfig* config_;
+  obs::SpanSink* spans_ = nullptr;
   Callbacks cbs_;
 
   InfoMapping info_;

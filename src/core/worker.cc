@@ -24,10 +24,9 @@ FelaWorker::FelaWorker(sim::NodeId id, sim::Simulator* sim,
       trace_(trace),
       cbs_(std::move(cbs)) {}
 
-void FelaWorker::Trace(sim::TraceKind kind, std::string detail) {
-  if (trace_ != nullptr && trace_->enabled()) {
-    trace_->Record(sim_->now(), id_, kind, std::move(detail));
-  }
+void FelaWorker::BeginTokenWait() {
+  if (spans_ == nullptr || !spans_->enabled()) return;
+  token_wait_.emplace(spans_, id_, obs::Phase::kTokenWait, iteration_);
 }
 
 void FelaWorker::BeginIteration(int iteration, double straggler_delay,
@@ -37,12 +36,14 @@ void FelaWorker::BeginIteration(int iteration, double straggler_delay,
   iteration_ = iteration;
   if (straggler_delay > 0.0) {
     gpu_->BlockUntil(sim_->now() + straggler_delay);
-    Trace(sim::TraceKind::kStragglerSleep,
-          common::StrFormat("it=%d d=%.2fs", iteration, straggler_delay));
+    FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kStragglerSleep,
+               common::StrFormat("it=%d d=%.2fs", iteration, straggler_delay));
   }
   if (!request_outstanding_ && !busy_) {
     request_outstanding_ = true;
-    Trace(sim::TraceKind::kTokenRequest, common::StrFormat("it=%d", iteration));
+    FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenRequest,
+               common::StrFormat("it=%d", iteration));
+    BeginTokenWait();
     cbs_.send_request(id_);
     ArmRetryTimer();
   }
@@ -52,8 +53,9 @@ void FelaWorker::RequestWork(int iteration) {
   iteration_ = iteration;
   if (request_outstanding_ || busy_) return;
   request_outstanding_ = true;
-  Trace(sim::TraceKind::kTokenRequest,
-        common::StrFormat("it=%d (rejoin)", iteration));
+  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenRequest,
+             common::StrFormat("it=%d (rejoin)", iteration));
+  BeginTokenWait();
   cbs_.send_request(id_);
   ArmRetryTimer();
 }
@@ -62,10 +64,22 @@ void FelaWorker::OnCrash() {
   ++incarnation_;
   busy_ = false;
   request_outstanding_ = false;
+  // The wait ended in a crash, not a grant; the interval up to now is
+  // still time spent waiting (the crashed span the engine emits outranks
+  // it in attribution anyway).
+  token_wait_.reset();
   CancelRetryTimer();
 }
 
-void FelaWorker::Quiesce() { CancelRetryTimer(); }
+void FelaWorker::Quiesce() {
+  CancelRetryTimer();
+  if (token_wait_) {
+    // The run ended before the grant came; an open-ended wait would
+    // distort attribution of the last iteration.
+    token_wait_->Cancel();
+    token_wait_.reset();
+  }
+}
 
 void FelaWorker::ArmRetryTimer() {
   if (retry_timeout_sec_ <= 0.0) return;
@@ -88,9 +102,9 @@ void FelaWorker::CancelRetryTimer() {
 void FelaWorker::OnRetryFire() {
   if (!request_outstanding_ || busy_) return;
   ++retries_;
-  Trace(sim::TraceKind::kRequestRetry,
-        common::StrFormat("it=%d n=%llu", iteration_,
-                          static_cast<unsigned long long>(retries_)));
+  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kRequestRetry,
+             common::StrFormat("it=%d n=%llu", iteration_,
+                               static_cast<unsigned long long>(retries_)));
   cbs_.send_request(id_);
   ArmRetryTimer();
 }
@@ -104,12 +118,12 @@ void FelaWorker::OnGrant(const Grant& grant) {
   }
   request_outstanding_ = false;
   CancelRetryTimer();
+  token_wait_.reset();  // emits the request -> grant interval
   busy_ = true;
-  Trace(sim::TraceKind::kTokenGrant,
-        grant.token.ToString() +
-            (grant.stolen ? " (stolen)" : "") +
-            common::StrFormat(" remote_fetches=%zu",
-                              grant.remote_fetches.size()));
+  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenGrant,
+             grant.token.ToString() + (grant.stolen ? " (stolen)" : "") +
+                 common::StrFormat(" remote_fetches=%zu",
+                                   grant.remote_fetches.size()));
 
   if (grant.remote_fetches.empty()) {
     StartCompute(grant.token);
@@ -118,8 +132,8 @@ void FelaWorker::OnGrant(const Grant& grant) {
 
   // Coordinator: gather missing dependencies from their holders, then
   // hand the token to the Trainer.
-  Trace(sim::TraceKind::kFetchStart,
-        common::StrFormat("%zu transfers", grant.remote_fetches.size()));
+  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kFetchStart,
+             common::StrFormat("%zu transfers", grant.remote_fetches.size()));
   auto remaining = std::make_shared<int>(
       static_cast<int>(grant.remote_fetches.size()));
   Token token = grant.token;
@@ -130,7 +144,8 @@ void FelaWorker::OnGrant(const Grant& grant) {
                       [this, remaining, token, inc]() mutable {
       if (--*remaining == 0) {
         if (inc != incarnation_) return;  // fetched for a dead process
-        Trace(sim::TraceKind::kFetchEnd, "");
+        FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kFetchEnd,
+                   std::string());
         StartCompute(std::move(token));
       }
     });
@@ -143,8 +158,9 @@ void FelaWorker::StartCompute(Token token) {
   const double duration =
       cost_->RangeSeconds(*model_, sm.first_layer, sm.last_layer, token.batch) *
       slowdown_;
-  Trace(sim::TraceKind::kComputeStart,
-        common::StrFormat("%s dur=%.4fs", token.ToString().c_str(), duration));
+  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kComputeStart,
+             common::StrFormat("%s dur=%.4fs", token.ToString().c_str(),
+                               duration));
   const int inc = incarnation_;
   gpu_->Enqueue(duration, [this, token = std::move(token), inc]() mutable {
     if (inc != incarnation_) return;  // computed by a dead process
@@ -157,9 +173,11 @@ void FelaWorker::OnComputeDone(Token token) {
   ++tokens_trained_;
   samples_trained_ += token.batch;
   busy_ = false;
-  Trace(sim::TraceKind::kComputeEnd, token.ToString());
+  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kComputeEnd,
+             token.ToString());
   // Combined report + request: the TS serves our implicit request.
   request_outstanding_ = true;
+  BeginTokenWait();
   cbs_.send_report(id_, token);
   ArmRetryTimer();
 }

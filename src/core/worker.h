@@ -2,6 +2,7 @@
 #define FELA_CORE_WORKER_H_
 
 #include <functional>
+#include <optional>
 #include <unordered_set>
 
 #include "core/token.h"
@@ -10,6 +11,7 @@
 #include "model/partition.h"
 #include "sim/fabric.h"
 #include "sim/gpu.h"
+#include "sim/span.h"
 #include "sim/trace.h"
 
 namespace fela::core {
@@ -82,6 +84,11 @@ class FelaWorker {
   /// events in the simulator queue).
   void Quiesce();
 
+  /// Enables token-wait span emission: the interval from each request
+  /// (or report's implicit request) to the accepted grant shows up as a
+  /// kTokenWait span on this worker's track.
+  void set_span_sink(obs::SpanSink* spans) { spans_ = spans; }
+
   sim::NodeId id() const { return id_; }
   ParameterChunks& chunks() { return chunks_; }
   const ParameterChunks& chunks() const { return chunks_; }
@@ -98,7 +105,7 @@ class FelaWorker {
  private:
   void StartCompute(Token token);
   void OnComputeDone(Token token);
-  void Trace(sim::TraceKind kind, std::string detail);
+  void BeginTokenWait();
   void ArmRetryTimer();
   void CancelRetryTimer();
   void OnRetryFire();
@@ -111,6 +118,10 @@ class FelaWorker {
   const std::vector<model::SubModel>* sub_models_;
   const model::LayerCostModel* cost_;
   sim::TraceRecorder* trace_;
+  obs::SpanSink* spans_ = nullptr;
+  /// Open from request send to grant accept; lives across simulator
+  /// callbacks because the span clock is simulated time.
+  std::optional<obs::ScopedSpan> token_wait_;
   Callbacks cbs_;
 
   ParameterChunks chunks_;

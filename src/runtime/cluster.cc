@@ -16,10 +16,18 @@ Cluster::Cluster(int num_workers, const sim::Calibration& cal,
   if (!stragglers_) stragglers_ = std::make_unique<sim::NoStragglers>();
   if (!faults_) faults_ = std::make_unique<sim::NoFaults>();
   fabric_.SetFaults(faults_.get(), &trace_);
+  spans_.set_clock([this] { return sim_.now(); });
+  fabric_.set_span_sink(&spans_);
   gpus_.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     gpus_.push_back(std::make_unique<sim::GpuDevice>(&sim_, i));
+    gpus_.back()->set_span_sink(&spans_);
   }
+}
+
+void Cluster::SetObservability(bool enabled) {
+  spans_.set_enabled(enabled);
+  trace_.set_enabled(enabled);
 }
 
 std::unique_ptr<Cluster> Cluster::MakeDefault(int num_workers) {

@@ -4,11 +4,13 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sim/calibration.h"
 #include "sim/fabric.h"
 #include "sim/faults.h"
 #include "sim/gpu.h"
 #include "sim/simulator.h"
+#include "sim/span.h"
 #include "sim/straggler.h"
 #include "sim/trace.h"
 
@@ -39,6 +41,17 @@ class Cluster {
   const sim::StragglerSchedule& stragglers() const { return *stragglers_; }
   const sim::FaultSchedule& faults() const { return *faults_; }
   sim::TraceRecorder& trace() { return trace_; }
+  obs::SpanSink& spans() { return spans_; }
+  const obs::SpanSink& spans() const { return spans_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Master switch for the observability layer: enables (or disables)
+  /// both the span sink and the trace recorder. Off by default so sweeps
+  /// pay nothing; devices/fabric/collectives are pre-wired to the sink
+  /// either way and check enabled() per record.
+  void SetObservability(bool enabled);
+  bool observability() const { return spans_.enabled(); }
 
   /// Total GPU busy seconds across workers (utilization numerator).
   double TotalGpuBusy() const;
@@ -52,6 +65,8 @@ class Cluster {
   std::unique_ptr<sim::StragglerSchedule> stragglers_;
   std::unique_ptr<sim::FaultSchedule> faults_;
   sim::TraceRecorder trace_;
+  obs::SpanSink spans_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace fela::runtime

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "sim/chrome_trace.h"
 
 namespace fela::runtime {
 
@@ -23,6 +24,7 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec,
   Cluster cluster(spec.num_workers, spec.calibration,
                   straggler_factory(spec.num_workers),
                   fault_factory ? fault_factory(spec.num_workers) : nullptr);
+  cluster.SetObservability(spec.observe);
   std::unique_ptr<Engine> engine = engine_factory(cluster, spec.total_batch);
   ExperimentResult result;
   result.engine_name = engine->name();
@@ -32,6 +34,18 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec,
   result.gpu_utilization =
       result.stats.total_gpu_busy /
       (static_cast<double>(spec.num_workers) * result.stats.total_time);
+  if (spec.observe) {
+    result.observed = true;
+    result.attribution =
+        obs::BuildAttribution(result.engine_name, spec.num_workers,
+                              cluster.spans().spans(),
+                              result.stats.iterations);
+    obs::FillRunMetrics(result.engine_name, result.stats, result.attribution,
+                        &cluster.metrics());
+    result.metrics = cluster.metrics();
+    result.chrome_trace = obs::ChromeTraceString(
+        cluster.spans(), &cluster.trace(), spec.num_workers);
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "model/model.h"
+#include "runtime/attribution.h"
 #include "runtime/cluster.h"
 #include "runtime/engine.h"
 #include "sim/calibration.h"
@@ -20,6 +21,11 @@ struct ExperimentSpec {
   int iterations = 100;
   int num_workers = 8;
   sim::Calibration calibration = sim::Calibration::Default();
+  /// Turns the observability layer on for the run: spans + trace are
+  /// recorded and the result carries attribution, metrics, and a
+  /// serialized Chrome trace. Off by default — observation costs time
+  /// and memory, and sweeps only need the scalar outcomes.
+  bool observe = false;
 };
 
 /// Creates an engine wired to the given cluster for the given workload.
@@ -51,6 +57,14 @@ struct ExperimentResult {
   /// Eq. 3 samples/sec — 0 when the run stalled (the job never ends).
   double average_throughput = 0.0;
   double gpu_utilization = 0.0;     // busy / (N * total_time)
+
+  /// Filled only when the spec asked to observe (the cluster is gone by
+  /// the time the result is returned, so these are the run's surviving
+  /// observability artifacts).
+  bool observed = false;
+  obs::AttributionReport attribution;
+  obs::MetricsRegistry metrics;
+  std::string chrome_trace;  // serialized trace-event JSON
 };
 
 /// Builds the cluster, constructs the engine, runs it, and derives the

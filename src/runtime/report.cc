@@ -85,4 +85,41 @@ std::string RenderFaultSummary(const std::string& engine_name,
   return out;
 }
 
+std::string RenderAttributionTable(const obs::AttributionReport& report) {
+  if (report.workers.empty() || report.critical.empty()) return "";
+  // Column order mirrors how a reader debugs a slow run: did it compute,
+  // what blocked it, was it even alive.
+  const obs::Phase columns[] = {
+      obs::Phase::kCompute,   obs::Phase::kSyncWait, obs::Phase::kTransfer,
+      obs::Phase::kTokenWait, obs::Phase::kStraggler, obs::Phase::kCrashed,
+      obs::Phase::kIdle,
+  };
+  std::vector<std::string> headers;
+  headers.push_back("worker");
+  for (const obs::Phase p : columns) headers.push_back(obs::PhaseName(p));
+  headers.push_back("seconds");
+  common::TablePrinter table(headers);
+  auto add_row = [&](const std::string& label,
+                     const obs::PhaseBreakdown& b) {
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (const obs::Phase p : columns) {
+      cells.push_back(common::TablePrinter::Percent(b.fraction(p), 1));
+    }
+    cells.push_back(common::TablePrinter::Num(b.total, 3));
+    table.AddRow(std::move(cells));
+  };
+  for (const obs::WorkerAttribution& w : report.workers) {
+    add_row(common::StrFormat("w%d", w.worker), w.run);
+  }
+  add_row("all", report.Cluster());
+  std::string out = common::StrFormat("%s time attribution (%d iterations)\n",
+                                      report.engine.c_str(),
+                                      static_cast<int>(report.critical.size()));
+  out += table.ToString();
+  out += common::StrFormat("critical-path bottleneck: %s\n",
+                           obs::PhaseName(report.RunBottleneck()));
+  return out;
+}
+
 }  // namespace fela::runtime

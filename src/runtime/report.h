@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/attribution.h"
 #include "runtime/experiment.h"
 
 namespace fela::runtime {
@@ -39,6 +40,12 @@ std::string FormatGain(double gain);
 /// recovery latency. Returns "" when the run saw no fault activity.
 std::string RenderFaultSummary(const std::string& engine_name,
                                const RunStats& stats);
+
+/// Where each worker's time went, as an aligned percentage table — one
+/// row per worker plus a cluster-total row — followed by a line naming
+/// the run's critical-path bottleneck. Returns "" for an empty report
+/// (run not observed).
+std::string RenderAttributionTable(const obs::AttributionReport& report);
 
 }  // namespace fela::runtime
 

@@ -1,0 +1,101 @@
+#include "sim/chrome_trace.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fela::obs {
+
+namespace {
+
+constexpr double kSecToMicro = 1e6;
+
+std::string TrackName(int track, int num_workers) {
+  if (track >= num_workers) return "token-server";
+  return common::StrFormat("worker %d", track);
+}
+
+common::Json ThreadNameMeta(int tid, const std::string& name) {
+  common::Json e = common::Json::Object();
+  e.Set("name", "thread_name");
+  e.Set("ph", "M");
+  e.Set("pid", 0);
+  e.Set("tid", tid);
+  common::Json args = common::Json::Object();
+  args.Set("name", name);
+  e.Set("args", std::move(args));
+  return e;
+}
+
+}  // namespace
+
+common::Json ChromeTraceJson(const SpanSink& spans,
+                             const sim::TraceRecorder* trace,
+                             int num_workers) {
+  common::Json events = common::Json::Array();
+
+  // One metadata row per track that actually appears, so empty clusters
+  // don't fabricate threads but every used tid is named.
+  std::set<int> tracks;
+  for (int w = 0; w < num_workers; ++w) tracks.insert(w);
+  const std::vector<Span> span_list = spans.spans();
+  for (const Span& s : span_list) tracks.insert(s.track);
+  for (const int t : tracks) {
+    events.Append(ThreadNameMeta(t, TrackName(t, num_workers)));
+  }
+
+  for (const Span& s : span_list) {
+    common::Json e = common::Json::Object();
+    e.Set("name", PhaseName(s.phase));
+    e.Set("cat", "span");
+    e.Set("ph", "X");
+    e.Set("ts", s.begin * kSecToMicro);
+    e.Set("dur", std::max(0.0, s.duration()) * kSecToMicro);
+    e.Set("pid", 0);
+    e.Set("tid", s.track);
+    common::Json args = common::Json::Object();
+    if (s.iteration >= 0) args.Set("iteration", s.iteration);
+    if (!s.detail.empty()) args.Set("detail", s.detail);
+    e.Set("args", std::move(args));
+    events.Append(std::move(e));
+  }
+
+  if (trace != nullptr) {
+    for (const sim::TraceEvent& t : trace->events()) {
+      common::Json e = common::Json::Object();
+      e.Set("name", sim::TraceKindName(t.kind));
+      e.Set("cat", "event");
+      e.Set("ph", "i");
+      e.Set("ts", t.time * kSecToMicro);
+      e.Set("pid", 0);
+      e.Set("tid", t.node);
+      e.Set("s", "t");  // thread-scoped instant marker
+      common::Json args = common::Json::Object();
+      if (!t.detail.empty()) args.Set("detail", t.detail);
+      e.Set("args", std::move(args));
+      events.Append(std::move(e));
+    }
+  }
+
+  common::Json doc = common::Json::Object();
+  doc.Set("displayTimeUnit", "ms");
+  doc.Set("traceEvents", std::move(events));
+  common::Json meta = common::Json::Object();
+  meta.Set("num_workers", num_workers);
+  meta.Set("spans_dropped", static_cast<double>(spans.dropped()));
+  if (trace != nullptr) {
+    meta.Set("trace_events_dropped", static_cast<double>(trace->dropped()));
+  }
+  doc.Set("otherData", std::move(meta));
+  return doc;
+}
+
+std::string ChromeTraceString(const SpanSink& spans,
+                              const sim::TraceRecorder* trace,
+                              int num_workers) {
+  return ChromeTraceJson(spans, trace, num_workers).Dump(1);
+}
+
+}  // namespace fela::obs

@@ -1,0 +1,30 @@
+#ifndef FELA_SIM_CHROME_TRACE_H_
+#define FELA_SIM_CHROME_TRACE_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "sim/span.h"
+#include "sim/trace.h"
+
+namespace fela::obs {
+
+/// Converts a run's spans + trace events into the Chrome trace-event
+/// JSON format, loadable in Perfetto (ui.perfetto.dev) or
+/// chrome://tracing. Layout: pid 0 = the cluster; one tid ("thread")
+/// per worker plus one for the token server / driver (any span track
+/// >= num_workers). Spans become "X" complete events with microsecond
+/// ts/dur; TraceRecorder events become "i" instant markers on their
+/// node's track, so token grants and crashes line up against the
+/// compute/sync intervals they explain.
+common::Json ChromeTraceJson(const SpanSink& spans,
+                             const sim::TraceRecorder* trace, int num_workers);
+
+/// ChromeTraceJson serialized ready to write to a .json file.
+std::string ChromeTraceString(const SpanSink& spans,
+                              const sim::TraceRecorder* trace,
+                              int num_workers);
+
+}  // namespace fela::obs
+
+#endif  // FELA_SIM_CHROME_TRACE_H_

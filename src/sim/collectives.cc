@@ -35,11 +35,12 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
  public:
   RingAllReduceOp(Simulator* sim, Fabric* fabric,
                   std::vector<NodeId> participants, double bytes_per_node,
-                  std::function<void()> done)
+                  std::function<void()> done, obs::SpanSink* spans)
       : sim_(sim),
         fabric_(fabric),
         participants_(std::move(participants)),
-        done_(std::move(done)) {
+        done_(std::move(done)),
+        spans_(spans) {
     const int p = static_cast<int>(participants_.size());
     chunk_bytes_ = bytes_per_node / static_cast<double>(p);
     total_rounds_ = 2 * (p - 1);
@@ -50,12 +51,19 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
       sim_->Schedule(0.0, done_);
       return;
     }
+    begin_ = sim_->now();
     RunRound(0);
   }
 
  private:
   void RunRound(int round) {
     if (round == total_rounds_) {
+      if (spans_ != nullptr && spans_->enabled()) {
+        const SimTime end = sim_->now();
+        for (const NodeId node : participants_) {
+          spans_->Emit(obs::Span{node, obs::Phase::kSyncWait, begin_, end, -1, {}});
+        }
+      }
       done_();
       return;
     }
@@ -76,6 +84,8 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
   Fabric* fabric_;
   std::vector<NodeId> participants_;
   std::function<void()> done_;
+  obs::SpanSink* spans_;
+  SimTime begin_ = 0.0;
   double chunk_bytes_ = 0.0;
   int total_rounds_ = 0;
 };
@@ -84,10 +94,12 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
 
 void RingAllReduce(Simulator* sim, Fabric* fabric,
                    std::vector<NodeId> participants, double bytes_per_node,
-                   std::function<void()> done) {
+                   std::function<void()> done, obs::SpanSink* spans) {
   FELA_CHECK(!participants.empty());
-  auto op = std::make_shared<RingAllReduceOp>(
-      sim, fabric, std::move(participants), bytes_per_node, std::move(done));
+  auto op = std::make_shared<RingAllReduceOp>(sim, fabric,
+                                              std::move(participants),
+                                              bytes_per_node, std::move(done),
+                                              spans);
   op->Start();
 }
 

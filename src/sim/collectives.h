@@ -6,6 +6,7 @@
 
 #include "sim/fabric.h"
 #include "sim/simulator.h"
+#include "sim/span.h"
 #include "sim/types.h"
 
 namespace fela::sim {
@@ -16,9 +17,16 @@ namespace fela::sim {
 /// `done` fires once, when the slowest participant completes. With a
 /// single participant it completes immediately. The ring order follows
 /// the participant vector.
+///
+/// When `spans` is set (and enabled), each participant gets a kSyncWait
+/// span covering the whole collective on its own track (all participants
+/// finish together — every round is barrier-separated). Attribution then
+/// charges compute-overlapped portions to compute and only the blocked
+/// remainder to sync (the Fela overlap semantics).
 void RingAllReduce(Simulator* sim, Fabric* fabric,
                    std::vector<NodeId> participants, double bytes_per_node,
-                   std::function<void()> done);
+                   std::function<void()> done,
+                   obs::SpanSink* spans = nullptr);
 
 /// Analytic cost of the above on an uncontended fabric; used by tests and
 /// by quick capacity estimates. Returns seconds.

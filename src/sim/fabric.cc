@@ -52,6 +52,9 @@ void Fabric::Transfer(NodeId src, NodeId dst, double bytes,
   bytes_received_[dst] += bytes;
   total_data_bytes_ += bytes;
   ++data_transfer_count_;
+  if (spans_ != nullptr && spans_->enabled()) {
+    spans_->Emit(obs::Span{dst, obs::Phase::kTransfer, start, finish, -1, {}});
+  }
   sim_->ScheduleAt(finish, std::move(done));
 }
 

@@ -7,6 +7,7 @@
 #include "sim/calibration.h"
 #include "sim/faults.h"
 #include "sim/simulator.h"
+#include "sim/span.h"
 #include "sim/trace.h"
 #include "sim/types.h"
 
@@ -45,6 +46,12 @@ class Fabric {
   /// (see FaultSchedule's model notes).
   void SetFaults(const FaultSchedule* faults, TraceRecorder* trace);
 
+  /// When set (and enabled), every bulk Transfer emits a kTransfer span
+  /// on the *receiver's* track — the receiver is the node whose progress
+  /// the bytes gate. Control messages are not spanned (they are orders of
+  /// magnitude shorter than any bulk phase).
+  void set_span_sink(obs::SpanSink* spans) { spans_ = spans; }
+
   /// Earliest time a new transfer from src to dst could start.
   SimTime NextFreeTime(NodeId src, NodeId dst) const;
 
@@ -72,6 +79,7 @@ class Fabric {
   Calibration cal_;
   const FaultSchedule* faults_ = nullptr;
   TraceRecorder* fault_trace_ = nullptr;
+  obs::SpanSink* spans_ = nullptr;
   uint64_t control_seq_ = 0;
   std::vector<SimTime> out_free_;
   std::vector<SimTime> in_free_;

@@ -15,15 +15,21 @@ void GpuDevice::Enqueue(double duration, std::function<void()> done) {
   const SimTime finish = start + duration;
   free_at_ = finish;
   busy_time_ += duration;
+  if (spans_ != nullptr && spans_->enabled() && duration > 0.0) {
+    spans_->Emit(obs::Span{node_, obs::Phase::kCompute, start, finish, -1, {}});
+  }
   sim_->ScheduleAt(finish, std::move(done));
 }
 
-void GpuDevice::BlockUntil(SimTime until) {
+void GpuDevice::BlockUntil(SimTime until, obs::Phase phase) {
   if (until <= free_at_ && until <= sim_->now()) return;
   const SimTime start = std::max(sim_->now(), free_at_);
   if (until > start) {
     injected_sleep_ += until - start;
     free_at_ = until;
+    if (spans_ != nullptr && spans_->enabled()) {
+      spans_->Emit(obs::Span{node_, phase, start, until, -1, {}});
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "sim/simulator.h"
+#include "sim/span.h"
 #include "sim/types.h"
 
 namespace fela::sim {
@@ -20,13 +21,21 @@ class GpuDevice {
 
   NodeId node() const { return node_; }
 
+  /// When set (and enabled), every Enqueue emits a kCompute span and
+  /// every BlockUntil emits its phase's span on this node's track, so
+  /// all engines get compute/straggler intervals without per-engine
+  /// instrumentation.
+  void set_span_sink(obs::SpanSink* spans) { spans_ = spans; }
+
   /// Enqueues a compute task lasting `duration` seconds; `done` fires
   /// when it finishes. Tasks run back-to-back in submission order.
   void Enqueue(double duration, std::function<void()> done);
 
   /// Blocks the device until at least `until` (used for straggler
-  /// injection: the paper injects sleep before computation).
-  void BlockUntil(SimTime until);
+  /// injection: the paper injects sleep before computation). `phase`
+  /// labels the blocked interval in the span timeline — kStraggler for
+  /// injected slowdown, kCrashed when an engine models crash redo time.
+  void BlockUntil(SimTime until, obs::Phase phase = obs::Phase::kStraggler);
 
   /// Time at which the device next becomes free.
   SimTime free_at() const { return free_at_; }
@@ -42,6 +51,7 @@ class GpuDevice {
  private:
   Simulator* sim_;
   NodeId node_;
+  obs::SpanSink* spans_ = nullptr;
   SimTime free_at_ = 0.0;
   double busy_time_ = 0.0;
   double injected_sleep_ = 0.0;

@@ -1,0 +1,54 @@
+#include "sim/span.h"
+
+namespace fela::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kCrashed:
+      return "crashed";
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kSyncWait:
+      return "sync_wait";
+    case Phase::kTransfer:
+      return "transfer";
+    case Phase::kTokenWait:
+      return "token_wait";
+    case Phase::kStraggler:
+      return "straggler";
+    case Phase::kIteration:
+      return "iteration";
+    case Phase::kIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+void SpanSink::Emit(Span span) {
+  if (!enabled_ || capacity_ == 0) return;
+  if (spans_.size() < capacity_) {
+    spans_.push_back(std::move(span));
+    return;
+  }
+  spans_[next_] = std::move(span);  // evict the oldest
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<Span> SpanSink::spans() const {
+  std::vector<Span> ordered;
+  ordered.reserve(spans_.size());
+  const size_t start = dropped_ > 0 ? next_ : 0;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    ordered.push_back(spans_[(start + i) % spans_.size()]);
+  }
+  return ordered;
+}
+
+void SpanSink::Clear() {
+  spans_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace fela::obs

@@ -54,27 +54,45 @@ const char* TraceKindName(TraceKind kind) {
 
 void TraceRecorder::Record(SimTime time, NodeId node, TraceKind kind,
                            std::string detail) {
-  if (!enabled_) return;
-  if (events_.size() >= capacity_) {
-    ++dropped_;
+  if (!enabled_ || capacity_ == 0) return;
+  TraceEvent event{time, node, kind, std::move(detail)};
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
     return;
   }
-  events_.push_back(TraceEvent{time, node, kind, std::move(detail)});
+  events_[next_] = std::move(event);  // evict the oldest
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(events_.size());
+  // next_ is the oldest slot once the ring has wrapped (dropped_ > 0);
+  // before wrapping the vector is already oldest-first from slot 0.
+  const size_t start = dropped_ > 0 ? next_ : 0;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    ordered.push_back(events_[(start + i) % events_.size()]);
+  }
+  return ordered;
 }
 
 void TraceRecorder::Clear() {
   events_.clear();
+  next_ = 0;
   dropped_ = 0;
 }
 
 std::string TraceRecorder::ToString() const {
   std::string out;
-  for (const auto& e : events_) {
+  if (dropped_ > 0) {
+    out += common::StrFormat(
+        "... %zu oldest events dropped (ring capacity %zu)\n", dropped_,
+        capacity_);
+  }
+  for (const auto& e : events()) {
     out += common::StrFormat("[%10.6fs] w%-2d %-15s %s\n", e.time, e.node,
                              TraceKindName(e.kind), e.detail.c_str());
-  }
-  if (dropped_ > 0) {
-    out += common::StrFormat("... %zu events dropped (capacity)\n", dropped_);
   }
   return out;
 }

@@ -2,6 +2,7 @@
 #define FELA_SIM_TRACE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/types.h"
@@ -44,6 +45,11 @@ struct TraceEvent {
 /// Bounded in-memory recorder for scheduling timelines. Disabled by
 /// default (engines skip recording when !enabled()) so the hot path
 /// stays allocation-free during large sweeps.
+///
+/// Storage is a ring: once `capacity` events have been recorded, each
+/// new event evicts the oldest one, so a long run keeps the *most
+/// recent* window of activity — the part a crash or stall post-mortem
+/// actually needs. `dropped()` counts the evictions.
 class TraceRecorder {
  public:
   explicit TraceRecorder(size_t capacity = 100000) : capacity_(capacity) {}
@@ -53,7 +59,21 @@ class TraceRecorder {
 
   void Record(SimTime time, NodeId node, TraceKind kind, std::string detail);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Lazy-detail overload: `detail_fn` (any callable returning something
+  /// convertible to std::string) is only invoked when the recorder is
+  /// enabled, so hot paths pay nothing — not even the StrFormat — when
+  /// tracing is off. Prefer the FELA_TRACE macro at call sites.
+  template <typename DetailFn>
+  void RecordLazy(SimTime time, NodeId node, TraceKind kind,
+                  DetailFn&& detail_fn) {
+    if (!enabled_) return;
+    Record(time, node, kind, std::forward<DetailFn>(detail_fn)());
+  }
+
+  /// Events oldest-first. Returns by value because the underlying ring
+  /// storage is rotated; the copy is only taken by tests and exporters.
+  std::vector<TraceEvent> events() const;
+  size_t size() const { return events_.size(); }
   size_t dropped() const { return dropped_; }
   void Clear();
 
@@ -64,9 +84,20 @@ class TraceRecorder {
   size_t capacity_;
   bool enabled_ = false;
   std::vector<TraceEvent> events_;
+  size_t next_ = 0;  // ring cursor: slot the next event overwrites
   size_t dropped_ = 0;
 };
 
 }  // namespace fela::sim
+
+/// Records a trace event without evaluating the detail expression unless
+/// the recorder is enabled. `recorder` is a TraceRecorder*; `detail` is
+/// any expression yielding a std::string (typically StrFormat(...)).
+#define FELA_TRACE(recorder, time, node, kind, detail)            \
+  do {                                                            \
+    ::fela::sim::TraceRecorder* fela_trace_rec_ = (recorder);     \
+    if (fela_trace_rec_ != nullptr && fela_trace_rec_->enabled()) \
+      fela_trace_rec_->Record((time), (node), (kind), (detail));  \
+  } while (false)
 
 #endif  // FELA_SIM_TRACE_H_

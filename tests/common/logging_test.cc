@@ -35,6 +35,33 @@ TEST(LoggingTest, CheckPassesOnTrueCondition) {
   FELA_CHECK_GE(3, 3);
 }
 
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARNING", &level));  // case-insensitive
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("fatal", &level));
+  EXPECT_EQ(level, LogLevel::kFatal);
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("4", &level));
+  EXPECT_EQ(level, LogLevel::kFatal);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsJunkWithoutClobbering) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("5", &level));
+  EXPECT_FALSE(ParseLogLevel("debu", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // untouched on failure
+}
+
 TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
   EXPECT_DEATH({ FELA_CHECK(false) << "boom"; }, "Check failed");
 }

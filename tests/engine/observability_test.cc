@@ -1,0 +1,174 @@
+// End-to-end checks for the observability layer: a seeded observed run
+// exports a loadable Chrome trace with one track per worker, attribution
+// fractions sum to exactly 1, and unobserved runs carry no artifacts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/json.h"
+#include "model/zoo.h"
+#include "runtime/attribution.h"
+#include "runtime/bench_json.h"
+#include "runtime/experiment.h"
+#include "runtime/report.h"
+#include "suite/suite.h"
+
+namespace fela::runtime {
+namespace {
+
+ExperimentSpec ObservedSpec() {
+  ExperimentSpec spec;
+  spec.total_batch = 256;
+  spec.iterations = 4;
+  spec.observe = true;
+  return spec;
+}
+
+ExperimentResult ObservedFelaRun() {
+  const model::Model m = model::zoo::GoogLeNet();
+  core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+  return RunExperiment(ObservedSpec(), suite::FelaFactory(m, cfg),
+                       NoStragglerFactory());
+}
+
+void ExpectFractionsSumToOne(const obs::AttributionReport& report,
+                             int expected_workers, int expected_iterations) {
+  ASSERT_EQ(report.num_workers, expected_workers);
+  ASSERT_EQ(static_cast<int>(report.workers.size()), expected_workers);
+  for (const auto& w : report.workers) {
+    double run_sum = 0.0;
+    for (int p = 0; p < obs::kNumPhases; ++p) {
+      const double f = w.run.fraction(static_cast<obs::Phase>(p));
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0 + 1e-9);
+      run_sum += f;
+    }
+    EXPECT_NEAR(run_sum, 1.0, 1e-9) << "worker " << w.worker;
+    ASSERT_EQ(static_cast<int>(w.iterations.size()), expected_iterations);
+    for (size_t it = 0; it < w.iterations.size(); ++it) {
+      double it_sum = 0.0;
+      for (int p = 0; p < obs::kNumPhases; ++p) {
+        it_sum += w.iterations[it].fraction(static_cast<obs::Phase>(p));
+      }
+      EXPECT_NEAR(it_sum, 1.0, 1e-9)
+          << "worker " << w.worker << " iteration " << it;
+    }
+  }
+}
+
+TEST(ObservabilityTest, UnobservedRunCarriesNoArtifacts) {
+  ExperimentSpec spec = ObservedSpec();
+  spec.observe = false;
+  const auto result = RunExperiment(
+      spec, suite::DpFactory(model::zoo::GoogLeNet()), NoStragglerFactory());
+  EXPECT_FALSE(result.observed);
+  EXPECT_TRUE(result.chrome_trace.empty());
+  EXPECT_TRUE(result.attribution.workers.empty());
+  EXPECT_EQ(result.metrics.size(), 0u);
+}
+
+TEST(ObservabilityTest, FelaAttributionFractionsSumToOne) {
+  const auto result = ObservedFelaRun();
+  ASSERT_TRUE(result.observed);
+  ExpectFractionsSumToOne(result.attribution, 8, 4);
+  EXPECT_EQ(result.attribution.engine, "Fela");
+  // Every iteration names a bottleneck from the critical-path walk.
+  ASSERT_EQ(result.attribution.critical.size(), 4u);
+  for (const auto& cp : result.attribution.critical) {
+    EXPECT_GE(cp.last_finisher, 0);
+    EXPECT_GT(cp.path.total, 0.0);
+  }
+}
+
+TEST(ObservabilityTest, DpAttributionFractionsSumToOne) {
+  const auto result =
+      RunExperiment(ObservedSpec(), suite::DpFactory(model::zoo::Vgg19()),
+                    NoStragglerFactory());
+  ASSERT_TRUE(result.observed);
+  ExpectFractionsSumToOne(result.attribution, 8, 4);
+  // DP computes on every worker each iteration.
+  for (const auto& w : result.attribution.workers) {
+    EXPECT_GT(w.run.fraction(obs::Phase::kCompute), 0.0);
+  }
+}
+
+TEST(ObservabilityTest, ChromeTraceIsValidJsonWithTrackPerWorker) {
+  const auto result = ObservedFelaRun();
+  ASSERT_FALSE(result.chrome_trace.empty());
+
+  common::Json doc;
+  std::string error;
+  ASSERT_TRUE(common::Json::Parse(result.chrome_trace, &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+
+  const common::Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // One thread_name metadata entry per used track; the engine emits
+  // iteration framing on the driver track, so all 8 workers + driver
+  // should appear.
+  int metadata = 0;
+  int complete = 0;
+  for (const auto& e : events->items()) {
+    const common::Json* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string_value() == "M") ++metadata;
+    if (ph->string_value() == "X") ++complete;
+  }
+  EXPECT_GE(metadata, 9);  // 8 worker tracks + token-server/driver track
+  EXPECT_GT(complete, 0);
+
+  const common::Json* other = doc.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->Find("num_workers")->number_value(), 8.0);
+}
+
+TEST(ObservabilityTest, RunMetricsCarryTokenServerCounters) {
+  const auto result = ObservedFelaRun();
+  const auto* grants = result.metrics.FindCounter("ts_grants", "engine=Fela");
+  ASSERT_NE(grants, nullptr);
+  EXPECT_GT(grants->value(), 0u);
+  const auto* iters =
+      result.metrics.FindCounter("iterations", "engine=Fela");
+  ASSERT_NE(iters, nullptr);
+  EXPECT_EQ(iters->value(), 4u);
+}
+
+TEST(ObservabilityTest, AttributionJsonRoundTrips) {
+  const auto result = ObservedFelaRun();
+  const common::Json doc = obs::AttributionToJson(result.attribution);
+  common::Json parsed;
+  std::string error;
+  ASSERT_TRUE(common::Json::Parse(doc.Dump(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.Find("engine")->string_value(), "Fela");
+  ASSERT_NE(parsed.Find("workers"), nullptr);
+  EXPECT_EQ(parsed.Find("workers")->size(), 8u);
+}
+
+TEST(ObservabilityTest, BenchReportValidatesSchema) {
+  obs::BenchReport report("unit");
+  report.Add(ObservedFelaRun(), /*x=*/1.0);
+  std::string error;
+  EXPECT_TRUE(obs::ValidateBenchReportJson(report.ToJson(), &error)) << error;
+
+  // A broken document is rejected.
+  common::Json bad = common::Json::Object();
+  bad.Set("bench", "unit");
+  EXPECT_FALSE(obs::ValidateBenchReportJson(bad, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ObservabilityTest, AttributionTableRendersEveryWorker) {
+  const auto result = ObservedFelaRun();
+  const std::string table = RenderAttributionTable(result.attribution);
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_NE(table.find("w" + std::to_string(w)), std::string::npos);
+  }
+  EXPECT_NE(table.find("compute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fela::runtime

@@ -36,6 +36,59 @@ TEST(TraceTest, CapacityBoundsDrops) {
   EXPECT_EQ(t.dropped(), 3u);
 }
 
+TEST(TraceTest, RingKeepsMostRecentWindowOldestFirst) {
+  TraceRecorder t(3);
+  t.set_enabled(true);
+  for (int i = 0; i < 7; ++i) {
+    t.Record(i, 0, TraceKind::kComputeEnd, std::to_string(i));
+  }
+  EXPECT_EQ(t.dropped(), 4u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 3u);
+  // A crash post-mortem needs the tail of the run: newest three survive,
+  // returned oldest-first.
+  EXPECT_EQ(events[0].detail, "4");
+  EXPECT_EQ(events[1].detail, "5");
+  EXPECT_EQ(events[2].detail, "6");
+  EXPECT_DOUBLE_EQ(events[0].time, 4.0);
+}
+
+TEST(TraceTest, RecordLazySkipsDetailWhenDisabled) {
+  TraceRecorder t;
+  int calls = 0;
+  auto detail = [&calls] {
+    ++calls;
+    return std::string("expensive");
+  };
+  t.RecordLazy(1.0, 0, TraceKind::kTokenGrant, detail);
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(t.events().empty());
+  t.set_enabled(true);
+  t.RecordLazy(1.0, 0, TraceKind::kTokenGrant, detail);
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events()[0].detail, "expensive");
+}
+
+TEST(TraceTest, FelaTraceMacroIsNullSafeAndLazy) {
+  TraceRecorder* null_rec = nullptr;
+  FELA_TRACE(null_rec, 0.0, 0, TraceKind::kSyncStart, "never");
+
+  TraceRecorder t;
+  int calls = 0;
+  auto detail = [&calls] {
+    ++calls;
+    return std::string("d");
+  };
+  FELA_TRACE(&t, 0.0, 1, TraceKind::kSyncStart, detail());
+  EXPECT_EQ(calls, 0);  // disabled: detail expression not evaluated
+  t.set_enabled(true);
+  FELA_TRACE(&t, 2.0, 1, TraceKind::kSyncStart, detail());
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events()[0].node, 1);
+}
+
 TEST(TraceTest, ClearResets) {
   TraceRecorder t(1);
   t.set_enabled(true);
