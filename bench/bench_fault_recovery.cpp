@@ -106,5 +106,16 @@ int main(int argc, char** argv) {
   std::printf("\nper-run fault accounting:\n");
   for (const auto& line : fault_lines) std::printf("  %s\n", line.c_str());
   std::printf("\nwrote fault_recovery.csv\n");
-  return bench::FinishBench(opts, report);
+  // The hardest determinism case: crashes + reclamation + re-admission
+  // must replay byte-identically, not just the fault-free path.
+  runtime::ExperimentSpec gate = spec;
+  gate.iterations = 4;
+  gate.observe = false;
+  const int rc = bench::VerifyDeterminismGate(
+      opts, "fault_recovery", gate, suite::FelaFactory(model, cfg),
+      runtime::NoStragglerFactory(),
+      [kSeed](int n) -> std::unique_ptr<sim::FaultSchedule> {
+        return std::make_unique<sim::RandomCrashes>(n, 0.2, 2.0, 0.5, kSeed);
+      });
+  return bench::FinishBench(opts, report) | rc;
 }

@@ -101,5 +101,15 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper (VGG19): Fela PID 23.23%%~51.36%% below DP, 6.97%%~65.12%% "
       "below HP.\n");
-  return bench::FinishBench(opts, report);
+  runtime::ExperimentSpec gate;
+  gate.total_batch = 256;
+  gate.iterations = 4;
+  const int rc = bench::VerifyDeterminismGate(
+      opts, "fig10", gate,
+      suite::FelaFactory(model::zoo::Vgg19(),
+                         core::FelaConfig::Defaults(3, 8)),
+      [kSeed](int) -> std::unique_ptr<sim::StragglerSchedule> {
+        return std::make_unique<sim::ProbabilityStragglers>(0.3, 6.0, kSeed);
+      });
+  return bench::FinishBench(opts, report) | rc;
 }

@@ -9,10 +9,12 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/string_util.h"
 #include "model/cost_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader(
       "Figure 1: Training throughput with different batch sizes");
 
@@ -49,5 +51,12 @@ int main() {
   }
   std::printf(
       "\nPaper reference: thresholds 16 / 64 / 2048 for panels a/b/c.\n");
-  return 0;
+  return bench::VerifyRenderDeterminism(opts, "fig1", [&cost] {
+    std::string out;
+    const model::Layer fc = model::Layer::Fc("fc", 4096, 4096);
+    for (const auto& pt : cost.SweepThroughput(fc, 4096)) {
+      out += common::StrFormat("%.17g:%.17g\n", pt.batch, pt.samples_per_sec);
+    }
+    return out;
+  });
 }

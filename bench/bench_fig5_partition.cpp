@@ -39,8 +39,9 @@ void PrintPartition(const fela::model::Model& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader(
       "Figure 5: Threshold Batch Sizes of Different Layers in VGG19");
   PrintPartition(model::zoo::Vgg19());
@@ -51,5 +52,13 @@ int main() {
   std::printf(
       "\nPaper reference: GoogLeNet partitions into L1-4, L5-9, L10-12 "
       "(CONV+FC).\n");
-  return 0;
+  return bench::VerifyRenderDeterminism(opts, "fig5", [] {
+    std::string out;
+    const auto& repo = model::ProfileRepository::Default();
+    const model::BinPartitioner partitioner(16.0);
+    for (const auto& sm : partitioner.Partition(model::zoo::Vgg19(), repo)) {
+      out += sm.ToString() + "\n";
+    }
+    return out;
+  });
 }

@@ -14,8 +14,9 @@
 #include "common/string_util.h"
 #include "model/zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader("Figure 6: Configuration tuning (VGG19, 13 cases)");
 
   const model::Model m = model::zoo::Vgg19();
@@ -77,5 +78,15 @@ int main() {
               hio * 100);
   std::printf("paper:    phase1 8.51%%~51.69%%, phase2 5.31%%~41.25%%, "
               "overall 8.51%%~66.78%%\n");
-  return 0;
+  // Tuning determinism: the whole two-phase warm-up (13 cases) must pick
+  // the same winner with the same normalized timings on a re-run.
+  return bench::VerifyRenderDeterminism(opts, "fig6", [&m] {
+    const core::TuningReport r =
+        suite::TuneFela(m, 64, 8, /*warmup_iterations=*/1);
+    std::string out = common::StrFormat("best=%d\n", r.best_case_index);
+    for (const double s : r.NormalizedSeconds()) {
+      out += common::StrFormat("%.17g\n", s);
+    }
+    return out;
+  });
 }

@@ -26,8 +26,9 @@ struct AblationPoint {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader("Figure 7: Ablation Study (ADS Policy and HF Policy)");
 
   struct ModelCase {
@@ -114,5 +115,13 @@ int main() {
                                     ctd_hi * 100),
                   "5.31% ~ 41.25%"});
   summary.Print(std::cout);
-  return 0;
+
+  runtime::ExperimentSpec gate;
+  gate.total_batch = 256;
+  gate.iterations = 4;
+  return bench::VerifyDeterminismGate(
+      opts, "fig7", gate,
+      suite::FelaFactory(model::zoo::Vgg19(),
+                         core::FelaConfig::Defaults(3, 8)),
+      runtime::NoStragglerFactory());
 }

@@ -59,5 +59,13 @@ int main(int argc, char** argv) {
       "15.77%%~49.65%%\n"
       "       GoogLeNet Fela vs DP 13.25%%~2.15x, MP 3.63x~12.22x, HP "
       "19.01%%~1.85x\n");
-  return bench::FinishBench(opts, report);
+  runtime::ExperimentSpec gate;
+  gate.total_batch = 256;
+  gate.iterations = 4;
+  const int rc = bench::VerifyDeterminismGate(
+      opts, "fig8", gate,
+      suite::FelaFactory(model::zoo::GoogLeNet(),
+                         core::FelaConfig::Defaults(3, 8)),
+      runtime::NoStragglerFactory());
+  return bench::FinishBench(opts, report) | rc;
 }

@@ -99,5 +99,15 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper (VGG19): Fela PID 30.35%%~68.19%% below DP, "
       "26.00%%~64.86%% below HP.\n");
-  return bench::FinishBench(opts, report);
+  runtime::ExperimentSpec gate;
+  gate.total_batch = 256;
+  gate.iterations = 4;
+  const int rc = bench::VerifyDeterminismGate(
+      opts, "fig9", gate,
+      suite::FelaFactory(model::zoo::Vgg19(),
+                         core::FelaConfig::Defaults(3, 8)),
+      [](int n) -> std::unique_ptr<sim::StragglerSchedule> {
+        return std::make_unique<sim::RoundRobinStragglers>(n, 4.0);
+      });
+  return bench::FinishBench(opts, report) | rc;
 }

@@ -6,11 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "core/fela_engine.h"
 #include "core/token_bucket.h"
 #include "model/zoo.h"
 #include "runtime/cluster.h"
+#include "runtime/determinism.h"
 #include "sim/simulator.h"
+#include "suite/suite.h"
 
 namespace {
 
@@ -141,4 +146,36 @@ BENCHMARK(BM_BinPartition);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): google-benchmark rejects flags it does
+// not know, so --verify-determinism is stripped from argv before
+// benchmark::Initialize sees it.
+int main(int argc, char** argv) {
+  bool verify = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify-determinism") == 0) {
+      verify = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (verify) {
+    using namespace fela;
+    runtime::ExperimentSpec spec;
+    spec.total_batch = 256;
+    spec.iterations = 4;
+    const runtime::DeterminismReport report = runtime::VerifyDeterminism(
+        spec,
+        suite::FelaFactory(model::zoo::GoogLeNet(),
+                           core::FelaConfig::Defaults(3, 8)),
+        runtime::NoStragglerFactory());
+    std::printf("determinism[micro_core]: %s\n", report.ToString().c_str());
+    if (!report.deterministic) return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

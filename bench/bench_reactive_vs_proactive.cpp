@@ -123,5 +123,13 @@ int main(int argc, char** argv) {
   std::printf(
       "(the single-server PS funnels 2 * N * 575 MB through one NIC per\n"
       " iteration — Table II's centralized bottleneck.)\n");
-  return bench::FinishBench(opts, report);
+  runtime::ExperimentSpec gate;
+  gate.total_batch = 256;
+  gate.iterations = 4;
+  const int rc = bench::VerifyDeterminismGate(
+      opts, "reactive_vs_proactive", gate, suite::PsDpFactory(m, 4),
+      [](int n) -> std::unique_ptr<sim::StragglerSchedule> {
+        return std::make_unique<sim::TransientStragglers>(n, 4.0, 3, 7);
+      });
+  return bench::FinishBench(opts, report) | rc;
 }

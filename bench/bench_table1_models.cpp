@@ -7,10 +7,10 @@
 #include "bench_util.h"
 #include "model/zoo.h"
 
-int main() {
-  using namespace fela;
-  bench::PrintHeader("Table I: Growing Neural Network Layer Numbers");
+namespace {
 
+std::string RenderTableOne() {
+  using namespace fela;
   common::TablePrinter table(
       {"Model", "Year", "Layer Number", "built layers", "params (M)",
        "fwd GFLOP/sample"});
@@ -21,9 +21,19 @@ int main() {
                   common::TablePrinter::Num(m.TotalParams() / 1e6, 1),
                   common::TablePrinter::Num(m.TotalFlopsPerSample() / 1e9, 2)});
   }
-  table.Print(std::cout);
+  return table.ToString();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fela;
+  const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
+  bench::PrintHeader("Table I: Growing Neural Network Layer Numbers");
+
+  std::cout << RenderTableOne();
   std::printf(
       "\n('built layers' counts the weighted layers of our constructed\n"
       "model; GoogLeNet trains as 12 coarse units, see DESIGN.md.)\n");
-  return 0;
+  return bench::VerifyRenderDeterminism(opts, "table1", RenderTableOne);
 }

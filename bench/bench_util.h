@@ -4,12 +4,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "runtime/bench_json.h"
+#include "runtime/determinism.h"
 #include "runtime/report.h"
 #include "suite/suite.h"
 
@@ -24,10 +26,15 @@ inline constexpr int kIterations = 100;
 ///            for observed runs, the attribution report) and turn
 ///            observability on for the measured runs;
 ///   --smoke  shrink the sweep to one tiny point with a few iterations
-///            (CI-sized; used by the tier-1 smoke test).
+///            (CI-sized; used by the tier-1 smoke test);
+///   --verify-determinism
+///            before printing results, run a representative
+///            configuration twice and fail (non-zero exit) unless the
+///            two transcripts are byte-identical (runtime/determinism.h).
 struct BenchOptions {
   bool json = false;
   bool smoke = false;
+  bool verify_determinism = false;
 
   /// Sweep iterations honoring --smoke.
   int iterations() const { return smoke ? 3 : kIterations; }
@@ -44,6 +51,8 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) opts.json = true;
     else if (std::strcmp(argv[i], "--smoke") == 0) opts.smoke = true;
+    else if (std::strcmp(argv[i], "--verify-determinism") == 0)
+      opts.verify_determinism = true;
     else std::fprintf(stderr, "ignoring unknown flag %s\n", argv[i]);
   }
   return opts;
@@ -75,6 +84,40 @@ inline int FinishBench(const BenchOptions& opts,
   }
   std::printf("\nwrote %s (%zu result rows)\n", path.c_str(), report.size());
   return 0;
+}
+
+/// Run-twice determinism gate for experiment-driven benches. No-op
+/// unless --verify-determinism was passed; then runs `spec` twice
+/// (observability forced on) and returns 1 — the bench's failure exit —
+/// when the transcripts diverge, printing the first divergent line.
+inline int VerifyDeterminismGate(
+    const BenchOptions& opts, const std::string& label,
+    const runtime::ExperimentSpec& spec,
+    const runtime::EngineFactory& engine,
+    const runtime::StragglerFactory& stragglers,
+    const runtime::FaultFactory& faults = nullptr) {
+  if (!opts.verify_determinism) return 0;
+  const runtime::DeterminismReport report =
+      runtime::VerifyDeterminism(spec, engine, stragglers, faults);
+  std::printf("determinism[%s]: %s\n", label.c_str(),
+              report.ToString().c_str());
+  return report.deterministic ? 0 : 1;
+}
+
+/// Determinism gate for analytic (simulation-free) benches: evaluates
+/// `render` twice and byte-compares the output. No-op without
+/// --verify-determinism.
+inline int VerifyRenderDeterminism(const BenchOptions& opts,
+                                   const std::string& label,
+                                   const std::function<std::string()>& render) {
+  if (!opts.verify_determinism) return 0;
+  const std::string first = render();
+  const std::string second = render();
+  const bool same = first == second;
+  std::printf("determinism[%s]: %s hash=%016llx\n", label.c_str(),
+              same ? "deterministic" : "DIVERGED",
+              static_cast<unsigned long long>(runtime::Fnv1a64(first)));
+  return same ? 0 : 1;
 }
 
 /// The paper's batch sweeps. VGG19 follows Fig. 6's 64..1024; GoogLeNet

@@ -1,5 +1,6 @@
 #include "common/json.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -23,6 +24,18 @@ void Json::Set(std::string key, Json value) {
   }
   index_.emplace(key, members_.size());
   members_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::SortKeysRecursive() {
+  for (Json& item : items_) item.SortKeysRecursive();
+  if (type_ != Type::kObject) return;
+  std::sort(members_.begin(), members_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  index_.clear();
+  for (size_t i = 0; i < members_.size(); ++i) {
+    index_.emplace(members_[i].first, i);
+    members_[i].second.SortKeysRecursive();
+  }
 }
 
 std::string Json::Quote(std::string_view s) {

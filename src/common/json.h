@@ -56,6 +56,11 @@ class Json {
     return members_;
   }
 
+  /// Recursively re-orders every object's members into sorted key order.
+  /// Exporters call this before Dump so emitted artifacts are
+  /// byte-identical regardless of member insertion order.
+  void SortKeysRecursive();
+
   /// Serializes; indent < 0 emits compact single-line JSON, otherwise
   /// pretty-prints with that many spaces per level.
   std::string Dump(int indent = -1) const;

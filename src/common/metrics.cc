@@ -209,6 +209,10 @@ common::Json MetricsRegistry::ToJson() const {
     }
     arr.Append(std::move(m));
   }
+  // Entries are already ordered by the registry's sorted key map; this
+  // canonicalizes member order inside each entry too, so two exports of
+  // equal registries are byte-identical however they were built.
+  arr.SortKeysRecursive();
   return arr;
 }
 

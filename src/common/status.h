@@ -26,7 +26,9 @@ const char* StatusCodeName(StatusCode code);
 
 /// A cheap, copyable success-or-error value. The library does not use
 /// exceptions; fallible operations return Status (or Result<T> below).
-class Status {
+/// [[nodiscard]] is the compile-time twin of fela-lint's
+/// discarded-status rule: silently dropping an error is a bug.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -82,7 +84,7 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
 /// A value-or-Status result, in the spirit of absl::StatusOr but minimal.
 /// Accessing value() on an error aborts (see FELA_CHECK in logging.h).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error Status keeps call
   /// sites terse: `return value;` / `return Status::NotFound(...)`.

@@ -136,6 +136,8 @@ void FelaEngine::DeliverGrant(sim::NodeId worker, const Grant& grant) {
   // distributor charged. The fabric drops it if an endpoint is down at
   // send time; the delivery-side check covers a crash while in flight
   // (the TS lease reclaims the token either way).
+  // fela-lint: allow(untraced-event) the worker traces kTokenGrant on
+  // receipt; in-flight delivery has no observable state to record.
   cluster_->simulator().Schedule(grant.extra_delay, [this, worker, grant] {
     cluster_->fabric().SendControl(kTsNode, worker, [this, worker, grant] {
       if (monitor_ && monitor_->IsDown(worker)) return;

@@ -1,5 +1,7 @@
 #include "core/info_mapping.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fela::core {
@@ -35,6 +37,31 @@ const std::unordered_set<TokenId>& InfoMapping::CompletedBy(
   static const std::unordered_set<TokenId> kEmpty;
   auto it = completed_by_.find(worker);
   return it == completed_by_.end() ? kEmpty : it->second;
+}
+
+std::vector<TokenId> InfoMapping::CompletedBySorted(sim::NodeId worker) const {
+  const auto& held = CompletedBy(worker);
+  std::vector<TokenId> out(held.begin(), held.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TokenId> InfoMapping::CompletedTokensSorted() const {
+  std::vector<TokenId> out;
+  out.reserve(holder_.size());
+  // fela-lint: allow(unordered-iter) this IS the snapshot pattern: the
+  // collected keys are sorted before anything observes them.
+  for (const auto& [token, worker] : holder_) out.push_back(token);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<TokenId, sim::NodeId>> InfoMapping::AssignmentsSorted()
+    const {
+  std::vector<std::pair<TokenId, sim::NodeId>> out(assignee_.begin(),
+                                                   assignee_.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 double InfoMapping::LocalityScore(sim::NodeId worker,

@@ -3,6 +3,7 @@
 
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/token.h"
@@ -34,8 +35,24 @@ class InfoMapping {
 
   bool IsCompleted(TokenId token) const;
 
-  /// H_wid: tokens completed by `worker` this iteration.
+  /// H_wid: tokens completed by `worker` this iteration. Safe for
+  /// membership tests and counting only — NEVER range-for this set into
+  /// anything observable (events, trace lines, tie-breaks): iteration
+  /// order is hash order, which varies across platforms and runs.
   const std::unordered_set<TokenId>& CompletedBy(sim::NodeId worker) const;
+
+  /// Sorted-key-snapshot pattern: any code that *iterates* the unordered
+  /// state below and feeds the results into event emission, logging,
+  /// span output, or tie-breaking must first copy the keys into a
+  /// sorted vector (what these helpers do) so the visit order is
+  /// deterministic. fela-lint's unordered-iter rule enforces this.
+  std::vector<TokenId> CompletedBySorted(sim::NodeId worker) const;
+
+  /// All completed token ids, ascending.
+  std::vector<TokenId> CompletedTokensSorted() const;
+
+  /// All currently-assigned (token, worker) pairs, ascending by token.
+  std::vector<std::pair<TokenId, sim::NodeId>> AssignmentsSorted() const;
 
   /// Eq. 1: |H_wid ∩ D_tid| / |D_tid|. Returns 1.0 for empty deps (a
   /// token with no dependencies is fully "local" anywhere).

@@ -247,6 +247,8 @@ bool TokenServer::TryGrant(sim::NodeId worker) {
   lease.worker = worker;
   if (leases_enabled_) {
     grant.lease_deadline = sim_->now() + config_->lease_timeout_sec;
+    // fela-lint: allow(untraced-event) expiry traces as kTokenReclaim
+    // when the lease actually fires; arming it is silent by design.
     lease.timer = sim_->ScheduleAt(grant.lease_deadline,
                                    [this, id] { OnLeaseExpired(id); });
   }

@@ -85,6 +85,8 @@ void FelaWorker::ArmRetryTimer() {
   if (retry_timeout_sec_ <= 0.0) return;
   CancelRetryTimer();
   const int inc = incarnation_;
+  // fela-lint: allow(untraced-event) retries trace as kRequestRetry at
+  // fire time; arming the timer itself is not an observable event.
   retry_timer_ = sim_->Schedule(retry_timeout_sec_, [this, inc] {
     retry_timer_ = sim::kInvalidEventId;
     if (inc != incarnation_) return;

@@ -1,9 +1,11 @@
 #ifndef FELA_CORE_WORKER_H_
 #define FELA_CORE_WORKER_H_
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <unordered_set>
+#include <vector>
 
 #include "core/token.h"
 #include "core/token_server.h"
@@ -25,6 +27,14 @@ class ParameterChunks {
   bool Has(TokenId token) const { return held_.count(token) > 0; }
   size_t size() const { return held_.size(); }
   void Clear() { held_.clear(); }
+
+  /// Sorted key snapshot (see info_mapping.h): the only sanctioned way
+  /// to iterate the held set into anything observable.
+  std::vector<TokenId> HeldSorted() const {
+    std::vector<TokenId> out(held_.begin(), held_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
  private:
   std::unordered_set<TokenId> held_;

@@ -1,0 +1,1064 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace fela::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"wall-clock",
+     "wall-clock time source in deterministic simulation code (use "
+     "sim::Simulator::now())"},
+    {"unseeded-rng",
+     "unseeded or global randomness (all stochastic behaviour must flow "
+     "through a seeded fela::common::Rng)"},
+    {"unordered-iter",
+     "iteration over a std::unordered_{map,set} member whose body emits "
+     "events/output/IDs (iterate a sorted key snapshot instead)"},
+    {"discarded-status", "discarded Status/Result return value"},
+    {"float-eq",
+     "exact floating-point ==/!= comparison in simulation code (compare "
+     "against an epsilon, or suppress if exactness is intended)"},
+    {"untraced-event",
+     "event-queue mutation (Schedule/ScheduleAt) in an engine hot path "
+     "whose function records no FELA_TRACE"},
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing: split source text into per-line code (comments blanked,
+// string/char literal contents blanked) and per-line comment text. Keeping
+// the columns aligned makes reported positions meaningful and lets the
+// rules do plain substring scans without tripping on literals.
+// ---------------------------------------------------------------------------
+
+struct FileText {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+FileText Preprocess(const std::string& contents) {
+  FileText out;
+  std::string code_line;
+  std::string comment_line;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  bool escaped = false;
+
+  auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (size_t i = 0; i < contents.size(); ++i) {
+    const char c = contents[i];
+    const char next = i + 1 < contents.size() ? contents[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      escaped = false;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+        if (escaped) {
+          escaped = false;
+          code_line += ' ';
+        } else if (c == '\\') {
+          escaped = true;
+          code_line += ' ';
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (escaped) {
+          escaped = false;
+          code_line += ' ';
+        } else if (c == '\\') {
+          escaped = true;
+          code_line += ' ';
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+    }
+  }
+  flush_line();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// fela-lint: allow(rule-a, rule-b) optional rationale`.
+// A suppression on a comment-only line also covers the next code line.
+// ---------------------------------------------------------------------------
+
+std::vector<std::set<std::string>> ParseSuppressions(const FileText& text) {
+  std::vector<std::set<std::string>> allowed(text.comments.size());
+  for (size_t i = 0; i < text.comments.size(); ++i) {
+    const std::string& comment = text.comments[i];
+    const size_t tag = comment.find("fela-lint:");
+    if (tag == std::string::npos) continue;
+    const size_t open = comment.find("allow(", tag);
+    if (open == std::string::npos) continue;
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string rule;
+    for (size_t p = open + 6; p <= close; ++p) {
+      const char c = p < close ? comment[p] : ',';
+      if (c == ',' || c == ' ') {
+        if (!rule.empty()) allowed[i].insert(rule);
+        rule.clear();
+      } else {
+        rule += c;
+      }
+    }
+  }
+  return allowed;
+}
+
+bool LineHasCode(const std::string& code_line) {
+  return std::any_of(code_line.begin(), code_line.end(), [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) == 0;
+  });
+}
+
+bool Suppressed(const std::vector<std::set<std::string>>& allowed,
+                const std::vector<std::string>& code, size_t line_index,
+                const std::string& rule) {
+  if (line_index < allowed.size() && allowed[line_index].count(rule) > 0) {
+    return true;
+  }
+  // Walk back over comment-only / blank lines: their allow() covers the
+  // next code line (this one).
+  for (size_t i = line_index; i > 0;) {
+    --i;
+    if (LineHasCode(code[i])) break;
+    if (allowed[i].count(rule) > 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Small scanning helpers
+// ---------------------------------------------------------------------------
+
+/// Position of `word` in `line` with identifier boundaries on both sides,
+/// or npos.
+size_t FindWord(const std::string& line, const std::string& word,
+                size_t from = 0) {
+  size_t pos = line.find(word, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(word, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool ContainsWord(const std::string& line, const std::string& word) {
+  return FindWord(line, word) != std::string::npos;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Path components of `path`, e.g. "src/core/worker.cc" -> {src,core,...}.
+std::vector<std::string> PathComponents(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+bool HasComponent(const std::vector<std::string>& parts,
+                  std::initializer_list<const char*> names) {
+  for (const auto& p : parts) {
+    for (const char* n : names) {
+      if (p == n) return true;
+    }
+  }
+  return false;
+}
+
+/// The last identifier of an operand chain read backwards from `pos`
+/// (exclusive): `a.when` -> "when", `h.sum()` -> "sum", `x` -> "x".
+std::string OperandIdentBackward(const std::string& line, size_t pos) {
+  size_t i = pos;
+  while (i > 0 && line[i - 1] == ' ') --i;
+  // Balance back over a trailing call `(...)`.
+  if (i > 0 && line[i - 1] == ')') {
+    int depth = 0;
+    while (i > 0) {
+      --i;
+      if (line[i] == ')') ++depth;
+      if (line[i] == '(') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+  }
+  size_t end = i;
+  while (i > 0 && IsIdentChar(line[i - 1])) --i;
+  return line.substr(i, end - i);
+}
+
+/// The last identifier of an operand chain read forwards from `pos`:
+/// `b.when` -> "when", `b.duration()` -> "duration", `0.0` -> "".
+std::string OperandIdentForward(const std::string& line, size_t pos,
+                                bool* is_float_literal) {
+  *is_float_literal = false;
+  size_t i = pos;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '-' ||
+                             line[i] == '+' || line[i] == '(')) {
+    ++i;
+  }
+  if (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+    // Number literal: float iff it has a '.' or exponent (and isn't hex).
+    const size_t start = i;
+    bool has_dot = false;
+    bool has_exp = false;
+    bool hex = i + 1 < line.size() && line[i] == '0' &&
+               (line[i + 1] == 'x' || line[i + 1] == 'X');
+    while (i < line.size() &&
+           (IsIdentChar(line[i]) || line[i] == '.' ||
+            ((line[i] == '+' || line[i] == '-') && i > start &&
+             (line[i - 1] == 'e' || line[i - 1] == 'E')))) {
+      if (line[i] == '.') has_dot = true;
+      if (!hex && (line[i] == 'e' || line[i] == 'E')) has_exp = true;
+      ++i;
+    }
+    *is_float_literal = !hex && (has_dot || has_exp);
+    return std::string();
+  }
+  std::string last;
+  while (i < line.size()) {
+    if (IsIdentChar(line[i])) {
+      size_t start = i;
+      while (i < line.size() && IsIdentChar(line[i])) ++i;
+      last = line.substr(start, i - start);
+      continue;
+    }
+    if (line[i] == '.' || (line[i] == '-' && i + 1 < line.size() &&
+                           line[i + 1] == '>')) {
+      i += line[i] == '.' ? 1 : 2;
+      continue;
+    }
+    break;
+  }
+  return last;
+}
+
+/// True when the operand ending just before `pos` is a float literal,
+/// e.g. `bytes == 0.0` checking the right side of `==` is handled by
+/// OperandIdentForward; this covers `0.0 == bytes`.
+bool FloatLiteralBackward(const std::string& line, size_t pos) {
+  size_t i = pos;
+  while (i > 0 && line[i - 1] == ' ') --i;
+  size_t end = i;
+  bool has_dot = false;
+  while (i > 0 && (IsIdentChar(line[i - 1]) || line[i - 1] == '.')) {
+    --i;
+    if (line[i] == '.') has_dot = true;
+  }
+  if (i == end) return false;
+  if (std::isdigit(static_cast<unsigned char>(line[i])) == 0) return false;
+  return has_dot || line.substr(i, end - i).find_first_of("eE") !=
+                        std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration collectors
+// ---------------------------------------------------------------------------
+
+/// Member/local names declared as std::unordered_{map,set} in this file.
+std::set<std::string> CollectUnorderedMembers(const FileText& text) {
+  std::set<std::string> members;
+  for (const std::string& line : text.code) {
+    if (line.find("unordered_map<") == std::string::npos &&
+        line.find("unordered_set<") == std::string::npos) {
+      continue;
+    }
+    // Declarations only: `std::unordered_map<K, V> name_;` — skip
+    // function signatures / parameters (they contain a '(').
+    if (line.find('(') != std::string::npos) continue;
+    const size_t semi = line.rfind(';');
+    if (semi == std::string::npos) continue;
+    size_t e = semi;
+    while (e > 0 && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+    size_t b = e;
+    while (b > 0 && IsIdentChar(line[b - 1])) --b;
+    if (b < e) members.insert(line.substr(b, e - b));
+  }
+  return members;
+}
+
+/// Names of functions declared/defined with a Status or Result<> return
+/// type anywhere in the file.
+void CollectStatusFunctions(const FileText& text,
+                            std::set<std::string>* names) {
+  for (const std::string& line : text.code) {
+    for (const char* ret : {"Status", "Result"}) {
+      size_t pos = FindWord(line, ret);
+      while (pos != std::string::npos) {
+        size_t p = pos + std::string(ret).size();
+        if (std::string(ret) == "Result") {
+          // Skip the template argument list `<T>`.
+          if (p >= line.size() || line[p] != '<') {
+            pos = FindWord(line, ret, pos + 1);
+            continue;
+          }
+          int depth = 0;
+          while (p < line.size()) {
+            if (line[p] == '<') ++depth;
+            if (line[p] == '>') {
+              --depth;
+              if (depth == 0) {
+                ++p;
+                break;
+              }
+            }
+            ++p;
+          }
+        }
+        while (p < line.size() && (line[p] == ' ' || line[p] == '&')) ++p;
+        size_t b = p;
+        while (p < line.size() && IsIdentChar(line[p])) ++p;
+        if (p > b && p < line.size() && line[p] == '(') {
+          const std::string name = line.substr(b, p - b);
+          // Constructors/factories named like the type are fine; also
+          // skip macro-ish all-caps names.
+          if (name != "Status" && name != "Result") names->insert(name);
+        }
+        pos = FindWord(line, ret, pos + 1);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct RuleContext {
+  const std::string& path;
+  const FileText& text;
+  const std::vector<std::set<std::string>>& allowed;
+  std::vector<Finding>* findings;
+
+  void Report(size_t line_index, const char* rule, std::string message) {
+    if (Suppressed(allowed, text.code, line_index, rule)) return;
+    findings->push_back(Finding{path, static_cast<int>(line_index) + 1, rule,
+                                std::move(message)});
+  }
+};
+
+void CheckWallClock(RuleContext& ctx) {
+  static const char* kPatterns[] = {
+      "system_clock",     "steady_clock", "high_resolution_clock",
+      "gettimeofday",     "clock_gettime", "timespec_get",
+      "QueryPerformanceCounter",
+  };
+  for (size_t i = 0; i < ctx.text.code.size(); ++i) {
+    const std::string& line = ctx.text.code[i];
+    for (const char* p : kPatterns) {
+      if (ContainsWord(line, p)) {
+        ctx.Report(i, "wall-clock",
+                   common::StrFormat("wall-clock source '%s' in simulation "
+                                     "code; use sim::Simulator::now()",
+                                     p));
+        break;
+      }
+    }
+    // Bare time()/clock() calls (member functions like busy_time() have
+    // an identifier character before the word and do not match).
+    for (const char* p : {"time", "clock"}) {
+      size_t pos = FindWord(line, p);
+      bool hit = false;
+      while (pos != std::string::npos) {
+        size_t q = pos + std::string(p).size();
+        const bool member =
+            pos >= 1 && (line[pos - 1] == '.' ||
+                         (pos >= 2 && line[pos - 2] == '-' &&
+                          line[pos - 1] == '>'));
+        if (!member && q < line.size() && line[q] == '(') {
+          hit = true;
+          break;
+        }
+        pos = FindWord(line, p, pos + 1);
+      }
+      if (hit) {
+        ctx.Report(i, "wall-clock",
+                   common::StrFormat("call to %s() in simulation code; use "
+                                     "sim::Simulator::now()",
+                                     p));
+      }
+    }
+  }
+}
+
+void CheckUnseededRng(RuleContext& ctx) {
+  static const char* kPatterns[] = {
+      "rand",        "srand",         "random_device",
+      "mt19937",     "mt19937_64",    "default_random_engine",
+      "minstd_rand", "random_shuffle", "drand48",
+  };
+  for (size_t i = 0; i < ctx.text.code.size(); ++i) {
+    const std::string& line = ctx.text.code[i];
+    for (const char* p : kPatterns) {
+      if (ContainsWord(line, p)) {
+        ctx.Report(i, "unseeded-rng",
+                   common::StrFormat("'%s' in simulation code; all "
+                                     "randomness must flow through a seeded "
+                                     "fela::common::Rng",
+                                     p));
+        break;
+      }
+    }
+  }
+}
+
+/// Joins code lines [start, end] into one string for multi-line matching.
+std::string JoinCode(const FileText& text, size_t start, size_t end) {
+  std::string out;
+  for (size_t i = start; i <= end && i < text.code.size(); ++i) {
+    out += text.code[i];
+    out += '\n';
+  }
+  return out;
+}
+
+void CheckUnorderedIter(RuleContext& ctx,
+                        const std::set<std::string>& members) {
+  if (members.empty()) return;
+  static const char* kEmitters[] = {
+      "Emit(",       "Record(",     "RecordLazy(",  "FELA_TRACE",
+      "Schedule(",   "ScheduleAt(", "Push(",        "push_back(",
+      "emplace_back(", "Append(",   "AddRow(",      "printf",
+      "<<",          "SendControl(", "Transfer(",   "deliver_grant",
+      "send_report", "send_request", "Increment(",  "Observe(",
+  };
+  const auto& code = ctx.text.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const size_t for_pos = FindWord(code[i], "for");
+    if (for_pos == std::string::npos) continue;
+    // Collect the parenthesized loop header, possibly spanning lines.
+    size_t line = i;
+    size_t pos = code[i].find('(', for_pos);
+    if (pos == std::string::npos) continue;
+    std::string header;
+    int depth = 0;
+    size_t body_line = line;
+    size_t body_col = 0;
+    bool closed = false;
+    while (line < code.size() && !closed) {
+      for (size_t c = line == i ? pos : 0; c < code[line].size(); ++c) {
+        const char ch = code[line][c];
+        if (ch == '(') ++depth;
+        if (ch == ')') {
+          --depth;
+          if (depth == 0) {
+            closed = true;
+            body_line = line;
+            body_col = c + 1;
+            break;
+          }
+        }
+        header += ch;
+      }
+      if (!closed) ++line;
+    }
+    if (!closed) continue;
+    // Range-for over a tracked member, or iterator loop on its begin().
+    bool over_member = false;
+    const size_t colon = header.find(':');
+    if (colon != std::string::npos && header.find("::") != colon &&
+        header.find(';') == std::string::npos) {
+      const std::string range = header.substr(colon + 1);
+      for (const auto& m : members) {
+        if (ContainsWord(range, m)) {
+          over_member = true;
+          break;
+        }
+      }
+    }
+    if (!over_member) {
+      for (const auto& m : members) {
+        if (header.find(m + ".begin(") != std::string::npos ||
+            header.find(m + ".cbegin(") != std::string::npos) {
+          over_member = true;
+          break;
+        }
+      }
+    }
+    if (!over_member) continue;
+    // Find the loop body: `{...}` or a single statement up to ';'.
+    size_t bl = body_line;
+    size_t bc = body_col;
+    while (bl < code.size()) {
+      while (bc < code[bl].size() &&
+             std::isspace(static_cast<unsigned char>(code[bl][bc]))) {
+        ++bc;
+      }
+      if (bc < code[bl].size()) break;
+      ++bl;
+      bc = 0;
+    }
+    if (bl >= code.size()) continue;
+    size_t end_line = bl;
+    if (code[bl][bc] == '{') {
+      int braces = 0;
+      bool done = false;
+      for (size_t l = bl; l < code.size() && !done; ++l) {
+        for (size_t c = l == bl ? bc : 0; c < code[l].size(); ++c) {
+          if (code[l][c] == '{') ++braces;
+          if (code[l][c] == '}') {
+            --braces;
+            if (braces == 0) {
+              end_line = l;
+              done = true;
+              break;
+            }
+          }
+        }
+      }
+    } else {
+      while (end_line < code.size() &&
+             code[end_line].find(';') == std::string::npos) {
+        ++end_line;
+      }
+    }
+    const std::string body = JoinCode(ctx.text, bl, end_line);
+    for (const char* e : kEmitters) {
+      if (body.find(e) != std::string::npos) {
+        ctx.Report(i, "unordered-iter",
+                   common::StrFormat(
+                       "iteration over unordered container emits output "
+                       "('%s'); iterate a sorted key snapshot instead",
+                       e));
+        break;
+      }
+    }
+  }
+}
+
+void CheckDiscardedStatus(RuleContext& ctx,
+                          const std::set<std::string>& status_fns) {
+  if (status_fns.empty()) return;
+  const auto& code = ctx.text.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string trimmed = Trim(code[i]);
+    if (trimmed.empty()) continue;
+    // Statement must start the line: optional `ns::` qualifiers, then a
+    // tracked name, then '('.
+    size_t p = 0;
+    std::string name;
+    while (p < trimmed.size()) {
+      size_t b = p;
+      while (p < trimmed.size() && IsIdentChar(trimmed[p])) ++p;
+      if (p == b) break;
+      name = trimmed.substr(b, p - b);
+      if (p + 1 < trimmed.size() && trimmed[p] == ':' &&
+          trimmed[p + 1] == ':') {
+        p += 2;
+        continue;
+      }
+      break;
+    }
+    if (name.empty() || status_fns.count(name) == 0) continue;
+    if (p >= trimmed.size() || trimmed[p] != '(') continue;
+    // Previous code line must end a statement (not an expression
+    // continuation or a return/assignment spanning lines).
+    size_t prev = i;
+    std::string prev_trimmed;
+    while (prev > 0) {
+      --prev;
+      prev_trimmed = Trim(code[prev]);
+      if (!prev_trimmed.empty()) break;
+    }
+    if (!prev_trimmed.empty()) {
+      const char last = prev_trimmed.back();
+      if (last != ';' && last != '{' && last != '}' && last != ':') continue;
+    }
+    // Balance parens from the call across lines; the statement discards
+    // the Status iff the matching ')' is immediately followed by ';'.
+    int depth = 0;
+    size_t l = i;
+    size_t c = code[i].find(trimmed.substr(p), 0);
+    c = code[i].find('(', code[i].find(name));
+    bool discarded = false;
+    bool done = false;
+    for (; l < code.size() && !done; ++l, c = 0) {
+      for (size_t k = c; k < code[l].size(); ++k) {
+        const char ch = code[l][k];
+        if (ch == '(') ++depth;
+        if (ch == ')') {
+          --depth;
+          if (depth == 0) {
+            size_t q = k + 1;
+            while (q < code[l].size() && code[l][q] == ' ') ++q;
+            // `.ok()` / `;` etc: only a bare `;` discards.
+            discarded = q < code[l].size() && code[l][q] == ';';
+            done = true;
+            break;
+          }
+        }
+      }
+    }
+    if (discarded) {
+      ctx.Report(i, "discarded-status",
+                 common::StrFormat("result of Status-returning '%s' is "
+                                   "discarded",
+                                   name.c_str()));
+    }
+  }
+}
+
+/// Identifiers declared with a floating-point type in this file
+/// (variables, members, and functions returning double/float/SimTime).
+std::set<std::string> CollectFloatIdents(const FileText& text) {
+  std::set<std::string> idents;
+  for (const std::string& line : text.code) {
+    for (const char* type : {"double", "float", "SimTime"}) {
+      size_t pos = FindWord(line, type);
+      while (pos != std::string::npos) {
+        size_t p = pos + std::string(type).size();
+        while (p < line.size() && (line[p] == ' ' || line[p] == '&' ||
+                                   line[p] == '*')) {
+          ++p;
+        }
+        size_t b = p;
+        while (p < line.size() && IsIdentChar(line[p])) ++p;
+        if (p > b) idents.insert(line.substr(b, p - b));
+        pos = FindWord(line, type, pos + 1);
+      }
+    }
+  }
+  return idents;
+}
+
+void CheckFloatEq(RuleContext& ctx) {
+  const std::set<std::string> floats = CollectFloatIdents(ctx.text);
+  const auto& code = ctx.text.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    for (size_t pos = 0; pos + 1 < line.size(); ++pos) {
+      const char a = line[pos];
+      const char b = line[pos + 1];
+      if (!((a == '=' && b == '=') || (a == '!' && b == '='))) continue;
+      // Skip <=, >=, ===-ish, != inside 'operator!=' declarations.
+      if (pos > 0 && (line[pos - 1] == '<' || line[pos - 1] == '>' ||
+                      line[pos - 1] == '=' || line[pos - 1] == '!')) {
+        continue;
+      }
+      if (pos + 2 < line.size() && line[pos + 2] == '=') continue;
+      if (pos >= 8 && line.compare(pos - 8, 8, "operator") == 0) continue;
+      const std::string left = OperandIdentBackward(line, pos);
+      bool right_literal = false;
+      const std::string right =
+          OperandIdentForward(line, pos + 2, &right_literal);
+      // Pointer/bool comparisons are fine even when the other operand's
+      // name shadows a float.
+      if (left == "nullptr" || right == "nullptr" || left == "true" ||
+          right == "true" || left == "false" || right == "false") {
+        continue;
+      }
+      const bool left_literal = FloatLiteralBackward(line, pos);
+      const bool left_float = !left.empty() && floats.count(left) > 0;
+      const bool right_float = !right.empty() && floats.count(right) > 0;
+      if (left_literal || right_literal || left_float || right_float) {
+        ctx.Report(i, "float-eq",
+                   common::StrFormat(
+                       "exact floating-point %s comparison ('%s' vs '%s')",
+                       a == '=' ? "==" : "!=",
+                       left_literal ? "<literal>" : left.c_str(),
+                       right_literal ? "<literal>" : right.c_str()));
+        pos += 2;
+      }
+    }
+  }
+}
+
+void CheckUntracedEvent(RuleContext& ctx) {
+  const auto& code = ctx.text.code;
+  // Track namespace depth so function definitions (at namespace scope,
+  // column 0 in this codebase's style) can be delimited by brace depth.
+  int depth = 0;
+  int ns_depth = 0;
+  size_t fn_start = 0;
+  bool in_fn = false;
+  bool has_trace = false;
+  int first_schedule = -1;
+  auto finish_fn = [&](size_t) {
+    if (first_schedule >= 0 && !has_trace) {
+      ctx.Report(static_cast<size_t>(first_schedule), "untraced-event",
+                 "Schedule()/ScheduleAt() in an engine hot path but the "
+                 "enclosing function records no FELA_TRACE");
+    }
+    in_fn = false;
+    has_trace = false;
+    first_schedule = -1;
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    const std::string trimmed = Trim(line);
+    const bool is_namespace = trimmed.rfind("namespace", 0) == 0;
+    if (!in_fn && depth == ns_depth && !trimmed.empty() &&
+        trimmed[0] != '#' && trimmed[0] != '}' && !is_namespace &&
+        line.find('(') != std::string::npos &&
+        trimmed.rfind("using", 0) != 0 && trimmed.rfind("static_assert", 0) !=
+            0) {
+      in_fn = true;
+      fn_start = i;
+      has_trace = false;
+      first_schedule = -1;
+    }
+    if (in_fn) {
+      if (line.find("FELA_TRACE") != std::string::npos) has_trace = true;
+      if (first_schedule < 0) {
+        for (const char* p : {"Schedule(", "ScheduleAt("}) {
+          const size_t pos = line.find(p);
+          if (pos != std::string::npos && pos > 0 &&
+              (line[pos - 1] == '.' || line[pos - 1] == '>')) {
+            first_schedule = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+    }
+    for (char c : line) {
+      if (c == '{') {
+        if (is_namespace && depth == ns_depth) ++ns_depth;
+        ++depth;
+      }
+      if (c == '}') {
+        --depth;
+        if (depth < ns_depth) ns_depth = depth;
+        if (in_fn && depth == ns_depth && i > fn_start) finish_fn(i);
+      }
+    }
+    if (in_fn && depth == ns_depth && !trimmed.empty() &&
+        trimmed.back() == ';' && i == fn_start &&
+        line.find('{') == std::string::npos) {
+      // A declaration, not a definition.
+      in_fn = false;
+    }
+  }
+  if (in_fn) finish_fn(code.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Scoping + file orchestration
+// ---------------------------------------------------------------------------
+
+bool RuleEnabled(const Options& options, const char* rule) {
+  return options.rules.empty() || options.rules.count(rule) > 0;
+}
+
+bool IsSimScoped(const std::vector<std::string>& parts) {
+  return HasComponent(parts, {"sim", "core", "baselines", "runtime"});
+}
+
+bool IsEngineScoped(const std::string& path,
+                    const std::vector<std::string>& parts) {
+  const bool cc = path.size() > 3 && (path.rfind(".cc") == path.size() - 3 ||
+                                      path.rfind(".cpp") == path.size() - 4);
+  return cc && HasComponent(parts, {"core", "baselines"});
+}
+
+std::string SiblingHeaderPath(const std::string& path) {
+  const size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return std::string();
+  const std::string ext = path.substr(dot);
+  if (ext != ".cc" && ext != ".cpp") return std::string();
+  return path.substr(0, dot) + ".h";
+}
+
+bool ReadFile(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *contents = ss.str();
+  return true;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() { return kRules; }
+
+bool IsKnownRule(const std::string& rule) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return rule == r.id; });
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& contents,
+                              const Options& options,
+                              const std::set<std::string>&
+                                  extra_unordered_members,
+                              const std::set<std::string>& status_functions) {
+  const FileText text = Preprocess(contents);
+  const std::vector<std::set<std::string>> allowed = ParseSuppressions(text);
+  const std::vector<std::string> parts = PathComponents(path);
+  std::vector<Finding> findings;
+  RuleContext ctx{path, text, allowed, &findings};
+
+  if (IsSimScoped(parts)) {
+    if (RuleEnabled(options, "wall-clock")) CheckWallClock(ctx);
+    if (RuleEnabled(options, "unseeded-rng")) CheckUnseededRng(ctx);
+    if (RuleEnabled(options, "float-eq")) CheckFloatEq(ctx);
+  }
+  if (RuleEnabled(options, "unordered-iter")) {
+    std::set<std::string> members = CollectUnorderedMembers(text);
+    members.insert(extra_unordered_members.begin(),
+                   extra_unordered_members.end());
+    CheckUnorderedIter(ctx, members);
+  }
+  if (RuleEnabled(options, "discarded-status")) {
+    std::set<std::string> fns = status_functions;
+    CollectStatusFunctions(text, &fns);
+    CheckDiscardedStatus(ctx, fns);
+  }
+  if (IsEngineScoped(path, parts) && RuleEnabled(options, "untraced-event")) {
+    CheckUntracedEvent(ctx);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+bool LintTree(const std::vector<std::string>& roots, const Options& options,
+              std::vector<Finding>* findings, std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) break;
+        if (!it->is_regular_file()) continue;
+        const std::string p = it->path().string();
+        const std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp") {
+          files.push_back(p);
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      if (error != nullptr) *error = "cannot read " + root;
+      return false;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // Pass 1: cross-file declaration collection.
+  std::set<std::string> status_fns;
+  std::map<std::string, std::set<std::string>> header_members;
+  std::map<std::string, std::string> loaded;
+  for (const std::string& f : files) {
+    std::string contents;
+    if (!ReadFile(f, &contents)) {
+      if (error != nullptr) *error = "cannot read " + f;
+      return false;
+    }
+    const FileText text = Preprocess(contents);
+    CollectStatusFunctions(text, &status_fns);
+    header_members[f] = CollectUnorderedMembers(text);
+    loaded[f] = std::move(contents);
+  }
+
+  // Pass 2: lint each file; a .cc inherits its sibling header's members.
+  findings->clear();
+  for (const std::string& f : files) {
+    std::set<std::string> extra;
+    const std::string sibling = SiblingHeaderPath(f);
+    if (!sibling.empty()) {
+      auto it = header_members.find(sibling);
+      if (it == header_members.end()) {
+        // The header may live outside the scanned roots.
+        std::string contents;
+        if (ReadFile(sibling, &contents)) {
+          extra = CollectUnorderedMembers(Preprocess(contents));
+        }
+      } else {
+        extra = it->second;
+      }
+    }
+    std::vector<Finding> file_findings =
+        LintFile(f, loaded[f], options, extra, status_fns);
+    findings->insert(findings->end(), file_findings.begin(),
+                     file_findings.end());
+  }
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return true;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  common::Json doc = common::Json::Object();
+  doc.Set("count", static_cast<int>(findings.size()));
+  common::Json arr = common::Json::Array();
+  for (const Finding& f : findings) {
+    common::Json row = common::Json::Object();
+    row.Set("file", f.file);
+    row.Set("line", f.line);
+    row.Set("rule", f.rule);
+    row.Set("message", f.message);
+    arr.Append(std::move(row));
+  }
+  doc.Set("findings", std::move(arr));
+  doc.SortKeysRecursive();
+  return doc.Dump(1);
+}
+
+std::string FindingsToTable(const std::vector<Finding>& findings) {
+  if (findings.empty()) return "fela-lint: clean\n";
+  common::TablePrinter table({"location", "rule", "message"});
+  for (const Finding& f : findings) {
+    table.AddRow({common::StrFormat("%s:%d", f.file.c_str(), f.line), f.rule,
+                  f.message});
+  }
+  return table.ToString() +
+         common::StrFormat("\nfela-lint: %zu finding(s)\n", findings.size());
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  std::string format = "table";
+  Options options;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "table" && format != "json") {
+        err << "fela-lint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::string rule;
+      for (char c : arg.substr(8) + ",") {
+        if (c == ',') {
+          if (!rule.empty()) {
+            if (!IsKnownRule(rule)) {
+              err << "fela-lint: unknown rule '" << rule << "'\n";
+              return 2;
+            }
+            options.rules.insert(rule);
+          }
+          rule.clear();
+        } else {
+          rule += c;
+        }
+      }
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& r : Rules()) {
+        out << r.id << ": " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      err << "fela-lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    err << "usage: fela-lint [--format=table|json] [--rules=a,b] "
+           "[--list-rules] <path>...\n";
+    return 2;
+  }
+  std::vector<Finding> findings;
+  std::string error;
+  if (!LintTree(paths, options, &findings, &error)) {
+    err << "fela-lint: " << error << "\n";
+    return 2;
+  }
+  out << (format == "json" ? FindingsToJson(findings)
+                           : FindingsToTable(findings));
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace fela::lint

@@ -1,0 +1,85 @@
+#ifndef FELA_LINT_LINT_H_
+#define FELA_LINT_LINT_H_
+
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fela::lint {
+
+/// One rule violation. `line` is 1-based; `rule` is the kebab-case rule
+/// id a suppression comment names: `// fela-lint: allow(<rule>) ...`.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return a.file == b.file && a.line == b.line && a.rule == b.rule &&
+           a.message == b.message;
+  }
+};
+
+/// Static metadata for one lint rule (drives --list-rules and the docs).
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// All rules, in reporting order. Rule ids:
+///   wall-clock       wall-clock time source in deterministic sim code
+///   unseeded-rng     unseeded/global randomness (only fela::common::Rng)
+///   unordered-iter   emitting iteration over an unordered container
+///   discarded-status discarded Status/Result return value
+///   float-eq         exact floating-point ==/!= in sim code
+///   untraced-event   FELA_TRACE-free event scheduling in engine hot paths
+const std::vector<RuleInfo>& Rules();
+
+/// True when `rule` names a known rule id.
+bool IsKnownRule(const std::string& rule);
+
+struct Options {
+  /// Rules to run; empty means all.
+  std::set<std::string> rules;
+};
+
+/// Lints a single file's `contents`. `path` is used both for reporting
+/// and for rule scoping (path components "sim", "core", "baselines",
+/// "runtime" mark simulation code). `extra_unordered_members` seeds the
+/// unordered-iter rule with member names declared elsewhere (the paired
+/// header); `status_functions` seeds discarded-status with the names of
+/// Status/Result-returning functions collected across the tree.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& contents,
+                              const Options& options,
+                              const std::set<std::string>&
+                                  extra_unordered_members = {},
+                              const std::set<std::string>& status_functions =
+                                  {});
+
+/// Walks `roots` (files or directories), lints every .h/.hpp/.cc/.cpp,
+/// and returns findings sorted by (file, line, rule). A two-pass scan:
+/// pass 1 collects Status-returning function names and per-header
+/// unordered members, pass 2 applies the rules. Returns false and fills
+/// `error` when a root cannot be read.
+bool LintTree(const std::vector<std::string>& roots, const Options& options,
+              std::vector<Finding>* findings, std::string* error);
+
+/// Machine-readable report: {"count":N,"findings":[{file,line,message,rule}]}
+/// with keys emitted in sorted order.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+/// Human-readable aligned table plus a one-line summary.
+std::string FindingsToTable(const std::vector<Finding>& findings);
+
+/// The fela-lint command line:
+///   fela-lint [--format=table|json] [--rules=a,b] [--list-rules] <path>...
+/// Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace fela::lint
+
+#endif  // FELA_LINT_LINT_H_

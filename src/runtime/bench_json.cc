@@ -32,6 +32,9 @@ common::Json BenchReport::ToJson() const {
   common::Json doc = common::Json::Object();
   doc.Set("bench", name_);
   doc.Set("results", results_);
+  // Canonical sorted key order: two exports of the same results are
+  // byte-identical regardless of row-member insertion order.
+  doc.SortKeysRecursive();
   return doc;
 }
 

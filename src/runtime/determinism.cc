@@ -1,0 +1,119 @@
+#include "runtime/determinism.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+#include "runtime/attribution.h"
+
+namespace fela::runtime {
+namespace {
+
+void AppendLine(std::string* out, const char* key, const std::string& value) {
+  *out += key;
+  *out += '=';
+  *out += value;
+  *out += '\n';
+}
+
+std::string Num(double v) { return common::StrFormat("%.17g", v); }
+std::string Count(uint64_t v) {
+  return common::StrFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+std::string DeterminismTranscript(const ExperimentResult& result) {
+  std::string out;
+  AppendLine(&out, "engine", result.engine_name);
+  AppendLine(&out, "stalled", result.stats.stalled ? "true" : "false");
+  AppendLine(&out, "total_time", Num(result.stats.total_time));
+  AppendLine(&out, "total_data_bytes", Num(result.stats.total_data_bytes));
+  AppendLine(&out, "total_gpu_busy", Num(result.stats.total_gpu_busy));
+  AppendLine(&out, "control_messages", Count(result.stats.control_messages));
+  AppendLine(&out, "average_throughput", Num(result.average_throughput));
+  AppendLine(&out, "gpu_utilization", Num(result.gpu_utilization));
+  const FaultStats& f = result.stats.faults;
+  AppendLine(&out, "faults.crashes", Count(f.crashes));
+  AppendLine(&out, "faults.recoveries", Count(f.recoveries));
+  AppendLine(&out, "faults.control_dropped", Count(f.control_dropped));
+  AppendLine(&out, "faults.control_duplicated", Count(f.control_duplicated));
+  AppendLine(&out, "faults.tokens_reclaimed", Count(f.tokens_reclaimed));
+  AppendLine(&out, "faults.regrants", Count(f.regrants));
+  AppendLine(&out, "faults.request_retries", Count(f.request_retries));
+  AppendLine(&out, "faults.duplicate_reports", Count(f.duplicate_reports));
+  AppendLine(&out, "faults.readmissions", Count(f.readmissions));
+  AppendLine(&out, "faults.recovery_latency_total",
+             Num(f.recovery_latency_total));
+  for (size_t i = 0; i < result.stats.iterations.size(); ++i) {
+    const IterationStats& it = result.stats.iterations[i];
+    out += common::StrFormat("iteration[%zu]=%s..%s\n", i,
+                             Num(it.start).c_str(), Num(it.end).c_str());
+  }
+  if (result.observed) {
+    out += "--- metrics ---\n";
+    out += result.metrics.ToCsv();
+    out += "--- attribution ---\n";
+    out += obs::AttributionToJson(result.attribution).Dump(1);
+    out += '\n';
+    out += "--- chrome_trace ---\n";
+    out += result.chrome_trace;
+    out += '\n';
+  }
+  return out;
+}
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (const char c : data) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string DeterminismReport::ToString() const {
+  if (deterministic) {
+    return common::StrFormat("deterministic hash=%016llx",
+                             static_cast<unsigned long long>(hash_first));
+  }
+  return common::StrFormat(
+      "DIVERGED at transcript line %d: first run %s | second run %s",
+      divergence_line, line_first.c_str(), line_second.c_str());
+}
+
+DeterminismReport VerifyDeterminism(const ExperimentSpec& spec,
+                                    const EngineFactory& engine_factory,
+                                    const StragglerFactory& straggler_factory,
+                                    const FaultFactory& fault_factory) {
+  ExperimentSpec observed = spec;
+  observed.observe = true;
+  const std::string first = DeterminismTranscript(
+      RunExperiment(observed, engine_factory, straggler_factory,
+                    fault_factory));
+  const std::string second = DeterminismTranscript(
+      RunExperiment(observed, engine_factory, straggler_factory,
+                    fault_factory));
+
+  DeterminismReport report;
+  report.hash_first = Fnv1a64(first);
+  report.hash_second = Fnv1a64(second);
+  report.deterministic = first == second;
+  if (report.deterministic) return report;
+
+  const std::vector<std::string> a = common::Split(first, '\n');
+  const std::vector<std::string> b = common::Split(second, '\n');
+  const size_t n = std::max(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const std::string* la = i < a.size() ? &a[i] : nullptr;
+    const std::string* lb = i < b.size() ? &b[i] : nullptr;
+    if (la != nullptr && lb != nullptr && *la == *lb) continue;
+    report.divergence_line = static_cast<int>(i) + 1;
+    report.line_first = la != nullptr ? *la : "<end of transcript>";
+    report.line_second = lb != nullptr ? *lb : "<end of transcript>";
+    break;
+  }
+  return report;
+}
+
+}  // namespace fela::runtime

@@ -1,0 +1,50 @@
+#ifndef FELA_RUNTIME_DETERMINISM_H_
+#define FELA_RUNTIME_DETERMINISM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/experiment.h"
+
+namespace fela::runtime {
+
+/// Canonical textual form of everything a run produced: engine name,
+/// RunStats scalars at full precision (%.17g), fault counters, every
+/// iteration boundary, the metrics CSV, the attribution JSON, and the
+/// serialized Chrome trace. Two runs are *deterministic* iff their
+/// transcripts are byte-identical — this is the determinism-hash
+/// definition DESIGN.md §8 references. Requires an observed result
+/// (`spec.observe = true`) so spans/trace/metrics are populated.
+std::string DeterminismTranscript(const ExperimentResult& result);
+
+/// FNV-1a 64-bit hash (the transcript fingerprint reported by benches).
+uint64_t Fnv1a64(const std::string& data);
+
+/// Outcome of a run-twice determinism check.
+struct DeterminismReport {
+  bool deterministic = false;
+  uint64_t hash_first = 0;
+  uint64_t hash_second = 0;
+  /// On mismatch: 1-based line of the first transcript divergence plus
+  /// both differing lines ("<end of transcript>" when one ran longer).
+  int divergence_line = 0;
+  std::string line_first;
+  std::string line_second;
+
+  /// One-line human summary ("deterministic hash=..." or "DIVERGED ...").
+  std::string ToString() const;
+};
+
+/// Runs the experiment twice with identical inputs (observe forced on)
+/// and compares the two transcripts. Every run of a correctly
+/// deterministic engine must produce `deterministic == true`; the first
+/// divergent transcript line pinpoints the earliest observable
+/// difference when it does not.
+DeterminismReport VerifyDeterminism(
+    const ExperimentSpec& spec, const EngineFactory& engine_factory,
+    const StragglerFactory& straggler_factory,
+    const FaultFactory& fault_factory = nullptr);
+
+}  // namespace fela::runtime
+
+#endif  // FELA_RUNTIME_DETERMINISM_H_

@@ -43,6 +43,8 @@ class EventQueue {
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
+      // fela-lint: allow(float-eq) exact compare is the point: only
+      // bit-identical times fall through to the insertion-order tie-break.
       if (a.when != b.when) return a.when > b.when;
       return a.id > b.id;
     }

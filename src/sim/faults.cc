@@ -54,6 +54,7 @@ SimTime FaultSchedule::NextUpAfter(SimTime t, int worker) const {
   SimTime cur = t;
   while (true) {
     const SimTime next = NextTransitionAfter(cur);
+    // fela-lint: allow(float-eq) kNeverTime is an exact sentinel.
     if (next == kNeverTime || next <= cur) return kNeverTime;
     if (!IsDownAt(next, worker)) return next;
     cur = next;
@@ -277,6 +278,7 @@ void FaultMonitor::Stop() {
 
 void FaultMonitor::ScheduleNext(SimTime after) {
   const SimTime next = faults_->NextTransitionAfter(after);
+  // fela-lint: allow(float-eq) kNeverTime is an exact sentinel.
   if (next == kNeverTime) return;
   pending_ = sim_->ScheduleAt(next, [this] {
     pending_ = kInvalidEventId;

@@ -1,0 +1,135 @@
+// Run-twice determinism for every engine: the same spec (same seed)
+// must reproduce the full transcript — every iteration boundary, every
+// metric, the attribution report, and the serialized Chrome trace —
+// byte for byte. A failure pinpoints the first divergent line, which is
+// the earliest observable nondeterminism in the event stream.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "model/zoo.h"
+#include "runtime/determinism.h"
+#include "sim/faults.h"
+#include "suite/suite.h"
+
+namespace fela::runtime {
+namespace {
+
+ExperimentSpec SmallSpec() {
+  ExperimentSpec spec;
+  spec.total_batch = 256;
+  spec.iterations = 4;
+  spec.num_workers = 8;
+  return spec;
+}
+
+void ExpectDeterministic(const EngineFactory& factory,
+                         const StragglerFactory& stragglers,
+                         const FaultFactory& faults = nullptr) {
+  const DeterminismReport report =
+      VerifyDeterminism(SmallSpec(), factory, stragglers, faults);
+  EXPECT_TRUE(report.deterministic) << report.ToString();
+  EXPECT_EQ(report.hash_first, report.hash_second);
+  EXPECT_NE(report.hash_first, 0u);
+}
+
+TEST(DeterminismTest, FelaEngine) {
+  const model::Model m = model::zoo::GoogLeNet();
+  ExpectDeterministic(
+      suite::FelaFactory(m, core::FelaConfig::Defaults(3, 8)),
+      NoStragglerFactory());
+}
+
+TEST(DeterminismTest, DpEngine) {
+  const model::Model m = model::zoo::Vgg19();
+  ExpectDeterministic(suite::DpFactory(m), NoStragglerFactory());
+}
+
+TEST(DeterminismTest, PsDpEngine) {
+  const model::Model m = model::zoo::Vgg19();
+  ExpectDeterministic(suite::PsDpFactory(m), NoStragglerFactory());
+}
+
+TEST(DeterminismTest, MpEngine) {
+  const model::Model m = model::zoo::Vgg19();
+  ExpectDeterministic(suite::MpFactory(m), NoStragglerFactory());
+}
+
+TEST(DeterminismTest, HpEngine) {
+  const model::Model m = model::zoo::GoogLeNet();
+  ExpectDeterministic(suite::HpFactory(m), NoStragglerFactory());
+}
+
+TEST(DeterminismTest, ElasticMpEngine) {
+  const model::Model m = model::zoo::Vgg19();
+  ExpectDeterministic(suite::ElasticMpFactory(m), NoStragglerFactory());
+}
+
+TEST(DeterminismTest, FelaWithStragglersAndFaults) {
+  // The hard case: seeded random stragglers, seeded random crashes, and
+  // a lossy control plane all replay identically run to run.
+  const model::Model m = model::zoo::GoogLeNet();
+  const StragglerFactory stragglers = [](int) {
+    return std::make_unique<sim::ProbabilityStragglers>(
+        /*probability=*/0.3, /*delay_sec=*/0.05, /*seed=*/42);
+  };
+  const FaultFactory faults = [](int n) {
+    auto composite = std::make_unique<sim::CompositeFaults>(
+        [] {
+          std::vector<std::unique_ptr<sim::FaultSchedule>> parts;
+          parts.push_back(std::make_unique<sim::RandomCrashes>(
+              /*num_workers=*/8, /*crash_prob=*/0.2, /*window_sec=*/2.0,
+              /*down_sec=*/0.5, /*seed=*/7));
+          parts.push_back(std::make_unique<sim::LossyControlPlane>(
+              /*drop_prob=*/0.05, /*dup_prob=*/0.05, /*seed=*/11));
+          return parts;
+        }());
+    (void)n;
+    return composite;
+  };
+  ExpectDeterministic(
+      suite::FelaFactory(m, core::FelaConfig::Defaults(3, 8)), stragglers,
+      faults);
+}
+
+TEST(DeterminismTest, TranscriptHashIsStableAcrossCalls) {
+  const model::Model m = model::zoo::Vgg19();
+  const ExperimentSpec spec = SmallSpec();
+  ExperimentSpec observed = spec;
+  observed.observe = true;
+  const ExperimentResult result = RunExperiment(
+      observed, suite::DpFactory(m), NoStragglerFactory());
+  const std::string t1 = DeterminismTranscript(result);
+  const std::string t2 = DeterminismTranscript(result);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(Fnv1a64(t1), Fnv1a64(t2));
+  // The transcript carries the run's substance, not just headers.
+  EXPECT_NE(t1.find("engine="), std::string::npos);
+  EXPECT_NE(t1.find("iteration[0]="), std::string::npos);
+  EXPECT_NE(t1.find("--- chrome_trace ---"), std::string::npos);
+}
+
+TEST(DeterminismTest, DivergenceReportingPinpointsFirstDiff) {
+  ExperimentResult a;
+  a.engine_name = "X";
+  a.stats.total_time = 1.0;
+  ExperimentResult b = a;
+  b.stats.total_time = 2.0;
+  const std::string ta = DeterminismTranscript(a);
+  const std::string tb = DeterminismTranscript(b);
+  EXPECT_NE(ta, tb);
+  EXPECT_NE(Fnv1a64(ta), Fnv1a64(tb));
+  // total_time is the third transcript line (engine, stalled, total_time).
+  DeterminismReport report;
+  report.deterministic = false;
+  report.divergence_line = 3;
+  report.line_first = "total_time=1";
+  report.line_second = "total_time=2";
+  const std::string s = report.ToString();
+  EXPECT_NE(s.find("DIVERGED"), std::string::npos);
+  EXPECT_NE(s.find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fela::runtime

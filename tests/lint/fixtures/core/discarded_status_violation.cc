@@ -1,0 +1,14 @@
+// fela-lint fixture: the discarded-status rule must fire on line 9 (the
+// bare DoWork() call) and nowhere else in this file.
+namespace fela::fixture {
+
+common::Status DoWork();
+
+void Caller() {
+  int kept = 0;
+  DoWork();
+  kept += 1;
+  if (!DoWork().ok()) kept -= 1;
+}
+
+}  // namespace fela::fixture

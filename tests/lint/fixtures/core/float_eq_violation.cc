@@ -1,0 +1,13 @@
+// fela-lint fixture: the float-eq rule must fire on line 6 (the exact
+// double comparison) and nowhere else in this file.
+namespace fela::fixture {
+
+bool SameTime(double a, double b) {
+  return a == b;
+}
+
+bool SameCount(int a_count, int b_count) {
+  return a_count == b_count;
+}
+
+}  // namespace fela::fixture

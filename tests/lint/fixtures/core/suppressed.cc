@@ -1,0 +1,46 @@
+// fela-lint fixture: one violation per rule, every one suppressed with
+// `fela-lint: allow(<rule>)` — the whole file must lint clean, proving
+// both same-line and preceding-comment-line suppression placement.
+#include <unordered_set>
+
+namespace fela::fixture {
+
+struct Sim {
+  void Schedule(double delay, int payload);
+};
+
+common::Status Tidy();
+
+// fela-lint: allow(wall-clock) fixture: suppression on preceding line
+double Wall() { return clock(); }
+
+int Draw() {
+  return rand();  // fela-lint: allow(unseeded-rng) fixture: same line
+}
+
+class Quiet {
+ public:
+  void EmitAll() {
+    // fela-lint: allow(unordered-iter) fixture
+    for (int id : held_) Emit(id);
+  }
+
+ private:
+  void Emit(int id);
+  std::unordered_set<int> held_;
+};
+
+void Caller() {
+  Tidy();  // fela-lint: allow(discarded-status) fixture
+}
+
+bool SameTime(double a, double b) {
+  return a == b;  // fela-lint: allow(float-eq) fixture
+}
+
+void Silent(Sim* sim_) {
+  // fela-lint: allow(untraced-event) fixture
+  sim_->Schedule(0.0, 0);
+}
+
+}  // namespace fela::fixture

@@ -1,0 +1,23 @@
+// fela-lint fixture: the unordered-iter rule must fire on line 10 (the
+// range-for whose body emits) and nowhere else in this file.
+#include <unordered_set>
+
+namespace fela::fixture {
+
+class Holder {
+ public:
+  void EmitAll() {
+    for (int id : held_) {
+      Emit(id);
+    }
+  }
+
+  /// Membership tests over the same member are fine.
+  bool Has(int id) const { return held_.count(id) > 0; }
+
+ private:
+  void Emit(int id);
+  std::unordered_set<int> held_;
+};
+
+}  // namespace fela::fixture

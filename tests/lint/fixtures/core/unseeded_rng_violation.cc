@@ -1,0 +1,10 @@
+// fela-lint fixture: the unseeded-rng rule must fire on line 6 (the
+// global mt19937) and nowhere else in this file.
+namespace fela::fixture {
+
+int Draw() {
+  static std::mt19937 generator;
+  return static_cast<int>(generator());
+}
+
+}  // namespace fela::fixture

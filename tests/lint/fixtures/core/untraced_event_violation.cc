@@ -1,0 +1,19 @@
+// fela-lint fixture: the untraced-event rule must fire on line 11 (the
+// Schedule call in a FELA_TRACE-free function) and nowhere else.
+namespace fela::fixture {
+
+struct Sim {
+  void Schedule(double delay, int payload);
+};
+
+void Kick(Sim* sim_) {
+  int payload = 7;
+  sim_->Schedule(0.0, payload);
+}
+
+void TracedKick(Sim* sim_) {
+  FELA_TRACE(trace_, 0.0, 0, kind, "kick");
+  sim_->Schedule(0.0, 0);
+}
+
+}  // namespace fela::fixture

@@ -1,0 +1,9 @@
+// fela-lint fixture: the wall-clock rule must fire on line 6 (the
+// system_clock read) and nowhere else in this file.
+namespace fela::fixture {
+
+double Now() {
+  return static_cast<double>(std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fela::fixture

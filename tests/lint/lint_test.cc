@@ -1,0 +1,212 @@
+// fela-lint's own test suite: every rule fires on its fixture at the
+// documented line, suppressions silence it, the CLI exit codes follow
+// the 0/1/2 contract, and the real src/ tree scan is representable.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/json.h"
+#include "lint/lint.h"
+
+namespace fela::lint {
+namespace {
+
+#ifndef FELA_LINT_FIXTURE_DIR
+#error "build must define FELA_LINT_FIXTURE_DIR"
+#endif
+
+const char* const kFixtureDir = FELA_LINT_FIXTURE_DIR;
+
+std::vector<Finding> LintFixtures() {
+  std::vector<Finding> findings;
+  std::string error;
+  EXPECT_TRUE(LintTree({kFixtureDir}, Options{}, &findings, &error)) << error;
+  return findings;
+}
+
+const Finding* FindByRule(const std::vector<Finding>& findings,
+                          const std::string& rule) {
+  const auto it =
+      std::find_if(findings.begin(), findings.end(),
+                   [&](const Finding& f) { return f.rule == rule; });
+  return it == findings.end() ? nullptr : &*it;
+}
+
+TEST(LintRulesTest, EveryRuleFiresExactlyOnceOnItsFixture) {
+  const std::vector<Finding> findings = LintFixtures();
+  ASSERT_EQ(findings.size(), 6u);
+
+  struct Expected {
+    const char* rule;
+    const char* file_suffix;
+    int line;
+  };
+  const Expected expected[] = {
+      {"wall-clock", "core/wall_clock_violation.cc", 6},
+      {"unseeded-rng", "core/unseeded_rng_violation.cc", 6},
+      {"unordered-iter", "core/unordered_iter_violation.cc", 10},
+      {"discarded-status", "core/discarded_status_violation.cc", 9},
+      {"float-eq", "core/float_eq_violation.cc", 6},
+      {"untraced-event", "core/untraced_event_violation.cc", 11},
+  };
+  for (const Expected& e : expected) {
+    const Finding* f = FindByRule(findings, e.rule);
+    ASSERT_NE(f, nullptr) << e.rule << " did not fire";
+    EXPECT_TRUE(f->file.size() >= strlen(e.file_suffix) &&
+                f->file.compare(f->file.size() - strlen(e.file_suffix),
+                                strlen(e.file_suffix), e.file_suffix) == 0)
+        << e.rule << " fired in " << f->file;
+    EXPECT_EQ(f->line, e.line) << e.rule;
+  }
+}
+
+TEST(LintRulesTest, SuppressedFixtureIsClean) {
+  std::vector<Finding> findings;
+  std::string error;
+  ASSERT_TRUE(LintTree({std::string(kFixtureDir) + "/core/suppressed.cc"},
+                       Options{}, &findings, &error))
+      << error;
+  EXPECT_TRUE(findings.empty())
+      << findings.size() << " finding(s), first: " << findings[0].rule;
+}
+
+TEST(LintRulesTest, RuleFilterRestrictsFindings) {
+  Options options;
+  options.rules.insert("float-eq");
+  std::vector<Finding> findings;
+  std::string error;
+  ASSERT_TRUE(LintTree({kFixtureDir}, options, &findings, &error)) << error;
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "float-eq");
+}
+
+TEST(LintRulesTest, FindingsAreSortedByFileLineRule) {
+  const std::vector<Finding> findings = LintFixtures();
+  for (size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_LE(std::tie(findings[i - 1].file, findings[i - 1].line),
+              std::tie(findings[i].file, findings[i].line));
+  }
+}
+
+TEST(LintFileTest, SameLineSuppressionOnlyCoversNamedRule) {
+  const std::string path = "src/core/synthetic.cc";
+  const std::string src =
+      "namespace f {\n"
+      "bool Cmp(double a, double b) {\n"
+      "  return a == b;  // fela-lint: allow(wall-clock) wrong rule\n"
+      "}\n"
+      "}\n";
+  const std::vector<Finding> findings = LintFile(path, src, Options{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "float-eq");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintFileTest, PatternsInsideStringsAndCommentsDoNotFire) {
+  const std::string path = "src/sim/synthetic.cc";
+  const std::string src =
+      "namespace f {\n"
+      "// rand() and system_clock in a comment are fine\n"
+      "const char* kMsg = \"rand() system_clock mt19937\";\n"
+      "/* block comment: random_device */\n"
+      "}\n";
+  EXPECT_TRUE(LintFile(path, src, Options{}).empty());
+}
+
+TEST(LintFileTest, ScopingLimitsSimRulesToSimPaths) {
+  // The same float comparison: flagged under src/core, ignored in a
+  // bench file (sim-scoped rules only apply to sim|core|baselines|runtime).
+  const std::string src =
+      "namespace f {\n"
+      "bool Cmp(double a, double b) { return a == b; }\n"
+      "}\n";
+  EXPECT_EQ(LintFile("src/core/x.cc", src, Options{}).size(), 1u);
+  EXPECT_TRUE(LintFile("bench/x.cc", src, Options{}).empty());
+}
+
+TEST(LintFileTest, SeededRngClassIsNotFlagged) {
+  const std::string src =
+      "#include \"common/rng.h\"\n"
+      "namespace f {\n"
+      "double Draw(fela::common::Rng& rng) { return rng.Uniform(); }\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/sim/x.cc", src, Options{}).empty());
+}
+
+TEST(LintFileTest, NullptrComparisonAgainstFloatNameIsNotFlagged) {
+  const std::string src =
+      "namespace f {\n"
+      "bool Check(const double* p) { return p != nullptr; }\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/sim/x.cc", src, Options{}).empty());
+}
+
+TEST(LintJsonTest, JsonReportParsesAndMatchesFindings) {
+  const std::vector<Finding> findings = LintFixtures();
+  const std::string json = FindingsToJson(findings);
+  common::Json doc;
+  std::string error;
+  ASSERT_TRUE(common::Json::Parse(json, &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.Find("count"), nullptr);
+  EXPECT_EQ(static_cast<size_t>(doc.Find("count")->number_value()),
+            findings.size());
+  ASSERT_NE(doc.Find("findings"), nullptr);
+  ASSERT_EQ(doc.Find("findings")->size(), findings.size());
+  const common::Json& first = doc.Find("findings")->at(0);
+  EXPECT_EQ(first.Find("rule")->string_value(), findings[0].rule);
+  EXPECT_EQ(static_cast<int>(first.Find("line")->number_value()),
+            findings[0].line);
+}
+
+TEST(LintCliTest, ExitCodesFollowContract) {
+  std::ostringstream out;
+  std::ostringstream err;
+  // 1: findings reported.
+  EXPECT_EQ(RunCli({kFixtureDir}, out, err), 1);
+  // 0: clean tree (the suppressed fixture alone).
+  EXPECT_EQ(RunCli({std::string(kFixtureDir) + "/core/suppressed.cc"}, out,
+                   err),
+            0);
+  // 0: --list-rules.
+  EXPECT_EQ(RunCli({"--list-rules"}, out, err), 0);
+  // 2: no paths.
+  EXPECT_EQ(RunCli({}, out, err), 2);
+  // 2: unknown rule / unknown format / unknown flag / unreadable path.
+  EXPECT_EQ(RunCli({"--rules=bogus", kFixtureDir}, out, err), 2);
+  EXPECT_EQ(RunCli({"--format=xml", kFixtureDir}, out, err), 2);
+  EXPECT_EQ(RunCli({"--frobnicate", kFixtureDir}, out, err), 2);
+  EXPECT_EQ(RunCli({"/nonexistent/fela/path"}, out, err), 2);
+}
+
+TEST(LintCliTest, TableOutputNamesEveryRule) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(RunCli({"--format=table", kFixtureDir}, out, err), 1);
+  const std::string table = out.str();
+  for (const RuleInfo& r : Rules()) {
+    EXPECT_NE(table.find(r.id), std::string::npos) << r.id;
+  }
+  EXPECT_NE(table.find("6 finding(s)"), std::string::npos);
+}
+
+TEST(LintCliTest, ListRulesCoversAllSix) {
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(RunCli({"--list-rules"}, out, err), 0);
+  EXPECT_EQ(Rules().size(), 6u);
+  for (const RuleInfo& r : Rules()) {
+    EXPECT_NE(out.str().find(r.id), std::string::npos) << r.id;
+    EXPECT_TRUE(IsKnownRule(r.id));
+  }
+  EXPECT_FALSE(IsKnownRule("not-a-rule"));
+}
+
+}  // namespace
+}  // namespace fela::lint
