@@ -9,18 +9,21 @@ namespace fela::sim {
 EventId EventQueue::Push(SimTime when, std::function<void()> fn) {
   const EventId id = next_id_++;
   heap_.push(Event{when, id, std::move(fn)});
+  pending_.insert(id);
   ++size_;
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) return false;
-  // We cannot search the heap; mark and lazily drop. If the id already
-  // fired, the mark is harmless garbage we bound by erasing on pop.
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  if (!inserted) return false;
-  if (size_ > 0) --size_;
+  // Only a pending (un-fired, un-cancelled) id is cancellable. An id
+  // that already fired or was already cancelled must be rejected: the
+  // old mark-blindly path decremented size_ for fired ids, making
+  // empty() report true with events still in the heap (a popped run
+  // ends early), and left the stale mark in cancelled_ forever.
+  if (pending_.erase(id) == 0) return false;
+  // We cannot search the heap; mark and lazily drop on pop.
+  cancelled_.insert(id);
+  --size_;
   return true;
 }
 
@@ -46,6 +49,7 @@ std::pair<SimTime, std::function<void()>> EventQueue::Pop() {
   // priority_queue::top() is const; move out via const_cast, then pop.
   Event& top = const_cast<Event&>(heap_.top());
   std::pair<SimTime, std::function<void()>> out{top.when, std::move(top.fn)};
+  pending_.erase(top.id);
   heap_.pop();
   --size_;
   return out;

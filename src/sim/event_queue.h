@@ -54,6 +54,7 @@ class EventQueue {
   void SkipCancelled();
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> pending_;  // pushed, not yet fired or cancelled
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
   size_t size_ = 0;  // live (non-cancelled) events

@@ -73,6 +73,37 @@ TEST(EventQueueTest, DoubleCancelFails) {
   EXPECT_FALSE(q.Cancel(id));
 }
 
+// Regression: cancelling an id that already fired used to decrement
+// size_ (empty() reported true with events still queued, so a Run()
+// loop dropped them) and leak the id in the cancelled set forever. The
+// cancel must be rejected and the pending event must stay poppable.
+TEST(EventQueueTest, CancelAfterFireFailsAndPreservesPendingEvents) {
+  EventQueue q;
+  EventId a = q.Push(1.0, [] {});
+  bool b_fired = false;
+  q.Push(2.0, [&] { b_fired = true; });
+  q.Pop().second();  // fires a
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.size(), 1u);
+  q.Pop().second();
+  EXPECT_TRUE(b_fired);
+  EXPECT_TRUE(q.empty());
+}
+
+// The same corruption repeated: every stale cancel used to eat one live
+// event's worth of size_, so a handful of late cancels could zero out
+// an arbitrarily full queue.
+TEST(EventQueueTest, RepeatedStaleCancelsNeverAffectSize) {
+  EventQueue q;
+  std::vector<EventId> fired_ids;
+  for (int i = 0; i < 4; ++i) fired_ids.push_back(q.Push(1.0, [] {}));
+  for (int i = 0; i < 4; ++i) q.Pop().second();
+  for (int i = 0; i < 16; ++i) q.Push(2.0, [] {});
+  for (EventId id : fired_ids) EXPECT_FALSE(q.Cancel(id));
+  EXPECT_EQ(q.size(), 16u);
+}
+
 TEST(EventQueueTest, SizeTracksLiveEvents) {
   EventQueue q;
   EventId a = q.Push(1.0, [] {});

@@ -73,6 +73,25 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
+// Regression for the lost-event hang: a callback cancelling an
+// already-fired handle (e.g. a timer cleanup racing its own firing)
+// used to corrupt the queue's live count, ending Run() with events
+// still pending — downstream the run "completed" with iterations
+// missing.
+TEST(SimulatorTest, CancelOfFiredEventDoesNotEndRunEarly) {
+  Simulator sim;
+  std::vector<int> fired;
+  EventId first = sim.Schedule(1.0, [&] { fired.push_back(1); });
+  sim.Schedule(2.0, [&sim, &fired, first] {
+    fired.push_back(2);
+    EXPECT_FALSE(sim.Cancel(first));  // `first` fired at t=1
+  });
+  sim.Schedule(3.0, [&] { fired.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(sim.idle());
+}
+
 TEST(SimulatorTest, EventsProcessedCounter) {
   Simulator sim;
   for (int i = 0; i < 5; ++i) sim.Schedule(i, [] {});
