@@ -8,6 +8,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <queue>
+#include <unordered_set>
 
 #include "core/fela_engine.h"
 #include "core/token_bucket.h"
@@ -21,10 +24,76 @@ namespace {
 
 using namespace fela;
 
-void BM_EventQueuePushPop(benchmark::State& state) {
+// The pre-slab EventQueue (priority_queue of std::function events plus
+// two unordered_sets for cancel bookkeeping), kept verbatim as the
+// before/after baseline for the slab + generation-tag rework. The BENCH
+// baseline pins the comparison: BM_EventQueue* must beat BM_Legacy* by
+// >= 2x on the push/pop path.
+class LegacyEventQueue {
+ public:
+  sim::EventId Push(sim::SimTime when, std::function<void()> fn) {
+    const sim::EventId id = next_id_++;
+    heap_.push(Event{when, id, std::move(fn)});
+    pending_.insert(id);
+    ++size_;
+    return id;
+  }
+
+  bool Cancel(sim::EventId id) {
+    if (pending_.erase(id) == 0) return false;
+    cancelled_.insert(id);
+    --size_;
+    return true;
+  }
+
+  bool empty() const { return size_ == 0; }
+
+  std::pair<sim::SimTime, std::function<void()>> Pop() {
+    SkipCancelled();
+    Event& top = const_cast<Event&>(heap_.top());
+    std::pair<sim::SimTime, std::function<void()>> out{top.when,
+                                                       std::move(top.fn)};
+    pending_.erase(top.id);
+    heap_.pop();
+    --size_;
+    return out;
+  }
+
+ private:
+  struct Event {
+    sim::SimTime when;
+    sim::EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      // fela-lint: allow(float-eq) exact compare: insertion-order tie-break.
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled() {
+    while (!heap_.empty()) {
+      auto found = cancelled_.find(heap_.top().id);
+      if (found == cancelled_.end()) return;
+      cancelled_.erase(found);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<sim::EventId> pending_;
+  std::unordered_set<sim::EventId> cancelled_;
+  sim::EventId next_id_ = 1;
+  size_t size_ = 0;
+};
+
+template <typename Queue>
+void EventQueuePushPop(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    sim::EventQueue q;
+    Queue q;
     for (int i = 0; i < n; ++i) {
       q.Push(static_cast<double>((i * 2654435761u) % 1000), [] {});
     }
@@ -32,7 +101,45 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueuePushPop<sim::EventQueue>(state);
+}
 BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_LegacyEventQueuePushPop(benchmark::State& state) {
+  EventQueuePushPop<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Cancel-dominated churn: the retry-timer pattern (arm a future event,
+// cancel it, re-arm) over a base of long-lived events. Exercises the
+// O(1) slab cancel against the legacy hash-set bookkeeping, and the
+// compaction that keeps the heap from accreting dead entries.
+template <typename Queue>
+void EventQueueCancelHeavy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Queue q;
+    for (int i = 0; i < 16; ++i) q.Push(1e9 + i, [] {});
+    for (int i = 0; i < n; ++i) {
+      auto id = q.Push(1e6 + i, [] {});
+      benchmark::DoNotOptimize(q.Cancel(id));
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  EventQueueCancelHeavy<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1024)->Arg(16384);
+
+void BM_LegacyEventQueueCancelHeavy(benchmark::State& state) {
+  EventQueueCancelHeavy<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueCancelHeavy)->Arg(1024)->Arg(16384);
 
 void BM_SimulatorEventChain(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -12,7 +12,7 @@ namespace {
 /// Shared countdown that fires a callback when it reaches zero.
 class Barrier {
  public:
-  Barrier(int count, std::function<void()> done)
+  Barrier(int count, EventFn done)
       : remaining_(count), done_(std::move(done)) {
     FELA_CHECK_GT(count, 0);
   }
@@ -24,7 +24,7 @@ class Barrier {
 
  private:
   int remaining_;
-  std::function<void()> done_;
+  EventFn done_;
 };
 
 /// Drives one ring all-reduce: 2*(P-1) synchronous rounds; in each round
@@ -35,7 +35,7 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
  public:
   RingAllReduceOp(Simulator* sim, Fabric* fabric,
                   std::vector<NodeId> participants, double bytes_per_node,
-                  std::function<void()> done, obs::SpanSink* spans)
+                  EventFn done, obs::SpanSink* spans)
       : sim_(sim),
         fabric_(fabric),
         participants_(std::move(participants)),
@@ -48,7 +48,7 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
 
   void Start() {
     if (participants_.size() <= 1 || total_rounds_ == 0) {
-      sim_->Schedule(0.0, done_);
+      sim_->Schedule(0.0, std::move(done_));
       return;
     }
     begin_ = sim_->now();
@@ -83,7 +83,7 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
   Simulator* sim_;
   Fabric* fabric_;
   std::vector<NodeId> participants_;
-  std::function<void()> done_;
+  EventFn done_;
   obs::SpanSink* spans_;
   SimTime begin_ = 0.0;
   double chunk_bytes_ = 0.0;
@@ -94,7 +94,7 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
 
 void RingAllReduce(Simulator* sim, Fabric* fabric,
                    std::vector<NodeId> participants, double bytes_per_node,
-                   std::function<void()> done, obs::SpanSink* spans) {
+                   EventFn done, obs::SpanSink* spans) {
   FELA_CHECK(!participants.empty());
   auto op = std::make_shared<RingAllReduceOp>(sim, fabric,
                                               std::move(participants),
@@ -114,8 +114,7 @@ double RingAllReduceIdealSeconds(int participants, double bytes_per_node,
 }
 
 void GatherTo(Simulator* sim, Fabric* fabric, NodeId root,
-              std::vector<NodeId> senders, double bytes_each,
-              std::function<void()> done) {
+              std::vector<NodeId> senders, double bytes_each, EventFn done) {
   if (senders.empty()) {
     sim->Schedule(0.0, std::move(done));
     return;
@@ -129,7 +128,7 @@ void GatherTo(Simulator* sim, Fabric* fabric, NodeId root,
 
 void ScatterFrom(Simulator* sim, Fabric* fabric, NodeId root,
                  std::vector<NodeId> receivers, double bytes_each,
-                 std::function<void()> done) {
+                 EventFn done) {
   if (receivers.empty()) {
     sim->Schedule(0.0, std::move(done));
     return;

@@ -1,9 +1,9 @@
 #ifndef FELA_SIM_COLLECTIVES_H_
 #define FELA_SIM_COLLECTIVES_H_
 
-#include <functional>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "sim/fabric.h"
 #include "sim/simulator.h"
 #include "sim/span.h"
@@ -25,8 +25,7 @@ namespace fela::sim {
 /// remainder to sync (the Fela overlap semantics).
 void RingAllReduce(Simulator* sim, Fabric* fabric,
                    std::vector<NodeId> participants, double bytes_per_node,
-                   std::function<void()> done,
-                   obs::SpanSink* spans = nullptr);
+                   EventFn done, obs::SpanSink* spans = nullptr);
 
 /// Analytic cost of the above on an uncontended fabric; used by tests and
 /// by quick capacity estimates. Returns seconds.
@@ -37,14 +36,13 @@ double RingAllReduceIdealSeconds(int participants, double bytes_per_node,
 /// when the last byte lands. Used by the Stanza-style HP baseline, where
 /// the FC worker is the in-cast root.
 void GatherTo(Simulator* sim, Fabric* fabric, NodeId root,
-              std::vector<NodeId> senders, double bytes_each,
-              std::function<void()> done);
+              std::vector<NodeId> senders, double bytes_each, EventFn done);
 
 /// `root` sends `bytes_each` to every receiver; `done` fires when the
 /// last transfer completes.
 void ScatterFrom(Simulator* sim, Fabric* fabric, NodeId root,
                  std::vector<NodeId> receivers, double bytes_each,
-                 std::function<void()> done);
+                 EventFn done);
 
 }  // namespace fela::sim
 

@@ -1,0 +1,148 @@
+#ifndef FELA_SIM_EVENT_FN_H_
+#define FELA_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fela::sim {
+
+/// Move-only `void()` callable with small-buffer storage, sized so the
+/// simulator's event callbacks (a couple of pointers plus a few scalars,
+/// or a whole `std::function`) live inline in the event slab and
+/// steady-state Push/Pop never allocates. Captures larger than the
+/// buffer fall back to the heap transparently — correct, just not free.
+///
+/// Moves and destruction take an inline fast path when the stored
+/// callable is trivially copyable / destructible (most scheduled
+/// lambdas: pointer-and-scalar captures), so slab traffic is a memcpy
+/// rather than an indirect call through the ops table.
+class EventFn {
+ public:
+  /// Inline capacity. 48 bytes holds every callback the engines
+  /// schedule today (the largest is a token-carrying fetch completion)
+  /// and any `std::function` passed through the device-layer APIs,
+  /// while keeping sizeof(EventFn) + an 8-byte slab key to exactly one
+  /// cache line.
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor) -- callable sink
+    using D = std::decay_t<F>;
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  /// Invokes the stored callable. Requires a non-empty EventFn.
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (no heap
+  /// allocation). Exposed so tests can pin the allocation-free claim.
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+  /// Destroys the stored callable, leaving the EventFn empty.
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial_destroy) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*move_into)(void* dst, void* src);  // src left destroyed
+    void (*destroy)(void* storage);
+    bool inline_storage;
+    /// Moving is equivalent to memcpy-ing the buffer and abandoning the
+    /// source: trivially copyable inline callables, and the heap case
+    /// (relocating a pointer). Lets MoveFrom skip the indirect call.
+    bool trivial_relocate;
+    /// Destruction is a no-op, so Reset can skip the indirect call.
+    bool trivial_destroy;
+  };
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= kAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* dst, void* src) {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); },
+      /*inline_storage=*/true,
+      /*trivial_relocate=*/std::is_trivially_copyable_v<D>,
+      /*trivial_destroy=*/std::is_trivially_destructible_v<D>,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); },
+      /*inline_storage=*/false,
+      /*trivial_relocate=*/true,
+      /*trivial_destroy=*/false,
+  };
+
+  void MoveFrom(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->trivial_relocate) {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      } else {
+        other.ops_->move_into(buf_, other.buf_);
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  /// 8-byte alignment covers pointer/scalar captures and std::function;
+  /// over-aligned callables (rare) take the heap path.
+  static constexpr size_t kAlign = 8;
+
+  alignas(kAlign) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_EVENT_FN_H_

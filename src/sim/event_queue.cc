@@ -1,56 +1,155 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace fela::sim {
 
-EventId EventQueue::Push(SimTime when, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Event{when, id, std::move(fn)});
-  pending_.insert(id);
+namespace {
+/// Compaction only engages past this many heap entries: tiny queues are
+/// cheaper to sweep lazily than to rebuild.
+constexpr size_t kCompactMinEntries = 64;
+}  // namespace
+
+void EventQueue::AddSegment() {
+  const uint32_t seg_size = 1u << (kSeg0Bits + segs_.size());
+  segs_.push_back(std::make_unique<Slot[]>(seg_size));
+  slot_capacity_ += seg_size;
+}
+
+void EventQueue::SiftUp(size_t i) {
+  const Entry e = heap_[i];
+  while (i != 0) {
+    const size_t parent = (i - 1) >> 2;
+    if (!Earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const Entry e = heap_[i];
+  const unsigned __int128 ep = Pack(e);
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const size_t end = std::min(first + 4, n);
+    // Branchless argmin over the (up to four) children: packed compares
+    // lower to carry-flag arithmetic and conditional moves, avoiding a
+    // mispredict-prone branch per child on randomly ordered times.
+    size_t best = first;
+    unsigned __int128 bp = Pack(heap_[first]);
+    for (size_t c = first + 1; c < end; ++c) {
+      const unsigned __int128 p = Pack(heap_[c]);
+      const bool lt = p < bp;
+      best = lt ? c : best;
+      bp = lt ? p : bp;
+    }
+    if (ep <= bp) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::PopRoot() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+EventId EventQueue::Push(SimTime when, EventFn fn) {
+  uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    FELA_CHECK_LT(slot_count_, static_cast<uint32_t>(kSlotMask));
+    if (slot_count_ == slot_capacity_) AddSegment();
+    slot = slot_count_++;
+  }
+  FELA_CHECK_LT(next_seq_, kMaxSeq);
+  FELA_CHECK_GE(when, 0.0);  // bit-ordered times require non-negative
+  const uint64_t key = (next_seq_++ << kSlotBits) | slot;
+  Slot& s = SlotAt(slot);
+  s.key = key;
+  s.fn = std::move(fn);
+  heap_.push_back(Entry{TimeBits(when), key});
+  SiftUp(heap_.size() - 1);
   ++size_;
-  return id;
+  return key;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  // Only a pending (un-fired, un-cancelled) id is cancellable. An id
-  // that already fired or was already cancelled must be rejected: the
-  // old mark-blindly path decremented size_ for fired ids, making
-  // empty() report true with events still in the heap (a popped run
-  // ends early), and left the stale mark in cancelled_ forever.
-  if (pending_.erase(id) == 0) return false;
-  // We cannot search the heap; mark and lazily drop on pop.
-  cancelled_.insert(id);
+  const uint64_t slot = id & kSlotMask;
+  // A fired or already-cancelled event vacated its slot (and a reused
+  // slot carries a fresh sequence number), so a stale handle fails the
+  // key match here instead of eating a live event's count. The explicit
+  // kInvalidEventId test keeps the null handle from matching a vacant
+  // slot 0, whose key is also 0.
+  if (id == kInvalidEventId || slot >= slot_count_) return false;
+  Slot& s = SlotAt(static_cast<uint32_t>(slot));
+  if (s.key != id) return false;
+  RetireSlot(s, static_cast<uint32_t>(slot));
   --size_;
+  ++dead_in_heap_;
+  MaybeCompact();
   return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty()) {
-    auto found = cancelled_.find(heap_.top().id);
-    if (found == cancelled_.end()) return;
-    cancelled_.erase(found);
-    heap_.pop();
+void EventQueue::RetireSlot(Slot& s, uint32_t slot) {
+  s.key = 0;    // invalidates the handle and any heap entry
+  s.fn.Reset(); // release captured state eagerly
+  free_.push_back(slot);
+}
+
+void EventQueue::SkipDead() {
+  while (dead_in_heap_ != 0 && !heap_.empty() && !EntryLive(heap_.front())) {
+    PopRoot();
+    --dead_in_heap_;
   }
+}
+
+void EventQueue::MaybeCompact() {
+  if (heap_.size() < kCompactMinEntries || dead_in_heap_ * 2 <= heap_.size()) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return !EntryLive(e); }),
+              heap_.end());
+  // Floyd heap construction: sift down every internal node, deepest
+  // first. Internal nodes are 0 .. parent-of-last.
+  const size_t n = heap_.size();
+  if (n > 1) {
+    for (size_t i = (n - 2) / 4 + 1; i-- > 0;) SiftDown(i);
+  }
+  dead_in_heap_ = 0;
 }
 
 SimTime EventQueue::PeekTime() const {
   auto* self = const_cast<EventQueue*>(this);
-  self->SkipCancelled();
+  self->SkipDead();
   FELA_CHECK(!heap_.empty());
-  return heap_.top().when;
+  return BitsTime(heap_.front().when_bits);
 }
 
-std::pair<SimTime, std::function<void()>> EventQueue::Pop() {
-  SkipCancelled();
+std::pair<SimTime, EventFn> EventQueue::Pop() {
+  SkipDead();
   FELA_CHECK(!heap_.empty());
-  // priority_queue::top() is const; move out via const_cast, then pop.
-  Event& top = const_cast<Event&>(heap_.top());
-  std::pair<SimTime, std::function<void()>> out{top.when, std::move(top.fn)};
-  pending_.erase(top.id);
-  heap_.pop();
+  const Entry top = heap_.front();
+  const uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
+  Slot& s = SlotAt(slot);
+  // Pull the slot's cache line in while the sift-down below runs; the
+  // slab access pattern is effectively random, so this overlaps the
+  // line fill with heap work instead of stalling on it afterwards.
+  __builtin_prefetch(&s, /*rw=*/1);
+  PopRoot();
+  std::pair<SimTime, EventFn> out{BitsTime(top.when_bits), std::move(s.fn)};
+  RetireSlot(s, slot);
   --size_;
   return out;
 }

@@ -1,17 +1,49 @@
 #ifndef FELA_SIM_EVENT_QUEUE_H_
 #define FELA_SIM_EVENT_QUEUE_H_
 
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "sim/types.h"
 
 namespace fela::sim {
 
-/// Time-ordered queue of callbacks. Ties are broken by insertion sequence
-/// number so simulation runs are fully deterministic.
+/// Time-ordered queue of callbacks. Ties are broken by insertion
+/// sequence number so simulation runs are fully deterministic.
+///
+/// Events live in a slab of pooled slots; the heap holds only 16-byte
+/// POD entries of (time, key) where key packs the global insertion
+/// sequence number over the slot index. The key doubles as the
+/// `EventId` handle and as the liveness tag: a slot remembers the key
+/// of its current occupant, so cancellation is one slab probe — O(1),
+/// no hash set — and a handle for an event that already fired (or was
+/// already cancelled) fails the key check instead of corrupting the
+/// live count. Sequence numbers are never reused, so recycling a slot
+/// can never revive a stale handle. Steady-state Push/Pop reuses freed
+/// slots and the inline buffer of `EventFn`, so it performs no
+/// allocations once the vectors are warm.
+///
+/// The slab is segmented (power-of-two segments, geometric growth)
+/// rather than one contiguous vector: growing appends a segment and
+/// never relocates existing slots, so no stored `EventFn` is ever
+/// moved by slab growth (each such move is an indirect call through
+/// the callable's ops table — the dominant cost of a vector-backed
+/// slab under churn).
+///
+/// The heap is quaternary, not binary: half the sift-down depth, and a
+/// node's four 16-byte children span exactly one cache line, so each
+/// level costs one line fill instead of two. Pop order is the strict
+/// (time, key) total order either way — heap arity cannot perturb the
+/// simulation transcript.
+///
+/// Cancelled events are dropped lazily, but the heap is compacted
+/// whenever dead entries outnumber live ones, so the footprint stays
+/// proportional to the number of live events even under pathological
+/// push/cancel churn (constantly re-armed retry timers).
 class EventQueue {
  public:
   EventQueue() = default;
@@ -20,10 +52,11 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Enqueues `fn` to fire at absolute time `when`. Returns a handle.
-  EventId Push(SimTime when, std::function<void()> fn);
+  EventId Push(SimTime when, EventFn fn);
 
-  /// Cancels a pending event; returns false if it already fired or the
-  /// handle is unknown.
+  /// Cancels a pending event in O(1); returns false if it already
+  /// fired, was already cancelled, or the handle is unknown. The
+  /// cancelled callback's captured state is released immediately.
   bool Cancel(EventId id);
 
   bool empty() const { return size_ == 0; }
@@ -33,31 +66,109 @@ class EventQueue {
   SimTime PeekTime() const;
 
   /// Pops and returns the earliest event's (time, fn). Requires !empty().
-  std::pair<SimTime, std::function<void()>> Pop();
+  std::pair<SimTime, EventFn> Pop();
+
+  // -- Introspection (tests and benches) ---------------------------------
+  /// Heap entries including not-yet-swept cancelled ones. Bounded by
+  /// ~2x size() via compaction.
+  size_t heap_entries() const { return heap_.size(); }
+  /// Allocated slab slots (live + free-listed). Bounded by the high
+  /// -water mark of concurrently pending events.
+  size_t slab_slots() const { return slot_count_; }
 
  private:
-  struct Event {
-    SimTime when;
-    EventId id;
-    std::function<void()> fn;
+  /// Key layout: (seq << kSlotBits) | slot. Comparing keys compares
+  /// seq first — the deterministic tie-break — because seq occupies the
+  /// high bits and is globally unique. seq starts at 1, so no valid key
+  /// collides with kInvalidEventId; 40 bits of seq and 24 bits of slot
+  /// allow ~10^12 events per queue and ~16M concurrently pending.
+  static constexpr uint32_t kSlotBits = 24;
+  static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+  static constexpr uint64_t kMaxSeq = uint64_t{1} << (64 - kSlotBits);
+  /// First slab segment holds 2^kSeg0Bits slots; segment m holds
+  /// 2^(kSeg0Bits + m).
+  static constexpr uint32_t kSeg0Bits = 6;
+
+  struct alignas(64) Slot {
+    /// Key of the current occupant; 0 when vacant. Any older handle
+    /// (and heap entry) for this slot mismatches and is stale.
+    uint64_t key = 0;
+    EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      // fela-lint: allow(float-eq) exact compare is the point: only
-      // bit-identical times fall through to the insertion-order tie-break.
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+  // One slot per cache line: the slab access in Push/Pop/Cancel costs
+  // exactly one line fill.
+  static_assert(sizeof(Slot) == 64, "slot must fill one cache line");
+  /// Heap entries store the event time as raw IEEE-754 bits: times are
+  /// non-negative (Push checks), and for non-negative doubles the bit
+  /// pattern orders exactly like the value (+inf = kNeverTime included),
+  /// so (time, insertion-seq) lexicographic order — the simulation's
+  /// deterministic event order — is one branchless 128-bit integer
+  /// compare instead of a float compare plus a mispredict-prone
+  /// tie-break branch.
+  struct Entry {
+    uint64_t when_bits;
+    uint64_t key;
   };
 
-  /// Drops cancelled events from the head of the heap.
-  void SkipCancelled();
+  static uint64_t TimeBits(SimTime t) {
+    // +0.0 folds a possible -0.0 to +0.0 so the two compare equal in
+    // bit order just as they do numerically.
+    return std::bit_cast<uint64_t>(t + 0.0);
+  }
+  static SimTime BitsTime(uint64_t bits) {
+    return std::bit_cast<SimTime>(bits);
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<EventId> pending_;  // pushed, not yet fired or cancelled
-  std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
-  size_t size_ = 0;  // live (non-cancelled) events
+  static unsigned __int128 Pack(const Entry& e) {
+    return (static_cast<unsigned __int128>(e.when_bits) << 64) | e.key;
+  }
+  static bool Earlier(const Entry& a, const Entry& b) {
+    return Pack(a) < Pack(b);
+  }
+
+  /// Maps a slot index to its (segment, offset): biasing by the first
+  /// segment's size makes the segment index the bit width of the biased
+  /// value, a couple of ALU ops plus one extra load off a tiny (and so
+  /// always-hot) segment-pointer array.
+  Slot& SlotAt(uint32_t slot) {
+    const uint32_t j = slot + (1u << kSeg0Bits);
+    const uint32_t k = static_cast<uint32_t>(std::bit_width(j)) - 1;
+    return segs_[k - kSeg0Bits][j - (1u << k)];
+  }
+  const Slot& SlotAt(uint32_t slot) const {
+    return const_cast<EventQueue*>(this)->SlotAt(slot);
+  }
+
+  bool EntryLive(const Entry& e) const {
+    return SlotAt(static_cast<uint32_t>(e.key & kSlotMask)).key == e.key;
+  }
+
+  /// Appends a fresh segment; existing slots never move.
+  void AddSegment();
+
+  // Quaternary-heap primitives over heap_.
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  /// Removes the root, refills it from the back, restores heap order.
+  void PopRoot();
+
+  /// Drops cancelled entries from the head of the heap.
+  void SkipDead();
+
+  /// Rebuilds the heap without dead entries once they dominate.
+  void MaybeCompact();
+
+  /// Releases a slot back to the free list (its handle is now stale).
+  void RetireSlot(Slot& s, uint32_t slot);
+
+  std::vector<Entry> heap_;  // 4-ary min-heap, earliest at front
+  std::vector<std::unique_ptr<Slot[]>> segs_;
+  std::vector<uint32_t> free_;
+  uint32_t slot_count_ = 0;     // constructed slots across all segments
+  uint32_t slot_capacity_ = 0;  // total slots the segments can hold
+  uint64_t next_seq_ = 1;
+  size_t size_ = 0;          // live (non-cancelled) events
+  size_t dead_in_heap_ = 0;  // cancelled entries awaiting sweep/compaction
 };
 
 }  // namespace fela::sim

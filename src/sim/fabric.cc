@@ -31,8 +31,7 @@ SimTime Fabric::NextFreeTime(NodeId src, NodeId dst) const {
   return std::max({sim_->now(), out_free_[src], in_free_[dst]});
 }
 
-void Fabric::Transfer(NodeId src, NodeId dst, double bytes,
-                      std::function<void()> done) {
+void Fabric::Transfer(NodeId src, NodeId dst, double bytes, EventFn done) {
   CheckNode(src);
   CheckNode(dst);
   FELA_CHECK_GE(bytes, 0.0);

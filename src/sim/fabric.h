@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/calibration.h"
+#include "sim/event_fn.h"
 #include "sim/faults.h"
 #include "sim/simulator.h"
 #include "sim/span.h"
@@ -30,14 +31,14 @@ class Fabric {
   /// Schedules a bulk transfer of `bytes` from src to dst; `done` fires at
   /// completion time. A local (src == dst) transfer completes immediately
   /// (next event cycle) and moves no network bytes.
-  void Transfer(NodeId src, NodeId dst, double bytes,
-                std::function<void()> done);
+  void Transfer(NodeId src, NodeId dst, double bytes, EventFn done);
 
   /// Sends a control message (token request/report/notify). Not subject
   /// to FIFO queueing behind bulk data. Under an active fault schedule
   /// the message is dropped when either endpoint is down or the lossy
   /// control plane eats it (observable in the trace as ControlDrop), and
-  /// may be delivered twice (ControlDup).
+  /// may be delivered twice (ControlDup). Takes a copyable callback —
+  /// duplication delivers the same `done` a second time.
   void SendControl(NodeId src, NodeId dst, std::function<void()> done);
 
   /// Installs a fault schedule consulted on every control send, plus an

@@ -2,6 +2,7 @@
 #define FELA_SIM_FAULTS_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>

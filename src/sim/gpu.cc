@@ -9,7 +9,7 @@ namespace fela::sim {
 
 GpuDevice::GpuDevice(Simulator* sim, NodeId node) : sim_(sim), node_(node) {}
 
-void GpuDevice::Enqueue(double duration, std::function<void()> done) {
+void GpuDevice::Enqueue(double duration, EventFn done) {
   FELA_CHECK_GE(duration, 0.0);
   const SimTime start = std::max(sim_->now(), free_at_);
   const SimTime finish = start + duration;

@@ -1,8 +1,7 @@
 #ifndef FELA_SIM_GPU_H_
 #define FELA_SIM_GPU_H_
 
-#include <functional>
-
+#include "sim/event_fn.h"
 #include "sim/simulator.h"
 #include "sim/span.h"
 #include "sim/types.h"
@@ -29,7 +28,7 @@ class GpuDevice {
 
   /// Enqueues a compute task lasting `duration` seconds; `done` fires
   /// when it finishes. Tasks run back-to-back in submission order.
-  void Enqueue(double duration, std::function<void()> done);
+  void Enqueue(double duration, EventFn done);
 
   /// Blocks the device until at least `until` (used for straggler
   /// injection: the paper injects sleep before computation). `phase`

@@ -6,12 +6,12 @@
 
 namespace fela::sim {
 
-EventId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+EventId Simulator::Schedule(SimTime delay, EventFn fn) {
   FELA_CHECK_GE(delay, 0.0);
   return queue_.Push(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
   FELA_CHECK_GE(when, now_);
   return queue_.Push(when, std::move(fn));
 }

@@ -1,8 +1,7 @@
 #ifndef FELA_SIM_SIMULATOR_H_
 #define FELA_SIM_SIMULATOR_H_
 
-#include <functional>
-
+#include "sim/event_fn.h"
 #include "sim/event_queue.h"
 #include "sim/types.h"
 
@@ -22,10 +21,12 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
-  EventId Schedule(SimTime delay, std::function<void()> fn);
+  /// Accepts any void() callable (see EventFn: small captures schedule
+  /// allocation-free).
+  EventId Schedule(SimTime delay, EventFn fn);
 
   /// Schedules `fn` at absolute time `when` (>= now()).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, EventFn fn);
 
   /// Cancels a pending event.
   bool Cancel(EventId id) { return queue_.Cancel(id); }

@@ -1,0 +1,114 @@
+#include "sim/event_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace fela::sim {
+namespace {
+
+TEST(EventFnTest, DefaultIsEmpty) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.is_inline());
+}
+
+TEST(EventFnTest, InvokesStoredCallable) {
+  int calls = 0;
+  EventFn fn([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFnTest, SmallCapturesStayInline) {
+  int a = 0, b = 0, c = 0;
+  // Three pointers plus an int: the shape of a typical engine callback.
+  EventFn fn([&a, &b, &c, inc = 1] {
+    a += inc;
+    b += inc;
+    c += inc;
+  });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(a + b + c, 3);
+}
+
+TEST(EventFnTest, StdFunctionFitsInline) {
+  // The device layer forwards std::function callbacks into the queue;
+  // the wrapper itself must not force a heap fallback.
+  std::function<void()> wrapped = [] {};
+  EventFn fn(std::move(wrapped));
+  EXPECT_TRUE(fn.is_inline());
+}
+
+TEST(EventFnTest, OversizedCapturesFallBackToHeap) {
+  std::array<double, 32> big{};
+  big[0] = 7.0;
+  double out = 0.0;
+  EventFn fn([big, &out] { out = big[0]; });
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_DOUBLE_EQ(out, 7.0);
+}
+
+TEST(EventFnTest, MoveTransfersOwnership) {
+  int calls = 0;
+  EventFn a([&calls] { ++calls; });
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  EventFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFnTest, DestructionReleasesCapturedState) {
+  auto tracked = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = tracked;
+  {
+    EventFn fn([held = std::move(tracked)] { (void)*held; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventFnTest, ResetReleasesCapturedStateEarly) {
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = tracked;
+  EventFn fn([held = std::move(tracked)] { (void)*held; });
+  fn.Reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFnTest, MoveAssignDestroysPreviousCallable) {
+  auto first = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = first;
+  EventFn fn([held = std::move(first)] { (void)*held; });
+  fn = EventFn([] {});
+  EXPECT_TRUE(watch.expired());
+  fn();  // replacement callable still works
+}
+
+TEST(EventFnTest, HeapCallableSurvivesMove) {
+  std::array<double, 32> big{};
+  big[5] = 3.5;
+  double out = 0.0;
+  EventFn a([big, &out] { out = big[5]; });
+  EventFn b = std::move(a);
+  b();
+  EXPECT_DOUBLE_EQ(out, 3.5);
+}
+
+}  // namespace
+}  // namespace fela::sim

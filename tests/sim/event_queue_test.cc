@@ -104,6 +104,43 @@ TEST(EventQueueTest, RepeatedStaleCancelsNeverAffectSize) {
   EXPECT_EQ(q.size(), 16u);
 }
 
+// Slots are recycled through a free list; a handle minted before the
+// recycle must not be able to cancel the unrelated event that now
+// occupies the same slot (the generation tag makes it stale).
+TEST(EventQueueTest, StaleHandleAfterSlotReuseIsRejected) {
+  EventQueue q;
+  EventId old_id = q.Push(1.0, [] {});
+  ASSERT_TRUE(q.Cancel(old_id));  // slot goes back on the free list
+  bool fired = false;
+  EventId new_id = q.Push(2.0, [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(q.Cancel(old_id));  // stale generation
+  EXPECT_EQ(q.size(), 1u);
+  q.Pop().second();
+  EXPECT_TRUE(fired);
+}
+
+// Pathological churn: a retry timer that is re-armed and cancelled a
+// million times (the shape fault-injected token leases produce). Lazy
+// deletion alone would grow the heap by one dead entry per cycle;
+// compaction must keep both the heap and the slab at O(live events).
+TEST(EventQueueTest, FootprintStaysBoundedAcrossPushCancelCycles) {
+  EventQueue q;
+  // A few long-lived events so compaction has live entries to keep.
+  for (int i = 0; i < 8; ++i) q.Push(1e9 + i, [] {});
+  for (int i = 0; i < 1'000'000; ++i) {
+    EventId id = q.Push(1e6 + i, [] {});
+    ASSERT_TRUE(q.Cancel(id));
+  }
+  EXPECT_EQ(q.size(), 8u);
+  // Compaction triggers once dead entries outnumber live ones, so the
+  // heap never exceeds ~2x live (plus the small pre-compaction floor).
+  EXPECT_LE(q.heap_entries(), 128u);
+  // Only one churn event is ever pending at a time, so the slab's
+  // high-water mark is live events + 1.
+  EXPECT_LE(q.slab_slots(), 16u);
+}
+
 TEST(EventQueueTest, SizeTracksLiveEvents) {
   EventQueue q;
   EventId a = q.Push(1.0, [] {});
