@@ -98,7 +98,13 @@ void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
   }
   if (src == dst) {
     // Co-located roles (e.g. TS on node 0 talking to worker 0): loopback.
-    if (duplicated) sim_->Schedule(0.0, done);
+    if (duplicated) {
+      // A retransmitted duplicate pays one extra message latency even on
+      // loopback — retransmission implies a timeout at the sender, not a
+      // second instantaneous local delivery. Keeps the dup penalty
+      // consistent with the remote path below.
+      sim_->Schedule(cal_.message_latency_sec, done);
+    }
     sim_->Schedule(0.0, std::move(done));
     return;
   }

@@ -2,8 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "sim/faults.h"
+
 namespace fela::sim {
 namespace {
+
+/// Duplicates every control message; never crashes or drops.
+class AlwaysDuplicate final : public FaultSchedule {
+ public:
+  bool IsDownAt(SimTime, int) const override { return false; }
+  SimTime NextTransitionAfter(SimTime) const override { return kNeverTime; }
+  bool DuplicateControl(uint64_t) const override { return true; }
+  std::string ToString() const override { return "always-dup"; }
+};
 
 Calibration TestCal() {
   Calibration cal;
@@ -85,6 +98,36 @@ TEST_F(FabricTest, ControlLoopbackIsImmediate) {
   sim_.Run();
   EXPECT_DOUBLE_EQ(t, 0.0);
   EXPECT_EQ(fabric_.control_message_count(), 1u);
+}
+
+TEST_F(FabricTest, DuplicatedControlArrivesOnceNormallyOnceLate) {
+  AlwaysDuplicate faults;
+  fabric_.SetFaults(&faults, nullptr);
+  std::vector<SimTime> deliveries;
+  fabric_.SendControl(0, 1, [&] { deliveries.push_back(sim_.now()); });
+  sim_.Run();
+  const double wire = 1000 / 1e9;  // control_message_bytes / bandwidth
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_NEAR(deliveries[0], 1e-3 + wire, 1e-12);
+  EXPECT_NEAR(deliveries[1], 2e-3 + wire, 1e-12);
+  EXPECT_EQ(fabric_.control_duplicated_count(), 1u);
+}
+
+// Regression: a duplicated loopback message used to deliver both copies
+// at the same timestamp, while a duplicated remote message paid one
+// extra latency — so the dup penalty silently vanished whenever the two
+// roles were co-located. The retransmitted copy must lag by one message
+// latency on loopback too.
+TEST_F(FabricTest, DuplicatedLoopbackPaysRetransmitLatency) {
+  AlwaysDuplicate faults;
+  fabric_.SetFaults(&faults, nullptr);
+  std::vector<SimTime> deliveries;
+  fabric_.SendControl(2, 2, [&] { deliveries.push_back(sim_.now()); });
+  sim_.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(deliveries[0], 0.0);
+  EXPECT_NEAR(deliveries[1], 1e-3, 1e-12);
+  EXPECT_EQ(fabric_.control_duplicated_count(), 1u);
 }
 
 TEST_F(FabricTest, StatisticsTrackBytesAndCounts) {
