@@ -49,9 +49,10 @@ int main(int argc, char** argv) {
                 "crashes", "tokens_reclaimed", "regrants",
                 "mean_recovery_latency_sec", "stalled"});
 
-  obs::BenchReport report("fault_recovery");
-  std::vector<runtime::ComparisonRow> rows;
-  std::vector<std::string> fault_lines;
+  // Stage the DP and Fela replicas of every probability on the sweep
+  // runner (2 independent runs per point), then render serially in
+  // sweep order — table, CSV, and JSON bytes match any --jobs value.
+  std::vector<runtime::SweepItem> items;
   for (double p : probabilities) {
     runtime::FaultFactory faults = nullptr;
     if (p > 0.0) {
@@ -61,11 +62,21 @@ int main(int argc, char** argv) {
                                                     kDownSec, kSeed);
       };
     }
-    const auto dp = runtime::RunExperiment(
-        spec, suite::DpFactory(model), runtime::NoStragglerFactory(), faults);
-    const auto fela =
-        runtime::RunExperiment(spec, suite::FelaFactory(model, cfg),
-                               runtime::NoStragglerFactory(), faults);
+    items.push_back(runtime::SweepItem{spec, suite::DpFactory(model),
+                                       runtime::NoStragglerFactory(), faults});
+    items.push_back(runtime::SweepItem{spec, suite::FelaFactory(model, cfg),
+                                       runtime::NoStragglerFactory(), faults});
+  }
+  const std::vector<runtime::ExperimentResult> results =
+      runtime::RunSweep(items, opts.jobs);
+
+  obs::BenchReport report("fault_recovery");
+  std::vector<runtime::ComparisonRow> rows;
+  std::vector<std::string> fault_lines;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    const double p = probabilities[i];
+    const runtime::ExperimentResult& dp = results[2 * i];
+    const runtime::ExperimentResult& fela = results[2 * i + 1];
     rows.push_back(runtime::ComparisonRow{
         p, {dp.average_throughput, fela.average_throughput}});
     report.Add(dp, p);

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.h"
 #include "common/string_util.h"
@@ -33,11 +34,29 @@ int main(int argc, char** argv) {
       {"(c) FC layer (4096,4096)", model::Layer::Fc("fc", 4096, 4096), 4096},
   };
 
-  for (const Panel& p : panels) {
+  // Each panel's saturation sweep is independent; stage the three on
+  // the sweep runner and print in panel order (bytes match any --jobs).
+  struct PanelResult {
+    std::vector<model::ThroughputPoint> sweep;
+    double threshold = 0.0;
+  };
+  std::vector<PanelResult> results(std::size(panels));
+  runtime::SweepRunner runner = opts.Runner();
+  for (size_t i = 0; i < results.size(); ++i) {
+    runner.Add([&cost, &panels, &results, i] {
+      const Panel& p = panels[i];
+      results[i].sweep = cost.SweepThroughput(p.layer, p.max_batch);
+      results[i].threshold = cost.MeasureThresholdBatch(p.layer, p.max_batch);
+    });
+  }
+  runner.RunAll();
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Panel& p = panels[i];
     std::printf("\n%s\n", p.label);
     common::TablePrinter table({"batch", "throughput (samples/s)",
                                 "of peak"});
-    const auto sweep = cost.SweepThroughput(p.layer, p.max_batch);
+    const auto& sweep = results[i].sweep;
     double peak = 0.0;
     for (const auto& pt : sweep) peak = std::max(peak, pt.samples_per_sec);
     for (const auto& pt : sweep) {
@@ -47,7 +66,7 @@ int main(int argc, char** argv) {
     }
     table.Print(std::cout);
     std::printf("measured threshold batch (95%% of peak): %.0f\n",
-                cost.MeasureThresholdBatch(p.layer, p.max_batch));
+                results[i].threshold);
   }
   std::printf(
       "\nPaper reference: thresholds 16 / 64 / 2048 for panels a/b/c.\n");

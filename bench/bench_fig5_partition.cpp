@@ -11,12 +11,14 @@
 
 namespace {
 
-void PrintPartition(const fela::model::Model& m) {
+std::string RenderPartition(const fela::model::Model& m) {
   using namespace fela;
   const auto& repo = model::ProfileRepository::Default();
   const model::BinPartitioner partitioner(16.0);
 
-  std::printf("\n%s layer thresholds (bin size 16):\n", m.name().c_str());
+  std::string out =
+      common::StrFormat("\n%s layer thresholds (bin size 16):\n",
+                        m.name().c_str());
   common::TablePrinter table(
       {"layer", "kind", "shape", "threshold batch", "bin"});
   for (int i = 0; i < m.layer_count(); ++i) {
@@ -28,13 +30,14 @@ void PrintPartition(const fela::model::Model& m) {
                   common::StrFormat("[%d, %d)", partitioner.BinOf(thr) * 16,
                                     (partitioner.BinOf(thr) + 1) * 16)});
   }
-  table.Print(std::cout);
+  out += table.ToString();
 
   const auto sub = partitioner.Partition(m, repo);
-  std::printf("bin partition -> %zu sub-models:\n", sub.size());
+  out += common::StrFormat("bin partition -> %zu sub-models:\n", sub.size());
   for (const auto& sm : sub) {
-    std::printf("  %s\n", sm.ToString().c_str());
+    out += common::StrFormat("  %s\n", sm.ToString().c_str());
   }
+  return out;
 }
 
 }  // namespace
@@ -44,11 +47,22 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader(
       "Figure 5: Threshold Batch Sizes of Different Layers in VGG19");
-  PrintPartition(model::zoo::Vgg19());
+
+  // The two partition renderings are independent; stage them on the
+  // sweep runner and print in order (bytes match any --jobs value).
+  std::string vgg_text, googlenet_text;
+  runtime::SweepRunner runner = opts.Runner();
+  runner.Add([&vgg_text] { vgg_text = RenderPartition(model::zoo::Vgg19()); });
+  runner.Add([&googlenet_text] {
+    googlenet_text = RenderPartition(model::zoo::GoogLeNet());
+  });
+  runner.RunAll();
+
+  std::fputs(vgg_text.c_str(), stdout);
   std::printf(
       "\nPaper reference: VGG19 partitions into L1-8 (CONV), L9-16 "
       "(CONV), L17-19 (FC).\n");
-  PrintPartition(model::zoo::GoogLeNet());
+  std::fputs(googlenet_text.c_str(), stdout);
   std::printf(
       "\nPaper reference: GoogLeNet partitions into L1-4, L5-9, L10-12 "
       "(CONV+FC).\n");

@@ -20,10 +20,17 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Figure 6: Configuration tuning (VGG19, 13 cases)");
 
   const model::Model m = model::zoo::Vgg19();
-  std::vector<core::TuningReport> reports;
-  for (double batch : bench::Vgg19Batches()) {
-    reports.push_back(suite::TuneFela(m, batch, 8, /*warmup_iterations=*/5));
+  // Each batch's 13-case warm-up is an independent replica; tune them
+  // in parallel under --jobs and keep the report order by batch.
+  std::vector<core::TuningReport> reports(bench::Vgg19Batches().size());
+  runtime::SweepRunner runner = opts.Runner();
+  for (size_t i = 0; i < reports.size(); ++i) {
+    runner.Add([&m, &reports, i] {
+      reports[i] = suite::TuneFela(m, bench::Vgg19Batches()[i], 8,
+                                   /*warmup_iterations=*/5);
+    });
   }
+  runner.RunAll();
 
   // Panel (a): normalized per-iteration times, one column per batch.
   std::printf("\n(a) Performance tuning with different configuration cases\n");

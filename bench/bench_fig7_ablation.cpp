@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.h"
 #include "common/string_util.h"
@@ -19,9 +20,13 @@
 namespace {
 
 struct AblationPoint {
-  double batch;
-  double ads_gain;  // AT(with) / AT(without) - 1
-  double hf_gain;
+  size_t case_index = 0;
+  double batch = 0;
+  double base = 0;         // AT of the tuned config
+  double without_ads = 0;  // AT with the ADS policy disabled
+  double without_hf = 0;   // AT with the HF policy disabled
+  double tuning_gain = 0;  // Fig. 6(b) phase-1 gap
+  double ctd_gain = 0;     // Fig. 6(b) phase-2 gap
 };
 
 }  // namespace
@@ -40,19 +45,25 @@ int main(int argc, char** argv) {
       {model::zoo::GoogLeNet(), bench::GoogLeNetBatches()},
   };
 
-  double ads_lo = 1e9, ads_hi = -1e9, hf_lo = 1e9, hf_hi = -1e9;
-  double tune_lo = 1e9, tune_hi = -1e9, ctd_lo = 1e9, ctd_hi = -1e9;
-
-  for (const auto& mc : cases) {
-    std::printf("\n%s:\n", mc.model.name().c_str());
-    common::TablePrinter table({"batch", "AT tuned", "AT no-ADS",
-                                "AT no-HF", "ADS gain", "HF gain",
-                                "tuning gain", "CTD gain"});
-    for (double batch : mc.batches) {
+  // Stage every (model, batch) point on the sweep runner, then render
+  // serially in sweep order — output is byte-identical for any --jobs.
+  std::vector<AblationPoint> points;
+  for (size_t ci = 0; ci < std::size(cases); ++ci) {
+    for (double batch : cases[ci].batches) {
+      AblationPoint pt;
+      pt.case_index = ci;
+      pt.batch = batch;
+      points.push_back(pt);
+    }
+  }
+  runtime::SweepRunner runner = opts.Runner();
+  for (AblationPoint& pt : points) {
+    runner.Add([&cases, &pt] {
+      const auto& mc = cases[pt.case_index];
       runtime::ExperimentSpec spec;
-      spec.total_batch = batch;
+      spec.total_batch = pt.batch;
       spec.iterations = bench::kIterations;
-      const auto report = suite::TuneFela(mc.model, batch, 8);
+      const auto report = suite::TuneFela(mc.model, pt.batch, 8);
       const core::FelaConfig tuned = report.best_config;
 
       auto at = [&](const core::FelaConfig& cfg) {
@@ -60,21 +71,43 @@ int main(int argc, char** argv) {
                              runtime::NoStragglerFactory())
             .average_throughput;
       };
-      const double base = at(tuned);
+      pt.base = at(tuned);
       core::FelaConfig no_ads = tuned;
       no_ads.ads_enabled = false;
       core::FelaConfig no_hf = tuned;
       no_hf.hf_enabled = false;
-      const double without_ads = at(no_ads);
-      const double without_hf = at(no_hf);
-      const double ads_gain = base / without_ads - 1.0;
-      const double hf_gain = base / without_hf - 1.0;
-
+      pt.without_ads = at(no_ads);
+      pt.without_hf = at(no_hf);
       // Table III's tuning and CTD rows are the paper's Fig. 6(b) gaps:
       // Phase-1 (parallelism degrees) and Phase-2 (conditional subset)
       // best-vs-worst savings fractions.
-      const double tuning_gain = report.phase1_gap;
-      const double ctd_gain = report.phase2_gap;
+      pt.tuning_gain = report.phase1_gap;
+      pt.ctd_gain = report.phase2_gap;
+    });
+  }
+  runner.RunAll();
+
+  double ads_lo = 1e9, ads_hi = -1e9, hf_lo = 1e9, hf_hi = -1e9;
+  double tune_lo = 1e9, tune_hi = -1e9, ctd_lo = 1e9, ctd_hi = -1e9;
+
+  size_t next_point = 0;
+  for (size_t ci = 0; ci < std::size(cases); ++ci) {
+    const auto& mc = cases[ci];
+    std::printf("\n%s:\n", mc.model.name().c_str());
+    common::TablePrinter table({"batch", "AT tuned", "AT no-ADS",
+                                "AT no-HF", "ADS gain", "HF gain",
+                                "tuning gain", "CTD gain"});
+    for (; next_point < points.size() && points[next_point].case_index == ci;
+         ++next_point) {
+      const AblationPoint& pt = points[next_point];
+      const double batch = pt.batch;
+      const double base = pt.base;
+      const double without_ads = pt.without_ads;
+      const double without_hf = pt.without_hf;
+      const double ads_gain = base / without_ads - 1.0;
+      const double hf_gain = base / without_hf - 1.0;
+      const double tuning_gain = pt.tuning_gain;
+      const double ctd_gain = pt.ctd_gain;
 
       table.AddRow({common::TablePrinter::Num(batch, 0),
                     common::TablePrinter::Num(base, 1),

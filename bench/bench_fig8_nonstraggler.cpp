@@ -27,24 +27,50 @@ int main(int argc, char** argv) {
   };
   if (opts.smoke) cases.erase(cases.begin() + 1, cases.end());
 
-  obs::BenchReport report("fig8_nonstraggler");
-  for (const auto& mc : cases) {
-    std::vector<runtime::ComparisonRow> rows;
-    for (double batch : opts.Sweep(mc.batches)) {
+  // Stage every (model, batch) point on the sweep runner, then render
+  // serially in sweep order — output is byte-identical for any --jobs.
+  struct Point {
+    size_t case_index;
+    double batch;
+    suite::FourWayResult result;
+  };
+  std::vector<Point> points;
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    for (double batch : opts.Sweep(cases[ci].batches)) {
+      points.push_back(Point{ci, batch, {}});
+    }
+  }
+  runtime::SweepRunner runner = opts.Runner();
+  for (Point& pt : points) {
+    runner.Add([&opts, &cases, &pt] {
+      const auto& mc = cases[pt.case_index];
       runtime::ExperimentSpec spec;
-      spec.total_batch = batch;
+      spec.total_batch = pt.batch;
       spec.iterations = opts.iterations();
       spec.observe = opts.json;
-      const auto cfg = suite::TunedFelaConfig(mc.model, batch, 8,
+      const auto cfg = suite::TunedFelaConfig(mc.model, pt.batch, 8,
                                               opts.smoke ? 1 : 5);
-      const auto r = suite::CompareAll(mc.model, spec,
-                                       runtime::NoStragglerFactory(), cfg);
-      rows.push_back(runtime::ComparisonRow{batch, r.Throughputs()});
+      pt.result = suite::CompareAll(mc.model, spec,
+                                    runtime::NoStragglerFactory(), cfg);
+    });
+  }
+  runner.RunAll();
+
+  obs::BenchReport report("fig8_nonstraggler");
+  size_t next_point = 0;
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& mc = cases[ci];
+    std::vector<runtime::ComparisonRow> rows;
+    for (; next_point < points.size() && points[next_point].case_index == ci;
+         ++next_point) {
+      const Point& pt = points[next_point];
+      const suite::FourWayResult& r = pt.result;
+      rows.push_back(runtime::ComparisonRow{pt.batch, r.Throughputs()});
       for (const auto* er : {&r.dp, &r.mp, &r.hp, &r.fela}) {
-        report.Add(*er, batch);
+        report.Add(*er, pt.batch);
       }
       if (r.fela.observed) {
-        std::printf("\n[batch %g]\n", batch);
+        std::printf("\n[batch %g]\n", pt.batch);
         std::cout << runtime::RenderAttributionTable(r.fela.attribution);
       }
     }

@@ -31,11 +31,24 @@ int main(int argc, char** argv) {
   };
   if (opts.smoke) cases.erase(cases.begin() + 1, cases.end());
 
-  obs::BenchReport report("fig9_roundrobin");
-  for (const auto& mc : cases) {
-    std::vector<runtime::ComparisonRow> at_rows;
-    std::vector<runtime::ComparisonRow> pid_rows;
-    for (double d : opts.Sweep(mc.delays)) {
+  // Stage every (model, d) point on the sweep runner, then render
+  // serially in sweep order — output is byte-identical for any --jobs.
+  struct Point {
+    size_t case_index;
+    double d;
+    runtime::PidResult dp, mp, hp, fela;
+  };
+  std::vector<Point> points;
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    for (double d : opts.Sweep(cases[ci].delays)) {
+      points.push_back(Point{ci, d, {}, {}, {}, {}});
+    }
+  }
+  runtime::SweepRunner runner = opts.Runner();
+  for (Point& pt : points) {
+    runner.Add([&opts, &cases, &pt] {
+      const auto& mc = cases[pt.case_index];
+      const double d = pt.d;
       auto stragglers = [d](int n) {
         return std::make_unique<sim::RoundRobinStragglers>(n, d);
       };
@@ -51,10 +64,28 @@ int main(int argc, char** argv) {
       auto pid_of = [&](const runtime::EngineFactory& f) {
         return runtime::RunPidExperiment(spec, f, stragglers);
       };
-      const auto dp = pid_of(suite::DpFactory(mc.model));
-      const auto mp = pid_of(suite::MpFactory(mc.model));
-      const auto hp = pid_of(suite::HpFactory(mc.model));
-      const auto fela = pid_of(suite::FelaFactory(mc.model, cfg));
+      pt.dp = pid_of(suite::DpFactory(mc.model));
+      pt.mp = pid_of(suite::MpFactory(mc.model));
+      pt.hp = pid_of(suite::HpFactory(mc.model));
+      pt.fela = pid_of(suite::FelaFactory(mc.model, cfg));
+    });
+  }
+  runner.RunAll();
+
+  obs::BenchReport report("fig9_roundrobin");
+  size_t next_point = 0;
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& mc = cases[ci];
+    std::vector<runtime::ComparisonRow> at_rows;
+    std::vector<runtime::ComparisonRow> pid_rows;
+    for (; next_point < points.size() && points[next_point].case_index == ci;
+         ++next_point) {
+      const Point& pt = points[next_point];
+      const double d = pt.d;
+      const auto& dp = pt.dp;
+      const auto& mp = pt.mp;
+      const auto& hp = pt.hp;
+      const auto& fela = pt.fela;
       for (const auto* pr : {&dp, &mp, &hp, &fela}) {
         report.Add(pr->with_stragglers, d);
       }

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <queue>
@@ -17,6 +18,7 @@
 #include "model/zoo.h"
 #include "runtime/cluster.h"
 #include "runtime/determinism.h"
+#include "runtime/sweep.h"
 #include "sim/simulator.h"
 #include "suite/suite.h"
 
@@ -254,19 +256,29 @@ BENCHMARK(BM_BinPartition);
 }  // namespace
 
 // Hand-rolled BENCHMARK_MAIN(): google-benchmark rejects flags it does
-// not know, so --verify-determinism is stripped from argv before
-// benchmark::Initialize sees it.
+// not know, so the sweep-recipe flags shared by the other benches
+// (--verify-determinism, --jobs N, and the no-ops --json/--smoke) are
+// stripped from argv before benchmark::Initialize sees them.
 int main(int argc, char** argv) {
   bool verify = false;
+  int jobs = 1;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verify-determinism") == 0) {
       verify = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--json") == 0 ||
+               std::strcmp(argv[i], "--smoke") == 0) {
+      // accepted for uniformity with the sweep benches; no effect here
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (jobs <= 0) jobs = fela::runtime::SweepRunner::HardwareJobs();
   if (verify) {
     using namespace fela;
     runtime::ExperimentSpec spec;
@@ -276,7 +288,7 @@ int main(int argc, char** argv) {
         spec,
         suite::FelaFactory(model::zoo::GoogLeNet(),
                            core::FelaConfig::Defaults(3, 8)),
-        runtime::NoStragglerFactory());
+        runtime::NoStragglerFactory(), /*fault_factory=*/nullptr, jobs);
     std::printf("determinism[micro_core]: %s\n", report.ToString().c_str());
     if (!report.deterministic) return 1;
   }

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.h"
 #include "common/string_util.h"
@@ -58,34 +59,51 @@ int main(int argc, char** argv) {
        }},
   };
 
+  // Stage one task per scenario (and, below, per PS batch) on the sweep
+  // runner, then render serially in order — bytes match any --jobs.
+  const size_t scenario_count = opts.smoke ? 1 : std::size(scenarios);
+  struct ScenarioPoint {
+    runtime::ExperimentResult mp, emp, fela;
+  };
+  std::vector<ScenarioPoint> scenario_points(scenario_count);
+  runtime::SweepRunner runner = opts.Runner();
+  for (size_t i = 0; i < scenario_count; ++i) {
+    runner.Add([&, i] {
+      const auto& sc = scenarios[i];
+      const auto cfg = suite::TunedFelaConfig(
+          m, batch, 8, opts.smoke ? 1 : 5, sim::Calibration::Default(),
+          sc.factory);
+      scenario_points[i].mp =
+          RunExperiment(spec, suite::MpFactory(m), sc.factory);
+      scenario_points[i].emp =
+          RunExperiment(spec, suite::ElasticMpFactory(m), sc.factory);
+      scenario_points[i].fela =
+          RunExperiment(spec, suite::FelaFactory(m, cfg), sc.factory);
+    });
+  }
+  runner.RunAll();
+
   std::printf("\nVGG19 @ batch %g, average throughput (samples/s):\n", batch);
   obs::BenchReport report("reactive_vs_proactive");
   common::TablePrinter table(
       {"scenario", "MP (static)", "ElasticMP (proactive)", "Fela (reactive)",
        "ElasticMP/MP", "Fela/ElasticMP"});
   double scenario_x = 0.0;
-  for (const auto& sc : scenarios) {
-    const auto cfg = suite::TunedFelaConfig(
-        m, batch, 8, opts.smoke ? 1 : 5, sim::Calibration::Default(),
-        sc.factory);
-    const auto mp_r = RunExperiment(spec, suite::MpFactory(m), sc.factory);
-    const auto emp_r =
-        RunExperiment(spec, suite::ElasticMpFactory(m), sc.factory);
-    const auto fela_r =
-        RunExperiment(spec, suite::FelaFactory(m, cfg), sc.factory);
-    for (const auto* r : {&mp_r, &emp_r, &fela_r}) {
+  for (size_t i = 0; i < scenario_count; ++i) {
+    const Scenario& sc = scenarios[i];
+    const ScenarioPoint& pt = scenario_points[i];
+    for (const auto* r : {&pt.mp, &pt.emp, &pt.fela}) {
       report.Add(*r, scenario_x);
     }
     scenario_x += 1.0;
-    const double mp = mp_r.average_throughput;
-    const double emp = emp_r.average_throughput;
-    const double fela = fela_r.average_throughput;
+    const double mp = pt.mp.average_throughput;
+    const double emp = pt.emp.average_throughput;
+    const double fela = pt.fela.average_throughput;
     table.AddRow({sc.name, common::TablePrinter::Num(mp, 1),
                   common::TablePrinter::Num(emp, 1),
                   common::TablePrinter::Num(fela, 1),
                   common::TablePrinter::Ratio(emp / mp),
                   common::TablePrinter::Ratio(fela / emp)});
-    if (opts.smoke) break;  // one scenario is enough for the smoke run
   }
   table.Print(std::cout);
   std::printf(
@@ -94,25 +112,35 @@ int main(int argc, char** argv) {
       " the paper's argument for reactive scheduling, §III-C.)\n");
 
   // ---- 2. PS bottleneck ----------------------------------------------
+  const std::vector<double> ps_batches =
+      opts.Sweep<double>({128.0, 256.0, 512.0});
+  std::vector<runtime::SweepItem> ps_items;
+  for (double b : ps_batches) {
+    runtime::ExperimentSpec s2;
+    s2.total_batch = b;
+    s2.iterations = opts.smoke ? 3 : 30;
+    ps_items.push_back(runtime::SweepItem{s2, suite::PsDpFactory(m, 1),
+                                          runtime::NoStragglerFactory(),
+                                          nullptr});
+    ps_items.push_back(runtime::SweepItem{s2, suite::PsDpFactory(m, 4),
+                                          runtime::NoStragglerFactory(),
+                                          nullptr});
+    ps_items.push_back(runtime::SweepItem{s2, suite::DpFactory(m),
+                                          runtime::NoStragglerFactory(),
+                                          nullptr});
+  }
+  const std::vector<runtime::ExperimentResult> ps_results =
+      runtime::RunSweep(ps_items, opts.jobs);
+
   std::printf("\nPS-architecture DP vs ring all-reduce DP (non-straggler):\n");
   common::TablePrinter ps_table({"batch", "PS-DP (1 server)",
                                  "PS-DP (4 servers)", "DP (ring)",
                                  "ring/PS1"});
-  for (double b : opts.Sweep<double>({128.0, 256.0, 512.0})) {
-    runtime::ExperimentSpec s2;
-    s2.total_batch = b;
-    s2.iterations = opts.smoke ? 3 : 30;
-    const double ps1 =
-        RunExperiment(s2, suite::PsDpFactory(m, 1),
-                      runtime::NoStragglerFactory())
-            .average_throughput;
-    const double ps4 =
-        RunExperiment(s2, suite::PsDpFactory(m, 4),
-                      runtime::NoStragglerFactory())
-            .average_throughput;
-    const double ring = RunExperiment(s2, suite::DpFactory(m),
-                                      runtime::NoStragglerFactory())
-                            .average_throughput;
+  for (size_t i = 0; i < ps_batches.size(); ++i) {
+    const double b = ps_batches[i];
+    const double ps1 = ps_results[3 * i].average_throughput;
+    const double ps4 = ps_results[3 * i + 1].average_throughput;
+    const double ring = ps_results[3 * i + 2].average_throughput;
     ps_table.AddRow({common::TablePrinter::Num(b, 0),
                      common::TablePrinter::Num(ps1, 1),
                      common::TablePrinter::Num(ps4, 1),

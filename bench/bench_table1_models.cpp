@@ -3,24 +3,35 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "model/zoo.h"
 
 namespace {
 
-std::string RenderTableOne() {
+std::string RenderTableOne(int jobs) {
   using namespace fela;
+  // Each model's row is independent; stage them on the sweep runner and
+  // assemble the table in model order, so bytes match any --jobs value.
+  const std::vector<model::Model> models = model::zoo::TableOneModels();
+  std::vector<std::vector<std::string>> rows(models.size());
+  runtime::SweepRunner runner(jobs);
+  for (size_t i = 0; i < models.size(); ++i) {
+    runner.Add([&models, &rows, i] {
+      const model::Model& m = models[i];
+      rows[i] = {m.name(), std::to_string(m.year()),
+                 std::to_string(m.published_layer_count()),
+                 std::to_string(m.WeightedLayerCount()),
+                 common::TablePrinter::Num(m.TotalParams() / 1e6, 1),
+                 common::TablePrinter::Num(m.TotalFlopsPerSample() / 1e9, 2)};
+    });
+  }
+  runner.RunAll();
   common::TablePrinter table(
       {"Model", "Year", "Layer Number", "built layers", "params (M)",
        "fwd GFLOP/sample"});
-  for (const model::Model& m : model::zoo::TableOneModels()) {
-    table.AddRow({m.name(), std::to_string(m.year()),
-                  std::to_string(m.published_layer_count()),
-                  std::to_string(m.WeightedLayerCount()),
-                  common::TablePrinter::Num(m.TotalParams() / 1e6, 1),
-                  common::TablePrinter::Num(m.TotalFlopsPerSample() / 1e9, 2)});
-  }
+  for (std::vector<std::string>& row : rows) table.AddRow(std::move(row));
   return table.ToString();
 }
 
@@ -31,9 +42,10 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader("Table I: Growing Neural Network Layer Numbers");
 
-  std::cout << RenderTableOne();
+  std::cout << RenderTableOne(opts.jobs);
   std::printf(
       "\n('built layers' counts the weighted layers of our constructed\n"
       "model; GoogLeNet trains as 12 coarse units, see DESIGN.md.)\n");
-  return bench::VerifyRenderDeterminism(opts, "table1", RenderTableOne);
+  return bench::VerifyRenderDeterminism(
+      opts, "table1", [&opts] { return RenderTableOne(opts.jobs); });
 }

@@ -33,22 +33,35 @@ int main(int argc, char** argv) {
   spec.total_batch = 128;  // a point where the tuner engages CTD
   spec.iterations = 20;
 
-  const auto cfg = suite::TunedFelaConfig(m, spec.total_batch, 8);
-  const auto fela = RunExperiment(spec, suite::FelaFactory(m, cfg),
-                                  runtime::NoStragglerFactory());
-  const auto dp = RunExperiment(spec, suite::DpFactory(m),
-                                runtime::NoStragglerFactory());
-  const auto mp = RunExperiment(spec, suite::MpFactory(m),
-                                runtime::NoStragglerFactory());
-  std::printf(
-      "  flexible parallelism : tuned per-sub-model weights = {%d,%d,%d}\n",
-      cfg.weights[0], cfg.weights[1], cfg.weights[2]);
+  // The spot-check experiments are independent chains; stage them on
+  // the sweep runner (the Fela chain reuses its tuned config) and print
+  // serially afterwards, so output bytes match any --jobs value.
   auto stragglers = [](int n) {
     return std::make_unique<sim::RoundRobinStragglers>(n, 4.0);
   };
-  const auto pid_fela =
-      RunPidExperiment(spec, suite::FelaFactory(m, cfg), stragglers);
-  const auto pid_dp = RunPidExperiment(spec, suite::DpFactory(m), stragglers);
+  core::FelaConfig cfg;
+  runtime::ExperimentResult fela, dp, mp;
+  runtime::PidResult pid_fela, pid_dp;
+  runtime::SweepRunner runner = opts.Runner();
+  runner.Add([&] {
+    cfg = suite::TunedFelaConfig(m, spec.total_batch, 8);
+    fela = RunExperiment(spec, suite::FelaFactory(m, cfg),
+                         runtime::NoStragglerFactory());
+    pid_fela = RunPidExperiment(spec, suite::FelaFactory(m, cfg), stragglers);
+  });
+  runner.Add([&] {
+    dp = RunExperiment(spec, suite::DpFactory(m),
+                       runtime::NoStragglerFactory());
+    pid_dp = RunPidExperiment(spec, suite::DpFactory(m), stragglers);
+  });
+  runner.Add([&] {
+    mp = RunExperiment(spec, suite::MpFactory(m),
+                       runtime::NoStragglerFactory());
+  });
+  runner.RunAll();
+  std::printf(
+      "  flexible parallelism : tuned per-sub-model weights = {%d,%d,%d}\n",
+      cfg.weights[0], cfg.weights[1], cfg.weights[2]);
   std::printf(
       "  straggler mitigation : PID %.2fs (Fela) vs %.2fs (DP barrier)\n",
       pid_fela.per_iteration_delay, pid_dp.per_iteration_delay);

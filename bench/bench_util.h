@@ -2,6 +2,7 @@
 #define FELA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -13,6 +14,7 @@
 #include "runtime/bench_json.h"
 #include "runtime/determinism.h"
 #include "runtime/report.h"
+#include "runtime/sweep.h"
 #include "suite/suite.h"
 
 namespace fela::bench {
@@ -30,11 +32,17 @@ inline constexpr int kIterations = 100;
 ///   --verify-determinism
 ///            before printing results, run a representative
 ///            configuration twice and fail (non-zero exit) unless the
-///            two transcripts are byte-identical (runtime/determinism.h).
+///            two transcripts are byte-identical (runtime/determinism.h);
+///   --jobs N run the sweep's independent experiment replicas on N
+///            threads (N = 0 means hardware concurrency). Each replica
+///            stays single-threaded and deterministic, and results are
+///            rendered in sweep order, so every byte of stdout, CSV,
+///            and BENCH_*.json is identical to a --jobs 1 run.
 struct BenchOptions {
   bool json = false;
   bool smoke = false;
   bool verify_determinism = false;
+  int jobs = 1;
 
   /// Sweep iterations honoring --smoke.
   int iterations() const { return smoke ? 3 : kIterations; }
@@ -44,15 +52,25 @@ struct BenchOptions {
     if (!smoke || full.empty()) return full;
     return {full.front()};
   }
+  /// A runner honoring --jobs; benches stage per-point tasks on it.
+  runtime::SweepRunner Runner() const { return runtime::SweepRunner(jobs); }
 };
 
 inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions opts;
+  auto parse_jobs = [&opts](const char* value) {
+    const int n = std::atoi(value);
+    opts.jobs = n <= 0 ? runtime::SweepRunner::HardwareJobs() : n;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) opts.json = true;
     else if (std::strcmp(argv[i], "--smoke") == 0) opts.smoke = true;
     else if (std::strcmp(argv[i], "--verify-determinism") == 0)
       opts.verify_determinism = true;
+    else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      parse_jobs(argv[++i]);
+    else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      parse_jobs(argv[i] + 7);
     else std::fprintf(stderr, "ignoring unknown flag %s\n", argv[i]);
   }
   return opts;
@@ -88,8 +106,9 @@ inline int FinishBench(const BenchOptions& opts,
 
 /// Run-twice determinism gate for experiment-driven benches. No-op
 /// unless --verify-determinism was passed; then runs `spec` twice
-/// (observability forced on) and returns 1 — the bench's failure exit —
-/// when the transcripts diverge, printing the first divergent line.
+/// (observability forced on; the replicas run concurrently under
+/// --jobs > 1) and returns 1 — the bench's failure exit — when the
+/// transcripts diverge, printing the first divergent line.
 inline int VerifyDeterminismGate(
     const BenchOptions& opts, const std::string& label,
     const runtime::ExperimentSpec& spec,
@@ -98,7 +117,7 @@ inline int VerifyDeterminismGate(
     const runtime::FaultFactory& faults = nullptr) {
   if (!opts.verify_determinism) return 0;
   const runtime::DeterminismReport report =
-      runtime::VerifyDeterminism(spec, engine, stragglers, faults);
+      runtime::VerifyDeterminism(spec, engine, stragglers, faults, opts.jobs);
   std::printf("determinism[%s]: %s\n", label.c_str(),
               report.ToString().c_str());
   return report.deterministic ? 0 : 1;

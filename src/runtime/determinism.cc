@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "runtime/attribution.h"
+#include "runtime/sweep.h"
 
 namespace fela::runtime {
 namespace {
@@ -85,15 +86,16 @@ std::string DeterminismReport::ToString() const {
 DeterminismReport VerifyDeterminism(const ExperimentSpec& spec,
                                     const EngineFactory& engine_factory,
                                     const StragglerFactory& straggler_factory,
-                                    const FaultFactory& fault_factory) {
+                                    const FaultFactory& fault_factory,
+                                    int jobs) {
   ExperimentSpec observed = spec;
   observed.observe = true;
-  const std::string first = DeterminismTranscript(
-      RunExperiment(observed, engine_factory, straggler_factory,
-                    fault_factory));
-  const std::string second = DeterminismTranscript(
-      RunExperiment(observed, engine_factory, straggler_factory,
-                    fault_factory));
+  const std::vector<SweepItem> items(
+      2, SweepItem{observed, engine_factory, straggler_factory,
+                   fault_factory});
+  const std::vector<ExperimentResult> runs = RunSweep(items, jobs);
+  const std::string first = DeterminismTranscript(runs[0]);
+  const std::string second = DeterminismTranscript(runs[1]);
 
   DeterminismReport report;
   report.hash_first = Fnv1a64(first);

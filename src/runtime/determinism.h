@@ -39,11 +39,14 @@ struct DeterminismReport {
 /// and compares the two transcripts. Every run of a correctly
 /// deterministic engine must produce `deterministic == true`; the first
 /// divergent transcript line pinpoints the earliest observable
-/// difference when it does not.
+/// difference when it does not. With jobs > 1 the two replicas execute
+/// concurrently on a SweepRunner — a stricter probe, since it also
+/// catches shared mutable state between replicas, and the path the
+/// parallel bench sweeps actually take.
 DeterminismReport VerifyDeterminism(
     const ExperimentSpec& spec, const EngineFactory& engine_factory,
     const StragglerFactory& straggler_factory,
-    const FaultFactory& fault_factory = nullptr);
+    const FaultFactory& fault_factory = nullptr, int jobs = 1);
 
 }  // namespace fela::runtime
 

@@ -1,0 +1,64 @@
+#include "runtime/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fela::runtime {
+
+SweepRunner::SweepRunner(int jobs) : jobs_(std::max(jobs, 1)) {}
+
+void SweepRunner::Add(std::function<void()> task) {
+  FELA_CHECK(task != nullptr);
+  tasks_.push_back(std::move(task));
+}
+
+void SweepRunner::RunAll() {
+  std::vector<std::function<void()>> tasks;
+  tasks.swap(tasks_);
+  const size_t n = tasks.size();
+  const size_t workers = std::min(static_cast<size_t>(jobs_), n);
+  if (workers <= 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto drain = [&tasks, &next, n] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      tasks[i]();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();  // the calling thread pulls tasks too
+  for (std::thread& t : pool) t.join();
+}
+
+int SweepRunner::HardwareJobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::vector<ExperimentResult> RunSweep(const std::vector<SweepItem>& items,
+                                       int jobs) {
+  std::vector<ExperimentResult> results(items.size());
+  SweepRunner runner(jobs);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const SweepItem& item = items[i];
+    runner.Add([&results, &item, i] {
+      results[i] =
+          RunExperiment(item.spec, item.engine, item.stragglers, item.faults);
+    });
+  }
+  runner.RunAll();
+  return results;
+}
+
+}  // namespace fela::runtime

@@ -1,0 +1,67 @@
+#ifndef FELA_RUNTIME_SWEEP_H_
+#define FELA_RUNTIME_SWEEP_H_
+
+#include <functional>
+#include <vector>
+
+#include "runtime/experiment.h"
+
+namespace fela::runtime {
+
+/// Runs a batch of independent tasks across a small thread pool.
+///
+/// Each task is an ordinary single-threaded computation (typically one
+/// `RunExperiment` replica, which is deterministic and shares nothing
+/// mutable with its peers — the profile repository and calibration
+/// singletons are const after initialization). Parallelism exists only
+/// *between* tasks, so the per-replica simulation transcript is
+/// bit-identical regardless of `jobs`. Callers stage results into
+/// storage they own, run, then render serially in task order — which
+/// makes the rendered output byte-identical to a serial run: `jobs`
+/// changes wall-clock time and nothing else.
+class SweepRunner {
+ public:
+  /// jobs <= 1 runs every task inline on the calling thread, in
+  /// submission order, creating no threads at all.
+  explicit SweepRunner(int jobs = 1);
+
+  int jobs() const { return jobs_; }
+
+  /// Queues a task for RunAll. Tasks must be mutually independent and
+  /// must not touch shared mutable state; each writes its outcome into
+  /// a caller-owned slot (e.g. `results[i]`).
+  void Add(std::function<void()> task);
+
+  /// Runs every queued task, returning once all have completed. With
+  /// jobs > 1 the tasks are claimed from an atomic counter by jobs
+  /// threads (the calling thread included), so completion order is
+  /// unspecified — which is why results are staged, not streamed. The
+  /// queue is left empty.
+  void RunAll();
+
+  /// Default for `--jobs` auto mode: the hardware concurrency, >= 1.
+  static int HardwareJobs();
+
+ private:
+  int jobs_;
+  std::vector<std::function<void()>> tasks_;
+};
+
+/// One point of an experiment sweep, self-contained so it can run on
+/// any thread: the spec plus the factories that build its engine and
+/// schedules.
+struct SweepItem {
+  ExperimentSpec spec;
+  EngineFactory engine;
+  StragglerFactory stragglers;
+  FaultFactory faults;  // null => fault-free run
+};
+
+/// Runs every item (in parallel when jobs > 1) and returns the results
+/// in item order regardless of completion order.
+std::vector<ExperimentResult> RunSweep(const std::vector<SweepItem>& items,
+                                       int jobs);
+
+}  // namespace fela::runtime
+
+#endif  // FELA_RUNTIME_SWEEP_H_

@@ -1,0 +1,165 @@
+// Tier-1 coverage for the parallel sweep runner: parallel execution of
+// independent experiment replicas must be byte-identical to serial
+// across every rendered artifact (attribution table, metrics CSV,
+// bench JSON, determinism transcript), even on the composite stress
+// spec that mixes stragglers, worker crashes, and a lossy control
+// plane.
+
+#include "runtime/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fela_config.h"
+#include "model/zoo.h"
+#include "runtime/bench_json.h"
+#include "runtime/determinism.h"
+#include "runtime/report.h"
+#include "sim/faults.h"
+#include "sim/straggler.h"
+#include "suite/suite.h"
+
+namespace fela::runtime {
+namespace {
+
+TEST(SweepRunnerTest, SerialRunnerExecutesTasksInOrder) {
+  SweepRunner runner(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) runner.Add([&order, i] { order.push_back(i); });
+  runner.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SweepRunnerTest, RunAllClearsTheQueue) {
+  SweepRunner runner(1);
+  int calls = 0;
+  runner.Add([&calls] { ++calls; });
+  runner.RunAll();
+  runner.RunAll();  // the queue drained; nothing re-runs
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SweepRunnerTest, ParallelRunnerExecutesEveryTaskExactlyOnce) {
+  SweepRunner runner(4);
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> counts(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    runner.Add([&counts, i] { counts[i].fetch_add(1); });
+  }
+  runner.RunAll();
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(SweepRunnerTest, MoreJobsThanTasksIsFine) {
+  SweepRunner runner(16);
+  std::atomic<int> calls{0};
+  runner.Add([&calls] { ++calls; });
+  runner.Add([&calls] { ++calls; });
+  runner.RunAll();
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(SweepRunnerTest, NonPositiveJobsClampsToSerial) {
+  SweepRunner runner(-3);
+  EXPECT_EQ(runner.jobs(), 1);
+}
+
+TEST(SweepRunnerTest, HardwareJobsIsPositive) {
+  EXPECT_GE(SweepRunner::HardwareJobs(), 1);
+}
+
+// ---- the composite stress spec ---------------------------------------
+
+ExperimentSpec CompositeSpec() {
+  ExperimentSpec spec;
+  spec.total_batch = 128;
+  spec.iterations = 4;
+  spec.observe = true;
+  return spec;
+}
+
+StragglerFactory Stragglers() {
+  return [](int n) -> std::unique_ptr<sim::StragglerSchedule> {
+    return std::make_unique<sim::RoundRobinStragglers>(n, 2.0);
+  };
+}
+
+/// Worker crashes plus a lossy (dropping and duplicating) control plane.
+FaultFactory CompositeFaultFactory() {
+  return [](int n) -> std::unique_ptr<sim::FaultSchedule> {
+    std::vector<std::unique_ptr<sim::FaultSchedule>> parts;
+    parts.push_back(std::make_unique<sim::RandomCrashes>(
+        n, /*crash_prob=*/0.2, /*window_sec=*/2.0, /*down_sec=*/0.5,
+        /*seed=*/20200420));
+    parts.push_back(std::make_unique<sim::LossyControlPlane>(
+        /*drop_prob=*/0.02, /*dup_prob=*/0.02, /*seed=*/7));
+    return std::make_unique<sim::CompositeFaults>(std::move(parts));
+  };
+}
+
+/// Two engines (DP and Fela) on the composite spec.
+std::vector<SweepItem> CompositeItems() {
+  const model::Model m = model::zoo::Vgg19();
+  const ExperimentSpec spec = CompositeSpec();
+  std::vector<SweepItem> items;
+  items.push_back(SweepItem{spec, suite::DpFactory(m), Stragglers(),
+                            CompositeFaultFactory()});
+  items.push_back(SweepItem{spec,
+                            suite::FelaFactory(
+                                m, core::FelaConfig::Defaults(3, 8)),
+                            Stragglers(), CompositeFaultFactory()});
+  return items;
+}
+
+TEST(RunSweepTest, ResultsComeBackInItemOrder) {
+  const std::vector<ExperimentResult> results = RunSweep(CompositeItems(), 4);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].engine_name, "DP");
+  EXPECT_EQ(results[1].engine_name, "Fela");
+}
+
+TEST(RunSweepTest, ParallelMatchesSerialByteForByte) {
+  const std::vector<SweepItem> items = CompositeItems();
+  const std::vector<ExperimentResult> serial = RunSweep(items, 1);
+  const std::vector<ExperimentResult> parallel = RunSweep(items, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+
+  obs::BenchReport serial_report("sweep_test");
+  obs::BenchReport parallel_report("sweep_test");
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(DeterminismTranscript(serial[i]),
+              DeterminismTranscript(parallel[i]))
+        << "replica " << i;
+    EXPECT_EQ(RenderAttributionTable(serial[i].attribution),
+              RenderAttributionTable(parallel[i].attribution))
+        << "replica " << i;
+    EXPECT_EQ(serial[i].metrics.ToCsv(), parallel[i].metrics.ToCsv())
+        << "replica " << i;
+    serial_report.Add(serial[i], static_cast<double>(i));
+    parallel_report.Add(parallel[i], static_cast<double>(i));
+  }
+  EXPECT_EQ(serial_report.ToJson().Dump(1), parallel_report.ToJson().Dump(1));
+}
+
+TEST(VerifyDeterminismTest, ParallelPathIsDeterministic) {
+  const model::Model m = model::zoo::Vgg19();
+  const auto engine =
+      suite::FelaFactory(m, core::FelaConfig::Defaults(3, 8));
+  const DeterminismReport serial = VerifyDeterminism(
+      CompositeSpec(), engine, Stragglers(), CompositeFaultFactory(),
+      /*jobs=*/1);
+  const DeterminismReport parallel = VerifyDeterminism(
+      CompositeSpec(), engine, Stragglers(), CompositeFaultFactory(),
+      /*jobs=*/2);
+  EXPECT_TRUE(serial.deterministic) << serial.ToString();
+  EXPECT_TRUE(parallel.deterministic) << parallel.ToString();
+  // The concurrent replicas hash to the very transcript serial runs do.
+  EXPECT_EQ(parallel.hash_first, serial.hash_first);
+}
+
+}  // namespace
+}  // namespace fela::runtime
