@@ -69,8 +69,7 @@ class LegacyEventQueue {
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
-      // fela-lint: allow(float-eq) exact compare: insertion-order tie-break.
-      if (a.when != b.when) return a.when > b.when;
+      if (!sim::TimeEq(a.when, b.when)) return a.when > b.when;
       return a.id > b.id;
     }
   };

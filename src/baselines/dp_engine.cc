@@ -80,8 +80,7 @@ void DpEngine::OnWorkerComputeDone(int worker, double seconds) {
     ++stats_.faults.crashes;
     const sim::SimTime up =
         faults.NextUpAfter(cluster_->simulator().now(), worker);
-    // fela-lint: allow(float-eq) kNeverTime is an exact sentinel.
-    if (up == sim::kNeverTime) {
+    if (sim::IsNever(up)) {
       stats_.stalled = true;
       return;  // peers wait at the barrier forever
     }

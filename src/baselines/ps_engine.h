@@ -32,6 +32,11 @@ class PsDpEngine : public runtime::Engine {
 
   int num_servers() const { return num_servers_; }
   double shard_bytes() const { return shard_bytes_; }
+  /// Per-device batch actually resident at once (gradient accumulation
+  /// splits per_worker batches that exceed device memory); the memory
+  /// oracle checks it against MemoryModel::MaxBatchForModel.
+  double micro_batch() const { return micro_batch_; }
+  int micro_steps() const { return micro_steps_; }
 
  private:
   void StartIteration(int iteration);

@@ -50,6 +50,9 @@ class FelaEngine : public runtime::Engine {
     return sub_models_;
   }
   const TokenServer::Stats& ts_stats() const { return ts_->stats(); }
+  /// Live token server, for post-run invariant probes (the oracles audit
+  /// its ledger through ExperimentSpec::post_run_probe).
+  const TokenServer& token_server() const { return *ts_; }
   const FelaWorker& worker(int i) const {
     return *workers_[static_cast<size_t>(i)];
   }

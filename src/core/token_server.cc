@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace fela::core {
+
+namespace {
+
+// Mutation-canary state (see SetTokenServerMutationForTesting). Process
+// globals, not members: the canary must survive engine construction so a
+// test can arm it before the run it wants to poison.
+bool g_mutation_enabled = false;
+uint64_t g_mutation_report_count = 0;
+
+}  // namespace
+
+void SetTokenServerMutationForTesting(bool enabled) {
+  g_mutation_enabled = enabled;
+  g_mutation_report_count = 0;
+}
+
+bool TokenServerMutationForTesting() { return g_mutation_enabled; }
 
 TokenServer::TokenServer(sim::Simulator* sim, const sim::Calibration* cal,
                          const FelaPlan* plan, const FelaConfig* config,
@@ -72,6 +90,70 @@ bool TokenServer::AllLevelsComplete() const {
     }
   }
   return true;
+}
+
+std::vector<std::string> TokenServer::CheckInvariants() const {
+  std::vector<std::string> out;
+  const uint64_t live = static_cast<uint64_t>(leases_.size());
+  if (stats_.grants != stats_.completions + stats_.tokens_reclaimed + live) {
+    out.push_back(common::StrFormat(
+        "token conservation violated: grants=%llu != completions=%llu + "
+        "reclaimed=%llu + live_leases=%llu",
+        static_cast<unsigned long long>(stats_.grants),
+        static_cast<unsigned long long>(stats_.completions),
+        static_cast<unsigned long long>(stats_.tokens_reclaimed),
+        static_cast<unsigned long long>(live)));
+  }
+  if (stats_.regrants > stats_.tokens_reclaimed) {
+    out.push_back(common::StrFormat(
+        "regrants without reclaim: regrants=%llu > reclaimed=%llu",
+        static_cast<unsigned long long>(stats_.regrants),
+        static_cast<unsigned long long>(stats_.tokens_reclaimed)));
+  }
+  if (stats_.lease_expirations > stats_.tokens_reclaimed) {
+    out.push_back(common::StrFormat(
+        "expirations exceed reclaims: expirations=%llu > reclaimed=%llu",
+        static_cast<unsigned long long>(stats_.lease_expirations),
+        static_cast<unsigned long long>(stats_.tokens_reclaimed)));
+  }
+  if (stats_.steals > stats_.grants) {
+    out.push_back(common::StrFormat(
+        "steals exceed grants: steals=%llu > grants=%llu",
+        static_cast<unsigned long long>(stats_.steals),
+        static_cast<unsigned long long>(stats_.grants)));
+  }
+  for (int l = 0; l < plan_->num_levels(); ++l) {
+    const int cap = plan_->level(l).token_count;
+    if (completed_count_[static_cast<size_t>(l)] > cap) {
+      out.push_back(common::StrFormat(
+          "level %d over-completed: %d completions for %d tokens", l,
+          completed_count_[static_cast<size_t>(l)], cap));
+    }
+    if (generated_count_[static_cast<size_t>(l)] > cap) {
+      out.push_back(common::StrFormat(
+          "level %d over-generated: %d generated for %d planned", l,
+          generated_count_[static_cast<size_t>(l)], cap));
+    }
+  }
+  // Outstanding grants and live leases are two views of the same set.
+  uint64_t outstanding_live = 0;
+  for (sim::NodeId w = 0; w < num_workers(); ++w) {
+    const TokenId id = outstanding_[static_cast<size_t>(w)];
+    if (id == kInvalidTokenId) continue;
+    ++outstanding_live;
+    if (leases_.find(id) == leases_.end()) {
+      out.push_back(common::StrFormat(
+          "worker %d holds token %llu with no lease record", w,
+          static_cast<unsigned long long>(id)));
+    }
+  }
+  if (outstanding_live != live) {
+    out.push_back(common::StrFormat(
+        "lease ledger mismatch: %llu outstanding grants vs %llu leases",
+        static_cast<unsigned long long>(outstanding_live),
+        static_cast<unsigned long long>(live)));
+  }
+  return out;
 }
 
 size_t TokenServer::PendingTokenCount() const {
@@ -458,7 +540,11 @@ void TokenServer::HandleReport(sim::NodeId worker, const Token& token) {
     }
     leases_.erase(lease);
   }
-  ++stats_.completions;
+  // Mutation canary: while armed, every 7th accepted completion is
+  // leaked from the ledger — behavior is untouched, the accounting lies.
+  if (!g_mutation_enabled || ++g_mutation_report_count % 7 != 0) {
+    ++stats_.completions;
+  }
   info_.RecordCompleted(token.id, worker);
   const size_t level = static_cast<size_t>(token.level);
   ++completed_count_[level];

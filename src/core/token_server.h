@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -144,6 +145,14 @@ class TokenServer {
     return completed_count_[static_cast<size_t>(level)];
   }
 
+  /// Audits the token-accounting ledger; returns one line per violated
+  /// invariant, empty when healthy. Safe to call at any point in a run:
+  /// the conservation identity (every grant terminates in exactly one of
+  /// completion or reclaim) counts still-live leases as in flight. The
+  /// fuzzer's TokenConservationOracle calls this through the
+  /// ExperimentSpec::post_run_probe hook.
+  std::vector<std::string> CheckInvariants() const;
+
  private:
   bool hf() const { return config_->hf_enabled; }
   bool CtdActive() const {
@@ -215,6 +224,15 @@ class TokenServer {
   bool all_done_announced_ = false;
   Stats stats_;
 };
+
+/// Test-only mutation switch: while enabled, HandleReport silently drops
+/// every 7th accepted completion from the stats ledger (behavior is
+/// untouched — only the accounting lies). This is the mutation canary the
+/// fuzzer tests use to prove the conservation oracle actually bites; it
+/// must never be enabled outside a test, and enabling resets the internal
+/// report counter so canary runs are reproducible.
+void SetTokenServerMutationForTesting(bool enabled);
+bool TokenServerMutationForTesting();
 
 }  // namespace fela::core
 

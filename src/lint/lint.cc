@@ -847,6 +847,38 @@ std::string SiblingHeaderPath(const std::string& path) {
   return path.substr(0, dot) + ".h";
 }
 
+/// Quoted #include targets of a file ("core/token_server.h"; angle
+/// includes are system headers and carry no project members). Parsed
+/// from the raw text — Preprocess blanks string literals, include
+/// paths among them.
+std::vector<std::string> CollectIncludes(const std::string& contents) {
+  std::vector<std::string> out;
+  std::istringstream in(contents);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = Trim(line);
+    if (t.rfind("#include", 0) != 0) continue;
+    const size_t open = t.find('"');
+    if (open == std::string::npos) continue;
+    const size_t close = t.find('"', open + 1);
+    if (close == std::string::npos || close == open + 1) continue;
+    out.push_back(t.substr(open + 1, close - open - 1));
+  }
+  return out;
+}
+
+/// True when `path` names `include_spec` (equal, or ends with
+/// "/<include_spec>" — include specs are root-relative, scanned paths
+/// may carry the root prefix).
+bool PathMatchesInclude(const std::string& path,
+                        const std::string& include_spec) {
+  if (path == include_spec) return true;
+  if (path.size() <= include_spec.size()) return false;
+  return path.compare(path.size() - include_spec.size(), include_spec.size(),
+                      include_spec) == 0 &&
+         path[path.size() - include_spec.size() - 1] == '/';
+}
+
 bool ReadFile(const std::string& path, std::string* contents) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
@@ -947,22 +979,42 @@ bool LintTree(const std::vector<std::string>& roots, const Options& options,
     loaded[f] = std::move(contents);
   }
 
-  // Pass 2: lint each file; a .cc inherits its sibling header's members.
+  // Pass 2: lint each file. A file inherits unordered members from its
+  // sibling header and from every directly-included project header, so
+  // loops over containers declared one header away are still caught.
   findings->clear();
   for (const std::string& f : files) {
     std::set<std::string> extra;
-    const std::string sibling = SiblingHeaderPath(f);
-    if (!sibling.empty()) {
-      auto it = header_members.find(sibling);
-      if (it == header_members.end()) {
-        // The header may live outside the scanned roots.
-        std::string contents;
-        if (ReadFile(sibling, &contents)) {
-          extra = CollectUnorderedMembers(Preprocess(contents));
-        }
-      } else {
-        extra = it->second;
+    auto merge_header = [&](const std::string& header_path) {
+      const auto it = header_members.find(header_path);
+      if (it != header_members.end()) {
+        extra.insert(it->second.begin(), it->second.end());
+        return;
       }
+      // The header may live outside the scanned roots.
+      std::string contents;
+      if (ReadFile(header_path, &contents)) {
+        const std::set<std::string> m =
+            CollectUnorderedMembers(Preprocess(contents));
+        extra.insert(m.begin(), m.end());
+      }
+    };
+    const std::string sibling = SiblingHeaderPath(f);
+    if (!sibling.empty()) merge_header(sibling);
+    const size_t slash = f.find_last_of("/\\");
+    const std::string dir =
+        slash == std::string::npos ? std::string() : f.substr(0, slash + 1);
+    for (const std::string& inc : CollectIncludes(loaded[f])) {
+      bool matched = false;
+      for (const auto& [path, members] : header_members) {
+        if (PathMatchesInclude(path, inc)) {
+          extra.insert(members.begin(), members.end());
+          matched = true;
+        }
+      }
+      // Unscanned headers resolve relative to the includer's directory
+      // (the other root-relative form was covered by the match above).
+      if (!matched) merge_header(dir + inc);
     }
     std::vector<Finding> file_findings =
         LintFile(f, loaded[f], options, extra, status_fns);

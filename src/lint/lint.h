@@ -62,8 +62,12 @@ std::vector<Finding> LintFile(const std::string& path,
 /// Walks `roots` (files or directories), lints every .h/.hpp/.cc/.cpp,
 /// and returns findings sorted by (file, line, rule). A two-pass scan:
 /// pass 1 collects Status-returning function names and per-header
-/// unordered members, pass 2 applies the rules. Returns false and fills
-/// `error` when a root cannot be read.
+/// unordered members, pass 2 applies the rules, seeding each file's
+/// unordered-iter members from its sibling header and every directly-
+/// included project header (quoted includes, matched against scanned
+/// files by path suffix, or read relative to the includer when not
+/// scanned). Returns false and fills `error` when a root cannot be
+/// read.
 bool LintTree(const std::vector<std::string>& roots, const Options& options,
               std::vector<Finding>* findings, std::string* error);
 

@@ -72,8 +72,9 @@ PhaseBreakdown Partition(const std::vector<ClippedSpan>& spans, double lo,
   // (from duplicate-adjacent cuts) in idle so the sum-to-one invariant
   // is by construction, not by luck.
   const double residue = out.total - charged;
-  // fela-lint: allow(float-eq) exactly-zero residue needs no idle entry.
-  if (residue != 0.0) out.seconds[static_cast<size_t>(Phase::kIdle)] += residue;
+  if (!sim::TimeEq(residue, 0.0)) {
+    out.seconds[static_cast<size_t>(Phase::kIdle)] += residue;
+  }
   return out;
 }
 
@@ -97,10 +98,9 @@ IterationCriticalPath WalkCriticalPath(const std::vector<ClippedSpan>& spans,
       const double reach = std::min(s.end, t);
       const bool better =
           best < 0 || reach > best_reach ||
-          (reach == best_reach &&  // fela-lint: allow(float-eq) tie-break
+          (sim::TimeEq(reach, best_reach) &&  // intentional exact tie-break
            (s.begin < spans[static_cast<size_t>(best)].begin ||
-            // fela-lint: allow(float-eq) exact tie-break, phase decides
-            (s.begin == spans[static_cast<size_t>(best)].begin &&
+            (sim::TimeEq(s.begin, spans[static_cast<size_t>(best)].begin) &&
              static_cast<int>(s.phase) <
                  static_cast<int>(spans[static_cast<size_t>(best)].phase))));
       if (better) {

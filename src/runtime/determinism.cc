@@ -83,20 +83,8 @@ std::string DeterminismReport::ToString() const {
       divergence_line, line_first.c_str(), line_second.c_str());
 }
 
-DeterminismReport VerifyDeterminism(const ExperimentSpec& spec,
-                                    const EngineFactory& engine_factory,
-                                    const StragglerFactory& straggler_factory,
-                                    const FaultFactory& fault_factory,
-                                    int jobs) {
-  ExperimentSpec observed = spec;
-  observed.observe = true;
-  const std::vector<SweepItem> items(
-      2, SweepItem{observed, engine_factory, straggler_factory,
-                   fault_factory});
-  const std::vector<ExperimentResult> runs = RunSweep(items, jobs);
-  const std::string first = DeterminismTranscript(runs[0]);
-  const std::string second = DeterminismTranscript(runs[1]);
-
+DeterminismReport DiffTranscripts(const std::string& first,
+                                  const std::string& second) {
   DeterminismReport report;
   report.hash_first = Fnv1a64(first);
   report.hash_second = Fnv1a64(second);
@@ -116,6 +104,21 @@ DeterminismReport VerifyDeterminism(const ExperimentSpec& spec,
     break;
   }
   return report;
+}
+
+DeterminismReport VerifyDeterminism(const ExperimentSpec& spec,
+                                    const EngineFactory& engine_factory,
+                                    const StragglerFactory& straggler_factory,
+                                    const FaultFactory& fault_factory,
+                                    int jobs) {
+  ExperimentSpec observed = spec;
+  observed.observe = true;
+  const std::vector<SweepItem> items(
+      2, SweepItem{observed, engine_factory, straggler_factory,
+                   fault_factory});
+  const std::vector<ExperimentResult> runs = RunSweep(items, jobs);
+  return DiffTranscripts(DeterminismTranscript(runs[0]),
+                         DeterminismTranscript(runs[1]));
 }
 
 }  // namespace fela::runtime

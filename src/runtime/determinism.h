@@ -35,6 +35,14 @@ struct DeterminismReport {
   std::string ToString() const;
 };
 
+/// Compares two transcripts without running anything: fills the hashes,
+/// `deterministic`, and — on mismatch — the 1-based line number and both
+/// sides of the first divergence. VerifyDeterminism reports through
+/// this, and the fuzzer's metamorphic twins use it directly to pinpoint
+/// where two supposedly identical runs forked.
+DeterminismReport DiffTranscripts(const std::string& first,
+                                  const std::string& second);
+
 /// Runs the experiment twice with identical inputs (observe forced on)
 /// and compares the two transcripts. Every run of a correctly
 /// deterministic engine must produce `deterministic == true`; the first

@@ -29,6 +29,7 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec,
   ExperimentResult result;
   result.engine_name = engine->name();
   result.stats = engine->Run(spec.iterations);
+  if (spec.post_run_probe) spec.post_run_probe(*engine, cluster);
   result.average_throughput =
       result.stats.EffectiveThroughput(spec.total_batch);
   result.gpu_utilization =

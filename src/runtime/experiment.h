@@ -26,6 +26,11 @@ struct ExperimentSpec {
   /// serialized Chrome trace. Off by default — observation costs time
   /// and memory, and sweeps only need the scalar outcomes.
   bool observe = false;
+  /// Invoked after Engine::Run while the engine and cluster are still
+  /// alive — the only window where live internals (token-server ledgers,
+  /// simulator counters) are inspectable. Used by the invariant oracles
+  /// in src/testing; null for normal runs. Probes must not mutate state.
+  std::function<void(const Engine& engine, Cluster& cluster)> post_run_probe;
 };
 
 /// Creates an engine wired to the given cluster for the given workload.

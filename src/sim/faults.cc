@@ -54,8 +54,7 @@ SimTime FaultSchedule::NextUpAfter(SimTime t, int worker) const {
   SimTime cur = t;
   while (true) {
     const SimTime next = NextTransitionAfter(cur);
-    // fela-lint: allow(float-eq) kNeverTime is an exact sentinel.
-    if (next == kNeverTime || next <= cur) return kNeverTime;
+    if (IsNever(next) || next <= cur) return kNeverTime;
     if (!IsDownAt(next, worker)) return next;
     cur = next;
   }
@@ -85,7 +84,7 @@ SimTime ScriptedCrashes::NextTransitionAfter(SimTime t) const {
   SimTime best = kNeverTime;
   for (const CrashEvent& e : events_) {
     if (e.crash_time > t) best = std::min(best, e.crash_time);
-    if (e.recover_time > t && e.recover_time != kNeverTime) {
+    if (e.recover_time > t && !IsNever(e.recover_time)) {
       best = std::min(best, e.recover_time);
     }
   }
@@ -97,7 +96,7 @@ std::string ScriptedCrashes::ToString() const {
   for (size_t i = 0; i < events_.size(); ++i) {
     const CrashEvent& e = events_[i];
     if (i > 0) out += ", ";
-    if (e.recover_time == kNeverTime) {
+    if (IsNever(e.recover_time)) {
       out += common::StrFormat("w%d@%.2fs", e.worker, e.crash_time);
     } else {
       out += common::StrFormat("w%d@[%.2fs,%.2fs)", e.worker, e.crash_time,
@@ -137,7 +136,7 @@ bool RandomCrashes::IsDownAt(SimTime time, int worker) const {
   // A crash in window k downs the worker over [k*W, k*W + down_sec).
   const int64_t last = static_cast<int64_t>(std::floor(time / window_sec_));
   const int64_t from =
-      down_sec_ == kNeverTime
+      IsNever(down_sec_)
           ? 0
           : std::max<int64_t>(
                 0, last - static_cast<int64_t>(
@@ -145,7 +144,7 @@ bool RandomCrashes::IsDownAt(SimTime time, int worker) const {
   for (int64_t k = from; k <= last; ++k) {
     if (!CrashesInWindow(k, worker)) continue;
     const SimTime crash = static_cast<SimTime>(k) * window_sec_;
-    if (time >= crash && (down_sec_ == kNeverTime || time < crash + down_sec_)) {
+    if (time >= crash && (IsNever(down_sec_) || time < crash + down_sec_)) {
       return true;
     }
   }
@@ -155,7 +154,7 @@ bool RandomCrashes::IsDownAt(SimTime time, int worker) const {
 SimTime RandomCrashes::NextTransitionAfter(SimTime t) const {
   if (crash_prob_ <= 0.0) return kNeverTime;
   const int64_t span =
-      down_sec_ == kNeverTime
+      IsNever(down_sec_)
           ? 0
           : static_cast<int64_t>(std::ceil(down_sec_ / window_sec_));
   const int64_t from = std::max<int64_t>(
@@ -167,7 +166,7 @@ SimTime RandomCrashes::NextTransitionAfter(SimTime t) const {
     for (int w = first_worker_; w < num_workers_; ++w) {
       if (!CrashesInWindow(k, w)) continue;
       if (crash > t) best = std::min(best, crash);
-      if (down_sec_ != kNeverTime && crash + down_sec_ > t) {
+      if (!IsNever(down_sec_) && crash + down_sec_ > t) {
         best = std::min(best, crash + down_sec_);
       }
     }
@@ -178,7 +177,7 @@ SimTime RandomCrashes::NextTransitionAfter(SimTime t) const {
 std::string RandomCrashes::ToString() const {
   return common::StrFormat("random-crashes(p=%.3f/%.1fs, down=%s)",
                            crash_prob_, window_sec_,
-                           down_sec_ == kNeverTime
+                           IsNever(down_sec_)
                                ? "forever"
                                : common::StrFormat("%.1fs", down_sec_).c_str());
 }
@@ -278,8 +277,7 @@ void FaultMonitor::Stop() {
 
 void FaultMonitor::ScheduleNext(SimTime after) {
   const SimTime next = faults_->NextTransitionAfter(after);
-  // fela-lint: allow(float-eq) kNeverTime is an exact sentinel.
-  if (next == kNeverTime) return;
+  if (IsNever(next)) return;
   pending_ = sim_->ScheduleAt(next, [this] {
     pending_ = kInvalidEventId;
     OnWakeup();

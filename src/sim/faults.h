@@ -13,7 +13,7 @@
 
 namespace fela::sim {
 
-inline constexpr SimTime kNeverTime = std::numeric_limits<SimTime>::infinity();
+// kNeverTime and its IsNever() test live in sim/types.h alongside SimTime.
 
 /// Fault injection schedule, the failure-side sibling of
 /// StragglerSchedule: *worker crash / recover* events at simulated times

@@ -44,12 +44,19 @@ class Simulator {
   /// Number of events executed so far.
   uint64_t events_processed() const { return events_processed_; }
 
+  /// Events that popped with a fire time earlier than the clock — i.e.
+  /// the queue handed back an event from the past. Always 0 for a
+  /// healthy queue; counted (rather than crashed on) so the invariant
+  /// oracles can report the violation with full run context.
+  uint64_t causality_violations() const { return causality_violations_; }
+
   bool idle() const { return queue_.empty(); }
 
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
   uint64_t events_processed_ = 0;
+  uint64_t causality_violations_ = 0;
 };
 
 }  // namespace fela::sim

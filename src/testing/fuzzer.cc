@@ -1,0 +1,270 @@
+#include "testing/fuzzer.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/token_server.h"
+#include "runtime/determinism.h"
+#include "sim/faults.h"
+
+namespace fela::testing {
+
+namespace {
+
+/// Runs the spec's experiment with a given fault factory, feeding the
+/// oracle battery's Probe window when one is supplied.
+runtime::ExperimentResult RunProbed(
+    const FuzzSpec& spec, const runtime::FaultFactory& faults,
+    std::vector<std::unique_ptr<InvariantOracle>>* oracles) {
+  runtime::ExperimentSpec espec = ToExperimentSpec(spec);
+  if (oracles != nullptr) {
+    espec.post_run_probe = [&spec, oracles](const runtime::Engine& engine,
+                                            runtime::Cluster& cluster) {
+      for (auto& o : *oracles) o->Probe(spec, engine, cluster);
+    };
+  }
+  return runtime::RunExperiment(espec, MakeEngineFactory(spec),
+                                MakeStragglerFactory(spec), faults);
+}
+
+/// A fault schedule that is Active() yet injects nothing: an empty
+/// composite. Engines take their fault-aware paths (leases armed, fault
+/// monitor started) but nothing ever fires — so the run must be
+/// byte-identical to the plain no-fault run.
+runtime::FaultFactory InertFaultFactory() {
+  return [](int) -> std::unique_ptr<sim::FaultSchedule> {
+    return std::make_unique<sim::CompositeFaults>(
+        std::vector<std::unique_ptr<sim::FaultSchedule>>{});
+  };
+}
+
+}  // namespace
+
+FuzzCaseResult RunFuzzCase(const FuzzSpec& spec, const FuzzOptions& options) {
+  // Under the mutation canary the leak pattern depends on a process-wide
+  // report counter; restart it so "does this spec trip the oracle" is a
+  // deterministic property of the spec, not of whatever ran before.
+  if (core::TokenServerMutationForTesting()) {
+    core::SetTokenServerMutationForTesting(true);
+  }
+
+  FuzzCaseResult out;
+  out.spec = spec;
+  std::vector<std::unique_ptr<InvariantOracle>> oracles = DefaultOracles();
+  out.result = RunProbed(spec, MakeFaultFactory(spec), &oracles);
+  for (auto& oracle : oracles) {
+    oracle->Check(spec, out.result);
+    for (const Violation& v : oracle->violations()) {
+      out.violations.push_back(v);
+    }
+  }
+  if (!options.metamorphic) return out;
+
+  // Metamorphic twin 1: a fault-free spec re-run under an inert-but-
+  // active fault schedule replays byte-for-byte. Catches fault-path
+  // bookkeeping (leases, monitors, retry timers) leaking into runs where
+  // no fault ever fires.
+  if (spec.fault == FaultKind::kNone) {
+    const runtime::ExperimentResult twin =
+        RunProbed(spec, InertFaultFactory(), nullptr);
+    const runtime::DeterminismReport diff = runtime::DiffTranscripts(
+        runtime::DeterminismTranscript(out.result),
+        runtime::DeterminismTranscript(twin));
+    if (!diff.deterministic) {
+      out.violations.push_back(Violation{
+          kInertFaultOracle,
+          "inert fault schedule perturbed the run: " + diff.ToString()});
+    }
+  }
+
+  // Metamorphic twin 2: adding a persistent straggler to a clean spec
+  // never reduces makespan. Only claimed for static-schedule engines —
+  // adaptive ones (ElasticMP re-partitions, Fela re-plans grants) may
+  // legitimately land on a marginally better schedule once a worker
+  // slows down, so monotonicity is not a theorem for them.
+  const bool static_schedule =
+      spec.engine == EngineKind::kDp || spec.engine == EngineKind::kPsDp ||
+      spec.engine == EngineKind::kMp || spec.engine == EngineKind::kHp;
+  if (static_schedule && spec.straggler == StragglerKind::kNone &&
+      spec.fault == FaultKind::kNone) {
+    FuzzSpec slowed = spec;
+    slowed.straggler = StragglerKind::kPersistent;
+    slowed.straggler_victim = spec.num_workers - 1;
+    slowed.straggler_delay_sec = 1.0;
+    const runtime::ExperimentResult twin =
+        RunProbed(slowed, MakeFaultFactory(slowed), nullptr);
+    if (twin.stats.total_time + 1e-9 < out.result.stats.total_time) {
+      out.violations.push_back(Violation{
+          kStragglerMonotoneOracle,
+          common::StrFormat(
+              "adding a 1s persistent straggler reduced makespan: "
+              "%.9f -> %.9f seconds",
+              out.result.stats.total_time, twin.stats.total_time)});
+    }
+  }
+
+  // Metamorphic twin 3: under a straggler + crash composition, Fela
+  // retains at least as large a fraction of its own clean throughput as
+  // DP retains of its (the paper's central claim: DP redoes lost batches
+  // at the barrier while Fela reclaims and re-grants tokens). Absolute
+  // throughput is workload-shaped, so the comparison is on degradation.
+  // Scoped to pure crash faults: a lossy control plane taxes Fela's
+  // token traffic (5s retry per dropped grant) far more than DP's near-
+  // silent barrier protocol, so dominance is not claimed under it.
+  if (spec.engine == EngineKind::kFela && spec.fela_ads && spec.fela_hf &&
+      spec.straggler != StragglerKind::kNone &&
+      spec.fault == FaultKind::kRandomCrashes) {
+    FuzzSpec clean = spec;
+    clean.straggler = StragglerKind::kNone;
+    clean.fault = FaultKind::kNone;
+    FuzzSpec dp = spec;
+    dp.engine = EngineKind::kDp;
+    FuzzSpec dp_clean = clean;
+    dp_clean.engine = EngineKind::kDp;
+    const double fela_clean =
+        RunProbed(clean, MakeFaultFactory(clean), nullptr).average_throughput;
+    const double dp_faulted =
+        RunProbed(dp, MakeFaultFactory(dp), nullptr).average_throughput;
+    const double dp_base =
+        RunProbed(dp_clean, MakeFaultFactory(dp_clean), nullptr)
+            .average_throughput;
+    const double fela_retention =
+        fela_clean > 0.0 ? out.result.average_throughput / fela_clean : 1.0;
+    const double dp_retention = dp_base > 0.0 ? dp_faulted / dp_base : 1.0;
+    if (fela_retention + 1e-9 < dp_retention) {
+      out.violations.push_back(Violation{
+          kFelaDominanceOracle,
+          common::StrFormat(
+              "Fela retained %.4f of clean throughput but DP retained "
+              "%.4f under %s + %s",
+              fela_retention, dp_retention, StragglerKindName(spec.straggler),
+              FaultKindName(spec.fault))});
+    }
+  }
+
+  return out;
+}
+
+FuzzCaseResult RunFuzzCase(const FuzzSpec& spec) {
+  return RunFuzzCase(spec, FuzzOptions{});
+}
+
+std::string CaseSummaryLine(uint64_t index, const FuzzCaseResult& result) {
+  std::string line = common::StrFormat(
+      "case %04llu seed=%llu %s -> ",
+      static_cast<unsigned long long>(index),
+      static_cast<unsigned long long>(result.spec.seed),
+      SpecLabel(result.spec).c_str());
+  if (result.ok()) {
+    line += common::StrFormat(
+        "ok time=%.6g thr=%.6g%s", result.result.stats.total_time,
+        result.result.average_throughput,
+        result.result.stats.stalled ? " stalled" : "");
+  } else {
+    const Violation& first = result.violations.front();
+    line += common::StrFormat("VIOLATION x%zu [%s] %s",
+                              result.violations.size(), first.oracle.c_str(),
+                              first.detail.c_str());
+  }
+  return line;
+}
+
+namespace {
+
+/// Candidate one-step simplifications of `s`, most aggressive first.
+/// Every candidate is strictly simpler by some measure, so greedy
+/// restarts terminate.
+std::vector<FuzzSpec> ShrinkCandidates(const FuzzSpec& s) {
+  std::vector<FuzzSpec> out;
+  if (s.fault != FaultKind::kNone) {
+    FuzzSpec c = s;
+    c.fault = FaultKind::kNone;
+    out.push_back(std::move(c));
+  }
+  if (s.straggler != StragglerKind::kNone) {
+    FuzzSpec c = s;
+    c.straggler = StragglerKind::kNone;
+    out.push_back(std::move(c));
+  }
+  if (s.num_workers > 2) {
+    FuzzSpec c = s;
+    c.num_workers = std::max(2, s.num_workers / 2);
+    ClampToCluster(&c);
+    out.push_back(std::move(c));
+  }
+  if (s.iterations > 1) {
+    FuzzSpec c = s;
+    c.iterations = std::max(1, s.iterations / 2);
+    out.push_back(std::move(c));
+  }
+  if (s.total_batch > 32.0) {
+    FuzzSpec c = s;
+    c.total_batch = s.total_batch / 2.0;
+    out.push_back(std::move(c));
+  }
+  if (s.observe) {
+    FuzzSpec c = s;
+    c.observe = false;
+    out.push_back(std::move(c));
+  }
+  const bool uniform = std::all_of(s.fela_weights.begin(),
+                                   s.fela_weights.end(),
+                                   [](int w) { return w == 1; });
+  if (!uniform || s.fela_ctd_subset != s.num_workers || !s.fela_ads ||
+      !s.fela_hf) {
+    FuzzSpec c = s;
+    std::fill(c.fela_weights.begin(), c.fela_weights.end(), 1);
+    c.fela_ctd_subset = s.num_workers;
+    c.fela_ads = true;
+    c.fela_hf = true;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult Shrink(const FuzzSpec& failing, int max_attempts) {
+  ShrinkResult out;
+  out.spec = failing;
+
+  // Re-run the original to learn which oracles define "still failing".
+  const FuzzCaseResult original = RunFuzzCase(failing, FuzzOptions{});
+  ++out.attempts;
+  out.violations = original.violations;
+  std::set<std::string> targets;
+  for (const Violation& v : original.violations) targets.insert(v.oracle);
+  if (targets.empty()) return out;  // nothing to chase
+
+  // Metamorphic twins only cost extra runs if the failure needs them.
+  FuzzOptions opts;
+  opts.metamorphic = targets.count(kInertFaultOracle) > 0 ||
+                     targets.count(kStragglerMonotoneOracle) > 0 ||
+                     targets.count(kFelaDominanceOracle) > 0;
+
+  bool progress = true;
+  while (progress && out.attempts < max_attempts) {
+    progress = false;
+    for (const FuzzSpec& candidate : ShrinkCandidates(out.spec)) {
+      if (out.attempts >= max_attempts) break;
+      ++out.attempts;
+      FuzzCaseResult r = RunFuzzCase(candidate, opts);
+      const bool still_fails = std::any_of(
+          r.violations.begin(), r.violations.end(),
+          [&targets](const Violation& v) { return targets.count(v.oracle); });
+      if (still_fails) {
+        out.spec = candidate;
+        out.violations = std::move(r.violations);
+        ++out.reductions;
+        progress = true;
+        break;  // restart the candidate list from the smaller spec
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fela::testing

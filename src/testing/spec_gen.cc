@@ -1,0 +1,492 @@
+#include "testing/spec_gen.h"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/fela_config.h"
+#include "model/cost_model.h"
+#include "model/partition.h"
+#include "model/zoo.h"
+#include "sim/faults.h"
+#include "sim/straggler.h"
+#include "suite/suite.h"
+
+namespace fela::testing {
+
+namespace {
+
+/// Largest power of two <= n (n >= 1); the ceiling ValidateConfig puts
+/// on any individual weight.
+int MaxWeightFor(int n) {
+  int w = 1;
+  while (w * 2 <= n) w *= 2;
+  return w;
+}
+
+/// Cluster sizes worth fuzzing: minimum viable, odd, non-power-of-two,
+/// and the paper's 8/16-node configurations.
+constexpr int kWorkerChoices[] = {2, 3, 4, 6, 8, 12, 16};
+constexpr double kBatchChoices[] = {32.0, 64.0, 128.0, 256.0};
+
+}  // namespace
+
+const char* EngineKindName(EngineKind k) {
+  switch (k) {
+    case EngineKind::kDp: return "DP";
+    case EngineKind::kPsDp: return "PS-DP";
+    case EngineKind::kMp: return "MP";
+    case EngineKind::kHp: return "HP";
+    case EngineKind::kElasticMp: return "ElasticMP";
+    case EngineKind::kFela: return "Fela";
+  }
+  return "?";
+}
+
+const char* ModelKindName(ModelKind k) {
+  switch (k) {
+    case ModelKind::kVgg19: return "VGG19";
+    case ModelKind::kGoogLeNet: return "GoogLeNet";
+  }
+  return "?";
+}
+
+const char* StragglerKindName(StragglerKind k) {
+  switch (k) {
+    case StragglerKind::kNone: return "none";
+    case StragglerKind::kRoundRobin: return "round-robin";
+    case StragglerKind::kProbability: return "probability";
+    case StragglerKind::kPersistent: return "persistent";
+    case StragglerKind::kTransient: return "transient";
+    case StragglerKind::kHeterogeneous: return "heterogeneous";
+  }
+  return "?";
+}
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kScriptedCrash: return "scripted-crash";
+    case FaultKind::kRandomCrashes: return "random-crashes";
+    case FaultKind::kLossyControl: return "lossy-control";
+    case FaultKind::kComposite: return "composite";
+  }
+  return "?";
+}
+
+FuzzSpec GenerateSpec(uint64_t seed) {
+  common::Rng rng(seed ^ 0xfe1afe1a00000001ULL);
+  FuzzSpec spec;
+  spec.seed = seed;
+  spec.engine = static_cast<EngineKind>(rng.UniformInt(kNumEngineKinds));
+  spec.model = static_cast<ModelKind>(rng.UniformInt(2));
+  spec.num_workers =
+      kWorkerChoices[rng.UniformInt(std::size(kWorkerChoices))];
+  spec.total_batch = kBatchChoices[rng.UniformInt(std::size(kBatchChoices))];
+  spec.iterations = static_cast<int>(rng.UniformRange(2, 6));
+  spec.observe = rng.Bernoulli(0.35);
+
+  spec.straggler = static_cast<StragglerKind>(rng.UniformInt(6));
+  spec.straggler_delay_sec = 0.5 * static_cast<double>(rng.UniformRange(1, 6));
+  spec.straggler_probability =
+      0.1 * static_cast<double>(rng.UniformRange(1, 5));
+  spec.straggler_victim =
+      static_cast<int>(rng.UniformInt(static_cast<uint64_t>(spec.num_workers)));
+  spec.straggler_burst = static_cast<int>(rng.UniformRange(2, 5));
+  spec.straggler_slowdown =
+      1.5 + 0.5 * static_cast<double>(rng.UniformRange(0, 3));
+  spec.straggler_seed = rng.Next();
+
+  spec.fault = static_cast<FaultKind>(rng.UniformInt(5));
+  // Worker 0 hosts the Token Server; schedules spare it (the generator's
+  // analogue of RandomCrashes' first_worker=1 default).
+  spec.crash_worker =
+      1 + static_cast<int>(
+              rng.UniformInt(static_cast<uint64_t>(spec.num_workers - 1)));
+  spec.crash_time_sec = 0.2 * static_cast<double>(rng.UniformRange(1, 10));
+  spec.recover_time_sec =
+      spec.crash_time_sec + 0.2 * static_cast<double>(rng.UniformRange(1, 10));
+  spec.crash_prob = 0.05 * static_cast<double>(rng.UniformRange(1, 4));
+  spec.crash_window_sec = static_cast<double>(rng.UniformRange(1, 4));
+  spec.crash_down_sec = 0.25 * static_cast<double>(rng.UniformRange(1, 6));
+  spec.drop_prob = 0.01 * static_cast<double>(rng.UniformRange(0, 3));
+  spec.dup_prob = 0.01 * static_cast<double>(rng.UniformRange(0, 3));
+  spec.fault_seed = rng.Next();
+
+  // Fela configuration: random non-decreasing power-of-two weights under
+  // the ValidateConfig ceiling, and a random CTD subset. Drawn for every
+  // spec (not just Fela cases) so a shrink that flips the engine to Fela
+  // still has a coherent config to carry.
+  const int levels = NumSubModelsFor(spec);
+  const int max_w = MaxWeightFor(spec.num_workers);
+  spec.fela_weights.assign(static_cast<size_t>(levels), 1);
+  for (int i = 1; i < levels; ++i) {
+    const int prev = spec.fela_weights[static_cast<size_t>(i - 1)];
+    spec.fela_weights[static_cast<size_t>(i)] =
+        rng.Bernoulli(0.5) ? std::min(prev * 2, max_w) : prev;
+  }
+  spec.fela_ctd_subset =
+      rng.Bernoulli(0.5)
+          ? spec.num_workers
+          : static_cast<int>(rng.UniformRange(1, spec.num_workers));
+  spec.fela_ads = rng.Bernoulli(0.75);
+  spec.fela_hf = rng.Bernoulli(0.75);
+
+  // Belt and braces: anything the validator rejects falls back to the
+  // known-good defaults rather than aborting the fuzz run.
+  core::FelaConfig cfg;
+  cfg.weights = spec.fela_weights;
+  cfg.ctd_subset_size = spec.fela_ctd_subset;
+  cfg.ads_enabled = spec.fela_ads;
+  cfg.hf_enabled = spec.fela_hf;
+  if (!core::ValidateConfig(cfg, levels, spec.num_workers).ok()) {
+    const core::FelaConfig def =
+        core::FelaConfig::Defaults(levels, spec.num_workers);
+    spec.fela_weights = def.weights;
+    spec.fela_ctd_subset = def.ctd_subset_size;
+  }
+  return spec;
+}
+
+model::Model ModelFor(const FuzzSpec& spec) {
+  return spec.model == ModelKind::kVgg19 ? model::zoo::Vgg19()
+                                         : model::zoo::GoogLeNet();
+}
+
+int NumSubModelsFor(const FuzzSpec& spec) {
+  const model::Model m = ModelFor(spec);
+  return static_cast<int>(model::BinPartitioner()
+                              .Partition(m, model::ProfileRepository::Default())
+                              .size());
+}
+
+runtime::ExperimentSpec ToExperimentSpec(const FuzzSpec& spec) {
+  runtime::ExperimentSpec out;
+  out.total_batch = spec.total_batch;
+  out.iterations = spec.iterations;
+  out.num_workers = spec.num_workers;
+  out.observe = spec.observe;
+  return out;
+}
+
+runtime::EngineFactory MakeEngineFactory(const FuzzSpec& spec) {
+  const model::Model m = ModelFor(spec);
+  switch (spec.engine) {
+    case EngineKind::kDp: return suite::DpFactory(m);
+    case EngineKind::kPsDp: return suite::PsDpFactory(m);
+    case EngineKind::kMp: return suite::MpFactory(m);
+    case EngineKind::kHp: return suite::HpFactory(m);
+    case EngineKind::kElasticMp: return suite::ElasticMpFactory(m);
+    case EngineKind::kFela: {
+      core::FelaConfig cfg =
+          core::FelaConfig::Defaults(NumSubModelsFor(spec), spec.num_workers);
+      if (!spec.fela_weights.empty()) cfg.weights = spec.fela_weights;
+      if (spec.fela_ctd_subset > 0) cfg.ctd_subset_size = spec.fela_ctd_subset;
+      cfg.ads_enabled = spec.fela_ads;
+      cfg.hf_enabled = spec.fela_hf;
+      return suite::FelaFactory(m, cfg);
+    }
+  }
+  FELA_CHECK(false) << "unknown engine kind";
+  return nullptr;
+}
+
+runtime::StragglerFactory MakeStragglerFactory(const FuzzSpec& spec) {
+  const FuzzSpec s = spec;  // captured by value: outlives the caller
+  return [s](int num_workers) -> std::unique_ptr<sim::StragglerSchedule> {
+    switch (s.straggler) {
+      case StragglerKind::kNone:
+        return std::make_unique<sim::NoStragglers>();
+      case StragglerKind::kRoundRobin:
+        return std::make_unique<sim::RoundRobinStragglers>(
+            num_workers, s.straggler_delay_sec);
+      case StragglerKind::kProbability:
+        return std::make_unique<sim::ProbabilityStragglers>(
+            s.straggler_probability, s.straggler_delay_sec, s.straggler_seed);
+      case StragglerKind::kPersistent:
+        return std::make_unique<sim::PersistentStraggler>(
+            std::min(s.straggler_victim, num_workers - 1),
+            s.straggler_delay_sec);
+      case StragglerKind::kTransient:
+        return std::make_unique<sim::TransientStragglers>(
+            num_workers, s.straggler_delay_sec, s.straggler_burst,
+            s.straggler_seed);
+      case StragglerKind::kHeterogeneous:
+        return std::make_unique<sim::HeterogeneousWorker>(
+            std::min(s.straggler_victim, num_workers - 1),
+            s.straggler_slowdown);
+    }
+    return std::make_unique<sim::NoStragglers>();
+  };
+}
+
+runtime::FaultFactory MakeFaultFactory(const FuzzSpec& spec) {
+  const FuzzSpec s = spec;
+  return [s](int num_workers) -> std::unique_ptr<sim::FaultSchedule> {
+    switch (s.fault) {
+      case FaultKind::kNone:
+        return std::make_unique<sim::NoFaults>();
+      case FaultKind::kScriptedCrash: {
+        sim::CrashEvent e;
+        e.worker = std::min(s.crash_worker, num_workers - 1);
+        e.crash_time = s.crash_time_sec;
+        e.recover_time = s.recover_time_sec;
+        return std::make_unique<sim::ScriptedCrashes>(
+            std::vector<sim::CrashEvent>{e});
+      }
+      case FaultKind::kRandomCrashes:
+        return std::make_unique<sim::RandomCrashes>(
+            num_workers, s.crash_prob, s.crash_window_sec, s.crash_down_sec,
+            s.fault_seed);
+      case FaultKind::kLossyControl:
+        return std::make_unique<sim::LossyControlPlane>(s.drop_prob,
+                                                        s.dup_prob,
+                                                        s.fault_seed);
+      case FaultKind::kComposite: {
+        std::vector<std::unique_ptr<sim::FaultSchedule>> parts;
+        parts.push_back(std::make_unique<sim::RandomCrashes>(
+            num_workers, s.crash_prob, s.crash_window_sec, s.crash_down_sec,
+            s.fault_seed));
+        parts.push_back(std::make_unique<sim::LossyControlPlane>(
+            s.drop_prob, s.dup_prob, s.fault_seed ^ 0x10551055ULL));
+        return std::make_unique<sim::CompositeFaults>(std::move(parts));
+      }
+    }
+    return std::make_unique<sim::NoFaults>();
+  };
+}
+
+void ClampToCluster(FuzzSpec* spec) {
+  const int n = spec->num_workers;
+  FELA_CHECK_GE(n, 2);
+  const int max_w = MaxWeightFor(n);
+  for (int& w : spec->fela_weights) w = std::min(w, max_w);
+  if (spec->fela_ctd_subset > 0) {
+    spec->fela_ctd_subset = std::clamp(spec->fela_ctd_subset, 1, n);
+  }
+  spec->crash_worker = std::clamp(spec->crash_worker, 1, n - 1);
+  spec->straggler_victim = std::clamp(spec->straggler_victim, 0, n - 1);
+}
+
+std::string SpecLabel(const FuzzSpec& spec) {
+  return common::StrFormat(
+      "engine=%s model=%s workers=%d batch=%g it=%d stragglers=%s faults=%s%s",
+      EngineKindName(spec.engine), ModelKindName(spec.model), spec.num_workers,
+      spec.total_batch, spec.iterations, StragglerKindName(spec.straggler),
+      FaultKindName(spec.fault), spec.observe ? " observed" : "");
+}
+
+common::Json SpecToJson(const FuzzSpec& spec) {
+  common::Json doc = common::Json::Object();
+  // uint64 seeds exceed double's 53-bit mantissa; serialize as decimal
+  // strings so a repro replays with the exact seed bits.
+  doc.Set("seed", std::to_string(spec.seed));
+  doc.Set("engine", EngineKindName(spec.engine));
+  doc.Set("model", ModelKindName(spec.model));
+  doc.Set("num_workers", spec.num_workers);
+  doc.Set("total_batch", spec.total_batch);
+  doc.Set("iterations", spec.iterations);
+  doc.Set("observe", spec.observe);
+  doc.Set("straggler", StragglerKindName(spec.straggler));
+  doc.Set("straggler_delay_sec", spec.straggler_delay_sec);
+  doc.Set("straggler_probability", spec.straggler_probability);
+  doc.Set("straggler_victim", spec.straggler_victim);
+  doc.Set("straggler_burst", spec.straggler_burst);
+  doc.Set("straggler_slowdown", spec.straggler_slowdown);
+  doc.Set("straggler_seed", std::to_string(spec.straggler_seed));
+  doc.Set("fault", FaultKindName(spec.fault));
+  doc.Set("crash_time_sec", spec.crash_time_sec);
+  doc.Set("recover_time_sec", spec.recover_time_sec);
+  doc.Set("crash_worker", spec.crash_worker);
+  doc.Set("crash_prob", spec.crash_prob);
+  doc.Set("crash_window_sec", spec.crash_window_sec);
+  doc.Set("crash_down_sec", spec.crash_down_sec);
+  doc.Set("drop_prob", spec.drop_prob);
+  doc.Set("dup_prob", spec.dup_prob);
+  doc.Set("fault_seed", std::to_string(spec.fault_seed));
+  common::Json weights = common::Json::Array();
+  for (int w : spec.fela_weights) weights.Append(w);
+  doc.Set("fela_weights", std::move(weights));
+  doc.Set("fela_ctd_subset", spec.fela_ctd_subset);
+  doc.Set("fela_ads", spec.fela_ads);
+  doc.Set("fela_hf", spec.fela_hf);
+  return doc;
+}
+
+namespace {
+
+/// Maps a kind name back to its enum via the *Name functions, so the two
+/// directions can never drift apart.
+template <typename Enum>
+bool KindFromName(const std::string& name, int count,
+                  const char* (*name_fn)(Enum), Enum* out) {
+  for (int i = 0; i < count; ++i) {
+    const Enum k = static_cast<Enum>(i);
+    if (name == name_fn(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ReadNumber(const common::Json& doc, const char* key, double* out,
+                std::string* error) {
+  const common::Json* v = doc.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    *error = common::StrFormat("missing or non-numeric field '%s'", key);
+    return false;
+  }
+  *out = v->number_value();
+  return true;
+}
+
+bool ReadString(const common::Json& doc, const char* key, std::string* out,
+                std::string* error) {
+  const common::Json* v = doc.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    *error = common::StrFormat("missing or non-string field '%s'", key);
+    return false;
+  }
+  *out = v->string_value();
+  return true;
+}
+
+bool ReadBool(const common::Json& doc, const char* key, bool* out,
+              std::string* error) {
+  const common::Json* v = doc.Find(key);
+  if (v == nullptr || !v->is_bool()) {
+    *error = common::StrFormat("missing or non-bool field '%s'", key);
+    return false;
+  }
+  *out = v->bool_value();
+  return true;
+}
+
+/// Seeds are decimal strings (doubles would truncate 64-bit seeds); a
+/// plain number is accepted for hand-written specs with small seeds.
+bool ReadSeed(const common::Json& doc, const char* key, uint64_t* out,
+              std::string* error) {
+  const common::Json* v = doc.Find(key);
+  if (v != nullptr && v->is_number()) {
+    *out = static_cast<uint64_t>(v->number_value());
+    return true;
+  }
+  if (v == nullptr || !v->is_string() || v->string_value().empty()) {
+    *error = common::StrFormat("missing or malformed seed field '%s'", key);
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : v->string_value()) {
+    if (c < '0' || c > '9') {
+      *error = common::StrFormat("non-decimal seed field '%s'", key);
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool SpecFromJson(const common::Json& json, FuzzSpec* out,
+                  std::string* error) {
+  if (!json.is_object()) {
+    *error = "spec document is not a JSON object";
+    return false;
+  }
+  FuzzSpec spec;
+  double num = 0.0;
+  std::string str;
+
+  if (!ReadSeed(json, "seed", &spec.seed, error)) return false;
+  if (!ReadString(json, "engine", &str, error)) return false;
+  if (!KindFromName(str, kNumEngineKinds, &EngineKindName, &spec.engine)) {
+    *error = "unknown engine kind: " + str;
+    return false;
+  }
+  if (!ReadString(json, "model", &str, error)) return false;
+  if (!KindFromName(str, 2, &ModelKindName, &spec.model)) {
+    *error = "unknown model kind: " + str;
+    return false;
+  }
+  if (!ReadNumber(json, "num_workers", &num, error)) return false;
+  spec.num_workers = static_cast<int>(num);
+  if (!ReadNumber(json, "total_batch", &spec.total_batch, error)) return false;
+  if (!ReadNumber(json, "iterations", &num, error)) return false;
+  spec.iterations = static_cast<int>(num);
+  if (!ReadBool(json, "observe", &spec.observe, error)) return false;
+
+  if (!ReadString(json, "straggler", &str, error)) return false;
+  if (!KindFromName(str, 6, &StragglerKindName, &spec.straggler)) {
+    *error = "unknown straggler kind: " + str;
+    return false;
+  }
+  if (!ReadNumber(json, "straggler_delay_sec", &spec.straggler_delay_sec,
+                  error) ||
+      !ReadNumber(json, "straggler_probability", &spec.straggler_probability,
+                  error)) {
+    return false;
+  }
+  if (!ReadNumber(json, "straggler_victim", &num, error)) return false;
+  spec.straggler_victim = static_cast<int>(num);
+  if (!ReadNumber(json, "straggler_burst", &num, error)) return false;
+  spec.straggler_burst = static_cast<int>(num);
+  if (!ReadNumber(json, "straggler_slowdown", &spec.straggler_slowdown,
+                  error)) {
+    return false;
+  }
+  if (!ReadSeed(json, "straggler_seed", &spec.straggler_seed, error)) {
+    return false;
+  }
+
+  if (!ReadString(json, "fault", &str, error)) return false;
+  if (!KindFromName(str, 5, &FaultKindName, &spec.fault)) {
+    *error = "unknown fault kind: " + str;
+    return false;
+  }
+  if (!ReadNumber(json, "crash_time_sec", &spec.crash_time_sec, error) ||
+      !ReadNumber(json, "recover_time_sec", &spec.recover_time_sec, error)) {
+    return false;
+  }
+  if (!ReadNumber(json, "crash_worker", &num, error)) return false;
+  spec.crash_worker = static_cast<int>(num);
+  if (!ReadNumber(json, "crash_prob", &spec.crash_prob, error) ||
+      !ReadNumber(json, "crash_window_sec", &spec.crash_window_sec, error) ||
+      !ReadNumber(json, "crash_down_sec", &spec.crash_down_sec, error) ||
+      !ReadNumber(json, "drop_prob", &spec.drop_prob, error) ||
+      !ReadNumber(json, "dup_prob", &spec.dup_prob, error)) {
+    return false;
+  }
+  if (!ReadSeed(json, "fault_seed", &spec.fault_seed, error)) return false;
+
+  const common::Json* weights = json.Find("fela_weights");
+  if (weights == nullptr || !weights->is_array()) {
+    *error = "missing or non-array field 'fela_weights'";
+    return false;
+  }
+  spec.fela_weights.clear();
+  for (const common::Json& w : weights->items()) {
+    if (!w.is_number()) {
+      *error = "non-numeric weight in 'fela_weights'";
+      return false;
+    }
+    spec.fela_weights.push_back(static_cast<int>(w.number_value()));
+  }
+  if (!ReadNumber(json, "fela_ctd_subset", &num, error)) return false;
+  spec.fela_ctd_subset = static_cast<int>(num);
+  if (!ReadBool(json, "fela_ads", &spec.fela_ads, error) ||
+      !ReadBool(json, "fela_hf", &spec.fela_hf, error)) {
+    return false;
+  }
+
+  *out = std::move(spec);
+  return true;
+}
+
+}  // namespace fela::testing

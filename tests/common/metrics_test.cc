@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
 
 namespace fela::obs {
 namespace {
@@ -128,6 +130,97 @@ TEST(MetricsRegistryTest, JsonExportIsParsableAndTyped) {
     }
   }
   EXPECT_TRUE(saw_counter);
+}
+
+
+// -------------------------------------------------------------------
+// Histogram edge cases: exact-boundary observations, negative values,
+// and the le=+inf overflow row staying consistent between the CSV and
+// JSON exports.
+// -------------------------------------------------------------------
+
+TEST(FixedHistogramTest, ExactBoundaryObservationsStayInLowerBucket) {
+  FixedHistogram h({1.0, 2.0, 4.0});
+  h.Observe(1.0);  // each lands in the bucket whose bound it equals
+  h.Observe(2.0);
+  h.Observe(4.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 0u);  // nothing overflows
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(FixedHistogramTest, NegativeObservationsLandInFirstBucket) {
+  FixedHistogram h({1.0, 2.0});
+  h.Observe(-3.0);
+  h.Observe(-0.0);
+  EXPECT_EQ(h.BucketOf(-3.0), 0u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), -3.0);  // sum keeps the sign
+}
+
+TEST(MetricsRegistryTest, CsvBucketRowsSumToTheCountRow) {
+  MetricsRegistry reg;
+  FixedHistogram& h = reg.GetHistogram("lat", "engine=Fela", {1.0, 2.0});
+  h.Observe(-1.0);  // first bucket
+  h.Observe(1.0);   // exact boundary
+  h.Observe(1.5);
+  h.Observe(99.0);  // overflow -> le=+inf row
+  const std::string csv = reg.ToCsv();
+
+  // CSV rows are per-bucket (non-cumulative); the le=+inf row is the
+  // overflow bucket, and the bucket rows must add up to the count row.
+  uint64_t bucket_sum = 0;
+  uint64_t count_row = 0;
+  uint64_t inf_row = 0;
+  bool saw_inf = false;
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t field = line.find(",le=");
+    const size_t last_comma = line.rfind(',');
+    if (field != std::string::npos) {
+      const uint64_t n = std::stoull(line.substr(last_comma + 1));
+      bucket_sum += n;
+      if (line.find("le=+inf") != std::string::npos) {
+        saw_inf = true;
+        inf_row = n;
+      }
+    } else if (line.find(",count,") != std::string::npos) {
+      count_row = std::stoull(line.substr(last_comma + 1));
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(inf_row, 1u);       // only the 99.0 observation overflowed
+  EXPECT_EQ(bucket_sum, 4u);
+  EXPECT_EQ(count_row, 4u);     // buckets partition the observations
+}
+
+TEST(MetricsRegistryTest, JsonHistogramMatchesCsvBucketCounts) {
+  MetricsRegistry reg;
+  FixedHistogram& h = reg.GetHistogram("lat", "", {1.0, 2.0});
+  h.Observe(-1.0);
+  h.Observe(1.0);
+  h.Observe(1.5);
+  h.Observe(99.0);
+  const common::Json doc = reg.ToJson();
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.size(), 1u);
+  const common::Json& m = doc.at(0);
+  // counts has one trailing overflow entry beyond bounds (JSON's stand-
+  // in for the CSV's le=+inf row).
+  ASSERT_EQ(m.Find("bounds")->size(), 2u);
+  ASSERT_EQ(m.Find("counts")->size(), 3u);
+  double json_sum = 0.0;
+  for (const auto& c : m.Find("counts")->items()) {
+    json_sum += c.number_value();
+  }
+  EXPECT_DOUBLE_EQ(json_sum, m.Find("count")->number_value());
+  EXPECT_DOUBLE_EQ(m.Find("counts")->at(2).number_value(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Find("counts")->at(0).number_value(), 2.0);
+  EXPECT_DOUBLE_EQ(m.Find("sum")->number_value(), -1.0 + 1.0 + 1.5 + 99.0);
 }
 
 }  // namespace

@@ -131,5 +131,48 @@ TEST(DeterminismTest, DivergenceReportingPinpointsFirstDiff) {
   EXPECT_NE(s.find("line 3"), std::string::npos);
 }
 
+TEST(DeterminismTest, DiffTranscriptsFindsFirstDivergentLine) {
+  const model::Model m = model::zoo::Vgg19();
+  ExperimentSpec spec = SmallSpec();
+  spec.observe = true;
+  const ExperimentResult result =
+      RunExperiment(spec, suite::DpFactory(m), NoStragglerFactory());
+  const std::string original = DeterminismTranscript(result);
+
+  // Identical transcripts: deterministic, equal hashes, no divergence.
+  const DeterminismReport same = DiffTranscripts(original, original);
+  EXPECT_TRUE(same.deterministic);
+  EXPECT_EQ(same.hash_first, same.hash_second);
+  EXPECT_EQ(same.divergence_line, 0);
+
+  // Perturb exactly one field deep inside the transcript; the diff must
+  // name that line and show both sides.
+  const std::string needle = "total_gpu_busy=";
+  const size_t at = original.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  std::string perturbed = original;
+  perturbed.insert(at + needle.size(), "9");
+  int expected_line = 1;
+  for (size_t i = 0; i < at; ++i) {
+    if (original[i] == '\n') ++expected_line;
+  }
+  const DeterminismReport diff = DiffTranscripts(original, perturbed);
+  EXPECT_FALSE(diff.deterministic);
+  EXPECT_NE(diff.hash_first, diff.hash_second);
+  EXPECT_EQ(diff.divergence_line, expected_line);
+  EXPECT_NE(diff.line_first.find("total_gpu_busy="), std::string::npos);
+  EXPECT_NE(diff.line_second.find("total_gpu_busy=9"), std::string::npos);
+  EXPECT_NE(diff.line_first, diff.line_second);
+
+  // A truncated transcript diverges at its end marker.
+  const size_t cut = original.find('\n', original.find("iteration[0]="));
+  ASSERT_NE(cut, std::string::npos);
+  const DeterminismReport shorter =
+      DiffTranscripts(original, original.substr(0, cut));
+  EXPECT_FALSE(shorter.deterministic);
+  EXPECT_GT(shorter.divergence_line, 0);
+  EXPECT_EQ(shorter.line_second, "<end of transcript>");
+}
+
 }  // namespace
 }  // namespace fela::runtime

@@ -1,0 +1,22 @@
+// fela-lint fixture header: declares an unordered member that a separate
+// .cc file (cross_header_member_violation.cc) iterates over. Clean on
+// its own — the violation lives in the includer.
+#ifndef FELA_LINT_FIXTURE_CROSS_HEADER_MEMBER_H_
+#define FELA_LINT_FIXTURE_CROSS_HEADER_MEMBER_H_
+
+#include <unordered_map>
+
+namespace fela::fixture {
+
+class Registry {
+ public:
+  void EmitAll();
+
+ private:
+  void Emit(int id);
+  std::unordered_map<int, double> entries_;
+};
+
+}  // namespace fela::fixture
+
+#endif  // FELA_LINT_FIXTURE_CROSS_HEADER_MEMBER_H_

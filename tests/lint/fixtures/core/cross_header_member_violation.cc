@@ -1,0 +1,14 @@
+// fela-lint fixture: the unordered-iter rule must fire on line 9 even
+// though `entries_` is declared in a different (non-sibling) header —
+// member collection follows directly-included project headers.
+#include "cross_header_member.h"
+
+namespace fela::fixture {
+
+void Registry::EmitAll() {
+  for (const auto& [id, value] : entries_) {
+    Emit(id);
+  }
+}
+
+}  // namespace fela::fixture

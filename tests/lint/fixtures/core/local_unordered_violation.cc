@@ -1,0 +1,17 @@
+// fela-lint fixture: the unordered-iter rule must fire on line 12 — the
+// container is a function-local, not a member, and still feeds an
+// emitting loop.
+#include <unordered_set>
+
+namespace fela::fixture {
+
+void Emit(int id);
+
+void DrainPending() {
+  std::unordered_set<int> pending;
+  for (int id : pending) {
+    Emit(id);
+  }
+}
+
+}  // namespace fela::fixture

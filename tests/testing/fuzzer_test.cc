@@ -1,0 +1,118 @@
+// The fuzz loop end to end: cases are deterministic, the mutation canary
+// proves the oracles can bite, and the shrinker turns a failing spec
+// into a small replayable repro.
+
+#include "testing/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "core/token_server.h"
+#include "testing/spec_gen.h"
+
+namespace fela::testing {
+namespace {
+
+TEST(FuzzerTest, CaseIsDeterministic) {
+  const FuzzSpec spec = GenerateSpec(5);
+  const FuzzCaseResult a = RunFuzzCase(spec);
+  const FuzzCaseResult b = RunFuzzCase(spec);
+  EXPECT_EQ(CaseSummaryLine(0, a), CaseSummaryLine(0, b));
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST(FuzzerTest, CaseSummaryLineIsStable) {
+  FuzzSpec spec = GenerateSpec(3);
+  FuzzCaseResult r;
+  r.spec = spec;
+  r.result.stats.total_time = 2.5;
+  r.result.average_throughput = 100.0;
+  const std::string line = CaseSummaryLine(3, r);
+  EXPECT_NE(line.find("case 0003"), std::string::npos);
+  EXPECT_NE(line.find("-> ok"), std::string::npos);
+  EXPECT_NE(line.find(SpecLabel(spec)), std::string::npos);
+
+  r.violations.push_back(Violation{"stats-sanity", "synthetic"});
+  const std::string bad = CaseSummaryLine(4, r);
+  EXPECT_NE(bad.find("VIOLATION x1 [stats-sanity] synthetic"),
+            std::string::npos);
+}
+
+TEST(FuzzerTest, ShrinkOfPassingSpecIsANoOp) {
+  const FuzzSpec spec = GenerateSpec(1);
+  const ShrinkResult shrunk = Shrink(spec);
+  EXPECT_EQ(shrunk.reductions, 0);
+  EXPECT_EQ(shrunk.attempts, 1);  // just the re-run that found no target
+  EXPECT_TRUE(shrunk.violations.empty());
+}
+
+/// The mutation canary: a test-only hook in the token server silently
+/// swallows every 7th completion report. With it armed the oracles MUST
+/// catch real Fela runs — if they stay quiet, the whole battery is
+/// decorative.
+class MutationCanaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { core::SetTokenServerMutationForTesting(true); }
+  void TearDown() override { core::SetTokenServerMutationForTesting(false); }
+};
+
+TEST_F(MutationCanaryTest, OracleTripsAndShrinkerMinimizes) {
+  // Find a Fela case the canary breaks (needs >= 7 completion reports).
+  FuzzSpec failing;
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 60 && !found; ++seed) {
+    const FuzzSpec spec = GenerateSpec(seed);
+    if (spec.engine != EngineKind::kFela) continue;
+    const FuzzCaseResult r = RunFuzzCase(spec);
+    for (const Violation& v : r.violations) {
+      if (v.oracle == "token-conservation") {
+        failing = spec;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "mutation canary never tripped token-conservation";
+
+  // The shrinker must bring the repro down to a debuggable size while
+  // still tripping the same oracle.
+  const ShrinkResult shrunk = Shrink(failing);
+  EXPECT_LE(shrunk.spec.num_workers, 4);
+  EXPECT_LE(shrunk.spec.iterations, 10);
+  bool still_trips = false;
+  for (const Violation& v : shrunk.violations) {
+    if (v.oracle == "token-conservation") still_trips = true;
+  }
+  EXPECT_TRUE(still_trips);
+
+  // The repro must survive the JSON round-trip and still fail on replay
+  // (this is exactly what `fela-fuzz --replay` does).
+  common::Json parsed;
+  std::string error;
+  ASSERT_TRUE(common::Json::Parse(SpecToJson(shrunk.spec).Dump(1), &parsed,
+                                  &error))
+      << error;
+  FuzzSpec replayed;
+  ASSERT_TRUE(SpecFromJson(parsed, &replayed, &error)) << error;
+  const FuzzCaseResult again = RunFuzzCase(replayed);
+  bool replay_trips = false;
+  for (const Violation& v : again.violations) {
+    if (v.oracle == "token-conservation") replay_trips = true;
+  }
+  EXPECT_TRUE(replay_trips);
+}
+
+TEST_F(MutationCanaryTest, CanaryOnlyAffectsFelaRuns) {
+  FuzzSpec spec = GenerateSpec(2);
+  spec.engine = EngineKind::kDp;
+  spec.fault = FaultKind::kNone;
+  spec.straggler = StragglerKind::kNone;
+  const FuzzCaseResult r = RunFuzzCase(spec);
+  EXPECT_TRUE(r.ok()) << r.violations.front().detail;
+}
+
+}  // namespace
+}  // namespace fela::testing

@@ -1,0 +1,142 @@
+// Invariant oracles: each one must stay silent on healthy runs and must
+// fire on synthetically broken inputs — an oracle that can't detect the
+// violation it exists for is worse than no oracle at all.
+
+#include "testing/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.h"
+#include "runtime/experiment.h"
+#include "sim/calibration.h"
+#include "sim/span.h"
+#include "testing/fuzzer.h"
+#include "testing/spec_gen.h"
+
+namespace fela::testing {
+namespace {
+
+runtime::ExperimentResult HealthyResult(const FuzzSpec& spec) {
+  runtime::ExperimentResult r;
+  for (int i = 0; i < spec.iterations; ++i) {
+    runtime::IterationStats it;
+    it.start = static_cast<double>(i);
+    it.end = static_cast<double>(i) + 0.5;
+    r.stats.iterations.push_back(it);
+  }
+  r.stats.total_time = static_cast<double>(spec.iterations);
+  r.average_throughput = 10.0;
+  r.gpu_utilization = 0.5;
+  return r;
+}
+
+TEST(StatsSanityOracleTest, SilentOnHealthyResult) {
+  const FuzzSpec spec = GenerateSpec(1);
+  StatsSanityOracle oracle;
+  oracle.Check(spec, HealthyResult(spec));
+  EXPECT_TRUE(oracle.violations().empty());
+}
+
+TEST(StatsSanityOracleTest, CatchesMissingIterations) {
+  const FuzzSpec spec = GenerateSpec(1);
+  runtime::ExperimentResult r = HealthyResult(spec);
+  r.stats.iterations.pop_back();
+  StatsSanityOracle oracle;
+  oracle.Check(spec, r);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_NE(oracle.violations()[0].detail.find("iterations"),
+            std::string::npos);
+}
+
+TEST(StatsSanityOracleTest, CatchesStalledRunWithThroughput) {
+  const FuzzSpec spec = GenerateSpec(1);
+  runtime::ExperimentResult r = HealthyResult(spec);
+  r.stats.stalled = true;
+  StatsSanityOracle oracle;
+  oracle.Check(spec, r);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_NE(oracle.violations()[0].detail.find("stalled"), std::string::npos);
+}
+
+TEST(StatsSanityOracleTest, CatchesDisorderedIterationWindows) {
+  const FuzzSpec spec = GenerateSpec(1);
+  runtime::ExperimentResult r = HealthyResult(spec);
+  r.stats.iterations[0].end = r.stats.iterations[0].start - 1.0;  // inverted
+  r.stats.iterations[1].start = -5.0;  // before iteration 0 ended
+  StatsSanityOracle oracle;
+  oracle.Check(spec, r);
+  EXPECT_EQ(oracle.violations().size(), 2u);
+}
+
+TEST(StatsSanityOracleTest, CatchesBadScalars) {
+  const FuzzSpec spec = GenerateSpec(1);
+  runtime::ExperimentResult r = HealthyResult(spec);
+  r.gpu_utilization = 1.5;
+  r.stats.faults.regrants = 3;  // regrants with nothing reclaimed
+  r.stats.total_gpu_busy = -1.0;
+  StatsSanityOracle oracle;
+  oracle.Check(spec, r);
+  EXPECT_EQ(oracle.violations().size(), 3u);
+}
+
+TEST(AttributionOracleTest, CatchesFractionsNotSummingToOne) {
+  const FuzzSpec spec = GenerateSpec(1);
+  runtime::ExperimentResult r = HealthyResult(spec);
+  r.observed = true;
+  obs::WorkerAttribution w;
+  w.worker = 0;
+  w.run.total = 1.0;
+  w.run.seconds[static_cast<size_t>(obs::Phase::kCompute)] = 0.5;  // sums 0.5
+  r.attribution.workers.push_back(w);
+  AttributionOracle oracle;
+  oracle.Check(spec, r);
+  // The broken worker breakdown is also the cluster merge, so both fire.
+  EXPECT_EQ(oracle.violations().size(), 2u);
+}
+
+TEST(AttributionOracleTest, IgnoresEmptyBreakdownsAndUnobservedRuns) {
+  const FuzzSpec spec = GenerateSpec(1);
+  runtime::ExperimentResult r = HealthyResult(spec);
+  AttributionOracle oracle;
+  oracle.Check(spec, r);  // not observed: vacuous
+  r.observed = true;
+  obs::WorkerAttribution w;  // total == 0: no attributed time, no claim
+  r.attribution.workers.push_back(w);
+  oracle.Check(spec, r);
+  EXPECT_TRUE(oracle.violations().empty());
+}
+
+TEST(TokenConservationOracleTest, VacuousForBaselineEngines) {
+  FuzzSpec spec = GenerateSpec(1);
+  spec.engine = EngineKind::kDp;
+  runtime::Cluster cluster(spec.num_workers, sim::Calibration::Default(),
+                           nullptr);
+  const std::unique_ptr<runtime::Engine> engine =
+      MakeEngineFactory(spec)(cluster, spec.total_batch);
+  TokenConservationOracle oracle;
+  oracle.Probe(spec, *engine, cluster);  // never ran: nothing to audit
+  EXPECT_TRUE(oracle.violations().empty());
+}
+
+TEST(OracleBatteryTest, SilentOnHealthyRunsOfEveryEngine) {
+  // One full probed run per engine kind; the battery must stay quiet.
+  for (int e = 0; e < kNumEngineKinds; ++e) {
+    FuzzSpec spec = GenerateSpec(3);  // clean: no stragglers, no faults
+    spec.straggler = StragglerKind::kNone;
+    spec.fault = FaultKind::kNone;
+    spec.engine = static_cast<EngineKind>(e);
+    spec.observe = true;  // exercise the attribution oracle too
+    const FuzzCaseResult r = RunFuzzCase(spec);
+    EXPECT_TRUE(r.ok()) << EngineKindName(spec.engine) << ": "
+                        << (r.violations.empty()
+                                ? ""
+                                : r.violations.front().detail);
+  }
+}
+
+}  // namespace
+}  // namespace fela::testing

@@ -1,0 +1,142 @@
+// SpecGen: every generated spec is valid, generation is deterministic,
+// the kind space is actually covered, and specs survive the JSON
+// round-trip that makes shrunk repros replayable.
+
+#include "testing/spec_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "common/json.h"
+#include "core/fela_config.h"
+
+namespace fela::testing {
+namespace {
+
+TEST(SpecGenTest, SameSeedSameSpec) {
+  for (uint64_t seed : {1ull, 7ull, 42ull, 123456789ull}) {
+    const FuzzSpec a = GenerateSpec(seed);
+    const FuzzSpec b = GenerateSpec(seed);
+    EXPECT_EQ(SpecToJson(a).Dump(0), SpecToJson(b).Dump(0)) << "seed " << seed;
+  }
+}
+
+TEST(SpecGenTest, GeneratedSpecsAreValid) {
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    const FuzzSpec s = GenerateSpec(seed);
+    SCOPED_TRACE(SpecLabel(s));
+    EXPECT_GE(s.num_workers, 2);
+    EXPECT_GT(s.total_batch, 0.0);
+    EXPECT_GE(s.iterations, 1);
+    EXPECT_LE(s.iterations, 10);
+    // Victims stay on the cluster; crashes spare worker 0 (it hosts the
+    // token server in Fela runs).
+    EXPECT_GE(s.straggler_victim, 0);
+    EXPECT_LT(s.straggler_victim, s.num_workers);
+    EXPECT_GE(s.crash_worker, 1);
+    EXPECT_LT(s.crash_worker, s.num_workers);
+    // The Fela config must pass the engine's own validation even when
+    // the spec drives a baseline (the shrinker may flip engines).
+    core::FelaConfig cfg = core::FelaConfig::Defaults(NumSubModelsFor(s),
+                                                      s.num_workers);
+    if (!s.fela_weights.empty()) cfg.weights = s.fela_weights;
+    if (s.fela_ctd_subset > 0) cfg.ctd_subset_size = s.fela_ctd_subset;
+    cfg.ads_enabled = s.fela_ads;
+    cfg.hf_enabled = s.fela_hf;
+    EXPECT_TRUE(
+        core::ValidateConfig(cfg, NumSubModelsFor(s), s.num_workers).ok());
+  }
+}
+
+TEST(SpecGenTest, KindSpaceIsCovered) {
+  std::set<EngineKind> engines;
+  std::set<ModelKind> models;
+  std::set<StragglerKind> stragglers;
+  std::set<FaultKind> faults;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const FuzzSpec s = GenerateSpec(seed);
+    engines.insert(s.engine);
+    models.insert(s.model);
+    stragglers.insert(s.straggler);
+    faults.insert(s.fault);
+  }
+  EXPECT_EQ(engines.size(), 6u);  // all six engines get fuzzed
+  EXPECT_EQ(models.size(), 2u);
+  EXPECT_EQ(stragglers.size(), 6u);
+  EXPECT_EQ(faults.size(), 5u);
+}
+
+TEST(SpecGenTest, JsonRoundTripIsExact) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const FuzzSpec original = GenerateSpec(seed);
+    const std::string dumped = SpecToJson(original).Dump(1);
+    common::Json parsed;
+    std::string error;
+    ASSERT_TRUE(common::Json::Parse(dumped, &parsed, &error)) << error;
+    FuzzSpec restored;
+    ASSERT_TRUE(SpecFromJson(parsed, &restored, &error)) << error;
+    EXPECT_EQ(SpecToJson(restored).Dump(1), dumped) << "seed " << seed;
+  }
+}
+
+TEST(SpecGenTest, FullWidthSeedsSurviveJson) {
+  // Seeds use all 64 bits; doubles would silently truncate them.
+  FuzzSpec s = GenerateSpec(1);
+  s.seed = 0xFFFFFFFFFFFFFFFFull;
+  s.straggler_seed = 0xDEADBEEFCAFEF00Dull;
+  s.fault_seed = (1ull << 63) + 12345;
+  FuzzSpec restored;
+  std::string error;
+  ASSERT_TRUE(SpecFromJson(SpecToJson(s), &restored, &error)) << error;
+  EXPECT_EQ(restored.seed, s.seed);
+  EXPECT_EQ(restored.straggler_seed, s.straggler_seed);
+  EXPECT_EQ(restored.fault_seed, s.fault_seed);
+}
+
+TEST(SpecGenTest, SpecFromJsonRejectsBadDocuments) {
+  FuzzSpec out;
+  std::string error;
+  EXPECT_FALSE(SpecFromJson(common::Json::Array(), &out, &error));
+
+  common::Json missing = SpecToJson(GenerateSpec(1));
+  missing.Set("engine", common::Json());  // null out a required field
+  EXPECT_FALSE(SpecFromJson(missing, &out, &error));
+
+  common::Json unknown = SpecToJson(GenerateSpec(1));
+  unknown.Set("engine", "warp-drive");
+  EXPECT_FALSE(SpecFromJson(unknown, &out, &error));
+  EXPECT_NE(error.find("warp-drive"), std::string::npos);
+}
+
+TEST(SpecGenTest, ClampToClusterRestoresValidity) {
+  FuzzSpec s = GenerateSpec(1);
+  s.num_workers = 16;
+  s.fela_weights = {1, 8, 8};
+  s.fela_ctd_subset = 16;
+  s.crash_worker = 15;
+  s.straggler_victim = 15;
+
+  s.num_workers = 2;  // what the shrinker does
+  ClampToCluster(&s);
+  for (int w : s.fela_weights) EXPECT_LE(w, 2);
+  EXPECT_GE(s.fela_ctd_subset, 1);
+  EXPECT_LE(s.fela_ctd_subset, 2);
+  EXPECT_EQ(s.crash_worker, 1);
+  EXPECT_LE(s.straggler_victim, 1);
+  EXPECT_TRUE(core::ValidateConfig(
+                  [&] {
+                    core::FelaConfig cfg = core::FelaConfig::Defaults(
+                        NumSubModelsFor(s), s.num_workers);
+                    cfg.weights = s.fela_weights;
+                    cfg.ctd_subset_size = s.fela_ctd_subset;
+                    return cfg;
+                  }(),
+                  NumSubModelsFor(s), s.num_workers)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace fela::testing
