@@ -1,8 +1,10 @@
 // Fault-injection sweep: throughput vs worker crash probability for Fela
 // against the DP baseline (robustness companion to the Fig. 10 straggler
-// sweep). Every `window` seconds each worker (sparing node 0, which hosts
-// the Token Server) crashes with probability p and stays down `down`
-// seconds. Fela reclaims the crashed worker's token lease, re-grants it,
+// sweep). Every `window` seconds each worker crashes with probability p
+// and stays down `down` seconds. Node 0 — the initial Token Server host
+// — is deliberately spared so this sweep measures worker-loss
+// degradation in isolation; bench_control_plane_chaos covers losing the
+// control plane itself (TS checkpoint/failover). Fela reclaims the crashed worker's token lease, re-grants it,
 // shrinks syncs to the survivors, and re-admits the worker when it
 // returns; DP must redo the lost per-worker batch while every peer waits
 // at the barrier.

@@ -72,14 +72,17 @@ void DpEngine::EnqueueCompute(int worker, double seconds) {
 void DpEngine::OnWorkerComputeDone(int worker, double seconds) {
   const sim::FaultSchedule& faults = cluster_->faults();
   if (faults.Active() &&
-      faults.AnyDownDuring(attempt_start_[static_cast<size_t>(worker)],
-                           cluster_->simulator().now(), worker)) {
-    // The replica died mid-batch: its gradient is gone. No membership
-    // change is possible under DP, so the whole attempt is redone once
-    // the node is back — or never, stalling the barrier.
+      faults.AnyUnreachableDuring(attempt_start_[static_cast<size_t>(worker)],
+                                  cluster_->simulator().now(), worker,
+                                  /*anchor=*/0)) {
+    // The replica died mid-batch — or a partition hid it from the ring's
+    // anchor: its gradient is gone. No membership change is possible
+    // under DP, so the whole attempt is redone once the node is back and
+    // reachable — or never, stalling the barrier.
     ++stats_.faults.crashes;
     const sim::SimTime up =
-        faults.NextUpAfter(cluster_->simulator().now(), worker);
+        faults.NextReachableAfter(cluster_->simulator().now(), worker,
+                                  /*anchor=*/0);
     if (sim::IsNever(up)) {
       stats_.stalled = true;
       return;  // peers wait at the barrier forever

@@ -53,11 +53,14 @@ void PsDpEngine::StartIteration(int iteration) {
 
 void PsDpEngine::OnWorkerComputeDone(int worker) {
   // Honest fault contrast: this PS prototype checkpoints nothing and has
-  // no elasticity — a worker crash during the iteration aborts the job.
+  // no elasticity — a worker crash during the iteration aborts the job,
+  // and so does losing a worker behind a network partition (the PS at
+  // node 0 cannot collect its gradient shard).
   const sim::FaultSchedule& faults = cluster_->faults();
   if (faults.Active() &&
-      faults.AnyDownDuring(iteration_start_, cluster_->simulator().now(),
-                           worker)) {
+      faults.AnyUnreachableDuring(iteration_start_,
+                                  cluster_->simulator().now(), worker,
+                                  /*anchor=*/0)) {
     ++stats_.faults.crashes;
     stats_.stalled = true;
     return;

@@ -47,6 +47,24 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Stateless SplitMix64-style mix of three words into one seed. Lets
+/// callers derive an independent deterministic stream per (seed, index,
+/// salt) tuple without carrying generator state — the same scheme the
+/// fault and straggler schedules use for per-decision draws.
+uint64_t MixSeed(uint64_t a, uint64_t b, uint64_t c);
+
+/// Exponential backoff delay with deterministic jitter:
+/// min(base * multiplier^attempt, max) scaled by a factor in [1.0, 1.5)
+/// drawn from Rng(MixSeed(seed, stream, attempt)). Jitter only ever
+/// *stretches* the delay — a jittered retry never fires before the
+/// un-jittered schedule would, so merely arming retry timers (an inert
+/// fault schedule) cannot perturb a run that never needed them. Same
+/// inputs, same delay, on every platform. `max_sec <= 0` means uncapped;
+/// `seed == 0` disables jitter (pure exponential). attempt 0 is the
+/// first retry.
+double JitteredBackoffSec(double base_sec, double multiplier, double max_sec,
+                          int attempt, uint64_t seed, uint64_t stream);
+
 }  // namespace fela::common
 
 #endif  // FELA_COMMON_RNG_H_

@@ -53,6 +53,36 @@ common::Status ValidateConfig(const FelaConfig& config, int num_sub_models,
         "ctd_subset_size %d out of [1, %d]", config.ctd_subset_size,
         num_workers));
   }
+  // Fault-tolerance knobs. All the > 0.0 comparisons also reject NaN.
+  if (!(config.lease_timeout_sec > 0.0)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "lease_timeout_sec must be positive, got %g",
+        config.lease_timeout_sec));
+  }
+  if (!(config.retry_timeout_sec > 0.0)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "retry_timeout_sec must be positive, got %g",
+        config.retry_timeout_sec));
+  }
+  if (!(config.retry_backoff_mult >= 1.0)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "retry_backoff_mult must be >= 1, got %g", config.retry_backoff_mult));
+  }
+  if (!(config.retry_timeout_max_sec >= config.retry_timeout_sec)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "retry_timeout_max_sec %g is below retry_timeout_sec %g",
+        config.retry_timeout_max_sec, config.retry_timeout_sec));
+  }
+  if (!(config.ts_checkpoint_interval_sec > 0.0)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "ts_checkpoint_interval_sec must be positive, got %g",
+        config.ts_checkpoint_interval_sec));
+  }
+  if (!(config.ts_failover_timeout_sec > 0.0)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "ts_failover_timeout_sec must be positive, got %g",
+        config.ts_failover_timeout_sec));
+  }
   return common::Status::Ok();
 }
 
@@ -84,20 +114,10 @@ common::Status ValidatePlanInputs(
           sm.threshold_batch));
     }
   }
-  common::Status cfg = ValidateConfig(
-      config, static_cast<int>(sub_models.size()), num_workers);
-  if (!cfg.ok()) return cfg;
-  if (!(config.lease_timeout_sec > 0.0)) {
-    return common::Status::InvalidArgument(common::StrFormat(
-        "lease_timeout_sec must be positive, got %g",
-        config.lease_timeout_sec));
-  }
-  if (!(config.retry_timeout_sec > 0.0)) {
-    return common::Status::InvalidArgument(common::StrFormat(
-        "retry_timeout_sec must be positive, got %g",
-        config.retry_timeout_sec));
-  }
-  return common::Status::Ok();
+  // Fault-tolerance knobs (lease/retry/backoff/checkpoint) are part of
+  // ValidateConfig, so they are checked here too.
+  return ValidateConfig(config, static_cast<int>(sub_models.size()),
+                        num_workers);
 }
 
 int FelaPlan::TotalTokens() const {

@@ -1,6 +1,7 @@
 #ifndef FELA_CORE_FELA_CONFIG_H_
 #define FELA_CORE_FELA_CONFIG_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,24 @@ struct FelaConfig {
   /// or requests lost on a lossy control plane).
   double lease_timeout_sec = 15.0;
   double retry_timeout_sec = 5.0;
+
+  /// Retry backoff: the k-th consecutive retry of the same request waits
+  /// min(retry_timeout_sec * retry_backoff_mult^k, retry_timeout_max_sec)
+  /// scaled by deterministic jitter in [0.5, 1) seeded from
+  /// `retry_jitter_seed` (0 disables jitter; mult 1.0 recovers the old
+  /// fixed-interval behaviour). Keeps a partitioned minority from
+  /// hammering the control plane in lockstep while it waits for a heal.
+  double retry_backoff_mult = 2.0;
+  double retry_timeout_max_sec = 60.0;
+  uint64_t retry_jitter_seed = 0x5eedbacc0ffULL;
+
+  /// Control-plane survivability. The Token Server checkpoints its full
+  /// state every `ts_checkpoint_interval_sec` of simulated time; when its
+  /// hosting node crashes (or lands on a minority partition side) a
+  /// standby restores from the last checkpoint `ts_failover_timeout_sec`
+  /// later — the simulated detection + election delay.
+  double ts_checkpoint_interval_sec = 5.0;
+  double ts_failover_timeout_sec = 10.0;
 
   std::string ToString() const;
 

@@ -1,5 +1,6 @@
 #include "core/fela_engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -27,32 +28,26 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
       plan_(BuildPlan(model_, sub_models_, config_, total_batch,
                       cluster->num_workers(),
                       cluster->calibration().bytes_per_scalar)) {
-  TokenServer::Callbacks ts_cbs;
-  ts_cbs.deliver_grant = [this](sim::NodeId w, const Grant& g) {
-    DeliverGrant(w, g);
-  };
-  ts_cbs.on_level_complete = [this](int level) { OnLevelComplete(level); };
-  ts_cbs.on_all_levels_complete = [this] { OnAllLevelsComplete(); };
-  ts_cbs.on_reclaim = [this](const Token& token, sim::NodeId from) {
-    FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), kTsNode,
-               sim::TraceKind::kTokenReclaim,
-               common::StrFormat("%s from=%d attempt=%d",
-                                 token.ToString().c_str(), from,
-                                 token.attempt));
-  };
-  ts_ = std::make_unique<TokenServer>(&cluster_->simulator(),
-                                      &cluster_->calibration(), &plan_,
-                                      &config_, std::move(ts_cbs));
-  ts_->set_span_sink(&cluster_->spans());
+  ts_ = MakeTokenServer();
 
   FelaWorker::Callbacks w_cbs;
+  // Control messages capture the TS incarnation at send time; if the
+  // server fails over while they are in flight, delivery is voided —
+  // fencing guarantees no message addressed to a dead incarnation is
+  // ever applied to its successor.
   w_cbs.send_request = [this](sim::NodeId w) {
-    cluster_->fabric().SendControl(w, kTsNode,
-                                   [this, w] { ts_->HandleRequest(w); });
+    const int inc = ts_incarnation_;
+    cluster_->fabric().SendControl(w, ts_node_, [this, w, inc] {
+      if (inc != ts_incarnation_ || !ts_active_) return;  // fenced
+      ts_->HandleRequest(w);
+    });
   };
   w_cbs.send_report = [this](sim::NodeId w, const Token& token) {
-    cluster_->fabric().SendControl(
-        w, kTsNode, [this, w, token] { ts_->HandleReport(w, token); });
+    const int inc = ts_incarnation_;
+    cluster_->fabric().SendControl(w, ts_node_, [this, w, token, inc] {
+      if (inc != ts_incarnation_ || !ts_active_) return;  // fenced
+      ts_->HandleReport(w, token);
+    });
   };
   for (int i = 0; i < cluster_->num_workers(); ++i) {
     workers_.push_back(std::make_unique<FelaWorker>(
@@ -63,17 +58,46 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
   admitted_.assign(static_cast<size_t>(cluster_->num_workers()), true);
   recover_pending_.assign(static_cast<size_t>(cluster_->num_workers()), -1.0);
   crash_spans_.resize(static_cast<size_t>(cluster_->num_workers()));
+  sync_started_.assign(static_cast<size_t>(plan_.num_levels()), false);
 
   if (faults_active()) {
     ts_->set_leases_enabled(true);
-    for (auto& w : workers_) w->set_retry_timeout(config_.retry_timeout_sec);
+    for (auto& w : workers_) {
+      w->set_retry_policy(RetryPolicy{
+          config_.retry_timeout_sec, config_.retry_backoff_mult,
+          config_.retry_timeout_max_sec, config_.retry_jitter_seed});
+    }
     sim::FaultMonitor::Callbacks m_cbs;
     m_cbs.on_crash = [this](int w) { OnWorkerCrash(w); };
     m_cbs.on_recover = [this](int w) { OnWorkerRecover(w); };
+    m_cbs.on_cut = [this](int w) { OnWorkerCut(w); };
+    m_cbs.on_heal = [this](int w) { OnWorkerHeal(w); };
     monitor_ = std::make_unique<sim::FaultMonitor>(
         &cluster_->simulator(), &cluster_->faults(), cluster_->num_workers(),
         std::move(m_cbs));
+    monitor_->set_anchor([this] { return static_cast<int>(ts_node_); });
   }
+}
+
+std::unique_ptr<TokenServer> FelaEngine::MakeTokenServer() {
+  TokenServer::Callbacks ts_cbs;
+  ts_cbs.deliver_grant = [this](sim::NodeId w, const Grant& g) {
+    DeliverGrant(w, g);
+  };
+  ts_cbs.on_level_complete = [this](int level) { OnLevelComplete(level); };
+  ts_cbs.on_all_levels_complete = [this] { OnAllLevelsComplete(); };
+  ts_cbs.on_reclaim = [this](const Token& token, sim::NodeId from) {
+    FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
+               sim::TraceKind::kTokenReclaim,
+               common::StrFormat("%s from=%d attempt=%d",
+                                 token.ToString().c_str(), from,
+                                 token.attempt));
+  };
+  auto ts = std::make_unique<TokenServer>(&cluster_->simulator(),
+                                          &cluster_->calibration(), &plan_,
+                                          &config_, std::move(ts_cbs));
+  ts->set_span_sink(&cluster_->spans());
+  return ts;
 }
 
 void FelaEngine::OnWorkerCrash(int worker) {
@@ -89,7 +113,12 @@ void FelaEngine::OnWorkerCrash(int worker) {
   // Kill the worker process first (voids its in-flight work), then let
   // the TS reclaim its lease and re-route the token elsewhere.
   workers_[static_cast<size_t>(worker)]->OnCrash();
-  ts_->SetWorkerDown(worker, true);
+  if (worker == ts_node_) {
+    // The TS host died with it: fence the incarnation and fail over.
+    FenceTs();
+  } else if (ts_active_) {
+    ts_->SetWorkerDown(worker, true);
+  }
 }
 
 void FelaEngine::OnWorkerRecover(int worker) {
@@ -98,19 +127,83 @@ void FelaEngine::OnWorkerRecover(int worker) {
   const sim::SimTime now = cluster_->simulator().now();
   FELA_TRACE(&cluster_->trace(), now, worker, sim::TraceKind::kWorkerRecover,
              common::StrFormat("it=%d", current_iteration_));
-  ts_->SetWorkerDown(worker, false);
+  if (!ts_active_ && failover_timer_ == sim::kInvalidEventId) {
+    // The fenced incarnation found no live standby; this recovery
+    // provides one.
+    CompleteFailover();
+  }
+  const bool cut = monitor_ && monitor_->IsCut(worker);
+  if (ts_active_ && !cut) ts_->SetWorkerDown(worker, false);
   recover_pending_[static_cast<size_t>(worker)] = now;
-  // Elastic scale-out normally waits for the iteration boundary, but if
-  // every worker is excluded the iteration can never finish — re-admit
-  // the survivor immediately to restore liveness.
+  if (cut) return;  // still unreachable; the heal event re-admits it
+  // Elastic scale-out normally waits for the iteration boundary, but a
+  // recovery that liveness depends on must not wait.
+  if (NeedsImmediateReadmit(worker)) {
+    ReAdmit(worker);
+    workers_[static_cast<size_t>(worker)]->RequestWork(current_iteration_);
+  }
+}
+
+void FelaEngine::OnWorkerCut(int worker) {
+  if (run_complete_) return;
+  ++stats_.faults.partition_cuts;
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), worker,
+             sim::TraceKind::kPartitionCut,
+             common::StrFormat("it=%d anchor=%d", current_iteration_,
+                               static_cast<int>(ts_node_)));
+  const size_t w = static_cast<size_t>(worker);
+  if (admitted_[w]) {
+    admitted_[w] = false;
+    crash_spans_[w].emplace(&cluster_->spans(), worker, obs::Phase::kCrashed,
+                            current_iteration_);
+  }
+  recover_pending_[w] = -1.0;
+  // The process is alive (no OnCrash): it keeps computing and retrying;
+  // the fabric drops its control messages until the partition heals.
+  if (ts_active_) ts_->SetWorkerDown(worker, true);
+  // Quorum: if the TS can no longer reach a majority of the up workers
+  // it must yield — the majority side fails over to a standby it can
+  // reach and keeps training while the TS's island parks.
+  int up = 0;
+  int cut_up = 0;
+  for (int i = 0; i < cluster_->num_workers(); ++i) {
+    if (monitor_->IsDown(i)) continue;
+    ++up;
+    if (monitor_->IsCut(i)) ++cut_up;
+  }
+  if (ts_active_ && !failing_over_ && 2 * cut_up > up) FenceTs();
+}
+
+void FelaEngine::OnWorkerHeal(int worker) {
+  if (run_complete_) return;
+  ++stats_.faults.partition_heals;
+  const sim::SimTime now = cluster_->simulator().now();
+  FELA_TRACE(&cluster_->trace(), now, worker, sim::TraceKind::kPartitionHeal,
+             common::StrFormat("it=%d anchor=%d", current_iteration_,
+                               static_cast<int>(ts_node_)));
+  if (monitor_->IsDown(worker)) return;  // still crashed; recover re-admits
+  if (ts_active_) ts_->SetWorkerDown(worker, false);
+  recover_pending_[static_cast<size_t>(worker)] = now;
+  if (NeedsImmediateReadmit(worker)) {
+    ReAdmit(worker);
+    workers_[static_cast<size_t>(worker)]->RequestWork(current_iteration_);
+  }
+}
+
+bool FelaEngine::NeedsImmediateReadmit(int worker) const {
+  // If every worker is excluded the iteration can never finish; the
+  // returning worker is the only path back to liveness.
   bool any_admitted = false;
   for (int w = 0; w < cluster_->num_workers(); ++w) {
     if (admitted_[static_cast<size_t>(w)]) any_admitted = true;
   }
-  if (!any_admitted) {
-    ReAdmit(worker);
-    workers_[static_cast<size_t>(worker)]->RequestWork(current_iteration_);
-  }
+  if (!any_admitted) return true;
+  // CTD subset workers are not interchangeable: LevelPriorityFor never
+  // hands communication-intensive tokens to workers outside S, so once
+  // only those tokens remain, a parked subset worker wedges the
+  // iteration — and the boundary that would re-admit it never comes.
+  return config_.ctd_subset_size < plan_.num_workers &&
+         worker < config_.ctd_subset_size;
 }
 
 void FelaEngine::ReAdmit(int worker) {
@@ -125,12 +218,143 @@ void FelaEngine::ReAdmit(int worker) {
   }
 }
 
+void FelaEngine::TakeCheckpoint() {
+  if (!ts_active_ || run_complete_) return;
+  last_checkpoint_ = ts_->MakeCheckpoint();
+  ++stats_.faults.ts_checkpoints;
+}
+
+void FelaEngine::ArmCheckpointTimer() {
+  if (!faults_active() || run_complete_ || !ts_active_) return;
+  if (checkpoint_timer_ != sim::kInvalidEventId) return;
+  // Once the schedule has no transitions ahead, no future crash or cut
+  // can consume a checkpoint — and an unconditionally re-arming timer
+  // would keep a stalled run's event queue alive forever.
+  if (cluster_->faults().NextTransitionAfter(cluster_->simulator().now()) ==
+      sim::kNeverTime) {
+    return;
+  }
+  // fela-lint: allow(untraced-event) checkpoints are internal state
+  // copies; tracing them would perturb transcripts of runs whose faults
+  // never fire.
+  checkpoint_timer_ = cluster_->simulator().Schedule(
+      config_.ts_checkpoint_interval_sec, [this] {
+        checkpoint_timer_ = sim::kInvalidEventId;
+        if (run_complete_ || !ts_active_) return;
+        TakeCheckpoint();
+        ArmCheckpointTimer();
+      });
+}
+
+void FelaEngine::CancelCheckpointTimer() {
+  if (checkpoint_timer_ != sim::kInvalidEventId) {
+    cluster_->simulator().Cancel(checkpoint_timer_);
+    checkpoint_timer_ = sim::kInvalidEventId;
+  }
+}
+
+void FelaEngine::CancelFailoverTimer() {
+  if (failover_timer_ != sim::kInvalidEventId) {
+    cluster_->simulator().Cancel(failover_timer_);
+    failover_timer_ = sim::kInvalidEventId;
+  }
+}
+
+void FelaEngine::FenceTs() {
+  if (!ts_active_ || run_complete_) return;
+  ts_active_ = false;
+  CancelCheckpointTimer();
+  // Close the incarnation's ledger: live leases die with it and count as
+  // reclaimed, so grants + restored == completions + reclaimed holds per
+  // incarnation. The standby replays the lost work from the checkpoint.
+  ts_->FinalizeForFailover();
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
+             sim::TraceKind::kTsFailover,
+             common::StrFormat("fence inc=%d it=%d", ts_incarnation_,
+                               current_iteration_));
+  // fela-lint: allow(untraced-event) the promotion traces kTsFailover
+  // itself when the timer fires.
+  failover_timer_ = cluster_->simulator().Schedule(
+      config_.ts_failover_timeout_sec, [this] {
+        failover_timer_ = sim::kInvalidEventId;
+        CompleteFailover();
+      });
+}
+
+void FelaEngine::CompleteFailover() {
+  if (run_complete_ || ts_active_) return;
+  const sim::SimTime now = cluster_->simulator().now();
+  const int n = cluster_->num_workers();
+  const sim::FaultSchedule& faults = cluster_->faults();
+  // Standby election: the up worker that can reach the most other up
+  // workers right now (ties -> lowest id). Deterministic, and it lands
+  // the new server on the majority side of any partition.
+  int best = -1;
+  int best_score = -1;
+  for (int c = 0; c < n; ++c) {
+    if (monitor_->IsDown(c)) continue;
+    int score = 0;
+    for (int o = 0; o < n; ++o) {
+      if (o == c || monitor_->IsDown(o)) continue;
+      if (!faults.Partitioned(now, c, o)) ++score;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  if (best < 0) return;  // nobody up: OnWorkerRecover retries the failover
+
+  ts_stats_archive_ += ts_->stats();  // archive the fenced incarnation
+  ts_node_ = best;
+  ++ts_incarnation_;
+  ts_ = MakeTokenServer();
+  ts_->set_leases_enabled(true);
+  ts_active_ = true;
+  ++stats_.faults.ts_failovers;
+  FELA_TRACE(&cluster_->trace(), now, ts_node_, sim::TraceKind::kTsFailover,
+             common::StrFormat("promote inc=%d it=%d reach=%d",
+                               ts_incarnation_, current_iteration_,
+                               best_score));
+
+  std::vector<bool> down_now(static_cast<size_t>(n), false);
+  for (int w = 0; w < n; ++w) {
+    down_now[static_cast<size_t>(w)] =
+        monitor_->IsDown(w) ||
+        (w != ts_node_ && faults.Partitioned(now, w, ts_node_));
+  }
+  if (last_checkpoint_.valid &&
+      last_checkpoint_.iteration == current_iteration_) {
+    ts_->Restore(last_checkpoint_, down_now);
+  } else {
+    // No usable snapshot (the crash raced the very first checkpoint, or
+    // the iteration turned over while fenced): restart the iteration's
+    // token schedule from scratch. Workers re-train it; reports for
+    // old-incarnation tokens are absorbed as duplicates.
+    ts_->BeginIteration(current_iteration_);
+    for (int w = 0; w < n; ++w) {
+      if (down_now[static_cast<size_t>(w)]) ts_->SetWorkerDown(w, true);
+    }
+  }
+  // Re-anchor the partition monitor on the new host: parked workers the
+  // new host can reach heal (and re-admit at the next boundary); the old
+  // host's island parks. The quorum re-check is suppressed — a *new*
+  // schedule transition, not the re-anchoring itself, must trigger the
+  // next fence.
+  failing_over_ = true;
+  monitor_->RefreshCuts();
+  failing_over_ = false;
+  TakeCheckpoint();
+  ArmCheckpointTimer();
+}
+
 void FelaEngine::DeliverGrant(sim::NodeId worker, const Grant& grant) {
+  const sim::NodeId src = ts_node_;
   // Notify the holders of the granted token's dependencies so they are
   // prepared for the incoming fetches (§III-A); fire-and-forget controls.
   for (const auto& [holder, bytes] : grant.remote_fetches) {
     (void)bytes;
-    cluster_->fabric().SendControl(kTsNode, holder, [] {});
+    cluster_->fabric().SendControl(src, holder, [] {});
   }
   // The grant response itself, delayed by any lock/conflict penalty the
   // distributor charged. The fabric drops it if an endpoint is down at
@@ -138,8 +362,9 @@ void FelaEngine::DeliverGrant(sim::NodeId worker, const Grant& grant) {
   // (the TS lease reclaims the token either way).
   // fela-lint: allow(untraced-event) the worker traces kTokenGrant on
   // receipt; in-flight delivery has no observable state to record.
-  cluster_->simulator().Schedule(grant.extra_delay, [this, worker, grant] {
-    cluster_->fabric().SendControl(kTsNode, worker, [this, worker, grant] {
+  cluster_->simulator().Schedule(grant.extra_delay, [this, src, worker,
+                                                    grant] {
+    cluster_->fabric().SendControl(src, worker, [this, worker, grant] {
       if (monitor_ && monitor_->IsDown(worker)) return;
       workers_[static_cast<size_t>(worker)]->OnGrant(grant);
     });
@@ -151,7 +376,8 @@ void FelaEngine::StartIteration(int iteration) {
   iteration_start_ = cluster_->simulator().now();
   syncs_done_ = 0;
   tokens_done_ = false;
-  FELA_TRACE(&cluster_->trace(), iteration_start_, kTsNode,
+  std::fill(sync_started_.begin(), sync_started_.end(), false);
+  FELA_TRACE(&cluster_->trace(), iteration_start_, ts_node_,
              sim::TraceKind::kIterationStart,
              common::StrFormat("it=%d", iteration));
   if (cluster_->spans().enabled()) {
@@ -159,16 +385,24 @@ void FelaEngine::StartIteration(int iteration) {
                        obs::Phase::kIteration, iteration,
                        common::StrFormat("it=%d", iteration));
   }
-  // Elastic scale-out: workers that recovered during the previous
-  // iteration rejoin at this boundary.
+  // Elastic scale-out: workers that recovered (or healed) during the
+  // previous iteration rejoin at this boundary.
   for (int w = 0; w < cluster_->num_workers(); ++w) {
-    if (!admitted_[static_cast<size_t>(w)] && monitor_ && !monitor_->IsDown(w)) {
+    if (!admitted_[static_cast<size_t>(w)] && monitor_ &&
+        !monitor_->IsDown(w) && !monitor_->IsCut(w)) {
       ReAdmit(w);
     }
   }
-  ts_->BeginIteration(iteration);
+  if (ts_active_) {
+    ts_->BeginIteration(iteration);
+    // Boundary checkpoint: a failover early in the iteration restores to
+    // its start instead of replaying the previous one.
+    if (faults_active()) TakeCheckpoint();
+  }
+  // If the TS is fenced, requests sent now are voided; the workers'
+  // retry backoff re-delivers them to the promoted incarnation.
   for (int w = 0; w < cluster_->num_workers(); ++w) {
-    if (!admitted_[static_cast<size_t>(w)]) continue;  // still crashed
+    if (!admitted_[static_cast<size_t>(w)]) continue;  // still excluded
     const double delay = cluster_->stragglers().DelayFor(iteration, w);
     const double slowdown = cluster_->stragglers().SlowdownFor(iteration, w);
     workers_[static_cast<size_t>(w)]->BeginIteration(iteration, delay,
@@ -177,6 +411,10 @@ void FelaEngine::StartIteration(int iteration) {
 }
 
 void FelaEngine::OnLevelComplete(int level) {
+  // A failed-over TS replays post-checkpoint completions, so a level can
+  // announce twice in one iteration; its ring must still run once.
+  if (sync_started_[static_cast<size_t>(level)]) return;
+  sync_started_[static_cast<size_t>(level)] = true;
   const LevelPlan& lp = plan_.level(level);
   std::vector<sim::NodeId> participants;
   const bool ctd_scoped = lp.communication_intensive &&
@@ -189,8 +427,16 @@ void FelaEngine::OnLevelComplete(int level) {
   for (int i = 0; i < count; ++i) {
     if (admitted_[static_cast<size_t>(i)]) participants.push_back(i);
   }
+  if (participants.empty() && ctd_scoped) {
+    // Every subset worker is excluded: the TS's CTD liveness valve let
+    // the survivors train this level's tokens, so they hold the updates
+    // and must sync among themselves.
+    for (int i = 0; i < cluster_->num_workers(); ++i) {
+      if (admitted_[static_cast<size_t>(i)]) participants.push_back(i);
+    }
+  }
 
-  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), kTsNode,
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
              sim::TraceKind::kSyncStart,
              common::StrFormat("SM-%d %.1fMB among %zu", level + 1,
                                lp.sync_bytes / 1e6, participants.size()));
@@ -202,7 +448,7 @@ void FelaEngine::OnLevelComplete(int level) {
 
 void FelaEngine::OnSyncDone(int level) {
   ++syncs_done_;
-  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), kTsNode,
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
              sim::TraceKind::kSyncEnd,
              common::StrFormat("SM-%d", level + 1));
   MaybeFinishIteration();
@@ -217,7 +463,7 @@ void FelaEngine::MaybeFinishIteration() {
   if (!tokens_done_ || syncs_done_ != plan_.num_levels()) return;
   const sim::SimTime now = cluster_->simulator().now();
   stats_.iterations.push_back(runtime::IterationStats{iteration_start_, now});
-  FELA_TRACE(&cluster_->trace(), now, kTsNode, sim::TraceKind::kIterationEnd,
+  FELA_TRACE(&cluster_->trace(), now, ts_node_, sim::TraceKind::kIterationEnd,
              common::StrFormat("it=%d", current_iteration_));
   iter_span_.reset();  // emits the iteration framing span
   if (current_iteration_ + 1 < target_iterations_) {
@@ -227,9 +473,42 @@ void FelaEngine::MaybeFinishIteration() {
     // Teardown: cancel every fault-tolerance timer so no dangling event
     // keeps the queue alive or inflates total_time.
     if (monitor_) monitor_->Stop();
+    CancelCheckpointTimer();
+    CancelFailoverTimer();
     ts_->CancelAllLeases();
     for (auto& w : workers_) w->Quiesce();
   }
+}
+
+TokenServer::Stats FelaEngine::CumulativeTsStats() const {
+  TokenServer::Stats s = ts_stats_archive_;
+  s += ts_->stats();
+  return s;
+}
+
+std::vector<std::string> FelaEngine::CheckFailoverInvariants() const {
+  std::vector<std::string> out;
+  const TokenServer::Stats cum = CumulativeTsStats();
+  // Fenced incarnations finalize with zero live leases, so the live
+  // count always belongs to the current server.
+  const uint64_t live = ts_->outstanding_lease_count();
+  if (cum.grants + cum.leases_restored !=
+      cum.completions + cum.tokens_reclaimed + live) {
+    out.push_back(common::StrFormat(
+        "cumulative token conservation violated across %llu failovers: "
+        "grants=%llu + restored=%llu != completions=%llu + reclaimed=%llu "
+        "+ live=%llu",
+        static_cast<unsigned long long>(stats_.faults.ts_failovers),
+        static_cast<unsigned long long>(cum.grants),
+        static_cast<unsigned long long>(cum.leases_restored),
+        static_cast<unsigned long long>(cum.completions),
+        static_cast<unsigned long long>(cum.tokens_reclaimed),
+        static_cast<unsigned long long>(live)));
+  }
+  for (const std::string& line : ts_->CheckInvariants()) {
+    out.push_back("live incarnation: " + line);
+  }
+  return out;
 }
 
 runtime::RunStats FelaEngine::Run(int iterations) {
@@ -238,7 +517,10 @@ runtime::RunStats FelaEngine::Run(int iterations) {
   target_iterations_ = iterations;
   cluster_->fabric().ResetStats();
 
-  if (monitor_) monitor_->Start();
+  if (monitor_) {
+    monitor_->Start();
+    ArmCheckpointTimer();
+  }
   StartIteration(0);
   cluster_->simulator().Run();
   if (!run_complete_) {
@@ -258,8 +540,8 @@ runtime::RunStats FelaEngine::Run(int iterations) {
 
   // Cross-check token conservation: every worker-trained sample count
   // sums to total_batch per level per iteration. Under faults, reports
-  // lost in flight cause retraining, so workers may train *more* than
-  // the plan — never less.
+  // lost in flight (or replayed after a failover) cause retraining, so
+  // workers may train *more* than the plan — never less.
   if (!stats_.stalled) {
     double samples = 0.0;
     for (const auto& w : workers_) samples += w->samples_trained();
@@ -282,10 +564,12 @@ runtime::RunStats FelaEngine::Run(int iterations) {
   stats_.faults.control_dropped = cluster_->fabric().control_dropped_count();
   stats_.faults.control_duplicated =
       cluster_->fabric().control_duplicated_count();
-  const TokenServer::Stats& ts = ts_->stats();
+  // Fold every incarnation's ledger into the run's fault accounting.
+  const TokenServer::Stats ts = CumulativeTsStats();
   stats_.faults.tokens_reclaimed = ts.tokens_reclaimed;
   stats_.faults.regrants = ts.regrants;
   stats_.faults.duplicate_reports = ts.duplicate_reports + ts.stale_reports;
+  stats_.faults.leases_restored = ts.leases_restored;
   for (const auto& w : workers_) stats_.faults.request_retries += w->retries();
 
   if (cluster_->observability()) {

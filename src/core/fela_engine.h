@@ -30,6 +30,19 @@ namespace fela::core {
 /// of its STB), parameter syncs shrink to the admitted workers, and a
 /// recovered worker is re-admitted at the next iteration boundary — or
 /// immediately if it is the only survivor.
+///
+/// The control plane itself is survivable: the TS host is dynamic (it
+/// starts at node 0 but is not pinned there). The active incarnation
+/// checkpoints its distributor state at iteration boundaries and on a
+/// periodic timer; when the TS host crashes — or a partition cuts it off
+/// from the majority of the up workers — the incarnation is fenced
+/// (in-flight messages to it are voided) and, after
+/// ts_failover_timeout_sec, a standby on the best-connected up node
+/// restores from the last checkpoint and re-arms the leases. Workers keep
+/// retrying on their backoff schedule and converge on the new incarnation
+/// without restarting the run. Partition-cut workers park (excluded like
+/// crashed ones, but their processes stay alive) and re-admit when the
+/// partition heals.
 class FelaEngine : public runtime::Engine {
  public:
   /// Partitions the model with the paper's bin partitioner (§IV-A).
@@ -51,12 +64,27 @@ class FelaEngine : public runtime::Engine {
   }
   const TokenServer::Stats& ts_stats() const { return ts_->stats(); }
   /// Live token server, for post-run invariant probes (the oracles audit
-  /// its ledger through ExperimentSpec::post_run_probe).
+  /// its ledger through ExperimentSpec::post_run_probe). After a failover
+  /// this is the current incarnation; archived incarnations are folded
+  /// into CumulativeTsStats().
   const TokenServer& token_server() const { return *ts_; }
   const FelaWorker& worker(int i) const {
     return *workers_[static_cast<size_t>(i)];
   }
   bool admitted(int i) const { return admitted_[static_cast<size_t>(i)]; }
+
+  /// Current TS host / incarnation (the host moves on failover).
+  sim::NodeId ts_node() const { return ts_node_; }
+  int ts_incarnation() const { return ts_incarnation_; }
+  /// Token-server ledger summed over every incarnation: archived stats
+  /// from failed-over servers plus the live one.
+  TokenServer::Stats CumulativeTsStats() const;
+  /// Audits token conservation across incarnations: summed over the whole
+  /// run, grants + leases_restored == completions + tokens_reclaimed +
+  /// live leases — i.e. no token is double-granted or lost across a
+  /// failover. Returns one line per violation; empty when healthy. The
+  /// fuzzer's FailoverSafetyOracle calls this post-run.
+  std::vector<std::string> CheckFailoverInvariants() const;
 
  private:
   void StartIteration(int iteration);
@@ -67,7 +95,38 @@ class FelaEngine : public runtime::Engine {
   void MaybeFinishIteration();
   void OnWorkerCrash(int worker);
   void OnWorkerRecover(int worker);
+  void OnWorkerCut(int worker);
+  void OnWorkerHeal(int worker);
   void ReAdmit(int worker);
+  /// True when a worker coming back up must rejoin NOW rather than at
+  /// the iteration boundary: either every worker is excluded, or the
+  /// worker is in the CTD subset — the only workers eligible for
+  /// communication-intensive tokens — and deferring it could wedge the
+  /// iteration once only those tokens remain.
+  bool NeedsImmediateReadmit(int worker) const;
+  /// Makes a fresh TokenServer for the current ts_node_/incarnation and
+  /// wires the callbacks (construction and failover share this).
+  std::unique_ptr<TokenServer> MakeTokenServer();
+  /// Snapshots the live TS into last_checkpoint_.
+  void TakeCheckpoint();
+  /// (Re-)arms the periodic checkpoint timer. Only armed while the fault
+  /// schedule still has transitions ahead — once no crash/cut can ever
+  /// happen again a checkpoint can never be consumed, and an
+  /// unconditionally re-arming timer would keep the event queue alive
+  /// forever on a stalled run.
+  void ArmCheckpointTimer();
+  void CancelCheckpointTimer();
+  void CancelFailoverTimer();
+  /// Fences the active incarnation (host crashed or lost quorum): closes
+  /// its ledger, voids in-flight messages addressed to it, and schedules
+  /// failover after config.ts_failover_timeout_sec.
+  void FenceTs();
+  /// Promotes a standby: picks the up worker that can reach the most
+  /// other up workers (ties -> lowest id), restores the last checkpoint
+  /// (or starts the iteration fresh if none matches), and re-anchors the
+  /// partition monitor. No-op if nobody is up — retried on the next
+  /// recover event.
+  void CompleteFailover();
   bool faults_active() const { return cluster_->faults().Active(); }
 
   runtime::Cluster* cluster_;
@@ -86,14 +145,37 @@ class FelaEngine : public runtime::Engine {
   /// Recovery time of workers waiting for re-admission, or -1.
   std::vector<sim::SimTime> recover_pending_;
 
-  // TS placement: co-located with worker 0 (§III-A).
-  static constexpr sim::NodeId kTsNode = 0;
+  // TS placement: starts co-located with worker 0 (§III-A) but moves to
+  // a standby on failover.
+  sim::NodeId ts_node_ = 0;
+  /// Bumped on every failover; control messages capture the incarnation
+  /// at send time and are voided on delivery if it no longer matches
+  /// (fencing — a message addressed to a dead server is never applied to
+  /// its successor).
+  int ts_incarnation_ = 0;
+  /// False between FenceTs() and a successful CompleteFailover().
+  bool ts_active_ = true;
+  /// True while CompleteFailover re-anchors the monitor; suppresses the
+  /// quorum re-check that the re-anchoring cut events would otherwise
+  /// trigger (a standby on a minority island must not instantly re-fence
+  /// itself — only a *new* schedule transition may).
+  bool failing_over_ = false;
+  TokenServer::Checkpoint last_checkpoint_;
+  /// Ledgers of finalized (failed-over) incarnations, element-wise summed.
+  TokenServer::Stats ts_stats_archive_;
+  sim::EventId checkpoint_timer_ = sim::kInvalidEventId;
+  sim::EventId failover_timer_ = sim::kInvalidEventId;
 
   int target_iterations_ = 0;
   int current_iteration_ = 0;
   sim::SimTime iteration_start_ = 0.0;
   int syncs_done_ = 0;
   bool tokens_done_ = false;
+  /// sync_started_[level]: this iteration's ring for the level already
+  /// launched. A failed-over TS replays completions from the checkpoint,
+  /// so a level can announce completion twice in one iteration; the sync
+  /// (and syncs_done_) must still run once.
+  std::vector<bool> sync_started_;
   bool run_complete_ = false;
   runtime::RunStats stats_;
 

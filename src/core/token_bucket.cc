@@ -7,7 +7,7 @@
 namespace fela::core {
 
 std::vector<int> LevelPriorityFor(sim::NodeId worker, const FelaConfig& config,
-                                  const FelaPlan& plan) {
+                                  const FelaPlan& plan, bool ctd_relaxed) {
   const int m = plan.num_levels();
   std::vector<int> base;
   base.reserve(static_cast<size_t>(m));
@@ -17,7 +17,8 @@ std::vector<int> LevelPriorityFor(sim::NodeId worker, const FelaConfig& config,
     for (int l = 0; l < m; ++l) base.push_back(l);
   }
 
-  const bool ctd_active = config.ctd_subset_size < plan.num_workers;
+  const bool ctd_active =
+      !ctd_relaxed && config.ctd_subset_size < plan.num_workers;
   if (!ctd_active) return base;
 
   std::vector<int> comm;
@@ -91,6 +92,15 @@ std::optional<Token> TokenBucket::Take(sim::NodeId worker,
     return token;
   }
   return std::nullopt;
+}
+
+std::vector<Token> TokenBucket::Snapshot() const {
+  std::vector<Token> out;
+  out.reserve(size_);
+  for (const auto& [level, queue] : by_level_) {
+    out.insert(out.end(), queue.begin(), queue.end());
+  }
+  return out;
 }
 
 void TokenBucket::Clear() {

@@ -19,8 +19,13 @@ namespace fela::core {
 ///    cluster: workers in S scan communication-intensive levels first
 ///    (T-2 > T-3 > T-1 in the paper's example); workers outside S never
 ///    see communication-intensive levels.
+/// `ctd_relaxed` suppresses the CTD scoping: the Token Server sets it
+/// while every subset worker is down, so the survivors can still drain
+/// communication-intensive tokens instead of wedging the iteration on
+/// workers that may never return (liveness valve).
 std::vector<int> LevelPriorityFor(sim::NodeId worker, const FelaConfig& config,
-                                  const FelaPlan& plan);
+                                  const FelaPlan& plan,
+                                  bool ctd_relaxed = false);
 
 /// A bucket of schedulable tokens (the global Token Bucket, or one
 /// sub-Token Bucket when HF partitions it, §III-E). Selection follows the
@@ -51,6 +56,11 @@ class TokenBucket {
   /// Locality score used by Take (exposed for tests).
   static double ScoreFor(sim::NodeId worker, const InfoMapping& info,
                          const Token& token);
+
+  /// Every stored token, level-ascending then FIFO within a level — the
+  /// same order a sequence of Add calls would rebuild. The deterministic
+  /// serialization the Token Server's checkpoint uses.
+  std::vector<Token> Snapshot() const;
 
   void Clear();
 

@@ -24,6 +24,25 @@ void SetTokenServerMutationForTesting(bool enabled) {
 
 bool TokenServerMutationForTesting() { return g_mutation_enabled; }
 
+TokenServer::Stats& TokenServer::Stats::operator+=(const Stats& other) {
+  grants += other.grants;
+  steals += other.steals;
+  conflicts += other.conflicts;
+  enqueued_waits += other.enqueued_waits;
+  conflict_delay_total += other.conflict_delay_total;
+  remote_dep_fetches += other.remote_dep_fetches;
+  local_dep_hits += other.local_dep_hits;
+  completions += other.completions;
+  tokens_reclaimed += other.tokens_reclaimed;
+  lease_expirations += other.lease_expirations;
+  regrants += other.regrants;
+  duplicate_reports += other.duplicate_reports;
+  stale_reports += other.stale_reports;
+  redundant_requests += other.redundant_requests;
+  leases_restored += other.leases_restored;
+  return *this;
+}
+
 TokenServer::TokenServer(sim::Simulator* sim, const sim::Calibration* cal,
                          const FelaPlan* plan, const FelaConfig* config,
                          Callbacks cbs)
@@ -95,16 +114,23 @@ bool TokenServer::AllLevelsComplete() const {
 std::vector<std::string> TokenServer::CheckInvariants() const {
   std::vector<std::string> out;
   const uint64_t live = static_cast<uint64_t>(leases_.size());
-  if (stats_.grants != stats_.completions + stats_.tokens_reclaimed + live) {
+  if (stats_.grants + stats_.leases_restored !=
+      stats_.completions + stats_.tokens_reclaimed + live) {
     out.push_back(common::StrFormat(
-        "token conservation violated: grants=%llu != completions=%llu + "
-        "reclaimed=%llu + live_leases=%llu",
+        "token conservation violated: grants=%llu + restored=%llu != "
+        "completions=%llu + reclaimed=%llu + live_leases=%llu",
         static_cast<unsigned long long>(stats_.grants),
+        static_cast<unsigned long long>(stats_.leases_restored),
         static_cast<unsigned long long>(stats_.completions),
         static_cast<unsigned long long>(stats_.tokens_reclaimed),
         static_cast<unsigned long long>(live)));
   }
-  if (stats_.regrants > stats_.tokens_reclaimed) {
+  // A restored incarnation may re-grant bucket tokens whose reclaim was
+  // counted by a previous incarnation (attempt > 0 survives the
+  // checkpoint — even when the checkpoint held no live leases), so
+  // regrants <= reclaimed only binds for never-restored incarnations.
+  if (!restored_from_checkpoint_ &&
+      stats_.regrants > stats_.tokens_reclaimed) {
     out.push_back(common::StrFormat(
         "regrants without reclaim: regrants=%llu > reclaimed=%llu",
         static_cast<unsigned long long>(stats_.regrants),
@@ -153,7 +179,112 @@ std::vector<std::string> TokenServer::CheckInvariants() const {
         static_cast<unsigned long long>(outstanding_live),
         static_cast<unsigned long long>(live)));
   }
+  // No token is ever double-granted: a token id lives in at most one
+  // place — one bucket slot or one lease, never both, never twice. This
+  // is the structural half of the failover-safety oracle (a restore that
+  // duplicated a token would trip it).
+  std::map<TokenId, int> seen;
+  for (const TokenBucket& b : stbs_) {
+    for (const Token& t : b.Snapshot()) ++seen[t.id];
+  }
+  for (const auto& [id, lease] : leases_) ++seen[id];
+  for (const auto& [id, count] : seen) {
+    if (count > 1) {
+      out.push_back(common::StrFormat(
+          "token %llu is schedulable/leased in %d places at once",
+          static_cast<unsigned long long>(id), count));
+    }
+  }
   return out;
+}
+
+TokenServer::Checkpoint TokenServer::MakeCheckpoint() const {
+  Checkpoint cp;
+  cp.valid = true;
+  cp.taken_at = sim_->now();
+  cp.iteration = iteration_;
+  cp.next_token_id = next_token_id_;
+  cp.all_done_announced = all_done_announced_;
+  cp.info = info_;
+  cp.buckets.reserve(stbs_.size());
+  for (const TokenBucket& b : stbs_) cp.buckets.push_back(b.Snapshot());
+  cp.pending = pending_;
+  cp.completed_count = completed_count_;
+  cp.generated_count = generated_count_;
+  cp.waiters = waiters_;
+  cp.waiting = waiting_;
+  cp.helping = helping_;
+  cp.helper_count = helper_count_;
+  // leases_ is an ordered map, so the lease list is deterministic.
+  cp.leases.reserve(leases_.size());
+  for (const auto& [id, lease] : leases_) {
+    cp.leases.emplace_back(lease.token, lease.worker);
+  }
+  return cp;
+}
+
+void TokenServer::Restore(const Checkpoint& cp,
+                          const std::vector<bool>& down_now) {
+  FELA_CHECK(cp.valid);
+  FELA_CHECK(leases_.empty()) << "Restore requires a fresh server";
+  restored_from_checkpoint_ = true;
+  iteration_ = cp.iteration;
+  next_token_id_ = cp.next_token_id;
+  all_done_announced_ = cp.all_done_announced;
+  info_ = cp.info;
+  FELA_CHECK_EQ(cp.buckets.size(), stbs_.size());
+  for (size_t i = 0; i < stbs_.size(); ++i) {
+    stbs_[i].Clear();
+    for (const Token& t : cp.buckets[i]) stbs_[i].Add(t);
+  }
+  pending_ = cp.pending;
+  completed_count_ = cp.completed_count;
+  generated_count_ = cp.generated_count;
+  waiters_ = cp.waiters;
+  waiting_ = cp.waiting;
+  helping_ = cp.helping;
+  helper_count_ = cp.helper_count;
+  lock_free_at_ = 0.0;
+  std::fill(down_.begin(), down_.end(), false);
+  // Replay what the leases imply: the checkpointed holders are presumed
+  // still computing, so their grants stay live with fresh deadlines. A
+  // holder that finished meanwhile reports and completes normally; one
+  // that lost its grant in the failover window goes silent and the
+  // re-armed expiry reclaims the token.
+  const sim::SimTime now = sim_->now();
+  for (const auto& [token, worker] : cp.leases) {
+    const TokenId id = token.id;
+    Lease lease;
+    lease.token = token;
+    lease.worker = worker;
+    if (leases_enabled_) {
+      // fela-lint: allow(untraced-event) expiry traces as kTokenReclaim
+      // when the lease actually fires; re-arming it is silent by design.
+      lease.timer = sim_->ScheduleAt(now + config_->lease_timeout_sec,
+                                     [this, id] { OnLeaseExpired(id); });
+    }
+    outstanding_[static_cast<size_t>(worker)] = id;
+    leases_[id] = std::move(lease);
+    ++stats_.leases_restored;
+  }
+  // Apply the present down/cut picture (reclaims leases of dead holders),
+  // then serve whoever was waiting.
+  for (sim::NodeId w = 0; w < num_workers(); ++w) {
+    if (down_now[static_cast<size_t>(w)]) SetWorkerDown(w, true);
+  }
+  ServeWaiters();
+}
+
+void TokenServer::FinalizeForFailover() {
+  for (auto& [id, lease] : leases_) {
+    if (lease.timer != sim::kInvalidEventId) sim_->Cancel(lease.timer);
+    outstanding_[static_cast<size_t>(lease.worker)] = kInvalidTokenId;
+    // The work in flight dies with this incarnation; counting it as
+    // reclaimed closes the ledger exactly (no callbacks — the standby
+    // replays from the checkpoint, not from this state).
+    ++stats_.tokens_reclaimed;
+  }
+  leases_.clear();
 }
 
 size_t TokenServer::PendingTokenCount() const {
@@ -213,7 +344,18 @@ std::optional<Token> TokenServer::TakeFor(sim::NodeId worker, bool* stolen,
                                           double* extra_delay) {
   *stolen = false;
   *extra_delay = 0.0;
-  const std::vector<int> order = LevelPriorityFor(worker, *config_, *plan_);
+  // CTD liveness valve: workers outside S never see communication-
+  // intensive levels, so if every subset worker is down those tokens
+  // have no eligible taker and the iteration wedges on processes that
+  // may never return. While S is entirely down, relax the scoping and
+  // let the survivors drain comm tokens; the scoping resumes as soon as
+  // any subset worker comes back up.
+  bool ctd_relaxed = CtdActive();
+  for (int w = 0; ctd_relaxed && w < config_->ctd_subset_size; ++w) {
+    if (!down_[static_cast<size_t>(w)]) ctd_relaxed = false;
+  }
+  const std::vector<int> order =
+      LevelPriorityFor(worker, *config_, *plan_, ctd_relaxed);
   if (order.empty()) return std::nullopt;
   const bool use_locality = config_->ads_enabled;
 

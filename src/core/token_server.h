@@ -84,6 +84,11 @@ class TokenServer {
     // Fault-tolerance accounting. Every grant terminates in exactly one
     // of {accepted completion, reclaim}, so at run end
     //   grants == completions + tokens_reclaimed.
+    // Fault-tolerance accounting. Every grant terminates in exactly one
+    // of {accepted completion, reclaim}; a lease restored from a
+    // checkpoint enters this incarnation's ledger without a local grant,
+    // so the per-incarnation identity is
+    //   grants + leases_restored == completions + tokens_reclaimed + live.
     uint64_t completions = 0;        // reports accepted
     uint64_t tokens_reclaimed = 0;   // leases reclaimed (crash + expiry)
     uint64_t lease_expirations = 0;  // reclaims caused by a silent worker
@@ -91,6 +96,36 @@ class TokenServer {
     uint64_t duplicate_reports = 0;  // reports not matching the live grant
     uint64_t stale_reports = 0;      // reports from a finished iteration
     uint64_t redundant_requests = 0; // requests while a grant is live
+    uint64_t leases_restored = 0;    // leases re-armed from a checkpoint
+
+    /// Element-wise sum — used by the engine to fold stats archived from
+    /// failed-over incarnations into one cumulative ledger.
+    Stats& operator+=(const Stats& other);
+  };
+
+  /// A deterministic snapshot of everything a standby needs to resume
+  /// this incarnation's work mid-iteration: the per-level plan progress,
+  /// the bucket / pending-pool repository, the wait queue, and the live
+  /// leases (re-armed with fresh deadlines on restore). Statistics are
+  /// deliberately NOT captured: each incarnation keeps its own ledger
+  /// and the engine archives them across failovers.
+  struct Checkpoint {
+    bool valid = false;
+    sim::SimTime taken_at = 0.0;
+    int iteration = -1;
+    TokenId next_token_id = 0;
+    bool all_done_announced = false;
+    InfoMapping info;
+    std::vector<std::vector<Token>> buckets;  // one per STB, ordered
+    std::vector<std::vector<std::deque<TokenDep>>> pending;
+    std::vector<int> completed_count;
+    std::vector<int> generated_count;
+    std::deque<sim::NodeId> waiters;
+    std::vector<bool> waiting;
+    std::vector<sim::NodeId> helping;
+    std::vector<int> helper_count;
+    /// Live leases as (token, holder); timers are re-armed on restore.
+    std::vector<std::pair<Token, sim::NodeId>> leases;
   };
 
   TokenServer(sim::Simulator* sim, const sim::Calibration* cal,
@@ -125,6 +160,24 @@ class TokenServer {
   /// Cancels any armed lease timers without reclaiming (run teardown —
   /// leaves no dangling events in the simulator queue).
   void CancelAllLeases();
+
+  /// Captures the full distributor state for failover (see Checkpoint).
+  Checkpoint MakeCheckpoint() const;
+
+  /// Rebuilds this (freshly constructed) server from a checkpoint: state
+  /// is restored verbatim, restored leases get fresh deadlines
+  /// (now + lease_timeout_sec) and re-armed expiry timers, workers in
+  /// `down_now` are marked down (reclaiming their restored leases), and
+  /// waiters are re-served. Counted in stats as leases_restored so the
+  /// per-incarnation conservation identity stays exact.
+  void Restore(const Checkpoint& cp, const std::vector<bool>& down_now);
+
+  /// Fences a failed incarnation: cancels every lease timer and counts
+  /// the live leases as reclaimed — the work dies with the incarnation
+  /// and will be replayed by the standby — so this incarnation's ledger
+  /// closes balanced (grants + restored == completions + reclaimed).
+  /// No callbacks fire; the object must receive no messages afterwards.
+  void FinalizeForFailover();
 
   /// Enables distributor-lock observability: every serialized pass
   /// through the lock (including its fetching-conflict penalty) becomes
@@ -216,6 +269,11 @@ class TokenServer {
   std::vector<TokenId> outstanding_;  // live grant per worker, or invalid
   std::vector<bool> down_;
   bool leases_enabled_ = false;
+  /// This incarnation was rebuilt from a checkpoint. Checkpointed bucket
+  /// tokens keep their attempt counters, so a restored incarnation may
+  /// regrant tokens whose reclaim a *previous* incarnation counted —
+  /// CheckInvariants relaxes regrants <= reclaimed for it.
+  bool restored_from_checkpoint_ = false;
   std::vector<sim::NodeId> helping_;     // helping_[w] = victim or -1
   std::vector<int> helper_count_;        // helpers currently aiding worker v
   sim::SimTime lock_free_at_ = 0.0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/string_util.h"
 
 namespace fela::core {
@@ -41,6 +42,7 @@ void FelaWorker::BeginIteration(int iteration, double straggler_delay,
   }
   if (!request_outstanding_ && !busy_) {
     request_outstanding_ = true;
+    retry_attempt_ = 0;
     FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenRequest,
                common::StrFormat("it=%d", iteration));
     BeginTokenWait();
@@ -53,6 +55,7 @@ void FelaWorker::RequestWork(int iteration) {
   iteration_ = iteration;
   if (request_outstanding_ || busy_) return;
   request_outstanding_ = true;
+  retry_attempt_ = 0;
   FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenRequest,
              common::StrFormat("it=%d (rejoin)", iteration));
   BeginTokenWait();
@@ -64,6 +67,7 @@ void FelaWorker::OnCrash() {
   ++incarnation_;
   busy_ = false;
   request_outstanding_ = false;
+  retry_attempt_ = 0;
   // The wait ended in a crash, not a grant; the interval up to now is
   // still time spent waiting (the crashed span the engine emits outranks
   // it in attribution anyway).
@@ -82,12 +86,15 @@ void FelaWorker::Quiesce() {
 }
 
 void FelaWorker::ArmRetryTimer() {
-  if (retry_timeout_sec_ <= 0.0) return;
+  if (retry_.base_sec <= 0.0) return;
   CancelRetryTimer();
+  const double delay = common::JitteredBackoffSec(
+      retry_.base_sec, retry_.multiplier, retry_.max_sec, retry_attempt_,
+      retry_.jitter_seed, static_cast<uint64_t>(id_));
   const int inc = incarnation_;
   // fela-lint: allow(untraced-event) retries trace as kRequestRetry at
   // fire time; arming the timer itself is not an observable event.
-  retry_timer_ = sim_->Schedule(retry_timeout_sec_, [this, inc] {
+  retry_timer_ = sim_->Schedule(delay, [this, inc] {
     retry_timer_ = sim::kInvalidEventId;
     if (inc != incarnation_) return;
     OnRetryFire();
@@ -104,6 +111,7 @@ void FelaWorker::CancelRetryTimer() {
 void FelaWorker::OnRetryFire() {
   if (!request_outstanding_ || busy_) return;
   ++retries_;
+  ++retry_attempt_;  // next wait backs off further
   FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kRequestRetry,
              common::StrFormat("it=%d n=%llu", iteration_,
                                static_cast<unsigned long long>(retries_)));
@@ -119,6 +127,7 @@ void FelaWorker::OnGrant(const Grant& grant) {
     return;
   }
   request_outstanding_ = false;
+  retry_attempt_ = 0;
   CancelRetryTimer();
   token_wait_.reset();  // emits the request -> grant interval
   busy_ = true;
@@ -179,6 +188,7 @@ void FelaWorker::OnComputeDone(Token token) {
              token.ToString());
   // Combined report + request: the TS serves our implicit request.
   request_outstanding_ = true;
+  retry_attempt_ = 0;
   BeginTokenWait();
   cbs_.send_report(id_, token);
   ArmRetryTimer();

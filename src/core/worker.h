@@ -40,6 +40,18 @@ class ParameterChunks {
   std::unordered_set<TokenId> held_;
 };
 
+/// Request retransmission policy: the k-th consecutive retry of one
+/// request waits JitteredBackoffSec(base, mult, max, k, seed, worker) —
+/// exponential backoff with deterministic jitter. base_sec <= 0 disables
+/// retries entirely (the fault-free default: no timer events scheduled);
+/// mult 1.0 + seed 0 recovers the legacy fixed-interval behaviour.
+struct RetryPolicy {
+  double base_sec = 0.0;
+  double multiplier = 1.0;
+  double max_sec = 0.0;  // <= 0: uncapped
+  uint64_t jitter_seed = 0;
+};
+
 /// A Fela worker: Trainer (GPU compute), Coordinator (dependency
 /// fetches), and Parameter Chunks. Event-driven; one token in flight at
 /// a time (the §III-D combined report+request cycle).
@@ -74,11 +86,18 @@ class FelaWorker {
   /// that raced a retry) is dropped — the TS lease reclaims it.
   void OnGrant(const Grant& grant);
 
-  /// Enables request retransmission: while a request is unanswered, a
-  /// fresh request goes out every `sec` seconds (covers requests or
-  /// grants lost on a lossy control plane). <= 0 disables (default), so
-  /// fault-free runs schedule no timer events.
-  void set_retry_timeout(double sec) { retry_timeout_sec_ = sec; }
+  /// Enables request retransmission: while a request is unanswered,
+  /// fresh requests go out on the policy's backoff schedule (covers
+  /// requests or grants lost on a lossy control plane or across a
+  /// partition). Disabled by default, so fault-free runs schedule no
+  /// timer events.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  /// Convenience: fixed-interval retries every `sec` seconds (no
+  /// backoff, no jitter). <= 0 disables.
+  void set_retry_timeout(double sec) {
+    retry_ = RetryPolicy{sec, 1.0, sec, 0};
+  }
 
   /// The worker process died: whatever was fetching/computing is
   /// discarded (the incarnation guard voids in-flight callbacks) and all
@@ -145,7 +164,10 @@ class FelaWorker {
   /// older incarnation are discarded (the work died with the process).
   int incarnation_ = 0;
   int iteration_ = -1;
-  double retry_timeout_sec_ = 0.0;
+  RetryPolicy retry_;
+  /// Consecutive retries of the *current* request (backoff exponent);
+  /// reset whenever a fresh request cycle starts or a grant lands.
+  int retry_attempt_ = 0;
   sim::EventId retry_timer_ = sim::kInvalidEventId;
   uint64_t retries_ = 0;
   uint64_t ignored_grants_ = 0;

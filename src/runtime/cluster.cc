@@ -15,6 +15,7 @@ Cluster::Cluster(int num_workers, const sim::Calibration& cal,
   FELA_CHECK_GT(num_workers, 0);
   if (!stragglers_) stragglers_ = std::make_unique<sim::NoStragglers>();
   if (!faults_) faults_ = std::make_unique<sim::NoFaults>();
+  FELA_CHECK_OK(faults_->Validate(num_workers));
   fabric_.SetFaults(faults_.get(), &trace_);
   spans_.set_clock([this] { return sim_.now(); });
   fabric_.set_span_sink(&spans_);

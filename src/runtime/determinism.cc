@@ -46,6 +46,13 @@ std::string DeterminismTranscript(const ExperimentResult& result) {
   AppendLine(&out, "faults.readmissions", Count(f.readmissions));
   AppendLine(&out, "faults.recovery_latency_total",
              Num(f.recovery_latency_total));
+  // ts_checkpoints is deliberately absent: boundary checkpoints fire on
+  // *attached* (even inert) schedules, so including the counter would
+  // break inert-schedule == faultless byte identity.
+  AppendLine(&out, "faults.ts_failovers", Count(f.ts_failovers));
+  AppendLine(&out, "faults.partition_cuts", Count(f.partition_cuts));
+  AppendLine(&out, "faults.partition_heals", Count(f.partition_heals));
+  AppendLine(&out, "faults.leases_restored", Count(f.leases_restored));
   for (size_t i = 0; i < result.stats.iterations.size(); ++i) {
     const IterationStats& it = result.stats.iterations[i];
     out += common::StrFormat("iteration[%zu]=%s..%s\n", i,

@@ -78,6 +78,18 @@ std::string RenderFaultSummary(const std::string& engine_name,
       static_cast<unsigned long long>(f.control_duplicated),
       static_cast<unsigned long long>(f.request_retries),
       static_cast<unsigned long long>(f.duplicate_reports));
+  if (f.ts_failovers > 0) {
+    out += common::StrFormat(
+        "; TS: %llu failovers, %llu leases restored",
+        static_cast<unsigned long long>(f.ts_failovers),
+        static_cast<unsigned long long>(f.leases_restored));
+  }
+  if (f.partition_cuts > 0) {
+    out += common::StrFormat(
+        "; partitions: %llu cuts, %llu heals",
+        static_cast<unsigned long long>(f.partition_cuts),
+        static_cast<unsigned long long>(f.partition_heals));
+  }
   if (stats.stalled) {
     out += common::StrFormat("; STALLED after %d iterations",
                              stats.iteration_count());

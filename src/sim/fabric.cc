@@ -68,6 +68,9 @@ void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
   CheckNode(dst);
   ++control_message_count_;
   bool duplicated = false;
+  // Gray failures inflate control latency at either endpoint; 1.0 when no
+  // schedule is active or no gray interval covers the endpoints.
+  double delay_factor = 1.0;
   if (faults_ != nullptr && faults_->Active()) {
     const uint64_t seq = control_seq_++;
     const SimTime now = sim_->now();
@@ -85,6 +88,19 @@ void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
       }
       return;
     }
+    // A partition cut is reachability, not death: both endpoints live,
+    // but nothing crosses the cut until the partition heals.
+    if (faults_->Partitioned(now, src, dst)) {
+      ++control_dropped_count_;
+      ++control_partition_dropped_count_;
+      if (fault_trace_ != nullptr && fault_trace_->enabled()) {
+        fault_trace_->Record(
+            now, dst, TraceKind::kPartitionDrop,
+            common::StrFormat("src=%d seq=%llu", src,
+                              static_cast<unsigned long long>(seq)));
+      }
+      return;
+    }
     if (faults_->DuplicateControl(seq)) {
       duplicated = true;
       ++control_duplicated_count_;
@@ -95,7 +111,10 @@ void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
                               static_cast<unsigned long long>(seq)));
       }
     }
+    delay_factor = std::max(faults_->ControlDelayFactor(now, src),
+                            faults_->ControlDelayFactor(now, dst));
   }
+  const double latency = cal_.message_latency_sec * delay_factor;
   if (src == dst) {
     // Co-located roles (e.g. TS on node 0 talking to worker 0): loopback.
     if (duplicated) {
@@ -103,7 +122,7 @@ void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
       // loopback — retransmission implies a timeout at the sender, not a
       // second instantaneous local delivery. Keeps the dup penalty
       // consistent with the remote path below.
-      sim_->Schedule(cal_.message_latency_sec, done);
+      sim_->Schedule(latency, done);
     }
     sim_->Schedule(0.0, std::move(done));
     return;
@@ -112,9 +131,9 @@ void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
       cal_.control_message_bytes / cal_.nic_bandwidth_bytes_per_sec;
   if (duplicated) {
     // The retransmitted copy arrives one extra latency later.
-    sim_->Schedule(2.0 * cal_.message_latency_sec + wire, done);
+    sim_->Schedule(2.0 * latency + wire, done);
   }
-  sim_->Schedule(cal_.message_latency_sec + wire, std::move(done));
+  sim_->Schedule(latency + wire, std::move(done));
 }
 
 void Fabric::ResetStats() {
@@ -127,6 +146,7 @@ void Fabric::ResetStats() {
   control_message_count_ = 0;
   control_dropped_count_ = 0;
   control_duplicated_count_ = 0;
+  control_partition_dropped_count_ = 0;
   control_seq_ = 0;
 }
 

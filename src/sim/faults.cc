@@ -11,20 +11,11 @@ namespace fela::sim {
 
 namespace {
 
-/// Stateless SplitMix64-style mix (same family as straggler.cc) feeding a
-/// seeded fela Rng, so each (seed, index, salt) decision is an
-/// independent, platform-stable draw.
-uint64_t Mix(uint64_t a, uint64_t b, uint64_t c) {
-  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b * 0xbf58476d1ce4e5b9ULL +
-               c * 0x94d049bb133111ebULL + 0x2545f4914f6cdd1dULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
+/// Each (seed, index, salt) decision is an independent, platform-stable
+/// draw via common::MixSeed feeding a seeded fela Rng.
 bool SeededBernoulli(uint64_t seed, uint64_t index, uint64_t salt, double p) {
   if (p <= 0.0) return false;
-  common::Rng rng(Mix(seed, index, salt));
+  common::Rng rng(common::MixSeed(seed, index, salt));
   return rng.Bernoulli(p);
 }
 
@@ -60,6 +51,38 @@ SimTime FaultSchedule::NextUpAfter(SimTime t, int worker) const {
   }
 }
 
+bool FaultSchedule::AnyUnreachableDuring(SimTime t0, SimTime t1, int worker,
+                                         int anchor) const {
+  if (!Active()) return false;
+  auto unreachable = [&](SimTime t) {
+    return IsDownAt(t, worker) || Partitioned(t, worker, anchor);
+  };
+  if (unreachable(t0) || unreachable(t1)) return true;
+  SimTime t = NextTransitionAfter(t0);
+  while (t <= t1) {
+    if (unreachable(t)) return true;
+    const SimTime next = NextTransitionAfter(t);
+    if (next <= t) break;  // defensive: schedules must make progress
+    t = next;
+  }
+  return false;
+}
+
+SimTime FaultSchedule::NextReachableAfter(SimTime t, int worker,
+                                          int anchor) const {
+  auto unreachable = [&](SimTime when) {
+    return IsDownAt(when, worker) || Partitioned(when, worker, anchor);
+  };
+  if (!unreachable(t)) return t;
+  SimTime cur = t;
+  while (true) {
+    const SimTime next = NextTransitionAfter(cur);
+    if (IsNever(next) || next <= cur) return kNeverTime;
+    if (!unreachable(next)) return next;
+    cur = next;
+  }
+}
+
 // -- ScriptedCrashes --------------------------------------------------------
 
 ScriptedCrashes::ScriptedCrashes(std::vector<CrashEvent> events)
@@ -89,6 +112,17 @@ SimTime ScriptedCrashes::NextTransitionAfter(SimTime t) const {
     }
   }
   return best;
+}
+
+common::Status ScriptedCrashes::Validate(int num_workers) const {
+  for (const CrashEvent& e : events_) {
+    if (e.worker < 0 || e.worker >= num_workers) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "scripted crash references worker %d outside [0, %d)", e.worker,
+          num_workers));
+    }
+  }
+  return common::Status::Ok();
 }
 
 std::string ScriptedCrashes::ToString() const {
@@ -204,6 +238,110 @@ std::string LossyControlPlane::ToString() const {
                            dup_prob_);
 }
 
+// -- NetworkPartition -------------------------------------------------------
+
+NetworkPartition::NetworkPartition(std::vector<PartitionEvent> events)
+    : events_(std::move(events)) {
+  for (PartitionEvent& e : events_) {
+    FELA_CHECK_GE(e.start, 0.0);
+    FELA_CHECK_GT(e.end, e.start);
+    std::sort(e.side_a.begin(), e.side_a.end());
+    for (int w : e.side_a) FELA_CHECK_GE(w, 0);
+  }
+}
+
+SimTime NetworkPartition::NextTransitionAfter(SimTime t) const {
+  SimTime best = kNeverTime;
+  for (const PartitionEvent& e : events_) {
+    if (e.start > t) best = std::min(best, e.start);
+    if (e.end > t && !IsNever(e.end)) best = std::min(best, e.end);
+  }
+  return best;
+}
+
+bool NetworkPartition::Partitioned(SimTime time, int a, int b) const {
+  if (a == b) return false;
+  for (const PartitionEvent& e : events_) {
+    if (time < e.start || time >= e.end) continue;
+    const bool a_in = std::binary_search(e.side_a.begin(), e.side_a.end(), a);
+    const bool b_in = std::binary_search(e.side_a.begin(), e.side_a.end(), b);
+    if (a_in != b_in) return true;
+  }
+  return false;
+}
+
+common::Status NetworkPartition::Validate(int num_workers) const {
+  for (const PartitionEvent& e : events_) {
+    for (int w : e.side_a) {
+      if (w < 0 || w >= num_workers) {
+        return common::Status::InvalidArgument(common::StrFormat(
+            "partition side references worker %d outside [0, %d)", w,
+            num_workers));
+      }
+    }
+  }
+  return common::Status::Ok();
+}
+
+std::string NetworkPartition::ToString() const {
+  std::string out = "partition(";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const PartitionEvent& e = events_[i];
+    if (i > 0) out += ", ";
+    out += common::StrFormat("%zu-node side @", e.side_a.size());
+    if (IsNever(e.end)) {
+      out += common::StrFormat("%.2fs", e.start);
+    } else {
+      out += common::StrFormat("[%.2fs,%.2fs)", e.start, e.end);
+    }
+  }
+  return out + ")";
+}
+
+// -- GrayFailures -----------------------------------------------------------
+
+GrayFailures::GrayFailures(std::vector<GrayEvent> events)
+    : events_(std::move(events)) {
+  for (const GrayEvent& e : events_) {
+    FELA_CHECK_GE(e.worker, 0);
+    FELA_CHECK_GE(e.start, 0.0);
+    FELA_CHECK_GT(e.end, e.start);
+    FELA_CHECK_GE(e.delay_factor, 1.0);
+  }
+}
+
+double GrayFailures::ControlDelayFactor(SimTime time, int worker) const {
+  double factor = 1.0;
+  for (const GrayEvent& e : events_) {
+    if (e.worker == worker && time >= e.start && time < e.end) {
+      factor = std::max(factor, e.delay_factor);
+    }
+  }
+  return factor;
+}
+
+common::Status GrayFailures::Validate(int num_workers) const {
+  for (const GrayEvent& e : events_) {
+    if (e.worker < 0 || e.worker >= num_workers) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "gray failure references worker %d outside [0, %d)", e.worker,
+          num_workers));
+    }
+  }
+  return common::Status::Ok();
+}
+
+std::string GrayFailures::ToString() const {
+  std::string out = "gray(";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const GrayEvent& e = events_[i];
+    if (i > 0) out += ", ";
+    out += common::StrFormat("w%d x%.1f @[%.2fs,%.2fs)", e.worker,
+                             e.delay_factor, e.start, e.end);
+  }
+  return out + ")";
+}
+
 // -- CompositeFaults --------------------------------------------------------
 
 CompositeFaults::CompositeFaults(
@@ -239,6 +377,29 @@ bool CompositeFaults::DuplicateControl(uint64_t seq) const {
   return false;
 }
 
+bool CompositeFaults::Partitioned(SimTime time, int a, int b) const {
+  for (const auto& p : parts_) {
+    if (p->Partitioned(time, a, b)) return true;
+  }
+  return false;
+}
+
+double CompositeFaults::ControlDelayFactor(SimTime time, int worker) const {
+  double factor = 1.0;
+  for (const auto& p : parts_) {
+    factor = std::max(factor, p->ControlDelayFactor(time, worker));
+  }
+  return factor;
+}
+
+common::Status CompositeFaults::Validate(int num_workers) const {
+  for (const auto& p : parts_) {
+    common::Status s = p->Validate(num_workers);
+    if (!s.ok()) return s;
+  }
+  return common::Status::Ok();
+}
+
 std::string CompositeFaults::ToString() const {
   std::string out = "composite(";
   for (size_t i = 0; i < parts_.size(); ++i) {
@@ -256,6 +417,7 @@ FaultMonitor::FaultMonitor(Simulator* sim, const FaultSchedule* faults,
   FELA_CHECK(sim != nullptr && faults != nullptr);
   FELA_CHECK_GT(num_workers, 0);
   down_.assign(static_cast<size_t>(num_workers), false);
+  cut_.assign(static_cast<size_t>(num_workers), false);
 }
 
 void FaultMonitor::Start() {
@@ -265,6 +427,7 @@ void FaultMonitor::Start() {
     down_[w] = faults_->IsDownAt(now, static_cast<int>(w));
     if (down_[w] && cbs_.on_crash) cbs_.on_crash(static_cast<int>(w));
   }
+  RefreshCuts();
   ScheduleNext(now);
 }
 
@@ -296,7 +459,31 @@ void FaultMonitor::OnWakeup() {
       if (cbs_.on_recover) cbs_.on_recover(static_cast<int>(w));
     }
   }
+  RefreshCuts();
   ScheduleNext(now);
+}
+
+void FaultMonitor::RefreshCuts() {
+  if (!anchor_ || !faults_->Active()) return;
+  const SimTime now = sim_->now();
+  const int anchor = anchor_();
+  // Two passes: settle all state first so callbacks observe a consistent
+  // IsCut view (the engine's quorum check reads it mid-callback).
+  std::vector<int> cuts;
+  std::vector<int> heals;
+  for (size_t w = 0; w < cut_.size(); ++w) {
+    const int worker = static_cast<int>(w);
+    const bool c = faults_->Partitioned(now, worker, anchor);
+    if (c == cut_[w]) continue;
+    cut_[w] = c;
+    (c ? cuts : heals).push_back(worker);
+  }
+  for (int w : cuts) {
+    if (cbs_.on_cut) cbs_.on_cut(w);
+  }
+  for (int w : heals) {
+    if (cbs_.on_heal) cbs_.on_heal(w);
+  }
 }
 
 }  // namespace fela::sim

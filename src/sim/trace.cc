@@ -48,6 +48,14 @@ const char* TraceKindName(TraceKind kind) {
       return "TokenReclaim";
     case TraceKind::kRequestRetry:
       return "RequestRetry";
+    case TraceKind::kPartitionDrop:
+      return "PartitionDrop";
+    case TraceKind::kPartitionCut:
+      return "PartitionCut";
+    case TraceKind::kPartitionHeal:
+      return "PartitionHeal";
+    case TraceKind::kTsFailover:
+      return "TsFailover";
   }
   return "Unknown";
 }

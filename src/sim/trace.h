@@ -31,6 +31,10 @@ enum class TraceKind {
   kControlDup,
   kTokenReclaim,
   kRequestRetry,
+  kPartitionDrop,
+  kPartitionCut,
+  kPartitionHeal,
+  kTsFailover,
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -112,11 +112,23 @@ FuzzCaseResult RunFuzzCase(const FuzzSpec& spec, const FuzzOptions& options) {
   // at the barrier while Fela reclaims and re-grants tokens). Absolute
   // throughput is workload-shaped, so the comparison is on degradation.
   // Scoped to pure crash faults: a lossy control plane taxes Fela's
-  // token traffic (5s retry per dropped grant) far more than DP's near-
-  // silent barrier protocol, so dominance is not claimed under it.
+  // token traffic (retry backoff per dropped grant) far more than DP's
+  // near-silent barrier protocol, so dominance is not claimed under it.
+  // Also scoped to schedules that spare the initial TS host: when the
+  // crash process may kill worker 0, Fela pays a ts_failover_timeout_sec
+  // outage per failover while DP merely redoes the dead replica's batch,
+  // so per-crash degradation dominance is not a theorem there either —
+  // the survivability claim under TS loss is bench_control_plane_chaos's
+  // job (Fela finishes where DP stalls outright on fail-stop).
+  // Finally, at least 4 workers: with 2-3 workers a single crash removes
+  // a third to half the fleet, Fela's majority degenerates to one or two
+  // survivors carrying reassigned tokens through the straggler, and the
+  // per-crash retention gap to DP is within scheduling noise — dominance
+  // there is a coin flip, not a property worth alarming on.
   if (spec.engine == EngineKind::kFela && spec.fela_ads && spec.fela_hf &&
       spec.straggler != StragglerKind::kNone &&
-      spec.fault == FaultKind::kRandomCrashes) {
+      spec.fault == FaultKind::kRandomCrashes && spec.crash_spare_ts &&
+      spec.num_workers >= 4) {
     FuzzSpec clean = spec;
     clean.straggler = StragglerKind::kNone;
     clean.fault = FaultKind::kNone;

@@ -139,7 +139,11 @@ void StatsSanityOracle::Check(const FuzzSpec& spec,
     Report(common::StrFormat("gpu utilization %.9f outside [0, 1]",
                              result.gpu_utilization));
   }
-  if (stats.faults.regrants > stats.faults.tokens_reclaimed) {
+  // Regrants can only re-issue reclaimed tokens — except across a TS
+  // failover, where rollback replay legitimately re-grants tokens whose
+  // reclaim predates the restored checkpoint.
+  if (stats.faults.ts_failovers == 0 &&
+      stats.faults.regrants > stats.faults.tokens_reclaimed) {
     Report(common::StrFormat(
         "regrants (%llu) exceed tokens reclaimed (%llu)",
         static_cast<unsigned long long>(stats.faults.regrants),
@@ -150,6 +154,33 @@ void StatsSanityOracle::Check(const FuzzSpec& spec,
   }
 }
 
+void FailoverSafetyOracle::Probe(const FuzzSpec& spec,
+                                 const runtime::Engine& engine,
+                                 runtime::Cluster& cluster) {
+  (void)spec;
+  (void)cluster;
+  const auto* fela = dynamic_cast<const core::FelaEngine*>(&engine);
+  if (fela == nullptr) return;  // no failover machinery to audit
+  for (std::string& line : fela->CheckFailoverInvariants()) {
+    Report(std::move(line));
+  }
+}
+
+void PartitionHealingOracle::Check(const FuzzSpec& spec,
+                                   const runtime::ExperimentResult& result) {
+  if (spec.fault != FaultKind::kPartition &&
+      spec.fault != FaultKind::kGrayFailure) {
+    return;
+  }
+  if (spec.engine == EngineKind::kPsDp) return;  // aborts by design
+  if (result.stats.stalled) {
+    Report(common::StrFormat(
+        "%s stalled after %d of %d iterations under a healing %s schedule",
+        EngineKindName(spec.engine), result.stats.iteration_count(),
+        spec.iterations, FaultKindName(spec.fault)));
+  }
+}
+
 std::vector<std::unique_ptr<InvariantOracle>> DefaultOracles() {
   std::vector<std::unique_ptr<InvariantOracle>> out;
   out.push_back(std::make_unique<TokenConservationOracle>());
@@ -157,6 +188,8 @@ std::vector<std::unique_ptr<InvariantOracle>> DefaultOracles() {
   out.push_back(std::make_unique<MemoryBoundsOracle>());
   out.push_back(std::make_unique<AttributionOracle>());
   out.push_back(std::make_unique<StatsSanityOracle>());
+  out.push_back(std::make_unique<FailoverSafetyOracle>());
+  out.push_back(std::make_unique<PartitionHealingOracle>());
   return out;
 }
 

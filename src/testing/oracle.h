@@ -106,6 +106,30 @@ class StatsSanityOracle final : public InvariantOracle {
              const runtime::ExperimentResult& result) override;
 };
 
+/// Token conservation must survive Token Server failover: summed over
+/// every incarnation, grants + leases_restored == completions +
+/// tokens_reclaimed + live leases — i.e. no token is double-granted or
+/// lost when a standby restores from a checkpoint. Audits FelaEngine
+/// runs via FelaEngine::CheckFailoverInvariants; vacuous elsewhere.
+class FailoverSafetyOracle final : public InvariantOracle {
+ public:
+  std::string name() const override { return "failover-safety"; }
+  void Probe(const FuzzSpec& spec, const runtime::Engine& engine,
+             runtime::Cluster& cluster) override;
+};
+
+/// Partitions and gray failures are survivable for every engine except
+/// the checkpoint-free PS baseline (which aborts by design): generated
+/// partition windows always heal and gray workers are never down, so a
+/// run that stalls under a pure kPartition / kGrayFailure schedule lost
+/// liveness it should have kept.
+class PartitionHealingOracle final : public InvariantOracle {
+ public:
+  std::string name() const override { return "partition-healing"; }
+  void Check(const FuzzSpec& spec,
+             const runtime::ExperimentResult& result) override;
+};
+
 /// The full oracle battery, fresh instances (one audit per run).
 std::vector<std::unique_ptr<InvariantOracle>> DefaultOracles();
 

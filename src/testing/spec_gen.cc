@@ -74,6 +74,9 @@ const char* FaultKindName(FaultKind k) {
     case FaultKind::kRandomCrashes: return "random-crashes";
     case FaultKind::kLossyControl: return "lossy-control";
     case FaultKind::kComposite: return "composite";
+    case FaultKind::kTsCrash: return "ts-crash";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kGrayFailure: return "gray-failure";
   }
   return "?";
 }
@@ -101,20 +104,31 @@ FuzzSpec GenerateSpec(uint64_t seed) {
       1.5 + 0.5 * static_cast<double>(rng.UniformRange(0, 3));
   spec.straggler_seed = rng.Next();
 
-  spec.fault = static_cast<FaultKind>(rng.UniformInt(5));
-  // Worker 0 hosts the Token Server; schedules spare it (the generator's
-  // analogue of RandomCrashes' first_worker=1 default).
+  spec.fault = static_cast<FaultKind>(rng.UniformInt(kNumFaultKinds));
+  // Any node may crash, including worker 0 — the initial Token Server
+  // host fails over to a standby, so the generator no longer spares it.
   spec.crash_worker =
-      1 + static_cast<int>(
-              rng.UniformInt(static_cast<uint64_t>(spec.num_workers - 1)));
+      static_cast<int>(rng.UniformInt(static_cast<uint64_t>(spec.num_workers)));
   spec.crash_time_sec = 0.2 * static_cast<double>(rng.UniformRange(1, 10));
   spec.recover_time_sec =
       spec.crash_time_sec + 0.2 * static_cast<double>(rng.UniformRange(1, 10));
   spec.crash_prob = 0.05 * static_cast<double>(rng.UniformRange(1, 4));
   spec.crash_window_sec = static_cast<double>(rng.UniformRange(1, 4));
   spec.crash_down_sec = 0.25 * static_cast<double>(rng.UniformRange(1, 6));
+  spec.crash_spare_ts = rng.Bernoulli(0.5);
   spec.drop_prob = 0.01 * static_cast<double>(rng.UniformRange(0, 3));
   spec.dup_prob = 0.01 * static_cast<double>(rng.UniformRange(0, 3));
+  spec.partition_start_sec =
+      0.2 * static_cast<double>(rng.UniformRange(1, 10));
+  spec.partition_dur_sec = 0.5 * static_cast<double>(rng.UniformRange(1, 8));
+  spec.partition_size =
+      1 + static_cast<int>(
+              rng.UniformInt(static_cast<uint64_t>(spec.num_workers - 1)));
+  spec.gray_worker =
+      static_cast<int>(rng.UniformInt(static_cast<uint64_t>(spec.num_workers)));
+  spec.gray_start_sec = 0.2 * static_cast<double>(rng.UniformRange(1, 10));
+  spec.gray_dur_sec = 0.5 * static_cast<double>(rng.UniformRange(1, 8));
+  spec.gray_factor = 1.5 + 0.5 * static_cast<double>(rng.UniformRange(0, 6));
   spec.fault_seed = rng.Next();
 
   // Fela configuration: random non-decreasing power-of-two weights under
@@ -241,7 +255,7 @@ runtime::FaultFactory MakeFaultFactory(const FuzzSpec& spec) {
       case FaultKind::kRandomCrashes:
         return std::make_unique<sim::RandomCrashes>(
             num_workers, s.crash_prob, s.crash_window_sec, s.crash_down_sec,
-            s.fault_seed);
+            s.fault_seed, /*first_worker=*/s.crash_spare_ts ? 1 : 0);
       case FaultKind::kLossyControl:
         return std::make_unique<sim::LossyControlPlane>(s.drop_prob,
                                                         s.dup_prob,
@@ -250,10 +264,38 @@ runtime::FaultFactory MakeFaultFactory(const FuzzSpec& spec) {
         std::vector<std::unique_ptr<sim::FaultSchedule>> parts;
         parts.push_back(std::make_unique<sim::RandomCrashes>(
             num_workers, s.crash_prob, s.crash_window_sec, s.crash_down_sec,
-            s.fault_seed));
+            s.fault_seed, /*first_worker=*/s.crash_spare_ts ? 1 : 0));
         parts.push_back(std::make_unique<sim::LossyControlPlane>(
             s.drop_prob, s.dup_prob, s.fault_seed ^ 0x10551055ULL));
         return std::make_unique<sim::CompositeFaults>(std::move(parts));
+      }
+      case FaultKind::kTsCrash: {
+        // The initial Token Server host fail-recovers; Fela must fence,
+        // fail over, and keep the run alive.
+        sim::CrashEvent e;
+        e.worker = 0;
+        e.crash_time = s.crash_time_sec;
+        e.recover_time = s.recover_time_sec;
+        return std::make_unique<sim::ScriptedCrashes>(
+            std::vector<sim::CrashEvent>{e});
+      }
+      case FaultKind::kPartition: {
+        sim::PartitionEvent e;
+        e.start = s.partition_start_sec;
+        e.end = s.partition_start_sec + s.partition_dur_sec;
+        const int size = std::clamp(s.partition_size, 1, num_workers - 1);
+        for (int w = 0; w < size; ++w) e.side_a.push_back(w);
+        return std::make_unique<sim::NetworkPartition>(
+            std::vector<sim::PartitionEvent>{e});
+      }
+      case FaultKind::kGrayFailure: {
+        sim::GrayEvent e;
+        e.worker = std::min(s.gray_worker, num_workers - 1);
+        e.start = s.gray_start_sec;
+        e.end = s.gray_start_sec + s.gray_dur_sec;
+        e.delay_factor = s.gray_factor;
+        return std::make_unique<sim::GrayFailures>(
+            std::vector<sim::GrayEvent>{e});
       }
     }
     return std::make_unique<sim::NoFaults>();
@@ -268,8 +310,10 @@ void ClampToCluster(FuzzSpec* spec) {
   if (spec->fela_ctd_subset > 0) {
     spec->fela_ctd_subset = std::clamp(spec->fela_ctd_subset, 1, n);
   }
-  spec->crash_worker = std::clamp(spec->crash_worker, 1, n - 1);
+  spec->crash_worker = std::clamp(spec->crash_worker, 0, n - 1);
   spec->straggler_victim = std::clamp(spec->straggler_victim, 0, n - 1);
+  spec->partition_size = std::clamp(spec->partition_size, 1, n - 1);
+  spec->gray_worker = std::clamp(spec->gray_worker, 0, n - 1);
 }
 
 std::string SpecLabel(const FuzzSpec& spec) {
@@ -305,8 +349,16 @@ common::Json SpecToJson(const FuzzSpec& spec) {
   doc.Set("crash_prob", spec.crash_prob);
   doc.Set("crash_window_sec", spec.crash_window_sec);
   doc.Set("crash_down_sec", spec.crash_down_sec);
+  doc.Set("crash_spare_ts", spec.crash_spare_ts);
   doc.Set("drop_prob", spec.drop_prob);
   doc.Set("dup_prob", spec.dup_prob);
+  doc.Set("partition_start_sec", spec.partition_start_sec);
+  doc.Set("partition_dur_sec", spec.partition_dur_sec);
+  doc.Set("partition_size", spec.partition_size);
+  doc.Set("gray_worker", spec.gray_worker);
+  doc.Set("gray_start_sec", spec.gray_start_sec);
+  doc.Set("gray_dur_sec", spec.gray_dur_sec);
+  doc.Set("gray_factor", spec.gray_factor);
   doc.Set("fault_seed", std::to_string(spec.fault_seed));
   common::Json weights = common::Json::Array();
   for (int w : spec.fela_weights) weights.Append(w);
@@ -446,7 +498,7 @@ bool SpecFromJson(const common::Json& json, FuzzSpec* out,
   }
 
   if (!ReadString(json, "fault", &str, error)) return false;
-  if (!KindFromName(str, 5, &FaultKindName, &spec.fault)) {
+  if (!KindFromName(str, kNumFaultKinds, &FaultKindName, &spec.fault)) {
     *error = "unknown fault kind: " + str;
     return false;
   }
@@ -461,6 +513,24 @@ bool SpecFromJson(const common::Json& json, FuzzSpec* out,
       !ReadNumber(json, "crash_down_sec", &spec.crash_down_sec, error) ||
       !ReadNumber(json, "drop_prob", &spec.drop_prob, error) ||
       !ReadNumber(json, "dup_prob", &spec.dup_prob, error)) {
+    return false;
+  }
+  if (!ReadBool(json, "crash_spare_ts", &spec.crash_spare_ts, error)) {
+    return false;
+  }
+  if (!ReadNumber(json, "partition_start_sec", &spec.partition_start_sec,
+                  error) ||
+      !ReadNumber(json, "partition_dur_sec", &spec.partition_dur_sec,
+                  error)) {
+    return false;
+  }
+  if (!ReadNumber(json, "partition_size", &num, error)) return false;
+  spec.partition_size = static_cast<int>(num);
+  if (!ReadNumber(json, "gray_worker", &num, error)) return false;
+  spec.gray_worker = static_cast<int>(num);
+  if (!ReadNumber(json, "gray_start_sec", &spec.gray_start_sec, error) ||
+      !ReadNumber(json, "gray_dur_sec", &spec.gray_dur_sec, error) ||
+      !ReadNumber(json, "gray_factor", &spec.gray_factor, error)) {
     return false;
   }
   if (!ReadSeed(json, "fault_seed", &spec.fault_seed, error)) return false;

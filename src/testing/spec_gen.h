@@ -36,8 +36,12 @@ enum class FaultKind {
   kScriptedCrash,
   kRandomCrashes,
   kLossyControl,
-  kComposite,  // random crashes + lossy control plane
+  kComposite,     // random crashes + lossy control plane
+  kTsCrash,       // scripted crash of worker 0, the initial TS host
+  kPartition,     // one scripted bipartition window
+  kGrayFailure,   // one worker's control latency inflated for a window
 };
+inline constexpr int kNumFaultKinds = 8;
 
 const char* EngineKindName(EngineKind k);
 const char* ModelKindName(ModelKind k);
@@ -70,14 +74,26 @@ struct FuzzSpec {
   uint64_t straggler_seed = 1;
 
   FaultKind fault = FaultKind::kNone;
-  double crash_time_sec = 0.5;        // kScriptedCrash
-  double recover_time_sec = 1.5;      // kScriptedCrash
-  int crash_worker = 1;               // kScriptedCrash
+  double crash_time_sec = 0.5;        // kScriptedCrash / kTsCrash
+  double recover_time_sec = 1.5;      // kScriptedCrash / kTsCrash
+  int crash_worker = 1;               // kScriptedCrash (any node, 0 included)
   double crash_prob = 0.1;            // kRandomCrashes / kComposite
   double crash_window_sec = 2.0;      // kRandomCrashes / kComposite
   double crash_down_sec = 0.5;        // kRandomCrashes / kComposite
+  /// kRandomCrashes / kComposite: spare worker 0 (the initial TS host)
+  /// from the crash process. Both values are fuzzed — false exercises TS
+  /// failover under random crashes; true is the regime where Fela must
+  /// dominate the crash-oblivious baselines (the metamorphic twin).
+  bool crash_spare_ts = true;
   double drop_prob = 0.02;            // kLossyControl / kComposite
   double dup_prob = 0.02;             // kLossyControl / kComposite
+  double partition_start_sec = 1.0;   // kPartition
+  double partition_dur_sec = 2.0;     // kPartition
+  int partition_size = 1;             // kPartition: |side A| = {0..size-1}
+  int gray_worker = 0;                // kGrayFailure
+  double gray_start_sec = 0.5;        // kGrayFailure
+  double gray_dur_sec = 2.0;          // kGrayFailure
+  double gray_factor = 3.0;           // kGrayFailure: latency multiplier
   uint64_t fault_seed = 1;
 
   /// Fela knobs, used only when engine == kFela. Empty weights mean

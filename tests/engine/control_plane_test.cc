@@ -1,0 +1,444 @@
+// Control-plane survivability: Token Server checkpoint/failover, network
+// partitions (park-and-heal), gray failures absorbed by backoff, lease
+// reclaim under duplicated-and-dropped reports, and the validation that
+// rejects malformed survivability knobs and fault schedules.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dp_engine.h"
+#include "common/rng.h"
+#include "core/fela_config.h"
+#include "core/fela_engine.h"
+#include "core/worker.h"
+#include "model/zoo.h"
+#include "runtime/cluster.h"
+#include "sim/faults.h"
+
+namespace fela::core {
+namespace {
+
+std::unique_ptr<runtime::Cluster> FaultyCluster(
+    std::unique_ptr<sim::FaultSchedule> faults, int n = 8) {
+  return std::make_unique<runtime::Cluster>(
+      n, sim::Calibration::Default(),
+      std::make_unique<sim::NoStragglers>(), std::move(faults));
+}
+
+FelaConfig PaperConfig() {
+  FelaConfig cfg = FelaConfig::Defaults(3, 8);
+  cfg.weights = {1, 2, 4};
+  return cfg;
+}
+
+runtime::RunStats CleanFelaStats(int iterations, double batch) {
+  auto cluster = runtime::Cluster::MakeDefault(8);
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), PaperConfig(), batch);
+  return engine.Run(iterations);
+}
+
+/// The cross-incarnation conservation identity plus the live server's
+/// own ledger must both hold after any fault scenario.
+void ExpectFailoverInvariantsHold(const FelaEngine& engine) {
+  const std::vector<std::string> violations = engine.CheckFailoverInvariants();
+  EXPECT_TRUE(violations.empty())
+      << "first violation: " << violations.front();
+}
+
+TEST(ControlPlaneTest, TsCrashFailsOverAndCompletes) {
+  const int kIters = 6;
+  const double kBatch = 512.0;
+  const auto clean = CleanFelaStats(kIters, kBatch);
+
+  // Kill worker 0 — the initial TS host — mid-iteration 2; it returns
+  // late in the run and rejoins as a plain worker.
+  const auto& it2 = clean.iterations[2];
+  const double crash = it2.start + 0.3 * (it2.end - it2.start);
+  FelaConfig cfg = PaperConfig();
+  cfg.ts_failover_timeout_sec = 1.0;  // keep the outage test-sized
+  auto cluster = FaultyCluster(std::make_unique<sim::ScriptedCrashes>(
+      std::vector<sim::CrashEvent>{{0, crash, 0.8 * clean.total_time}}));
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+  const auto stats = engine.Run(kIters);
+
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_EQ(stats.faults.ts_failovers, 1u);
+  EXPECT_NE(engine.ts_node(), 0);  // a standby took over
+  EXPECT_EQ(engine.ts_incarnation(), 1);
+  EXPECT_GT(stats.faults.ts_checkpoints, 0u);
+  EXPECT_TRUE(engine.admitted(0));  // rejoined after recovery
+  ExpectFailoverInvariantsHold(engine);
+
+  // Cumulative ledger balances across both incarnations: nothing is left
+  // leased at run end, so grants + restored == completions + reclaimed.
+  const TokenServer::Stats ts = engine.CumulativeTsStats();
+  EXPECT_EQ(ts.grants + ts.leases_restored,
+            ts.completions + ts.tokens_reclaimed);
+  EXPECT_EQ(stats.faults.leases_restored, ts.leases_restored);
+}
+
+TEST(ControlPlaneTest, TsFailStopCompletesWhereDpStalls) {
+  const int kIters = 4;
+  const double kBatch = 512.0;
+  const model::Model vgg = model::zoo::Vgg19();
+  const double fela_clean = CleanFelaStats(kIters, kBatch).total_time;
+  const double crash = 0.3 * fela_clean;
+
+  FelaConfig cfg = PaperConfig();
+  cfg.ts_failover_timeout_sec = 1.0;
+  auto fela_cluster = FaultyCluster(std::make_unique<sim::ScriptedCrashes>(
+      std::vector<sim::CrashEvent>{{0, crash, sim::kNeverTime}}));
+  FelaEngine fela(fela_cluster.get(), vgg, cfg, kBatch);
+  const auto fela_stats = fela.Run(kIters);
+  EXPECT_FALSE(fela_stats.stalled);
+  EXPECT_EQ(fela_stats.iteration_count(), kIters);
+  EXPECT_EQ(fela_stats.faults.ts_failovers, 1u);
+  EXPECT_FALSE(fela.admitted(0));  // scaled in around the dead host
+  ExpectFailoverInvariantsHold(fela);
+
+  auto dp_cluster = FaultyCluster(std::make_unique<sim::ScriptedCrashes>(
+      std::vector<sim::CrashEvent>{{0, crash, sim::kNeverTime}}));
+  baselines::DpEngine dp(dp_cluster.get(), vgg, kBatch);
+  const auto dp_stats = dp.Run(kIters);
+  EXPECT_TRUE(dp_stats.stalled);  // barrier waits for node 0 forever
+}
+
+// Regression (fuzz seed 190): with CTD active (|S| < cluster), workers
+// outside S never receive communication-intensive tokens. A crashed
+// subset worker therefore must not wait for the iteration boundary to
+// rejoin — once only comm tokens remain, the boundary never comes and
+// the survivors retry forever. Recovery re-admits S members at once.
+TEST(ControlPlaneTest, CtdSubsetWorkerRecoveryReAdmitsImmediately) {
+  const int kIters = 2;
+  const double kBatch = 128.0;
+  FelaConfig cfg = FelaConfig::Defaults(3, 2);
+  cfg.weights = {1, 1, 1};
+  cfg.ctd_subset_size = 1;  // S = {0}: only worker 0 trains comm levels
+  cfg.ts_failover_timeout_sec = 10.0;  // recovery lands mid-failover
+  auto cluster = FaultyCluster(
+      std::make_unique<sim::ScriptedCrashes>(
+          std::vector<sim::CrashEvent>{{0, 1.6, 2.8}}),
+      2);
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+  const auto stats = engine.Run(kIters);
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_TRUE(engine.admitted(0));
+  EXPECT_GT(stats.faults.readmissions, 0u);
+  ExpectFailoverInvariantsHold(engine);
+}
+
+// The fail-stop variant of the same wedge: when every subset worker is
+// down, the Token Server relaxes the CTD scoping (liveness valve) so
+// survivors can drain communication-intensive tokens instead of waiting
+// forever for workers that never return.
+TEST(ControlPlaneTest, CtdValveDrainsCommTokensWhenSubsetFailStops) {
+  const int kIters = 2;
+  const double kBatch = 128.0;
+  FelaConfig cfg = FelaConfig::Defaults(3, 2);
+  cfg.weights = {1, 1, 1};
+  cfg.ctd_subset_size = 1;
+  cfg.ts_failover_timeout_sec = 1.0;
+  auto cluster = FaultyCluster(
+      std::make_unique<sim::ScriptedCrashes>(
+          std::vector<sim::CrashEvent>{{0, 1.6, sim::kNeverTime}}),
+      2);
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+  const auto stats = engine.Run(kIters);
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_EQ(stats.faults.ts_failovers, 1u);
+  EXPECT_EQ(engine.ts_node(), 1);
+  EXPECT_FALSE(engine.admitted(0));  // scaled in around the dead host
+  ExpectFailoverInvariantsHold(engine);
+}
+
+TEST(ControlPlaneTest, PartitionParksMinorityAndHealsWithoutCrashes) {
+  const int kIters = 6;
+  const double kBatch = 512.0;
+  const auto clean = CleanFelaStats(kIters, kBatch);
+
+  // Cut workers {6, 7} away from the TS side for a mid-run window. The
+  // processes never die: no crash events, only cuts and heals.
+  sim::PartitionEvent ev;
+  ev.start = clean.iterations[1].start;
+  ev.end = clean.iterations[3].end;
+  ev.side_a = {0, 1, 2, 3, 4, 5};
+  auto cluster = FaultyCluster(std::make_unique<sim::NetworkPartition>(
+      std::vector<sim::PartitionEvent>{ev}));
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), PaperConfig(), kBatch);
+  const auto stats = engine.Run(kIters);
+
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_EQ(stats.faults.crashes, 0u);
+  EXPECT_EQ(stats.faults.partition_cuts, 2u);
+  EXPECT_EQ(stats.faults.partition_heals, 2u);
+  EXPECT_EQ(stats.faults.ts_failovers, 0u);  // TS kept its majority
+  EXPECT_TRUE(engine.admitted(6));
+  EXPECT_TRUE(engine.admitted(7));
+  ExpectFailoverInvariantsHold(engine);
+}
+
+TEST(ControlPlaneTest, MinorityTsLosesQuorumAndFailsOver) {
+  const int kIters = 6;
+  const double kBatch = 512.0;
+  const auto clean = CleanFelaStats(kIters, kBatch);
+
+  // Strand the TS host with one companion; the six-worker majority
+  // elects a standby on its side rather than park for the whole window.
+  sim::PartitionEvent ev;
+  ev.start = clean.iterations[1].start;
+  ev.end = 0.9 * clean.total_time;
+  ev.side_a = {0, 1};
+  FelaConfig cfg = PaperConfig();
+  cfg.ts_failover_timeout_sec = 1.0;
+  auto cluster = FaultyCluster(std::make_unique<sim::NetworkPartition>(
+      std::vector<sim::PartitionEvent>{ev}));
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+  const auto stats = engine.Run(kIters);
+
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_GE(stats.faults.ts_failovers, 1u);
+  EXPECT_GE(engine.ts_node(), 2);  // promoted on the majority side
+  ExpectFailoverInvariantsHold(engine);
+}
+
+TEST(ControlPlaneTest, GrayFailureAbsorbedByBackoff) {
+  const int kIters = 5;
+  const double kBatch = 256.0;
+  const auto clean = CleanFelaStats(kIters, kBatch);
+
+  // Worker 4's control latency inflates 8x for most of the run. Nothing
+  // reports it down; leases and backoff must absorb the slowness.
+  auto cluster = FaultyCluster(std::make_unique<sim::GrayFailures>(
+      std::vector<sim::GrayEvent>{
+          {4, clean.iterations[1].start, 0.9 * clean.total_time, 8.0}}));
+  FelaConfig cfg = PaperConfig();
+  cfg.lease_timeout_sec = 2.0;
+  cfg.retry_timeout_sec = 0.5;
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+  const auto stats = engine.Run(kIters);
+
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_EQ(stats.faults.crashes, 0u);
+  EXPECT_EQ(stats.faults.ts_failovers, 0u);
+  ExpectFailoverInvariantsHold(engine);
+  const TokenServer::Stats& ts = engine.ts_stats();
+  EXPECT_EQ(ts.grants, ts.completions + ts.tokens_reclaimed);
+}
+
+TEST(ControlPlaneTest, BackoffDelaysGrowAndCap) {
+  // The worker-side retry schedule itself: exponential with deterministic
+  // stretch-only jitter, capped at retry_timeout_max_sec. The nominal
+  // sequence is 1, 2, 4, 6(cap), 6, ... and jitter lands each delay in
+  // [nominal, 1.5 * nominal) — never earlier than the un-jittered
+  // schedule (the inert-schedule byte-identity guarantee leans on this).
+  const RetryPolicy policy{1.0, 2.0, 6.0, 0x5eedULL};
+  double prev = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double d = common::JitteredBackoffSec(
+        policy.base_sec, policy.multiplier, policy.max_sec, attempt,
+        policy.jitter_seed, /*stream=*/3);
+    if (attempt >= 3) {
+      // Capped: in [max, 1.5 * max).
+      EXPECT_GE(d, policy.max_sec);
+      EXPECT_LT(d, 1.5 * policy.max_sec);
+    } else {
+      EXPECT_GT(d, prev);  // pre-cap the sequence grows strictly
+    }
+    // Deterministic: same (seed, stream, attempt) -> same delay.
+    EXPECT_EQ(d, common::JitteredBackoffSec(policy.base_sec, policy.multiplier,
+                                            policy.max_sec, attempt,
+                                            policy.jitter_seed, 3));
+    prev = d;
+  }
+  // seed == 0 disables jitter entirely: the pure exponential sequence.
+  EXPECT_DOUBLE_EQ(
+      common::JitteredBackoffSec(1.0, 2.0, 6.0, 2, 0, 3), 4.0);
+}
+
+/// Drops one contiguous band of control messages and duplicates another,
+/// deterministically — so one run exercises lease expiry -> reclaim ->
+/// regrant (the dropped completion report) AND duplicate-report
+/// absorption, with exact replayability.
+class DropAndDupBands final : public sim::FaultSchedule {
+ public:
+  bool IsDownAt(sim::SimTime, int) const override { return false; }
+  sim::SimTime NextTransitionAfter(sim::SimTime) const override {
+    return sim::kNeverTime;
+  }
+  bool DropControl(uint64_t seq) const override {
+    return seq >= 60 && seq < 70;
+  }
+  bool DuplicateControl(uint64_t seq) const override {
+    return seq >= 20 && seq < 40;
+  }
+  std::string ToString() const override { return "drop[60,70)+dup[20,40)"; }
+};
+
+TEST(ControlPlaneTest, DroppedAndDuplicatedReportsInOneRun) {
+  const int kIters = 4;
+  FelaConfig cfg = PaperConfig();
+  cfg.lease_timeout_sec = 1.5;  // expire dropped reports quickly
+  cfg.retry_timeout_sec = 0.5;
+  auto cluster = FaultyCluster(std::make_unique<DropAndDupBands>());
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, 256);
+  const auto stats = engine.Run(kIters);
+
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_GT(stats.faults.control_dropped, 0u);
+  EXPECT_GT(stats.faults.control_duplicated, 0u);
+  EXPECT_GT(stats.faults.duplicate_reports, 0u);
+
+  // A dropped completion report leaves its lease dangling; the timeout
+  // reclaims it and the token is re-granted. Counter identity: every
+  // regrant consumed a reclaim, every reclaim-by-silence is an expiry.
+  const TokenServer::Stats& ts = engine.ts_stats();
+  EXPECT_GE(ts.lease_expirations, 1u);
+  EXPECT_GE(ts.regrants, 1u);
+  EXPECT_LE(ts.regrants, ts.tokens_reclaimed);
+  EXPECT_LE(ts.lease_expirations, ts.tokens_reclaimed);
+  EXPECT_EQ(ts.grants, ts.completions + ts.tokens_reclaimed);
+  EXPECT_EQ(stats.faults.tokens_reclaimed, ts.tokens_reclaimed);
+  EXPECT_EQ(stats.faults.regrants, ts.regrants);
+  ExpectFailoverInvariantsHold(engine);
+}
+
+TEST(ControlPlaneTest, FailoverRunReplaysByteIdentically) {
+  const int kIters = 5;
+  const double kBatch = 512.0;
+  const double clean_total = CleanFelaStats(kIters, kBatch).total_time;
+
+  auto run = [&](std::string* trace_out) {
+    std::vector<std::unique_ptr<sim::FaultSchedule>> parts;
+    parts.push_back(std::make_unique<sim::ScriptedCrashes>(
+        std::vector<sim::CrashEvent>{
+            {0, 0.25 * clean_total, 0.7 * clean_total}}));
+    sim::PartitionEvent ev;
+    ev.start = 0.45 * clean_total;
+    ev.end = 0.6 * clean_total;
+    ev.side_a = {0, 1, 2, 3};
+    parts.push_back(std::make_unique<sim::NetworkPartition>(
+        std::vector<sim::PartitionEvent>{ev}));
+    parts.push_back(std::make_unique<sim::GrayFailures>(
+        std::vector<sim::GrayEvent>{
+            {5, 0.1 * clean_total, 0.5 * clean_total, 4.0}}));
+    auto cluster = FaultyCluster(std::make_unique<sim::CompositeFaults>(
+        std::move(parts)));
+    cluster->trace().set_enabled(true);
+    FelaConfig cfg = PaperConfig();
+    cfg.ts_failover_timeout_sec = 1.0;
+    FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+    const auto stats = engine.Run(kIters);
+    *trace_out = cluster->trace().ToString();
+    return stats;
+  };
+
+  std::string trace1, trace2;
+  const auto s1 = run(&trace1);
+  const auto s2 = run(&trace2);
+  EXPECT_GE(s1.faults.ts_failovers, 1u);  // the scenario actually fired
+  EXPECT_FALSE(s1.stalled);
+  EXPECT_DOUBLE_EQ(s1.total_time, s2.total_time);
+  EXPECT_EQ(s1.faults.ts_failovers, s2.faults.ts_failovers);
+  EXPECT_EQ(s1.faults.leases_restored, s2.faults.leases_restored);
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_FALSE(trace1.empty());
+}
+
+TEST(ControlPlaneTest, CheckpointRestoreRoundTripMidIteration) {
+  // Drive a real engine, snapshot its TS mid-run via the engine's own
+  // checkpoint machinery (a TS crash forces restore), and confirm the
+  // successor finished the plan from the snapshot rather than a redo:
+  // the restored incarnation inherits leases instead of re-granting
+  // everything from scratch.
+  const int kIters = 4;
+  const double kBatch = 512.0;
+  const auto clean = CleanFelaStats(kIters, kBatch);
+  const auto& it1 = clean.iterations[1];
+  FelaConfig cfg = PaperConfig();
+  cfg.ts_failover_timeout_sec = 0.5;
+  cfg.ts_checkpoint_interval_sec = 0.2 * (it1.end - it1.start);
+  auto cluster = FaultyCluster(std::make_unique<sim::ScriptedCrashes>(
+      std::vector<sim::CrashEvent>{
+          {0, it1.start + 0.6 * (it1.end - it1.start), sim::kNeverTime}}));
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+  const auto stats = engine.Run(kIters);
+
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_EQ(stats.faults.ts_failovers, 1u);
+  EXPECT_GE(stats.faults.ts_checkpoints, 2u);
+  EXPECT_GE(stats.faults.leases_restored, 1u);
+  ExpectFailoverInvariantsHold(engine);
+}
+
+TEST(ControlPlaneTest, ValidateConfigRejectsBadSurvivabilityKnobs) {
+  const auto reject = [](void (*mutate)(FelaConfig*),
+                         const std::string& needle) {
+    FelaConfig cfg = FelaConfig::Defaults(3, 8);
+    cfg.weights = {1, 2, 4};
+    mutate(&cfg);
+    const common::Status s = ValidateConfig(cfg, 3, 8);
+    EXPECT_FALSE(s.ok()) << needle;
+    EXPECT_NE(s.message().find(needle), std::string::npos) << s.message();
+  };
+  reject([](FelaConfig* c) { c->lease_timeout_sec = 0.0; },
+         "lease_timeout_sec");
+  reject([](FelaConfig* c) { c->retry_timeout_sec = -1.0; },
+         "retry_timeout_sec");
+  reject([](FelaConfig* c) { c->retry_backoff_mult = 0.5; },
+         "retry_backoff_mult");
+  reject([](FelaConfig* c) { c->retry_timeout_max_sec = 0.1; },
+         "retry_timeout_max_sec");
+  reject([](FelaConfig* c) { c->ts_checkpoint_interval_sec = 0.0; },
+         "ts_checkpoint_interval_sec");
+  reject([](FelaConfig* c) { c->ts_failover_timeout_sec = -2.0; },
+         "ts_failover_timeout_sec");
+}
+
+TEST(ControlPlaneTest, FaultScheduleValidationRejectsOutOfRangeWorkers) {
+  // Scripted crash of a worker the cluster does not have.
+  // (Negative ids are rejected at construction by FELA_CHECK; Validate
+  // guards the cluster-size mismatch the constructor cannot know.)
+  EXPECT_FALSE(sim::ScriptedCrashes(
+                   std::vector<sim::CrashEvent>{{8, 1.0, 2.0}})
+                   .Validate(8)
+                   .ok());
+  // Partition naming a ghost node.
+  sim::PartitionEvent ev;
+  ev.start = 1.0;
+  ev.end = 2.0;
+  ev.side_a = {0, 9};
+  EXPECT_FALSE(sim::NetworkPartition(std::vector<sim::PartitionEvent>{ev})
+                   .Validate(8)
+                   .ok());
+  // Gray failure on a ghost node (sub-unity factors are rejected at
+  // construction by FELA_CHECK).
+  EXPECT_FALSE(sim::GrayFailures(
+                   std::vector<sim::GrayEvent>{{12, 1.0, 2.0, 3.0}})
+                   .Validate(8)
+                   .ok());
+  // Composite propagates the inner rejection.
+  std::vector<std::unique_ptr<sim::FaultSchedule>> parts;
+  parts.push_back(std::make_unique<sim::ScriptedCrashes>(
+      std::vector<sim::CrashEvent>{{8, 1.0, 2.0}}));
+  EXPECT_FALSE(
+      sim::CompositeFaults(std::move(parts)).Validate(8).ok());
+  // And the valid versions pass.
+  EXPECT_TRUE(sim::ScriptedCrashes(
+                  std::vector<sim::CrashEvent>{{7, 1.0, 2.0}})
+                  .Validate(8)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace fela::core

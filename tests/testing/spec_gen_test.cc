@@ -32,12 +32,18 @@ TEST(SpecGenTest, GeneratedSpecsAreValid) {
     EXPECT_GT(s.total_batch, 0.0);
     EXPECT_GE(s.iterations, 1);
     EXPECT_LE(s.iterations, 10);
-    // Victims stay on the cluster; crashes spare worker 0 (it hosts the
-    // token server in Fela runs).
+    // Victims stay on the cluster. Worker 0 (the initial TS host) is a
+    // legal crash target — failover promotes a standby, so specs no
+    // longer spare it.
     EXPECT_GE(s.straggler_victim, 0);
     EXPECT_LT(s.straggler_victim, s.num_workers);
-    EXPECT_GE(s.crash_worker, 1);
+    EXPECT_GE(s.crash_worker, 0);
     EXPECT_LT(s.crash_worker, s.num_workers);
+    EXPECT_GE(s.partition_size, 1);
+    EXPECT_LT(s.partition_size, s.num_workers);
+    EXPECT_GE(s.gray_worker, 0);
+    EXPECT_LT(s.gray_worker, s.num_workers);
+    EXPECT_GT(s.gray_factor, 1.0);
     // The Fela config must pass the engine's own validation even when
     // the spec drives a baseline (the shrinker may flip engines).
     core::FelaConfig cfg = core::FelaConfig::Defaults(NumSubModelsFor(s),
@@ -66,7 +72,7 @@ TEST(SpecGenTest, KindSpaceIsCovered) {
   EXPECT_EQ(engines.size(), 6u);  // all six engines get fuzzed
   EXPECT_EQ(models.size(), 2u);
   EXPECT_EQ(stragglers.size(), 6u);
-  EXPECT_EQ(faults.size(), 5u);
+  EXPECT_EQ(faults.size(), static_cast<size_t>(kNumFaultKinds));
 }
 
 TEST(SpecGenTest, JsonRoundTripIsExact) {
