@@ -11,8 +11,13 @@
 #include <cstring>
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
+#include "common/string_util.h"
+#include "common/tokenize.h"
 #include "core/fela_engine.h"
 #include "core/token_bucket.h"
 #include "model/zoo.h"
@@ -229,19 +234,153 @@ void BM_FelaFullIterationObserved(benchmark::State& state) {
 }
 BENCHMARK(BM_FelaFullIterationObserved)->Arg(128)->Arg(1024);
 
-// The span sink's hot path in isolation: ring-buffer emit, including
-// wrap-around eviction once the sink is full.
+// The span sink's hot path in isolation: ring-buffer emit of a span
+// carrying a tokenized detail (the production shape after the FELA_TOK
+// migration — a trivially-copyable struct store, no allocation),
+// including wrap-around eviction once the sink is full. The BENCH
+// baseline pins BM_SpanSinkEmit >= 3x BM_LegacySpanSinkEmitText.
 void BM_SpanSinkEmit(benchmark::State& state) {
   obs::SpanSink sink(/*capacity=*/4096);
   sink.set_enabled(true);
   double t = 0.0;
+  int it = 0;
   for (auto _ : state) {
-    sink.Emit(obs::Span{0, obs::Phase::kCompute, t, t + 1.0, 0, {}});
+    sink.Emit(obs::Span{
+        0, obs::Phase::kCompute, t, t + 1.0, it,
+        common::TokenizedDetail(FELA_TOK("it=%d b=%g"), it, t)});
     t += 1.0;
+    ++it;
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpanSinkEmit);
+
+// The pre-tokenization span path, kept verbatim as the before/after
+// baseline: detail is a freshly formatted std::string, so every emit
+// pays an StrFormat plus a string copy into the ring.
+struct LegacySpan {
+  sim::NodeId track = 0;
+  obs::Phase phase = obs::Phase::kIdle;
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = 0.0;
+  int iteration = -1;
+  std::string detail;
+};
+
+class LegacySpanSink {
+ public:
+  explicit LegacySpanSink(size_t capacity) : capacity_(capacity) {}
+
+  void Emit(LegacySpan span) {
+    if (spans_.size() < capacity_) {
+      spans_.push_back(std::move(span));
+      return;
+    }
+    spans_[next_] = std::move(span);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  size_t size() const { return spans_.size(); }
+
+ private:
+  size_t capacity_;
+  std::vector<LegacySpan> spans_;
+  size_t next_ = 0;
+  size_t dropped_ = 0;
+};
+
+void BM_LegacySpanSinkEmitText(benchmark::State& state) {
+  LegacySpanSink sink(/*capacity=*/4096);
+  double t = 0.0;
+  int it = 0;
+  for (auto _ : state) {
+    sink.Emit(LegacySpan{0, obs::Phase::kCompute, t, t + 1.0, it,
+                         common::StrFormat("it=%d b=%g", it, t)});
+    t += 1.0;
+    ++it;
+  }
+  benchmark::DoNotOptimize(sink.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacySpanSinkEmitText);
+
+// The trace recorder's *enabled* tokenized path: what FELA_TRACE costs
+// when tracing is on — a fixed-width record store, no formatting.
+void BM_TraceRecorderRecord(benchmark::State& state) {
+  sim::TraceRecorder trace(/*capacity=*/4096);
+  trace.set_enabled(true);
+  double t = 0.0;
+  int it = 0;
+  for (auto _ : state) {
+    FELA_TRACE(&trace, t, 0, sim::TraceKind::kTokenGrant,
+               FELA_TOK("Token_%lld b=%g"), static_cast<long long>(it), t);
+    t += 1.0;
+    ++it;
+  }
+  benchmark::DoNotOptimize(trace.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecorderRecord);
+
+// The same record through the legacy dynamic-string overload (the
+// escape hatch tokenization replaced on hot paths).
+void BM_LegacyTraceRecorderRecordText(benchmark::State& state) {
+  sim::TraceRecorder trace(/*capacity=*/4096);
+  trace.set_enabled(true);
+  double t = 0.0;
+  int it = 0;
+  for (auto _ : state) {
+    trace.Record(t, 0, sim::TraceKind::kTokenGrant,
+                 common::StrFormat("Token_%lld b=%g",
+                                   static_cast<long long>(it), t));
+    t += 1.0;
+    ++it;
+  }
+  benchmark::DoNotOptimize(trace.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyTraceRecorderRecordText);
+
+/// One observed GoogLeNet run shared by the transcript benches (built
+/// once — the benches measure transcript serialization, not the run).
+const runtime::ExperimentResult& ObservedResultForTranscripts() {
+  static const runtime::ExperimentResult* result = [] {
+    runtime::ExperimentSpec spec;
+    spec.total_batch = 256;
+    spec.iterations = 4;
+    spec.observe = true;
+    return new runtime::ExperimentResult(runtime::RunExperiment(
+        spec,
+        suite::FelaFactory(model::zoo::GoogLeNet(),
+                           core::FelaConfig::Defaults(3, 8)),
+        runtime::NoStragglerFactory()));
+  }();
+  return *result;
+}
+
+// Binary determinism transcript (FELADET1 + FELATRB1): what
+// VerifyDeterminism and the bench --verify-determinism gates hash on
+// every run pair. Baseline pins >= 3x over BM_TranscriptWriteText.
+void BM_TranscriptWrite(benchmark::State& state) {
+  const runtime::ExperimentResult& result = ObservedResultForTranscripts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::BinaryTranscript(result));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranscriptWrite);
+
+// The canonical text transcript (StrFormat per scalar + rendered trace
+// text), now only produced on divergence for human diffing.
+void BM_TranscriptWriteText(benchmark::State& state) {
+  const runtime::ExperimentResult& result = ObservedResultForTranscripts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::DeterminismTranscript(result));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranscriptWriteText);
 
 void BM_BinPartition(benchmark::State& state) {
   const model::Model m = model::zoo::Vgg19();

@@ -6,6 +6,13 @@
 //
 //   ./build/examples/dump_timeline [out.json]      # default fela_timeline.json
 //
+// Alongside the JSON it writes the compact FELATRB1 binary transcript
+// (<out>.bin) — tools/fela-detok reconstructs the same JSON (or the
+// text timeline) from it offline:
+//
+//   ./build/tools/fela-detok --tokens=tools/tokens.csv --chrome
+//       fela_timeline.json.bin       (one command line)
+//
 // Also prints the per-worker attribution table and metrics CSV so the
 // numbers behind the picture are on stdout.
 
@@ -47,6 +54,15 @@ int main(int argc, char** argv) {
   out << result.chrome_trace;
   out.close();
 
+  const std::string bin_path = path + ".bin";
+  std::ofstream bin(bin_path, std::ios::trunc | std::ios::binary);
+  if (!bin) {
+    std::fprintf(stderr, "cannot write %s\n", bin_path.c_str());
+    return 1;
+  }
+  bin << result.binary_trace;
+  bin.close();
+
   std::printf("engine: %s  iterations: %d  AT: %.1f samples/s\n",
               result.engine_name.c_str(), result.stats.iteration_count(),
               result.average_throughput);
@@ -54,5 +70,7 @@ int main(int argc, char** argv) {
   std::printf("\nmetrics:\n%s", result.metrics.ToCsv().c_str());
   std::printf("\nwrote %s — open it at https://ui.perfetto.dev\n",
               path.c_str());
+  std::printf("wrote %s — detokenize offline with fela-detok\n",
+              bin_path.c_str());
   return 0;
 }

@@ -63,7 +63,7 @@ int main() {
         e.kind == sim::TraceKind::kStragglerSleep ||
         e.kind == sim::TraceKind::kIterationEnd ||
         (e.kind == sim::TraceKind::kTokenGrant &&
-         (e.detail.find("stolen") != std::string::npos || e.node == 0));
+         (e.detail.find("stolen=1") != std::string::npos || e.node == 0));
     if (!interesting) continue;
     std::printf("  [%8.3fs] w%-2d %-14s %s\n", e.time, e.node,
                 sim::TraceKindName(e.kind), e.detail.c_str());

@@ -89,9 +89,8 @@ std::unique_ptr<TokenServer> FelaEngine::MakeTokenServer() {
   ts_cbs.on_reclaim = [this](const Token& token, sim::NodeId from) {
     FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
                sim::TraceKind::kTokenReclaim,
-               common::StrFormat("%s from=%d attempt=%d",
-                                 token.ToString().c_str(), from,
-                                 token.attempt));
+               FELA_TOK("Token_%lld from=%d attempt=%d"),
+               static_cast<long long>(token.id), from, token.attempt);
   };
   auto ts = std::make_unique<TokenServer>(&cluster_->simulator(),
                                           &cluster_->calibration(), &plan_,
@@ -104,8 +103,8 @@ void FelaEngine::OnWorkerCrash(int worker) {
   if (run_complete_) return;
   ++stats_.faults.crashes;
   FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), worker,
-             sim::TraceKind::kWorkerCrash,
-             common::StrFormat("it=%d", current_iteration_));
+             sim::TraceKind::kWorkerCrash, FELA_TOK("it=%d"),
+             current_iteration_);
   crash_spans_[static_cast<size_t>(worker)].emplace(
       &cluster_->spans(), worker, obs::Phase::kCrashed, current_iteration_);
   admitted_[static_cast<size_t>(worker)] = false;
@@ -126,7 +125,7 @@ void FelaEngine::OnWorkerRecover(int worker) {
   ++stats_.faults.recoveries;
   const sim::SimTime now = cluster_->simulator().now();
   FELA_TRACE(&cluster_->trace(), now, worker, sim::TraceKind::kWorkerRecover,
-             common::StrFormat("it=%d", current_iteration_));
+             FELA_TOK("it=%d"), current_iteration_);
   if (!ts_active_ && failover_timer_ == sim::kInvalidEventId) {
     // The fenced incarnation found no live standby; this recovery
     // provides one.
@@ -148,9 +147,8 @@ void FelaEngine::OnWorkerCut(int worker) {
   if (run_complete_) return;
   ++stats_.faults.partition_cuts;
   FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), worker,
-             sim::TraceKind::kPartitionCut,
-             common::StrFormat("it=%d anchor=%d", current_iteration_,
-                               static_cast<int>(ts_node_)));
+             sim::TraceKind::kPartitionCut, FELA_TOK("it=%d anchor=%d"),
+             current_iteration_, static_cast<int>(ts_node_));
   const size_t w = static_cast<size_t>(worker);
   if (admitted_[w]) {
     admitted_[w] = false;
@@ -179,8 +177,8 @@ void FelaEngine::OnWorkerHeal(int worker) {
   ++stats_.faults.partition_heals;
   const sim::SimTime now = cluster_->simulator().now();
   FELA_TRACE(&cluster_->trace(), now, worker, sim::TraceKind::kPartitionHeal,
-             common::StrFormat("it=%d anchor=%d", current_iteration_,
-                               static_cast<int>(ts_node_)));
+             FELA_TOK("it=%d anchor=%d"), current_iteration_,
+             static_cast<int>(ts_node_));
   if (monitor_->IsDown(worker)) return;  // still crashed; recover re-admits
   if (ts_active_) ts_->SetWorkerDown(worker, false);
   recover_pending_[static_cast<size_t>(worker)] = now;
@@ -269,9 +267,8 @@ void FelaEngine::FenceTs() {
   // incarnation. The standby replays the lost work from the checkpoint.
   ts_->FinalizeForFailover();
   FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
-             sim::TraceKind::kTsFailover,
-             common::StrFormat("fence inc=%d it=%d", ts_incarnation_,
-                               current_iteration_));
+             sim::TraceKind::kTsFailover, FELA_TOK("fence inc=%d it=%d"),
+             ts_incarnation_, current_iteration_);
   // fela-lint: allow(untraced-event) the promotion traces kTsFailover
   // itself when the timer fires.
   failover_timer_ = cluster_->simulator().Schedule(
@@ -313,9 +310,8 @@ void FelaEngine::CompleteFailover() {
   ts_active_ = true;
   ++stats_.faults.ts_failovers;
   FELA_TRACE(&cluster_->trace(), now, ts_node_, sim::TraceKind::kTsFailover,
-             common::StrFormat("promote inc=%d it=%d reach=%d",
-                               ts_incarnation_, current_iteration_,
-                               best_score));
+             FELA_TOK("promote inc=%d it=%d reach=%d"), ts_incarnation_,
+             current_iteration_, best_score);
 
   std::vector<bool> down_now(static_cast<size_t>(n), false);
   for (int w = 0; w < n; ++w) {
@@ -378,12 +374,11 @@ void FelaEngine::StartIteration(int iteration) {
   tokens_done_ = false;
   std::fill(sync_started_.begin(), sync_started_.end(), false);
   FELA_TRACE(&cluster_->trace(), iteration_start_, ts_node_,
-             sim::TraceKind::kIterationStart,
-             common::StrFormat("it=%d", iteration));
+             sim::TraceKind::kIterationStart, FELA_TOK("it=%d"), iteration);
   if (cluster_->spans().enabled()) {
     iter_span_.emplace(&cluster_->spans(), cluster_->num_workers(),
                        obs::Phase::kIteration, iteration,
-                       common::StrFormat("it=%d", iteration));
+                       common::TokenizedDetail(FELA_TOK("it=%d"), iteration));
   }
   // Elastic scale-out: workers that recovered (or healed) during the
   // previous iteration rejoin at this boundary.
@@ -437,9 +432,8 @@ void FelaEngine::OnLevelComplete(int level) {
   }
 
   FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
-             sim::TraceKind::kSyncStart,
-             common::StrFormat("SM-%d %.1fMB among %zu", level + 1,
-                               lp.sync_bytes / 1e6, participants.size()));
+             sim::TraceKind::kSyncStart, FELA_TOK("SM-%d %.1fMB among %zu"),
+             level + 1, lp.sync_bytes / 1e6, participants.size());
   sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
                      std::move(participants), lp.sync_bytes,
                      [this, level] { OnSyncDone(level); },
@@ -449,8 +443,7 @@ void FelaEngine::OnLevelComplete(int level) {
 void FelaEngine::OnSyncDone(int level) {
   ++syncs_done_;
   FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
-             sim::TraceKind::kSyncEnd,
-             common::StrFormat("SM-%d", level + 1));
+             sim::TraceKind::kSyncEnd, FELA_TOK("SM-%d"), level + 1);
   MaybeFinishIteration();
 }
 
@@ -464,7 +457,7 @@ void FelaEngine::MaybeFinishIteration() {
   const sim::SimTime now = cluster_->simulator().now();
   stats_.iterations.push_back(runtime::IterationStats{iteration_start_, now});
   FELA_TRACE(&cluster_->trace(), now, ts_node_, sim::TraceKind::kIterationEnd,
-             common::StrFormat("it=%d", current_iteration_));
+             FELA_TOK("it=%d"), current_iteration_);
   iter_span_.reset();  // emits the iteration framing span
   if (current_iteration_ + 1 < target_iterations_) {
     StartIteration(current_iteration_ + 1);

@@ -309,9 +309,10 @@ double TokenServer::AcquireLock() {
   if (spans_ != nullptr && spans_->enabled() && delay > 0.0) {
     // The wait + conflict penalty shows on the token-server track; the
     // requester's own track sees it inside its token-wait span.
-    spans_->Emit(obs::Span{num_workers(), obs::Phase::kTokenWait, now,
-                           now + delay, iteration_,
-                           conflicted ? "lock conflict" : "lock wait"});
+    spans_->Emit(obs::Span{
+        num_workers(), obs::Phase::kTokenWait, now, now + delay, iteration_,
+        conflicted ? common::TokenizedDetail(FELA_TOK("lock conflict"))
+                   : common::TokenizedDetail(FELA_TOK("lock wait"))});
   }
   return delay;
 }

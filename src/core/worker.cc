@@ -5,7 +5,6 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
-#include "common/string_util.h"
 
 namespace fela::core {
 
@@ -38,13 +37,13 @@ void FelaWorker::BeginIteration(int iteration, double straggler_delay,
   if (straggler_delay > 0.0) {
     gpu_->BlockUntil(sim_->now() + straggler_delay);
     FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kStragglerSleep,
-               common::StrFormat("it=%d d=%.2fs", iteration, straggler_delay));
+               FELA_TOK("it=%d d=%.2fs"), iteration, straggler_delay);
   }
   if (!request_outstanding_ && !busy_) {
     request_outstanding_ = true;
     retry_attempt_ = 0;
     FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenRequest,
-               common::StrFormat("it=%d", iteration));
+               FELA_TOK("it=%d"), iteration);
     BeginTokenWait();
     cbs_.send_request(id_);
     ArmRetryTimer();
@@ -57,7 +56,7 @@ void FelaWorker::RequestWork(int iteration) {
   request_outstanding_ = true;
   retry_attempt_ = 0;
   FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenRequest,
-             common::StrFormat("it=%d (rejoin)", iteration));
+             FELA_TOK("it=%d (rejoin)"), iteration);
   BeginTokenWait();
   cbs_.send_request(id_);
   ArmRetryTimer();
@@ -113,8 +112,8 @@ void FelaWorker::OnRetryFire() {
   ++retries_;
   ++retry_attempt_;  // next wait backs off further
   FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kRequestRetry,
-             common::StrFormat("it=%d n=%llu", iteration_,
-                               static_cast<unsigned long long>(retries_)));
+             FELA_TOK("it=%d n=%llu"), iteration_,
+             static_cast<unsigned long long>(retries_));
   cbs_.send_request(id_);
   ArmRetryTimer();
 }
@@ -132,9 +131,9 @@ void FelaWorker::OnGrant(const Grant& grant) {
   token_wait_.reset();  // emits the request -> grant interval
   busy_ = true;
   FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenGrant,
-             grant.token.ToString() + (grant.stolen ? " (stolen)" : "") +
-                 common::StrFormat(" remote_fetches=%zu",
-                                   grant.remote_fetches.size()));
+             FELA_TOK("Token_%lld b=%g stolen=%d remote_fetches=%zu"),
+             static_cast<long long>(grant.token.id), grant.token.batch,
+             static_cast<int>(grant.stolen), grant.remote_fetches.size());
 
   if (grant.remote_fetches.empty()) {
     StartCompute(grant.token);
@@ -144,7 +143,7 @@ void FelaWorker::OnGrant(const Grant& grant) {
   // Coordinator: gather missing dependencies from their holders, then
   // hand the token to the Trainer.
   FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kFetchStart,
-             common::StrFormat("%zu transfers", grant.remote_fetches.size()));
+             FELA_TOK("%zu transfers"), grant.remote_fetches.size());
   auto remaining = std::make_shared<int>(
       static_cast<int>(grant.remote_fetches.size()));
   Token token = grant.token;
@@ -155,8 +154,7 @@ void FelaWorker::OnGrant(const Grant& grant) {
                       [this, remaining, token, inc]() mutable {
       if (--*remaining == 0) {
         if (inc != incarnation_) return;  // fetched for a dead process
-        FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kFetchEnd,
-                   std::string());
+        FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kFetchEnd);
         StartCompute(std::move(token));
       }
     });
@@ -170,8 +168,8 @@ void FelaWorker::StartCompute(Token token) {
       cost_->RangeSeconds(*model_, sm.first_layer, sm.last_layer, token.batch) *
       slowdown_;
   FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kComputeStart,
-             common::StrFormat("%s dur=%.4fs", token.ToString().c_str(),
-                               duration));
+             FELA_TOK("Token_%lld b=%g dur=%.4fs"),
+             static_cast<long long>(token.id), token.batch, duration);
   const int inc = incarnation_;
   gpu_->Enqueue(duration, [this, token = std::move(token), inc]() mutable {
     if (inc != incarnation_) return;  // computed by a dead process
@@ -185,7 +183,8 @@ void FelaWorker::OnComputeDone(Token token) {
   samples_trained_ += token.batch;
   busy_ = false;
   FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kComputeEnd,
-             token.ToString());
+             FELA_TOK("Token_%lld b=%g it=%d"),
+             static_cast<long long>(token.id), token.batch, token.iteration);
   // Combined report + request: the TS serves our implicit request.
   request_outstanding_ = true;
   retry_attempt_ = 0;

@@ -36,6 +36,10 @@ const std::vector<RuleInfo> kRules = {
     {"untraced-event",
      "event-queue mutation (Schedule/ScheduleAt) in an engine hot path "
      "whose function records no FELA_TRACE"},
+    {"untokenized-trace",
+     "raw string detail at a trace/span call site (FELA_TRACE, "
+     "Record, Emit); tokenize with FELA_TOK so the hot path stays "
+     "allocation-free"},
 };
 
 bool IsIdentChar(char c) {
@@ -820,6 +824,98 @@ void CheckUntracedEvent(RuleContext& ctx) {
   if (in_fn) finish_fn(code.size() - 1);
 }
 
+/// Flags trace/span call sites whose argument list still carries raw
+/// string detail: a quoted literal outside any FELA_TOK(...) extent, or
+/// a StrFormat/to_string/ToString call building the detail at runtime.
+/// Both defeat tokenized tracing — the disabled hot path must stay
+/// allocation-free and the binary transcript only carries tokens.
+void CheckUntokenizedTrace(RuleContext& ctx) {
+  const auto& code = ctx.text.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    // Anchor on call sites: the FELA_TRACE macro, or a member call to
+    // Record/RecordLazy/Emit (`x.Record(` / `p->Emit(`). Definitions and
+    // qualified declarations (`TraceRecorder::Record(`) do not anchor.
+    std::vector<size_t> opens;
+    size_t pos = FindWord(line, "FELA_TRACE");
+    while (pos != std::string::npos) {
+      size_t p = pos + 10;
+      while (p < line.size() && line[p] == ' ') ++p;
+      if (p < line.size() && line[p] == '(') opens.push_back(p);
+      pos = FindWord(line, "FELA_TRACE", pos + 1);
+    }
+    for (const char* fn : {"Record(", "RecordLazy(", "Emit("}) {
+      const size_t len = std::string(fn).size();
+      size_t q = line.find(fn);
+      while (q != std::string::npos) {
+        if (q > 0 && (line[q - 1] == '.' || line[q - 1] == '>')) {
+          opens.push_back(q + len - 1);
+        }
+        q = line.find(fn, q + 1);
+      }
+    }
+    for (size_t open : opens) {
+      // Collect the full parenthesized extent, possibly spanning lines.
+      std::string extent;
+      int depth = 0;
+      bool closed = false;
+      for (size_t l = i; l < code.size() && !closed; ++l) {
+        for (size_t c = l == i ? open : 0; c < code[l].size(); ++c) {
+          const char ch = code[l][c];
+          extent += ch;
+          if (ch == '(') ++depth;
+          if (ch == ')') {
+            --depth;
+            if (depth == 0) {
+              closed = true;
+              break;
+            }
+          }
+        }
+        extent += '\n';
+      }
+      if (!closed) continue;
+      // Blank FELA_TOK(...) sub-extents — their format literal IS the
+      // tokenized path this rule asks for.
+      size_t tok = FindWord(extent, "FELA_TOK");
+      while (tok != std::string::npos) {
+        size_t p = extent.find('(', tok);
+        int d = 0;
+        size_t end = p;
+        for (; p != std::string::npos && p < extent.size(); ++p) {
+          if (extent[p] == '(') ++d;
+          if (extent[p] == ')') {
+            --d;
+            if (d == 0) {
+              end = p + 1;
+              break;
+            }
+          }
+        }
+        for (size_t b = tok; b < end; ++b) extent[b] = ' ';
+        tok = FindWord(extent, "FELA_TOK", end);
+      }
+      const char* culprit = nullptr;
+      if (extent.find('"') != std::string::npos) {
+        culprit = "string literal";
+      } else if (ContainsWord(extent, "StrFormat")) {
+        culprit = "StrFormat";
+      } else if (ContainsWord(extent, "to_string") ||
+                 ContainsWord(extent, "ToString")) {
+        culprit = "to_string/ToString";
+      }
+      if (culprit != nullptr) {
+        ctx.Report(i, "untokenized-trace",
+                   common::StrFormat("raw %s detail at a trace call site; "
+                                     "tokenize with FELA_TOK (or suppress "
+                                     "for genuinely dynamic text)",
+                                     culprit));
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Scoping + file orchestration
 // ---------------------------------------------------------------------------
@@ -913,6 +1009,7 @@ std::vector<Finding> LintFile(const std::string& path,
     if (RuleEnabled(options, "wall-clock")) CheckWallClock(ctx);
     if (RuleEnabled(options, "unseeded-rng")) CheckUnseededRng(ctx);
     if (RuleEnabled(options, "float-eq")) CheckFloatEq(ctx);
+    if (RuleEnabled(options, "untokenized-trace")) CheckUntokenizedTrace(ctx);
   }
   if (RuleEnabled(options, "unordered-iter")) {
     std::set<std::string> members = CollectUnorderedMembers(text);

@@ -35,6 +35,7 @@ struct RuleInfo {
 ///   discarded-status discarded Status/Result return value
 ///   float-eq         exact floating-point ==/!= in sim code
 ///   untraced-event   FELA_TRACE-free event scheduling in engine hot paths
+///   untokenized-trace raw string detail at a trace/span call site
 const std::vector<RuleInfo>& Rules();
 
 /// True when `rule` names a known rule id.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/binio.h"
 #include "common/string_util.h"
 #include "runtime/attribution.h"
 #include "runtime/sweep.h"
@@ -71,6 +72,52 @@ std::string DeterminismTranscript(const ExperimentResult& result) {
   return out;
 }
 
+std::string BinaryTranscript(const ExperimentResult& result) {
+  namespace binio = ::fela::common;
+  std::string out;
+  out += "FELADET1";
+  binio::AppendU32(&out, static_cast<uint32_t>(result.engine_name.size()));
+  out += result.engine_name;
+  binio::AppendU8(&out, result.stats.stalled ? 1 : 0);
+  binio::AppendU8(&out, result.observed ? 1 : 0);
+  binio::AppendF64(&out, result.stats.total_time);
+  binio::AppendF64(&out, result.stats.total_data_bytes);
+  binio::AppendF64(&out, result.stats.total_gpu_busy);
+  binio::AppendU64(&out, result.stats.control_messages);
+  binio::AppendF64(&out, result.average_throughput);
+  binio::AppendF64(&out, result.gpu_utilization);
+  const FaultStats& f = result.stats.faults;
+  // Same counter set as the text transcript — ts_checkpoints stays out
+  // for the same inert-schedule reason documented there.
+  binio::AppendU64(&out, f.crashes);
+  binio::AppendU64(&out, f.recoveries);
+  binio::AppendU64(&out, f.control_dropped);
+  binio::AppendU64(&out, f.control_duplicated);
+  binio::AppendU64(&out, f.tokens_reclaimed);
+  binio::AppendU64(&out, f.regrants);
+  binio::AppendU64(&out, f.request_retries);
+  binio::AppendU64(&out, f.duplicate_reports);
+  binio::AppendU64(&out, f.readmissions);
+  binio::AppendF64(&out, f.recovery_latency_total);
+  binio::AppendU64(&out, f.ts_failovers);
+  binio::AppendU64(&out, f.partition_cuts);
+  binio::AppendU64(&out, f.partition_heals);
+  binio::AppendU64(&out, f.leases_restored);
+  binio::AppendU64(&out, result.stats.iterations.size());
+  for (const IterationStats& it : result.stats.iterations) {
+    binio::AppendF64(&out, it.start);
+    binio::AppendF64(&out, it.end);
+  }
+  if (result.observed) {
+    const std::string csv = result.metrics.ToCsv();
+    binio::AppendU64(&out, csv.size());
+    out += csv;
+    binio::AppendU64(&out, result.binary_trace.size());
+    out += result.binary_trace;
+  }
+  return out;
+}
+
 uint64_t Fnv1a64(const std::string& data) {
   uint64_t hash = 14695981039346656037ULL;
   for (const char c : data) {
@@ -124,8 +171,28 @@ DeterminismReport VerifyDeterminism(const ExperimentSpec& spec,
       2, SweepItem{observed, engine_factory, straggler_factory,
                    fault_factory});
   const std::vector<ExperimentResult> runs = RunSweep(items, jobs);
-  return DiffTranscripts(DeterminismTranscript(runs[0]),
-                         DeterminismTranscript(runs[1]));
+  // Binary-first: compare the compact transcripts (cheap, no text
+  // formatting), and only render the text form to report the hash — or,
+  // on divergence, to pinpoint the first differing line for humans.
+  if (BinaryTranscript(runs[0]) == BinaryTranscript(runs[1])) {
+    DeterminismReport report;
+    report.deterministic = true;
+    report.hash_first = report.hash_second =
+        Fnv1a64(DeterminismTranscript(runs[0]));
+    return report;
+  }
+  DeterminismReport report = DiffTranscripts(DeterminismTranscript(runs[0]),
+                                             DeterminismTranscript(runs[1]));
+  if (report.deterministic) {
+    // The binary forms differ but their text renderings collide (e.g. a
+    // detail whose token changed while detokenizing to the same bytes).
+    // Binary is the source of truth — surface the divergence.
+    report.deterministic = false;
+    report.divergence_line = 0;
+    report.line_first = "<binary transcript divergence>";
+    report.line_second = "<binary transcript divergence>";
+  }
+  return report;
 }
 
 }  // namespace fela::runtime

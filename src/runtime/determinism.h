@@ -17,6 +17,15 @@ namespace fela::runtime {
 /// (`spec.observe = true`) so spans/trace/metrics are populated.
 std::string DeterminismTranscript(const ExperimentResult& result);
 
+/// Compact binary form of the same evidence ("FELADET1"): the scalars
+/// and fault counters byte-serialized little-endian, the metrics CSV,
+/// and the FELATRB1 binary trace — no text formatting on the hot path.
+/// VerifyDeterminism compares runs on this form first (it is strictly
+/// cheaper to produce and covers the same observable state); the text
+/// transcript remains the canonical human-readable artifact and the
+/// source of the reported FNV-1a fingerprint.
+std::string BinaryTranscript(const ExperimentResult& result);
+
 /// FNV-1a 64-bit hash (the transcript fingerprint reported by benches).
 uint64_t Fnv1a64(const std::string& data);
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "sim/chrome_trace.h"
+#include "sim/trace_io.h"
 
 namespace fela::runtime {
 
@@ -45,6 +46,8 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec,
                         &cluster.metrics());
     result.metrics = cluster.metrics();
     result.chrome_trace = obs::ChromeTraceString(
+        cluster.spans(), &cluster.trace(), spec.num_workers);
+    result.binary_trace = obs::SerializeBinaryTrace(
         cluster.spans(), &cluster.trace(), spec.num_workers);
   }
   return result;

@@ -70,6 +70,10 @@ struct ExperimentResult {
   obs::AttributionReport attribution;
   obs::MetricsRegistry metrics;
   std::string chrome_trace;  // serialized trace-event JSON
+  /// FELATRB1 compact binary transcript of the same spans + trace (see
+  /// sim/trace_io.h) — what determinism hashing compares and what
+  /// tools/fela-detok consumes offline.
+  std::string binary_trace;
 };
 
 /// Builds the cluster, constructs the engine, runs it, and derives the

@@ -31,22 +31,23 @@ common::Json ThreadNameMeta(int tid, const std::string& name) {
 
 }  // namespace
 
-common::Json ChromeTraceJson(const SpanSink& spans,
-                             const sim::TraceRecorder* trace,
-                             int num_workers) {
-  common::Json events = common::Json::Array();
+common::Json ChromeTraceJsonData(const std::vector<Span>& spans,
+                                 uint64_t spans_dropped, bool has_trace,
+                                 const std::vector<sim::TraceEvent>& events,
+                                 uint64_t events_dropped, int num_workers,
+                                 const common::TokenRegistry* registry) {
+  common::Json out_events = common::Json::Array();
 
   // One metadata row per track that actually appears, so empty clusters
   // don't fabricate threads but every used tid is named.
   std::set<int> tracks;
   for (int w = 0; w < num_workers; ++w) tracks.insert(w);
-  const std::vector<Span> span_list = spans.spans();
-  for (const Span& s : span_list) tracks.insert(s.track);
+  for (const Span& s : spans) tracks.insert(s.track);
   for (const int t : tracks) {
-    events.Append(ThreadNameMeta(t, TrackName(t, num_workers)));
+    out_events.Append(ThreadNameMeta(t, TrackName(t, num_workers)));
   }
 
-  for (const Span& s : span_list) {
+  for (const Span& s : spans) {
     common::Json e = common::Json::Object();
     e.Set("name", PhaseName(s.phase));
     e.Set("cat", "span");
@@ -57,13 +58,15 @@ common::Json ChromeTraceJson(const SpanSink& spans,
     e.Set("tid", s.track);
     common::Json args = common::Json::Object();
     if (s.iteration >= 0) args.Set("iteration", s.iteration);
-    if (!s.detail.empty()) args.Set("detail", s.detail);
+    if (!s.detail.empty()) {
+      args.Set("detail", common::Detokenize(s.detail, registry));
+    }
     e.Set("args", std::move(args));
-    events.Append(std::move(e));
+    out_events.Append(std::move(e));
   }
 
-  if (trace != nullptr) {
-    for (const sim::TraceEvent& t : trace->events()) {
+  if (has_trace) {
+    for (const sim::TraceEvent& t : events) {
       common::Json e = common::Json::Object();
       e.Set("name", sim::TraceKindName(t.kind));
       e.Set("cat", "event");
@@ -75,21 +78,30 @@ common::Json ChromeTraceJson(const SpanSink& spans,
       common::Json args = common::Json::Object();
       if (!t.detail.empty()) args.Set("detail", t.detail);
       e.Set("args", std::move(args));
-      events.Append(std::move(e));
+      out_events.Append(std::move(e));
     }
   }
 
   common::Json doc = common::Json::Object();
   doc.Set("displayTimeUnit", "ms");
-  doc.Set("traceEvents", std::move(events));
+  doc.Set("traceEvents", std::move(out_events));
   common::Json meta = common::Json::Object();
   meta.Set("num_workers", num_workers);
-  meta.Set("spans_dropped", static_cast<double>(spans.dropped()));
-  if (trace != nullptr) {
-    meta.Set("trace_events_dropped", static_cast<double>(trace->dropped()));
+  meta.Set("spans_dropped", static_cast<double>(spans_dropped));
+  if (has_trace) {
+    meta.Set("trace_events_dropped", static_cast<double>(events_dropped));
   }
   doc.Set("otherData", std::move(meta));
   return doc;
+}
+
+common::Json ChromeTraceJson(const SpanSink& spans,
+                             const sim::TraceRecorder* trace,
+                             int num_workers) {
+  return ChromeTraceJsonData(
+      spans.spans(), spans.dropped(), trace != nullptr,
+      trace != nullptr ? trace->events() : std::vector<sim::TraceEvent>{},
+      trace != nullptr ? trace->dropped() : 0, num_workers);
 }
 
 std::string ChromeTraceString(const SpanSink& spans,

@@ -1,9 +1,12 @@
 #ifndef FELA_SIM_CHROME_TRACE_H_
 #define FELA_SIM_CHROME_TRACE_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
+#include "common/tokenize.h"
 #include "sim/span.h"
 #include "sim/trace.h"
 
@@ -19,6 +22,19 @@ namespace fela::obs {
 /// compute/sync intervals they explain.
 common::Json ChromeTraceJson(const SpanSink& spans,
                              const sim::TraceRecorder* trace, int num_workers);
+
+/// The same conversion from already-extracted data — what both the live
+/// path above and the offline binary-trace converter (tools/fela-detok)
+/// call, so their outputs are byte-identical. Span details are
+/// detokenized through `registry` (the process-global one when null);
+/// `has_trace` mirrors "was a TraceRecorder attached" (it controls the
+/// trace_events_dropped field even when no events were recorded).
+common::Json ChromeTraceJsonData(const std::vector<Span>& spans,
+                                 uint64_t spans_dropped, bool has_trace,
+                                 const std::vector<sim::TraceEvent>& events,
+                                 uint64_t events_dropped, int num_workers,
+                                 const common::TokenRegistry* registry =
+                                     nullptr);
 
 /// ChromeTraceJson serialized ready to write to a .json file.
 std::string ChromeTraceString(const SpanSink& spans,

@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "common/string_util.h"
 
 namespace fela::sim {
 
@@ -80,12 +79,9 @@ void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
     if (faults_->IsDownAt(now, src) || faults_->IsDownAt(now, dst) ||
         faults_->DropControl(seq)) {
       ++control_dropped_count_;
-      if (fault_trace_ != nullptr && fault_trace_->enabled()) {
-        fault_trace_->Record(
-            now, dst, TraceKind::kControlDrop,
-            common::StrFormat("src=%d seq=%llu", src,
-                              static_cast<unsigned long long>(seq)));
-      }
+      FELA_TRACE(fault_trace_, now, dst, TraceKind::kControlDrop,
+                 FELA_TOK("src=%d seq=%llu"), src,
+                 static_cast<unsigned long long>(seq));
       return;
     }
     // A partition cut is reachability, not death: both endpoints live,
@@ -93,23 +89,17 @@ void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
     if (faults_->Partitioned(now, src, dst)) {
       ++control_dropped_count_;
       ++control_partition_dropped_count_;
-      if (fault_trace_ != nullptr && fault_trace_->enabled()) {
-        fault_trace_->Record(
-            now, dst, TraceKind::kPartitionDrop,
-            common::StrFormat("src=%d seq=%llu", src,
-                              static_cast<unsigned long long>(seq)));
-      }
+      FELA_TRACE(fault_trace_, now, dst, TraceKind::kPartitionDrop,
+                 FELA_TOK("src=%d seq=%llu"), src,
+                 static_cast<unsigned long long>(seq));
       return;
     }
     if (faults_->DuplicateControl(seq)) {
       duplicated = true;
       ++control_duplicated_count_;
-      if (fault_trace_ != nullptr && fault_trace_->enabled()) {
-        fault_trace_->Record(
-            now, dst, TraceKind::kControlDup,
-            common::StrFormat("src=%d seq=%llu", src,
-                              static_cast<unsigned long long>(seq)));
-      }
+      FELA_TRACE(fault_trace_, now, dst, TraceKind::kControlDup,
+                 FELA_TOK("src=%d seq=%llu"), src,
+                 static_cast<unsigned long long>(seq));
     }
     delay_factor = std::max(faults_->ControlDelayFactor(now, src),
                             faults_->ControlDelayFactor(now, dst));

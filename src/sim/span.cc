@@ -24,13 +24,13 @@ const char* PhaseName(Phase phase) {
   return "?";
 }
 
-void SpanSink::Emit(Span span) {
+void SpanSink::Emit(const Span& span) {
   if (!enabled_ || capacity_ == 0) return;
   if (spans_.size() < capacity_) {
-    spans_.push_back(std::move(span));
+    spans_.push_back(span);
     return;
   }
-  spans_[next_] = std::move(span);  // evict the oldest
+  spans_[next_] = span;  // evict the oldest
   next_ = (next_ + 1) % capacity_;
   ++dropped_;
 }

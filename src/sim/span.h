@@ -3,10 +3,10 @@
 
 #include <functional>
 #include <optional>
-#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/tokenize.h"
 #include "sim/types.h"
 
 namespace fela::obs {
@@ -35,14 +35,17 @@ const char* PhaseName(Phase phase);
 
 /// One closed interval of activity on a track. `track` is the worker's
 /// NodeId; tracks >= the cluster's worker count belong to the token
-/// server / driver (the Chrome exporter names them accordingly).
+/// server / driver (the Chrome exporter names them accordingly). The
+/// detail is tokenized (FELA_TOK + packed args), which keeps Span
+/// trivially copyable — SpanSink::Emit is a struct store, no
+/// allocation even on the enabled path.
 struct Span {
   sim::NodeId track = 0;
   Phase phase = Phase::kIdle;
   sim::SimTime begin = 0.0;
   sim::SimTime end = 0.0;
   int iteration = -1;  // -1: not attributable to a single iteration
-  std::string detail;
+  common::TokenizedDetail detail;
 
   sim::SimTime duration() const { return end - begin; }
 };
@@ -66,11 +69,12 @@ class SpanSink {
   }
   sim::SimTime Now() const { return clock_ ? clock_() : 0.0; }
 
-  void Emit(Span span);
+  void Emit(const Span& span);
 
   /// Spans oldest-first (by emission order, i.e. ordered by `end`).
   std::vector<Span> spans() const;
   size_t size() const { return spans_.size(); }
+  size_t capacity() const { return capacity_; }
   size_t dropped() const { return dropped_; }
   void Clear();
 
@@ -91,12 +95,12 @@ class SpanSink {
 class ScopedSpan {
  public:
   ScopedSpan(SpanSink* sink, sim::NodeId track, Phase phase,
-             int iteration = -1, std::string detail = "")
+             int iteration = -1, common::TokenizedDetail detail = {})
       : sink_(sink != nullptr && sink->enabled() ? sink : nullptr),
         track_(track),
         phase_(phase),
         iteration_(iteration),
-        detail_(std::move(detail)),
+        detail_(detail),
         begin_(sink_ != nullptr ? sink_->Now() : 0.0) {}
 
   ~ScopedSpan() { Close(); }
@@ -109,7 +113,7 @@ class ScopedSpan {
       track_ = other.track_;
       phase_ = other.phase_;
       iteration_ = other.iteration_;
-      detail_ = std::move(other.detail_);
+      detail_ = other.detail_;
       begin_ = other.begin_;
     }
     return *this;
@@ -118,13 +122,13 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   void set_iteration(int iteration) { iteration_ = iteration; }
-  void set_detail(std::string detail) { detail_ = std::move(detail); }
+  void set_detail(common::TokenizedDetail detail) { detail_ = detail; }
 
   /// Emits now instead of at destruction; idempotent.
   void Close() {
     if (sink_ == nullptr) return;
-    sink_->Emit(Span{track_, phase_, begin_, sink_->Now(), iteration_,
-                     std::move(detail_)});
+    sink_->Emit(
+        Span{track_, phase_, begin_, sink_->Now(), iteration_, detail_});
     sink_ = nullptr;
   }
 
@@ -137,7 +141,7 @@ class ScopedSpan {
   sim::NodeId track_ = 0;
   Phase phase_ = Phase::kIdle;
   int iteration_ = -1;
-  std::string detail_;
+  common::TokenizedDetail detail_;
   sim::SimTime begin_ = 0.0;
 };
 

@@ -6,7 +6,14 @@
 
 namespace fela::sim {
 
+static_assert(kNumTraceKinds == 24,
+              "TraceKind changed: update kNumTraceKinds, TraceKindName, and "
+              "any serialized-kind consumers together");
+
 const char* TraceKindName(TraceKind kind) {
+  // No default branch on purpose: -Werror=switch turns a TraceKind
+  // added without a name into a build failure instead of "Unknown"
+  // leaking into transcripts.
   switch (kind) {
     case TraceKind::kIterationStart:
       return "IterationStart";
@@ -57,50 +64,119 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kTsFailover:
       return "TsFailover";
   }
-  return "Unknown";
+  return "Unknown";  // unreachable: the switch above is exhaustive
+}
+
+void TraceRecorder::Store(TraceRecord record, std::string dynamic) {
+  if (records_.size() < capacity_) {
+    records_.push_back(record);
+    dynamic_.push_back(std::move(dynamic));
+    return;
+  }
+  records_[next_] = record;  // evict the oldest
+  dynamic_[next_] = std::move(dynamic);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceRecorder::Record(SimTime time, NodeId node, TraceKind kind,
+                           common::TokenizedDetail detail) {
+  if (!enabled_ || capacity_ == 0) return;
+  TraceRecord record;
+  record.time = time;
+  record.node = node;
+  record.kind = static_cast<uint8_t>(kind);
+  record.token = detail.token;
+  record.arg_count = detail.args.count;
+  record.arg_types = detail.args.types;
+  for (int i = 0; i < 4; ++i) record.args[i] = detail.args.values[i];
+  Store(record, std::string());
 }
 
 void TraceRecorder::Record(SimTime time, NodeId node, TraceKind kind,
                            std::string detail) {
   if (!enabled_ || capacity_ == 0) return;
-  TraceEvent event{time, node, kind, std::move(detail)};
-  if (events_.size() < capacity_) {
-    events_.push_back(std::move(event));
-    return;
-  }
-  events_[next_] = std::move(event);  // evict the oldest
-  next_ = (next_ + 1) % capacity_;
-  ++dropped_;
+  TraceRecord record;
+  record.time = time;
+  record.node = node;
+  record.kind = static_cast<uint8_t>(kind);
+  record.flags = kDynamicDetailFlag;
+  Store(record, std::move(detail));
+}
+
+std::string RenderTraceDetail(const TraceRecord& record,
+                              const std::string& dynamic,
+                              const common::TokenRegistry* registry) {
+  if ((record.flags & kDynamicDetailFlag) != 0) return dynamic;
+  common::TokenizedDetail detail;
+  detail.token = record.token;
+  detail.args.count = record.arg_count;
+  detail.args.types = record.arg_types;
+  for (int i = 0; i < 4; ++i) detail.args.values[i] = record.args[i];
+  return common::Detokenize(detail, registry);
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::vector<TraceEvent> ordered;
-  ordered.reserve(events_.size());
+  ordered.reserve(records_.size());
   // next_ is the oldest slot once the ring has wrapped (dropped_ > 0);
   // before wrapping the vector is already oldest-first from slot 0.
   const size_t start = dropped_ > 0 ? next_ : 0;
-  for (size_t i = 0; i < events_.size(); ++i) {
-    ordered.push_back(events_[(start + i) % events_.size()]);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const size_t slot = (start + i) % records_.size();
+    const TraceRecord& r = records_[slot];
+    ordered.push_back(TraceEvent{r.time, r.node,
+                                 static_cast<TraceKind>(r.kind),
+                                 RenderTraceDetail(r, dynamic_[slot])});
+  }
+  return ordered;
+}
+
+std::vector<TraceRecord> TraceRecorder::records() const {
+  std::vector<TraceRecord> ordered;
+  ordered.reserve(records_.size());
+  const size_t start = dropped_ > 0 ? next_ : 0;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    ordered.push_back(records_[(start + i) % records_.size()]);
+  }
+  return ordered;
+}
+
+std::vector<std::string> TraceRecorder::dynamic_details() const {
+  std::vector<std::string> ordered;
+  ordered.reserve(dynamic_.size());
+  const size_t start = dropped_ > 0 ? next_ : 0;
+  for (size_t i = 0; i < dynamic_.size(); ++i) {
+    ordered.push_back(dynamic_[(start + i) % dynamic_.size()]);
   }
   return ordered;
 }
 
 void TraceRecorder::Clear() {
-  events_.clear();
+  records_.clear();
+  dynamic_.clear();
   next_ = 0;
   dropped_ = 0;
 }
 
+void AppendTraceDroppedHeader(std::string* out, size_t dropped,
+                              size_t capacity) {
+  *out += common::StrFormat(
+      "... %zu oldest events dropped (ring capacity %zu)\n", dropped,
+      capacity);
+}
+
+void AppendTraceLine(std::string* out, SimTime time, NodeId node,
+                     TraceKind kind, const std::string& detail) {
+  *out += common::StrFormat("[%10.6fs] w%-2d %-15s %s\n", time, node,
+                            TraceKindName(kind), detail.c_str());
+}
+
 std::string TraceRecorder::ToString() const {
   std::string out;
-  if (dropped_ > 0) {
-    out += common::StrFormat(
-        "... %zu oldest events dropped (ring capacity %zu)\n", dropped_,
-        capacity_);
-  }
+  if (dropped_ > 0) AppendTraceDroppedHeader(&out, dropped_, capacity_);
   for (const auto& e : events()) {
-    out += common::StrFormat("[%10.6fs] w%-2d %-15s %s\n", e.time, e.node,
-                             TraceKindName(e.kind), e.detail.c_str());
+    AppendTraceLine(&out, e.time, e.node, e.kind, e.detail);
   }
   return out;
 }

@@ -1,15 +1,19 @@
 #ifndef FELA_SIM_TRACE_H_
 #define FELA_SIM_TRACE_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/tokenize.h"
 #include "sim/types.h"
 
 namespace fela::sim {
 
 /// Event categories recorded by engines when tracing is enabled.
+/// Extend kNumTraceKinds (and TraceKindName) together — the
+/// static_assert below and the exhaustive switch keep them honest.
 enum class TraceKind {
   kIterationStart,
   kIterationEnd,
@@ -37,8 +41,17 @@ enum class TraceKind {
   kTsFailover,
 };
 
+/// One past the last TraceKind value. TraceKindName's switch has no
+/// default, so adding a kind without a name breaks the -Werror build;
+/// this constant lets tests (and the binary codec) iterate all kinds.
+inline constexpr int kNumTraceKinds = static_cast<int>(TraceKind::kTsFailover)
+                                      + 1;
+
 const char* TraceKindName(TraceKind kind);
 
+/// Rendered view of one recorded event — what tests and exporters
+/// consume. The stored form is the fixed-width TraceRecord below;
+/// `detail` here is detokenized on access.
 struct TraceEvent {
   SimTime time;
   NodeId node;
@@ -46,9 +59,28 @@ struct TraceEvent {
   std::string detail;
 };
 
+/// The stored fixed-width form: no strings, trivially copyable, cheap
+/// to ring-buffer and to serialize. `token`/args hold the tokenized
+/// detail; records carrying a legacy std::string detail (the escape
+/// hatch for genuinely dynamic text) set kDynamicDetailFlag and park
+/// the string in a parallel slot.
+struct TraceRecord {
+  SimTime time = 0.0;
+  uint64_t args[4] = {0, 0, 0, 0};
+  NodeId node = 0;
+  uint32_t token = 0;
+  uint8_t kind = 0;
+  uint8_t arg_count = 0;
+  uint8_t arg_types = 0;
+  uint8_t flags = 0;
+};
+
+inline constexpr uint8_t kDynamicDetailFlag = 1;
+
 /// Bounded in-memory recorder for scheduling timelines. Disabled by
 /// default (engines skip recording when !enabled()) so the hot path
-/// stays allocation-free during large sweeps.
+/// stays allocation-free during large sweeps; the *enabled* tokenized
+/// path is a fixed-width struct store — no formatting, no allocation.
 ///
 /// Storage is a ring: once `capacity` events have been recorded, each
 /// new event evicts the oldest one, so a long run keeps the *most
@@ -61,6 +93,12 @@ class TraceRecorder {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  /// Tokenized hot path: FELA_TRACE lands here.
+  void Record(SimTime time, NodeId node, TraceKind kind,
+              common::TokenizedDetail detail = {});
+
+  /// Legacy/dynamic-detail path for text a fixed-arg token cannot
+  /// carry. Costs a string move per event — keep it off hot paths.
   void Record(SimTime time, NodeId node, TraceKind kind, std::string detail);
 
   /// Lazy-detail overload: `detail_fn` (any callable returning something
@@ -71,13 +109,22 @@ class TraceRecorder {
   void RecordLazy(SimTime time, NodeId node, TraceKind kind,
                   DetailFn&& detail_fn) {
     if (!enabled_) return;
-    Record(time, node, kind, std::forward<DetailFn>(detail_fn)());
+    Record(time, node, kind,
+           std::string(std::forward<DetailFn>(detail_fn)()));
   }
 
-  /// Events oldest-first. Returns by value because the underlying ring
-  /// storage is rotated; the copy is only taken by tests and exporters.
+  /// Events oldest-first with details rendered (detokenized via the
+  /// global registry). Returns by value: the underlying ring storage is
+  /// rotated and the copy is only taken by tests and exporters.
   std::vector<TraceEvent> events() const;
-  size_t size() const { return events_.size(); }
+
+  /// Raw stored records oldest-first, plus the parallel dynamic-detail
+  /// strings (empty unless kDynamicDetailFlag is set).
+  std::vector<TraceRecord> records() const;
+  std::vector<std::string> dynamic_details() const;
+
+  size_t size() const { return records_.size(); }
+  size_t capacity() const { return capacity_; }
   size_t dropped() const { return dropped_; }
   void Clear();
 
@@ -85,23 +132,48 @@ class TraceRecorder {
   std::string ToString() const;
 
  private:
+  void Store(TraceRecord record, std::string dynamic);
+
   size_t capacity_;
   bool enabled_ = false;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceRecord> records_;
+  std::vector<std::string> dynamic_;  // slot-parallel to records_
   size_t next_ = 0;  // ring cursor: slot the next event overwrites
   size_t dropped_ = 0;
 };
 
+/// Shared text-rendering pieces, used by TraceRecorder::ToString and by
+/// the offline detokenizer (tools/fela-detok) so the two outputs are
+/// byte-identical.
+void AppendTraceDroppedHeader(std::string* out, size_t dropped,
+                              size_t capacity);
+void AppendTraceLine(std::string* out, SimTime time, NodeId node,
+                     TraceKind kind, const std::string& detail);
+
+/// Renders one stored record's detail (token, dynamic string, or "").
+std::string RenderTraceDetail(const TraceRecord& record,
+                              const std::string& dynamic,
+                              const common::TokenRegistry* registry = nullptr);
+
 }  // namespace fela::sim
 
-/// Records a trace event without evaluating the detail expression unless
-/// the recorder is enabled. `recorder` is a TraceRecorder*; `detail` is
-/// any expression yielding a std::string (typically StrFormat(...)).
-#define FELA_TRACE(recorder, time, node, kind, detail)            \
-  do {                                                            \
-    ::fela::sim::TraceRecorder* fela_trace_rec_ = (recorder);     \
-    if (fela_trace_rec_ != nullptr && fela_trace_rec_->enabled()) \
-      fela_trace_rec_->Record((time), (node), (kind), (detail));  \
+/// Records a trace event without evaluating the detail unless the
+/// recorder is enabled. `recorder` is a TraceRecorder*; the detail is
+/// either absent or a FELA_TOK format plus up to 4 numeric args (the
+/// tokenized hot path). Text a token cannot carry goes through
+/// TraceRecorder::Record's std::string overload directly.
+///
+///   FELA_TRACE(trace, now, id, TraceKind::kSyncEnd);
+///   FELA_TRACE(trace, now, id, TraceKind::kTokenRequest,
+///              FELA_TOK("it=%d"), iteration);
+#define FELA_TRACE(recorder, time, node, kind, ...)                        \
+  do {                                                                     \
+    ::fela::sim::TraceRecorder* fela_trace_rec_ = (recorder);              \
+    if (fela_trace_rec_ != nullptr && fela_trace_rec_->enabled())          \
+      fela_trace_rec_->Record((time), (node), (kind)                       \
+                                  __VA_OPT__(, ::fela::common::            \
+                                                 TokenizedDetail(          \
+                                                     __VA_ARGS__)));       \
   } while (false)
 
 #endif  // FELA_SIM_TRACE_H_

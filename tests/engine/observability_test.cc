@@ -5,14 +5,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/json.h"
+#include "common/tokenize.h"
 #include "model/zoo.h"
 #include "runtime/attribution.h"
 #include "runtime/bench_json.h"
 #include "runtime/experiment.h"
 #include "runtime/report.h"
+#include "sim/faults.h"
+#include "sim/trace_io.h"
 #include "suite/suite.h"
 
 namespace fela::runtime {
@@ -159,6 +165,43 @@ TEST(ObservabilityTest, BenchReportValidatesSchema) {
   bad.Set("bench", "unit");
   EXPECT_FALSE(obs::ValidateBenchReportJson(bad, &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(ObservabilityTest, BinaryTraceRoundTripsByteIdenticalUnderFaults) {
+  // A composite-fault observed run — crashes plus a lossy control plane
+  // exercise the fault-path trace kinds — must produce a binary
+  // transcript that an *offline* registry (built only from the CSV form,
+  // exactly what fela-detok loads) re-renders byte-identically to the
+  // in-process Chrome trace.
+  const FaultFactory faults = [](int n) {
+    std::vector<std::unique_ptr<sim::FaultSchedule>> parts;
+    parts.push_back(std::make_unique<sim::RandomCrashes>(
+        n, /*crash_prob=*/0.2, /*window_sec=*/2.0, /*down_sec=*/0.5,
+        /*seed=*/7));
+    parts.push_back(std::make_unique<sim::LossyControlPlane>(
+        /*drop_prob=*/0.05, /*dup_prob=*/0.05, /*seed=*/11));
+    return std::make_unique<sim::CompositeFaults>(std::move(parts));
+  };
+  const model::Model m = model::zoo::GoogLeNet();
+  core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+  const auto result = RunExperiment(ObservedSpec(), suite::FelaFactory(m, cfg),
+                                    NoStragglerFactory(), faults);
+  ASSERT_TRUE(result.observed);
+  ASSERT_FALSE(result.binary_trace.empty());
+
+  obs::BinaryTraceData data;
+  std::string error;
+  ASSERT_TRUE(obs::ParseBinaryTrace(result.binary_trace, &data, &error))
+      << error;
+  EXPECT_FALSE(data.truncated);
+  EXPECT_TRUE(data.has_trace);
+  EXPECT_FALSE(data.events.empty());
+
+  common::TokenRegistry offline;
+  ASSERT_TRUE(common::LoadTokenDbCsv(
+      common::TokenDbCsv(common::TokenRegistry::Global()), &offline, &error))
+      << error;
+  EXPECT_EQ(obs::RenderChromeTrace(data, &offline), result.chrome_trace);
 }
 
 TEST(ObservabilityTest, AttributionTableRendersEveryWorker) {

@@ -1,0 +1,18 @@
+// fela-lint fixture: the untokenized-trace rule must fire on line 11
+// (raw string detail at a FELA_TRACE call site) and nowhere else; the
+// tokenized sibling below stays clean.
+namespace fela::fixture {
+
+struct Recorder {
+  void Record(double t, int node, int kind, const char* detail);
+};
+
+void Raw(Recorder* trace_) {
+  FELA_TRACE(trace_, 0.0, 0, kind, "iteration stalled");
+}
+
+void Tokenized(Recorder* trace_) {
+  FELA_TRACE(trace_, 0.0, 0, kind, FELA_TOK("it=%d"), 7);
+}
+
+}  // namespace fela::fixture

@@ -12,7 +12,7 @@ void Kick(Sim* sim_) {
 }
 
 void TracedKick(Sim* sim_) {
-  FELA_TRACE(trace_, 0.0, 0, kind, "kick");
+  FELA_TRACE(trace_, 0.0, 0, kind, FELA_TOK("kick"));
   sim_->Schedule(0.0, 0);
 }
 

@@ -46,7 +46,7 @@ const Finding* FindInFile(const std::vector<Finding>& findings,
 
 TEST(LintRulesTest, EveryRuleFiresExactlyOnceOnItsFixture) {
   const std::vector<Finding> findings = LintFixtures();
-  ASSERT_EQ(findings.size(), 8u);
+  ASSERT_EQ(findings.size(), 9u);
 
   struct Expected {
     const char* rule;
@@ -62,6 +62,7 @@ TEST(LintRulesTest, EveryRuleFiresExactlyOnceOnItsFixture) {
       {"discarded-status", "core/discarded_status_violation.cc", 9},
       {"float-eq", "core/float_eq_violation.cc", 6},
       {"untraced-event", "core/untraced_event_violation.cc", 11},
+      {"untokenized-trace", "core/untokenized_trace_violation.cc", 11},
   };
   for (const Expected& e : expected) {
     const Finding* f = FindInFile(findings, e.file_suffix);
@@ -152,6 +153,27 @@ TEST(LintFileTest, NullptrComparisonAgainstFloatNameIsNotFlagged) {
   EXPECT_TRUE(LintFile("src/sim/x.cc", src, Options{}).empty());
 }
 
+TEST(LintFileTest, UntokenizedTraceAnchorsOnMemberCallsOnly) {
+  // A raw string at a member Emit() call fires; the same detail routed
+  // through FELA_TOK is clean, and an Emit *declaration* never anchors.
+  const std::string bad =
+      "namespace f {\n"
+      "void E(SpanSink* s) { s->Emit(Span{0, \"w\"}); }\n"
+      "}\n";
+  const std::vector<Finding> findings =
+      LintFile("src/sim/x.cc", bad, Options{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "untokenized-trace");
+  EXPECT_EQ(findings[0].line, 2);
+
+  const std::string ok =
+      "namespace f {\n"
+      "void Emit(const char* detail);\n"
+      "void E(SpanSink* s) { s->Emit(Span{0, FELA_TOK(\"w\")}); }\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/sim/x.cc", ok, Options{}).empty());
+}
+
 TEST(LintJsonTest, JsonReportParsesAndMatchesFindings) {
   const std::vector<Finding> findings = LintFixtures();
   const std::string json = FindingsToJson(findings);
@@ -198,14 +220,14 @@ TEST(LintCliTest, TableOutputNamesEveryRule) {
   for (const RuleInfo& r : Rules()) {
     EXPECT_NE(table.find(r.id), std::string::npos) << r.id;
   }
-  EXPECT_NE(table.find("8 finding(s)"), std::string::npos);
+  EXPECT_NE(table.find("9 finding(s)"), std::string::npos);
 }
 
-TEST(LintCliTest, ListRulesCoversAllSix) {
+TEST(LintCliTest, ListRulesCoversEveryRule) {
   std::ostringstream out;
   std::ostringstream err;
   ASSERT_EQ(RunCli({"--list-rules"}, out, err), 0);
-  EXPECT_EQ(Rules().size(), 6u);
+  EXPECT_EQ(Rules().size(), 7u);
   for (const RuleInfo& r : Rules()) {
     EXPECT_NE(out.str().find(r.id), std::string::npos) << r.id;
     EXPECT_TRUE(IsKnownRule(r.id));

@@ -67,7 +67,8 @@ TEST(ScopedSpanTest, ReadsClockAtBeginAndEnd) {
   double now = 2.5;
   sink.set_clock([&now] { return now; });
   {
-    ScopedSpan s(&sink, 4, Phase::kTokenWait, 9, "waiting");
+    ScopedSpan s(&sink, 4, Phase::kTokenWait, 9,
+                 common::TokenizedDetail(FELA_TOK("waiting")));
     now = 4.0;
   }
   ASSERT_EQ(sink.size(), 1u);
@@ -78,7 +79,7 @@ TEST(ScopedSpanTest, ReadsClockAtBeginAndEnd) {
   EXPECT_DOUBLE_EQ(s.begin, 2.5);
   EXPECT_DOUBLE_EQ(s.end, 4.0);
   EXPECT_EQ(s.iteration, 9);
-  EXPECT_EQ(s.detail, "waiting");
+  EXPECT_EQ(common::Detokenize(s.detail), "waiting");
 }
 
 TEST(ScopedSpanTest, CloseIsIdempotentAndCancelDiscards) {
@@ -125,7 +126,8 @@ TEST(ScopedSpanTest, DisabledSinkIsNoOp) {
 TEST(ChromeTraceTest, EmitsValidJsonWithTrackMetadata) {
   SpanSink sink;
   sink.set_enabled(true);
-  sink.Emit(Span{0, Phase::kCompute, 0.0, 0.5, 0, "token"});
+  sink.Emit(Span{0, Phase::kCompute, 0.0, 0.5, 0,
+                 common::TokenizedDetail(FELA_TOK("token"))});
   sink.Emit(Span{2, Phase::kIteration, 0.0, 1.0, 0, {}});  // TS track
 
   sim::TraceRecorder trace;

@@ -1,0 +1,128 @@
+// FELATRB1 binary-trace codec tests: serialize → parse → re-render must
+// be byte-identical to the in-process renderers, a truncated stream
+// still parses up to the cut with an explicit end-of-stream marker, and
+// malformed headers are rejected.
+
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "common/tokenize.h"
+#include "sim/chrome_trace.h"
+#include "sim/span.h"
+#include "sim/trace.h"
+
+namespace fela::obs {
+namespace {
+
+/// One of everything: tokenized details, detail-less events, a legacy
+/// dynamic-string detail, and enough records to overflow the trace ring.
+struct Artifacts {
+  SpanSink spans{8};
+  sim::TraceRecorder trace{3};
+
+  Artifacts() {
+    spans.set_enabled(true);
+    trace.set_enabled(true);
+    spans.Emit(Span{0, Phase::kCompute, 0.0, 1.0, 2,
+                    common::TokenizedDetail(FELA_TOK("w=%d b=%g"), 5, 0.25)});
+    spans.Emit(Span{1, Phase::kTokenWait, 0.5, 0.75, 2, {}});
+    FELA_TRACE(&trace, 0.5, 1, sim::TraceKind::kTokenRequest,
+               FELA_TOK("it=%d n=%zu"), 3, static_cast<size_t>(1024));
+    FELA_TRACE(&trace, 1.5, 2, sim::TraceKind::kFetchEnd);
+    trace.Record(2.0, 0, sim::TraceKind::kConflict,
+                 std::string("dynamic text"));
+    // A 4th record on a capacity-3 ring: the oldest event drops and the
+    // serialized form must carry the dropped count.
+    FELA_TRACE(&trace, 2.5, 0, sim::TraceKind::kSyncEnd);
+  }
+};
+
+TEST(TraceIoTest, RoundTripRendersByteIdenticalText) {
+  Artifacts a;
+  ASSERT_EQ(a.trace.dropped(), 1u);
+  const std::string bytes = SerializeBinaryTrace(a.spans, &a.trace, 4);
+
+  BinaryTraceData data;
+  std::string error;
+  ASSERT_TRUE(ParseBinaryTrace(bytes, &data, &error)) << error;
+  EXPECT_FALSE(data.truncated);
+  EXPECT_EQ(data.num_workers, 4);
+  EXPECT_TRUE(data.has_trace);
+  EXPECT_EQ(data.spans.size(), 2u);
+  EXPECT_EQ(data.events.size(), 3u);
+  EXPECT_EQ(data.trace_dropped, 1u);
+  EXPECT_EQ(data.trace_capacity, 3u);
+
+  EXPECT_EQ(RenderTraceText(data), a.trace.ToString());
+  EXPECT_EQ(RenderChromeTrace(data), ChromeTraceString(a.spans, &a.trace, 4));
+}
+
+TEST(TraceIoTest, RoundTripWithoutTraceRecorder) {
+  Artifacts a;
+  const std::string bytes = SerializeBinaryTrace(a.spans, nullptr, 4);
+  BinaryTraceData data;
+  std::string error;
+  ASSERT_TRUE(ParseBinaryTrace(bytes, &data, &error)) << error;
+  EXPECT_FALSE(data.has_trace);
+  EXPECT_TRUE(data.events.empty());
+  EXPECT_EQ(RenderChromeTrace(data), ChromeTraceString(a.spans, nullptr, 4));
+}
+
+TEST(TraceIoTest, OfflineRegistryFromCsvMatchesInProcessRendering) {
+  // Simulates fela-detok: a registry built *only* from the CSV form of
+  // the global registry must reproduce the in-process bytes.
+  Artifacts a;
+  const std::string bytes = SerializeBinaryTrace(a.spans, &a.trace, 4);
+  common::TokenRegistry offline;
+  std::string error;
+  ASSERT_TRUE(common::LoadTokenDbCsv(
+      common::TokenDbCsv(common::TokenRegistry::Global()), &offline, &error))
+      << error;
+  BinaryTraceData data;
+  ASSERT_TRUE(ParseBinaryTrace(bytes, &data, &error)) << error;
+  EXPECT_EQ(RenderTraceText(data, &offline), a.trace.ToString());
+  EXPECT_EQ(RenderChromeTrace(data, &offline),
+            ChromeTraceString(a.spans, &a.trace, 4));
+}
+
+TEST(TraceIoTest, TruncatedStreamParsesWithEndOfStreamMarker) {
+  Artifacts a;
+  const std::string bytes = SerializeBinaryTrace(a.spans, &a.trace, 4);
+  const std::string header(kBinaryTraceMagic);
+  // Every cut from just-past-the-header to missing-trailer-byte parses,
+  // reports truncation, and renders the explicit marker.
+  for (const size_t cut : {header.size() + 5, bytes.size() / 2,
+                           bytes.size() - kBinaryTraceTrailer.size(),
+                           bytes.size() - 1}) {
+    BinaryTraceData data;
+    std::string error;
+    ASSERT_TRUE(ParseBinaryTrace(bytes.substr(0, cut), &data, &error))
+        << "cut=" << cut << ": " << error;
+    EXPECT_TRUE(data.truncated) << "cut=" << cut;
+    const std::string text = RenderTraceText(data);
+    const std::string marker = "<truncated binary trace: end of stream>\n";
+    ASSERT_GE(text.size(), marker.size()) << "cut=" << cut;
+    EXPECT_EQ(text.substr(text.size() - marker.size()), marker)
+        << "cut=" << cut;
+  }
+}
+
+TEST(TraceIoTest, MalformedHeaderIsRejected) {
+  BinaryTraceData data;
+  std::string error;
+  EXPECT_FALSE(ParseBinaryTrace("NOTAMAGICNUMBER", &data, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(ParseBinaryTrace("FELA", &data, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(ParseBinaryTrace("", &data, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace fela::obs

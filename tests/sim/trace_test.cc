@@ -72,21 +72,22 @@ TEST(TraceTest, RecordLazySkipsDetailWhenDisabled) {
 
 TEST(TraceTest, FelaTraceMacroIsNullSafeAndLazy) {
   TraceRecorder* null_rec = nullptr;
-  FELA_TRACE(null_rec, 0.0, 0, TraceKind::kSyncStart, "never");
+  FELA_TRACE(null_rec, 0.0, 0, TraceKind::kSyncStart, FELA_TOK("never"));
 
   TraceRecorder t;
   int calls = 0;
-  auto detail = [&calls] {
+  auto arg = [&calls] {
     ++calls;
-    return std::string("d");
+    return 7;
   };
-  FELA_TRACE(&t, 0.0, 1, TraceKind::kSyncStart, detail());
-  EXPECT_EQ(calls, 0);  // disabled: detail expression not evaluated
+  FELA_TRACE(&t, 0.0, 1, TraceKind::kSyncStart, FELA_TOK("n=%d"), arg());
+  EXPECT_EQ(calls, 0);  // disabled: arg expressions not evaluated
   t.set_enabled(true);
-  FELA_TRACE(&t, 2.0, 1, TraceKind::kSyncStart, detail());
+  FELA_TRACE(&t, 2.0, 1, TraceKind::kSyncStart, FELA_TOK("n=%d"), arg());
   EXPECT_EQ(calls, 1);
   ASSERT_EQ(t.events().size(), 1u);
   EXPECT_EQ(t.events()[0].node, 1);
+  EXPECT_EQ(t.events()[0].detail, "n=7");
 }
 
 TEST(TraceTest, ClearResets) {
@@ -109,18 +110,20 @@ TEST(TraceTest, ToStringContainsKindNames) {
   EXPECT_NE(s.find("w2"), std::string::npos);
 }
 
-TEST(TraceTest, AllKindNamesDistinct) {
-  const TraceKind kinds[] = {
-      TraceKind::kIterationStart, TraceKind::kIterationEnd,
-      TraceKind::kTokenRequest,   TraceKind::kTokenGrant,
-      TraceKind::kTokenComplete,  TraceKind::kFetchStart,
-      TraceKind::kFetchEnd,       TraceKind::kComputeStart,
-      TraceKind::kComputeEnd,     TraceKind::kSyncStart,
-      TraceKind::kSyncEnd,        TraceKind::kStragglerSleep,
-      TraceKind::kHelperSteal,    TraceKind::kConflict};
+TEST(TraceTest, EveryKindNameUniqueAndNonEmpty) {
+  // kNumTraceKinds tracks the enum (static_assert in trace.cc), so this
+  // loop covers every kind — a new kind with a missing, empty, or
+  // duplicated name fails here even if the -Werror=switch gate is
+  // somehow bypassed.
   std::set<std::string> names;
-  for (TraceKind k : kinds) names.insert(TraceKindName(k));
-  EXPECT_EQ(names.size(), std::size(kinds));
+  for (int k = 0; k < kNumTraceKinds; ++k) {
+    const char* name = TraceKindName(static_cast<TraceKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+    EXPECT_STRNE(name, "Unknown");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumTraceKinds));
 }
 
 }  // namespace

@@ -1,0 +1,21 @@
+// fela-tokendb: build-time token-database generator for tokenized
+// tracing. Scans source trees for FELA_TOK("...") sites, hashes each
+// format with the macro's compile-time FNV-1a, detects collisions, and
+// emits the tokens.csv that tools/fela-detok loads offline. See
+// src/tokendb/tokendb.h and DESIGN.md §7.
+//
+//   fela-tokendb [--check=<csv> | --out=<csv>] <path>...
+//
+// Exit codes: 0 ok, 1 stale DB or collision/policy violation, 2 usage
+// or I/O error.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tokendb/tokendb.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return fela::tokendb::RunCli(args, std::cout, std::cerr);
+}
