@@ -1,0 +1,35 @@
+#ifndef FELA_COMMON_ANNOTATIONS_H_
+#define FELA_COMMON_ANNOTATIONS_H_
+
+/// Concurrency annotation macros, consumed by two analyzers:
+///
+///  - fela-lint's `guarded-by` and `sweep-shared-state` rules parse them
+///    textually from the whole-tree symbol index (always on, any
+///    toolchain);
+///  - clang's -Wthread-safety maps them onto its capability attributes
+///    when the compiler is clang, so the same annotations also get a
+///    real flow-sensitive check in the clang-tidy CI job.
+///
+/// Usage:
+///   std::map<...> entries_ FELA_GUARDED_BY(mu_);   // member needs mu_
+///   void CompactLocked() FELA_REQUIRES(mu_);       // caller holds mu_
+///   class FELA_THREAD_HOSTILE SweepRunner { ... }; // never share across
+///                                                  // sweep tasks
+///
+/// FELA_THREAD_HOSTILE marks types whose instances must stay confined to
+/// one sweep task: fela-lint flags namespace-scope instances of such
+/// types. It expands to nothing — it exists for the analyzers, not
+/// codegen.
+
+#if defined(__clang__)
+#define FELA_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define FELA_TS_ATTRIBUTE(x)
+#endif
+
+#define FELA_GUARDED_BY(x) FELA_TS_ATTRIBUTE(guarded_by(x))
+#define FELA_REQUIRES(...) \
+  FELA_TS_ATTRIBUTE(exclusive_locks_required(__VA_ARGS__))
+#define FELA_THREAD_HOSTILE
+
+#endif  // FELA_COMMON_ANNOTATIONS_H_

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/json.h"
 
 /// fela::obs — the observability layer. It spans several libraries:
@@ -71,7 +72,7 @@ class FixedHistogram {
 /// Handles returned by the getters stay valid for the registry's lifetime
 /// (storage is node-based). Copyable, so a run's metrics can be returned
 /// in an ExperimentResult after the cluster is gone.
-class MetricsRegistry {
+class FELA_THREAD_HOSTILE MetricsRegistry {
  public:
   Counter& GetCounter(const std::string& name, const std::string& labels = "");
   Gauge& GetGauge(const std::string& name, const std::string& labels = "");

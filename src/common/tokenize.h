@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace fela::common {
 
 /// Pigweed-style tokenized tracing: the format string of a hot-path
@@ -119,7 +121,7 @@ class TokenRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<uint32_t, std::string> entries_;
+  std::map<uint32_t, std::string> entries_ FELA_GUARDED_BY(mu_);
 };
 
 /// Renders `fmt` with the packed args, byte-identical to what the

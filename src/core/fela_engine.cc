@@ -232,7 +232,7 @@ void FelaEngine::ArmCheckpointTimer() {
       sim::kNeverTime) {
     return;
   }
-  // fela-lint: allow(untraced-event) checkpoints are internal state
+  // fela-lint: allow(untraced-event): checkpoints are internal state
   // copies; tracing them would perturb transcripts of runs whose faults
   // never fire.
   checkpoint_timer_ = cluster_->simulator().Schedule(
@@ -269,7 +269,7 @@ void FelaEngine::FenceTs() {
   FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
              sim::TraceKind::kTsFailover, FELA_TOK("fence inc=%d it=%d"),
              ts_incarnation_, current_iteration_);
-  // fela-lint: allow(untraced-event) the promotion traces kTsFailover
+  // fela-lint: allow(untraced-event): the promotion traces kTsFailover
   // itself when the timer fires.
   failover_timer_ = cluster_->simulator().Schedule(
       config_.ts_failover_timeout_sec, [this] {
@@ -356,7 +356,7 @@ void FelaEngine::DeliverGrant(sim::NodeId worker, const Grant& grant) {
   // distributor charged. The fabric drops it if an endpoint is down at
   // send time; the delivery-side check covers a crash while in flight
   // (the TS lease reclaims the token either way).
-  // fela-lint: allow(untraced-event) the worker traces kTokenGrant on
+  // fela-lint: allow(untraced-event): the worker traces kTokenGrant on
   // receipt; in-flight delivery has no observable state to record.
   cluster_->simulator().Schedule(grant.extra_delay, [this, src, worker,
                                                     grant] {

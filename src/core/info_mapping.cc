@@ -49,7 +49,7 @@ std::vector<TokenId> InfoMapping::CompletedBySorted(sim::NodeId worker) const {
 std::vector<TokenId> InfoMapping::CompletedTokensSorted() const {
   std::vector<TokenId> out;
   out.reserve(holder_.size());
-  // fela-lint: allow(unordered-iter) this IS the snapshot pattern: the
+  // fela-lint: allow(unordered-iter): this IS the snapshot pattern: the
   // collected keys are sorted before anything observes them.
   for (const auto& [token, worker] : holder_) out.push_back(token);
   std::sort(out.begin(), out.end());

@@ -258,7 +258,7 @@ void TokenServer::Restore(const Checkpoint& cp,
     lease.token = token;
     lease.worker = worker;
     if (leases_enabled_) {
-      // fela-lint: allow(untraced-event) expiry traces as kTokenReclaim
+      // fela-lint: allow(untraced-event): expiry traces as kTokenReclaim
       // when the lease actually fires; re-arming it is silent by design.
       lease.timer = sim_->ScheduleAt(now + config_->lease_timeout_sec,
                                      [this, id] { OnLeaseExpired(id); });
@@ -472,7 +472,7 @@ bool TokenServer::TryGrant(sim::NodeId worker) {
   lease.worker = worker;
   if (leases_enabled_) {
     grant.lease_deadline = sim_->now() + config_->lease_timeout_sec;
-    // fela-lint: allow(untraced-event) expiry traces as kTokenReclaim
+    // fela-lint: allow(untraced-event): expiry traces as kTokenReclaim
     // when the lease actually fires; arming it is silent by design.
     lease.timer = sim_->ScheduleAt(grant.lease_deadline,
                                    [this, id] { OnLeaseExpired(id); });

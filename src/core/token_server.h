@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/fela_config.h"
 #include "core/info_mapping.h"
 #include "core/token.h"
@@ -56,7 +57,7 @@ struct Grant {
 ///    destroying dependency locality under contention.
 ///  * CTD (§III-F): communication-intensive levels are only distributed
 ///    inside the subset S = {0..subset-1}, and prioritized there.
-class TokenServer {
+class FELA_THREAD_HOSTILE TokenServer {
  public:
   struct Callbacks {
     /// Deliver a grant to a worker (engine adds control latency and the

@@ -91,7 +91,7 @@ void FelaWorker::ArmRetryTimer() {
       retry_.base_sec, retry_.multiplier, retry_.max_sec, retry_attempt_,
       retry_.jitter_seed, static_cast<uint64_t>(id_));
   const int inc = incarnation_;
-  // fela-lint: allow(untraced-event) retries trace as kRequestRetry at
+  // fela-lint: allow(untraced-event): retries trace as kRequestRetry at
   // fire time; arming the timer itself is not an observable event.
   retry_timer_ = sim_->Schedule(delay, [this, inc] {
     retry_timer_ = sim::kInvalidEventId;

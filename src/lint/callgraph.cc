@@ -1,0 +1,467 @@
+#include "lint/callgraph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+
+namespace fela::lint {
+namespace {
+
+/// One lexical token: an identifier/number, or a punctuator ("::" and
+/// "->" kept whole, everything else single-char).
+struct Tok {
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+bool IsIdent(const std::string& t) {
+  return !t.empty() &&
+         (std::isalpha(static_cast<unsigned char>(t[0])) != 0 || t[0] == '_');
+}
+
+bool IsKeyword(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",    "while",   "switch",  "catch",    "return",
+      "sizeof", "alignof", "new",    "delete",  "throw",    "do",
+      "else",   "case",   "default", "operator", "decltype", "static_assert",
+      "alignas", "defined",
+  };
+  return kKeywords.count(t) > 0;
+}
+
+/// Tokenizes the blanked code lines. Preprocessor directives (and their
+/// backslash continuations) are skipped entirely so macro bodies with
+/// braces cannot corrupt scope tracking.
+std::vector<Tok> Tokenize(const FileText& text) {
+  std::vector<Tok> out;
+  bool continuation = false;
+  for (size_t li = 0; li < text.code.size(); ++li) {
+    const std::string& line = text.code[li];
+    const std::string trimmed = Trim(line);
+    const bool preproc = continuation || (!trimmed.empty() && trimmed[0] == '#');
+    continuation = preproc && !trimmed.empty() && trimmed.back() == '\\';
+    if (preproc) continue;
+    const int line_no = static_cast<int>(li) + 1;
+    for (size_t i = 0; i < line.size();) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (IsIdentChar(c)) {
+        size_t b = i;
+        while (i < line.size() && IsIdentChar(line[i])) ++i;
+        out.push_back(Tok{line.substr(b, i - b), line_no});
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // Blanked literal: contents are spaces, closing quote survives.
+        const size_t close = line.find(c, i + 1);
+        i = close == std::string::npos ? line.size() : close + 1;
+        out.push_back(Tok{std::string(2, c), line_no});
+        continue;
+      }
+      if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        out.push_back(Tok{"::", line_no});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        out.push_back(Tok{"->", line_no});
+        i += 2;
+        continue;
+      }
+      out.push_back(Tok{std::string(1, c), line_no});
+      ++i;
+    }
+  }
+  return out;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kBlock } kind = kBlock;
+  std::string name;
+  size_t func = SymbolIndex::npos;
+  bool keep_stmt = false;  // '{' was an initializer, statement continues
+};
+
+/// Index just past a leading `template < ... >` prefix (possibly
+/// repeated), so `template <class T> class Foo {` classifies on `class
+/// Foo {` and the parameter's `class` never looks like a class key.
+size_t SkipTemplatePrefix(const std::vector<Tok>& stmt) {
+  size_t i = 0;
+  while (i < stmt.size() && stmt[i].text == "template") {
+    size_t j = i + 1;
+    if (j >= stmt.size() || stmt[j].text != "<") break;
+    int depth = 0;
+    for (; j < stmt.size(); ++j) {
+      if (stmt[j].text == "<") ++depth;
+      if (stmt[j].text == ">") {
+        --depth;
+        if (depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    i = j;
+  }
+  return i;
+}
+
+bool StmtContains(const std::vector<Tok>& stmt, const char* text) {
+  return std::any_of(stmt.begin(), stmt.end(),
+                     [&](const Tok& t) { return t.text == text; });
+}
+
+}  // namespace
+
+void SymbolIndex::IndexFile(const std::string& path, const FileText& text) {
+  const std::vector<Tok> tokens = Tokenize(text);
+  std::vector<Scope> stack;
+  std::vector<Tok> stmt;
+
+  auto enclosing_function = [&]() -> size_t {
+    for (size_t i = stack.size(); i > 0; --i) {
+      if (stack[i - 1].kind == Scope::kFunction) return stack[i - 1].func;
+      if (stack[i - 1].kind == Scope::kNamespace ||
+          stack[i - 1].kind == Scope::kClass) {
+        break;
+      }
+    }
+    return npos;
+  };
+  auto enclosing_class = [&]() -> std::string {
+    for (size_t i = stack.size(); i > 0; --i) {
+      if (stack[i - 1].kind == Scope::kClass) return stack[i - 1].name;
+    }
+    return std::string();
+  };
+  auto at_class_scope = [&]() {
+    return !stack.empty() && stack.back().kind == Scope::kClass;
+  };
+  auto at_value_scope = [&]() {  // function body or nested block
+    return enclosing_function() != npos;
+  };
+
+  // Classifies the statement that ends at an opening brace and pushes
+  // the matching scope.
+  auto open_brace = [&](int line) {
+    if (at_value_scope()) {
+      // Inside a function everything is a block; keep the statement
+      // alive across initializer braces (`static std::vector v = {...}`)
+      // so the trailing ';' still sees the declaration.
+      stack.push_back(Scope{Scope::kBlock, "", npos,
+                            !stmt.empty() && StmtContains(stmt, "=")});
+      if (!stack.back().keep_stmt) stmt.clear();
+      return;
+    }
+    const size_t base = SkipTemplatePrefix(stmt);
+    if (base >= stmt.size()) {
+      stack.push_back(Scope{Scope::kBlock, "", npos, false});
+      stmt.clear();
+      return;
+    }
+    const std::string& first = stmt[base].text;
+    if (first == "namespace") {
+      std::string name;
+      for (size_t i = base + 1; i < stmt.size(); ++i) {
+        if (IsIdent(stmt[i].text)) name = stmt[i].text;
+      }
+      stack.push_back(Scope{Scope::kNamespace, name, npos, false});
+      stmt.clear();
+      return;
+    }
+    if (first == "class" || first == "struct" || first == "union" ||
+        first == "enum") {
+      std::string name;
+      for (size_t i = base + 1; i < stmt.size(); ++i) {
+        const std::string& t = stmt[i].text;
+        if (t == ":") break;  // base clause / enum underlying type
+        if (IsIdent(t) && t != "class" && t != "struct" && t != "final" &&
+            t != "alignas" && t != "FELA_THREAD_HOSTILE") {
+          name = t;
+          break;
+        }
+      }
+      if (StmtContains(stmt, "FELA_THREAD_HOSTILE") && !name.empty()) {
+        thread_hostile_types_.insert(name);
+      }
+      stack.push_back(Scope{Scope::kClass, name, npos, false});
+      stmt.clear();
+      return;
+    }
+    // Function candidate: first top-level '(' preceded by a plain
+    // identifier, and no '=' before it (that would be an initializer).
+    size_t open = stmt.size();
+    int depth = 0;
+    for (size_t i = base; i < stmt.size(); ++i) {
+      const std::string& t = stmt[i].text;
+      if (t == "=" && depth == 0) break;
+      if (t == "(") {
+        if (depth == 0 && open == stmt.size()) open = i;
+        ++depth;
+      }
+      if (t == ")") --depth;
+    }
+    if (open == stmt.size() || open == base) {
+      // No call-ish parens (brace-init global, `extern "C"`, ...): a
+      // plain block; keep the statement so a trailing ';' can still
+      // classify a brace-initialized declaration.
+      stack.push_back(Scope{Scope::kBlock, "", npos, !stmt.empty()});
+      return;
+    }
+    const Tok& name_tok = stmt[open - 1];
+    if (!IsIdent(name_tok.text) || IsKeyword(name_tok.text)) {
+      stack.push_back(Scope{Scope::kBlock, "", npos, false});
+      stmt.clear();
+      return;
+    }
+    // A ctor init list can brace-init members (`: a_{0} {`): that '{'
+    // directly follows an identifier — the real body brace never does.
+    bool saw_colon = false;
+    {
+      int d = 0;
+      for (size_t i = open; i < stmt.size(); ++i) {
+        const std::string& t = stmt[i].text;
+        if (t == "(") ++d;
+        if (t == ")") --d;
+        if (t == ":" && d == 0 && i > open) saw_colon = true;
+      }
+    }
+    if (saw_colon && IsIdent(stmt.back().text)) {
+      stack.push_back(Scope{Scope::kBlock, "", npos, true});
+      return;
+    }
+    FunctionDef def;
+    def.name = name_tok.text;
+    if (open >= 2 && stmt[open - 2].text == "~") def.name = "~" + def.name;
+    const size_t q = open >= 2 && stmt[open - 2].text == "~" ? open - 3
+                                                            : open - 2;
+    if (q < stmt.size() && q + 1 >= 1 && stmt[q].text == "::" && q >= 1 &&
+        IsIdent(stmt[q - 1].text)) {
+      def.class_name = stmt[q - 1].text;
+    } else {
+      def.class_name = enclosing_class();
+    }
+    def.file = path;
+    def.line = stmt[base].line;
+    def.body_begin = line;
+    for (size_t i = open; i + 1 < stmt.size(); ++i) {
+      if (stmt[i].text != "FELA_REQUIRES" || stmt[i + 1].text != "(") continue;
+      for (size_t j = i + 2; j < stmt.size() && stmt[j].text != ")"; ++j) {
+        if (IsIdent(stmt[j].text)) def.requires_locks.push_back(stmt[j].text);
+      }
+    }
+    functions_.push_back(std::move(def));
+    stack.push_back(
+        Scope{Scope::kFunction, functions_.back().name, functions_.size() - 1,
+              false});
+    stmt.clear();
+  };
+
+  auto end_statement = [&] {
+    if (stmt.empty()) return;
+    const size_t fn = enclosing_function();
+    if (fn != npos) {
+      // Mutable function-local static?
+      if (stmt[0].text == "static" && !StmtContains(stmt, "const") &&
+          !StmtContains(stmt, "constexpr")) {
+        functions_[fn].mutable_static_lines.push_back(stmt[0].line);
+      }
+      stmt.clear();
+      return;
+    }
+    if (at_class_scope()) {
+      // `member FELA_GUARDED_BY(mutex)` annotation?
+      for (size_t i = 1; i + 1 < stmt.size(); ++i) {
+        if (stmt[i].text != "FELA_GUARDED_BY" || stmt[i + 1].text != "(") {
+          continue;
+        }
+        if (!IsIdent(stmt[i - 1].text)) continue;
+        std::string mutex;
+        for (size_t j = i + 2; j < stmt.size() && stmt[j].text != ")"; ++j) {
+          if (IsIdent(stmt[j].text)) {
+            mutex = stmt[j].text;
+            break;
+          }
+        }
+        if (!mutex.empty()) {
+          guarded_members_.push_back(GuardedMember{
+              stmt[i - 1].text, mutex, enclosing_class(), path,
+              stmt[i - 1].line});
+        }
+      }
+      stmt.clear();
+      return;
+    }
+    // Namespace scope: mutable globals. Textual detection is restricted
+    // to what it can get right — the codebase's `g_*` naming idiom, and
+    // paren-free declarations of FELA_THREAD_HOSTILE types (a parenful
+    // one is indistinguishable from a function declaration).
+    const std::string& first = stmt[0].text;
+    const bool decl_like = first != "using" && first != "typedef" &&
+                           first != "extern" && first != "friend" &&
+                           first != "template" && first != "static_assert" &&
+                           first != "class" && first != "struct" &&
+                           first != "enum" && first != "namespace" &&
+                           first != "union" && first != "return";
+    if (decl_like && !StmtContains(stmt, "const") &&
+        !StmtContains(stmt, "constexpr")) {
+      const bool hostile = std::any_of(
+          stmt.begin(), stmt.end(), [&](const Tok& t) {
+            return thread_hostile_types_.count(t.text) > 0;
+          });
+      std::string name;
+      int line_no = 0;
+      for (const Tok& t : stmt) {
+        if (IsIdent(t.text) && t.text.rfind("g_", 0) == 0) {
+          name = t.text;
+          line_no = t.line;
+          break;
+        }
+      }
+      if (name.empty() && hostile && !StmtContains(stmt, "(")) {
+        // Last identifier is the declared name (`TraceRecorder shared;`).
+        for (const Tok& t : stmt) {
+          if (IsIdent(t.text) && thread_hostile_types_.count(t.text) == 0 &&
+              t.text != "std" && t.text != "mutable" && t.text != "static") {
+            name = t.text;
+            line_no = t.line;
+          }
+        }
+      }
+      if (!name.empty()) {
+        mutable_globals_.push_back(GlobalDef{name, path, line_no, hostile});
+      }
+    }
+    stmt.clear();
+  };
+
+  for (const Tok& t : tokens) {
+    if (t.text == "{") {
+      open_brace(t.line);
+      continue;
+    }
+    if (t.text == "}") {
+      if (!stack.empty()) {
+        const Scope done = stack.back();
+        stack.pop_back();
+        if (done.kind == Scope::kFunction) {
+          functions_[done.func].body_end = t.line;
+        }
+        if (!done.keep_stmt) stmt.clear();
+      }
+      continue;
+    }
+    if (t.text == ";") {
+      end_statement();
+      continue;
+    }
+    if (t.text == "(") {
+      const size_t fn = enclosing_function();
+      if (fn != npos && !stmt.empty() && IsIdent(stmt.back().text) &&
+          !IsKeyword(stmt.back().text)) {
+        functions_[fn].calls.push_back(
+            CallSite{stmt.back().text, stmt.back().line});
+      }
+    }
+    stmt.push_back(t);
+  }
+  // An unterminated function (unbalanced braces) keeps a best-effort
+  // body_end at the last line so range queries stay sane.
+  for (FunctionDef& f : functions_) {
+    if (f.body_end == 0) f.body_end = static_cast<int>(text.code.size());
+  }
+}
+
+void SymbolIndex::Finish() {
+  by_name_.clear();
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    by_name_[functions_[i].name].push_back(i);
+  }
+}
+
+const std::vector<size_t>& SymbolIndex::Resolve(const std::string& name) const {
+  static const std::vector<size_t> kEmpty;
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kEmpty : it->second;
+}
+
+size_t SymbolIndex::FunctionAt(const std::string& file, int line) const {
+  size_t best = npos;
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    const FunctionDef& f = functions_[i];
+    if (f.file != file || line < f.line || line > f.body_end) continue;
+    if (best == npos || f.line >= functions_[best].line) best = i;
+  }
+  return best;
+}
+
+std::map<size_t, Taint> PropagateTaint(
+    const SymbolIndex& index, const std::vector<TaintSource>& sources) {
+  // Reverse adjacency: callee -> callers, via unqualified-name binding.
+  std::map<size_t, std::set<size_t>> callers;
+  const auto& functions = index.functions();
+  for (size_t i = 0; i < functions.size(); ++i) {
+    for (const CallSite& call : functions[i].calls) {
+      for (size_t j : index.Resolve(call.callee)) {
+        if (j != i) callers[j].insert(i);
+      }
+    }
+  }
+  std::map<size_t, Taint> taint;
+  std::deque<size_t> queue;
+  for (const TaintSource& s : sources) {
+    if (taint.count(s.function) > 0) continue;
+    taint[s.function] = Taint{s.label, s.file, s.line, {s.function}};
+    queue.push_back(s.function);
+  }
+  while (!queue.empty()) {
+    const size_t f = queue.front();
+    queue.pop_front();
+    const Taint& t = taint[f];
+    const auto it = callers.find(f);
+    if (it == callers.end()) continue;
+    for (size_t caller : it->second) {
+      if (taint.count(caller) > 0) continue;
+      Taint propagated{t.label, t.file, t.line, {caller}};
+      propagated.chain.insert(propagated.chain.end(), t.chain.begin(),
+                              t.chain.end());
+      taint[caller] = std::move(propagated);
+      queue.push_back(caller);
+    }
+  }
+  return taint;
+}
+
+std::map<size_t, std::vector<size_t>> ReachableFrom(
+    const SymbolIndex& index, const std::vector<std::string>& roots) {
+  std::map<size_t, std::vector<size_t>> reached;
+  std::deque<size_t> queue;
+  for (const std::string& root : roots) {
+    for (size_t i : index.Resolve(root)) {
+      if (reached.count(i) > 0) continue;
+      reached[i] = {i};
+      queue.push_back(i);
+    }
+  }
+  const auto& functions = index.functions();
+  while (!queue.empty()) {
+    const size_t f = queue.front();
+    queue.pop_front();
+    const std::vector<size_t> chain = reached[f];
+    for (const CallSite& call : functions[f].calls) {
+      for (size_t j : index.Resolve(call.callee)) {
+        if (reached.count(j) > 0) continue;
+        std::vector<size_t> next = chain;
+        next.push_back(j);
+        reached[j] = std::move(next);
+        queue.push_back(j);
+      }
+    }
+  }
+  return reached;
+}
+
+}  // namespace fela::lint

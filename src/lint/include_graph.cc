@@ -1,0 +1,131 @@
+#include "lint/include_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "lint/lexer.h"
+
+namespace fela::lint {
+namespace {
+
+const std::vector<std::string>& EmptyList() {
+  static const std::vector<std::string> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+IncludeGraph IncludeGraph::Build(
+    const std::map<std::string, std::string>& sources) {
+  IncludeGraph g;
+  for (const auto& [path, contents] : sources) {
+    g.files_.push_back(path);
+    (void)contents;
+  }
+  // files_ is sorted because `sources` is an ordered map.
+
+  for (const auto& [path, contents] : sources) {
+    std::set<std::string> resolved;
+    std::set<std::string> missing;
+    const size_t slash = path.find_last_of("/\\");
+    const std::string dir =
+        slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+    for (const std::string& spec : CollectIncludes(contents)) {
+      bool matched = false;
+      // Root-relative form: the spec is a suffix of some scanned path.
+      for (const std::string& candidate : g.files_) {
+        if (PathMatchesInclude(candidate, spec)) {
+          resolved.insert(candidate);
+          matched = true;
+        }
+      }
+      // Includer-relative form ("sibling.h" next to the includer).
+      if (!matched && sources.count(dir + spec) > 0) {
+        resolved.insert(dir + spec);
+        matched = true;
+      }
+      if (!matched) missing.insert(spec);
+    }
+    g.deps_[path].assign(resolved.begin(), resolved.end());
+    if (!missing.empty()) {
+      g.missing_[path].assign(missing.begin(), missing.end());
+    }
+  }
+
+  // Cycles = strongly connected components with more than one file, or
+  // a single file that includes itself. Tarjan, deterministic because
+  // roots and edges are walked in sorted order.
+  std::map<std::string, int> index;
+  std::map<std::string, int> low;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        for (const std::string& w : g.deps_[v]) {
+          if (index.count(w) == 0) {
+            strongconnect(w);
+            low[v] = std::min(low[v], low[w]);
+          } else if (on_stack.count(w) > 0) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::string> component;
+          for (;;) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            component.push_back(w);
+            if (w == v) break;
+          }
+          const bool self_loop =
+              component.size() == 1 &&
+              std::find(g.deps_[v].begin(), g.deps_[v].end(), v) !=
+                  g.deps_[v].end();
+          if (component.size() > 1 || self_loop) {
+            std::sort(component.begin(), component.end());
+            g.cycles_.push_back(std::move(component));
+          }
+        }
+      };
+  for (const std::string& f : g.files_) {
+    if (index.count(f) == 0) strongconnect(f);
+  }
+  std::sort(g.cycles_.begin(), g.cycles_.end());
+  return g;
+}
+
+const std::vector<std::string>& IncludeGraph::Direct(
+    const std::string& path) const {
+  const auto it = deps_.find(path);
+  return it == deps_.end() ? EmptyList() : it->second;
+}
+
+std::vector<std::string> IncludeGraph::Transitive(
+    const std::string& path) const {
+  std::set<std::string> seen;
+  std::vector<std::string> frontier{path};
+  while (!frontier.empty()) {
+    const std::string cur = frontier.back();
+    frontier.pop_back();
+    for (const std::string& next : Direct(cur)) {
+      if (next != path && seen.insert(next).second) {
+        frontier.push_back(next);
+      }
+    }
+  }
+  return std::vector<std::string>(seen.begin(), seen.end());
+}
+
+const std::vector<std::string>& IncludeGraph::Missing(
+    const std::string& path) const {
+  const auto it = missing_.find(path);
+  return it == missing_.end() ? EmptyList() : it->second;
+}
+
+}  // namespace fela::lint

@@ -1,0 +1,54 @@
+#ifndef FELA_LINT_INCLUDE_GRAPH_H_
+#define FELA_LINT_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fela::lint {
+
+/// Project include graph over the scanned file set, replacing the old
+/// per-file raw-text suffix matching. Quoted includes resolve against
+/// the scanned paths (root-relative suffix match, then relative to the
+/// includer's directory); angle includes are system headers and are
+/// ignored. The graph records what could *not* be resolved and every
+/// include cycle it finds, so the analysis engine degrades loudly —
+/// a missing header means declarations may be incomplete, a cycle must
+/// not hang the transitive walk.
+class IncludeGraph {
+ public:
+  /// `sources` maps each scanned path to its raw contents. Resolution
+  /// is deterministic: edges, missing lists, and cycles come out in
+  /// sorted order regardless of map iteration quirks.
+  static IncludeGraph Build(const std::map<std::string, std::string>& sources);
+
+  /// Directly-included scanned files of `path` (sorted, deduplicated).
+  const std::vector<std::string>& Direct(const std::string& path) const;
+
+  /// Every scanned file reachable through includes from `path`
+  /// (excluding `path` itself), sorted. Cycle-safe: a file is visited
+  /// once no matter how many include paths reach it.
+  std::vector<std::string> Transitive(const std::string& path) const;
+
+  /// Include specs of `path` that matched no scanned file (sorted).
+  const std::vector<std::string>& Missing(const std::string& path) const;
+
+  /// All include cycles found, each reported once as the sorted list of
+  /// files on the cycle. A self-include is a 1-element cycle.
+  const std::vector<std::vector<std::string>>& Cycles() const {
+    return cycles_;
+  }
+
+  /// Every scanned path, sorted.
+  const std::vector<std::string>& Files() const { return files_; }
+
+ private:
+  std::vector<std::string> files_;
+  std::map<std::string, std::vector<std::string>> deps_;
+  std::map<std::string, std::vector<std::string>> missing_;
+  std::vector<std::vector<std::string>> cycles_;
+};
+
+}  // namespace fela::lint
+
+#endif  // FELA_LINT_INCLUDE_GRAPH_H_

@@ -1,16 +1,20 @@
 #include "lint/lint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "common/json.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "lint/callgraph.h"
+#include "lint/include_graph.h"
+#include "lint/lexer.h"
 
 namespace fela::lint {
 namespace {
@@ -40,123 +44,58 @@ const std::vector<RuleInfo> kRules = {
      "raw string detail at a trace/span call site (FELA_TRACE, "
      "Record, Emit); tokenize with FELA_TOK so the hot path stays "
      "allocation-free"},
+    {"bare-allow",
+     "suppression comment without a justification; write "
+     "`// fela-lint: allow(<rule>): <reason>`"},
+    {"transitive-wall-clock",
+     "simulation code calls a function that (transitively) reaches a "
+     "wall-clock time source"},
+    {"transitive-rng",
+     "simulation code calls a function that (transitively) reaches "
+     "unseeded/global randomness"},
+    {"order-leak",
+     "simulation code calls a function that (transitively) iterates an "
+     "unordered container, leaking hash order into results"},
+    {"guarded-by",
+     "FELA_GUARDED_BY member accessed by a method that neither declares "
+     "FELA_REQUIRES(mutex) nor takes a lock on the mutex"},
+    {"sweep-shared-state",
+     "mutable namespace-scope global, or function-local static reachable "
+     "from a sweep task body; sweep workers share it across tasks"},
 };
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+/// Wall time for the lint engine's own pass timers. Deliberately
+/// uniquely named: fela-lint lints its own sources, and a generic
+/// "NowSeconds" could name-collide into the call graph of real code.
+double LintNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 // ---------------------------------------------------------------------------
-// Preprocessing: split source text into per-line code (comments blanked,
-// string/char literal contents blanked) and per-line comment text. Keeping
-// the columns aligned makes reported positions meaningful and lets the
-// rules do plain substring scans without tripping on literals.
-// ---------------------------------------------------------------------------
-
-struct FileText {
-  std::vector<std::string> code;
-  std::vector<std::string> comments;
-};
-
-FileText Preprocess(const std::string& contents) {
-  FileText out;
-  std::string code_line;
-  std::string comment_line;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  bool escaped = false;
-
-  auto flush_line = [&] {
-    out.code.push_back(code_line);
-    out.comments.push_back(comment_line);
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (size_t i = 0; i < contents.size(); ++i) {
-    const char c = contents[i];
-    const char next = i + 1 < contents.size() ? contents[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      escaped = false;
-      flush_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-          code_line += '"';
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line += '\'';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line += c;
-          code_line += ' ';
-        }
-        break;
-      case State::kString:
-        if (escaped) {
-          escaped = false;
-          code_line += ' ';
-        } else if (c == '\\') {
-          escaped = true;
-          code_line += ' ';
-        } else if (c == '"') {
-          state = State::kCode;
-          code_line += '"';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kChar:
-        if (escaped) {
-          escaped = false;
-          code_line += ' ';
-        } else if (c == '\\') {
-          escaped = true;
-          code_line += ' ';
-        } else if (c == '\'') {
-          state = State::kCode;
-          code_line += '\'';
-        } else {
-          code_line += ' ';
-        }
-        break;
-    }
-  }
-  flush_line();
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions: `// fela-lint: allow(rule-a, rule-b) optional rationale`.
+// Suppressions: `// fela-lint: allow(rule-a, rule-b): rationale`.
 // A suppression on a comment-only line also covers the next code line.
+// The justification (": rationale" after the close paren) is required;
+// an allow() without one still suppresses its rules but is itself a
+// bare-allow finding.
 // ---------------------------------------------------------------------------
 
-std::vector<std::set<std::string>> ParseSuppressions(const FileText& text) {
-  std::vector<std::set<std::string>> allowed(text.comments.size());
+struct SuppressionInfo {
+  /// Per-line set of rule ids allowed on that line.
+  std::vector<std::set<std::string>> allowed;
+
+  struct BareAllow {
+    size_t line_index = 0;   // 0-based
+    std::string rules;       // comma-joined rule list, for the message
+  };
+  /// allow() comments missing the `: reason` justification.
+  std::vector<BareAllow> bare;
+};
+
+SuppressionInfo ParseSuppressions(const FileText& text) {
+  SuppressionInfo info;
+  info.allowed.resize(text.comments.size());
   for (size_t i = 0; i < text.comments.size(); ++i) {
     const std::string& comment = text.comments[i];
     const size_t tag = comment.find("fela-lint:");
@@ -166,17 +105,30 @@ std::vector<std::set<std::string>> ParseSuppressions(const FileText& text) {
     const size_t close = comment.find(')', open);
     if (close == std::string::npos) continue;
     std::string rule;
+    std::string joined;
     for (size_t p = open + 6; p <= close; ++p) {
       const char c = p < close ? comment[p] : ',';
       if (c == ',' || c == ' ') {
-        if (!rule.empty()) allowed[i].insert(rule);
+        if (!rule.empty()) {
+          info.allowed[i].insert(rule);
+          if (!joined.empty()) joined += ", ";
+          joined += rule;
+        }
         rule.clear();
       } else {
         rule += c;
       }
     }
+    // Justified form: `allow(...): reason`, reason non-empty.
+    size_t p = close + 1;
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    const bool justified = p < comment.size() && comment[p] == ':' &&
+                           !Trim(comment.substr(p + 1)).empty();
+    if (!justified) {
+      info.bare.push_back(SuppressionInfo::BareAllow{i, joined});
+    }
   }
-  return allowed;
+  return info;
 }
 
 bool LineHasCode(const std::string& code_line) {
@@ -202,61 +154,58 @@ bool Suppressed(const std::vector<std::set<std::string>>& allowed,
 }
 
 // ---------------------------------------------------------------------------
-// Small scanning helpers
+// Hazard matchers, shared by the per-file rules and the taint scanner
 // ---------------------------------------------------------------------------
 
-/// Position of `word` in `line` with identifier boundaries on both sides,
-/// or npos.
-size_t FindWord(const std::string& line, const std::string& word,
-                size_t from = 0) {
-  size_t pos = line.find(word, from);
+const char* const kWallClockPatterns[] = {
+    "system_clock",     "steady_clock", "high_resolution_clock",
+    "gettimeofday",     "clock_gettime", "timespec_get",
+    "QueryPerformanceCounter",
+};
+
+const char* const kRngPatterns[] = {
+    "rand",        "srand",         "random_device",
+    "mt19937",     "mt19937_64",    "default_random_engine",
+    "minstd_rand", "random_shuffle", "drand48",
+};
+
+/// True when `line` contains a bare call `p(` where p is "time" or
+/// "clock" (member calls like `x.time()` do not match).
+bool HasBareCall(const std::string& line, const char* p) {
+  size_t pos = FindWord(line, p);
   while (pos != std::string::npos) {
-    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
-    const size_t end = pos + word.size();
-    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
-    if (left_ok && right_ok) return pos;
-    pos = line.find(word, pos + 1);
-  }
-  return std::string::npos;
-}
-
-bool ContainsWord(const std::string& line, const std::string& word) {
-  return FindWord(line, word) != std::string::npos;
-}
-
-std::string Trim(const std::string& s) {
-  size_t b = 0;
-  size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return s.substr(b, e - b);
-}
-
-/// Path components of `path`, e.g. "src/core/worker.cc" -> {src,core,...}.
-std::vector<std::string> PathComponents(const std::string& path) {
-  std::vector<std::string> parts;
-  std::string cur;
-  for (char c : path) {
-    if (c == '/' || c == '\\') {
-      if (!cur.empty()) parts.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (!cur.empty()) parts.push_back(cur);
-  return parts;
-}
-
-bool HasComponent(const std::vector<std::string>& parts,
-                  std::initializer_list<const char*> names) {
-  for (const auto& p : parts) {
-    for (const char* n : names) {
-      if (p == n) return true;
-    }
+    const size_t q = pos + std::string(p).size();
+    const bool member = pos >= 1 && (line[pos - 1] == '.' ||
+                                     (pos >= 2 && line[pos - 2] == '-' &&
+                                      line[pos - 1] == '>'));
+    if (!member && q < line.size() && line[q] == '(') return true;
+    pos = FindWord(line, p, pos + 1);
   }
   return false;
 }
+
+/// Label of the first wall-clock hazard on `line`, or "".
+std::string MatchWallClockLabel(const std::string& line) {
+  for (const char* p : kWallClockPatterns) {
+    if (ContainsWord(line, p)) return p;
+  }
+  for (const char* p : {"time", "clock"}) {
+    if (HasBareCall(line, p)) return std::string(p) + "()";
+  }
+  return std::string();
+}
+
+/// Label of the first unseeded-RNG hazard on `line`, or "".
+std::string MatchRngLabel(const std::string& line) {
+  for (const char* p : kRngPatterns) {
+    if (ContainsWord(line, p)) return p;
+  }
+  return std::string();
+}
+
+// ---------------------------------------------------------------------------
+// Small scanning helpers
+// ---------------------------------------------------------------------------
 
 /// The last identifier of an operand chain read backwards from `pos`
 /// (exclusive): `a.when` -> "when", `h.sum()` -> "sum", `x` -> "x".
@@ -413,87 +362,38 @@ void CollectStatusFunctions(const FileText& text,
   }
 }
 
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-struct RuleContext {
-  const std::string& path;
-  const FileText& text;
-  const std::vector<std::set<std::string>>& allowed;
-  std::vector<Finding>* findings;
-
-  void Report(size_t line_index, const char* rule, std::string message) {
-    if (Suppressed(allowed, text.code, line_index, rule)) return;
-    findings->push_back(Finding{path, static_cast<int>(line_index) + 1, rule,
-                                std::move(message)});
-  }
-};
-
-void CheckWallClock(RuleContext& ctx) {
-  static const char* kPatterns[] = {
-      "system_clock",     "steady_clock", "high_resolution_clock",
-      "gettimeofday",     "clock_gettime", "timespec_get",
-      "QueryPerformanceCounter",
-  };
-  for (size_t i = 0; i < ctx.text.code.size(); ++i) {
-    const std::string& line = ctx.text.code[i];
-    for (const char* p : kPatterns) {
-      if (ContainsWord(line, p)) {
-        ctx.Report(i, "wall-clock",
-                   common::StrFormat("wall-clock source '%s' in simulation "
-                                     "code; use sim::Simulator::now()",
-                                     p));
-        break;
-      }
-    }
-    // Bare time()/clock() calls (member functions like busy_time() have
-    // an identifier character before the word and do not match).
-    for (const char* p : {"time", "clock"}) {
-      size_t pos = FindWord(line, p);
-      bool hit = false;
+/// Identifiers declared with a floating-point type in this file
+/// (variables, members, and functions returning double/float/SimTime).
+std::set<std::string> CollectFloatIdents(const FileText& text) {
+  std::set<std::string> idents;
+  for (const std::string& line : text.code) {
+    for (const char* type : {"double", "float", "SimTime"}) {
+      size_t pos = FindWord(line, type);
       while (pos != std::string::npos) {
-        size_t q = pos + std::string(p).size();
-        const bool member =
-            pos >= 1 && (line[pos - 1] == '.' ||
-                         (pos >= 2 && line[pos - 2] == '-' &&
-                          line[pos - 1] == '>'));
-        if (!member && q < line.size() && line[q] == '(') {
-          hit = true;
-          break;
+        size_t p = pos + std::string(type).size();
+        while (p < line.size() && (line[p] == ' ' || line[p] == '&' ||
+                                   line[p] == '*')) {
+          ++p;
         }
-        pos = FindWord(line, p, pos + 1);
-      }
-      if (hit) {
-        ctx.Report(i, "wall-clock",
-                   common::StrFormat("call to %s() in simulation code; use "
-                                     "sim::Simulator::now()",
-                                     p));
+        size_t b = p;
+        while (p < line.size() && IsIdentChar(line[p])) ++p;
+        if (p > b) idents.insert(line.substr(b, p - b));
+        pos = FindWord(line, type, pos + 1);
       }
     }
   }
+  return idents;
 }
 
-void CheckUnseededRng(RuleContext& ctx) {
-  static const char* kPatterns[] = {
-      "rand",        "srand",         "random_device",
-      "mt19937",     "mt19937_64",    "default_random_engine",
-      "minstd_rand", "random_shuffle", "drand48",
-  };
-  for (size_t i = 0; i < ctx.text.code.size(); ++i) {
-    const std::string& line = ctx.text.code[i];
-    for (const char* p : kPatterns) {
-      if (ContainsWord(line, p)) {
-        ctx.Report(i, "unseeded-rng",
-                   common::StrFormat("'%s' in simulation code; all "
-                                     "randomness must flow through a seeded "
-                                     "fela::common::Rng",
-                                     p));
-        break;
-      }
-    }
-  }
-}
+// ---------------------------------------------------------------------------
+// Unordered-container loop finder (shared by unordered-iter and the
+// order-leak taint scanner)
+// ---------------------------------------------------------------------------
+
+struct UnorderedLoop {
+  size_t line_index = 0;         // 0-based line of the `for`
+  const char* emitter = nullptr; // emitting call in the body, or nullptr
+};
 
 /// Joins code lines [start, end] into one string for multi-line matching.
 std::string JoinCode(const FileText& text, size_t start, size_t end) {
@@ -505,9 +405,10 @@ std::string JoinCode(const FileText& text, size_t start, size_t end) {
   return out;
 }
 
-void CheckUnorderedIter(RuleContext& ctx,
-                        const std::set<std::string>& members) {
-  if (members.empty()) return;
+std::vector<UnorderedLoop> FindUnorderedLoops(
+    const FileText& text, const std::set<std::string>& members) {
+  std::vector<UnorderedLoop> loops;
+  if (members.empty()) return loops;
   static const char* kEmitters[] = {
       "Emit(",       "Record(",     "RecordLazy(",  "FELA_TRACE",
       "Schedule(",   "ScheduleAt(", "Push(",        "push_back(",
@@ -515,7 +416,7 @@ void CheckUnorderedIter(RuleContext& ctx,
       "<<",          "SendControl(", "Transfer(",   "deliver_grant",
       "send_report", "send_request", "Increment(",  "Observe(",
   };
-  const auto& code = ctx.text.code;
+  const auto& code = text.code;
   for (size_t i = 0; i < code.size(); ++i) {
     const size_t for_pos = FindWord(code[i], "for");
     if (for_pos == std::string::npos) continue;
@@ -605,17 +506,87 @@ void CheckUnorderedIter(RuleContext& ctx,
         ++end_line;
       }
     }
-    const std::string body = JoinCode(ctx.text, bl, end_line);
+    const std::string body = JoinCode(text, bl, end_line);
+    UnorderedLoop loop;
+    loop.line_index = i;
     for (const char* e : kEmitters) {
       if (body.find(e) != std::string::npos) {
-        ctx.Report(i, "unordered-iter",
-                   common::StrFormat(
-                       "iteration over unordered container emits output "
-                       "('%s'); iterate a sorted key snapshot instead",
-                       e));
+        loop.emitter = e;
         break;
       }
     }
+    loops.push_back(loop);
+  }
+  return loops;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules
+// ---------------------------------------------------------------------------
+
+struct RuleContext {
+  const std::string& path;
+  const FileText& text;
+  const std::vector<std::set<std::string>>& allowed;
+  std::vector<Finding>* findings;
+
+  void Report(size_t line_index, const char* rule, std::string message) {
+    if (Suppressed(allowed, text.code, line_index, rule)) return;
+    findings->push_back(Finding{path, static_cast<int>(line_index) + 1, rule,
+                                std::move(message)});
+  }
+};
+
+void CheckWallClock(RuleContext& ctx) {
+  for (size_t i = 0; i < ctx.text.code.size(); ++i) {
+    const std::string& line = ctx.text.code[i];
+    for (const char* p : kWallClockPatterns) {
+      if (ContainsWord(line, p)) {
+        ctx.Report(i, "wall-clock",
+                   common::StrFormat("wall-clock source '%s' in simulation "
+                                     "code; use sim::Simulator::now()",
+                                     p));
+        break;
+      }
+    }
+    // Bare time()/clock() calls (member functions like busy_time() have
+    // an identifier character before the word and do not match).
+    for (const char* p : {"time", "clock"}) {
+      if (HasBareCall(line, p)) {
+        ctx.Report(i, "wall-clock",
+                   common::StrFormat("call to %s() in simulation code; use "
+                                     "sim::Simulator::now()",
+                                     p));
+      }
+    }
+  }
+}
+
+void CheckUnseededRng(RuleContext& ctx) {
+  for (size_t i = 0; i < ctx.text.code.size(); ++i) {
+    const std::string& line = ctx.text.code[i];
+    for (const char* p : kRngPatterns) {
+      if (ContainsWord(line, p)) {
+        ctx.Report(i, "unseeded-rng",
+                   common::StrFormat("'%s' in simulation code; all "
+                                     "randomness must flow through a seeded "
+                                     "fela::common::Rng",
+                                     p));
+        break;
+      }
+    }
+  }
+}
+
+void CheckUnorderedIter(RuleContext& ctx,
+                        const std::set<std::string>& members) {
+  for (const UnorderedLoop& loop : FindUnorderedLoops(ctx.text, members)) {
+    if (loop.emitter == nullptr) continue;
+    ctx.Report(loop.line_index, "unordered-iter",
+               common::StrFormat(
+                   "iteration over unordered container emits output "
+                   "('%s'); iterate a sorted key snapshot instead",
+                   loop.emitter));
   }
 }
 
@@ -661,8 +632,7 @@ void CheckDiscardedStatus(RuleContext& ctx,
     // the Status iff the matching ')' is immediately followed by ';'.
     int depth = 0;
     size_t l = i;
-    size_t c = code[i].find(trimmed.substr(p), 0);
-    c = code[i].find('(', code[i].find(name));
+    size_t c = code[i].find('(', code[i].find(name));
     bool discarded = false;
     bool done = false;
     for (; l < code.size() && !done; ++l, c = 0) {
@@ -689,29 +659,6 @@ void CheckDiscardedStatus(RuleContext& ctx,
                                    name.c_str()));
     }
   }
-}
-
-/// Identifiers declared with a floating-point type in this file
-/// (variables, members, and functions returning double/float/SimTime).
-std::set<std::string> CollectFloatIdents(const FileText& text) {
-  std::set<std::string> idents;
-  for (const std::string& line : text.code) {
-    for (const char* type : {"double", "float", "SimTime"}) {
-      size_t pos = FindWord(line, type);
-      while (pos != std::string::npos) {
-        size_t p = pos + std::string(type).size();
-        while (p < line.size() && (line[p] == ' ' || line[p] == '&' ||
-                                   line[p] == '*')) {
-          ++p;
-        }
-        size_t b = p;
-        while (p < line.size() && IsIdentChar(line[p])) ++p;
-        if (p > b) idents.insert(line.substr(b, p - b));
-        pos = FindWord(line, type, pos + 1);
-      }
-    }
-  }
-  return idents;
 }
 
 void CheckFloatEq(RuleContext& ctx) {
@@ -916,6 +863,16 @@ void CheckUntokenizedTrace(RuleContext& ctx) {
   }
 }
 
+void CheckBareAllow(RuleContext& ctx, const SuppressionInfo& sup) {
+  for (const SuppressionInfo::BareAllow& b : sup.bare) {
+    ctx.Report(b.line_index, "bare-allow",
+               common::StrFormat(
+                   "suppression 'allow(%s)' has no justification; write "
+                   "'// fela-lint: allow(%s): <reason>'",
+                   b.rules.c_str(), b.rules.c_str()));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Scoping + file orchestration
 // ---------------------------------------------------------------------------
@@ -926,6 +883,10 @@ bool RuleEnabled(const Options& options, const char* rule) {
 
 bool IsSimScoped(const std::vector<std::string>& parts) {
   return HasComponent(parts, {"sim", "core", "baselines", "runtime"});
+}
+
+bool IsSimScopedPath(const std::string& path) {
+  return IsSimScoped(PathComponents(path));
 }
 
 bool IsEngineScoped(const std::string& path,
@@ -943,45 +904,218 @@ std::string SiblingHeaderPath(const std::string& path) {
   return path.substr(0, dot) + ".h";
 }
 
-/// Quoted #include targets of a file ("core/token_server.h"; angle
-/// includes are system headers and carry no project members). Parsed
-/// from the raw text — Preprocess blanks string literals, include
-/// paths among them.
-std::vector<std::string> CollectIncludes(const std::string& contents) {
-  std::vector<std::string> out;
-  std::istringstream in(contents);
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::string t = Trim(line);
-    if (t.rfind("#include", 0) != 0) continue;
-    const size_t open = t.find('"');
-    if (open == std::string::npos) continue;
-    const size_t close = t.find('"', open + 1);
-    if (close == std::string::npos || close == open + 1) continue;
-    out.push_back(t.substr(open + 1, close - open - 1));
+std::vector<Finding> LintFileImpl(const std::string& path,
+                                  const FileText& text,
+                                  const SuppressionInfo& sup,
+                                  const Options& options,
+                                  const std::set<std::string>& extra_members,
+                                  const std::set<std::string>& status_fns) {
+  const std::vector<std::string> parts = PathComponents(path);
+  std::vector<Finding> findings;
+  RuleContext ctx{path, text, sup.allowed, &findings};
+
+  if (IsSimScoped(parts)) {
+    if (RuleEnabled(options, "wall-clock")) CheckWallClock(ctx);
+    if (RuleEnabled(options, "unseeded-rng")) CheckUnseededRng(ctx);
+    if (RuleEnabled(options, "float-eq")) CheckFloatEq(ctx);
+    if (RuleEnabled(options, "untokenized-trace")) CheckUntokenizedTrace(ctx);
+  }
+  if (RuleEnabled(options, "unordered-iter")) {
+    std::set<std::string> members = CollectUnorderedMembers(text);
+    members.insert(extra_members.begin(), extra_members.end());
+    CheckUnorderedIter(ctx, members);
+  }
+  if (RuleEnabled(options, "discarded-status")) {
+    std::set<std::string> fns = status_fns;
+    CollectStatusFunctions(text, &fns);
+    CheckDiscardedStatus(ctx, fns);
+  }
+  if (IsEngineScoped(path, parts) && RuleEnabled(options, "untraced-event")) {
+    CheckUntracedEvent(ctx);
+  }
+  if (RuleEnabled(options, "bare-allow")) CheckBareAllow(ctx, sup);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural rules (whole-tree only)
+// ---------------------------------------------------------------------------
+
+struct TreeContext {
+  const Options& options;
+  const std::map<std::string, FileText>& texts;
+  const std::map<std::string, SuppressionInfo>& sups;
+  const SymbolIndex& index;
+  std::vector<Finding>* findings;
+
+  bool SuppressedAt(const std::string& file, int line, const char* rule) const {
+    const auto si = sups.find(file);
+    const auto ti = texts.find(file);
+    if (si == sups.end() || ti == texts.end()) return false;
+    return Suppressed(si->second.allowed, ti->second.code,
+                      static_cast<size_t>(line) - 1, rule);
+  }
+};
+
+std::string ChainString(const SymbolIndex& index,
+                        const std::vector<size_t>& chain,
+                        const std::string& head) {
+  std::string out = head;
+  for (size_t i : chain) {
+    if (!out.empty()) out += " -> ";
+    out += index.functions()[i].name;
   }
   return out;
 }
 
-/// True when `path` names `include_spec` (equal, or ends with
-/// "/<include_spec>" — include specs are root-relative, scanned paths
-/// may carry the root prefix).
-bool PathMatchesInclude(const std::string& path,
-                        const std::string& include_spec) {
-  if (path == include_spec) return true;
-  if (path.size() <= include_spec.size()) return false;
-  return path.compare(path.size() - include_spec.size(), include_spec.size(),
-                      include_spec) == 0 &&
-         path[path.size() - include_spec.size() - 1] == '/';
+/// Fires `rule` at every call site in sim-scoped code whose callee is a
+/// non-sim function tainted by one of `sources`. Boundary-only: calls
+/// between two sim-scoped functions never fire (the callee gets its own
+/// boundary finding where it crosses out of sim code), so one hazard
+/// yields one finding per crossing, not one per chain link.
+void CheckTransitiveRule(TreeContext& t, const char* rule, const char* what,
+                         const std::vector<TaintSource>& sources) {
+  if (!RuleEnabled(t.options, rule) || sources.empty()) return;
+  const std::map<size_t, Taint> taint = PropagateTaint(t.index, sources);
+  const auto& fns = t.index.functions();
+  std::set<std::pair<std::string, int>> seen;  // (file, line) per rule
+  for (const FunctionDef& f : fns) {
+    if (!IsSimScopedPath(f.file)) continue;
+    for (const CallSite& call : f.calls) {
+      for (size_t j : t.index.Resolve(call.callee)) {
+        if (IsSimScopedPath(fns[j].file)) continue;
+        const auto it = taint.find(j);
+        if (it == taint.end()) continue;
+        if (!seen.insert({f.file, call.line}).second) break;
+        if (!t.SuppressedAt(f.file, call.line, rule)) {
+          const Taint& tt = it->second;
+          t.findings->push_back(Finding{
+              f.file, call.line, rule,
+              common::StrFormat(
+                  "call to '%s' reaches %s '%s' in %s via %s",
+                  call.callee.c_str(), what, tt.label.c_str(),
+                  NormalizePath(tt.file).c_str(),
+                  ChainString(t.index, tt.chain, f.name).c_str())});
+        }
+        break;  // one tainted binding per call site is enough
+      }
+    }
+  }
 }
 
-bool ReadFile(const std::string& path, std::string* contents) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *contents = ss.str();
-  return true;
+void CheckGuardedBy(TreeContext& t) {
+  if (!RuleEnabled(t.options, "guarded-by")) return;
+  static const char* kLockMarkers[] = {"lock_guard", "unique_lock",
+                                       "scoped_lock"};
+  for (const GuardedMember& gm : t.index.guarded_members()) {
+    for (const FunctionDef& f : t.index.functions()) {
+      if (f.class_name != gm.class_name || gm.class_name.empty()) continue;
+      // Constructors/destructors own the object exclusively.
+      if (f.name == gm.class_name || f.name == "~" + gm.class_name) continue;
+      const auto ti = t.texts.find(f.file);
+      if (ti == t.texts.end()) continue;
+      const auto& code = ti->second.code;
+      bool holds_lock =
+          std::find(f.requires_locks.begin(), f.requires_locks.end(),
+                    gm.mutex) != f.requires_locks.end();
+      int access_line = 0;
+      const int last =
+          std::min(f.body_end, static_cast<int>(code.size()));
+      for (int l = f.body_begin; l >= 1 && l <= last; ++l) {
+        const std::string& line = code[l - 1];
+        if (access_line == 0 && ContainsWord(line, gm.member)) {
+          access_line = l;
+        }
+        if (!holds_lock && ContainsWord(line, gm.mutex)) {
+          for (const char* marker : kLockMarkers) {
+            if (line.find(marker) != std::string::npos) holds_lock = true;
+          }
+          if (line.find(".lock(") != std::string::npos ||
+              line.find(".Lock(") != std::string::npos) {
+            holds_lock = true;
+          }
+        }
+      }
+      if (access_line == 0 || holds_lock) continue;
+      if (t.SuppressedAt(f.file, access_line, "guarded-by")) continue;
+      t.findings->push_back(Finding{
+          f.file, access_line, "guarded-by",
+          common::StrFormat(
+              "'%s::%s' accesses '%s' (FELA_GUARDED_BY '%s') without "
+              "FELA_REQUIRES(%s) or a lock on '%s'",
+              gm.class_name.c_str(), f.name.c_str(), gm.member.c_str(),
+              gm.mutex.c_str(), gm.mutex.c_str(), gm.mutex.c_str())});
+    }
+  }
+}
+
+void CheckSweepSharedState(TreeContext& t) {
+  if (!RuleEnabled(t.options, "sweep-shared-state")) return;
+  for (const GlobalDef& g : t.index.mutable_globals()) {
+    if (t.SuppressedAt(g.file, g.line, "sweep-shared-state")) continue;
+    std::string message;
+    if (g.thread_hostile_type) {
+      message = common::StrFormat(
+          "namespace-scope instance '%s' of a FELA_THREAD_HOSTILE type; "
+          "sweep workers would share it — confine it to one task",
+          g.name.c_str());
+    } else {
+      message = common::StrFormat(
+          "mutable namespace-scope global '%s'; sweep workers share it — "
+          "make it const, thread_local, or per-task state",
+          g.name.c_str());
+    }
+    t.findings->push_back(
+        Finding{g.file, g.line, "sweep-shared-state", std::move(message)});
+  }
+  // Function-local mutable statics are only a hazard when sweep task
+  // bodies can actually reach them.
+  const std::map<size_t, std::vector<size_t>> reached = ReachableFrom(
+      t.index, {"RunSweep", "RunExperiment", "VerifyDeterminism"});
+  const auto& fns = t.index.functions();
+  for (const auto& [fi, chain] : reached) {
+    const FunctionDef& f = fns[fi];
+    for (int line : f.mutable_static_lines) {
+      if (t.SuppressedAt(f.file, line, "sweep-shared-state")) continue;
+      t.findings->push_back(Finding{
+          f.file, line, "sweep-shared-state",
+          common::StrFormat(
+              "mutable function-local static in '%s' is reachable from a "
+              "sweep task body via %s; sweep workers share it across tasks",
+              f.name.c_str(),
+              ChainString(t.index, chain, std::string()).c_str())});
+    }
+  }
+}
+
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << contents;
+  out.close();
+  return static_cast<bool>(out);
+}
+
+common::Json FindingsDoc(const std::vector<Finding>& findings) {
+  common::Json doc = common::Json::Object();
+  doc.Set("count", static_cast<int>(findings.size()));
+  common::Json arr = common::Json::Array();
+  for (const Finding& f : findings) {
+    common::Json row = common::Json::Object();
+    row.Set("file", f.file);
+    row.Set("line", f.line);
+    row.Set("rule", f.rule);
+    row.Set("message", f.message);
+    arr.Append(std::move(row));
+  }
+  doc.Set("findings", std::move(arr));
+  return doc;
 }
 
 }  // namespace
@@ -1000,43 +1134,16 @@ std::vector<Finding> LintFile(const std::string& path,
                                   extra_unordered_members,
                               const std::set<std::string>& status_functions) {
   const FileText text = Preprocess(contents);
-  const std::vector<std::set<std::string>> allowed = ParseSuppressions(text);
-  const std::vector<std::string> parts = PathComponents(path);
-  std::vector<Finding> findings;
-  RuleContext ctx{path, text, allowed, &findings};
-
-  if (IsSimScoped(parts)) {
-    if (RuleEnabled(options, "wall-clock")) CheckWallClock(ctx);
-    if (RuleEnabled(options, "unseeded-rng")) CheckUnseededRng(ctx);
-    if (RuleEnabled(options, "float-eq")) CheckFloatEq(ctx);
-    if (RuleEnabled(options, "untokenized-trace")) CheckUntokenizedTrace(ctx);
-  }
-  if (RuleEnabled(options, "unordered-iter")) {
-    std::set<std::string> members = CollectUnorderedMembers(text);
-    members.insert(extra_unordered_members.begin(),
-                   extra_unordered_members.end());
-    CheckUnorderedIter(ctx, members);
-  }
-  if (RuleEnabled(options, "discarded-status")) {
-    std::set<std::string> fns = status_functions;
-    CollectStatusFunctions(text, &fns);
-    CheckDiscardedStatus(ctx, fns);
-  }
-  if (IsEngineScoped(path, parts) && RuleEnabled(options, "untraced-event")) {
-    CheckUntracedEvent(ctx);
-  }
-
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
-  return findings;
+  const SuppressionInfo sup = ParseSuppressions(text);
+  return LintFileImpl(path, text, sup, options, extra_unordered_members,
+                      status_functions);
 }
 
 bool LintTree(const std::vector<std::string>& roots, const Options& options,
-              std::vector<Finding>* findings, std::string* error) {
+              std::vector<Finding>* findings, std::string* error,
+              Timings* timings) {
   namespace fs = std::filesystem;
+  const double t_start = LintNowSeconds();
   std::vector<std::string> files;
   for (const std::string& root : roots) {
     std::error_code ec;
@@ -1060,27 +1167,54 @@ bool LintTree(const std::vector<std::string>& roots, const Options& options,
   }
   std::sort(files.begin(), files.end());
 
-  // Pass 1: cross-file declaration collection.
-  std::set<std::string> status_fns;
-  std::map<std::string, std::set<std::string>> header_members;
+  // Pass 1: lex — read and blank every file once; everything downstream
+  // shares these FileTexts.
+  double t0 = LintNowSeconds();
   std::map<std::string, std::string> loaded;
+  std::map<std::string, FileText> texts;
+  std::map<std::string, SuppressionInfo> sups;
   for (const std::string& f : files) {
     std::string contents;
     if (!ReadFile(f, &contents)) {
       if (error != nullptr) *error = "cannot read " + f;
       return false;
     }
-    const FileText text = Preprocess(contents);
-    CollectStatusFunctions(text, &status_fns);
-    header_members[f] = CollectUnorderedMembers(text);
+    FileText text = Preprocess(contents);
+    sups[f] = ParseSuppressions(text);
+    texts[f] = std::move(text);
     loaded[f] = std::move(contents);
   }
+  const double lex_seconds = LintNowSeconds() - t0;
 
-  // Pass 2: lint each file. A file inherits unordered members from its
-  // sibling header and from every directly-included project header, so
-  // loops over containers declared one header away are still caught.
-  findings->clear();
+  // Pass 2: project include graph (cycle-safe transitive closure).
+  t0 = LintNowSeconds();
+  const IncludeGraph graph = IncludeGraph::Build(loaded);
+  const double graph_seconds = LintNowSeconds() - t0;
+
+  // Pass 3: symbol index + call graph.
+  t0 = LintNowSeconds();
+  SymbolIndex index;
+  for (const std::string& f : files) index.IndexFile(f, texts[f]);
+  index.Finish();
+  const double index_seconds = LintNowSeconds() - t0;
+
+  // Pass 4: rules.
+  t0 = LintNowSeconds();
+  std::set<std::string> status_fns;
+  std::map<std::string, std::set<std::string>> header_members;
   for (const std::string& f : files) {
+    CollectStatusFunctions(texts[f], &status_fns);
+    header_members[f] = CollectUnorderedMembers(texts[f]);
+  }
+
+  findings->clear();
+  std::vector<TaintSource> wall_sources;
+  std::vector<TaintSource> rng_sources;
+  std::vector<TaintSource> leak_sources;
+  for (const std::string& f : files) {
+    // A file inherits unordered members from its sibling header and
+    // from every project header in its transitive include closure (the
+    // include graph replaces the old direct-only suffix matching).
     std::set<std::string> extra;
     auto merge_header = [&](const std::string& header_path) {
       const auto it = header_members.find(header_path);
@@ -1098,47 +1232,144 @@ bool LintTree(const std::vector<std::string>& roots, const Options& options,
     };
     const std::string sibling = SiblingHeaderPath(f);
     if (!sibling.empty()) merge_header(sibling);
+    for (const std::string& dep : graph.Transitive(f)) {
+      const auto it = header_members.find(dep);
+      if (it != header_members.end()) {
+        extra.insert(it->second.begin(), it->second.end());
+      }
+    }
     const size_t slash = f.find_last_of("/\\");
     const std::string dir =
         slash == std::string::npos ? std::string() : f.substr(0, slash + 1);
-    for (const std::string& inc : CollectIncludes(loaded[f])) {
-      bool matched = false;
-      for (const auto& [path, members] : header_members) {
-        if (PathMatchesInclude(path, inc)) {
-          extra.insert(members.begin(), members.end());
-          matched = true;
-        }
-      }
-      // Unscanned headers resolve relative to the includer's directory
-      // (the other root-relative form was covered by the match above).
-      if (!matched) merge_header(dir + inc);
+    for (const std::string& inc : graph.Missing(f)) {
+      // Unscanned headers resolve relative to the includer's directory.
+      merge_header(dir + inc);
     }
+
     std::vector<Finding> file_findings =
-        LintFile(f, loaded[f], options, extra, status_fns);
+        LintFileImpl(f, texts[f], sups[f], options, extra, status_fns);
     findings->insert(findings->end(), file_findings.begin(),
                      file_findings.end());
+
+    // Taint sources live in NON-sim files: a hazard inside sim code is
+    // the direct rules' finding, and a suppressed hazard is an accepted
+    // one — neither should re-fire at every sim call site.
+    if (IsSimScopedPath(f)) continue;
+    const auto& code = texts[f].code;
+    const auto& allowed = sups[f].allowed;
+    for (size_t i = 0; i < code.size(); ++i) {
+      const std::string wall = MatchWallClockLabel(code[i]);
+      if (!wall.empty() && !Suppressed(allowed, code, i, "wall-clock") &&
+          !Suppressed(allowed, code, i, "transitive-wall-clock")) {
+        const size_t fn = index.FunctionAt(f, static_cast<int>(i) + 1);
+        if (fn != SymbolIndex::npos) {
+          wall_sources.push_back(
+              TaintSource{fn, wall, f, static_cast<int>(i) + 1});
+        }
+      }
+      const std::string rng = MatchRngLabel(code[i]);
+      if (!rng.empty() && !Suppressed(allowed, code, i, "unseeded-rng") &&
+          !Suppressed(allowed, code, i, "transitive-rng")) {
+        const size_t fn = index.FunctionAt(f, static_cast<int>(i) + 1);
+        if (fn != SymbolIndex::npos) {
+          rng_sources.push_back(
+              TaintSource{fn, rng, f, static_cast<int>(i) + 1});
+        }
+      }
+    }
+    // Order-leak sources: NON-emitting iteration over an unordered
+    // container (emitting loops already fire unordered-iter on the spot).
+    std::set<std::string> members = CollectUnorderedMembers(texts[f]);
+    members.insert(extra.begin(), extra.end());
+    for (const UnorderedLoop& loop : FindUnorderedLoops(texts[f], members)) {
+      if (loop.emitter != nullptr) continue;
+      if (Suppressed(allowed, code, loop.line_index, "unordered-iter") ||
+          Suppressed(allowed, code, loop.line_index, "order-leak")) {
+        continue;
+      }
+      const size_t fn =
+          index.FunctionAt(f, static_cast<int>(loop.line_index) + 1);
+      if (fn != SymbolIndex::npos) {
+        leak_sources.push_back(TaintSource{
+            fn, "unordered iteration", f,
+            static_cast<int>(loop.line_index) + 1});
+      }
+    }
   }
+
+  TreeContext tree{options, texts, sups, index, findings};
+  CheckTransitiveRule(tree, "transitive-wall-clock", "wall-clock source",
+                      wall_sources);
+  CheckTransitiveRule(tree, "transitive-rng", "unseeded-RNG source",
+                      rng_sources);
+  CheckTransitiveRule(tree, "order-leak", "order-leaking", leak_sources);
+  CheckGuardedBy(tree);
+  CheckSweepSharedState(tree);
+  const double rules_seconds = LintNowSeconds() - t0;
+
   std::sort(findings->begin(), findings->end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <
                      std::tie(b.file, b.line, b.rule);
             });
+  if (timings != nullptr) {
+    timings->lex_seconds = lex_seconds;
+    timings->include_graph_seconds = graph_seconds;
+    timings->index_seconds = index_seconds;
+    timings->rules_seconds = rules_seconds;
+    timings->total_seconds = LintNowSeconds() - t_start;
+    timings->files = files.size();
+  }
   return true;
 }
 
 std::string FindingsToJson(const std::vector<Finding>& findings) {
+  common::Json doc = FindingsDoc(findings);
+  doc.SortKeysRecursive();
+  return doc.Dump(1);
+}
+
+std::string ReportToJson(const std::vector<Finding>& findings,
+                         const Timings& timings) {
+  common::Json doc = FindingsDoc(findings);
+  common::Json t = common::Json::Object();
+  t.Set("files", static_cast<int>(timings.files));
+  t.Set("lex_seconds", timings.lex_seconds);
+  t.Set("include_graph_seconds", timings.include_graph_seconds);
+  t.Set("index_seconds", timings.index_seconds);
+  t.Set("rules_seconds", timings.rules_seconds);
+  t.Set("total_seconds", timings.total_seconds);
+  doc.Set("timings", std::move(t));
+  doc.SortKeysRecursive();
+  return doc.Dump(1);
+}
+
+std::string TimingsToBenchJson(const Timings& timings) {
   common::Json doc = common::Json::Object();
-  doc.Set("count", static_cast<int>(findings.size()));
-  common::Json arr = common::Json::Array();
-  for (const Finding& f : findings) {
+  doc.Set("bench", "lint");
+  common::Json results = common::Json::Array();
+  const std::pair<const char*, double> passes[] = {
+      {"lex", timings.lex_seconds},
+      {"include-graph", timings.include_graph_seconds},
+      {"index", timings.index_seconds},
+      {"rules", timings.rules_seconds},
+      {"total", timings.total_seconds},
+  };
+  for (const auto& [pass, seconds] : passes) {
     common::Json row = common::Json::Object();
-    row.Set("file", f.file);
-    row.Set("line", f.line);
-    row.Set("rule", f.rule);
-    row.Set("message", f.message);
-    arr.Append(std::move(row));
+    row.Set("engine", pass);
+    row.Set("x", 0.0);
+    row.Set("iterations", 1);
+    row.Set("mean_iteration_seconds", seconds);
+    row.Set("total_seconds", seconds);
+    row.Set("average_throughput",
+            seconds > 0.0 ? static_cast<double>(timings.files) / seconds
+                          : 0.0);
+    row.Set("gpu_utilization", 0.0);
+    row.Set("stalled", false);
+    results.Append(std::move(row));
   }
-  doc.Set("findings", std::move(arr));
+  doc.Set("results", std::move(results));
   doc.SortKeysRecursive();
   return doc.Dump(1);
 }
@@ -1154,9 +1385,135 @@ std::string FindingsToTable(const std::vector<Finding>& findings) {
          common::StrFormat("\nfela-lint: %zu finding(s)\n", findings.size());
 }
 
+// ---------------------------------------------------------------------------
+// Findings baseline
+// ---------------------------------------------------------------------------
+
+std::string NormalizePath(const std::string& path) {
+  const std::vector<std::string> parts = PathComponents(path);
+  size_t start = 0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] == "src" || parts[i] == "tools" || parts[i] == "tests" ||
+        parts[i] == "bench" || parts[i] == "examples") {
+      start = i;
+      break;
+    }
+  }
+  std::string out;
+  for (size_t i = start; i < parts.size(); ++i) {
+    if (!out.empty()) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+bool ParseBaseline(const std::string& json, Baseline* baseline,
+                   std::string* error) {
+  common::Json doc;
+  if (!common::Json::Parse(json, &doc, error)) return false;
+  if (!doc.is_object()) {
+    if (error != nullptr) *error = "baseline: document is not an object";
+    return false;
+  }
+  const common::Json* arr = doc.Find("findings");
+  if (arr == nullptr || !arr->is_array()) {
+    if (error != nullptr) *error = "baseline: missing \"findings\" array";
+    return false;
+  }
+  baseline->entries.clear();
+  for (const common::Json& item : arr->items()) {
+    BaselineEntry entry;
+    for (const char* key : {"file", "rule", "message"}) {
+      const common::Json* v = item.Find(key);
+      if (v == nullptr || !v->is_string()) {
+        if (error != nullptr) {
+          *error = common::StrFormat("baseline: entry missing \"%s\"", key);
+        }
+        return false;
+      }
+    }
+    entry.file = item.Find("file")->string_value();
+    entry.rule = item.Find("rule")->string_value();
+    entry.message = item.Find("message")->string_value();
+    const common::Json* why = item.Find("why");
+    if (why != nullptr && why->is_string()) entry.why = why->string_value();
+    baseline->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+BaselineResult ApplyBaseline(const Baseline& baseline,
+                             const std::vector<Finding>& findings) {
+  using Key = std::tuple<std::string, std::string, std::string>;
+  std::map<Key, std::vector<size_t>> credit;
+  for (size_t i = 0; i < baseline.entries.size(); ++i) {
+    const BaselineEntry& e = baseline.entries[i];
+    credit[{NormalizePath(e.file), e.rule, e.message}].push_back(i);
+  }
+  BaselineResult result;
+  std::set<size_t> consumed;
+  for (const Finding& f : findings) {
+    const Key key{NormalizePath(f.file), f.rule, f.message};
+    const auto it = credit.find(key);
+    if (it != credit.end() && !it->second.empty()) {
+      consumed.insert(it->second.back());
+      it->second.pop_back();
+      ++result.matched;
+    } else {
+      result.fresh.push_back(f);
+    }
+  }
+  for (size_t i = 0; i < baseline.entries.size(); ++i) {
+    if (consumed.count(i) == 0) result.stale.push_back(baseline.entries[i]);
+  }
+  return result;
+}
+
+std::string BaselineToJson(const std::vector<Finding>& findings,
+                           const Baseline& previous) {
+  using Key = std::tuple<std::string, std::string, std::string>;
+  std::map<Key, std::string> why;
+  for (const BaselineEntry& e : previous.entries) {
+    if (e.why.empty()) continue;
+    why.emplace(Key{NormalizePath(e.file), e.rule, e.message}, e.why);
+  }
+  std::vector<BaselineEntry> entries;
+  for (const Finding& f : findings) {
+    BaselineEntry e;
+    e.file = NormalizePath(f.file);
+    e.rule = f.rule;
+    e.message = f.message;
+    const auto it = why.find(Key{e.file, e.rule, e.message});
+    if (it != why.end()) e.why = it->second;
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const BaselineEntry& a, const BaselineEntry& b) {
+              return std::tie(a.file, a.rule, a.message) <
+                     std::tie(b.file, b.rule, b.message);
+            });
+  common::Json doc = common::Json::Object();
+  common::Json arr = common::Json::Array();
+  for (const BaselineEntry& e : entries) {
+    common::Json row = common::Json::Object();
+    row.Set("file", e.file);
+    row.Set("rule", e.rule);
+    row.Set("message", e.message);
+    if (!e.why.empty()) row.Set("why", e.why);
+    arr.Append(std::move(row));
+  }
+  doc.Set("findings", std::move(arr));
+  doc.Set("version", 1);
+  doc.SortKeysRecursive();
+  return doc.Dump(1);
+}
+
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
   std::string format = "table";
+  std::string baseline_path;
+  std::string bench_out;
+  bool update_baseline = false;
   Options options;
   std::vector<std::string> paths;
   for (const std::string& arg : args) {
@@ -1182,6 +1539,12 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
           rule += c;
         }
       }
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg.rfind("--bench-out=", 0) == 0) {
+      bench_out = arg.substr(12);
     } else if (arg == "--list-rules") {
       for (const RuleInfo& r : Rules()) {
         out << r.id << ": " << r.summary << "\n";
@@ -1194,18 +1557,72 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       paths.push_back(arg);
     }
   }
+  if (update_baseline && baseline_path.empty()) {
+    err << "fela-lint: --update-baseline requires --baseline=FILE\n";
+    return 2;
+  }
   if (paths.empty()) {
     err << "usage: fela-lint [--format=table|json] [--rules=a,b] "
-           "[--list-rules] <path>...\n";
+           "[--list-rules] [--baseline=FILE] [--update-baseline] "
+           "[--bench-out=FILE] <path>...\n";
     return 2;
   }
   std::vector<Finding> findings;
   std::string error;
-  if (!LintTree(paths, options, &findings, &error)) {
+  Timings timings;
+  if (!LintTree(paths, options, &findings, &error, &timings)) {
     err << "fela-lint: " << error << "\n";
     return 2;
   }
-  out << (format == "json" ? FindingsToJson(findings)
+  if (!bench_out.empty() &&
+      !WriteTextFile(bench_out, TimingsToBenchJson(timings) + "\n")) {
+    err << "fela-lint: cannot write " << bench_out << "\n";
+    return 2;
+  }
+  if (update_baseline) {
+    Baseline previous;
+    std::string prev_json;
+    if (ReadFile(baseline_path, &prev_json) &&
+        !ParseBaseline(prev_json, &previous, &error)) {
+      err << "fela-lint: " << error << "\n";
+      return 2;
+    }
+    if (!WriteTextFile(baseline_path,
+                       BaselineToJson(findings, previous) + "\n")) {
+      err << "fela-lint: cannot write " << baseline_path << "\n";
+      return 2;
+    }
+    out << "fela-lint: baseline updated (" << findings.size()
+        << " entr" << (findings.size() == 1 ? "y" : "ies") << ")\n";
+    return 0;
+  }
+  if (!baseline_path.empty()) {
+    std::string json;
+    if (!ReadFile(baseline_path, &json)) {
+      err << "fela-lint: cannot read " << baseline_path << "\n";
+      return 2;
+    }
+    Baseline baseline;
+    if (!ParseBaseline(json, &baseline, &error)) {
+      err << "fela-lint: " << error << "\n";
+      return 2;
+    }
+    const BaselineResult result = ApplyBaseline(baseline, findings);
+    out << (format == "json" ? ReportToJson(result.fresh, timings)
+                             : FindingsToTable(result.fresh));
+    if (result.matched > 0) {
+      err << "fela-lint: " << result.matched
+          << " baselined finding(s) tolerated\n";
+    }
+    if (!result.stale.empty()) {
+      err << "fela-lint: " << result.stale.size()
+          << " stale baseline entr"
+          << (result.stale.size() == 1 ? "y" : "ies")
+          << "; run --update-baseline to prune\n";
+    }
+    return result.fresh.empty() ? 0 : 1;
+  }
+  out << (format == "json" ? ReportToJson(findings, timings)
                            : FindingsToTable(findings));
   return findings.empty() ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/annotations.h"
 #include "runtime/experiment.h"
 
 namespace fela::runtime {
@@ -19,7 +20,7 @@ namespace fela::runtime {
 /// storage they own, run, then render serially in task order — which
 /// makes the rendered output byte-identical to a serial run: `jobs`
 /// changes wall-clock time and nothing else.
-class SweepRunner {
+class FELA_THREAD_HOSTILE SweepRunner {
  public:
   /// jobs <= 1 runs every task inline on the calling thread, in
   /// submission order, creating no threads at all.

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/tokenize.h"
 #include "sim/types.h"
 
@@ -86,7 +87,7 @@ inline constexpr uint8_t kDynamicDetailFlag = 1;
 /// new event evicts the oldest one, so a long run keeps the *most
 /// recent* window of activity — the part a crash or stall post-mortem
 /// actually needs. `dropped()` counts the evictions.
-class TraceRecorder {
+class FELA_THREAD_HOSTILE TraceRecorder {
  public:
   explicit TraceRecorder(size_t capacity = 100000) : capacity_(capacity) {}
 

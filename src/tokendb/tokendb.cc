@@ -8,69 +8,11 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "lint/lexer.h"
 
 namespace fela::tokendb {
 
 namespace {
-
-/// Blanks // and /* */ comment contents (newlines kept so line numbers
-/// survive) without touching string or char literals, so FELA_TOK
-/// examples in doc comments never reach the scanner.
-std::string StripComments(const std::string& src) {
-  std::string out = src;
-  enum class State { kCode, kString, kChar, kLine, kBlock } state = State::kCode;
-  for (size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        } else if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          ++i;  // skip the escaped char
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
 
 int LineOfOffset(const std::string& src, size_t offset) {
   return 1 + static_cast<int>(
@@ -200,20 +142,14 @@ bool ValidateFmt(const std::string& fmt, std::string* why) {
   return true;
 }
 
-bool ReadFile(const std::string& path, std::string* contents) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *contents = ss.str();
-  return true;
-}
-
 }  // namespace
 
 bool ExtractTokenFmts(const std::string& path, const std::string& source,
                       std::vector<TokenSite>* out, std::string* error) {
-  const std::string src = StripComments(source);
+  // The shared lexer's comment-blanking view: comments gone, string
+  // literals intact, so FELA_TOK examples in doc comments never reach
+  // the scanner but real format literals do.
+  const std::string src = lint::StripComments(source);
   size_t pos = 0;
   while (pos < src.size()) {
     // Walk code skipping string/char literal contents, so a FELA_TOK
@@ -336,7 +272,7 @@ bool BuildTokenDb(const std::vector<std::string>& roots, std::string* csv,
   common::TokenRegistry registry;
   for (const std::string& f : files) {
     std::string contents;
-    if (!ReadFile(f, &contents)) {
+    if (!lint::ReadFile(f, &contents)) {
       if (error != nullptr) *error = "cannot read " + f;
       return false;
     }
@@ -381,7 +317,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
 
   if (!check_path.empty()) {
     std::string existing;
-    if (!ReadFile(check_path, &existing)) {
+    if (!lint::ReadFile(check_path, &existing)) {
       err << "fela-tokendb: cannot read " << check_path << "\n";
       return 2;
     }

@@ -1,0 +1,10 @@
+// fela-lint fixture: a suppression without a justification. The old
+// `allow(rule)` spelling still silences float-eq (no double report
+// during migration) but must itself fire bare-allow on line 7.
+namespace fela::fixture {
+
+bool SameTick(double a, double b) {
+  return a == b;  // fela-lint: allow(float-eq) legacy comparison
+}
+
+}  // namespace fela::fixture

@@ -1,0 +1,33 @@
+// fela-lint fixture: the guarded-by rule must fire exactly once, on
+// line 13 (Peek reads hits_ with no lock). The three sibling accessors
+// prove the negatives: a lock_guard on mu_, a FELA_REQUIRES(mu_)
+// signature, and an explicit suppression each keep the rule quiet.
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fela::fixture {
+
+class GuardedCounter {
+ public:
+  int Peek() const { return hits_; }
+
+  int PeekLocked() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+
+  int PeekHeld() const FELA_REQUIRES(mu_) { return hits_; }
+
+  int PeekRacy() const {
+    // fela-lint: allow(guarded-by): fixture: monitoring read tolerates a
+    // torn value
+    return hits_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int hits_ FELA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fela::fixture

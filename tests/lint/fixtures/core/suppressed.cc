@@ -1,5 +1,5 @@
 // fela-lint fixture: one violation per rule, every one suppressed with
-// `fela-lint: allow(<rule>)` — the whole file must lint clean, proving
+// `fela-lint: allow(<rule>): <why>` — the whole file must lint clean, proving
 // both same-line and preceding-comment-line suppression placement.
 #include <unordered_set>
 
@@ -11,17 +11,17 @@ struct Sim {
 
 common::Status Tidy();
 
-// fela-lint: allow(wall-clock) fixture: suppression on preceding line
+// fela-lint: allow(wall-clock): fixture: suppression on preceding line
 double Wall() { return clock(); }
 
 int Draw() {
-  return rand();  // fela-lint: allow(unseeded-rng) fixture: same line
+  return rand();  // fela-lint: allow(unseeded-rng): fixture: same line
 }
 
 class Quiet {
  public:
   void EmitAll() {
-    // fela-lint: allow(unordered-iter) fixture
+    // fela-lint: allow(unordered-iter): fixture
     for (int id : held_) Emit(id);
   }
 
@@ -31,20 +31,20 @@ class Quiet {
 };
 
 void Caller() {
-  Tidy();  // fela-lint: allow(discarded-status) fixture
+  Tidy();  // fela-lint: allow(discarded-status): fixture
 }
 
 bool SameTime(double a, double b) {
-  return a == b;  // fela-lint: allow(float-eq) fixture
+  return a == b;  // fela-lint: allow(float-eq): fixture
 }
 
 void Silent(Sim* sim_) {
-  // fela-lint: allow(untraced-event) fixture
+  // fela-lint: allow(untraced-event): fixture
   sim_->Schedule(0.0, 0);
 }
 
 void Hush(Sim* trace_) {
-  // fela-lint: allow(untokenized-trace) fixture: genuinely dynamic text
+  // fela-lint: allow(untokenized-trace): fixture: genuinely dynamic text
   FELA_TRACE(trace_, 0.0, 0, 0, "raw detail");
 }
 

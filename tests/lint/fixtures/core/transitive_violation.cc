@@ -1,0 +1,20 @@
+// fela-lint fixture: sim-scoped code calling clean-looking helpers whose
+// implementations reach hazards. The three transitive rules must each
+// fire exactly once, at the boundary call site:
+//   line 14  transitive-wall-clock  (ChainA -> ChainB -> ChainC -> steady_clock)
+//   line 15  transitive-rng         (JitterSeed -> RawJitter -> rand)
+//   line 16  order-leak             (Sum iterates an unordered_set)
+#include "../model/chain_helpers.h"
+#include "../model/order_leak_helper.h"
+
+namespace fela::fixture {
+
+double StepSim(const OrderLeakHelper& helper) {
+  double when = 0.0;
+  when += ChainA();
+  when += static_cast<double>(JitterSeed());
+  when += static_cast<double>(helper.Sum());
+  return when;
+}
+
+}  // namespace fela::fixture

@@ -1,0 +1,15 @@
+// fela-lint fixture: pulls the cycle_a.h <-> cycle_b.h cycle into the
+// graph from a .cc root, and names one header no scanned path matches
+// (the graph must record it under Missing, not error out).
+#include "cycle_a.h"
+#include "no_such_header.h"
+
+namespace fela::fixture {
+
+int UseCycle() {
+  CycleA a;
+  CycleB b;
+  return a.value + b.value;
+}
+
+}  // namespace fela::fixture

@@ -1,0 +1,10 @@
+// fela-lint fixture: half of a deliberate include cycle with cycle_b.h.
+// The include graph must report the cycle once and the transitive
+// closure must still terminate.
+#include "cycle_b.h"
+
+namespace fela::fixture {
+struct CycleA {
+  int value = 0;
+};
+}  // namespace fela::fixture

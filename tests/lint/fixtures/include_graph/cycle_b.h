@@ -1,0 +1,8 @@
+// fela-lint fixture: the other half of the cycle_a.h include cycle.
+#include "cycle_a.h"
+
+namespace fela::fixture {
+struct CycleB {
+  int value = 0;
+};
+}  // namespace fela::fixture

@@ -1,0 +1,25 @@
+// fela-lint fixture: helper chain in a NON-sim-scoped path ("model" is
+// outside sim|core|baselines|runtime, so the direct wall-clock and
+// unseeded-rng rules stay quiet here). ChainC's steady_clock read and
+// RawJitter's rand() become taint sources; the transitive findings fire
+// where sim code calls into this file (core/transitive_violation.cc).
+#include "chain_helpers.h"
+
+namespace fela::fixture {
+
+double ChainC() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+double ChainB() { return ChainC() * 0.5; }
+
+double ChainA() { return ChainB() + 1.0; }
+
+namespace {
+int RawJitter() { return rand(); }
+}  // namespace
+
+int JitterSeed() { return RawJitter() % 7; }
+
+}  // namespace fela::fixture

@@ -1,0 +1,20 @@
+// fela-lint fixture header: declares helpers whose *implementations*
+// (chain_helpers.cc) reach a wall clock and unseeded RNG. Clean on its
+// own — the transitive rules fire in the sim-scoped caller
+// (core/transitive_violation.cc), not here.
+#ifndef FELA_LINT_FIXTURE_CHAIN_HELPERS_H_
+#define FELA_LINT_FIXTURE_CHAIN_HELPERS_H_
+
+namespace fela::fixture {
+
+// ChainA -> ChainB -> ChainC -> steady_clock (3 hops from the caller).
+double ChainA();
+double ChainB();
+double ChainC();
+
+// JitterSeed -> RawJitter -> rand().
+int JitterSeed();
+
+}  // namespace fela::fixture
+
+#endif  // FELA_LINT_FIXTURE_CHAIN_HELPERS_H_

@@ -1,0 +1,17 @@
+// fela-lint fixture: a NON-emitting loop over an unordered member in a
+// non-sim path. unordered-iter stays quiet (nothing is emitted inside
+// the loop), but the hash-order-dependent result makes Sum() an
+// order-leak taint source for sim-scoped callers.
+#include "order_leak_helper.h"
+
+namespace fela::fixture {
+
+int OrderLeakHelper::Sum() const {
+  int total = 0;
+  for (int id : ids_) {
+    total += id;
+  }
+  return total;
+}
+
+}  // namespace fela::fixture

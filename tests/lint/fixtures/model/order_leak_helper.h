@@ -1,0 +1,21 @@
+// fela-lint fixture header: declares an unordered member whose
+// non-emitting iteration (order_leak_helper.cc) taints Sum() as an
+// order-leak source for the sim-scoped caller fixture.
+#ifndef FELA_LINT_FIXTURE_ORDER_LEAK_HELPER_H_
+#define FELA_LINT_FIXTURE_ORDER_LEAK_HELPER_H_
+
+#include <unordered_set>
+
+namespace fela::fixture {
+
+class OrderLeakHelper {
+ public:
+  int Sum() const;
+
+ private:
+  std::unordered_set<int> ids_;
+};
+
+}  // namespace fela::fixture
+
+#endif  // FELA_LINT_FIXTURE_ORDER_LEAK_HELPER_H_
