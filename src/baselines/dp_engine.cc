@@ -98,9 +98,9 @@ void DpEngine::OnWorkerComputeDone(int worker, double seconds) {
   // BSP barrier reached; synchronize all parameters.
   std::vector<sim::NodeId> all;
   for (int i = 0; i < cluster_->num_workers(); ++i) all.push_back(i);
-  sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
-                     std::move(all), param_bytes_,
-                     [this] { OnAllReduceDone(); }, &cluster_->spans());
+  sim::AllReduce(&cluster_->simulator(), &cluster_->fabric(), std::move(all),
+                 param_bytes_, [this] { OnAllReduceDone(); },
+                 &cluster_->spans());
 }
 
 void DpEngine::OnAllReduceDone() {

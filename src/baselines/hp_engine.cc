@@ -112,9 +112,9 @@ void HpEngine::OnConvBackwardDone(int) {
   if (--conv_pending_ > 0) return;
   std::vector<sim::NodeId> conv_workers;
   for (int i = 0; i < conv_worker_count(); ++i) conv_workers.push_back(i);
-  sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
-                     std::move(conv_workers), conv_param_bytes_,
-                     [this] { OnConvAllReduceDone(); }, &cluster_->spans());
+  sim::AllReduce(&cluster_->simulator(), &cluster_->fabric(),
+                 std::move(conv_workers), conv_param_bytes_,
+                 [this] { OnConvAllReduceDone(); }, &cluster_->spans());
 }
 
 void HpEngine::OnConvAllReduceDone() {

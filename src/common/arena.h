@@ -1,0 +1,90 @@
+#ifndef FELA_COMMON_ARENA_H_
+#define FELA_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fela::common {
+
+/// A fixed-capacity arena of T: one contiguous allocation, objects
+/// constructed in place in insertion order, addresses stable for the
+/// arena's lifetime. Replaces vector<unique_ptr<T>> for per-worker hot
+/// state — a 1k–10k-worker run walks one cache-resident slab instead of
+/// chasing thousands of scattered heap nodes, and construction is a
+/// single allocation instead of N.
+///
+/// Capacity is fixed at Reserve() time (engines know the worker count up
+/// front); EmplaceBack past capacity is a checked failure, so pointers
+/// and references handed out never dangle from reallocation.
+template <typename T>
+class ObjectArena {
+ public:
+  ObjectArena() = default;
+  explicit ObjectArena(size_t capacity) { Reserve(capacity); }
+
+  ObjectArena(const ObjectArena&) = delete;
+  ObjectArena& operator=(const ObjectArena&) = delete;
+
+  ~ObjectArena() {
+    Clear();
+    ::operator delete(data_, std::align_val_t{alignof(T)});
+  }
+
+  /// Allocates storage for exactly `capacity` objects. May only be
+  /// called once, on an empty arena.
+  void Reserve(size_t capacity) {
+    FELA_CHECK(data_ == nullptr) << "arena capacity is fixed after Reserve";
+    capacity_ = capacity;
+    if (capacity_ > 0) {
+      data_ = static_cast<T*>(::operator new(capacity * sizeof(T),
+                                             std::align_val_t{alignof(T)}));
+    }
+  }
+
+  template <typename... Args>
+  T& EmplaceBack(Args&&... args) {
+    FELA_CHECK_LT(size_, capacity_) << "arena full";
+    T* obj = new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *obj;
+  }
+
+  /// Destroys all objects (newest first) but keeps the storage, so the
+  /// arena can be refilled up to the same capacity.
+  void Clear() {
+    while (size_ > 0) {
+      --size_;
+      data_[size_].~T();
+    }
+  }
+
+  T& operator[](size_t i) {
+    FELA_CHECK_LT(i, size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    FELA_CHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace fela::common
+
+#endif  // FELA_COMMON_ARENA_H_

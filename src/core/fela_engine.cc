@@ -30,30 +30,34 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
                       cluster->calibration().bytes_per_scalar)) {
   ts_ = MakeTokenServer();
 
-  FelaWorker::Callbacks w_cbs;
+  worker_ctx_.sim = &cluster_->simulator();
+  worker_ctx_.fabric = &cluster_->fabric();
+  worker_ctx_.model = &model_;
+  worker_ctx_.sub_models = &sub_models_;
+  worker_ctx_.cost = &cost_;
+  worker_ctx_.trace = &cluster_->trace();
   // Control messages capture the TS incarnation at send time; if the
   // server fails over while they are in flight, delivery is voided —
   // fencing guarantees no message addressed to a dead incarnation is
   // ever applied to its successor.
-  w_cbs.send_request = [this](sim::NodeId w) {
+  worker_ctx_.cbs.send_request = [this](sim::NodeId w) {
     const int inc = ts_incarnation_;
     cluster_->fabric().SendControl(w, ts_node_, [this, w, inc] {
       if (inc != ts_incarnation_ || !ts_active_) return;  // fenced
       ts_->HandleRequest(w);
     });
   };
-  w_cbs.send_report = [this](sim::NodeId w, const Token& token) {
+  worker_ctx_.cbs.send_report = [this](sim::NodeId w, const Token& token) {
     const int inc = ts_incarnation_;
     cluster_->fabric().SendControl(w, ts_node_, [this, w, token, inc] {
       if (inc != ts_incarnation_ || !ts_active_) return;  // fenced
       ts_->HandleReport(w, token);
     });
   };
+  workers_.Reserve(static_cast<size_t>(cluster_->num_workers()));
   for (int i = 0; i < cluster_->num_workers(); ++i) {
-    workers_.push_back(std::make_unique<FelaWorker>(
-        i, &cluster_->simulator(), &cluster_->fabric(), &cluster_->gpu(i),
-        &model_, &sub_models_, &cost_, &cluster_->trace(), w_cbs));
-    workers_.back()->set_span_sink(&cluster_->spans());
+    workers_.EmplaceBack(i, &worker_ctx_, &cluster_->gpu(i));
+    workers_[static_cast<size_t>(i)].set_span_sink(&cluster_->spans());
   }
   admitted_.assign(static_cast<size_t>(cluster_->num_workers()), true);
   recover_pending_.assign(static_cast<size_t>(cluster_->num_workers()), -1.0);
@@ -63,7 +67,7 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
   if (faults_active()) {
     ts_->set_leases_enabled(true);
     for (auto& w : workers_) {
-      w->set_retry_policy(RetryPolicy{
+      w.set_retry_policy(RetryPolicy{
           config_.retry_timeout_sec, config_.retry_backoff_mult,
           config_.retry_timeout_max_sec, config_.retry_jitter_seed});
     }
@@ -111,7 +115,7 @@ void FelaEngine::OnWorkerCrash(int worker) {
   recover_pending_[static_cast<size_t>(worker)] = -1.0;
   // Kill the worker process first (voids its in-flight work), then let
   // the TS reclaim its lease and re-route the token elsewhere.
-  workers_[static_cast<size_t>(worker)]->OnCrash();
+  workers_[static_cast<size_t>(worker)].OnCrash();
   if (worker == ts_node_) {
     // The TS host died with it: fence the incarnation and fail over.
     FenceTs();
@@ -139,7 +143,7 @@ void FelaEngine::OnWorkerRecover(int worker) {
   // recovery that liveness depends on must not wait.
   if (NeedsImmediateReadmit(worker)) {
     ReAdmit(worker);
-    workers_[static_cast<size_t>(worker)]->RequestWork(current_iteration_);
+    workers_[static_cast<size_t>(worker)].RequestWork(current_iteration_);
   }
 }
 
@@ -184,7 +188,7 @@ void FelaEngine::OnWorkerHeal(int worker) {
   recover_pending_[static_cast<size_t>(worker)] = now;
   if (NeedsImmediateReadmit(worker)) {
     ReAdmit(worker);
-    workers_[static_cast<size_t>(worker)]->RequestWork(current_iteration_);
+    workers_[static_cast<size_t>(worker)].RequestWork(current_iteration_);
   }
 }
 
@@ -362,7 +366,7 @@ void FelaEngine::DeliverGrant(sim::NodeId worker, const Grant& grant) {
                                                     grant] {
     cluster_->fabric().SendControl(src, worker, [this, worker, grant] {
       if (monitor_ && monitor_->IsDown(worker)) return;
-      workers_[static_cast<size_t>(worker)]->OnGrant(grant);
+      workers_[static_cast<size_t>(worker)].OnGrant(grant);
     });
   });
 }
@@ -400,7 +404,7 @@ void FelaEngine::StartIteration(int iteration) {
     if (!admitted_[static_cast<size_t>(w)]) continue;  // still excluded
     const double delay = cluster_->stragglers().DelayFor(iteration, w);
     const double slowdown = cluster_->stragglers().SlowdownFor(iteration, w);
-    workers_[static_cast<size_t>(w)]->BeginIteration(iteration, delay,
+    workers_[static_cast<size_t>(w)].BeginIteration(iteration, delay,
                                                      slowdown);
   }
 }
@@ -434,10 +438,9 @@ void FelaEngine::OnLevelComplete(int level) {
   FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
              sim::TraceKind::kSyncStart, FELA_TOK("SM-%d %.1fMB among %zu"),
              level + 1, lp.sync_bytes / 1e6, participants.size());
-  sim::RingAllReduce(&cluster_->simulator(), &cluster_->fabric(),
-                     std::move(participants), lp.sync_bytes,
-                     [this, level] { OnSyncDone(level); },
-                     &cluster_->spans());
+  sim::AllReduce(&cluster_->simulator(), &cluster_->fabric(),
+                 std::move(participants), lp.sync_bytes,
+                 [this, level] { OnSyncDone(level); }, &cluster_->spans());
 }
 
 void FelaEngine::OnSyncDone(int level) {
@@ -469,7 +472,7 @@ void FelaEngine::MaybeFinishIteration() {
     CancelCheckpointTimer();
     CancelFailoverTimer();
     ts_->CancelAllLeases();
-    for (auto& w : workers_) w->Quiesce();
+    for (auto& w : workers_) w.Quiesce();
   }
 }
 
@@ -537,7 +540,7 @@ runtime::RunStats FelaEngine::Run(int iterations) {
   // workers may train *more* than the plan — never less.
   if (!stats_.stalled) {
     double samples = 0.0;
-    for (const auto& w : workers_) samples += w->samples_trained();
+    for (const auto& w : workers_) samples += w.samples_trained();
     const double expected = plan_.total_batch *
                             static_cast<double>(plan_.num_levels()) *
                             static_cast<double>(iterations);
@@ -563,7 +566,7 @@ runtime::RunStats FelaEngine::Run(int iterations) {
   stats_.faults.regrants = ts.regrants;
   stats_.faults.duplicate_reports = ts.duplicate_reports + ts.stale_reports;
   stats_.faults.leases_restored = ts.leases_restored;
-  for (const auto& w : workers_) stats_.faults.request_retries += w->retries();
+  for (const auto& w : workers_) stats_.faults.request_retries += w.retries();
 
   if (cluster_->observability()) {
     obs::MetricsRegistry& m = cluster_->metrics();
@@ -581,8 +584,8 @@ runtime::RunStats FelaEngine::Run(int iterations) {
         .Set(ts.conflict_delay_total);
     for (const auto& w : workers_) {
       m.GetGauge("worker_tokens_trained",
-                 common::StrFormat("engine=Fela,worker=%d", w->id()))
-          .Set(static_cast<double>(w->tokens_trained()));
+                 common::StrFormat("engine=Fela,worker=%d", w.id()))
+          .Set(static_cast<double>(w.tokens_trained()));
     }
   }
   return stats_;

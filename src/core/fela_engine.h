@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/fela_config.h"
 #include "core/token_server.h"
 #include "core/worker.h"
@@ -69,7 +70,7 @@ class FelaEngine : public runtime::Engine {
   /// into CumulativeTsStats().
   const TokenServer& token_server() const { return *ts_; }
   const FelaWorker& worker(int i) const {
-    return *workers_[static_cast<size_t>(i)];
+    return workers_[static_cast<size_t>(i)];
   }
   bool admitted(int i) const { return admitted_[static_cast<size_t>(i)]; }
 
@@ -137,7 +138,13 @@ class FelaEngine : public runtime::Engine {
   FelaPlan plan_;
 
   std::unique_ptr<TokenServer> ts_;
-  std::vector<std::unique_ptr<FelaWorker>> workers_;
+  /// Shared by every worker (declared before the arena so it outlives
+  /// them); holds the TS callbacks, so it must not move.
+  WorkerContext worker_ctx_;
+  /// Workers live in one contiguous arena (SoA-ish hot state; see
+  /// common/arena.h) — at 1k+ workers the per-iteration scheduling scans
+  /// stay cache-resident.
+  common::ObjectArena<FelaWorker> workers_;
   std::unique_ptr<sim::FaultMonitor> monitor_;  // only under active faults
   /// admitted_[w]: w participates in scheduling and syncs. Cleared on
   /// crash; set again when a recovered worker is re-admitted.

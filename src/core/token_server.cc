@@ -1,6 +1,7 @@
 #include "core/token_server.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -215,7 +216,8 @@ TokenServer::Checkpoint TokenServer::MakeCheckpoint() const {
   cp.waiting = waiting_;
   cp.helping = helping_;
   cp.helper_count = helper_count_;
-  // leases_ is an ordered map, so the lease list is deterministic.
+  // leases_ iterates in sorted key order (a flat sorted vector), so the
+  // lease list is deterministic.
   cp.leases.reserve(leases_.size());
   for (const auto& [id, lease] : leases_) {
     cp.leases.emplace_back(lease.token, lease.worker);

@@ -3,13 +3,13 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/flat_map.h"
 #include "core/fela_config.h"
 #include "core/info_mapping.h"
 #include "core/token.h"
@@ -266,7 +266,13 @@ class FELA_THREAD_HOSTILE TokenServer {
     sim::NodeId worker = -1;
     sim::EventId timer = sim::kInvalidEventId;
   };
-  std::map<TokenId, Lease> leases_;
+  /// Flat sorted-vector map (common/flat_map.h): token ids are granted in
+  /// increasing order, so inserts are amortized appends instead of
+  /// rebalancing tree allocations, lookups are a binary search over one
+  /// contiguous slab, and iteration is deterministically sorted — the
+  /// same observable order the old std::map gave (transcripts stay
+  /// byte-identical).
+  common::FlatMap<TokenId, Lease> leases_;
   std::vector<TokenId> outstanding_;  // live grant per worker, or invalid
   std::vector<bool> down_;
   bool leases_enabled_ = false;

@@ -8,21 +8,11 @@
 
 namespace fela::core {
 
-FelaWorker::FelaWorker(sim::NodeId id, sim::Simulator* sim,
-                       sim::Fabric* fabric, sim::GpuDevice* gpu,
-                       const model::Model* model,
-                       const std::vector<model::SubModel>* sub_models,
-                       const model::LayerCostModel* cost,
-                       sim::TraceRecorder* trace, Callbacks cbs)
-    : id_(id),
-      sim_(sim),
-      fabric_(fabric),
-      gpu_(gpu),
-      model_(model),
-      sub_models_(sub_models),
-      cost_(cost),
-      trace_(trace),
-      cbs_(std::move(cbs)) {}
+FelaWorker::FelaWorker(sim::NodeId id, const WorkerContext* ctx,
+                       sim::GpuDevice* gpu)
+    : id_(id), ctx_(ctx), gpu_(gpu) {
+  FELA_CHECK(ctx_ != nullptr);
+}
 
 void FelaWorker::BeginTokenWait() {
   if (spans_ == nullptr || !spans_->enabled()) return;
@@ -35,17 +25,17 @@ void FelaWorker::BeginIteration(int iteration, double straggler_delay,
   slowdown_ = slowdown;
   iteration_ = iteration;
   if (straggler_delay > 0.0) {
-    gpu_->BlockUntil(sim_->now() + straggler_delay);
-    FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kStragglerSleep,
+    gpu_->BlockUntil(sim()->now() + straggler_delay);
+    FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kStragglerSleep,
                FELA_TOK("it=%d d=%.2fs"), iteration, straggler_delay);
   }
   if (!request_outstanding_ && !busy_) {
     request_outstanding_ = true;
     retry_attempt_ = 0;
-    FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenRequest,
+    FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kTokenRequest,
                FELA_TOK("it=%d"), iteration);
     BeginTokenWait();
-    cbs_.send_request(id_);
+    ctx_->cbs.send_request(id_);
     ArmRetryTimer();
   }
 }
@@ -55,10 +45,10 @@ void FelaWorker::RequestWork(int iteration) {
   if (request_outstanding_ || busy_) return;
   request_outstanding_ = true;
   retry_attempt_ = 0;
-  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenRequest,
+  FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kTokenRequest,
              FELA_TOK("it=%d (rejoin)"), iteration);
   BeginTokenWait();
-  cbs_.send_request(id_);
+  ctx_->cbs.send_request(id_);
   ArmRetryTimer();
 }
 
@@ -93,7 +83,7 @@ void FelaWorker::ArmRetryTimer() {
   const int inc = incarnation_;
   // fela-lint: allow(untraced-event): retries trace as kRequestRetry at
   // fire time; arming the timer itself is not an observable event.
-  retry_timer_ = sim_->Schedule(delay, [this, inc] {
+  retry_timer_ = sim()->Schedule(delay, [this, inc] {
     retry_timer_ = sim::kInvalidEventId;
     if (inc != incarnation_) return;
     OnRetryFire();
@@ -102,7 +92,7 @@ void FelaWorker::ArmRetryTimer() {
 
 void FelaWorker::CancelRetryTimer() {
   if (retry_timer_ != sim::kInvalidEventId) {
-    sim_->Cancel(retry_timer_);
+    sim()->Cancel(retry_timer_);
     retry_timer_ = sim::kInvalidEventId;
   }
 }
@@ -111,10 +101,10 @@ void FelaWorker::OnRetryFire() {
   if (!request_outstanding_ || busy_) return;
   ++retries_;
   ++retry_attempt_;  // next wait backs off further
-  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kRequestRetry,
+  FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kRequestRetry,
              FELA_TOK("it=%d n=%llu"), iteration_,
              static_cast<unsigned long long>(retries_));
-  cbs_.send_request(id_);
+  ctx_->cbs.send_request(id_);
   ArmRetryTimer();
 }
 
@@ -130,7 +120,7 @@ void FelaWorker::OnGrant(const Grant& grant) {
   CancelRetryTimer();
   token_wait_.reset();  // emits the request -> grant interval
   busy_ = true;
-  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kTokenGrant,
+  FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kTokenGrant,
              FELA_TOK("Token_%lld b=%g stolen=%d remote_fetches=%zu"),
              static_cast<long long>(grant.token.id), grant.token.batch,
              static_cast<int>(grant.stolen), grant.remote_fetches.size());
@@ -142,7 +132,7 @@ void FelaWorker::OnGrant(const Grant& grant) {
 
   // Coordinator: gather missing dependencies from their holders, then
   // hand the token to the Trainer.
-  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kFetchStart,
+  FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kFetchStart,
              FELA_TOK("%zu transfers"), grant.remote_fetches.size());
   auto remaining = std::make_shared<int>(
       static_cast<int>(grant.remote_fetches.size()));
@@ -150,11 +140,11 @@ void FelaWorker::OnGrant(const Grant& grant) {
   const int inc = incarnation_;
   for (const auto& [holder, bytes] : grant.remote_fetches) {
     bytes_fetched_ += bytes;
-    fabric_->Transfer(holder, id_, bytes,
-                      [this, remaining, token, inc]() mutable {
+    ctx_->fabric->Transfer(holder, id_, bytes,
+                           [this, remaining, token, inc]() mutable {
       if (--*remaining == 0) {
         if (inc != incarnation_) return;  // fetched for a dead process
-        FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kFetchEnd);
+        FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kFetchEnd);
         StartCompute(std::move(token));
       }
     });
@@ -163,11 +153,12 @@ void FelaWorker::OnGrant(const Grant& grant) {
 
 void FelaWorker::StartCompute(Token token) {
   const model::SubModel& sm =
-      (*sub_models_)[static_cast<size_t>(token.level)];
+      (*ctx_->sub_models)[static_cast<size_t>(token.level)];
   const double duration =
-      cost_->RangeSeconds(*model_, sm.first_layer, sm.last_layer, token.batch) *
+      ctx_->cost->RangeSeconds(*ctx_->model, sm.first_layer, sm.last_layer,
+                               token.batch) *
       slowdown_;
-  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kComputeStart,
+  FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kComputeStart,
              FELA_TOK("Token_%lld b=%g dur=%.4fs"),
              static_cast<long long>(token.id), token.batch, duration);
   const int inc = incarnation_;
@@ -182,14 +173,14 @@ void FelaWorker::OnComputeDone(Token token) {
   ++tokens_trained_;
   samples_trained_ += token.batch;
   busy_ = false;
-  FELA_TRACE(trace_, sim_->now(), id_, sim::TraceKind::kComputeEnd,
+  FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kComputeEnd,
              FELA_TOK("Token_%lld b=%g it=%d"),
              static_cast<long long>(token.id), token.batch, token.iteration);
   // Combined report + request: the TS serves our implicit request.
   request_outstanding_ = true;
   retry_attempt_ = 0;
   BeginTokenWait();
-  cbs_.send_report(id_, token);
+  ctx_->cbs.send_report(id_, token);
   ArmRetryTimer();
 }
 

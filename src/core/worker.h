@@ -4,7 +4,6 @@
 #include <algorithm>
 #include <functional>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "core/token.h"
@@ -21,23 +20,51 @@ namespace fela::core {
 /// The worker's Parameter Chunks (§III-A): which token outputs are
 /// resident in local storage. The token server's Info Mapping mirrors
 /// this; the worker-side copy is the ground truth the tests cross-check.
+///
+/// Stored as a lazily-sorted flat vector rather than a hash set: Store is
+/// an O(1) append on the hot compute-done path, and the first observable
+/// read after a batch of appends sorts + dedupes once (token regrants
+/// after a fault can complete the same id twice on one worker). Iteration
+/// order is therefore always sorted — the info_mapping.h guarantee with
+/// no per-snapshot copy.
 class ParameterChunks {
  public:
-  void Store(TokenId token) { held_.insert(token); }
-  bool Has(TokenId token) const { return held_.count(token) > 0; }
-  size_t size() const { return held_.size(); }
-  void Clear() { held_.clear(); }
+  void Store(TokenId token) {
+    // Strictly-increasing appends (the common case: token ids are
+    // monotonic) keep the vector normalized with no deferred work.
+    sorted_ = sorted_ && (held_.empty() || token > held_.back());
+    held_.push_back(token);
+  }
+  bool Has(TokenId token) const {
+    Normalize();
+    return std::binary_search(held_.begin(), held_.end(), token);
+  }
+  size_t size() const {
+    Normalize();
+    return held_.size();
+  }
+  void Clear() {
+    held_.clear();
+    sorted_ = true;
+  }
 
   /// Sorted key snapshot (see info_mapping.h): the only sanctioned way
   /// to iterate the held set into anything observable.
   std::vector<TokenId> HeldSorted() const {
-    std::vector<TokenId> out(held_.begin(), held_.end());
-    std::sort(out.begin(), out.end());
-    return out;
+    Normalize();
+    return held_;
   }
 
  private:
-  std::unordered_set<TokenId> held_;
+  void Normalize() const {
+    if (sorted_) return;
+    std::sort(held_.begin(), held_.end());
+    held_.erase(std::unique(held_.begin(), held_.end()), held_.end());
+    sorted_ = true;
+  }
+
+  mutable std::vector<TokenId> held_;
+  mutable bool sorted_ = true;
 };
 
 /// Request retransmission policy: the k-th consecutive retry of one
@@ -52,23 +79,41 @@ struct RetryPolicy {
   uint64_t jitter_seed = 0;
 };
 
+/// How workers reach the token server.
+struct WorkerCallbacks {
+  /// Send a token request control message to the TS.
+  std::function<void(sim::NodeId)> send_request;
+  /// Send a completion report (with implicit request) to the TS.
+  std::function<void(sim::NodeId, const Token&)> send_report;
+};
+
+/// Everything a FelaWorker references that is identical across the
+/// engine's workers: simulation handles, the model and its partition,
+/// the cost model, observability sinks, and the TS callbacks. Workers
+/// hold one pointer to this instead of eight — per-worker hot state
+/// shrinks to the scalars in FelaWorker itself, which is what lets a
+/// 1k–10k-worker arena stay cache-resident (struct-of-shared +
+/// array-of-hot layout). Owned by the engine; must outlive its workers.
+struct WorkerContext {
+  sim::Simulator* sim = nullptr;
+  sim::Fabric* fabric = nullptr;
+  const model::Model* model = nullptr;
+  const std::vector<model::SubModel>* sub_models = nullptr;
+  const model::LayerCostModel* cost = nullptr;
+  sim::TraceRecorder* trace = nullptr;
+  WorkerCallbacks cbs;
+};
+
 /// A Fela worker: Trainer (GPU compute), Coordinator (dependency
 /// fetches), and Parameter Chunks. Event-driven; one token in flight at
 /// a time (the §III-D combined report+request cycle).
 class FelaWorker {
  public:
-  struct Callbacks {
-    /// Send a token request control message to the TS.
-    std::function<void(sim::NodeId)> send_request;
-    /// Send a completion report (with implicit request) to the TS.
-    std::function<void(sim::NodeId, const Token&)> send_report;
-  };
+  using Callbacks = WorkerCallbacks;
 
-  FelaWorker(sim::NodeId id, sim::Simulator* sim, sim::Fabric* fabric,
-             sim::GpuDevice* gpu, const model::Model* model,
-             const std::vector<model::SubModel>* sub_models,
-             const model::LayerCostModel* cost, sim::TraceRecorder* trace,
-             Callbacks cbs);
+  /// `ctx` carries all engine-shared dependencies; `gpu` is this
+  /// worker's device.
+  FelaWorker(sim::NodeId id, const WorkerContext* ctx, sim::GpuDevice* gpu);
 
   FelaWorker(const FelaWorker&) = delete;
   FelaWorker& operator=(const FelaWorker&) = delete;
@@ -139,19 +184,16 @@ class FelaWorker {
   void CancelRetryTimer();
   void OnRetryFire();
 
+  sim::Simulator* sim() const { return ctx_->sim; }
+  sim::TraceRecorder* trace() const { return ctx_->trace; }
+
   sim::NodeId id_;
-  sim::Simulator* sim_;
-  sim::Fabric* fabric_;
+  const WorkerContext* ctx_;
   sim::GpuDevice* gpu_;
-  const model::Model* model_;
-  const std::vector<model::SubModel>* sub_models_;
-  const model::LayerCostModel* cost_;
-  sim::TraceRecorder* trace_;
   obs::SpanSink* spans_ = nullptr;
   /// Open from request send to grant accept; lives across simulator
   /// callbacks because the span clock is simulated time.
   std::optional<obs::ScopedSpan> token_wait_;
-  Callbacks cbs_;
 
   ParameterChunks chunks_;
   double slowdown_ = 1.0;

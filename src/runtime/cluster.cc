@@ -19,10 +19,9 @@ Cluster::Cluster(int num_workers, const sim::Calibration& cal,
   fabric_.SetFaults(faults_.get(), &trace_);
   spans_.set_clock([this] { return sim_.now(); });
   fabric_.set_span_sink(&spans_);
-  gpus_.reserve(static_cast<size_t>(num_workers));
+  gpus_.Reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
-    gpus_.push_back(std::make_unique<sim::GpuDevice>(&sim_, i));
-    gpus_.back()->set_span_sink(&spans_);
+    gpus_.EmplaceBack(&sim_, i).set_span_sink(&spans_);
   }
 }
 
@@ -38,7 +37,7 @@ std::unique_ptr<Cluster> Cluster::MakeDefault(int num_workers) {
 
 double Cluster::TotalGpuBusy() const {
   double s = 0.0;
-  for (const auto& g : gpus_) s += g->busy_time();
+  for (const auto& g : gpus_) s += g.busy_time();
   return s;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/metrics.h"
 #include "sim/calibration.h"
 #include "sim/fabric.h"
@@ -36,7 +37,7 @@ class Cluster {
   int num_workers() const { return num_workers_; }
   sim::Simulator& simulator() { return sim_; }
   sim::Fabric& fabric() { return fabric_; }
-  sim::GpuDevice& gpu(int worker) { return *gpus_[static_cast<size_t>(worker)]; }
+  sim::GpuDevice& gpu(int worker) { return gpus_[static_cast<size_t>(worker)]; }
   const sim::Calibration& calibration() const { return cal_; }
   const sim::StragglerSchedule& stragglers() const { return *stragglers_; }
   const sim::FaultSchedule& faults() const { return *faults_; }
@@ -61,7 +62,9 @@ class Cluster {
   sim::Calibration cal_;
   sim::Simulator sim_;
   sim::Fabric fabric_;
-  std::vector<std::unique_ptr<sim::GpuDevice>> gpus_;
+  /// One contiguous arena (common/arena.h): per-device hot state stays
+  /// cache-resident at 1k+ workers.
+  common::ObjectArena<sim::GpuDevice> gpus_;
   std::unique_ptr<sim::StragglerSchedule> stragglers_;
   std::unique_ptr<sim::FaultSchedule> faults_;
   sim::TraceRecorder trace_;

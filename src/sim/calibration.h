@@ -2,6 +2,7 @@
 #define FELA_SIM_CALIBRATION_H_
 
 #include "common/units.h"
+#include "sim/topology.h"
 
 namespace fela::sim {
 
@@ -56,6 +57,11 @@ struct Calibration {
   /// fully latency-bound (constant-time) sub-threshold region. 0.5
   /// matches measured GEMM/CONV efficiency curves reasonably well.
   double latency_region_exponent = 0.5;
+
+  /// Network shape. Defaults to the paper's flat star (one non-blocking
+  /// switch); scale-out runs set a racked two-tier topology. See
+  /// sim/topology.h.
+  Topology topology;
 
   /// The shared default instance used across benches and examples.
   static const Calibration& Default();

@@ -42,12 +42,17 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
         done_(std::move(done)),
         spans_(spans) {
     const int p = static_cast<int>(participants_.size());
-    chunk_bytes_ = bytes_per_node / static_cast<double>(p);
-    total_rounds_ = 2 * (p - 1);
+    // Guard before dividing: an empty or singleton set has no ring (P=0
+    // would divide by zero and P=1 would leave a negative round count);
+    // Start() completes such a collective immediately.
+    if (p > 1) {
+      chunk_bytes_ = bytes_per_node / static_cast<double>(p);
+      total_rounds_ = 2 * (p - 1);
+    }
   }
 
   void Start() {
-    if (participants_.size() <= 1 || total_rounds_ == 0) {
+    if (total_rounds_ == 0) {
       sim_->Schedule(0.0, std::move(done_));
       return;
     }
@@ -90,17 +95,154 @@ class RingAllReduceOp : public std::enable_shared_from_this<RingAllReduceOp> {
   int total_rounds_ = 0;
 };
 
+/// Drives one hierarchical all-reduce in four barrier-separated phases:
+/// (1) intra-rack reduce — every non-leader sends its gradient to its
+/// rack leader; (2) cross-rack gather — every leader sends the rack
+/// aggregate to the root leader; (3) cross-rack scatter — the root sends
+/// the global result back to the other leaders; (4) intra-rack broadcast
+/// — leaders forward it to their members. 2(P-G) + 2(G-1) transfers
+/// total for P participants in G racks: O(P) events per sync, vs the
+/// ring's 2P(P-1). Only the cross-rack phases touch the rack uplinks.
+class HierarchicalAllReduceOp
+    : public std::enable_shared_from_this<HierarchicalAllReduceOp> {
+ public:
+  HierarchicalAllReduceOp(Simulator* sim, Fabric* fabric,
+                          std::vector<NodeId> participants,
+                          double bytes_per_node, EventFn done,
+                          obs::SpanSink* spans)
+      : sim_(sim),
+        fabric_(fabric),
+        participants_(std::move(participants)),
+        bytes_(bytes_per_node),
+        done_(std::move(done)),
+        spans_(spans) {
+    // Group by rack, preserving participant order within each rack; the
+    // first participant seen in a rack leads it, and the first group's
+    // leader is the global root. Groups appear in participant order, so
+    // the schedule is a pure function of the participant vector (and of
+    // the fabric's static topology) — deterministic by construction.
+    const Topology& topo = fabric_->topology();
+    std::vector<int> group_rack;
+    for (const NodeId node : participants_) {
+      const int rack = topo.RackOf(node);
+      size_t g = 0;
+      while (g < group_rack.size() && group_rack[g] != rack) ++g;
+      if (g == group_rack.size()) {
+        group_rack.push_back(rack);
+        groups_.emplace_back();
+      }
+      groups_[g].push_back(node);
+    }
+  }
+
+  void Start() {
+    if (participants_.size() <= 1) {
+      sim_->Schedule(0.0, std::move(done_));
+      return;
+    }
+    begin_ = sim_->now();
+    auto self = shared_from_this();
+    auto barrier = std::make_shared<Barrier>(
+        static_cast<int>(groups_.size()),
+        [self] { self->CrossRackGather(); });
+    for (const auto& group : groups_) {
+      GatherTo(sim_, fabric_, group[0], Members(group), bytes_,
+               [barrier] { barrier->Arrive(); });
+    }
+  }
+
+ private:
+  /// Everyone in the group except its leader.
+  static std::vector<NodeId> Members(const std::vector<NodeId>& group) {
+    return {group.begin() + 1, group.end()};
+  }
+
+  std::vector<NodeId> OtherLeaders() const {
+    std::vector<NodeId> leaders;
+    for (size_t g = 1; g < groups_.size(); ++g) {
+      leaders.push_back(groups_[g][0]);
+    }
+    return leaders;
+  }
+
+  NodeId root() const { return groups_[0][0]; }
+
+  void CrossRackGather() {
+    auto self = shared_from_this();
+    GatherTo(sim_, fabric_, root(), OtherLeaders(), bytes_,
+             [self] { self->CrossRackScatter(); });
+  }
+
+  void CrossRackScatter() {
+    auto self = shared_from_this();
+    ScatterFrom(sim_, fabric_, root(), OtherLeaders(), bytes_,
+                [self] { self->Broadcast(); });
+  }
+
+  void Broadcast() {
+    auto self = shared_from_this();
+    auto barrier = std::make_shared<Barrier>(
+        static_cast<int>(groups_.size()), [self] { self->Finish(); });
+    for (const auto& group : groups_) {
+      ScatterFrom(sim_, fabric_, group[0], Members(group), bytes_,
+                  [barrier] { barrier->Arrive(); });
+    }
+  }
+
+  void Finish() {
+    if (spans_ != nullptr && spans_->enabled()) {
+      const SimTime end = sim_->now();
+      for (const NodeId node : participants_) {
+        spans_->Emit(
+            obs::Span{node, obs::Phase::kSyncWait, begin_, end, -1, {}});
+      }
+    }
+    done_();
+  }
+
+  Simulator* sim_;
+  Fabric* fabric_;
+  std::vector<NodeId> participants_;
+  /// groups_[g][0] is rack g's leader; groups_[0][0] is the root.
+  std::vector<std::vector<NodeId>> groups_;
+  double bytes_;
+  EventFn done_;
+  obs::SpanSink* spans_;
+  SimTime begin_ = 0.0;
+};
+
 }  // namespace
 
 void RingAllReduce(Simulator* sim, Fabric* fabric,
                    std::vector<NodeId> participants, double bytes_per_node,
                    EventFn done, obs::SpanSink* spans) {
-  FELA_CHECK(!participants.empty());
   auto op = std::make_shared<RingAllReduceOp>(sim, fabric,
                                               std::move(participants),
                                               bytes_per_node, std::move(done),
                                               spans);
   op->Start();
+}
+
+void HierarchicalAllReduce(Simulator* sim, Fabric* fabric,
+                           std::vector<NodeId> participants,
+                           double bytes_per_node, EventFn done,
+                           obs::SpanSink* spans) {
+  auto op = std::make_shared<HierarchicalAllReduceOp>(
+      sim, fabric, std::move(participants), bytes_per_node, std::move(done),
+      spans);
+  op->Start();
+}
+
+void AllReduce(Simulator* sim, Fabric* fabric,
+               std::vector<NodeId> participants, double bytes_per_node,
+               EventFn done, obs::SpanSink* spans) {
+  if (fabric->topology().hierarchical()) {
+    HierarchicalAllReduce(sim, fabric, std::move(participants),
+                          bytes_per_node, std::move(done), spans);
+    return;
+  }
+  RingAllReduce(sim, fabric, std::move(participants), bytes_per_node,
+                std::move(done), spans);
 }
 
 double RingAllReduceIdealSeconds(int participants, double bytes_per_node,

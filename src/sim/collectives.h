@@ -14,9 +14,9 @@ namespace fela::sim {
 /// Ring all-reduce of `bytes_per_node` across `participants`, executed as
 /// real transfers on the fabric (2*(P-1) rounds of bytes/P chunks), the
 /// synchronization pattern Gloo uses for the paper's BSP baselines.
-/// `done` fires once, when the slowest participant completes. With a
-/// single participant it completes immediately. The ring order follows
-/// the participant vector.
+/// `done` fires once, when the slowest participant completes. Empty and
+/// singleton participant sets have no ring and complete immediately. The
+/// ring order follows the participant vector.
 ///
 /// When `spans` is set (and enabled), each participant gets a kSyncWait
 /// span covering the whole collective on its own track (all participants
@@ -31,6 +31,29 @@ void RingAllReduce(Simulator* sim, Fabric* fabric,
 /// by quick capacity estimates. Returns seconds.
 double RingAllReduceIdealSeconds(int participants, double bytes_per_node,
                                  const Calibration& cal);
+
+/// Hierarchical (rack-aware) all-reduce: intra-rack reduce into each rack
+/// leader, leader gather/scatter through a root across racks, intra-rack
+/// broadcast back — four barrier-separated phases, 2(P-G) + 2(G-1)
+/// transfers for P participants in G racks. O(P) events per sync where
+/// the ring schedules 2P(P-1), which is what makes 1k+-worker runs
+/// tractable. Rack assignment comes from the fabric's Topology; on a
+/// flat fabric everything lands in one rack and this degrades to a
+/// gather+broadcast tree (still O(P), but with no uplink modelling).
+/// Span semantics match RingAllReduce: one kSyncWait per participant
+/// covering the whole collective.
+void HierarchicalAllReduce(Simulator* sim, Fabric* fabric,
+                           std::vector<NodeId> participants,
+                           double bytes_per_node, EventFn done,
+                           obs::SpanSink* spans = nullptr);
+
+/// Topology-dispatched all-reduce, the call engines should make: the ring
+/// on a flat fabric (byte-identical to the paper figures), the
+/// hierarchical collective when the fabric is racked. Empty and singleton
+/// participant sets complete immediately on every path.
+void AllReduce(Simulator* sim, Fabric* fabric, std::vector<NodeId> participants,
+               double bytes_per_node, EventFn done,
+               obs::SpanSink* spans = nullptr);
 
 /// All participants send `bytes_each` to `root` (in-cast); `done` fires
 /// when the last byte lands. Used by the Stanza-style HP baseline, where

@@ -18,6 +18,13 @@ Fabric::Fabric(Simulator* sim, int num_nodes, const Calibration& cal)
       out_busy_(num_nodes, 0.0),
       in_busy_(num_nodes, 0.0) {
   FELA_CHECK_GT(num_nodes, 0);
+  if (cal_.topology.hierarchical()) {
+    FELA_CHECK_GT(cal_.topology.rack_size, 0);
+    const size_t racks =
+        static_cast<size_t>(cal_.topology.NumRacks(num_nodes));
+    rack_up_free_.assign(racks, 0.0);
+    rack_down_free_.assign(racks, 0.0);
+  }
 }
 
 void Fabric::CheckNode(NodeId node) const {
@@ -27,6 +34,12 @@ void Fabric::CheckNode(NodeId node) const {
 SimTime Fabric::NextFreeTime(NodeId src, NodeId dst) const {
   CheckNode(src);
   CheckNode(dst);
+  const Topology& topo = cal_.topology;
+  if (topo.hierarchical() && topo.RackOf(src) != topo.RackOf(dst)) {
+    return std::max({sim_->now(), out_free_[src], in_free_[dst],
+                     rack_up_free_[static_cast<size_t>(topo.RackOf(src))],
+                     rack_down_free_[static_cast<size_t>(topo.RackOf(dst))]});
+  }
   return std::max({sim_->now(), out_free_[src], in_free_[dst]});
 }
 
@@ -40,13 +53,33 @@ void Fabric::Transfer(NodeId src, NodeId dst, double bytes, EventFn done) {
     sim_->Schedule(0.0, std::move(done));
     return;
   }
+  const Topology& topo = cal_.topology;
+  const bool cross_rack =
+      topo.hierarchical() && topo.RackOf(src) != topo.RackOf(dst);
   const SimTime start = NextFreeTime(src, dst);
-  const double wire = bytes / cal_.nic_bandwidth_bytes_per_sec;
-  const SimTime finish = start + cal_.message_latency_sec + wire;
+  double bandwidth = cal_.nic_bandwidth_bytes_per_sec;
+  double latency = cal_.message_latency_sec;
+  if (cross_rack) {
+    // The flow crosses ToR -> aggregation -> ToR: it is clocked at the
+    // slower of the NIC and the rack uplink, and pays the two extra
+    // switch hops.
+    if (topo.uplink_bandwidth_bytes_per_sec > 0.0) {
+      bandwidth = std::min(bandwidth, topo.uplink_bandwidth_bytes_per_sec);
+    }
+    latency += 2.0 * topo.rack_hop_latency_sec;
+  }
+  const double wire = bytes / bandwidth;
+  const SimTime finish = start + latency + wire;
   out_free_[src] = finish;
   in_free_[dst] = finish;
   out_busy_[src] += finish - start;
   in_busy_[dst] += finish - start;
+  if (cross_rack) {
+    rack_up_free_[static_cast<size_t>(topo.RackOf(src))] = finish;
+    rack_down_free_[static_cast<size_t>(topo.RackOf(dst))] = finish;
+    ++cross_rack_transfer_count_;
+    cross_rack_bytes_ += bytes;
+  }
   bytes_sent_[src] += bytes;
   bytes_received_[dst] += bytes;
   total_data_bytes_ += bytes;
@@ -104,26 +137,35 @@ void Fabric::SendControl(NodeId src, NodeId dst, std::function<void()> done) {
     delay_factor = std::max(faults_->ControlDelayFactor(now, src),
                             faults_->ControlDelayFactor(now, dst));
   }
-  const double latency = cal_.message_latency_sec * delay_factor;
-  if (src == dst) {
-    // Co-located roles (e.g. TS on node 0 talking to worker 0): loopback.
-    if (duplicated) {
-      // A retransmitted duplicate pays one extra message latency even on
-      // loopback — retransmission implies a timeout at the sender, not a
-      // second instantaneous local delivery. Keeps the dup penalty
-      // consistent with the remote path below.
-      sim_->Schedule(latency, done);
-    }
-    sim_->Schedule(0.0, std::move(done));
+  const Topology& topo = cal_.topology;
+  const bool cross_rack =
+      topo.hierarchical() && topo.RackOf(src) != topo.RackOf(dst);
+  const double latency =
+      (cal_.message_latency_sec +
+       (cross_rack ? 2.0 * topo.rack_hop_latency_sec : 0.0)) *
+      delay_factor;
+  // One-way path delay: zero on loopback (co-located roles, e.g. the TS
+  // talking to the worker on its own node, short-circuit the NIC),
+  // latency + wire time on a remote path.
+  double path_delay = 0.0;
+  if (src != dst) {
+    const double wire =
+        cal_.control_message_bytes / cal_.nic_bandwidth_bytes_per_sec;
+    path_delay = latency + wire;
+  }
+  if (duplicated) {
+    // A retransmitted duplicate leaves one sender timeout (modelled as
+    // one message latency) after the original and traverses the same
+    // path — on loopback too: retransmission implies a timeout at the
+    // sender, not a second instantaneous local delivery. The original is
+    // scheduled first so that when both land at the same timestamp (a
+    // zero-latency calibration) FIFO event order still delivers the
+    // original before its copy.
+    sim_->Schedule(path_delay, done);
+    sim_->Schedule(latency + path_delay, std::move(done));
     return;
   }
-  const double wire =
-      cal_.control_message_bytes / cal_.nic_bandwidth_bytes_per_sec;
-  if (duplicated) {
-    // The retransmitted copy arrives one extra latency later.
-    sim_->Schedule(2.0 * latency + wire, done);
-  }
-  sim_->Schedule(latency + wire, std::move(done));
+  sim_->Schedule(path_delay, std::move(done));
 }
 
 void Fabric::ResetStats() {
@@ -133,6 +175,8 @@ void Fabric::ResetStats() {
   std::fill(in_busy_.begin(), in_busy_.end(), 0.0);
   total_data_bytes_ = 0.0;
   data_transfer_count_ = 0;
+  cross_rack_transfer_count_ = 0;
+  cross_rack_bytes_ = 0.0;
   control_message_count_ = 0;
   control_dropped_count_ = 0;
   control_duplicated_count_ = 0;

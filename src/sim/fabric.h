@@ -14,11 +14,15 @@
 
 namespace fela::sim {
 
-/// The cluster network: a non-blocking switch (the paper's 40GE switch is
-/// never the bottleneck) with one full-duplex NIC per node. Bulk data
-/// transfers serialize FIFO on the sender's outbound link and the
-/// receiver's inbound link; small token-protocol control messages are
-/// multiplexed ahead of bulk data (modelled as latency + wire time only).
+/// The cluster network: one full-duplex NIC per node into either a
+/// single non-blocking switch (the paper's 40GE star — never the
+/// bottleneck) or, when the calibration's Topology is hierarchical, a
+/// two-tier rack/aggregation fabric where cross-rack flows additionally
+/// serialize on the rack uplink/downlink channels. Bulk data transfers
+/// serialize FIFO on the sender's outbound link and the receiver's
+/// inbound link (plus the rack channels they cross); small token-protocol
+/// control messages are multiplexed ahead of bulk data (modelled as
+/// latency + wire time only).
 class Fabric {
  public:
   Fabric(Simulator* sim, int num_nodes, const Calibration& cal);
@@ -27,6 +31,7 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
 
   int num_nodes() const { return num_nodes_; }
+  const Topology& topology() const { return cal_.topology; }
 
   /// Schedules a bulk transfer of `bytes` from src to dst; `done` fires at
   /// completion time. A local (src == dst) transfer completes immediately
@@ -61,6 +66,12 @@ class Fabric {
   double bytes_sent(NodeId node) const { return bytes_sent_[node]; }
   double bytes_received(NodeId node) const { return bytes_received_[node]; }
   uint64_t data_transfer_count() const { return data_transfer_count_; }
+  /// Bulk transfers that crossed a rack boundary (subset of
+  /// data_transfer_count; always 0 on the flat star).
+  uint64_t cross_rack_transfer_count() const {
+    return cross_rack_transfer_count_;
+  }
+  double cross_rack_bytes() const { return cross_rack_bytes_; }
   uint64_t control_message_count() const { return control_message_count_; }
   uint64_t control_dropped_count() const { return control_dropped_count_; }
   uint64_t control_duplicated_count() const {
@@ -89,12 +100,18 @@ class Fabric {
   uint64_t control_seq_ = 0;
   std::vector<SimTime> out_free_;
   std::vector<SimTime> in_free_;
+  /// Per-rack uplink/downlink FIFO channels; sized NumRacks, empty on the
+  /// flat star (where no rack channel exists to contend on).
+  std::vector<SimTime> rack_up_free_;
+  std::vector<SimTime> rack_down_free_;
   std::vector<double> bytes_sent_;
   std::vector<double> bytes_received_;
   std::vector<double> out_busy_;
   std::vector<double> in_busy_;
   double total_data_bytes_ = 0.0;
   uint64_t data_transfer_count_ = 0;
+  uint64_t cross_rack_transfer_count_ = 0;
+  double cross_rack_bytes_ = 0.0;
   uint64_t control_message_count_ = 0;
   uint64_t control_dropped_count_ = 0;
   uint64_t control_duplicated_count_ = 0;

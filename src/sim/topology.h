@@ -1,0 +1,59 @@
+#ifndef FELA_SIM_TOPOLOGY_H_
+#define FELA_SIM_TOPOLOGY_H_
+
+namespace fela::sim {
+
+/// Physical shape of the cluster network. The default (`rack_size == 0`)
+/// is the paper's testbed: every NIC plugs into one non-blocking switch
+/// (a star), and the fabric behaves exactly as it did before this struct
+/// existed — the 8-node paper figures stay byte-identical.
+///
+/// `rack_size > 0` enables the two-tier rack/aggregation model used for
+/// 1k+ worker runs: nodes [k*rack_size, (k+1)*rack_size) share
+/// top-of-rack switch k. Intra-rack traffic behaves exactly like the
+/// star; cross-rack traffic additionally serializes FIFO on the source
+/// rack's uplink and the destination rack's downlink (each a full-duplex
+/// channel of `uplink_bandwidth_bytes_per_sec`) and pays
+/// `rack_hop_latency_sec` per ToR<->aggregation hop (two per crossing).
+struct Topology {
+  /// Nodes per rack; 0 selects the flat single-switch star.
+  int rack_size = 0;
+
+  /// Rack uplink/downlink bandwidth into the aggregation tier, shared by
+  /// all cross-rack flows of the rack. 0 means "same as the node NIC"
+  /// (a non-oversubscribed fabric).
+  double uplink_bandwidth_bytes_per_sec = 0.0;
+
+  /// Extra one-way latency per ToR<->aggregation hop. A cross-rack path
+  /// traverses two (up into the aggregation switch, down into the
+  /// destination ToR).
+  double rack_hop_latency_sec = 0.0;
+
+  bool hierarchical() const { return rack_size > 0; }
+
+  /// Rack (ToR switch) index of a node; 0 for the flat star.
+  int RackOf(int node) const {
+    return hierarchical() ? node / rack_size : 0;
+  }
+
+  int NumRacks(int num_nodes) const {
+    if (!hierarchical()) return 1;
+    return (num_nodes + rack_size - 1) / rack_size;
+  }
+
+  /// The paper's single-switch star (the default-constructed state).
+  static Topology Flat() { return Topology{}; }
+
+  static Topology Racked(int rack_size, double uplink_bandwidth_bytes_per_sec,
+                         double rack_hop_latency_sec) {
+    Topology t;
+    t.rack_size = rack_size;
+    t.uplink_bandwidth_bytes_per_sec = uplink_bandwidth_bytes_per_sec;
+    t.rack_hop_latency_sec = rack_hop_latency_sec;
+    return t;
+  }
+};
+
+}  // namespace fela::sim
+
+#endif  // FELA_SIM_TOPOLOGY_H_

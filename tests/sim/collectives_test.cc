@@ -93,5 +93,93 @@ TEST_F(CollectivesTest, ConcurrentRingsContendOnSharedLinks) {
   EXPECT_GT(a, one_alone - 1e-9);
 }
 
+// Regression: the ctor used to compute bytes/P and 2*(P-1) before
+// Start()'s guard, so an empty participant set divided by zero and a
+// singleton left negative-round state. Both must now complete
+// immediately without touching the fabric.
+TEST_F(CollectivesTest, EmptyParticipantSetCompletesImmediately) {
+  SimTime done = -1.0;
+  RingAllReduce(&sim_, &fabric_, {}, 1e9, [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+  EXPECT_EQ(fabric_.data_transfer_count(), 0u);
+}
+
+TEST_F(CollectivesTest, SingletonHasNoNegativeRoundState) {
+  // A singleton ring must fire its callback exactly once and schedule no
+  // transfers (2*(1-1) = 0 rounds, not -something wrapped around).
+  int calls = 0;
+  RingAllReduce(&sim_, &fabric_, {5}, 1e9, [&] { ++calls; });
+  sim_.Run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(fabric_.data_transfer_count(), 0u);
+}
+
+// ---- Hierarchical all-reduce -------------------------------------------
+
+Calibration RackedCal() {
+  Calibration cal = TestCal();
+  cal.topology = Topology::Racked(4, 1e9, 1e-4);  // 4-node racks
+  return cal;
+}
+
+class HierarchicalCollectivesTest : public ::testing::Test {
+ protected:
+  HierarchicalCollectivesTest() : fabric_(&sim_, 8, RackedCal()) {}
+  Simulator sim_;
+  Fabric fabric_;
+};
+
+TEST_F(HierarchicalCollectivesTest, CompletesAndSchedulesLinearTransfers) {
+  SimTime done = -1.0;
+  HierarchicalAllReduce(&sim_, &fabric_, {0, 1, 2, 3, 4, 5, 6, 7}, 1e8,
+                        [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_GT(done, 0.0);
+  // P=8 participants in G=2 racks: 2(P-G) intra-rack + 2(G-1) cross-rack
+  // transfers — 14, where the ring would schedule 2*7*8 = 112.
+  EXPECT_EQ(fabric_.data_transfer_count(), 14u);
+  EXPECT_EQ(fabric_.cross_rack_transfer_count(), 2u);
+}
+
+TEST_F(HierarchicalCollectivesTest, SingleRackSkipsCrossRackPhases) {
+  HierarchicalAllReduce(&sim_, &fabric_, {0, 1, 2, 3}, 1e8, [] {});
+  sim_.Run();
+  EXPECT_EQ(fabric_.data_transfer_count(), 6u);  // 2*(4-1), leader 0
+  EXPECT_EQ(fabric_.cross_rack_transfer_count(), 0u);
+}
+
+TEST_F(HierarchicalCollectivesTest, EmptyAndSingletonCompleteImmediately) {
+  int calls = 0;
+  HierarchicalAllReduce(&sim_, &fabric_, {}, 1e8, [&] { ++calls; });
+  HierarchicalAllReduce(&sim_, &fabric_, {6}, 1e8, [&] { ++calls; });
+  sim_.Run();
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(fabric_.data_transfer_count(), 0u);
+}
+
+TEST_F(CollectivesTest, HierarchicalOnFlatFabricDegeneratesToStarGather) {
+  // On a flat topology every node lands in rack 0: one gather + one
+  // broadcast through the first participant, 2*(P-1) transfers.
+  SimTime done = -1.0;
+  HierarchicalAllReduce(&sim_, &fabric_, {0, 1, 2, 3}, 1e8,
+                        [&] { done = sim_.now(); });
+  sim_.Run();
+  EXPECT_GT(done, 0.0);
+  EXPECT_EQ(fabric_.data_transfer_count(), 6u);
+}
+
+TEST_F(CollectivesTest, AllReduceDispatchesToRingOnFlatTopology) {
+  AllReduce(&sim_, &fabric_, {0, 1, 2, 3}, 4e8, [] {});
+  sim_.Run();
+  EXPECT_EQ(fabric_.data_transfer_count(), 2u * 3u * 4u);  // ring rounds
+}
+
+TEST_F(HierarchicalCollectivesTest, AllReduceDispatchesToHierarchical) {
+  AllReduce(&sim_, &fabric_, {0, 1, 2, 3, 4, 5, 6, 7}, 1e8, [] {});
+  sim_.Run();
+  EXPECT_EQ(fabric_.data_transfer_count(), 14u);
+}
+
 }  // namespace
 }  // namespace fela::sim
