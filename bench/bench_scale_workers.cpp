@@ -3,17 +3,22 @@
 // worker trains a constant share of the batch. The point of the bench is
 // the simulator itself: with the topology-dispatched hierarchical
 // collective a sync schedules O(P) transfers where the flat ring
-// schedules 2P(P-1), which is what makes 1k+-worker runs tractable. The
-// bench fails (non-zero exit) if transfers per iteration ever grow
-// super-linearly — the regression gate for the O(P^2) sync path.
+// schedules 2P(P-1), and with the per-rack Token Server sub-distributors
+// a grant costs O(rack_size) where the monolithic server scanned all P
+// workers. The bench fails (non-zero exit) if transfers per iteration
+// ever grow super-linearly, or if the sharded per-event TS cost at 1024
+// workers exceeds 4x the 256-worker cost — the regression gates for the
+// two O(P^2)-ish paths PR 9 and PR 10 flattened. ts_shards=1 comparison
+// points at 256 and 1024 keep the monolithic trajectory visible.
 //
 // Deterministic outputs (stdout table, scale_workers.csv, and
 // BENCH_scale_workers.json under --json) carry only simulated
 // quantities, so they byte-match across --jobs values for the nightly
-// serial-vs-parallel diff. Wall-clock simulation rates (the
-// bench/baselines/ trajectory numbers) go to stderr, and to the
-// machine-specific baseline artifact under --baseline-out=PATH —
-// regenerate it like BENCH_micro_core.json, on the reference machine.
+// serial-vs-parallel diff. Wall-clock simulation rates and the µs/grant
+// TS-cost column (the bench/baselines/ trajectory numbers) go to
+// stderr, and to the machine-specific baseline artifact under
+// --baseline-out=PATH — regenerate it like BENCH_micro_core.json, on
+// the reference machine.
 
 #include <chrono>
 #include <cstdio>
@@ -25,6 +30,7 @@
 #include "common/csv.h"
 #include "common/string_util.h"
 #include "common/units.h"
+#include "core/fela_engine.h"
 #include "model/zoo.h"
 #include "sim/topology.h"
 
@@ -42,8 +48,17 @@ struct PointStats {
   uint64_t events = 0;
   uint64_t transfers = 0;
   uint64_t cross_rack = 0;
+  uint64_t grants = 0;
+  int ts_shards = 0;  // resolved shard count (auto -> rack count)
   WallClock::time_point start;
   double wall_seconds = 0.0;
+};
+
+/// One sweep point: worker count plus the ts_shards override (0 = auto,
+/// one sub-distributor per rack; 1 = the monolithic pre-shard server).
+struct PointSpec {
+  int workers = 0;
+  int ts_shards = 0;
 };
 
 /// Per-worker samples per iteration: weak scaling, so the per-point
@@ -90,12 +105,21 @@ int main(int argc, char** argv) {
   const std::vector<int> worker_counts = opts.Sweep<int>({8, 64, 256, 1024});
   const int iterations = opts.smoke ? 2 : 20;
 
+  // The auto-sharded trajectory, then ts_shards=1 twins of the two
+  // largest points so the nightly numbers keep the monolithic server's
+  // cost curve next to the sharded one.
+  std::vector<PointSpec> point_specs;
+  for (int workers : worker_counts) point_specs.push_back({workers, 0});
+  for (int workers : worker_counts) {
+    if (workers == 256 || workers == 1024) point_specs.push_back({workers, 1});
+  }
+
   // One probe slot per point, allocated up front so the staged lambdas
   // hold stable pointers across the (possibly parallel) sweep.
-  std::vector<PointStats> points(worker_counts.size());
+  std::vector<PointStats> points(point_specs.size());
   std::vector<runtime::SweepItem> items;
-  for (size_t i = 0; i < worker_counts.size(); ++i) {
-    const int workers = worker_counts[i];
+  for (size_t i = 0; i < point_specs.size(); ++i) {
+    const int workers = point_specs[i].workers;
     runtime::ExperimentSpec spec;
     spec.total_batch = kSamplesPerWorker * workers;
     spec.iterations = iterations;
@@ -103,21 +127,26 @@ int main(int argc, char** argv) {
     spec.calibration.topology = RackedTopology();
     spec.observe = false;
     PointStats* slot = &points[i];
-    spec.post_run_probe = [slot](const runtime::Engine&,
+    spec.post_run_probe = [slot](const runtime::Engine& engine,
                                  runtime::Cluster& cluster) {
       slot->events = cluster.simulator().events_processed();
       slot->transfers = cluster.fabric().data_transfer_count();
       slot->cross_rack = cluster.fabric().cross_rack_transfer_count();
+      if (const auto* fela = dynamic_cast<const core::FelaEngine*>(&engine)) {
+        slot->grants = fela->ts_stats().grants;
+        slot->ts_shards = fela->ts_shard_count();
+      }
       slot->wall_seconds =
           std::chrono::duration<double>(WallClock::now() - slot->start)
               .count();
     };
+    core::FelaConfig cfg = core::FelaConfig::Defaults(num_levels, workers);
+    cfg.ts_shards = point_specs[i].ts_shards;
     // Wrap the factory to stamp the wall-clock start right before engine
     // construction: each point runs single-threaded, so the window is
     // valid under any --jobs.
     runtime::EngineFactory factory =
-        [slot, base = suite::FelaFactory(
-                   model, core::FelaConfig::Defaults(num_levels, workers))](
+        [slot, base = suite::FelaFactory(model, cfg)](
             runtime::Cluster& cluster, double total_batch) {
           slot->start = WallClock::now();
           return base(cluster, total_batch);
@@ -131,7 +160,7 @@ int main(int argc, char** argv) {
 
   std::ofstream csv_file("scale_workers.csv");
   common::CsvWriter csv(csv_file);
-  csv.WriteRow({"workers", "iterations", "sim_seconds",
+  csv.WriteRow({"workers", "ts_shards", "iterations", "sim_seconds",
                 "throughput_samples_per_sec", "events_per_iteration",
                 "transfers_per_iteration", "cross_rack_per_iteration"});
 
@@ -140,11 +169,15 @@ int main(int argc, char** argv) {
   std::printf("\nVGG19, weak-scaled (%.0f samples/worker), racked fabric "
               "(32/rack, 40 Gbps uplinks), %d iterations:\n\n",
               kSamplesPerWorker, iterations);
-  std::printf("  %8s %12s %14s %12s %12s %12s\n", "workers", "sim_s",
-              "samples/s", "events/iter", "xfers/iter", "xrack/iter");
+  std::printf("  %8s %7s %12s %14s %12s %12s %12s\n", "workers", "shards",
+              "sim_s", "samples/s", "events/iter", "xfers/iter", "xrack/iter");
   int rc = 0;
-  for (size_t i = 0; i < worker_counts.size(); ++i) {
-    const int workers = worker_counts[i];
+  // Per-event wall cost of the auto-sharded 256/1024 points, for the
+  // blast-radius gate below.
+  double sharded_cost_256 = 0.0;
+  double sharded_cost_1024 = 0.0;
+  for (size_t i = 0; i < point_specs.size(); ++i) {
+    const int workers = point_specs[i].workers;
     const runtime::ExperimentResult& r = results[i];
     const PointStats& p = points[i];
     report.Add(r, static_cast<double>(workers));
@@ -154,10 +187,11 @@ int main(int argc, char** argv) {
         static_cast<double>(p.transfers) / iterations;
     const double xrack_per_iter =
         static_cast<double>(p.cross_rack) / iterations;
-    std::printf("  %8d %12.3f %14.1f %12.1f %12.1f %12.1f\n", workers,
-                r.stats.total_time, r.average_throughput, events_per_iter,
-                xfers_per_iter, xrack_per_iter);
+    std::printf("  %8d %7d %12.3f %14.1f %12.1f %12.1f %12.1f\n", workers,
+                p.ts_shards, r.stats.total_time, r.average_throughput,
+                events_per_iter, xfers_per_iter, xrack_per_iter);
     csv.WriteRow({common::StrFormat("%d", workers),
+                  common::StrFormat("%d", p.ts_shards),
                   common::StrFormat("%d", iterations),
                   common::StrFormat("%.6f", r.stats.total_time),
                   common::StrFormat("%.3f", r.average_throughput),
@@ -165,16 +199,31 @@ int main(int argc, char** argv) {
                   common::StrFormat("%.1f", xfers_per_iter),
                   common::StrFormat("%.1f", xrack_per_iter)});
     // Wall-clock rates are machine-specific: stderr only, so stdout
-    // stays byte-identical across machines and --jobs values.
+    // stays byte-identical across machines and --jobs values. The TS
+    // cost column: wall microseconds per simulated event and per grant —
+    // the number the sub-distributor split is meant to flatten.
     const double iters_per_sec =
         p.wall_seconds > 0.0 ? iterations / p.wall_seconds : 0.0;
+    const double us_per_event =
+        p.events > 0 ? 1e6 * p.wall_seconds / static_cast<double>(p.events)
+                     : 0.0;
+    const double us_per_grant =
+        p.grants > 0 ? 1e6 * p.wall_seconds / static_cast<double>(p.grants)
+                     : 0.0;
     std::fprintf(stderr,
-                 "wall[%d workers]: %.2f iterations/sec (%.3fs for %d)\n",
-                 workers, iters_per_sec, p.wall_seconds, iterations);
+                 "wall[%d workers, %d shard(s)]: %.2f iterations/sec "
+                 "(%.3fs for %d); ts-cost %.2f us/event, %.2f us/grant\n",
+                 workers, p.ts_shards, iters_per_sec, p.wall_seconds,
+                 iterations, us_per_event, us_per_grant);
+    if (p.ts_shards > 1) {
+      if (workers == 256) sharded_cost_256 = us_per_event;
+      if (workers == 1024) sharded_cost_1024 = us_per_event;
+    }
 
     common::Json row = common::Json::Object();
     row.Set("engine", r.engine_name);
     row.Set("x", static_cast<double>(workers));
+    row.Set("ts_shards", p.ts_shards);
     row.Set("iterations", r.stats.iteration_count());
     row.Set("mean_iteration_seconds", r.stats.MeanIterationSeconds());
     row.Set("total_seconds", r.stats.total_time);
@@ -182,6 +231,8 @@ int main(int argc, char** argv) {
     row.Set("gpu_utilization", r.gpu_utilization);
     row.Set("stalled", r.stats.stalled);
     row.Set("wall_iterations_per_sec", iters_per_sec);
+    row.Set("wall_us_per_event", us_per_event);
+    row.Set("wall_us_per_grant", us_per_grant);
     row.Set("events_per_iteration", events_per_iter);
     row.Set("transfers_per_iteration", xfers_per_iter);
     row.Set("cross_rack_per_iteration", xrack_per_iter);
@@ -209,6 +260,28 @@ int main(int argc, char** argv) {
   }
   std::printf("\nwrote scale_workers.csv\n");
 
+  // The per-grant O(rack_size) gate: with one sub-distributor per rack
+  // the TS work per event must stop growing with P — the monolithic
+  // server's victim scans made 1024 workers ~17x costlier per event than
+  // 256. Wall-clock based, so it only arms on full (non-smoke) runs,
+  // and 4x leaves generous headroom over the ~1-2x a flat per-event
+  // profile shows in practice.
+  if (!opts.smoke && sharded_cost_256 > 0.0 && sharded_cost_1024 > 0.0) {
+    const double ratio = sharded_cost_1024 / sharded_cost_256;
+    std::fprintf(stderr,
+                 "ts-cost ratio (sharded 1024 vs 256): %.2fx "
+                 "(%.2f vs %.2f us/event)\n",
+                 ratio, sharded_cost_1024, sharded_cost_256);
+    if (ratio > 4.0) {
+      std::fprintf(stderr,
+                   "FAIL: sharded per-event TS cost grew %.2fx from 256 to "
+                   "1024 workers (> 4x): the sub-distributor split is no "
+                   "longer containing the per-grant scan\n",
+                   ratio);
+      rc = 1;
+    }
+  }
+
   if (!baseline_out.empty()) {
     common::Json doc = common::Json::Object();
     doc.Set("bench", std::string("scale_workers"));
@@ -229,7 +302,8 @@ int main(int argc, char** argv) {
   }
 
   // Determinism gate on a racked mid-size point: the hierarchical
-  // collective and rack channels must replay byte-identically.
+  // collective, rack channels, and per-rack sub-distributors must replay
+  // byte-identically.
   runtime::ExperimentSpec gate;
   gate.total_batch = kSamplesPerWorker * 64;
   gate.iterations = 3;

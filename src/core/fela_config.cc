@@ -83,6 +83,11 @@ common::Status ValidateConfig(const FelaConfig& config, int num_sub_models,
         "ts_failover_timeout_sec must be positive, got %g",
         config.ts_failover_timeout_sec));
   }
+  if (config.ts_shards < 0 || config.ts_shards > num_workers) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "ts_shards %d out of [0, %d] (0 = one shard per rack)",
+        config.ts_shards, num_workers));
+  }
   return common::Status::Ok();
 }
 

@@ -53,6 +53,13 @@ struct FelaConfig {
   double ts_checkpoint_interval_sec = 5.0;
   double ts_failover_timeout_sec = 10.0;
 
+  /// Token Server shard count. 0 = auto: one sub-distributor per
+  /// topology rack (a flat cluster gets exactly one shard, which is
+  /// byte-identical to the unsharded server). An explicit value forces
+  /// that many shards over contiguous worker blocks regardless of the
+  /// topology; 1 pins the single-server behaviour.
+  int ts_shards = 0;
+
   std::string ToString() const;
 
   /// Uniform weights {1,1,...}; the untuned default.

@@ -29,6 +29,19 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
                       cluster->num_workers(),
                       cluster->calibration().bytes_per_scalar)) {
   ts_ = MakeTokenServer();
+  // Per-shard control plane: each sub-distributor is hosted on its
+  // lowest member (the root shard lands on worker 0, §III-A) and fails
+  // over independently.
+  num_ts_shards_ = ts_->num_shards();
+  shard_host_.resize(static_cast<size_t>(num_ts_shards_));
+  for (int s = 0; s < num_ts_shards_; ++s) {
+    shard_host_[static_cast<size_t>(s)] = ts_->shard_member_begin(s);
+  }
+  shard_inc_.assign(static_cast<size_t>(num_ts_shards_), 0);
+  shard_active_.assign(static_cast<size_t>(num_ts_shards_), true);
+  shard_failover_timer_.assign(static_cast<size_t>(num_ts_shards_),
+                               sim::kInvalidEventId);
+  shard_lease_cps_.resize(static_cast<size_t>(num_ts_shards_));
 
   worker_ctx_.sim = &cluster_->simulator();
   worker_ctx_.fabric = &cluster_->fabric();
@@ -41,16 +54,19 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
   // fencing guarantees no message addressed to a dead incarnation is
   // ever applied to its successor.
   worker_ctx_.cbs.send_request = [this](sim::NodeId w) {
-    const int inc = ts_incarnation_;
-    cluster_->fabric().SendControl(w, ts_node_, [this, w, inc] {
-      if (inc != ts_incarnation_ || !ts_active_) return;  // fenced
+    const size_t s = static_cast<size_t>(ts_->ShardOfWorker(w));
+    const int inc = shard_inc_[s];
+    cluster_->fabric().SendControl(w, shard_host_[s], [this, w, s, inc] {
+      if (inc != shard_inc_[s] || !shard_active_[s]) return;  // fenced
       ts_->HandleRequest(w);
     });
   };
   worker_ctx_.cbs.send_report = [this](sim::NodeId w, const Token& token) {
-    const int inc = ts_incarnation_;
-    cluster_->fabric().SendControl(w, ts_node_, [this, w, token, inc] {
-      if (inc != ts_incarnation_ || !ts_active_) return;  // fenced
+    const size_t s = static_cast<size_t>(ts_->ShardOfWorker(w));
+    const int inc = shard_inc_[s];
+    cluster_->fabric().SendControl(w, shard_host_[s], [this, w, token, s,
+                                                      inc] {
+      if (inc != shard_inc_[s] || !shard_active_[s]) return;  // fenced
       ts_->HandleReport(w, token);
     });
   };
@@ -79,7 +95,7 @@ FelaEngine::FelaEngine(runtime::Cluster* cluster, const model::Model& model,
     monitor_ = std::make_unique<sim::FaultMonitor>(
         &cluster_->simulator(), &cluster_->faults(), cluster_->num_workers(),
         std::move(m_cbs));
-    monitor_->set_anchor([this] { return static_cast<int>(ts_node_); });
+    monitor_->set_anchor([this] { return static_cast<int>(shard_host_[0]); });
   }
 }
 
@@ -91,10 +107,20 @@ std::unique_ptr<TokenServer> FelaEngine::MakeTokenServer() {
   ts_cbs.on_level_complete = [this](int level) { OnLevelComplete(level); };
   ts_cbs.on_all_levels_complete = [this] { OnAllLevelsComplete(); };
   ts_cbs.on_reclaim = [this](const Token& token, sim::NodeId from) {
-    FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
+    FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(),
+               shard_host_[static_cast<size_t>(ts_->ShardOfWorker(from))],
                sim::TraceKind::kTokenReclaim,
                FELA_TOK("Token_%lld from=%d attempt=%d"),
                static_cast<long long>(token.id), from, token.attempt);
+  };
+  // Hierarchical steals only cross shard boundaries their hosts can
+  // currently talk over; absent a fault schedule everything is reachable.
+  ts_cbs.shard_reachable = [this](int from_shard, int to_shard) {
+    if (!monitor_) return true;
+    return !cluster_->faults().Partitioned(
+        cluster_->simulator().now(),
+        shard_host_[static_cast<size_t>(from_shard)],
+        shard_host_[static_cast<size_t>(to_shard)]);
   };
   auto ts = std::make_unique<TokenServer>(&cluster_->simulator(),
                                           &cluster_->calibration(), &plan_,
@@ -116,10 +142,23 @@ void FelaEngine::OnWorkerCrash(int worker) {
   // Kill the worker process first (voids its in-flight work), then let
   // the TS reclaim its lease and re-route the token elsewhere.
   workers_[static_cast<size_t>(worker)].OnCrash();
-  if (worker == ts_node_) {
-    // The TS host died with it: fence the incarnation and fail over.
-    FenceTs();
-  } else if (ts_active_) {
+  const int s = ts_->ShardOfWorker(worker);
+  if (num_ts_shards_ == 1) {
+    if (worker == shard_host_[0]) {
+      // The TS host died with it: fence the incarnation and fail over.
+      FenceShard(0);
+    } else if (shard_active_[0]) {
+      ts_->SetWorkerDown(worker, true);
+    }
+  } else {
+    // Only the dead host's shard fences; the rest of the server keeps
+    // granting. The fence silently reclaims the shard's leases first, so
+    // marking the worker down afterwards never fires a reclaim callback
+    // for work the successor incarnation will replay.
+    if (worker == shard_host_[static_cast<size_t>(s)] &&
+        shard_active_[static_cast<size_t>(s)]) {
+      FenceShard(s);
+    }
     ts_->SetWorkerDown(worker, true);
   }
 }
@@ -130,13 +169,14 @@ void FelaEngine::OnWorkerRecover(int worker) {
   const sim::SimTime now = cluster_->simulator().now();
   FELA_TRACE(&cluster_->trace(), now, worker, sim::TraceKind::kWorkerRecover,
              FELA_TOK("it=%d"), current_iteration_);
-  if (!ts_active_ && failover_timer_ == sim::kInvalidEventId) {
-    // The fenced incarnation found no live standby; this recovery
+  const size_t ws = static_cast<size_t>(ts_->ShardOfWorker(worker));
+  if (!shard_active_[ws] && shard_failover_timer_[ws] == sim::kInvalidEventId) {
+    // The worker's fenced shard found no live standby; this recovery
     // provides one.
-    CompleteFailover();
+    CompleteShardFailover(static_cast<int>(ws));
   }
   const bool cut = monitor_ && monitor_->IsCut(worker);
-  if (ts_active_ && !cut) ts_->SetWorkerDown(worker, false);
+  if (shard_active_[ws] && !cut) ts_->SetWorkerDown(worker, false);
   recover_pending_[static_cast<size_t>(worker)] = now;
   if (cut) return;  // still unreachable; the heal event re-admits it
   // Elastic scale-out normally waits for the iteration boundary, but a
@@ -150,9 +190,10 @@ void FelaEngine::OnWorkerRecover(int worker) {
 void FelaEngine::OnWorkerCut(int worker) {
   if (run_complete_) return;
   ++stats_.faults.partition_cuts;
+  const size_t ws = static_cast<size_t>(ts_->ShardOfWorker(worker));
   FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), worker,
              sim::TraceKind::kPartitionCut, FELA_TOK("it=%d anchor=%d"),
-             current_iteration_, static_cast<int>(ts_node_));
+             current_iteration_, static_cast<int>(shard_host_[ws]));
   const size_t w = static_cast<size_t>(worker);
   if (admitted_[w]) {
     admitted_[w] = false;
@@ -162,29 +203,60 @@ void FelaEngine::OnWorkerCut(int worker) {
   recover_pending_[w] = -1.0;
   // The process is alive (no OnCrash): it keeps computing and retrying;
   // the fabric drops its control messages until the partition heals.
-  if (ts_active_) ts_->SetWorkerDown(worker, true);
-  // Quorum: if the TS can no longer reach a majority of the up workers
-  // it must yield — the majority side fails over to a standby it can
-  // reach and keeps training while the TS's island parks.
-  int up = 0;
-  int cut_up = 0;
-  for (int i = 0; i < cluster_->num_workers(); ++i) {
-    if (monitor_->IsDown(i)) continue;
-    ++up;
-    if (monitor_->IsCut(i)) ++cut_up;
+  if (shard_active_[ws]) ts_->SetWorkerDown(worker, true);
+  if (num_ts_shards_ == 1) {
+    // Quorum: if the TS can no longer reach a majority of the up workers
+    // it must yield — the majority side fails over to a standby it can
+    // reach and keeps training while the TS's island parks.
+    int up = 0;
+    int cut_up = 0;
+    for (int i = 0; i < cluster_->num_workers(); ++i) {
+      if (monitor_->IsDown(i)) continue;
+      ++up;
+      if (monitor_->IsCut(i)) ++cut_up;
+    }
+    if (shard_active_[0] && !failing_over_ && 2 * cut_up > up) FenceShard(0);
+    return;
   }
-  if (ts_active_ && !failing_over_ && 2 * cut_up > up) FenceTs();
+  // Sharded quorum is local: a sub-distributor yields only when its own
+  // host can no longer reach a majority of its up members. A partition
+  // that isolates a whole rack (members still with their host) fences
+  // nothing — that rack simply parks until the heal — while a partition
+  // that strands a host away from its members hands the shard to a
+  // standby on the majority side.
+  const sim::SimTime now = cluster_->simulator().now();
+  const sim::FaultSchedule& faults = cluster_->faults();
+  for (int s = 0; s < num_ts_shards_; ++s) {
+    if (!shard_active_[static_cast<size_t>(s)] || failing_over_) continue;
+    const sim::NodeId host = shard_host_[static_cast<size_t>(s)];
+    int up = 0;
+    int cut_up = 0;
+    for (sim::NodeId m = ts_->shard_member_begin(s);
+         m < ts_->shard_member_end(s); ++m) {
+      if (monitor_->IsDown(m)) continue;
+      ++up;
+      if (m != host && faults.Partitioned(now, m, host)) ++cut_up;
+    }
+    if (2 * cut_up > up) FenceShard(s);
+  }
 }
 
 void FelaEngine::OnWorkerHeal(int worker) {
   if (run_complete_) return;
   ++stats_.faults.partition_heals;
   const sim::SimTime now = cluster_->simulator().now();
+  const size_t ws = static_cast<size_t>(ts_->ShardOfWorker(worker));
   FELA_TRACE(&cluster_->trace(), now, worker, sim::TraceKind::kPartitionHeal,
              FELA_TOK("it=%d anchor=%d"), current_iteration_,
-             static_cast<int>(ts_node_));
+             static_cast<int>(shard_host_[ws]));
   if (monitor_->IsDown(worker)) return;  // still crashed; recover re-admits
-  if (ts_active_) ts_->SetWorkerDown(worker, false);
+  if (num_ts_shards_ > 1 && !shard_active_[ws] &&
+      shard_failover_timer_[ws] == sim::kInvalidEventId) {
+    // The worker's fenced shard found no live standby while partitioned;
+    // this heal provides one.
+    CompleteShardFailover(static_cast<int>(ws));
+  }
+  if (shard_active_[ws]) ts_->SetWorkerDown(worker, false);
   recover_pending_[static_cast<size_t>(worker)] = now;
   if (NeedsImmediateReadmit(worker)) {
     ReAdmit(worker);
@@ -221,13 +293,34 @@ void FelaEngine::ReAdmit(int worker) {
 }
 
 void FelaEngine::TakeCheckpoint() {
-  if (!ts_active_ || run_complete_) return;
-  last_checkpoint_ = ts_->MakeCheckpoint();
-  ++stats_.faults.ts_checkpoints;
+  if (run_complete_) return;
+  if (num_ts_shards_ == 1) {
+    if (!shard_active_[0]) return;
+    last_checkpoint_ = ts_->MakeCheckpoint();
+    ++stats_.faults.ts_checkpoints;
+    return;
+  }
+  // Sharded: each active sub-distributor snapshots its lease table (its
+  // bucket inventory is root-replicated and survives the host); fenced
+  // shards keep their last pre-fence snapshot for the promotion.
+  bool any = false;
+  for (int s = 0; s < num_ts_shards_; ++s) {
+    if (!shard_active_[static_cast<size_t>(s)]) continue;
+    shard_lease_cps_[static_cast<size_t>(s)] = ts_->MakeShardLeaseCheckpoint(s);
+    any = true;
+  }
+  if (any) ++stats_.faults.ts_checkpoints;
+}
+
+bool FelaEngine::AnyShardActive() const {
+  for (int s = 0; s < num_ts_shards_; ++s) {
+    if (shard_active_[static_cast<size_t>(s)]) return true;
+  }
+  return false;
 }
 
 void FelaEngine::ArmCheckpointTimer() {
-  if (!faults_active() || run_complete_ || !ts_active_) return;
+  if (!faults_active() || run_complete_ || !AnyShardActive()) return;
   if (checkpoint_timer_ != sim::kInvalidEventId) return;
   // Once the schedule has no transitions ahead, no future crash or cut
   // can consume a checkpoint — and an unconditionally re-arming timer
@@ -242,7 +335,7 @@ void FelaEngine::ArmCheckpointTimer() {
   checkpoint_timer_ = cluster_->simulator().Schedule(
       config_.ts_checkpoint_interval_sec, [this] {
         checkpoint_timer_ = sim::kInvalidEventId;
-        if (run_complete_ || !ts_active_) return;
+        if (run_complete_ || !AnyShardActive()) return;
         TakeCheckpoint();
         ArmCheckpointTimer();
       });
@@ -255,47 +348,63 @@ void FelaEngine::CancelCheckpointTimer() {
   }
 }
 
-void FelaEngine::CancelFailoverTimer() {
-  if (failover_timer_ != sim::kInvalidEventId) {
-    cluster_->simulator().Cancel(failover_timer_);
-    failover_timer_ = sim::kInvalidEventId;
+void FelaEngine::CancelFailoverTimers() {
+  for (auto& timer : shard_failover_timer_) {
+    if (timer != sim::kInvalidEventId) {
+      cluster_->simulator().Cancel(timer);
+      timer = sim::kInvalidEventId;
+    }
   }
 }
 
-void FelaEngine::FenceTs() {
-  if (!ts_active_ || run_complete_) return;
-  ts_active_ = false;
-  CancelCheckpointTimer();
-  // Close the incarnation's ledger: live leases die with it and count as
-  // reclaimed, so grants + restored == completions + reclaimed holds per
-  // incarnation. The standby replays the lost work from the checkpoint.
-  ts_->FinalizeForFailover();
-  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
+void FelaEngine::FenceShard(int shard) {
+  const size_t s = static_cast<size_t>(shard);
+  if (!shard_active_[s] || run_complete_) return;
+  shard_active_[s] = false;
+  if (num_ts_shards_ == 1) {
+    CancelCheckpointTimer();
+    // Close the incarnation's ledger: live leases die with it and count
+    // as reclaimed, so grants + restored == completions + reclaimed
+    // holds per incarnation. The standby replays the lost work from the
+    // checkpoint.
+    ts_->FinalizeForFailover();
+  } else {
+    // Sharded fence is live-handoff: the shard's leases are reclaimed
+    // into its buckets (root-held inventory) and its closed ledger is
+    // archived now; the rest of the server keeps granting.
+    ts_stats_archive_ += ts_->FenceShard(shard);
+  }
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), shard_host_[s],
              sim::TraceKind::kTsFailover, FELA_TOK("fence inc=%d it=%d"),
-             ts_incarnation_, current_iteration_);
+             shard_inc_[s], current_iteration_);
   // fela-lint: allow(untraced-event): the promotion traces kTsFailover
   // itself when the timer fires.
-  failover_timer_ = cluster_->simulator().Schedule(
-      config_.ts_failover_timeout_sec, [this] {
-        failover_timer_ = sim::kInvalidEventId;
-        CompleteFailover();
+  shard_failover_timer_[s] = cluster_->simulator().Schedule(
+      config_.ts_failover_timeout_sec, [this, shard] {
+        shard_failover_timer_[static_cast<size_t>(shard)] =
+            sim::kInvalidEventId;
+        CompleteShardFailover(shard);
       });
 }
 
-void FelaEngine::CompleteFailover() {
-  if (run_complete_ || ts_active_) return;
+void FelaEngine::CompleteShardFailover(int shard) {
+  const size_t sidx = static_cast<size_t>(shard);
+  if (run_complete_ || shard_active_[sidx]) return;
   const sim::SimTime now = cluster_->simulator().now();
   const int n = cluster_->num_workers();
   const sim::FaultSchedule& faults = cluster_->faults();
-  // Standby election: the up worker that can reach the most other up
-  // workers right now (ties -> lowest id). Deterministic, and it lands
-  // the new server on the majority side of any partition.
+  // Standby election among the shard's members (the whole cluster when
+  // unsharded): the up member that can reach the most other up members
+  // right now (ties -> lowest id). Deterministic, and it lands the new
+  // sub-distributor on the majority side of any partition.
+  const sim::NodeId mb = ts_->shard_member_begin(shard);
+  const sim::NodeId me = ts_->shard_member_end(shard);
   int best = -1;
   int best_score = -1;
-  for (int c = 0; c < n; ++c) {
+  for (sim::NodeId c = mb; c < me; ++c) {
     if (monitor_->IsDown(c)) continue;
     int score = 0;
-    for (int o = 0; o < n; ++o) {
+    for (sim::NodeId o = mb; o < me; ++o) {
       if (o == c || monitor_->IsDown(o)) continue;
       if (!faults.Partitioned(now, c, o)) ++score;
     }
@@ -304,52 +413,85 @@ void FelaEngine::CompleteFailover() {
       best = c;
     }
   }
-  if (best < 0) return;  // nobody up: OnWorkerRecover retries the failover
+  if (best < 0) return;  // no member up: the next recover/heal retries
 
-  ts_stats_archive_ += ts_->stats();  // archive the fenced incarnation
-  ts_node_ = best;
-  ++ts_incarnation_;
-  ts_ = MakeTokenServer();
-  ts_->set_leases_enabled(true);
-  ts_active_ = true;
+  if (num_ts_shards_ == 1) {
+    ts_stats_archive_ += ts_->stats();  // archive the fenced incarnation
+    shard_host_[0] = best;
+    ++shard_inc_[0];
+    ts_ = MakeTokenServer();
+    ts_->set_leases_enabled(true);
+    shard_active_[0] = true;
+    ++stats_.faults.ts_failovers;
+    FELA_TRACE(&cluster_->trace(), now, shard_host_[0],
+               sim::TraceKind::kTsFailover,
+               FELA_TOK("promote inc=%d it=%d reach=%d"), shard_inc_[0],
+               current_iteration_, best_score);
+
+    std::vector<bool> down_now(static_cast<size_t>(n), false);
+    for (int w = 0; w < n; ++w) {
+      down_now[static_cast<size_t>(w)] =
+          monitor_->IsDown(w) ||
+          (w != shard_host_[0] && faults.Partitioned(now, w, shard_host_[0]));
+    }
+    if (last_checkpoint_.valid &&
+        last_checkpoint_.iteration == current_iteration_) {
+      ts_->Restore(last_checkpoint_, down_now);
+    } else {
+      // No usable snapshot (the crash raced the very first checkpoint,
+      // or the iteration turned over while fenced): restart the
+      // iteration's token schedule from scratch. Workers re-train it;
+      // reports for old-incarnation tokens are absorbed as duplicates.
+      ts_->BeginIteration(current_iteration_);
+      for (int w = 0; w < n; ++w) {
+        if (down_now[static_cast<size_t>(w)]) ts_->SetWorkerDown(w, true);
+      }
+    }
+    // Re-anchor the partition monitor on the new host: parked workers
+    // the new host can reach heal (and re-admit at the next boundary);
+    // the old host's island parks. The quorum re-check is suppressed — a
+    // *new* schedule transition, not the re-anchoring itself, must
+    // trigger the next fence.
+    failing_over_ = true;
+    monitor_->RefreshCuts();
+    failing_over_ = false;
+    TakeCheckpoint();
+    ArmCheckpointTimer();
+    return;
+  }
+
+  // Sharded promote: the retained root un-fences the shard under a new
+  // incarnation, re-arming the checkpointed leases whose tokens are
+  // still parked in its buckets.
+  shard_host_[sidx] = best;
+  ++shard_inc_[sidx];
+  shard_active_[sidx] = true;
   ++stats_.faults.ts_failovers;
-  FELA_TRACE(&cluster_->trace(), now, ts_node_, sim::TraceKind::kTsFailover,
-             FELA_TOK("promote inc=%d it=%d reach=%d"), ts_incarnation_,
+  FELA_TRACE(&cluster_->trace(), now, shard_host_[sidx],
+             sim::TraceKind::kTsFailover,
+             FELA_TOK("promote inc=%d it=%d reach=%d"), shard_inc_[sidx],
              current_iteration_, best_score);
-
   std::vector<bool> down_now(static_cast<size_t>(n), false);
   for (int w = 0; w < n; ++w) {
     down_now[static_cast<size_t>(w)] =
         monitor_->IsDown(w) ||
-        (w != ts_node_ && faults.Partitioned(now, w, ts_node_));
+        (w != best && faults.Partitioned(now, w, best));
   }
-  if (last_checkpoint_.valid &&
-      last_checkpoint_.iteration == current_iteration_) {
-    ts_->Restore(last_checkpoint_, down_now);
-  } else {
-    // No usable snapshot (the crash raced the very first checkpoint, or
-    // the iteration turned over while fenced): restart the iteration's
-    // token schedule from scratch. Workers re-train it; reports for
-    // old-incarnation tokens are absorbed as duplicates.
-    ts_->BeginIteration(current_iteration_);
-    for (int w = 0; w < n; ++w) {
-      if (down_now[static_cast<size_t>(w)]) ts_->SetWorkerDown(w, true);
-    }
+  ts_->RestoreShard(shard, shard_lease_cps_[sidx], down_now);
+  if (shard == 0) {
+    // The root's host moved: re-anchor the partition monitor on it (the
+    // sub-distributor shards never anchor the monitor).
+    failing_over_ = true;
+    monitor_->RefreshCuts();
+    failing_over_ = false;
   }
-  // Re-anchor the partition monitor on the new host: parked workers the
-  // new host can reach heal (and re-admit at the next boundary); the old
-  // host's island parks. The quorum re-check is suppressed — a *new*
-  // schedule transition, not the re-anchoring itself, must trigger the
-  // next fence.
-  failing_over_ = true;
-  monitor_->RefreshCuts();
-  failing_over_ = false;
   TakeCheckpoint();
   ArmCheckpointTimer();
 }
 
 void FelaEngine::DeliverGrant(sim::NodeId worker, const Grant& grant) {
-  const sim::NodeId src = ts_node_;
+  const sim::NodeId src =
+      shard_host_[static_cast<size_t>(ts_->ShardOfWorker(worker))];
   // Notify the holders of the granted token's dependencies so they are
   // prepared for the incoming fetches (§III-A); fire-and-forget controls.
   for (const auto& [holder, bytes] : grant.remote_fetches) {
@@ -377,7 +519,7 @@ void FelaEngine::StartIteration(int iteration) {
   syncs_done_ = 0;
   tokens_done_ = false;
   std::fill(sync_started_.begin(), sync_started_.end(), false);
-  FELA_TRACE(&cluster_->trace(), iteration_start_, ts_node_,
+  FELA_TRACE(&cluster_->trace(), iteration_start_, shard_host_[0],
              sim::TraceKind::kIterationStart, FELA_TOK("it=%d"), iteration);
   if (cluster_->spans().enabled()) {
     iter_span_.emplace(&cluster_->spans(), cluster_->num_workers(),
@@ -392,7 +534,11 @@ void FelaEngine::StartIteration(int iteration) {
       ReAdmit(w);
     }
   }
-  if (ts_active_) {
+  // With one shard, a fenced server cannot turn the iteration over (the
+  // promoted incarnation calls BeginIteration itself); a sharded root is
+  // never destroyed, so the iteration always starts — fenced shards just
+  // hold their freshly minted tokens until their promotion.
+  if (num_ts_shards_ > 1 || shard_active_[0]) {
     ts_->BeginIteration(iteration);
     // Boundary checkpoint: a failover early in the iteration restores to
     // its start instead of replaying the previous one.
@@ -435,7 +581,7 @@ void FelaEngine::OnLevelComplete(int level) {
     }
   }
 
-  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), shard_host_[0],
              sim::TraceKind::kSyncStart, FELA_TOK("SM-%d %.1fMB among %zu"),
              level + 1, lp.sync_bytes / 1e6, participants.size());
   sim::AllReduce(&cluster_->simulator(), &cluster_->fabric(),
@@ -445,7 +591,7 @@ void FelaEngine::OnLevelComplete(int level) {
 
 void FelaEngine::OnSyncDone(int level) {
   ++syncs_done_;
-  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), ts_node_,
+  FELA_TRACE(&cluster_->trace(), cluster_->simulator().now(), shard_host_[0],
              sim::TraceKind::kSyncEnd, FELA_TOK("SM-%d"), level + 1);
   MaybeFinishIteration();
 }
@@ -459,8 +605,9 @@ void FelaEngine::MaybeFinishIteration() {
   if (!tokens_done_ || syncs_done_ != plan_.num_levels()) return;
   const sim::SimTime now = cluster_->simulator().now();
   stats_.iterations.push_back(runtime::IterationStats{iteration_start_, now});
-  FELA_TRACE(&cluster_->trace(), now, ts_node_, sim::TraceKind::kIterationEnd,
-             FELA_TOK("it=%d"), current_iteration_);
+  FELA_TRACE(&cluster_->trace(), now, shard_host_[0],
+             sim::TraceKind::kIterationEnd, FELA_TOK("it=%d"),
+             current_iteration_);
   iter_span_.reset();  // emits the iteration framing span
   if (current_iteration_ + 1 < target_iterations_) {
     StartIteration(current_iteration_ + 1);
@@ -470,7 +617,7 @@ void FelaEngine::MaybeFinishIteration() {
     // keeps the queue alive or inflates total_time.
     if (monitor_) monitor_->Stop();
     CancelCheckpointTimer();
-    CancelFailoverTimer();
+    CancelFailoverTimers();
     ts_->CancelAllLeases();
     for (auto& w : workers_) w.Quiesce();
   }
@@ -582,6 +729,26 @@ runtime::RunStats FelaEngine::Run(int iterations) {
     m.GetCounter("ts_local_dep_hits", labels).Increment(ts.local_dep_hits);
     m.GetGauge("ts_conflict_delay_seconds", labels)
         .Set(ts.conflict_delay_total);
+    if (num_ts_shards_ > 1) {
+      // Hierarchical-distributor observability: the cross-rack steal
+      // totals plus each sub-distributor's live-incarnation ledger. Only
+      // emitted for sharded servers so unsharded metric dumps (and their
+      // golden diffs) are unchanged.
+      m.GetCounter("ts_cross_shard_steals", labels)
+          .Increment(ts.cross_shard_steals);
+      m.GetCounter("ts_donations", labels).Increment(ts.donations);
+      for (int s = 0; s < num_ts_shards_; ++s) {
+        const TokenServer::Stats& ss = ts_->shard_stats(s);
+        const std::string shard_labels =
+            common::StrFormat("engine=Fela,shard=%d", s);
+        m.GetCounter("ts_shard_grants", shard_labels).Increment(ss.grants);
+        m.GetCounter("ts_shard_steals", shard_labels).Increment(ss.steals);
+        m.GetCounter("ts_shard_cross_shard_steals", shard_labels)
+            .Increment(ss.cross_shard_steals);
+        m.GetCounter("ts_shard_donations", shard_labels)
+            .Increment(ss.donations);
+      }
+    }
     for (const auto& w : workers_) {
       m.GetGauge("worker_tokens_trained",
                  common::StrFormat("engine=Fela,worker=%d", w.id()))

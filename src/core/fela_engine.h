@@ -63,7 +63,9 @@ class FelaEngine : public runtime::Engine {
   const std::vector<model::SubModel>& sub_models() const {
     return sub_models_;
   }
-  const TokenServer::Stats& ts_stats() const { return ts_->stats(); }
+  /// Cluster-wide ledger of the live incarnation(s): the element-wise
+  /// sum over every shard of the current server.
+  TokenServer::Stats ts_stats() const { return ts_->stats(); }
   /// Live token server, for post-run invariant probes (the oracles audit
   /// its ledger through ExperimentSpec::post_run_probe). After a failover
   /// this is the current incarnation; archived incarnations are folded
@@ -74,9 +76,21 @@ class FelaEngine : public runtime::Engine {
   }
   bool admitted(int i) const { return admitted_[static_cast<size_t>(i)]; }
 
-  /// Current TS host / incarnation (the host moves on failover).
-  sim::NodeId ts_node() const { return ts_node_; }
-  int ts_incarnation() const { return ts_incarnation_; }
+  /// Current root/shard-0 TS host / incarnation (the host moves on
+  /// failover). On a sharded server these describe the root shard; use
+  /// the shard accessors for sub-distributors.
+  sim::NodeId ts_node() const { return shard_host_[0]; }
+  int ts_incarnation() const { return shard_inc_[0]; }
+  int ts_shard_count() const { return num_ts_shards_; }
+  sim::NodeId ts_shard_host(int shard) const {
+    return shard_host_[static_cast<size_t>(shard)];
+  }
+  int ts_shard_incarnation(int shard) const {
+    return shard_inc_[static_cast<size_t>(shard)];
+  }
+  bool ts_shard_active(int shard) const {
+    return shard_active_[static_cast<size_t>(shard)];
+  }
   /// Token-server ledger summed over every incarnation: archived stats
   /// from failed-over servers plus the live one.
   TokenServer::Stats CumulativeTsStats() const;
@@ -105,10 +119,12 @@ class FelaEngine : public runtime::Engine {
   /// communication-intensive tokens — and deferring it could wedge the
   /// iteration once only those tokens remain.
   bool NeedsImmediateReadmit(int worker) const;
-  /// Makes a fresh TokenServer for the current ts_node_/incarnation and
+  /// Makes a fresh TokenServer for the current host/incarnation and
   /// wires the callbacks (construction and failover share this).
   std::unique_ptr<TokenServer> MakeTokenServer();
-  /// Snapshots the live TS into last_checkpoint_.
+  /// Snapshots the live TS: the whole server into last_checkpoint_ when
+  /// unsharded, else each active shard's lease table into
+  /// shard_lease_cps_.
   void TakeCheckpoint();
   /// (Re-)arms the periodic checkpoint timer. Only armed while the fault
   /// schedule still has transitions ahead — once no crash/cut can ever
@@ -117,17 +133,22 @@ class FelaEngine : public runtime::Engine {
   /// forever on a stalled run.
   void ArmCheckpointTimer();
   void CancelCheckpointTimer();
-  void CancelFailoverTimer();
-  /// Fences the active incarnation (host crashed or lost quorum): closes
-  /// its ledger, voids in-flight messages addressed to it, and schedules
-  /// failover after config.ts_failover_timeout_sec.
-  void FenceTs();
-  /// Promotes a standby: picks the up worker that can reach the most
-  /// other up workers (ties -> lowest id), restores the last checkpoint
-  /// (or starts the iteration fresh if none matches), and re-anchors the
-  /// partition monitor. No-op if nobody is up — retried on the next
-  /// recover event.
-  void CompleteFailover();
+  void CancelFailoverTimers();
+  /// Fences one shard's active incarnation (its host crashed or lost
+  /// quorum among the shard's members): closes that shard's ledger,
+  /// voids in-flight messages addressed to it, and schedules its
+  /// failover after config.ts_failover_timeout_sec. The other shards
+  /// keep granting. With one shard this is exactly the whole-server
+  /// fence.
+  void FenceShard(int shard);
+  /// Promotes a standby for one shard: picks the shard member (any up
+  /// worker when unsharded) that can reach the most other members right
+  /// now (ties -> lowest id), restores the shard's checkpoint (or the
+  /// whole-server checkpoint / a fresh iteration when unsharded), and —
+  /// for the root shard — re-anchors the partition monitor. No-op if no
+  /// member is up — retried on the next member recover event.
+  void CompleteShardFailover(int shard);
+  bool AnyShardActive() const;
   bool faults_active() const { return cluster_->faults().Active(); }
 
   runtime::Cluster* cluster_;
@@ -152,26 +173,33 @@ class FelaEngine : public runtime::Engine {
   /// Recovery time of workers waiting for re-admission, or -1.
   std::vector<sim::SimTime> recover_pending_;
 
-  // TS placement: starts co-located with worker 0 (§III-A) but moves to
-  // a standby on failover.
-  sim::NodeId ts_node_ = 0;
-  /// Bumped on every failover; control messages capture the incarnation
-  /// at send time and are voided on delivery if it no longer matches
-  /// (fencing — a message addressed to a dead server is never applied to
-  /// its successor).
-  int ts_incarnation_ = 0;
-  /// False between FenceTs() and a successful CompleteFailover().
-  bool ts_active_ = true;
-  /// True while CompleteFailover re-anchors the monitor; suppresses the
-  /// quorum re-check that the re-anchoring cut events would otherwise
+  // Per-shard control-plane placement. Shard 0 is the root; its host
+  // starts co-located with worker 0 (§III-A). Each sub-distributor is
+  // hosted on its lowest member initially and moves to an elected
+  // standby member on failover, independently of the other shards.
+  int num_ts_shards_ = 1;
+  std::vector<sim::NodeId> shard_host_;
+  /// Bumped on every failover of that shard; control messages capture
+  /// the shard incarnation at send time and are voided on delivery if it
+  /// no longer matches (fencing — a message addressed to a dead
+  /// sub-distributor is never applied to its successor).
+  std::vector<int> shard_inc_;
+  /// shard_active_[s] is false between FenceShard(s) and a successful
+  /// CompleteShardFailover(s).
+  std::vector<bool> shard_active_;
+  std::vector<sim::EventId> shard_failover_timer_;
+  /// True while CompleteShardFailover re-anchors the monitor; suppresses
+  /// the quorum re-check that the re-anchoring cut events would otherwise
   /// trigger (a standby on a minority island must not instantly re-fence
   /// itself — only a *new* schedule transition may).
   bool failing_over_ = false;
+  /// Whole-server checkpoint (unsharded survivability path only).
   TokenServer::Checkpoint last_checkpoint_;
+  /// Per-shard lease checkpoints (sharded survivability path only).
+  std::vector<TokenServer::ShardLeaseCheckpoint> shard_lease_cps_;
   /// Ledgers of finalized (failed-over) incarnations, element-wise summed.
   TokenServer::Stats ts_stats_archive_;
   sim::EventId checkpoint_timer_ = sim::kInvalidEventId;
-  sim::EventId failover_timer_ = sim::kInvalidEventId;
 
   int target_iterations_ = 0;
   int current_iteration_ = 0;

@@ -53,6 +53,12 @@ class TokenBucket {
   std::optional<Token> Take(sim::NodeId worker, const InfoMapping& info,
                             const std::vector<int>& order, bool use_locality);
 
+  /// Removes and returns the token with the given id, or nullopt if it is
+  /// not stored here. Used by the sharded Token Server's failover path to
+  /// pull a fence-parked token back out when its checkpointed lease is
+  /// restored.
+  std::optional<Token> TakeById(TokenId id);
+
   /// Locality score used by Take (exposed for tests).
   static double ScoreFor(sim::NodeId worker, const InfoMapping& info,
                          const Token& token);

@@ -16,6 +16,14 @@ namespace {
 bool g_mutation_enabled = false;
 uint64_t g_mutation_report_count = 0;
 
+// Sharding mutation canary (see SetShardDonationMutationForTesting): the
+// root skips the donor-side availability decrement for donated tokens, so
+// its books double-count them and the shard-conservation audit must bite.
+// fela-lint: allow(sweep-shared-state): test-only fault-injection knob,
+// armed once before a run on the same thread that reads it; never
+// mutated while a sweep is in flight.
+bool g_shard_mutation_enabled = false;
+
 }  // namespace
 
 void SetTokenServerMutationForTesting(bool enabled) {
@@ -24,6 +32,12 @@ void SetTokenServerMutationForTesting(bool enabled) {
 }
 
 bool TokenServerMutationForTesting() { return g_mutation_enabled; }
+
+void SetShardDonationMutationForTesting(bool enabled) {
+  g_shard_mutation_enabled = enabled;
+}
+
+bool ShardDonationMutationForTesting() { return g_shard_mutation_enabled; }
 
 TokenServer::Stats& TokenServer::Stats::operator+=(const Stats& other) {
   grants += other.grants;
@@ -41,6 +55,8 @@ TokenServer::Stats& TokenServer::Stats::operator+=(const Stats& other) {
   stale_reports += other.stale_reports;
   redundant_requests += other.redundant_requests;
   leases_restored += other.leases_restored;
+  cross_shard_steals += other.cross_shard_steals;
+  donations += other.donations;
   return *this;
 }
 
@@ -51,26 +67,68 @@ TokenServer::TokenServer(sim::Simulator* sim, const sim::Calibration* cal,
   FELA_CHECK(sim != nullptr && cal != nullptr && plan != nullptr &&
              config != nullptr);
   FELA_CHECK_GT(plan_->num_levels(), 0);
-  stbs_.resize(hf() ? static_cast<size_t>(num_workers()) : 1);
-  waiting_.assign(static_cast<size_t>(num_workers()), false);
-  helping_.assign(static_cast<size_t>(num_workers()), -1);
-  helper_count_.assign(static_cast<size_t>(num_workers()), 0);
-  outstanding_.assign(static_cast<size_t>(num_workers()), kInvalidTokenId);
-  down_.assign(static_cast<size_t>(num_workers()), false);
+  const int n = num_workers();
+  // Shard layout. Auto mode follows the topology exactly (shard ==
+  // RackOf), so a rack size that does not divide the cluster still maps
+  // every worker to its real rack; an explicit ts_shards splits the
+  // cluster into ceil(N/S) blocks instead.
+  if (config_->ts_shards > 0) {
+    num_shards_ = std::min(config_->ts_shards, n);
+    shard_block_ = (n + num_shards_ - 1) / num_shards_;
+  } else if (cal_->topology.hierarchical()) {
+    shard_block_ = cal_->topology.rack_size;
+    num_shards_ = cal_->topology.NumRacks(n);
+  } else {
+    num_shards_ = 1;
+    shard_block_ = n;
+  }
+  const size_t S = static_cast<size_t>(num_shards_);
+  stbs_.resize(hf() ? static_cast<size_t>(n) : S);
+  shard_waiters_.resize(S);
+  shard_leases_.resize(S);
+  shard_stats_.assign(S, Stats{});
+  shard_lock_free_.assign(S, 0.0);
+  shard_next_seq_.assign(S, 0);
+  shard_fenced_.assign(S, false);
+  shard_restored_.assign(S, false);
+  migrated_reclaims_in_.assign(S, 0);
+  shard_level_avail_.assign(
+      S, std::vector<int>(static_cast<size_t>(plan_->num_levels()), 0));
+  level_avail_.assign(static_cast<size_t>(plan_->num_levels()), 0);
+  waiting_.assign(static_cast<size_t>(n), false);
+  helping_.assign(static_cast<size_t>(n), -1);
+  helper_count_.assign(static_cast<size_t>(n), 0);
+  outstanding_.assign(static_cast<size_t>(n), kInvalidTokenId);
+  down_.assign(static_cast<size_t>(n), false);
+}
+
+void TokenServer::NoteBucketAdd(int shard, int level) {
+  ++shard_level_avail_[static_cast<size_t>(shard)][static_cast<size_t>(level)];
+  ++level_avail_[static_cast<size_t>(level)];
+}
+
+void TokenServer::NoteBucketTake(int shard, int level) {
+  --shard_level_avail_[static_cast<size_t>(shard)][static_cast<size_t>(level)];
+  --level_avail_[static_cast<size_t>(level)];
 }
 
 void TokenServer::BeginIteration(int iteration) {
   iteration_ = iteration;
   info_.Reset();
   for (auto& b : stbs_) b.Clear();
+  for (auto& avail : shard_level_avail_) {
+    std::fill(avail.begin(), avail.end(), 0);
+  }
+  std::fill(level_avail_.begin(), level_avail_.end(), 0);
   pending_.assign(static_cast<size_t>(plan_->num_levels()),
                   std::vector<std::deque<TokenDep>>(
-                      hf() ? static_cast<size_t>(num_workers()) : 1));
+                      hf() ? static_cast<size_t>(num_workers())
+                           : static_cast<size_t>(num_shards_)));
   completed_count_.assign(static_cast<size_t>(plan_->num_levels()), 0);
   generated_count_.assign(static_cast<size_t>(plan_->num_levels()), 0);
   std::fill(helping_.begin(), helping_.end(), -1);
   std::fill(helper_count_.begin(), helper_count_.end(), 0);
-  lock_free_at_ = 0.0;
+  std::fill(shard_lock_free_.begin(), shard_lock_free_.end(), 0.0);
   all_done_announced_ = false;
 
   // The iteration's T-1 tokens, sharded round-robin: token i's training
@@ -89,13 +147,16 @@ void TokenServer::BeginIteration(int iteration) {
   generated_count_[0] = l0.token_count;
   for (int i = 0; i < l0.token_count; ++i) {
     Token t;
-    t.id = next_token_id_++;
     t.level = 0;
     t.iteration = iteration;
     t.batch = l0.token_batch;
     t.sample_home = homes[static_cast<size_t>(i) % homes.size()];
-    const size_t bucket = hf() ? static_cast<size_t>(t.sample_home) : 0;
-    stbs_[bucket].Add(std::move(t));
+    // Each shard mints from its own sequence, strided so ids never
+    // collide (one shard reproduces the historical dense sequence).
+    const int shard = ShardOfWorker(t.sample_home);
+    t.id = shard_next_seq_[static_cast<size_t>(shard)]++ * num_shards_ + shard;
+    NoteBucketAdd(shard, 0);
+    stbs_[BucketIndexFor(t.sample_home)].Add(std::move(t));
   }
   // Requests that were still in flight (or queued) when the previous
   // iteration turned over are valid for this one.
@@ -112,42 +173,122 @@ bool TokenServer::AllLevelsComplete() const {
   return true;
 }
 
+TokenServer::Stats TokenServer::stats() const {
+  Stats total;
+  for (const Stats& s : shard_stats_) total += s;
+  return total;
+}
+
+size_t TokenServer::waiter_count() const {
+  size_t n = 0;
+  for (const auto& w : shard_waiters_) n += w.size();
+  return n;
+}
+
+size_t TokenServer::outstanding_lease_count() const {
+  size_t n = 0;
+  for (const auto& l : shard_leases_) n += l.size();
+  return n;
+}
+
 std::vector<std::string> TokenServer::CheckInvariants() const {
   std::vector<std::string> out;
-  const uint64_t live = static_cast<uint64_t>(leases_.size());
-  if (stats_.grants + stats_.leases_restored !=
-      stats_.completions + stats_.tokens_reclaimed + live) {
-    out.push_back(common::StrFormat(
-        "token conservation violated: grants=%llu + restored=%llu != "
-        "completions=%llu + reclaimed=%llu + live_leases=%llu",
-        static_cast<unsigned long long>(stats_.grants),
-        static_cast<unsigned long long>(stats_.leases_restored),
-        static_cast<unsigned long long>(stats_.completions),
-        static_cast<unsigned long long>(stats_.tokens_reclaimed),
-        static_cast<unsigned long long>(live)));
+  // Per-shard ledgers: each sub-distributor's conservation identity must
+  // balance on its own (and therefore cluster-wide as their sum).
+  for (int s = 0; s < num_shards_; ++s) {
+    const Stats& st = shard_stats_[static_cast<size_t>(s)];
+    const uint64_t live =
+        static_cast<uint64_t>(shard_leases_[static_cast<size_t>(s)].size());
+    const char* scope = num_shards_ == 1 ? "" : "shard ";
+    if (st.grants + st.leases_restored !=
+        st.completions + st.tokens_reclaimed + live) {
+      out.push_back(common::StrFormat(
+          "%s%stoken conservation violated: grants=%llu + restored=%llu != "
+          "completions=%llu + reclaimed=%llu + live_leases=%llu",
+          scope, num_shards_ == 1 ? "" : common::StrFormat("%d ", s).c_str(),
+          static_cast<unsigned long long>(st.grants),
+          static_cast<unsigned long long>(st.leases_restored),
+          static_cast<unsigned long long>(st.completions),
+          static_cast<unsigned long long>(st.tokens_reclaimed),
+          static_cast<unsigned long long>(live)));
+    }
+    // A restored incarnation may re-grant bucket tokens whose reclaim was
+    // counted by a previous incarnation (attempt > 0 survives the
+    // checkpoint — even when the checkpoint held no live leases), so
+    // regrants <= reclaimed only binds for never-restored incarnations.
+    // Cross-shard donations migrate reclaimed tokens the same way — the
+    // donor booked the reclaim, the thief books the regrant — so the
+    // bound credits the shard's migrated-in count.
+    if (!shard_restored_[static_cast<size_t>(s)] &&
+        st.regrants >
+            st.tokens_reclaimed + migrated_reclaims_in_[static_cast<size_t>(s)]) {
+      out.push_back(common::StrFormat(
+          "shard %d regrants without reclaim: regrants=%llu > reclaimed=%llu "
+          "+ migrated_in=%llu",
+          s, static_cast<unsigned long long>(st.regrants),
+          static_cast<unsigned long long>(st.tokens_reclaimed),
+          static_cast<unsigned long long>(
+              migrated_reclaims_in_[static_cast<size_t>(s)])));
+    }
+    if (st.lease_expirations > st.tokens_reclaimed) {
+      out.push_back(common::StrFormat(
+          "shard %d expirations exceed reclaims: expirations=%llu > "
+          "reclaimed=%llu",
+          s, static_cast<unsigned long long>(st.lease_expirations),
+          static_cast<unsigned long long>(st.tokens_reclaimed)));
+    }
+    if (st.steals > st.grants) {
+      out.push_back(common::StrFormat(
+          "shard %d steals exceed grants: steals=%llu > grants=%llu", s,
+          static_cast<unsigned long long>(st.steals),
+          static_cast<unsigned long long>(st.grants)));
+    }
+    if (st.cross_shard_steals > st.steals) {
+      out.push_back(common::StrFormat(
+          "shard %d cross-shard steals exceed steals: %llu > %llu", s,
+          static_cast<unsigned long long>(st.cross_shard_steals),
+          static_cast<unsigned long long>(st.steals)));
+    }
   }
-  // A restored incarnation may re-grant bucket tokens whose reclaim was
-  // counted by a previous incarnation (attempt > 0 survives the
-  // checkpoint — even when the checkpoint held no live leases), so
-  // regrants <= reclaimed only binds for never-restored incarnations.
-  if (!restored_from_checkpoint_ &&
-      stats_.regrants > stats_.tokens_reclaimed) {
-    out.push_back(common::StrFormat(
-        "regrants without reclaim: regrants=%llu > reclaimed=%llu",
-        static_cast<unsigned long long>(stats_.regrants),
-        static_cast<unsigned long long>(stats_.tokens_reclaimed)));
+  // The availability caches the root reads for donor picks and fast
+  // fails must agree with a recount of each shard's buckets — a donation
+  // the root double-counts (donor cache not decremented) diverges here.
+  for (int s = 0; s < num_shards_; ++s) {
+    std::vector<int> recount(static_cast<size_t>(plan_->num_levels()), 0);
+    if (hf()) {
+      for (sim::NodeId w = shard_member_begin(s); w < shard_member_end(s);
+           ++w) {
+        for (const Token& t : stbs_[static_cast<size_t>(w)].Snapshot()) {
+          ++recount[static_cast<size_t>(t.level)];
+        }
+      }
+    } else {
+      for (const Token& t : stbs_[static_cast<size_t>(s)].Snapshot()) {
+        ++recount[static_cast<size_t>(t.level)];
+      }
+    }
+    for (int l = 0; l < plan_->num_levels(); ++l) {
+      const int cached =
+          shard_level_avail_[static_cast<size_t>(s)][static_cast<size_t>(l)];
+      if (cached != recount[static_cast<size_t>(l)]) {
+        out.push_back(common::StrFormat(
+            "shard %d level %d availability cache mismatch (conservation): "
+            "cached=%d actual=%d",
+            s, l, cached, recount[static_cast<size_t>(l)]));
+      }
+    }
   }
-  if (stats_.lease_expirations > stats_.tokens_reclaimed) {
-    out.push_back(common::StrFormat(
-        "expirations exceed reclaims: expirations=%llu > reclaimed=%llu",
-        static_cast<unsigned long long>(stats_.lease_expirations),
-        static_cast<unsigned long long>(stats_.tokens_reclaimed)));
-  }
-  if (stats_.steals > stats_.grants) {
-    out.push_back(common::StrFormat(
-        "steals exceed grants: steals=%llu > grants=%llu",
-        static_cast<unsigned long long>(stats_.steals),
-        static_cast<unsigned long long>(stats_.grants)));
+  for (int l = 0; l < plan_->num_levels(); ++l) {
+    int sum = 0;
+    for (int s = 0; s < num_shards_; ++s) {
+      sum += shard_level_avail_[static_cast<size_t>(s)][static_cast<size_t>(l)];
+    }
+    if (sum != level_avail_[static_cast<size_t>(l)]) {
+      out.push_back(common::StrFormat(
+          "level %d global availability cache mismatch: cached=%d vs "
+          "shard sum %d",
+          l, level_avail_[static_cast<size_t>(l)], sum));
+    }
   }
   for (int l = 0; l < plan_->num_levels(); ++l) {
     const int cap = plan_->level(l).token_count;
@@ -162,33 +303,38 @@ std::vector<std::string> TokenServer::CheckInvariants() const {
           generated_count_[static_cast<size_t>(l)], cap));
     }
   }
-  // Outstanding grants and live leases are two views of the same set.
+  // Outstanding grants and live leases are two views of the same set
+  // (each worker's lease lives in its own shard's table).
   uint64_t outstanding_live = 0;
   for (sim::NodeId w = 0; w < num_workers(); ++w) {
     const TokenId id = outstanding_[static_cast<size_t>(w)];
     if (id == kInvalidTokenId) continue;
     ++outstanding_live;
-    if (leases_.find(id) == leases_.end()) {
+    const auto& leases = shard_leases_[static_cast<size_t>(ShardOfWorker(w))];
+    if (leases.find(id) == leases.end()) {
       out.push_back(common::StrFormat(
           "worker %d holds token %llu with no lease record", w,
           static_cast<unsigned long long>(id)));
     }
   }
-  if (outstanding_live != live) {
+  if (outstanding_live != static_cast<uint64_t>(outstanding_lease_count())) {
     out.push_back(common::StrFormat(
         "lease ledger mismatch: %llu outstanding grants vs %llu leases",
         static_cast<unsigned long long>(outstanding_live),
-        static_cast<unsigned long long>(live)));
+        static_cast<unsigned long long>(outstanding_lease_count())));
   }
-  // No token is ever double-granted: a token id lives in at most one
-  // place — one bucket slot or one lease, never both, never twice. This
-  // is the structural half of the failover-safety oracle (a restore that
-  // duplicated a token would trip it).
+  // No token is ever double-granted or double-owned: a token id lives in
+  // at most one place cluster-wide — one bucket slot or one lease of one
+  // shard, never both, never twice. This is the structural half of the
+  // failover-safety oracle (a restore or a donation that duplicated a
+  // token would trip it).
   std::map<TokenId, int> seen;
   for (const TokenBucket& b : stbs_) {
     for (const Token& t : b.Snapshot()) ++seen[t.id];
   }
-  for (const auto& [id, lease] : leases_) ++seen[id];
+  for (const auto& leases : shard_leases_) {
+    for (const auto& [id, lease] : leases) ++seen[id];
+  }
   for (const auto& [id, count] : seen) {
     if (count > 1) {
       out.push_back(common::StrFormat(
@@ -200,11 +346,14 @@ std::vector<std::string> TokenServer::CheckInvariants() const {
 }
 
 TokenServer::Checkpoint TokenServer::MakeCheckpoint() const {
+  // Whole-server checkpoints are the one-shard survivability path; a
+  // sharded server snapshots per shard (MakeShardLeaseCheckpoint).
+  FELA_CHECK_EQ(num_shards_, 1);
   Checkpoint cp;
   cp.valid = true;
   cp.taken_at = sim_->now();
   cp.iteration = iteration_;
-  cp.next_token_id = next_token_id_;
+  cp.next_token_id = shard_next_seq_[0];
   cp.all_done_announced = all_done_announced_;
   cp.info = info_;
   cp.buckets.reserve(stbs_.size());
@@ -212,14 +361,14 @@ TokenServer::Checkpoint TokenServer::MakeCheckpoint() const {
   cp.pending = pending_;
   cp.completed_count = completed_count_;
   cp.generated_count = generated_count_;
-  cp.waiters = waiters_;
+  cp.waiters = shard_waiters_[0];
   cp.waiting = waiting_;
   cp.helping = helping_;
   cp.helper_count = helper_count_;
-  // leases_ iterates in sorted key order (a flat sorted vector), so the
-  // lease list is deterministic.
-  cp.leases.reserve(leases_.size());
-  for (const auto& [id, lease] : leases_) {
+  // The lease map iterates in sorted key order (a flat sorted vector), so
+  // the lease list is deterministic.
+  cp.leases.reserve(shard_leases_[0].size());
+  for (const auto& [id, lease] : shard_leases_[0]) {
     cp.leases.emplace_back(lease.token, lease.worker);
   }
   return cp;
@@ -227,26 +376,32 @@ TokenServer::Checkpoint TokenServer::MakeCheckpoint() const {
 
 void TokenServer::Restore(const Checkpoint& cp,
                           const std::vector<bool>& down_now) {
+  FELA_CHECK_EQ(num_shards_, 1);
   FELA_CHECK(cp.valid);
-  FELA_CHECK(leases_.empty()) << "Restore requires a fresh server";
-  restored_from_checkpoint_ = true;
+  FELA_CHECK(shard_leases_[0].empty()) << "Restore requires a fresh server";
+  shard_restored_[0] = true;
   iteration_ = cp.iteration;
-  next_token_id_ = cp.next_token_id;
+  shard_next_seq_[0] = cp.next_token_id;
   all_done_announced_ = cp.all_done_announced;
   info_ = cp.info;
   FELA_CHECK_EQ(cp.buckets.size(), stbs_.size());
+  std::fill(shard_level_avail_[0].begin(), shard_level_avail_[0].end(), 0);
+  std::fill(level_avail_.begin(), level_avail_.end(), 0);
   for (size_t i = 0; i < stbs_.size(); ++i) {
     stbs_[i].Clear();
-    for (const Token& t : cp.buckets[i]) stbs_[i].Add(t);
+    for (const Token& t : cp.buckets[i]) {
+      NoteBucketAdd(0, t.level);
+      stbs_[i].Add(t);
+    }
   }
   pending_ = cp.pending;
   completed_count_ = cp.completed_count;
   generated_count_ = cp.generated_count;
-  waiters_ = cp.waiters;
+  shard_waiters_[0] = cp.waiters;
   waiting_ = cp.waiting;
   helping_ = cp.helping;
   helper_count_ = cp.helper_count;
-  lock_free_at_ = 0.0;
+  shard_lock_free_[0] = 0.0;
   std::fill(down_.begin(), down_.end(), false);
   // Replay what the leases imply: the checkpointed holders are presumed
   // still computing, so their grants stay live with fresh deadlines. A
@@ -263,11 +418,11 @@ void TokenServer::Restore(const Checkpoint& cp,
       // fela-lint: allow(untraced-event): expiry traces as kTokenReclaim
       // when the lease actually fires; re-arming it is silent by design.
       lease.timer = sim_->ScheduleAt(now + config_->lease_timeout_sec,
-                                     [this, id] { OnLeaseExpired(id); });
+                                     [this, id] { OnLeaseExpired(0, id); });
     }
     outstanding_[static_cast<size_t>(worker)] = id;
-    leases_[id] = std::move(lease);
-    ++stats_.leases_restored;
+    shard_leases_[0][id] = std::move(lease);
+    ++shard_stats_[0].leases_restored;
   }
   // Apply the present down/cut picture (reclaims leases of dead holders),
   // then serve whoever was waiting.
@@ -278,15 +433,110 @@ void TokenServer::Restore(const Checkpoint& cp,
 }
 
 void TokenServer::FinalizeForFailover() {
-  for (auto& [id, lease] : leases_) {
+  for (int s = 0; s < num_shards_; ++s) {
+    auto& leases = shard_leases_[static_cast<size_t>(s)];
+    for (auto& [id, lease] : leases) {
+      if (lease.timer != sim::kInvalidEventId) sim_->Cancel(lease.timer);
+      outstanding_[static_cast<size_t>(lease.worker)] = kInvalidTokenId;
+      // The work in flight dies with this incarnation; counting it as
+      // reclaimed closes the ledger exactly (no callbacks — the standby
+      // replays from the checkpoint, not from this state).
+      ++shard_stats_[static_cast<size_t>(s)].tokens_reclaimed;
+    }
+    leases.clear();
+  }
+}
+
+TokenServer::ShardLeaseCheckpoint TokenServer::MakeShardLeaseCheckpoint(
+    int shard) const {
+  ShardLeaseCheckpoint cp;
+  cp.valid = true;
+  cp.taken_at = sim_->now();
+  cp.iteration = iteration_;
+  const auto& leases = shard_leases_[static_cast<size_t>(shard)];
+  cp.leases.reserve(leases.size());
+  for (const auto& [id, lease] : leases) {
+    cp.leases.emplace_back(lease.token, lease.worker);
+  }
+  return cp;
+}
+
+TokenServer::Stats TokenServer::FenceShard(int shard) {
+  const size_t s = static_cast<size_t>(shard);
+  FELA_CHECK(!shard_fenced_[s]) << "shard " << shard << " already fenced";
+  // Reclaim every live lease into the holder's own bucket: the work in
+  // flight dies with the shard host and will be redone under the next
+  // incarnation (helpers can steal it meanwhile is NOT allowed — the
+  // fenced shard neither grants nor donates until RestoreShard, so its
+  // inventory is frozen root-held metadata). No callbacks fire.
+  Stats& st = shard_stats_[s];
+  for (auto& [id, lease] : shard_leases_[s]) {
     if (lease.timer != sim::kInvalidEventId) sim_->Cancel(lease.timer);
     outstanding_[static_cast<size_t>(lease.worker)] = kInvalidTokenId;
-    // The work in flight dies with this incarnation; counting it as
-    // reclaimed closes the ledger exactly (no callbacks — the standby
-    // replays from the checkpoint, not from this state).
-    ++stats_.tokens_reclaimed;
+    ++st.tokens_reclaimed;
+    Token token = std::move(lease.token);
+    ++token.attempt;
+    AddFreshToken(std::move(token), lease.worker);
   }
-  leases_.clear();
+  shard_leases_[s].clear();
+  shard_fenced_[s] = true;
+  // The fenced incarnation's ledger closes balanced (live == 0) and is
+  // handed to the caller to archive; the successor starts a fresh one.
+  Stats closed = st;
+  st = Stats{};
+  return closed;
+}
+
+void TokenServer::RestoreShard(int shard, const ShardLeaseCheckpoint& cp,
+                               const std::vector<bool>& down_now) {
+  const size_t s = static_cast<size_t>(shard);
+  FELA_CHECK(shard_fenced_[s]) << "RestoreShard of a live shard";
+  FELA_CHECK(shard_leases_[s].empty());
+  shard_fenced_[s] = false;
+  shard_restored_[s] = true;
+  shard_lock_free_[s] = 0.0;  // the successor's distributor lock starts free
+  const sim::SimTime now = sim_->now();
+  if (cp.valid && cp.iteration == iteration_) {
+    // Re-arm checkpointed leases whose tokens are still parked in the
+    // shard (they were live at the fence and the iteration has not
+    // turned over): the holders are presumed still computing, exactly
+    // like the one-shard Restore. The parked copy (attempt bumped by the
+    // fence) is discarded in favor of the checkpointed token, which
+    // matches the grant the worker actually holds.
+    for (const auto& [token, worker] : cp.leases) {
+      if (down_now[static_cast<size_t>(worker)]) continue;
+      if (outstanding_[static_cast<size_t>(worker)] != kInvalidTokenId) {
+        continue;
+      }
+      std::optional<Token> parked =
+          stbs_[BucketIndexFor(worker)].TakeById(token.id);
+      if (!parked.has_value()) continue;
+      NoteBucketTake(shard, parked->level);
+      const TokenId id = token.id;
+      Lease lease;
+      lease.token = token;
+      lease.worker = worker;
+      if (leases_enabled_) {
+        lease.timer =
+            // fela-lint: allow(untraced-event): expiry traces as
+            // kTokenReclaim when the lease actually fires; re-arming it
+            // is silent by design.
+            sim_->ScheduleAt(now + config_->lease_timeout_sec,
+                             [this, shard, id] { OnLeaseExpired(shard, id); });
+      }
+      outstanding_[static_cast<size_t>(worker)] = id;
+      shard_leases_[s][id] = std::move(lease);
+      ++shard_stats_[s].leases_restored;
+    }
+  }
+  // Apply the present down/cut picture of the shard's members in BOTH
+  // directions: the retained root may carry member state from before the
+  // fence (a member that crashed and recovered while the shard was dark).
+  for (sim::NodeId w = shard_member_begin(shard); w < shard_member_end(shard);
+       ++w) {
+    SetWorkerDown(w, down_now[static_cast<size_t>(w)]);
+  }
+  ServeWaiters();
 }
 
 size_t TokenServer::PendingTokenCount() const {
@@ -295,24 +545,27 @@ size_t TokenServer::PendingTokenCount() const {
   return n;
 }
 
-double TokenServer::AcquireLock() {
+double TokenServer::AcquireLock(int shard) {
+  const size_t s = static_cast<size_t>(shard);
   const sim::SimTime now = sim_->now();
-  const sim::SimTime serve = std::max(now, lock_free_at_);
+  const sim::SimTime serve = std::max(now, shard_lock_free_[s]);
   double delay = serve - now;
-  const bool conflicted = lock_free_at_ > now;
-  lock_free_at_ = serve + cal_->ts_service_time_sec;
+  const bool conflicted = shard_lock_free_[s] > now;
+  shard_lock_free_[s] = serve + cal_->ts_service_time_sec;
   if (conflicted) {
     // Fetching failure: the token this worker raced for went to another
     // worker; the distributor rolls back and re-distributes (§III-E).
     delay += cal_->fetch_conflict_penalty_sec;
-    ++stats_.conflicts;
-    stats_.conflict_delay_total += delay;
+    ++shard_stats_[s].conflicts;
+    shard_stats_[s].conflict_delay_total += delay;
   }
   if (spans_ != nullptr && spans_->enabled() && delay > 0.0) {
-    // The wait + conflict penalty shows on the token-server track; the
-    // requester's own track sees it inside its token-wait span.
+    // The wait + conflict penalty shows on the shard's token-server
+    // track; the requester's own track sees it inside its token-wait
+    // span.
     spans_->Emit(obs::Span{
-        num_workers(), obs::Phase::kTokenWait, now, now + delay, iteration_,
+        num_workers() + shard, obs::Phase::kTokenWait, now, now + delay,
+        iteration_,
         conflicted ? common::TokenizedDetail(FELA_TOK("lock conflict"))
                    : common::TokenizedDetail(FELA_TOK("lock wait"))});
   }
@@ -320,14 +573,17 @@ double TokenServer::AcquireLock() {
 }
 
 sim::NodeId TokenServer::ChooseVictim(sim::NodeId thief,
-                                      const std::vector<int>& order) const {
+                                      const std::vector<int>& order,
+                                      int shard) const {
   // "New helpers will be prioritized to assist the straggler with the
   // least helpers and the slowest progress" — progress proxied by tokens
-  // remaining in the victim's STB (more remaining = slower).
+  // remaining in the victim's STB (more remaining = slower). The scan is
+  // scoped to one shard's members (the whole cluster when unsharded).
   sim::NodeId best = -1;
   int best_helpers = 0;
   size_t best_remaining = 0;
-  for (sim::NodeId v = 0; v < num_workers(); ++v) {
+  for (sim::NodeId v = shard_member_begin(shard); v < shard_member_end(shard);
+       ++v) {
     if (v == thief) continue;
     const TokenBucket& b = stbs_[static_cast<size_t>(v)];
     if (!b.HasTokenForOrder(order)) continue;
@@ -343,9 +599,37 @@ sim::NodeId TokenServer::ChooseVictim(sim::NodeId thief,
   return best;
 }
 
+int TokenServer::PickDonorShard(int thief_shard,
+                                const std::vector<int>& order) const {
+  // Root-level donor election: the shard with the largest aggregate
+  // surplus over the requested levels donates — O(shards * levels) via
+  // the availability caches, never a worker scan. Strict > keeps the
+  // lowest shard id among ties and rejects shards with nothing to give.
+  int best = -1;
+  int best_surplus = 0;
+  for (int t = 0; t < num_shards_; ++t) {
+    if (t == thief_shard || shard_fenced_[static_cast<size_t>(t)]) continue;
+    if (cbs_.shard_reachable && !cbs_.shard_reachable(thief_shard, t)) {
+      continue;
+    }
+    int surplus = 0;
+    for (int l : order) {
+      surplus +=
+          shard_level_avail_[static_cast<size_t>(t)][static_cast<size_t>(l)];
+    }
+    if (surplus > best_surplus) {
+      best_surplus = surplus;
+      best = t;
+    }
+  }
+  return best;
+}
+
 std::optional<Token> TokenServer::TakeFor(sim::NodeId worker, bool* stolen,
+                                          bool* cross_shard,
                                           double* extra_delay) {
   *stolen = false;
+  *cross_shard = false;
   *extra_delay = 0.0;
   // CTD liveness valve: workers outside S never see communication-
   // intensive levels, so if every subset worker is down those tokens
@@ -360,19 +644,56 @@ std::optional<Token> TokenServer::TakeFor(sim::NodeId worker, bool* stolen,
   const std::vector<int> order =
       LevelPriorityFor(worker, *config_, *plan_, ctd_relaxed);
   if (order.empty()) return std::nullopt;
+  // O(levels) fast-fail off the global availability cache: when no
+  // bucket anywhere holds a token at any requested level, the request
+  // parks without touching a single bucket (the path that used to cost a
+  // full worker scan). A failed attempt takes no lock and bumps no stat,
+  // so this is observationally identical to the scan finding nothing.
+  bool any_available = false;
+  for (int l : order) {
+    if (level_avail_[static_cast<size_t>(l)] > 0) {
+      any_available = true;
+      break;
+    }
+  }
+  if (!any_available) return std::nullopt;
   const bool use_locality = config_->ads_enabled;
+  const int shard = ShardOfWorker(worker);
+  const size_t s = static_cast<size_t>(shard);
 
   if (!hf()) {
-    // Single Token Bucket: every distribution serializes on the lock.
-    if (!stbs_[0].HasTokenForOrder(order)) return std::nullopt;
-    *extra_delay = AcquireLock();
-    return stbs_[0].Take(worker, info_, order, use_locality);
+    // One Token Bucket per shard: every distribution serializes on the
+    // shard's lock; a dry shard asks the root for a donor.
+    TokenBucket& own = stbs_[s];
+    if (own.HasTokenForOrder(order)) {
+      *extra_delay = AcquireLock(shard);
+      std::optional<Token> token = own.Take(worker, info_, order, use_locality);
+      if (token.has_value()) NoteBucketTake(shard, token->level);
+      return token;
+    }
+    const int donor = PickDonorShard(shard, order);
+    if (donor < 0) return std::nullopt;
+    *stolen = true;
+    *cross_shard = true;
+    // Hierarchical path: the grant serializes on the donor's lock and
+    // pays the two rack hops of the root-mediated transfer.
+    *extra_delay =
+        AcquireLock(donor) + 2.0 * cal_->topology.rack_hop_latency_sec;
+    std::optional<Token> token =
+        stbs_[static_cast<size_t>(donor)].Take(worker, info_, order,
+                                               use_locality);
+    if (token.has_value()) {
+      ++shard_stats_[static_cast<size_t>(donor)].donations;
+      if (!g_shard_mutation_enabled) NoteBucketTake(donor, token->level);
+    }
+    return token;
   }
 
   TokenBucket& own = stbs_[static_cast<size_t>(worker)];
 
-  // CTD: subset workers hunt communication-intensive tokens cluster-wide
-  // before anything else (their priority is T-comm > rest, §III-F).
+  // CTD: subset workers hunt communication-intensive tokens before
+  // anything else (their priority is T-comm > rest, §III-F) — own STB,
+  // then their shard's members, then any donor shard.
   if (CtdActive() && worker < config_->ctd_subset_size) {
     std::vector<int> comm_order;
     for (int l : order) {
@@ -380,55 +701,116 @@ std::optional<Token> TokenServer::TakeFor(sim::NodeId worker, bool* stolen,
     }
     if (!comm_order.empty()) {
       if (own.HasTokenForOrder(comm_order)) {
-        return own.Take(worker, info_, comm_order, use_locality);
+        std::optional<Token> token =
+            own.Take(worker, info_, comm_order, use_locality);
+        if (token.has_value()) NoteBucketTake(shard, token->level);
+        return token;
       }
-      const sim::NodeId victim = ChooseVictim(worker, comm_order);
+      const sim::NodeId victim = ChooseVictim(worker, comm_order, shard);
       if (victim >= 0) {
         *stolen = true;
-        *extra_delay = AcquireLock();
-        return stbs_[static_cast<size_t>(victim)].Take(worker, info_,
-                                                       comm_order,
-                                                       use_locality);
+        *extra_delay = AcquireLock(shard);
+        std::optional<Token> token = stbs_[static_cast<size_t>(victim)].Take(
+            worker, info_, comm_order, use_locality);
+        if (token.has_value()) NoteBucketTake(shard, token->level);
+        return token;
+      }
+      if (num_shards_ > 1) {
+        const int donor = PickDonorShard(shard, comm_order);
+        if (donor >= 0) {
+          const sim::NodeId remote =
+              ChooseVictim(worker, comm_order, donor);
+          if (remote >= 0) {
+            *stolen = true;
+            *cross_shard = true;
+            *extra_delay =
+                AcquireLock(donor) + 2.0 * cal_->topology.rack_hop_latency_sec;
+            std::optional<Token> token =
+                stbs_[static_cast<size_t>(remote)].Take(worker, info_,
+                                                        comm_order,
+                                                        use_locality);
+            if (token.has_value()) {
+              ++shard_stats_[static_cast<size_t>(donor)].donations;
+              if (!g_shard_mutation_enabled) {
+                NoteBucketTake(donor, token->level);
+              }
+            }
+            return token;
+          }
+        }
       }
     }
   }
 
   // Own STB first: conflict-free, no locking (§III-E target 1).
   if (own.HasTokenForOrder(order)) {
-    return own.Take(worker, info_, order, use_locality);
+    std::optional<Token> token = own.Take(worker, info_, order, use_locality);
+    if (token.has_value()) NoteBucketTake(shard, token->level);
+    return token;
   }
 
-  // Helper mode: steal from the neediest straggler, under the lock.
-  const sim::NodeId victim = ChooseVictim(worker, order);
-  if (victim < 0) return std::nullopt;
+  // Helper mode: steal from the neediest straggler in the worker's own
+  // shard, under the shard's lock.
+  const sim::NodeId victim = ChooseVictim(worker, order, shard);
+  if (victim >= 0) {
+    *stolen = true;
+    *extra_delay = AcquireLock(shard);
+    std::optional<Token> token =
+        stbs_[static_cast<size_t>(victim)].Take(worker, info_, order,
+                                                use_locality);
+    if (token.has_value()) {
+      NoteBucketTake(shard, token->level);
+      // Re-point this helper at its new victim.
+      const sim::NodeId prev = helping_[static_cast<size_t>(worker)];
+      if (prev >= 0) --helper_count_[static_cast<size_t>(prev)];
+      helping_[static_cast<size_t>(worker)] = victim;
+      ++helper_count_[static_cast<size_t>(victim)];
+    }
+    return token;
+  }
+  if (num_shards_ == 1) return std::nullopt;
+
+  // Hierarchical steal: the shard is dry, so the root elects the donor
+  // shard with the largest surplus and the donor runs its local victim
+  // search — still no all-worker scan anywhere on this path.
+  const int donor = PickDonorShard(shard, order);
+  if (donor < 0) return std::nullopt;
+  const sim::NodeId remote = ChooseVictim(worker, order, donor);
+  if (remote < 0) return std::nullopt;
   *stolen = true;
-  *extra_delay = AcquireLock();
+  *cross_shard = true;
+  *extra_delay = AcquireLock(donor) + 2.0 * cal_->topology.rack_hop_latency_sec;
   std::optional<Token> token =
-      stbs_[static_cast<size_t>(victim)].Take(worker, info_, order,
+      stbs_[static_cast<size_t>(remote)].Take(worker, info_, order,
                                               use_locality);
   if (token.has_value()) {
-    // Re-point this helper at its new victim.
+    ++shard_stats_[static_cast<size_t>(donor)].donations;
+    if (!g_shard_mutation_enabled) NoteBucketTake(donor, token->level);
+    // The helper re-points at its remote victim; helper bookkeeping is
+    // cluster-global so cross-shard assists count like local ones.
     const sim::NodeId prev = helping_[static_cast<size_t>(worker)];
     if (prev >= 0) --helper_count_[static_cast<size_t>(prev)];
-    helping_[static_cast<size_t>(worker)] = victim;
-    ++helper_count_[static_cast<size_t>(victim)];
+    helping_[static_cast<size_t>(worker)] = remote;
+    ++helper_count_[static_cast<size_t>(remote)];
   }
   return token;
 }
 
 Grant TokenServer::MakeGrant(Token token, sim::NodeId worker, bool stolen,
-                             double delay) {
+                             bool cross_shard, double delay) {
+  Stats& st = shard_stats_[static_cast<size_t>(ShardOfWorker(worker))];
   Grant grant;
   grant.stolen = stolen;
+  grant.cross_shard = cross_shard;
   grant.extra_delay = delay;
   if (token.level == 0) {
     if (token.sample_home >= 0 && token.sample_home != worker) {
       grant.remote_fetches.emplace_back(
           token.sample_home,
           plan_->level(0).sample_bytes_per_sample * token.batch);
-      ++stats_.remote_dep_fetches;
+      ++st.remote_dep_fetches;
     } else {
-      ++stats_.local_dep_hits;
+      ++st.local_dep_hits;
     }
   } else {
     const double per_sample = plan_->level(token.level).dep_bytes_per_sample;
@@ -436,11 +818,11 @@ Grant TokenServer::MakeGrant(Token token, sim::NodeId worker, bool stolen,
       const sim::NodeId holder = info_.HolderOf(dep.id);
       FELA_CHECK_GE(holder, 0) << "dependency " << dep.id << " not completed";
       if (holder == worker) {
-        ++stats_.local_dep_hits;
+        ++st.local_dep_hits;
         continue;
       }
       grant.remote_fetches.emplace_back(holder, per_sample * dep.batch);
-      ++stats_.remote_dep_fetches;
+      ++st.remote_dep_fetches;
     }
   }
   info_.RecordAssigned(token.id, worker);
@@ -449,26 +831,39 @@ Grant TokenServer::MakeGrant(Token token, sim::NodeId worker, bool stolen,
 }
 
 bool TokenServer::TryGrant(sim::NodeId worker) {
-  // No grants to crashed workers, and at most one live grant per worker
-  // — a second grant while one is outstanding could only mean the first
-  // was lost, which the lease expiry path recovers.
+  // No grants to crashed workers, none from a fenced shard, and at most
+  // one live grant per worker — a second grant while one is outstanding
+  // could only mean the first was lost, which the lease expiry path
+  // recovers.
+  const int shard = ShardOfWorker(worker);
   if (down_[static_cast<size_t>(worker)] ||
+      shard_fenced_[static_cast<size_t>(shard)] ||
       outstanding_[static_cast<size_t>(worker)] != kInvalidTokenId) {
     return false;
   }
   bool stolen = false;
+  bool cross = false;
   double delay = 0.0;
-  std::optional<Token> token = TakeFor(worker, &stolen, &delay);
+  std::optional<Token> token = TakeFor(worker, &stolen, &cross, &delay);
   if (!token.has_value()) return false;
-  ++stats_.grants;
-  if (stolen) ++stats_.steals;
-  if (token->attempt > 0) ++stats_.regrants;
-  Grant grant = MakeGrant(std::move(*token), worker, stolen, delay);
+  Stats& st = shard_stats_[static_cast<size_t>(shard)];
+  ++st.grants;
+  if (stolen) ++st.steals;
+  if (cross) ++st.cross_shard_steals;
+  if (token->attempt > 0) {
+    ++st.regrants;
+    // A donated token carries its attempt counter across the shard
+    // boundary; the matching reclaim sits in the donor's ledger.
+    if (cross) ++migrated_reclaims_in_[static_cast<size_t>(shard)];
+  }
+  Grant grant = MakeGrant(std::move(*token), worker, stolen, cross, delay);
   const TokenId id = grant.token.id;
   outstanding_[static_cast<size_t>(worker)] = id;
-  // The lease record always exists (SetWorkerDown reclaims through it);
-  // the expiry timer is only armed when leasing is on, so fault-free
-  // runs schedule no extra events and replay bit-identically.
+  // The lease record always exists (SetWorkerDown reclaims through it)
+  // and lives in the worker's shard — a donated token transfers wholly
+  // to the thief's shard, so exactly one shard ever owns it. The expiry
+  // timer is only armed when leasing is on, so fault-free runs schedule
+  // no extra events and replay bit-identically.
   Lease lease;
   lease.token = grant.token;
   lease.worker = worker;
@@ -476,54 +871,71 @@ bool TokenServer::TryGrant(sim::NodeId worker) {
     grant.lease_deadline = sim_->now() + config_->lease_timeout_sec;
     // fela-lint: allow(untraced-event): expiry traces as kTokenReclaim
     // when the lease actually fires; arming it is silent by design.
-    lease.timer = sim_->ScheduleAt(grant.lease_deadline,
-                                   [this, id] { OnLeaseExpired(id); });
+    lease.timer = sim_->ScheduleAt(grant.lease_deadline, [this, shard, id] {
+      OnLeaseExpired(shard, id);
+    });
   }
-  leases_[id] = std::move(lease);
+  shard_leases_[static_cast<size_t>(shard)][id] = std::move(lease);
   cbs_.deliver_grant(worker, grant);
   return true;
 }
 
 void TokenServer::HandleRequest(sim::NodeId worker) {
   if (down_[static_cast<size_t>(worker)]) return;
+  const int shard = ShardOfWorker(worker);
+  // A fenced shard's incarnation is dead: the engine voids sends to it,
+  // so a request landing here is a straggler — drop it (the worker's
+  // retry reaches the successor incarnation).
+  if (shard_fenced_[static_cast<size_t>(shard)]) return;
+  auto& waiters = shard_waiters_[static_cast<size_t>(shard)];
   if (outstanding_[static_cast<size_t>(worker)] != kInvalidTokenId) {
     // A retransmitted request racing a grant already in flight (or whose
     // grant was lost). Park the worker; it is served as soon as its
     // lease resolves — granting a second token now would double-book it.
-    ++stats_.redundant_requests;
+    ++shard_stats_[static_cast<size_t>(shard)].redundant_requests;
     if (!waiting_[static_cast<size_t>(worker)]) {
       waiting_[static_cast<size_t>(worker)] = true;
-      waiters_.push_back(worker);
+      waiters.push_back(worker);
     }
     return;
   }
   if (TryGrant(worker)) return;
   if (!waiting_[static_cast<size_t>(worker)]) {
     waiting_[static_cast<size_t>(worker)] = true;
-    waiters_.push_back(worker);
-    ++stats_.enqueued_waits;
+    waiters.push_back(worker);
+    ++shard_stats_[static_cast<size_t>(shard)].enqueued_waits;
   }
 }
 
 void TokenServer::ServeWaiters() {
+  // The root drains every shard's queue to a fixed point: a grant in one
+  // shard can unblock another (a completion's generated token may be the
+  // donor surplus a cross-shard waiter needs), so the outer loop repeats
+  // until a full pass over all shards makes no progress. One shard
+  // degenerates to the original single-queue loop.
   bool progress = true;
   while (progress) {
     progress = false;
-    for (auto it = waiters_.begin(); it != waiters_.end();) {
-      if (TryGrant(*it)) {
-        waiting_[static_cast<size_t>(*it)] = false;
-        it = waiters_.erase(it);
-        progress = true;
-      } else {
-        ++it;
+    for (int s = 0; s < num_shards_; ++s) {
+      if (shard_fenced_[static_cast<size_t>(s)]) continue;
+      auto& waiters = shard_waiters_[static_cast<size_t>(s)];
+      for (auto it = waiters.begin(); it != waiters.end();) {
+        if (TryGrant(*it)) {
+          waiting_[static_cast<size_t>(*it)] = false;
+          it = waiters.erase(it);
+          progress = true;
+        } else {
+          ++it;
+        }
       }
     }
   }
 }
 
-Token TokenServer::MakeGeneratedToken(int level, std::vector<TokenDep> deps) {
+Token TokenServer::MakeGeneratedToken(int level, std::vector<TokenDep> deps,
+                                      int shard) {
   Token t;
-  t.id = next_token_id_++;
+  t.id = shard_next_seq_[static_cast<size_t>(shard)]++ * num_shards_ + shard;
   t.level = level;
   t.iteration = iteration_;
   double batch = 0.0;
@@ -535,8 +947,8 @@ Token TokenServer::MakeGeneratedToken(int level, std::vector<TokenDep> deps) {
 }
 
 void TokenServer::AddFreshToken(Token token, sim::NodeId source) {
-  const size_t bucket = hf() ? static_cast<size_t>(source) : 0;
-  stbs_[bucket].Add(std::move(token));
+  NoteBucketAdd(ShardOfWorker(source), token.level);
+  stbs_[BucketIndexFor(source)].Add(std::move(token));
 }
 
 void TokenServer::GenerateAfterCompletion(const Token& completed,
@@ -544,8 +956,7 @@ void TokenServer::GenerateAfterCompletion(const Token& completed,
   const int level = completed.level;
   const int next = level + 1;
   if (next >= plan_->num_levels()) return;
-  const size_t pool = hf() ? static_cast<size_t>(reporter) : 0;
-  auto& pending = pending_[static_cast<size_t>(level)][pool];
+  auto& pending = pending_[static_cast<size_t>(level)][PoolIndexFor(reporter)];
   pending.push_back(TokenDep{completed.id, completed.batch});
 
   const int ratio = plan_->level(next).generation_ratio;
@@ -557,7 +968,9 @@ void TokenServer::GenerateAfterCompletion(const Token& completed,
       deps.push_back(pending.front());
       pending.pop_front();
     }
-    AddFreshToken(MakeGeneratedToken(next, std::move(deps)), reporter);
+    AddFreshToken(
+        MakeGeneratedToken(next, std::move(deps), ShardOfWorker(reporter)),
+        reporter);
   }
 }
 
@@ -584,8 +997,10 @@ void TokenServer::FlushResidualPools(int level) {
     // Route the remainder token to the holder of its first dependency —
     // the best locality available for a cross-worker remainder.
     const sim::NodeId source = info_.HolderOf(deps.front().id);
-    AddFreshToken(MakeGeneratedToken(next, std::move(deps)),
-                  source >= 0 ? source : 0);
+    const sim::NodeId home = source >= 0 ? source : 0;
+    AddFreshToken(MakeGeneratedToken(next, std::move(deps),
+                                     ShardOfWorker(home)),
+                  home);
   }
   FELA_CHECK_EQ(generated_count_[static_cast<size_t>(next)],
                 plan_->level(next).token_count)
@@ -597,11 +1012,13 @@ void TokenServer::SetWorkerDown(sim::NodeId worker, bool down) {
   if (down_[w] == down) return;
   down_[w] = down;
   if (!down) return;  // recovered workers re-enter by requesting work
-  // Drop the crashed worker from the wait queue.
+  const int shard = ShardOfWorker(worker);
+  // Drop the crashed worker from its shard's wait queue.
   if (waiting_[w]) {
     waiting_[w] = false;
-    waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), worker),
-                   waiters_.end());
+    auto& waiters = shard_waiters_[static_cast<size_t>(shard)];
+    waiters.erase(std::remove(waiters.begin(), waiters.end(), worker),
+                  waiters.end());
   }
   // Its helper assignment is void.
   const sim::NodeId victim = helping_[w];
@@ -610,8 +1027,10 @@ void TokenServer::SetWorkerDown(sim::NodeId worker, bool down) {
     helping_[w] = -1;
   }
   // Whatever it was training is lost; pull the token back now rather
-  // than waiting out the lease.
-  if (outstanding_[w] != kInvalidTokenId) ReclaimLease(outstanding_[w], false);
+  // than waiting out the lease (the lease lives in the worker's shard).
+  if (outstanding_[w] != kInvalidTokenId) {
+    ReclaimLease(shard, outstanding_[w], false);
+  }
 }
 
 sim::NodeId TokenServer::ReclaimDestination(const Token& token) const {
@@ -629,66 +1048,77 @@ sim::NodeId TokenServer::ReclaimDestination(const Token& token) const {
   return 0;
 }
 
-void TokenServer::ReclaimLease(TokenId id, bool expired) {
-  auto it = leases_.find(id);
-  if (it == leases_.end()) return;
+void TokenServer::ReclaimLease(int shard, TokenId id, bool expired) {
+  auto& leases = shard_leases_[static_cast<size_t>(shard)];
+  auto it = leases.find(id);
+  if (it == leases.end()) return;
   Lease lease = std::move(it->second);
-  leases_.erase(it);
+  leases.erase(it);
   if (!expired && lease.timer != sim::kInvalidEventId) {
     sim_->Cancel(lease.timer);
   }
   FELA_CHECK_EQ(outstanding_[static_cast<size_t>(lease.worker)], id);
   outstanding_[static_cast<size_t>(lease.worker)] = kInvalidTokenId;
-  ++stats_.tokens_reclaimed;
-  if (expired) ++stats_.lease_expirations;
+  ++shard_stats_[static_cast<size_t>(shard)].tokens_reclaimed;
+  if (expired) ++shard_stats_[static_cast<size_t>(shard)].lease_expirations;
   Token token = std::move(lease.token);
   ++token.attempt;
   if (cbs_.on_reclaim) cbs_.on_reclaim(token, lease.worker);
+  // The reclaimed token migrates to the most local up worker's bucket —
+  // possibly in another shard, which then owns it outright.
   const sim::NodeId home = ReclaimDestination(token);
-  const size_t bucket = hf() ? static_cast<size_t>(home) : 0;
-  stbs_[bucket].Add(std::move(token));
+  AddFreshToken(std::move(token), home);
   ServeWaiters();
 }
 
-void TokenServer::OnLeaseExpired(TokenId id) { ReclaimLease(id, true); }
+void TokenServer::OnLeaseExpired(int shard, TokenId id) {
+  ReclaimLease(shard, id, true);
+}
 
 void TokenServer::CancelAllLeases() {
-  for (auto& [id, lease] : leases_) {
-    if (lease.timer != sim::kInvalidEventId) sim_->Cancel(lease.timer);
-    outstanding_[static_cast<size_t>(lease.worker)] = kInvalidTokenId;
+  for (auto& leases : shard_leases_) {
+    for (auto& [id, lease] : leases) {
+      if (lease.timer != sim::kInvalidEventId) sim_->Cancel(lease.timer);
+      outstanding_[static_cast<size_t>(lease.worker)] = kInvalidTokenId;
+    }
+    leases.clear();
   }
-  leases_.clear();
 }
 
 void TokenServer::HandleReport(sim::NodeId worker, const Token& token) {
   const size_t w = static_cast<size_t>(worker);
+  const int shard = ShardOfWorker(worker);
+  // Straggler report into a fenced incarnation: drop (see HandleRequest).
+  if (shard_fenced_[static_cast<size_t>(shard)]) return;
+  Stats& st = shard_stats_[static_cast<size_t>(shard)];
   if (token.iteration != iteration_) {
     // A delayed/duplicated report straddled an iteration turnover.
-    ++stats_.stale_reports;
+    ++st.stale_reports;
     return;
   }
   // Accept a completion only from the worker we believe holds the token:
   // anything else is a duplicated report, or a report for a grant that
   // was already reclaimed (the work will be redone elsewhere).
   if (outstanding_[w] != token.id) {
-    ++stats_.duplicate_reports;
+    ++st.duplicate_reports;
     // The combined message still carries an implicit request: honor it
     // if the worker is idle from our point of view.
     if (!down_[w] && outstanding_[w] == kInvalidTokenId) HandleRequest(worker);
     return;
   }
   outstanding_[w] = kInvalidTokenId;
-  auto lease = leases_.find(token.id);
-  if (lease != leases_.end()) {
+  auto& leases = shard_leases_[static_cast<size_t>(shard)];
+  auto lease = leases.find(token.id);
+  if (lease != leases.end()) {
     if (lease->second.timer != sim::kInvalidEventId) {
       sim_->Cancel(lease->second.timer);
     }
-    leases_.erase(lease);
+    leases.erase(lease);
   }
   // Mutation canary: while armed, every 7th accepted completion is
   // leaked from the ledger — behavior is untouched, the accounting lies.
   if (!g_mutation_enabled || ++g_mutation_report_count % 7 != 0) {
-    ++stats_.completions;
+    ++st.completions;
   }
   info_.RecordCompleted(token.id, worker);
   const size_t level = static_cast<size_t>(token.level);
@@ -708,9 +1138,9 @@ void TokenServer::HandleReport(sim::NodeId worker, const Token& token) {
   // remote fetches another worker would pay. Without ADS the distributor
   // is a plain FIFO: queued waiters go first.
   auto enqueue_reporter = [&] {
-    if (!waiting_[static_cast<size_t>(worker)]) {
-      waiting_[static_cast<size_t>(worker)] = true;
-      waiters_.push_back(worker);
+    if (!waiting_[w]) {
+      waiting_[w] = true;
+      shard_waiters_[static_cast<size_t>(shard)].push_back(worker);
     }
   };
   if (config_->ads_enabled) {

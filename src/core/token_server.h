@@ -1,6 +1,7 @@
 #ifndef FELA_CORE_TOKEN_SERVER_H_
 #define FELA_CORE_TOKEN_SERVER_H_
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -31,6 +32,9 @@ struct Grant {
   std::vector<std::pair<sim::NodeId, double>> remote_fetches;
   double extra_delay = 0.0;
   bool stolen = false;  // taken from another worker's STB (helper mode)
+  /// The steal crossed a shard boundary (hierarchical donor path). Always
+  /// false on a single-shard server.
+  bool cross_shard = false;
   /// Absolute sim time by which the worker must report completion before
   /// the TS reclaims the token (0 when leasing is disabled).
   sim::SimTime lease_deadline = 0.0;
@@ -57,6 +61,19 @@ struct Grant {
 ///    destroying dependency locality under contention.
 ///  * CTD (§III-F): communication-intensive levels are only distributed
 ///    inside the subset S = {0..subset-1}, and prioritized there.
+///
+/// Sharding: the distributor is split into per-rack sub-distributors
+/// coordinated by a thin root (this object). Each shard owns the STBs,
+/// lease table, wait queue, completion pools, ledger, and distributor
+/// lock of a contiguous block of workers (= one topology rack by
+/// default; `config.ts_shards` overrides), so grants, completions, and
+/// intra-rack steals are served in O(rack_size). When a shard has no
+/// local token, the root picks a donor shard by aggregate surplus over
+/// the requested levels (O(shards), via incrementally maintained
+/// per-shard level counts) and the donor runs its local victim search —
+/// no code path scans all P workers. With one shard (any flat topology)
+/// every path degenerates to the original single server and transcripts
+/// are byte-identical to it.
 class FELA_THREAD_HOSTILE TokenServer {
  public:
   struct Callbacks {
@@ -72,6 +89,10 @@ class FELA_THREAD_HOSTILE TokenServer {
     /// Optional: a lease was reclaimed (crash or timeout) — the token is
     /// back in a bucket and `from` no longer owns it. For tracing.
     std::function<void(const Token&, sim::NodeId from)> on_reclaim;
+    /// Optional: can shard `from` currently reach shard `to` (their hosts
+    /// are not partitioned)? Consulted by the hierarchical donor pick;
+    /// absent means always reachable. Never called on a one-shard server.
+    std::function<bool(int from_shard, int to_shard)> shard_reachable;
   };
 
   struct Stats {
@@ -82,9 +103,6 @@ class FELA_THREAD_HOSTILE TokenServer {
     double conflict_delay_total = 0.0;
     uint64_t remote_dep_fetches = 0;
     uint64_t local_dep_hits = 0;
-    // Fault-tolerance accounting. Every grant terminates in exactly one
-    // of {accepted completion, reclaim}, so at run end
-    //   grants == completions + tokens_reclaimed.
     // Fault-tolerance accounting. Every grant terminates in exactly one
     // of {accepted completion, reclaim}; a lease restored from a
     // checkpoint enters this incarnation's ledger without a local grant,
@@ -98,6 +116,12 @@ class FELA_THREAD_HOSTILE TokenServer {
     uint64_t stale_reports = 0;      // reports from a finished iteration
     uint64_t redundant_requests = 0; // requests while a grant is live
     uint64_t leases_restored = 0;    // leases re-armed from a checkpoint
+    // Hierarchical-steal accounting (always 0 on a one-shard server).
+    // A donated token moves wholly to the thief's shard: the thief's
+    // ledger carries its grant and completion; the donor only counts the
+    // donation, so no token is owned by two shards.
+    uint64_t cross_shard_steals = 0; // grants filled by another shard
+    uint64_t donations = 0;          // tokens this shard gave away
 
     /// Element-wise sum — used by the engine to fold stats archived from
     /// failed-over incarnations into one cumulative ledger.
@@ -109,7 +133,9 @@ class FELA_THREAD_HOSTILE TokenServer {
   /// the bucket / pending-pool repository, the wait queue, and the live
   /// leases (re-armed with fresh deadlines on restore). Statistics are
   /// deliberately NOT captured: each incarnation keeps its own ledger
-  /// and the engine archives them across failovers.
+  /// and the engine archives them across failovers. Whole-server
+  /// checkpoints only exist on a one-shard server; a sharded server
+  /// checkpoints per shard (see ShardLeaseCheckpoint).
   struct Checkpoint {
     bool valid = false;
     sim::SimTime taken_at = 0.0;
@@ -126,6 +152,19 @@ class FELA_THREAD_HOSTILE TokenServer {
     std::vector<sim::NodeId> helping;
     std::vector<int> helper_count;
     /// Live leases as (token, holder); timers are re-armed on restore.
+    std::vector<std::pair<Token, sim::NodeId>> leases;
+  };
+
+  /// The per-shard checkpoint of a sharded server. The shard's bucket
+  /// inventory is root-replicated metadata that survives a shard-host
+  /// crash, so only the lease table is checkpoint-bound: leases present
+  /// here when the shard is fenced are re-armed on restore
+  /// (leases_restored); leases granted after the snapshot die with the
+  /// incarnation and are reclaimed into the shard's buckets.
+  struct ShardLeaseCheckpoint {
+    bool valid = false;
+    sim::SimTime taken_at = 0.0;
+    int iteration = -1;
     std::vector<std::pair<Token, sim::NodeId>> leases;
   };
 
@@ -163,6 +202,8 @@ class FELA_THREAD_HOSTILE TokenServer {
   void CancelAllLeases();
 
   /// Captures the full distributor state for failover (see Checkpoint).
+  /// Only meaningful on a one-shard server; sharded servers checkpoint
+  /// per shard via MakeShardLeaseCheckpoint.
   Checkpoint MakeCheckpoint() const;
 
   /// Rebuilds this (freshly constructed) server from a checkpoint: state
@@ -180,17 +221,61 @@ class FELA_THREAD_HOSTILE TokenServer {
   /// No callbacks fire; the object must receive no messages afterwards.
   void FinalizeForFailover();
 
+  // -- Per-shard topology and survivability -------------------------------
+
+  int num_shards() const { return num_shards_; }
+  int ShardOfWorker(sim::NodeId worker) const {
+    return static_cast<int>(worker) / shard_block_;
+  }
+  /// Contiguous member range [begin, end) of a shard.
+  sim::NodeId shard_member_begin(int shard) const {
+    return static_cast<sim::NodeId>(shard * shard_block_);
+  }
+  sim::NodeId shard_member_end(int shard) const {
+    return std::min(static_cast<sim::NodeId>((shard + 1) * shard_block_),
+                    static_cast<sim::NodeId>(num_workers()));
+  }
+  bool shard_fenced(int shard) const {
+    return shard_fenced_[static_cast<size_t>(shard)];
+  }
+
+  /// Snapshots one shard's live lease table (see ShardLeaseCheckpoint).
+  ShardLeaseCheckpoint MakeShardLeaseCheckpoint(int shard) const;
+
+  /// Fences one shard of a sharded server: every live lease is reclaimed
+  /// into the shard's own buckets (attempt bumped — the work in flight
+  /// dies with the shard host), the shard stops granting and donating,
+  /// and its closed ledger is returned (and reset for the successor
+  /// incarnation). The closed ledger balances: grants + restored ==
+  /// completions + reclaimed, live == 0.
+  Stats FenceShard(int shard);
+
+  /// Un-fences a shard under a new incarnation: checkpointed leases whose
+  /// tokens are still parked in the shard's buckets (i.e. were live when
+  /// the shard was fenced and the iteration has not turned over) are
+  /// re-armed with fresh deadlines and counted as leases_restored; the
+  /// present down/cut picture of the shard's members is applied; waiters
+  /// are re-served.
+  void RestoreShard(int shard, const ShardLeaseCheckpoint& cp,
+                    const std::vector<bool>& down_now);
+
   /// Enables distributor-lock observability: every serialized pass
-  /// through the lock (including its fetching-conflict penalty) becomes
-  /// a span on the token-server track (= num_workers, past the last
-  /// worker's).
+  /// through a shard's lock (including its fetching-conflict penalty)
+  /// becomes a span on that shard's token-server track
+  /// (= num_workers + shard, past the last worker's).
   void set_span_sink(obs::SpanSink* spans) { spans_ = spans; }
 
   bool AllLevelsComplete() const;
   const InfoMapping& info() const { return info_; }
-  const Stats& stats() const { return stats_; }
-  size_t waiter_count() const { return waiters_.size(); }
-  size_t outstanding_lease_count() const { return leases_.size(); }
+  /// Cluster-wide ledger: the element-wise sum of every shard's ledger.
+  Stats stats() const;
+  /// One shard's live ledger (the per-shard conservation identity holds
+  /// for each of these independently).
+  const Stats& shard_stats(int shard) const {
+    return shard_stats_[static_cast<size_t>(shard)];
+  }
+  size_t waiter_count() const;
+  size_t outstanding_lease_count() const;
   bool IsWorkerDown(sim::NodeId worker) const {
     return down_[static_cast<size_t>(worker)];
   }
@@ -202,9 +287,14 @@ class FELA_THREAD_HOSTILE TokenServer {
   /// Audits the token-accounting ledger; returns one line per violated
   /// invariant, empty when healthy. Safe to call at any point in a run:
   /// the conservation identity (every grant terminates in exactly one of
-  /// completion or reclaim) counts still-live leases as in flight. The
-  /// fuzzer's TokenConservationOracle calls this through the
-  /// ExperimentSpec::post_run_probe hook.
+  /// completion or reclaim) counts still-live leases as in flight. On a
+  /// sharded server the audit runs per shard (each shard's ledger must
+  /// balance on its own, and the cached per-level availability counts
+  /// must match a recount of its buckets) plus cluster-wide (summed
+  /// ledger, level caps, and global token uniqueness across every
+  /// shard's buckets and leases — a double-counted donation trips it).
+  /// The fuzzer's TokenConservationOracle and ShardConservationOracle
+  /// call this through the ExperimentSpec::post_run_probe hook.
   std::vector<std::string> CheckInvariants() const;
 
  private:
@@ -213,32 +303,63 @@ class FELA_THREAD_HOSTILE TokenServer {
     return config_->ctd_subset_size < plan_->num_workers;
   }
   int num_workers() const { return plan_->num_workers; }
+  /// Bucket index a worker's tokens live in: its STB under HF, else its
+  /// shard's single bucket (the unsharded server's global bucket is the
+  /// one-shard case).
+  size_t BucketIndexFor(sim::NodeId worker) const {
+    return hf() ? static_cast<size_t>(worker)
+                : static_cast<size_t>(ShardOfWorker(worker));
+  }
+  /// Completion-pool index for a reporter (per worker under HF, else per
+  /// shard).
+  size_t PoolIndexFor(sim::NodeId reporter) const {
+    return hf() ? static_cast<size_t>(reporter)
+                : static_cast<size_t>(ShardOfWorker(reporter));
+  }
 
   /// Tries to grant a token to `worker`; delivers via callback on
   /// success.
   bool TryGrant(sim::NodeId worker);
   /// Selection across buckets per HF/CTD; fills steal/conflict info.
   std::optional<Token> TakeFor(sim::NodeId worker, bool* stolen,
-                               double* extra_delay);
-  /// Victim for a helper steal restricted to `order` levels, or -1.
-  sim::NodeId ChooseVictim(sim::NodeId thief,
-                           const std::vector<int>& order) const;
-  /// Accounts one pass through the distributor lock; returns the delay
-  /// (wait + conflict penalty) the request suffers.
-  double AcquireLock();
+                               bool* cross_shard, double* extra_delay);
+  /// Victim for a helper steal restricted to `order` levels, scanning
+  /// only the members of `shard`; -1 if none.
+  sim::NodeId ChooseVictim(sim::NodeId thief, const std::vector<int>& order,
+                           int shard) const;
+  /// Root donor pick for a hierarchical steal: the active, reachable
+  /// shard (≠ thief's) with the largest aggregate surplus over `order`
+  /// (ties -> lowest shard id); -1 when no shard has a matching token.
+  int PickDonorShard(int thief_shard, const std::vector<int>& order) const;
+  /// Accounts one pass through a shard's distributor lock; returns the
+  /// delay (wait + conflict penalty) the request suffers.
+  double AcquireLock(int shard);
+
+  /// Availability-count cache maintenance: every token entering or
+  /// leaving a bucket of `shard` at `level` passes through these. The
+  /// caches give O(1) donor surpluses and an O(levels) fast-fail for
+  /// requests no bucket can serve (the failed-attempt path that used to
+  /// scan every worker).
+  void NoteBucketAdd(int shard, int level);
+  void NoteBucketTake(int shard, int level);
 
   void AddFreshToken(Token token, sim::NodeId source);
   void GenerateAfterCompletion(const Token& completed, sim::NodeId reporter);
   void FlushResidualPools(int level);
-  Token MakeGeneratedToken(int level, std::vector<TokenDep> deps);
-  Grant MakeGrant(Token token, sim::NodeId worker, bool stolen, double delay);
+  /// Mints a token owned by `shard`: ids are per-shard sequences spread
+  /// by stride (seq * num_shards + shard), so each shard mints
+  /// monotonically without coordination and a one-shard server produces
+  /// exactly the historical dense sequence.
+  Token MakeGeneratedToken(int level, std::vector<TokenDep> deps, int shard);
+  Grant MakeGrant(Token token, sim::NodeId worker, bool stolen,
+                  bool cross_shard, double delay);
   void ServeWaiters();
 
   /// Pulls a live lease back: cancels its timer (unless it just fired),
   /// bumps the token's attempt count, returns it to the most local up
   /// worker's bucket, and serves waiters with the freed token.
-  void ReclaimLease(TokenId id, bool expired);
-  void OnLeaseExpired(TokenId id);
+  void ReclaimLease(int shard, TokenId id, bool expired);
+  void OnLeaseExpired(int shard, TokenId id);
   /// Best STB for a reclaimed token: its sample home / a dependency
   /// holder when that worker is up, else the first up worker.
   sim::NodeId ReclaimDestination(const Token& token) const;
@@ -250,15 +371,23 @@ class FELA_THREAD_HOSTILE TokenServer {
   obs::SpanSink* spans_ = nullptr;
   Callbacks cbs_;
 
+  /// Shard layout, fixed at construction: config.ts_shards when set,
+  /// else one shard per topology rack (1 on a flat cluster). Members are
+  /// the contiguous block [s * shard_block_, (s+1) * shard_block_).
+  int num_shards_ = 1;
+  int shard_block_ = 0;
+
   InfoMapping info_;
-  std::vector<TokenBucket> stbs_;  // size N when HF; size 1 otherwise
+  std::vector<TokenBucket> stbs_;  // size N when HF; one per shard otherwise
   // Per-level completion pools feeding token generation. With HF each
   // worker has its own pool (index = reporter), keeping generated deps
-  // single-sourced; without HF a single pool interleaves all workers.
+  // single-sourced; without HF one pool per shard interleaves its
+  // members.
   std::vector<std::vector<std::deque<TokenDep>>> pending_;
   std::vector<int> completed_count_;
   std::vector<int> generated_count_;
-  std::deque<sim::NodeId> waiters_;
+  /// Per-shard wait queue (the root serves shards in index order).
+  std::vector<std::deque<sim::NodeId>> shard_waiters_;
   std::vector<bool> waiting_;
   /// A granted-but-unreported token and its expiry timer.
   struct Lease {
@@ -266,28 +395,43 @@ class FELA_THREAD_HOSTILE TokenServer {
     sim::NodeId worker = -1;
     sim::EventId timer = sim::kInvalidEventId;
   };
-  /// Flat sorted-vector map (common/flat_map.h): token ids are granted in
-  /// increasing order, so inserts are amortized appends instead of
-  /// rebalancing tree allocations, lookups are a binary search over one
-  /// contiguous slab, and iteration is deterministically sorted — the
-  /// same observable order the old std::map gave (transcripts stay
-  /// byte-identical).
-  common::FlatMap<TokenId, Lease> leases_;
+  /// Per-shard flat sorted-vector lease map (common/flat_map.h): each
+  /// shard's token ids are granted in increasing order, so inserts are
+  /// amortized appends instead of rebalancing tree allocations, lookups
+  /// are a binary search over one contiguous slab, and iteration is
+  /// deterministically sorted — the same observable order the old
+  /// std::map gave (transcripts stay byte-identical).
+  std::vector<common::FlatMap<TokenId, Lease>> shard_leases_;
   std::vector<TokenId> outstanding_;  // live grant per worker, or invalid
   std::vector<bool> down_;
   bool leases_enabled_ = false;
-  /// This incarnation was rebuilt from a checkpoint. Checkpointed bucket
-  /// tokens keep their attempt counters, so a restored incarnation may
-  /// regrant tokens whose reclaim a *previous* incarnation counted —
-  /// CheckInvariants relaxes regrants <= reclaimed for it.
-  bool restored_from_checkpoint_ = false;
+  /// Shard incarnation was rebuilt from a checkpoint. Checkpointed
+  /// bucket tokens keep their attempt counters, so a restored
+  /// incarnation may regrant tokens whose reclaim a *previous*
+  /// incarnation counted — CheckInvariants relaxes regrants <= reclaimed
+  /// for it.
+  std::vector<bool> shard_restored_;
+  /// Reclaimed tokens (attempt > 0) this shard re-granted after winning
+  /// them in a cross-shard steal. The reclaim that armed them was booked
+  /// by the *donor* shard, so the per-shard regrants <= reclaimed bound
+  /// must credit these migrated-in tokens to stay sound.
+  std::vector<uint64_t> migrated_reclaims_in_;
+  /// Fenced shards neither grant nor donate; their buckets keep
+  /// accumulating (root-held inventory) until RestoreShard.
+  std::vector<bool> shard_fenced_;
   std::vector<sim::NodeId> helping_;     // helping_[w] = victim or -1
   std::vector<int> helper_count_;        // helpers currently aiding worker v
-  sim::SimTime lock_free_at_ = 0.0;
-  TokenId next_token_id_ = 0;
+  std::vector<sim::SimTime> shard_lock_free_;  // per-shard distributor lock
+  /// Per-shard mint sequence; global id = seq * num_shards + shard.
+  std::vector<TokenId> shard_next_seq_;
+  /// shard_level_avail_[s][l]: schedulable tokens at level l across shard
+  /// s's buckets; level_avail_[l] is the cluster-wide sum. Incrementally
+  /// maintained (NoteBucketAdd/Take), cross-checked by CheckInvariants.
+  std::vector<std::vector<int>> shard_level_avail_;
+  std::vector<int> level_avail_;
   int iteration_ = -1;
   bool all_done_announced_ = false;
-  Stats stats_;
+  std::vector<Stats> shard_stats_;
 };
 
 /// Test-only mutation switch: while enabled, HandleReport silently drops
@@ -298,6 +442,14 @@ class FELA_THREAD_HOSTILE TokenServer {
 /// report counter so canary runs are reproducible.
 void SetTokenServerMutationForTesting(bool enabled);
 bool TokenServerMutationForTesting();
+
+/// Test-only mutation switch for the sharding oracle: while enabled, the
+/// root double-counts every donated token — the donor's availability
+/// cache keeps counting a token that moved to the thief's shard. Behavior
+/// is untouched (the token really moves); only the root's books lie, so
+/// the shard-conservation audit (cache vs bucket recount) must bite.
+void SetShardDonationMutationForTesting(bool enabled);
+bool ShardDonationMutationForTesting();
 
 }  // namespace fela::core
 

@@ -120,10 +120,20 @@ void FelaWorker::OnGrant(const Grant& grant) {
   CancelRetryTimer();
   token_wait_.reset();  // emits the request -> grant interval
   busy_ = true;
-  FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kTokenGrant,
-             FELA_TOK("Token_%lld b=%g stolen=%d remote_fetches=%zu"),
-             static_cast<long long>(grant.token.id), grant.token.batch,
-             static_cast<int>(grant.stolen), grant.remote_fetches.size());
+  if (grant.cross_shard) {
+    // Hierarchical steal: the token came from another sub-distributor's
+    // rack. Only sharded servers emit this variant, so unsharded
+    // transcripts keep their historical bytes.
+    FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kTokenGrant,
+               FELA_TOK("Token_%lld b=%g cross-shard remote_fetches=%zu"),
+               static_cast<long long>(grant.token.id), grant.token.batch,
+               grant.remote_fetches.size());
+  } else {
+    FELA_TRACE(trace(), sim()->now(), id_, sim::TraceKind::kTokenGrant,
+               FELA_TOK("Token_%lld b=%g stolen=%d remote_fetches=%zu"),
+               static_cast<long long>(grant.token.id), grant.token.batch,
+               static_cast<int>(grant.stolen), grant.remote_fetches.size());
+  }
 
   if (grant.remote_fetches.empty()) {
     StartCompute(grant.token);

@@ -66,8 +66,11 @@ FuzzCaseResult RunFuzzCase(const FuzzSpec& spec, const FuzzOptions& options) {
   // Metamorphic twin 1: a fault-free spec re-run under an inert-but-
   // active fault schedule replays byte-for-byte. Catches fault-path
   // bookkeeping (leases, monitors, retry timers) leaking into runs where
-  // no fault ever fires.
-  if (spec.fault == FaultKind::kNone) {
+  // no fault ever fires. Flat fabrics only: on a racked topology the
+  // slower cross-rack syncs legitimately stretch a parked worker's wait
+  // past the retry backoff that an active schedule arms, so the twin
+  // gains benign retry messages and equivalence is not a theorem.
+  if (spec.fault == FaultKind::kNone && spec.rack_size == 0) {
     const runtime::ExperimentResult twin =
         RunProbed(spec, InertFaultFactory(), nullptr);
     const runtime::DeterminismReport diff = runtime::DiffTranscripts(
@@ -77,6 +80,28 @@ FuzzCaseResult RunFuzzCase(const FuzzSpec& spec, const FuzzOptions& options) {
       out.violations.push_back(Violation{
           kInertFaultOracle,
           "inert fault schedule perturbed the run: " + diff.ToString()});
+    }
+  }
+
+  // Metamorphic twin 1b: on an inert-shard spec — Fela on a flat fabric
+  // where sharding is auto (one shard) — forcing an explicit single
+  // sub-distributor must replay byte-for-byte: ts_shards=1 is the same
+  // server, and any divergence means shard bookkeeping leaked into the
+  // unsharded hot path.
+  if (spec.engine == EngineKind::kFela && spec.rack_size == 0 &&
+      spec.fela_ts_shards == 0) {
+    FuzzSpec sharded = spec;
+    sharded.fela_ts_shards = 1;
+    const runtime::ExperimentResult twin =
+        RunProbed(sharded, MakeFaultFactory(sharded), nullptr);
+    const runtime::DeterminismReport diff = runtime::DiffTranscripts(
+        runtime::DeterminismTranscript(out.result),
+        runtime::DeterminismTranscript(twin));
+    if (!diff.deterministic) {
+      out.violations.push_back(Violation{
+          kShardEquivalenceOracle,
+          "ts_shards=1 diverged from the unsharded server: " +
+              diff.ToString()});
     }
   }
 
@@ -222,6 +247,12 @@ std::vector<FuzzSpec> ShrinkCandidates(const FuzzSpec& s) {
     c.observe = false;
     out.push_back(std::move(c));
   }
+  if (s.rack_size != 0 || s.fela_ts_shards != 0) {
+    FuzzSpec c = s;
+    c.rack_size = 0;        // flat fabric
+    c.fela_ts_shards = 0;   // auto sharding (single distributor on flat)
+    out.push_back(std::move(c));
+  }
   const bool uniform = std::all_of(s.fela_weights.begin(),
                                    s.fela_weights.end(),
                                    [](int w) { return w == 1; });
@@ -255,7 +286,8 @@ ShrinkResult Shrink(const FuzzSpec& failing, int max_attempts) {
   FuzzOptions opts;
   opts.metamorphic = targets.count(kInertFaultOracle) > 0 ||
                      targets.count(kStragglerMonotoneOracle) > 0 ||
-                     targets.count(kFelaDominanceOracle) > 0;
+                     targets.count(kFelaDominanceOracle) > 0 ||
+                     targets.count(kShardEquivalenceOracle) > 0;
 
   bool progress = true;
   while (progress && out.attempts < max_attempts) {

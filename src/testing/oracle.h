@@ -118,6 +118,20 @@ class FailoverSafetyOracle final : public InvariantOracle {
              runtime::Cluster& cluster) override;
 };
 
+/// Sharded Token Server books must balance per sub-distributor, not just
+/// in aggregate: each shard's conservation identity holds on its own
+/// ledger, the per-shard availability caches agree with a recount of the
+/// buckets the shard owns (a donation that double-counts a token trips
+/// this), and no token id is schedulable or leased in two shards at
+/// once. On fault-free runs every cross-shard grant must carry exactly
+/// one donor-side donation. Vacuous off-Fela and on single-shard runs.
+class ShardConservationOracle final : public InvariantOracle {
+ public:
+  std::string name() const override { return "shard-conservation"; }
+  void Probe(const FuzzSpec& spec, const runtime::Engine& engine,
+             runtime::Cluster& cluster) override;
+};
+
 /// Partitions and gray failures are survivable for every engine except
 /// the checkpoint-free PS baseline (which aborts by design): generated
 /// partition windows always heal and gray workers are never down, so a

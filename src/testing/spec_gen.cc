@@ -14,6 +14,7 @@
 #include "model/zoo.h"
 #include "sim/faults.h"
 #include "sim/straggler.h"
+#include "sim/topology.h"
 #include "suite/suite.h"
 
 namespace fela::testing {
@@ -163,6 +164,34 @@ FuzzSpec GenerateSpec(uint64_t seed) {
     spec.fela_weights = def.weights;
     spec.fela_ctd_subset = def.ctd_subset_size;
   }
+
+  // Topology + Token Server sharding axis. Drawn after everything else
+  // so the earlier fields of any given seed keep their historical
+  // values (old repro seeds regenerate the same spec plus these).
+  const int n = spec.num_workers;
+  switch (rng.UniformInt(4)) {
+    case 0:
+    case 1: spec.rack_size = 0; break;            // flat, the common case
+    case 2: spec.rack_size = std::min(4, n); break;
+    default: spec.rack_size = std::max(2, n / 2); break;
+  }
+  if (spec.rack_size >= n) spec.rack_size = 0;  // one rack == flat
+  switch (rng.UniformInt(4)) {
+    case 0: spec.fela_ts_shards = 0; break;  // auto: one shard per rack
+    case 1: spec.fela_ts_shards = 1; break;  // inert: single distributor
+    case 2:                                  // explicit rack count
+      spec.fela_ts_shards =
+          spec.rack_size > 0 ? (n + spec.rack_size - 1) / spec.rack_size : 0;
+      break;
+    default: {
+      // Smallest odd >= 3 that does not divide the cluster (ragged last
+      // shard); clusters too small for one fall back to auto.
+      int odd = 3;
+      while (odd <= n && n % odd == 0) odd += 2;
+      spec.fela_ts_shards = odd <= n ? odd : 0;
+      break;
+    }
+  }
   return spec;
 }
 
@@ -184,6 +213,11 @@ runtime::ExperimentSpec ToExperimentSpec(const FuzzSpec& spec) {
   out.iterations = spec.iterations;
   out.num_workers = spec.num_workers;
   out.observe = spec.observe;
+  if (spec.rack_size > 0) {
+    out.calibration.topology = sim::Topology::Racked(
+        spec.rack_size, /*uplink_bandwidth_bytes_per_sec=*/5e9,
+        /*rack_hop_latency_sec=*/5e-6);
+  }
   return out;
 }
 
@@ -202,6 +236,7 @@ runtime::EngineFactory MakeEngineFactory(const FuzzSpec& spec) {
       if (spec.fela_ctd_subset > 0) cfg.ctd_subset_size = spec.fela_ctd_subset;
       cfg.ads_enabled = spec.fela_ads;
       cfg.hf_enabled = spec.fela_hf;
+      cfg.ts_shards = spec.fela_ts_shards;
       return suite::FelaFactory(m, cfg);
     }
   }
@@ -314,14 +349,25 @@ void ClampToCluster(FuzzSpec* spec) {
   spec->straggler_victim = std::clamp(spec->straggler_victim, 0, n - 1);
   spec->partition_size = std::clamp(spec->partition_size, 1, n - 1);
   spec->gray_worker = std::clamp(spec->gray_worker, 0, n - 1);
+  if (spec->rack_size >= n || spec->rack_size < 0) spec->rack_size = 0;
+  spec->fela_ts_shards = std::clamp(spec->fela_ts_shards, 0, n);
 }
 
 std::string SpecLabel(const FuzzSpec& spec) {
-  return common::StrFormat(
+  std::string label = common::StrFormat(
       "engine=%s model=%s workers=%d batch=%g it=%d stragglers=%s faults=%s%s",
       EngineKindName(spec.engine), ModelKindName(spec.model), spec.num_workers,
       spec.total_batch, spec.iterations, StragglerKindName(spec.straggler),
       FaultKindName(spec.fault), spec.observe ? " observed" : "");
+  // Topology / sharding suffixes only when non-default, so flat
+  // unsharded labels keep their historical bytes.
+  if (spec.rack_size > 0) {
+    label += common::StrFormat(" rack=%d", spec.rack_size);
+  }
+  if (spec.fela_ts_shards > 0) {
+    label += common::StrFormat(" shards=%d", spec.fela_ts_shards);
+  }
+  return label;
 }
 
 common::Json SpecToJson(const FuzzSpec& spec) {
@@ -335,6 +381,8 @@ common::Json SpecToJson(const FuzzSpec& spec) {
   doc.Set("total_batch", spec.total_batch);
   doc.Set("iterations", spec.iterations);
   doc.Set("observe", spec.observe);
+  doc.Set("rack_size", spec.rack_size);
+  doc.Set("fela_ts_shards", spec.fela_ts_shards);
   doc.Set("straggler", StragglerKindName(spec.straggler));
   doc.Set("straggler_delay_sec", spec.straggler_delay_sec);
   doc.Set("straggler_probability", spec.straggler_probability);
@@ -553,6 +601,17 @@ bool SpecFromJson(const common::Json& json, FuzzSpec* out,
   if (!ReadBool(json, "fela_ads", &spec.fela_ads, error) ||
       !ReadBool(json, "fela_hf", &spec.fela_hf, error)) {
     return false;
+  }
+
+  // Topology / sharding fields postdate the format: optional with their
+  // flat-unsharded defaults so pre-shard repro files still replay.
+  if (json.Find("rack_size") != nullptr) {
+    if (!ReadNumber(json, "rack_size", &num, error)) return false;
+    spec.rack_size = static_cast<int>(num);
+  }
+  if (json.Find("fela_ts_shards") != nullptr) {
+    if (!ReadNumber(json, "fela_ts_shards", &num, error)) return false;
+    spec.fela_ts_shards = static_cast<int>(num);
   }
 
   *out = std::move(spec);

@@ -102,6 +102,18 @@ struct FuzzSpec {
   int fela_ctd_subset = 0;
   bool fela_ads = true;
   bool fela_hf = true;
+
+  /// Cluster topology: 0 = flat fabric; otherwise workers group into
+  /// racks of this size (sim::Topology::Racked). Fuzzed so the
+  /// hierarchical fabric and the rack-sharded Token Server see
+  /// adversarial compositions too.
+  int rack_size = 0;
+  /// Token Server sub-distributor count (core::FelaConfig::ts_shards):
+  /// 0 = one shard per rack (the default), otherwise explicit — the
+  /// generator draws 1 (inert), the rack count, and odd non-divisors of
+  /// the cluster size. Optional in repro JSON (default 0) so pre-shard
+  /// repro files still parse.
+  int fela_ts_shards = 0;
 };
 
 /// Derives a random-but-valid spec from `seed`. Same seed, same spec, on

@@ -1,0 +1,263 @@
+// Shard-equivalence suite for the hierarchical Token Server (sharded
+// sub-distributors, PR 10): (1) ts_shards=1 replays *byte-identically*
+// against transcript fingerprints captured from the pre-shard
+// single-server build on both determinism gate specs (fig8 fault-free
+// and the control-plane chaos gate) — the sharding refactor must be
+// invisible at S=1; (2) sharded runs keep the conservation ledger per
+// shard and cluster-wide and replay deterministically; (3) an
+// imbalanced-STB spec (one rack gray-slowed) actually exercises the
+// hierarchical cross-shard steal path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/fela_config.h"
+#include "core/fela_engine.h"
+#include "core/token_server.h"
+#include "model/partition.h"
+#include "model/profile.h"
+#include "model/zoo.h"
+#include "runtime/determinism.h"
+#include "runtime/experiment.h"
+#include "sim/faults.h"
+#include "sim/topology.h"
+#include "suite/suite.h"
+
+namespace fela::runtime {
+namespace {
+
+// FNV-1a fingerprints of the FELADET1 binary and text determinism
+// transcripts produced by the single-server Token Server (commit
+// f699ccf, before sharding) on the two gate specs below. A sharded
+// server running with one shard must reproduce these bytes exactly.
+constexpr uint64_t kFig8BinaryGolden = 0x2e86ea234a612ce6ull;
+constexpr uint64_t kFig8TextGolden = 0x6164985474e15245ull;
+constexpr uint64_t kChaosBinaryGolden = 0xfc7a94e25c8ef8dcull;
+constexpr uint64_t kChaosTextGolden = 0xbbf21a4bd400e4a1ull;
+
+int Vgg19Levels() {
+  return static_cast<int>(
+      model::BinPartitioner()
+          .Partition(model::zoo::Vgg19(), model::ProfileRepository::Default())
+          .size());
+}
+
+/// The fault schedule of the control-plane chaos determinism gate (TS
+/// host crash + half-cluster partition + gray latency).
+FaultFactory ChaosFaults() {
+  return [](int n) -> std::unique_ptr<sim::FaultSchedule> {
+    std::vector<std::unique_ptr<sim::FaultSchedule>> parts;
+    parts.push_back(std::make_unique<sim::ScriptedCrashes>(
+        std::vector<sim::CrashEvent>{{/*worker=*/0, 2.0, 12.0}}));
+    sim::PartitionEvent ev;
+    ev.start = 4.0;
+    ev.end = 8.0;
+    for (int w = 0; w < n / 2; ++w) ev.side_a.push_back(w);
+    parts.push_back(std::make_unique<sim::NetworkPartition>(
+        std::vector<sim::PartitionEvent>{ev}));
+    parts.push_back(std::make_unique<sim::GrayFailures>(
+        std::vector<sim::GrayEvent>{{/*worker=*/3, 5.0, 30.0, 4.0}}));
+    return std::make_unique<sim::CompositeFaults>(std::move(parts));
+  };
+}
+
+struct TranscriptHashes {
+  uint64_t binary = 0;
+  uint64_t text = 0;
+};
+
+TranscriptHashes RunAndHash(const ExperimentSpec& base,
+                            const EngineFactory& engine,
+                            const FaultFactory& faults) {
+  ExperimentSpec spec = base;
+  spec.observe = true;  // transcripts require the observability layer
+  const ExperimentResult r =
+      RunExperiment(spec, engine, NoStragglerFactory(), faults);
+  return {Fnv1a64(BinaryTranscript(r)), Fnv1a64(DeterminismTranscript(r))};
+}
+
+// --- S=1 byte-identity against the pre-shard goldens -------------------
+
+TEST(ShardEquivalence, Fig8ByteIdenticalToPreShardServer) {
+  ExperimentSpec gate;
+  gate.total_batch = 256;
+  gate.iterations = 4;
+  // Default config: flat topology, ts_shards=0 -> one shard.
+  core::FelaConfig cfg = core::FelaConfig::Defaults(3, 8);
+  const TranscriptHashes auto_one =
+      RunAndHash(gate, suite::FelaFactory(model::zoo::GoogLeNet(), cfg),
+                 nullptr);
+  EXPECT_EQ(auto_one.binary, kFig8BinaryGolden);
+  EXPECT_EQ(auto_one.text, kFig8TextGolden);
+  // Explicit ts_shards=1 must be the very same bytes.
+  cfg.ts_shards = 1;
+  const TranscriptHashes explicit_one =
+      RunAndHash(gate, suite::FelaFactory(model::zoo::GoogLeNet(), cfg),
+                 nullptr);
+  EXPECT_EQ(explicit_one.binary, kFig8BinaryGolden);
+  EXPECT_EQ(explicit_one.text, kFig8TextGolden);
+}
+
+TEST(ShardEquivalence, ChaosGateByteIdenticalToPreShardServer) {
+  const model::Model model = model::zoo::Vgg19();
+  ExperimentSpec gate;
+  gate.total_batch = 512.0;
+  gate.iterations = 4;
+  gate.num_workers = 8;
+  core::FelaConfig cfg = suite::TunedFelaConfig(model, 512.0, 8, 5);
+  const TranscriptHashes auto_one =
+      RunAndHash(gate, suite::FelaFactory(model, cfg), ChaosFaults());
+  EXPECT_EQ(auto_one.binary, kChaosBinaryGolden);
+  EXPECT_EQ(auto_one.text, kChaosTextGolden);
+  cfg.ts_shards = 1;
+  const TranscriptHashes explicit_one =
+      RunAndHash(gate, suite::FelaFactory(model, cfg), ChaosFaults());
+  EXPECT_EQ(explicit_one.binary, kChaosBinaryGolden);
+  EXPECT_EQ(explicit_one.text, kChaosTextGolden);
+}
+
+// --- Sharded-run invariants -------------------------------------------
+
+/// Probes the live engine after a sharded run: the conservation ledger
+/// must audit clean as a whole, each shard's books must sum to the
+/// cluster-wide ledger, and the failover identity must hold.
+void ExpectShardedLedgerClean(const core::FelaEngine& fela,
+                              int expect_shards) {
+  const core::TokenServer& ts = fela.token_server();
+  EXPECT_EQ(ts.num_shards(), expect_shards);
+  EXPECT_TRUE(ts.CheckInvariants().empty());
+  EXPECT_TRUE(fela.CheckFailoverInvariants().empty());
+  core::TokenServer::Stats summed;
+  for (int s = 0; s < ts.num_shards(); ++s) summed += ts.shard_stats(s);
+  const core::TokenServer::Stats whole = ts.stats();
+  EXPECT_EQ(summed.grants, whole.grants);
+  EXPECT_EQ(summed.completions, whole.completions);
+  EXPECT_EQ(summed.steals, whole.steals);
+  EXPECT_EQ(summed.cross_shard_steals, whole.cross_shard_steals);
+  EXPECT_EQ(summed.donations, whole.donations);
+  EXPECT_EQ(summed.tokens_reclaimed, whole.tokens_reclaimed);
+}
+
+TEST(ShardedInvariants, RackedAutoShardingConservesPerShardAndClusterWide) {
+  const int levels = Vgg19Levels();
+  ExperimentSpec spec;
+  spec.total_batch = 256;
+  spec.iterations = 4;
+  spec.num_workers = 8;
+  // rack_size=4 -> two racks -> two sub-distributors by default.
+  spec.calibration.topology = sim::Topology::Racked(4, 5e9, 5e-6);
+  bool probed = false;
+  spec.post_run_probe = [&](const Engine& engine, Cluster&) {
+    probed = true;
+    ExpectShardedLedgerClean(dynamic_cast<const core::FelaEngine&>(engine),
+                             /*expect_shards=*/2);
+  };
+  const ExperimentResult result = RunExperiment(
+      spec,
+      suite::FelaFactory(model::zoo::Vgg19(),
+                         core::FelaConfig::Defaults(levels, 8)),
+      NoStragglerFactory());
+  EXPECT_TRUE(probed);
+  EXPECT_FALSE(result.stats.stalled);
+}
+
+TEST(ShardedInvariants, ExplicitOddNonDivisorShardCount) {
+  // ts_shards=3 over 8 workers: blocks {0..2}{3..5}{6..7} — the ragged
+  // last shard must keep its own books straight too.
+  const int levels = Vgg19Levels();
+  core::FelaConfig cfg = core::FelaConfig::Defaults(levels, 8);
+  cfg.ts_shards = 3;
+  ExperimentSpec spec;
+  spec.total_batch = 256;
+  spec.iterations = 4;
+  spec.num_workers = 8;
+  bool probed = false;
+  spec.post_run_probe = [&](const Engine& engine, Cluster&) {
+    probed = true;
+    ExpectShardedLedgerClean(dynamic_cast<const core::FelaEngine&>(engine),
+                             /*expect_shards=*/3);
+  };
+  const ExperimentResult result =
+      RunExperiment(spec, suite::FelaFactory(model::zoo::Vgg19(), cfg),
+                    NoStragglerFactory());
+  EXPECT_TRUE(probed);
+  EXPECT_FALSE(result.stats.stalled);
+}
+
+TEST(ShardedDeterminism, ChaosRunReplaysByteIdentically) {
+  // Sharded server + racked fabric + the chaos gate faults: two runs of
+  // the same spec must produce identical FELADET1 bytes.
+  const int levels = Vgg19Levels();
+  ExperimentSpec spec;
+  spec.total_batch = 256;
+  spec.iterations = 4;
+  spec.num_workers = 8;
+  spec.calibration.topology = sim::Topology::Racked(4, 5e9, 5e-6);
+  const DeterminismReport report = VerifyDeterminism(
+      spec,
+      suite::FelaFactory(model::zoo::Vgg19(),
+                         core::FelaConfig::Defaults(levels, 8)),
+      NoStragglerFactory(), ChaosFaults());
+  EXPECT_TRUE(report.deterministic) << report.ToString();
+  EXPECT_NE(report.hash_first, 0u);
+}
+
+// --- Hierarchical steal path ------------------------------------------
+
+/// Computes 8x slower on workers [first, last] in every iteration: one
+/// whole rack of degraded devices, the STB-imbalance scenario that makes
+/// the fast rack exhaust its own sub-distributor.
+class SlowRack final : public sim::StragglerSchedule {
+ public:
+  SlowRack(int first, int last, double slowdown)
+      : first_(first), last_(last), slowdown_(slowdown) {}
+  double DelayFor(int, int) const override { return 0.0; }
+  double SlowdownFor(int, int worker) const override {
+    return (worker >= first_ && worker <= last_) ? slowdown_ : 1.0;
+  }
+  std::string ToString() const override { return "SlowRack"; }
+
+ private:
+  int first_;
+  int last_;
+  double slowdown_;
+};
+
+TEST(CrossShardSteal, ImbalancedStbForcesHierarchicalSteal) {
+  // Compute-slow every worker in rack 0 for the whole run: rack 1
+  // drains its own STBs, exhausts intra-rack victims, and must go
+  // through the root to steal from rack 0's sub-distributor.
+  const int levels = Vgg19Levels();
+  ExperimentSpec spec;
+  spec.total_batch = 512;
+  spec.iterations = 4;
+  spec.num_workers = 8;
+  spec.calibration.topology = sim::Topology::Racked(4, 5e9, 5e-6);
+  StragglerFactory slow_rack0 = [](int) {
+    return std::make_unique<SlowRack>(/*first=*/0, /*last=*/3,
+                                      /*slowdown=*/8.0);
+  };
+  bool probed = false;
+  spec.post_run_probe = [&](const Engine& engine, Cluster&) {
+    probed = true;
+    const auto& fela = dynamic_cast<const core::FelaEngine&>(engine);
+    const core::TokenServer::Stats stats = fela.ts_stats();
+    EXPECT_GT(stats.cross_shard_steals, 0u);
+    // Every cross-shard grant has exactly one donor-side donation.
+    EXPECT_EQ(stats.donations, stats.cross_shard_steals);
+    ExpectShardedLedgerClean(fela, /*expect_shards=*/2);
+  };
+  const ExperimentResult result = RunExperiment(
+      spec,
+      suite::FelaFactory(model::zoo::Vgg19(),
+                         core::FelaConfig::Defaults(levels, 8)),
+      slow_rack0);
+  EXPECT_TRUE(probed);
+  EXPECT_FALSE(result.stats.stalled);
+}
+
+}  // namespace
+}  // namespace fela::runtime

@@ -18,6 +18,7 @@
 #include "model/zoo.h"
 #include "runtime/cluster.h"
 #include "sim/faults.h"
+#include "sim/topology.h"
 
 namespace fela::core {
 namespace {
@@ -438,6 +439,158 @@ TEST(ControlPlaneTest, FaultScheduleValidationRejectsOutOfRangeWorkers) {
                   std::vector<sim::CrashEvent>{{7, 1.0, 2.0}})
                   .Validate(8)
                   .ok());
+}
+
+// --- Sharded control plane (per-rack Token Server sub-distributors) ---
+// A racked fabric auto-shards the server: one sub-distributor per rack,
+// coordinated by a thin root on shard 0's host. These chaos tests pin
+// the blast-radius story: a shard-host fail-stop scopes the outage to
+// its own rack, a rack-isolating partition parks exactly that rack, and
+// the per-incarnation conservation ledger survives repeated failovers.
+
+std::unique_ptr<runtime::Cluster> RackedFaultyCluster(
+    std::unique_ptr<sim::FaultSchedule> faults, int n = 8, int rack = 4) {
+  sim::Calibration cal = sim::Calibration::Default();
+  cal.topology = sim::Topology::Racked(rack, 5e9, 5e-6);
+  return std::make_unique<runtime::Cluster>(
+      n, cal, std::make_unique<sim::NoStragglers>(), std::move(faults));
+}
+
+runtime::RunStats CleanRackedFelaStats(int iterations, double batch) {
+  auto cluster = RackedFaultyCluster(nullptr);
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), PaperConfig(), batch);
+  return engine.Run(iterations);
+}
+
+TEST(ShardedControlPlaneTest, ShardHostFailStopScopesOutageToItsRack) {
+  const int kIters = 5;
+  const double kBatch = 512.0;
+  const double clean_total = CleanRackedFelaStats(kIters, kBatch).total_time;
+  const double crash = 0.3 * clean_total;
+  FelaConfig cfg = PaperConfig();
+  cfg.ts_failover_timeout_sec = 1.0;
+
+  // Sharded: kill worker 4 — rack 1's sub-distributor host — for good.
+  // Only shard 1 fences; rack 0's sub-distributor never stops granting.
+  auto sharded_cluster =
+      RackedFaultyCluster(std::make_unique<sim::ScriptedCrashes>(
+          std::vector<sim::CrashEvent>{{4, crash, sim::kNeverTime}}));
+  FelaEngine sharded(sharded_cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+  const auto sharded_stats = sharded.Run(kIters);
+  ASSERT_EQ(sharded.ts_shard_count(), 2);
+  EXPECT_EQ(sharded_stats.iteration_count(), kIters);
+  EXPECT_FALSE(sharded_stats.stalled);
+  EXPECT_EQ(sharded_stats.faults.ts_failovers, 1u);
+  EXPECT_EQ(sharded.ts_shard_host(1), 5);  // in-rack standby promoted
+  EXPECT_EQ(sharded.ts_shard_incarnation(1), 1);
+  EXPECT_TRUE(sharded.ts_shard_active(1));
+  EXPECT_EQ(sharded.ts_shard_host(0), 0);  // the root never noticed
+  EXPECT_EQ(sharded.ts_shard_incarnation(0), 0);
+  EXPECT_FALSE(sharded.admitted(4));  // scaled in around the dead host
+  EXPECT_GT(sharded.token_server().shard_stats(0).grants, 0u);
+  ExpectFailoverInvariantsHold(sharded);
+  const TokenServer::Stats cum = sharded.CumulativeTsStats();
+  EXPECT_EQ(cum.grants + cum.leases_restored,
+            cum.completions + cum.tokens_reclaimed);
+
+  // Whole-TS fail-stop on the same fabric: ts_shards=1 collapses the
+  // server back to a monolith, so losing its host (worker 0) darkens
+  // the entire control plane for the failover window. Both runs lose
+  // one worker forever and fail over exactly once; the sharded run must
+  // retain strictly more throughput because seven workers — not zero —
+  // kept draining tokens while the fence was up.
+  FelaConfig mono = cfg;
+  mono.ts_shards = 1;
+  auto mono_cluster =
+      RackedFaultyCluster(std::make_unique<sim::ScriptedCrashes>(
+          std::vector<sim::CrashEvent>{{0, crash, sim::kNeverTime}}));
+  FelaEngine whole(mono_cluster.get(), model::zoo::Vgg19(), mono, kBatch);
+  const auto mono_stats = whole.Run(kIters);
+  ASSERT_EQ(whole.ts_shard_count(), 1);
+  EXPECT_FALSE(mono_stats.stalled);
+  EXPECT_EQ(mono_stats.faults.ts_failovers, 1u);
+  EXPECT_LT(sharded_stats.total_time, mono_stats.total_time);
+}
+
+TEST(ShardedControlPlaneTest, RackIsolatingPartitionParksOnlyThatRack) {
+  const int kIters = 6;
+  const double kBatch = 512.0;
+  const auto clean = CleanRackedFelaStats(kIters, kBatch);
+
+  // Cut rack 1 (workers 4..7) away from rack 0 for a mid-run window.
+  // Rack 1 keeps its own sub-distributor host, so its shard holds local
+  // quorum and nothing fails over — the rack simply parks until the
+  // heal while rack 0 keeps training.
+  sim::PartitionEvent ev;
+  ev.start = clean.iterations[1].start;
+  ev.end = clean.iterations[3].end;
+  ev.side_a = {0, 1, 2, 3};
+  FelaConfig cfg = PaperConfig();
+  cfg.ts_failover_timeout_sec = 1.0;
+  auto cluster = RackedFaultyCluster(std::make_unique<sim::NetworkPartition>(
+      std::vector<sim::PartitionEvent>{ev}));
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+  const auto stats = engine.Run(kIters);
+
+  ASSERT_EQ(engine.ts_shard_count(), 2);
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_EQ(stats.faults.crashes, 0u);
+  EXPECT_EQ(stats.faults.partition_cuts, 4u);  // exactly rack 1
+  EXPECT_EQ(stats.faults.partition_heals, 4u);
+  EXPECT_EQ(stats.faults.ts_failovers, 0u);  // both hosts kept quorum
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(engine.ts_shard_incarnation(s), 0) << "shard " << s;
+    EXPECT_TRUE(engine.ts_shard_active(s)) << "shard " << s;
+  }
+  for (int w = 4; w < 8; ++w) {
+    EXPECT_TRUE(engine.admitted(w)) << "worker " << w;  // healed + rejoined
+  }
+  EXPECT_GT(stats.faults.readmissions, 0u);
+  // Both sub-distributors granted: rack 0 throughout, rack 1 around the
+  // window.
+  EXPECT_GT(engine.token_server().shard_stats(0).grants, 0u);
+  EXPECT_GT(engine.token_server().shard_stats(1).grants, 0u);
+  ExpectFailoverInvariantsHold(engine);
+}
+
+TEST(ShardedControlPlaneTest, LedgerSurvivesTwoSuccessiveShardFailovers) {
+  const int kIters = 6;
+  const double kBatch = 512.0;
+  const double clean_total = CleanRackedFelaStats(kIters, kBatch).total_time;
+  FelaConfig cfg = PaperConfig();
+  cfg.ts_failover_timeout_sec = 0.5;
+
+  // Shard 1 loses two hosts in a row: worker 4 (the original), then
+  // worker 5 (the first standby) after its promotion has completed. The
+  // second crash is pinned past crash1 + the failover timeout so it is
+  // guaranteed to hit host 5's live incarnation, not the fence window.
+  const double crash1 = 0.25 * clean_total;
+  const double crash2 = crash1 + cfg.ts_failover_timeout_sec +
+                        0.25 * clean_total;
+  auto cluster = RackedFaultyCluster(std::make_unique<sim::ScriptedCrashes>(
+      std::vector<sim::CrashEvent>{{4, crash1, sim::kNeverTime},
+                                   {5, crash2, sim::kNeverTime}}));
+  FelaEngine engine(cluster.get(), model::zoo::Vgg19(), cfg, kBatch);
+  const auto stats = engine.Run(kIters);
+
+  ASSERT_EQ(engine.ts_shard_count(), 2);
+  EXPECT_EQ(stats.iteration_count(), kIters);
+  EXPECT_FALSE(stats.stalled);
+  EXPECT_EQ(stats.faults.ts_failovers, 2u);
+  EXPECT_EQ(engine.ts_shard_host(1), 6);  // second standby in line
+  EXPECT_EQ(engine.ts_shard_incarnation(1), 2);
+  EXPECT_TRUE(engine.ts_shard_active(1));
+  EXPECT_EQ(engine.ts_shard_incarnation(0), 0);  // root untouched
+  ExpectFailoverInvariantsHold(engine);
+
+  // The cross-incarnation ledger: every incarnation's archived stats
+  // plus the live server's must balance cluster-wide — nothing stays
+  // leased at run end, so grants + restored == completions + reclaimed.
+  const TokenServer::Stats cum = engine.CumulativeTsStats();
+  EXPECT_EQ(cum.grants + cum.leases_restored,
+            cum.completions + cum.tokens_reclaimed);
+  EXPECT_EQ(stats.faults.leases_restored, cum.leases_restored);
 }
 
 }  // namespace

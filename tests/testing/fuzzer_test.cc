@@ -105,6 +105,65 @@ TEST_F(MutationCanaryTest, OracleTripsAndShrinkerMinimizes) {
   EXPECT_TRUE(replay_trips);
 }
 
+/// A sharded spec with one rack of degraded devices: the fast rack
+/// drains its own sub-distributor and must steal cross-shard, so every
+/// run executes at least one donation — the operation the shard
+/// mutation canary poisons.
+FuzzSpec DonatingShardSpec() {
+  FuzzSpec spec;  // seed 0: hand-built
+  spec.engine = EngineKind::kFela;
+  spec.model = ModelKind::kVgg19;
+  spec.num_workers = 8;
+  spec.total_batch = 256.0;
+  spec.iterations = 3;
+  spec.rack_size = 4;       // two racks -> two sub-distributors
+  spec.fela_ts_shards = 0;  // auto: shard per rack
+  spec.straggler = StragglerKind::kHeterogeneous;
+  spec.straggler_victim = 0;
+  spec.straggler_slowdown = 4.0;
+  return spec;
+}
+
+/// The sharding mutation canary: the root skips the donor-side
+/// availability decrement when a token migrates between shards, so the
+/// donor's books double-count it. If the shard-conservation oracle
+/// stays quiet under this, the per-shard audit is decorative.
+class ShardMutationCanaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { core::SetShardDonationMutationForTesting(true); }
+  void TearDown() override { core::SetShardDonationMutationForTesting(false); }
+};
+
+TEST_F(ShardMutationCanaryTest, ShardConservationOracleBites) {
+  const FuzzCaseResult r = RunFuzzCase(DonatingShardSpec());
+  bool tripped = false;
+  for (const Violation& v : r.violations) {
+    if (v.oracle == "shard-conservation") tripped = true;
+  }
+  EXPECT_TRUE(tripped)
+      << "donor double-count never tripped shard-conservation ("
+      << r.violations.size() << " violation(s) total)";
+}
+
+TEST(ShardFuzzTest, DonatingShardSpecIsCleanWithoutTheCanary) {
+  // The same spec with honest books passes the whole battery — proving
+  // the canary test above fails because of the mutation, not the spec.
+  const FuzzCaseResult r = RunFuzzCase(DonatingShardSpec());
+  EXPECT_TRUE(r.ok()) << r.violations.front().oracle << ": "
+                      << r.violations.front().detail;
+}
+
+TEST(ShardFuzzTest, InertShardTwinRunsOnFlatUnshardedFelaSpecs) {
+  // A flat unsharded Fela spec triggers metamorphic twin 1b
+  // (ts_shards=1 must be byte-identical); a healthy server passes.
+  FuzzSpec spec = DonatingShardSpec();
+  spec.rack_size = 0;
+  spec.straggler = StragglerKind::kNone;
+  const FuzzCaseResult r = RunFuzzCase(spec);
+  EXPECT_TRUE(r.ok()) << r.violations.front().oracle << ": "
+                      << r.violations.front().detail;
+}
+
 TEST_F(MutationCanaryTest, CanaryOnlyAffectsFelaRuns) {
   FuzzSpec spec = GenerateSpec(2);
   spec.engine = EngineKind::kDp;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -142,6 +143,81 @@ TEST(SpecGenTest, ClampToClusterRestoresValidity) {
                   }(),
                   NumSubModelsFor(s), s.num_workers)
                   .ok());
+}
+
+TEST(SpecGenTest, ShardAxisIsCoveredAndValid) {
+  bool saw_flat = false, saw_racked = false;
+  bool saw_auto = false, saw_one = false, saw_rack_count = false,
+       saw_non_divisor = false;
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    const FuzzSpec s = GenerateSpec(seed);
+    SCOPED_TRACE(SpecLabel(s));
+    // Validity: racks smaller than the cluster, shard counts the config
+    // validator accepts.
+    EXPECT_GE(s.rack_size, 0);
+    EXPECT_LT(s.rack_size, std::max(1, s.num_workers));
+    EXPECT_GE(s.fela_ts_shards, 0);
+    EXPECT_LE(s.fela_ts_shards, s.num_workers);
+    if (s.rack_size == 0) saw_flat = true;
+    if (s.rack_size > 1) saw_racked = true;
+    if (s.fela_ts_shards == 0) saw_auto = true;
+    if (s.fela_ts_shards == 1) saw_one = true;
+    if (s.rack_size > 0 &&
+        s.fela_ts_shards ==
+            (s.num_workers + s.rack_size - 1) / s.rack_size) {
+      saw_rack_count = true;
+    }
+    if (s.fela_ts_shards > 1 && s.num_workers % s.fela_ts_shards != 0) {
+      saw_non_divisor = true;
+    }
+  }
+  EXPECT_TRUE(saw_flat);
+  EXPECT_TRUE(saw_racked);
+  EXPECT_TRUE(saw_auto);
+  EXPECT_TRUE(saw_one);
+  EXPECT_TRUE(saw_rack_count);
+  EXPECT_TRUE(saw_non_divisor);
+}
+
+TEST(SpecGenTest, PreShardReproFilesStillParse) {
+  // A repro written before the sharding axis existed has neither
+  // rack_size nor fela_ts_shards; both must default to 0 (flat,
+  // unsharded) rather than failing the parse.
+  FuzzSpec spec = GenerateSpec(7);
+  spec.rack_size = 4;
+  spec.fela_ts_shards = 2;
+  std::string text = SpecToJson(spec).Dump(1);
+  for (const char* key : {"\"rack_size\"", "\"fela_ts_shards\""}) {
+    const size_t pos = text.find(key);
+    ASSERT_NE(pos, std::string::npos) << key;
+    const size_t start = text.rfind('\n', pos);
+    const size_t end = text.find('\n', pos);
+    ASSERT_NE(start, std::string::npos);
+    ASSERT_NE(end, std::string::npos);
+    text.erase(start, end - start);
+  }
+  common::Json parsed;
+  std::string error;
+  ASSERT_TRUE(common::Json::Parse(text, &parsed, &error)) << error;
+  FuzzSpec out;
+  ASSERT_TRUE(SpecFromJson(parsed, &out, &error)) << error;
+  EXPECT_EQ(out.rack_size, 0);
+  EXPECT_EQ(out.fela_ts_shards, 0);
+  // Everything else survived the trip untouched.
+  EXPECT_EQ(out.seed, spec.seed);
+  EXPECT_EQ(out.num_workers, spec.num_workers);
+}
+
+TEST(SpecGenTest, ClampToClusterBoundsShardAxis) {
+  FuzzSpec s = GenerateSpec(1);
+  s.num_workers = 16;
+  s.rack_size = 8;
+  s.fela_ts_shards = 12;
+  s.num_workers = 4;  // what the shrinker does
+  ClampToCluster(&s);
+  EXPECT_EQ(s.rack_size, 0);  // 8 >= 4: degenerate, collapse to flat
+  EXPECT_LE(s.fela_ts_shards, 4);
+  EXPECT_GE(s.fela_ts_shards, 0);
 }
 
 }  // namespace
